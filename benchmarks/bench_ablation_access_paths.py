@@ -1,0 +1,145 @@
+"""Ablation — the §2.1 access paths, switched on and off.
+
+"Systems which can perform the entire spectrum of today's DSS
+algorithms, such as bitmap lookups, ... complex query rewrites, index
+driven joins, hash driven joins and large sort operations, will excel
+in TPC-DS." The bench measures each optimizer capability's contribution
+on representative queries (answers are asserted identical either way).
+"""
+
+import time
+
+from repro.engine import OptimizerSettings
+from repro.runner.execution import REPORTING_MATVIEWS
+
+from conftest import show
+
+STAR_SQL = """
+    SELECT i_brand, SUM(cs_ext_sales_price) rev
+    FROM catalog_sales, item, date_dim
+    WHERE cs_item_sk = i_item_sk AND cs_sold_date_sk = d_date_sk
+      AND d_year = 1998 AND d_moy = 12 AND i_manager_id <= 10
+    GROUP BY i_brand ORDER BY rev DESC LIMIT 50
+"""
+
+#: written with ANSI joins so the equi keys survive even with the
+#: optimizer disabled — the pushdown ablation then measures predicate
+#: placement, not an (infeasible) cartesian product
+MULTIJOIN_SQL = """
+    SELECT i_category, COUNT(*) c, SUM(ss_net_paid) paid
+    FROM store_sales
+    JOIN item ON ss_item_sk = i_item_sk
+    JOIN date_dim ON ss_sold_date_sk = d_date_sk
+    JOIN customer ON ss_customer_sk = c_customer_sk
+    WHERE d_year = 1999
+    GROUP BY i_category ORDER BY paid DESC
+"""
+
+
+def _rows_equal(a, b, rel=1e-6):
+    """Row-set equality tolerant of float summation-order differences."""
+    if len(a) != len(b):
+        return False
+    for row_a, row_b in zip(a, b):
+        for x, y in zip(row_a, row_b):
+            if isinstance(x, float) and isinstance(y, float):
+                if abs(x - y) > rel * max(abs(x), abs(y), 1.0):
+                    return False
+            elif x != y:
+                return False
+    return True
+
+
+def _timed(db, sql, settings):
+    saved = db.optimizer_settings
+    db.optimizer_settings = settings
+    try:
+        start = time.perf_counter()
+        rows = db.execute(sql).rows()
+        return time.perf_counter() - start, rows
+    finally:
+        db.optimizer_settings = saved
+
+
+def test_ablation_star_transformation(benchmark, bench_db):
+    bench_db.create_index("catalog_sales", "cs_sold_date_sk", "bitmap")
+    bench_db.create_index("catalog_sales", "cs_item_sk", "bitmap")
+
+    def run():
+        on = _timed(bench_db, STAR_SQL, OptimizerSettings(star_fact_threshold=1_000))
+        off = _timed(bench_db, STAR_SQL, OptimizerSettings(enable_star_transformation=False))
+        return on, off
+
+    (t_on, rows_on), (t_off, rows_off) = benchmark.pedantic(run, rounds=3, iterations=1)
+    show(
+        "Ablation: star transformation (bitmap semi-join)",
+        [f"with star filter   : {t_on * 1000:8.1f} ms",
+         f"plain hash joins   : {t_off * 1000:8.1f} ms"],
+    )
+    assert _rows_equal(rows_on, rows_off)
+
+
+def test_ablation_join_reorder(benchmark, bench_db):
+    def run():
+        on = _timed(bench_db, MULTIJOIN_SQL, OptimizerSettings())
+        off = _timed(
+            bench_db, MULTIJOIN_SQL,
+            OptimizerSettings(enable_join_reorder=False,
+                              enable_star_transformation=False),
+        )
+        return on, off
+
+    (t_on, rows_on), (t_off, rows_off) = benchmark.pedantic(run, rounds=3, iterations=1)
+    show(
+        "Ablation: statistics-driven join reordering",
+        [f"reordered : {t_on * 1000:8.1f} ms",
+         f"as written: {t_off * 1000:8.1f} ms"],
+    )
+    assert _rows_equal(rows_on, rows_off)
+
+
+def test_ablation_predicate_pushdown(benchmark, bench_db):
+    def run():
+        on = _timed(bench_db, MULTIJOIN_SQL, OptimizerSettings())
+        off = _timed(
+            bench_db, MULTIJOIN_SQL,
+            OptimizerSettings(enable_pushdown=False, enable_join_reorder=False,
+                              enable_star_transformation=False),
+        )
+        return on, off
+
+    (t_on, rows_on), (t_off, rows_off) = benchmark.pedantic(run, rounds=3, iterations=1)
+    show(
+        "Ablation: predicate pushdown",
+        [f"pushed    : {t_on * 1000:8.1f} ms",
+         f"unpushed  : {t_off * 1000:8.1f} ms"],
+    )
+    assert _rows_equal(rows_on, rows_off)
+
+
+def test_ablation_matview_rewrite(benchmark, bench_db, bench_qgen):
+    for name, sql in REPORTING_MATVIEWS.items():
+        if not bench_db.catalog.has_matview(name):
+            bench_db.create_materialized_view(name, sql)
+    statement = bench_qgen.generate(20, stream=1).statements[0]
+
+    def run():
+        bench_db.enable_matview_rewrite = True
+        t0 = time.perf_counter()
+        with_view = bench_db.execute(statement).rows()
+        t_on = time.perf_counter() - t0
+        bench_db.enable_matview_rewrite = False
+        t0 = time.perf_counter()
+        without = bench_db.execute(statement).rows()
+        t_off = time.perf_counter() - t0
+        bench_db.enable_matview_rewrite = True
+        return (t_on, with_view), (t_off, without)
+
+    (t_on, rows_on), (t_off, rows_off) = benchmark.pedantic(run, rounds=3, iterations=1)
+    show(
+        "Ablation: materialized-view query rewrite (Query 20)",
+        [f"rewrite on : {t_on * 1000:8.1f} ms",
+         f"rewrite off: {t_off * 1000:8.1f} ms",
+         f"speedup    : {t_off / t_on:8.1f}x"],
+    )
+    assert len(rows_on) == len(rows_off)

@@ -1,0 +1,87 @@
+"""Engine operator micro-benchmarks.
+
+Not a paper exhibit — a performance baseline for the substrate itself,
+so regressions in the operators that dominate the workload (hash join,
+hash aggregation, sort, window, star filter) are visible in isolation.
+All run against the sf 0.01 store_sales fact (~29k rows).
+"""
+
+from conftest import show
+
+
+def test_operator_full_scan_filter(benchmark, bench_db):
+    result = benchmark(
+        bench_db.execute,
+        "SELECT COUNT(*) FROM store_sales WHERE ss_quantity > 50",
+    )
+    assert result.scalar() > 0
+
+
+def test_operator_hash_join_fact_dim(benchmark, bench_db):
+    result = benchmark(
+        bench_db.execute,
+        "SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk",
+    )
+    assert result.scalar() == bench_db.table("store_sales").num_rows
+
+
+def test_operator_hash_aggregate(benchmark, bench_db):
+    result = benchmark(
+        bench_db.execute,
+        "SELECT ss_store_sk, SUM(ss_net_paid), AVG(ss_quantity), COUNT(*) "
+        "FROM store_sales GROUP BY ss_store_sk",
+    )
+    assert len(result) > 0
+
+
+def test_operator_sort_heavy(benchmark, bench_db):
+    result = benchmark(
+        bench_db.execute,
+        "SELECT ss_item_sk, ss_net_paid FROM store_sales "
+        "ORDER BY ss_net_paid DESC, ss_item_sk",
+    )
+    assert len(result) == bench_db.table("store_sales").num_rows
+
+
+def test_operator_window_partition(benchmark, bench_db):
+    result = benchmark(
+        bench_db.execute,
+        "SELECT ss_store_sk, ss_net_paid, "
+        "SUM(ss_net_paid) OVER (PARTITION BY ss_store_sk) "
+        "FROM store_sales",
+    )
+    assert len(result) == bench_db.table("store_sales").num_rows
+
+
+def test_operator_count_distinct(benchmark, bench_db):
+    result = benchmark(
+        bench_db.execute,
+        "SELECT COUNT(DISTINCT ss_customer_sk) FROM store_sales",
+    )
+    assert result.scalar() > 0
+
+
+def test_operator_fact_to_fact_join(benchmark, bench_db):
+    result = benchmark(
+        bench_db.execute,
+        "SELECT COUNT(*) FROM store_sales, store_returns "
+        "WHERE ss_ticket_number = sr_ticket_number AND ss_item_sk = sr_item_sk",
+    )
+    assert result.scalar() == bench_db.table("store_returns").num_rows
+
+
+def test_operator_summary(benchmark, bench_db):
+    """One line of orientation output for the captured bench log."""
+    def stats():
+        return {
+            "store_sales": bench_db.table("store_sales").num_rows,
+            "item": bench_db.table("item").num_rows,
+            "customer": bench_db.table("customer").num_rows,
+        }
+
+    sizes = benchmark(stats)
+    show(
+        "Engine operator baseline (sf 0.01 substrate sizes)",
+        [f"{k}: {v:,} rows" for k, v in sizes.items()],
+    )
+    assert sizes["store_sales"] > 20_000

@@ -1,0 +1,51 @@
+"""Figure 12 — Minimum Required Query Streams.
+
+Regenerates the table verbatim and demonstrates the design intent:
+"larger systems not only execute queries on more data, but also serve
+more concurrent users" — more streams mean proportionally more queries
+in the metric's numerator.
+"""
+
+from repro.dsdgen import minimum_streams
+from repro.runner import MetricInputs, qphds, total_queries
+
+from conftest import show
+
+PAPER_FIGURE_12 = {100: 3, 300: 5, 1000: 7, 3000: 9, 10000: 11, 30000: 13, 100000: 15}
+
+
+def test_figure12_table(benchmark):
+    def table():
+        return {sf: minimum_streams(sf) for sf in PAPER_FIGURE_12}
+
+    got = benchmark(table)
+    lines = [f"{'scale factor':>12s} {'min streams':>12s} {'paper':>6s}"]
+    for sf, streams in got.items():
+        lines.append(f"{sf:>12,} {streams:>12d} {PAPER_FIGURE_12[sf]:>6d}")
+    show("Figure 12: minimum required query streams", lines)
+    assert got == PAPER_FIGURE_12
+
+
+def test_figure12_streams_scale_workload(benchmark):
+    """With fixed per-query cost, more streams leave QphDS roughly flat
+    (more queries over proportionally more time) while raising the total
+    work — streams cannot be gamed."""
+
+    def metrics():
+        results = {}
+        for streams in (3, 7, 15):
+            # elapsed scales with stream count (fixed per-stream cost)
+            t = 100.0 * streams
+            inputs = MetricInputs(100, streams, t, 10.0, t, 50.0)
+            results[streams] = (total_queries(streams), qphds(inputs, False))
+        return results
+
+    results = benchmark(metrics)
+    lines = [f"{'streams':>8s} {'queries':>8s} {'QphDS':>12s}"]
+    for streams, (queries, metric) in results.items():
+        lines.append(f"{streams:>8d} {queries:>8d} {metric:>12,.0f}")
+    show("Figure 12: effect of stream count on the metric", lines)
+    assert results[15][0] == 5 * results[3][0]
+    # metric stays within a tight band: streams add work, not free score
+    values = [m for _, m in results.values()]
+    assert max(values) / min(values) < 1.2

@@ -1,0 +1,58 @@
+"""Figure 1 — the Store Sales snowflake schema.
+
+Regenerates the structure the figure draws: the store_sales fact with
+its dimension ring, the snowflaked customer sub-dimensions, the double
+customer_address role, and the ticket+item fact-to-fact link to
+store_returns.
+"""
+
+import networkx as nx
+
+from repro.schema import schema_statistics, snowflake_graph
+
+from conftest import show
+
+
+def test_figure1_store_sales_snowflake(benchmark):
+    graph = benchmark(snowflake_graph)
+    store_dims = sorted(graph.successors("store_sales"))
+    lines = ["store_sales -> " + ", ".join(store_dims)]
+    lines.append("customer -> " + ", ".join(sorted(graph.successors("customer"))))
+    lines.append(
+        "household_demographics -> "
+        + ", ".join(sorted(graph.successors("household_demographics")))
+    )
+    show("Figure 1: Store Sales snowflake (adjacency)", lines)
+
+    # the figure's defining relationships
+    assert "customer_address" in store_dims            # fact -> address
+    assert graph.has_edge("customer", "customer_address")  # dim -> address (circular role)
+    assert graph.has_edge("household_demographics", "income_band")  # 2-level snowflake
+    assert "reason" in graph.successors("store_returns")
+    assert "reason" not in store_dims
+
+
+def test_figure1_snowflake_not_pure_star(benchmark):
+    def depth():
+        graph = snowflake_graph()
+        # longest dimension-to-dimension chain from a fact table
+        lengths = nx.single_source_shortest_path_length(graph, "store_sales")
+        return max(lengths.values())
+
+    longest = benchmark(depth)
+    show("Figure 1: snowflake depth from store_sales", [f"max path length = {longest}"])
+    # a pure star would have depth 1; the snowstorm nests dimensions
+    assert longest >= 2
+
+
+def test_figure1_shared_dimensions(benchmark):
+    def shared():
+        graph = snowflake_graph()
+        store = set(graph.successors("store_sales"))
+        catalog = set(graph.successors("catalog_sales"))
+        web = set(graph.successors("web_sales"))
+        return store & catalog & web
+
+    common = benchmark(shared)
+    show("Figure 1: dimensions shared by all three channels", [", ".join(sorted(common))])
+    assert {"date_dim", "time_dim", "item", "customer", "promotion"} <= common

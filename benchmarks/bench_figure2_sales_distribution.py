@@ -1,0 +1,58 @@
+"""Figure 2 — Store Sales Distribution.
+
+The figure plots weekly sales likelihood over a year: the census
+department-store series (diamonds) against TPC-DS's three-zone step
+function (squares). This bench regenerates both series, verifies the
+step function's defining properties (uniform within zones, low < medium
+< high), and confirms the *generated data* realizes the distribution.
+"""
+
+from repro.dsdgen import SalesDateDistribution
+from repro.dsdgen.distributions import week_zone
+
+from conftest import show
+
+
+def test_figure2_series(benchmark):
+    dist = SalesDateDistribution()
+
+    def series():
+        return dist.weekly_weights(), dist.census_weekly_weights()
+
+    zoned, census = benchmark(series)
+    lines = [f"{'week':>4s} {'zone':>4s} {'tpcds':>9s} {'census':>9s}"]
+    for week in range(1, 53, 4):
+        lines.append(
+            f"{week:>4d} {week_zone(week):>4d} {zoned[week - 1]:>9.4f} {census[week - 1]:>9.4f}"
+        )
+    show("Figure 2: store sales distribution (weekly probability)", lines)
+
+    zones = dist.zone_weeks
+    step = {z: zoned[zones[z][0] - 1] for z in (1, 2, 3)}
+    assert step[1] < step[2] < step[3]
+    assert dist.uniformity_within_zone()
+    # the step function preserves the census zone masses exactly
+    mass = dist.zone_mass()
+    for zone in (1, 2, 3):
+        assert abs(sum(zoned[w - 1] for w in zones[zone]) - mass[zone]) < 1e-9
+
+
+def test_figure2_realized_in_generated_data(benchmark, bench_data):
+    calendar = bench_data.context.calendar
+
+    def zone_densities():
+        counts = {1: 0, 2: 0, 3: 0}
+        for row in bench_data.tables["store_sales"]:
+            offset = row[0] - calendar.sk_at(0)
+            d = calendar.date_at(offset)
+            week = min((d.timetuple().tm_yday - 1) // 7 + 1, 52)
+            counts[week_zone(week)] += 1
+        weeks = {1: 30, 2: 13, 3: 9}
+        return {z: counts[z] / weeks[z] for z in counts}
+
+    density = benchmark(zone_densities)
+    show(
+        "Figure 2: per-week sales density by zone, generated data",
+        [f"zone {z}: {density[z]:,.0f} line items / week" for z in (1, 2, 3)],
+    )
+    assert density[1] < density[2] < density[3]

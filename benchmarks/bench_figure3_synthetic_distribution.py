@@ -1,0 +1,51 @@
+"""Figure 3 — Synthetic Sales Distribution.
+
+The paper's example of a *pure* synthetic alternative: a Normal density
+with mu = 200 and sigma = 50 ("sales are very low in the first weeks and
+then ramp up gradually to peak ... before they slow down"). The bench
+regenerates the curve and checks its defining shape, plus the reason
+TPC-DS rejected it: no flat comparability zones exist.
+"""
+
+from repro.dsdgen import gaussian_sales_pdf
+
+from conftest import show
+
+
+def test_figure3_curve(benchmark):
+    def series():
+        return [gaussian_sales_pdf(x) for x in range(0, 366, 7)]
+
+    values = benchmark(series)
+    peak_index = values.index(max(values))
+    lines = [f"day {i * 7:>3d}: {'#' * int(v * 2500)}" for i, v in enumerate(values[::4])]
+    show("Figure 3: synthetic N(200, 50) sales distribution", lines)
+
+    # ramps up, peaks near day 200, slows down
+    assert 25 <= peak_index <= 31  # day ~196..210
+    assert values[0] < values[peak_index]
+    assert values[-1] < values[peak_index]
+    # monotone rise then fall
+    assert all(values[i] <= values[i + 1] for i in range(peak_index))
+    assert all(values[i] >= values[i + 1] for i in range(peak_index, len(values) - 1))
+
+
+def test_figure3_why_rejected_no_flat_zones(benchmark):
+    """§3.2: under a Gaussian, two equal-width windows almost never
+    qualify the same number of rows — that is why TPC-DS flattens real
+    data into comparability zones instead."""
+
+    def window_masses():
+        def mass(lo, hi):
+            return sum(gaussian_sales_pdf(x) for x in range(lo, hi))
+
+        return mass(100, 130), mass(185, 215), mass(270, 300)
+
+    early, peak, late = benchmark(window_masses)
+    show(
+        "Figure 3: equal 30-day windows carry unequal mass",
+        [f"days 100-130: {early:.4f}", f"days 185-215: {peak:.4f}",
+         f"days 270-300: {late:.4f}"],
+    )
+    assert peak > 2 * early
+    assert peak > 2 * late

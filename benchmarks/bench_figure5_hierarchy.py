@@ -1,0 +1,47 @@
+"""Figure 5 — the traditional item hierarchy (category -> class -> brand).
+
+Regenerates the hierarchy, prints its level cardinalities, and verifies
+the single-inheritance invariant in both the tree and the generated
+item dimension rows.
+"""
+
+from repro.dsdgen import ItemHierarchy
+
+from conftest import show
+
+
+def test_figure5_hierarchy_structure(benchmark):
+    hierarchy = benchmark(ItemHierarchy)
+    show(
+        "Figure 5: item hierarchy levels",
+        [
+            f"categories: {hierarchy.num_categories}",
+            f"classes   : {hierarchy.num_classes}",
+            f"brands    : {hierarchy.num_brands}",
+        ],
+    )
+    assert hierarchy.num_categories == 10
+    assert hierarchy.verify_single_inheritance()
+    assert hierarchy.num_brands == hierarchy.num_classes * 10
+
+
+def test_figure5_single_inheritance_in_generated_items(benchmark, bench_db):
+    def violations():
+        brand_to_class = bench_db.execute("""
+            SELECT i_brand_id, COUNT(DISTINCT i_class_id) c
+            FROM item GROUP BY i_brand_id HAVING COUNT(DISTINCT i_class_id) > 1
+        """)
+        class_to_category = bench_db.execute("""
+            SELECT i_class_id, COUNT(DISTINCT i_category_id) c
+            FROM item GROUP BY i_class_id HAVING COUNT(DISTINCT i_category_id) > 1
+        """)
+        return len(brand_to_class), len(class_to_category)
+
+    brand_bad, class_bad = benchmark(violations)
+    show(
+        "Figure 5: inheritance violations in the item dimension",
+        [f"brands in >1 class     : {brand_bad}",
+         f"classes in >1 category : {class_bad}"],
+    )
+    assert brand_bad == 0
+    assert class_bad == 0

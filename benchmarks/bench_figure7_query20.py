@@ -1,0 +1,65 @@
+"""Figure 7 — Query 20, the paper's reporting example.
+
+The catalog channel is the reporting part of the schema, so Q20 may be
+answered from a materialized view. The bench times the query against
+base tables and against the view, and reports the speedup — the paper's
+whole point about amalgamating ad-hoc and reporting queries.
+"""
+
+import time
+
+from repro.runner.execution import REPORTING_MATVIEWS
+
+from conftest import show
+
+
+def _ensure_views(db):
+    for name, sql in REPORTING_MATVIEWS.items():
+        if not db.catalog.has_matview(name):
+            db.create_materialized_view(name, sql)
+
+
+def test_figure7_query20_base_tables(benchmark, bench_db, bench_qgen):
+    query = bench_qgen.generate(20, stream=0)
+    bench_db.enable_matview_rewrite = False
+    try:
+        result = benchmark(bench_db.execute, query.statements[0])
+    finally:
+        bench_db.enable_matview_rewrite = True
+    assert result.rewritten_from_view is None
+    assert "revenueratio" in result.column_names
+
+
+def test_figure7_query20_via_matview(benchmark, bench_db, bench_qgen):
+    _ensure_views(bench_db)
+    query = bench_qgen.generate(20, stream=0)
+    result = benchmark(bench_db.execute, query.statements[0])
+    assert result.rewritten_from_view == "mv_catalog_item_date"
+
+
+def test_figure7_reporting_speedup(benchmark, bench_db, bench_qgen):
+    """The view must win: measure both paths on the same query."""
+    _ensure_views(bench_db)
+    query = bench_qgen.generate(20, stream=0)
+    statement = query.statements[0]
+
+    def measure():
+        bench_db.enable_matview_rewrite = False
+        t0 = time.perf_counter()
+        base_rows = bench_db.execute(statement).rows()
+        base = time.perf_counter() - t0
+        bench_db.enable_matview_rewrite = True
+        t0 = time.perf_counter()
+        view_rows = bench_db.execute(statement).rows()
+        view = time.perf_counter() - t0
+        return base, view, len(base_rows), len(view_rows)
+
+    base, view, base_n, view_n = benchmark(measure)
+    show(
+        "Figure 7: Query 20 — reporting query with auxiliary structures",
+        [f"base tables : {base * 1000:8.1f} ms ({base_n} rows)",
+         f"matview     : {view * 1000:8.1f} ms ({view_n} rows)",
+         f"speedup     : {base / view:8.1f}x"],
+    )
+    assert base_n == view_n
+    assert view < base  # the reporting path must be faster

@@ -1,0 +1,62 @@
+"""§5.3 — why TPC-DS dropped the power (geometric-mean) metric.
+
+"A reduction of elapsed time for a query from 6 hours to 2 hours has
+the same effect on the metric as reducing a query from 6 seconds to 2
+seconds — which is a major weakness." The bench reproduces that
+comparison for both metrics.
+"""
+
+from repro.runner import MetricInputs, power_metric, qphds
+
+from conftest import show
+
+BASE_TIMES = [6 * 3600.0, 6.0] + [60.0] * 97  # one huge, one tiny, 97 normal
+
+
+def test_power_metric_weakness(benchmark):
+    def compare():
+        long_fixed = list(BASE_TIMES)
+        long_fixed[0] = 2 * 3600.0
+        short_fixed = list(BASE_TIMES)
+        short_fixed[1] = 2.0
+        return (
+            power_metric(BASE_TIMES, 100),
+            power_metric(long_fixed, 100),
+            power_metric(short_fixed, 100),
+        )
+
+    base, long_fix, short_fix = benchmark(compare)
+    show(
+        "§5.3: geometric-mean power metric (rejected design)",
+        [f"baseline              : {base:,.1f}",
+         f"6h query -> 2h        : {long_fix:,.1f}  (+{long_fix / base - 1:.1%})",
+         f"6s query -> 2s        : {short_fix:,.1f}  (+{short_fix / base - 1:.1%})"],
+    )
+    # the weakness: both improvements move the metric identically
+    assert abs(long_fix - short_fix) / long_fix < 1e-9
+
+
+def test_qphds_rewards_long_query_tuning(benchmark):
+    def compare():
+        def metric(times):
+            total = sum(times)
+            inputs = MetricInputs(100, 3, total / 2, 60.0, total / 2, 600.0)
+            return qphds(inputs)
+
+        long_fixed = list(BASE_TIMES)
+        long_fixed[0] = 2 * 3600.0
+        short_fixed = list(BASE_TIMES)
+        short_fixed[1] = 2.0
+        return metric(BASE_TIMES), metric(long_fixed), metric(short_fixed)
+
+    base, long_fix, short_fix = benchmark(compare)
+    show(
+        "§5.3: TPC-DS arithmetic metric (adopted design)",
+        [f"baseline              : {base:,.1f}",
+         f"6h query -> 2h        : {long_fix:,.1f}  (+{long_fix / base - 1:.1%})",
+         f"6s query -> 2s        : {short_fix:,.1f}  (+{short_fix / base - 1:.2%})"],
+    )
+    # fixing the 6-hour query matters enormously; the 6-second one not
+    gain_long = long_fix - base
+    gain_short = short_fix - base
+    assert gain_long > 100 * max(gain_short, 1e-9)

@@ -1,0 +1,81 @@
+"""§5.3 — the QphDS@SF metric: worked examples and properties.
+
+Regenerates the paper's arithmetic: 198*S query counts (1386 at SF 1000
+with 7 streams), the load-time fraction, the scale-factor
+normalization, and the $/QphDS price-performance ratio.
+"""
+
+from repro.runner import (
+    MetricInputs,
+    load_time_share,
+    price_performance,
+    qphds,
+    total_queries,
+)
+
+from conftest import show
+
+
+def test_metric_worked_examples(benchmark):
+    def compute():
+        return {
+            "queries@1000sf/7streams": total_queries(7),
+            "queries@15streams": total_queries(15),
+            "load_fraction_10_streams": 0.01 * 10,
+        }
+
+    values = benchmark(compute)
+    show(
+        "§5.3: worked examples",
+        [f"198 * 7  = {values['queries@1000sf/7streams']} (paper: 1386)",
+         f"198 * 15 = {values['queries@15streams']} (paper: 2970)",
+         f"load fraction at 10 streams = {values['load_fraction_10_streams']:.0%} (paper: 10%)"],
+    )
+    assert values["queries@1000sf/7streams"] == 1386
+    assert values["queries@15streams"] == 2970
+
+
+def test_metric_formula_and_price_performance(benchmark):
+    def compute():
+        inputs = MetricInputs(
+            scale_factor=1000, streams=7,
+            t_qr1=3600.0, t_dm=900.0, t_qr2=3700.0, t_load=7200.0,
+        )
+        metric = qphds(inputs)
+        return inputs, metric, price_performance(1_500_000, metric), load_time_share(inputs)
+
+    inputs, metric, dollars, share = benchmark(compute)
+    expected = 1000 * 3600 * 1386 / (3600 + 900 + 3700 + 0.01 * 7 * 7200)
+    show(
+        "§5.3: QphDS@1000 for a hypothetical result",
+        [f"QphDS@1000 = {metric:,.0f}",
+         f"$/QphDS    = {dollars:,.4f}",
+         f"load share of denominator = {share:.1%}"],
+    )
+    assert metric == expected
+
+
+def test_metric_scale_normalization(benchmark):
+    """'assuming ideal scalability ... the metrics are normalized based
+    on scale factors' — a perfectly scaling system keeps QphDS constant
+    modulo the stream-count growth."""
+
+    def compute():
+        results = {}
+        for sf, streams in ((100, 3), (1000, 7)):
+            # ideal scaling: elapsed grows linearly with SF
+            scale = sf / 100
+            inputs = MetricInputs(sf, streams,
+                                  1000.0 * scale, 100.0 * scale,
+                                  1000.0 * scale, 500.0 * scale)
+            results[sf] = qphds(inputs)
+        return results
+
+    results = benchmark(compute)
+    show(
+        "§5.3: normalization under ideal scaling",
+        [f"QphDS@{sf} = {v:,.0f}" for sf, v in results.items()],
+    )
+    ratio = results[1000] / results[100]
+    # 7/3 more streams, otherwise flat: the ratio is streams-driven only
+    assert 2.0 < ratio < 2.6

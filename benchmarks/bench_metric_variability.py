@@ -1,0 +1,58 @@
+"""§4.1 — metric stability under substitution variability.
+
+"It is expected that there is some run-to-run variability on a per
+query basis. However, since the main metric is an arithmetic mean, it
+has been proven that such variability does not result in any
+significant metric variability." The bench measures exactly that: per
+-query elapsed times across differently-substituted streams vary by
+large factors, while the stream *totals* (what the metric denominator
+sums) stay tight.
+"""
+
+import statistics
+import time
+
+from conftest import show
+
+
+def _stream_times(db, qgen, stream):
+    per_query = []
+    for query in qgen.generate_stream(stream):
+        start = time.perf_counter()
+        for statement in query.statements:
+            db.execute(statement)
+        per_query.append(time.perf_counter() - start)
+    return per_query
+
+
+def test_variability_per_query_vs_total(benchmark, bench_db, bench_qgen):
+    def run():
+        streams = {s: _stream_times(bench_db, bench_qgen, s) for s in (1, 2, 3)}
+        return streams
+
+    streams = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # per-query variability across streams (same template, different
+    # substitutions + measurement noise)
+    per_query_ratios = []
+    ids = list(range(99))
+    for i in ids:
+        times = [streams[s][i] for s in streams]
+        low, high = min(times), max(times)
+        if low > 0:
+            per_query_ratios.append(high / low)
+    totals = [sum(v) for v in streams.values()]
+    total_spread = (max(totals) - min(totals)) / statistics.mean(totals)
+
+    show(
+        "§4.1: substitution variability vs metric stability",
+        [
+            f"per-query max/min ratio: median {statistics.median(per_query_ratios):.2f}x,"
+            f" p90 {sorted(per_query_ratios)[int(len(per_query_ratios) * 0.9)]:.2f}x",
+            f"stream totals          : {[f'{t:.2f}s' for t in totals]}",
+            f"total relative spread  : {total_spread:.1%}",
+        ],
+    )
+    # individual queries swing, the arithmetic total barely moves
+    assert statistics.median(per_query_ratios) > 1.0
+    assert total_spread < 0.25

@@ -1,0 +1,47 @@
+"""Table 1 — Schema Statistics.
+
+Paper values: 7 fact tables, 17 dimensions, columns min 3 / max 34 /
+avg 18, 104 foreign keys, flat-file row bytes min 16 / max 317 / avg 136.
+Structural numbers must match exactly; row-byte numbers are measured
+from generated flat files and should land in the same range (our
+synthetic strings are not byte-identical to dsdgen's).
+"""
+
+from repro.dsdgen.flatfile import measured_row_statistics
+from repro.schema import ALL_TABLES, PAPER_TABLE_1, schema_statistics
+
+from conftest import show
+
+
+def test_table1_structure(benchmark):
+    stats = benchmark(schema_statistics)
+    rows = [
+        f"{'statistic':34s} {'measured':>10s} {'paper':>10s}"
+    ]
+    for (label, value), (_, paper) in zip(stats.as_rows(), PAPER_TABLE_1.as_rows()):
+        rows.append(f"{label:34s} {value!s:>10s} {paper!s:>10s}")
+    show("Table 1: Schema Statistics (structure)", rows)
+    assert stats.fact_tables == 7
+    assert stats.dimension_tables == 17
+    assert stats.columns_min == 3
+    assert stats.columns_max == 34
+    assert stats.foreign_keys == 104
+    assert abs(stats.columns_avg - 18) < 0.5
+
+
+def test_table1_row_lengths(benchmark, bench_data):
+    measured = benchmark(measured_row_statistics, bench_data.tables, ALL_TABLES)
+    show(
+        "Table 1: Schema Statistics (flat-file row bytes)",
+        [
+            f"{'':12s} {'measured':>10s} {'paper':>10s}",
+            f"{'min':12s} {measured.min_bytes:>10d} {PAPER_TABLE_1.row_bytes_min:>10d}",
+            f"{'max':12s} {measured.max_bytes:>10d} {PAPER_TABLE_1.row_bytes_max:>10d}",
+            f"{'avg':12s} {measured.avg_bytes:>10.0f} {PAPER_TABLE_1.row_bytes_avg:>10.0f}",
+        ],
+    )
+    # shape: the narrowest table is a handful of bytes (inventory), the
+    # widest a few hundred, the average low hundreds
+    assert measured.min_bytes <= 30
+    assert 150 <= measured.max_bytes <= 700
+    assert 80 <= measured.avg_bytes <= 300

@@ -1,0 +1,62 @@
+"""Table 2 — Table Cardinalities.
+
+Paper (K=10^3, M=10^6, B=10^9)::
+
+    table          100GB   1TB    10TB   100TB
+    store_sales    288M    2.9B   30B    297B
+    store_returns  14M     147M   1.5B   15B
+    store          200     500    750    1,500
+    customer       2M      8M     20M    100M
+    items          200K    300K   400K   500K
+
+Our scaling model pins these anchors exactly; the bench regenerates the
+grid and times full-model evaluation across all official scale factors.
+"""
+
+from repro.dsdgen import OFFICIAL_SCALE_FACTORS, ScalingModel
+
+from conftest import show
+
+PAPER_TABLE_2 = {
+    "store_sales": {100: 288_000_000, 1000: 2_900_000_000, 10000: 30_000_000_000, 100000: 297_000_000_000},
+    "store_returns": {100: 14_000_000, 1000: 147_000_000, 10000: 1_500_000_000, 100000: 15_000_000_000},
+    "store": {100: 200, 1000: 500, 10000: 750, 100000: 1_500},
+    "customer": {100: 2_000_000, 1000: 8_000_000, 10000: 20_000_000, 100000: 100_000_000},
+    "item": {100: 200_000, 1000: 300_000, 10000: 400_000, 100000: 500_000},
+}
+
+
+def _all_models():
+    return {sf: ScalingModel(sf).table_rows() for sf in OFFICIAL_SCALE_FACTORS}
+
+
+def test_table2_cardinalities(benchmark):
+    grids = benchmark(_all_models)
+    lines = [f"{'table':16s}" + "".join(f"{sf:>16,}" for sf in (100, 1000, 10000, 100000))]
+    for table in PAPER_TABLE_2:
+        lines.append(
+            f"{table:16s}" + "".join(f"{grids[sf][table]:>16,}" for sf in (100, 1000, 10000, 100000))
+        )
+    show("Table 2: Table Cardinalities (measured == paper by construction)", lines)
+    for table, anchors in PAPER_TABLE_2.items():
+        for sf, expected in anchors.items():
+            assert grids[sf][table] == expected, (table, sf)
+
+
+def test_table2_shape_fact_linear_dim_sublinear(benchmark):
+    def ratios():
+        m100, m100k = ScalingModel(100), ScalingModel(100000)
+        return {
+            "store_sales": m100k.rows("store_sales") / m100.rows("store_sales"),
+            "customer": m100k.rows("customer") / m100.rows("customer"),
+            "item": m100k.rows("item") / m100.rows("item"),
+        }
+
+    growth = benchmark(ratios)
+    show(
+        "Table 2 shape: growth from 100GB to 100TB (1000x data)",
+        [f"{k:14s} x{v:,.1f}" for k, v in growth.items()],
+    )
+    assert growth["store_sales"] > 900     # linear: ~1031x
+    assert growth["customer"] == 50        # sub-linear
+    assert growth["item"] == 2.5           # nearly flat

@@ -1,0 +1,42 @@
+"""Shared fixtures for the paper-reproduction benches.
+
+Each ``bench_*`` module regenerates one exhibit (table or figure) of
+"The Making of TPC-DS": it prints the paper-vs-measured comparison and
+times the operation that produces it. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsdgen import DsdGen, build_database
+from repro.qgen import QGen, build_catalog
+
+BENCH_SF = 0.01
+BENCH_SEED = 19620718
+
+
+@pytest.fixture(scope="session")
+def bench_data():
+    return DsdGen(BENCH_SF, seed=BENCH_SEED).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_db(bench_data):
+    db, _ = build_database(BENCH_SF, data=bench_data)
+    return db
+
+
+@pytest.fixture(scope="session")
+def bench_qgen(bench_data):
+    return QGen(bench_data.context, build_catalog())
+
+
+def show(title: str, lines) -> None:
+    """Print an exhibit block (visible with -s; harmless otherwise)."""
+    print()
+    print(f"== {title} ==")
+    for line in lines:
+        print(line)

@@ -1,0 +1,58 @@
+"""Configured benchmark runs: aux structures, streams, and the metric.
+
+Runs the benchmark twice — with and without the reporting-channel
+auxiliary structures — and compares the QphDS@SF outcomes, illustrating
+the §5.3 trade-off: views speed up reporting queries but their build
+cost is charged through the load-time fraction of the metric.
+
+Run:  python examples/benchmark_run.py
+"""
+
+from repro import Benchmark
+from repro.runner import load_time_share
+
+
+def run_one(use_aux: bool):
+    bench = Benchmark(scale_factor=0.004, streams=2, use_aux_structures=use_aux)
+    summary = bench.run()
+    result = summary.result
+    rewritten = sum(1 for t in result.query_run_1.timings if t.used_view)
+    return {
+        "aux": "on" if use_aux else "off",
+        "load_s": result.load.elapsed,
+        "qr1_s": result.query_run_1.elapsed,
+        "dm_s": result.maintenance.elapsed,
+        "qr2_s": result.query_run_2.elapsed,
+        "qphds": summary.qphds,
+        "dollars": summary.price_performance,
+        "load_share": load_time_share(result.metric_inputs),
+        "rewritten": rewritten,
+    }
+
+
+def main() -> None:
+    rows = [run_one(True), run_one(False)]
+    header = (f"{'aux':>4s} {'load':>8s} {'QR1':>8s} {'DM':>8s} {'QR2':>8s} "
+              f"{'QphDS':>10s} {'$/QphDS':>10s} {'load%':>6s} {'via view':>9s}")
+    print(header)
+    for r in rows:
+        print(f"{r['aux']:>4s} {r['load_s']:>7.2f}s {r['qr1_s']:>7.2f}s "
+              f"{r['dm_s']:>7.2f}s {r['qr2_s']:>7.2f}s {r['qphds']:>10,.0f} "
+              f"{r['dollars']:>10,.2f} {r['load_share']:>6.1%} {r['rewritten']:>9d}")
+
+    print()
+    print("Reading the comparison:")
+    print(" - with aux structures, reporting queries answer from materialized")
+    print("   views (the 'via view' count), shortening those queries;")
+    print(" - but the views' build and refresh costs land in the load test and")
+    print("   the data-maintenance run, and 1% of the load per stream is charged")
+    print("   in the metric denominator. At model scale, where only ~6 of 198")
+    print("   queries benefit, the costs can outweigh the gains - which is")
+    print("   precisely the trade-off the metric was designed to expose (5.3:")
+    print("   'to realistically limit the use of auxiliary structures without")
+    print("   disallowing them'). At full scale, where reporting queries scan")
+    print("   hundreds of millions of catalog rows, the balance reverses.")
+
+
+if __name__ == "__main__":
+    main()

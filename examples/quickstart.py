@@ -1,0 +1,34 @@
+"""Quickstart: run the complete TPC-DS reproduction in one call.
+
+Generates a model-scale database (sf=0.005 ≈ 0.5 GB-equivalent row
+counts scaled down ~20,000x), loads it, executes the Figure 11
+sequence — Load, Query Run 1, Data Maintenance, Query Run 2 — with two
+concurrent streams, and prints the QphDS@SF report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Benchmark
+
+
+def main() -> None:
+    bench = Benchmark(scale_factor=0.005, streams=2)
+    summary = bench.run()
+    print(summary.report())
+
+    # the loaded database stays available for ad-hoc exploration
+    print()
+    print("ad-hoc follow-up: revenue by channel")
+    result = bench.query("""
+        SELECT 'store' channel, SUM(ss_ext_sales_price) revenue FROM store_sales
+        UNION ALL
+        SELECT 'catalog', SUM(cs_ext_sales_price) FROM catalog_sales
+        UNION ALL
+        SELECT 'web', SUM(ws_ext_sales_price) FROM web_sales
+        ORDER BY revenue DESC
+    """)
+    print(result.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Retail analytics: the business questions the paper's schema models.
+
+Loads a model-scale warehouse and walks the analyses TPC-DS was built
+around — seasonal skew (the Figure 2 zones), brand performance, the
+snowflaked demographics, the fact-to-fact sales/returns link, and a
+cross-channel comparison.
+
+Run:  python examples/retail_analytics.py
+"""
+
+from repro import Benchmark
+
+
+def section(title: str) -> None:
+    print()
+    print(title)
+    print("-" * len(title))
+
+
+def main() -> None:
+    bench = Benchmark(scale_factor=0.01)
+    db = bench.load()  # load test only: tables + indexes + views + stats
+
+    section("Seasonality: the three comparability zones of Figure 2")
+    print(db.execute("""
+        SELECT CASE WHEN d_moy <= 7 THEN '1: Jan-Jul (low)'
+                    WHEN d_moy <= 10 THEN '2: Aug-Oct (medium)'
+                    ELSE '3: Nov-Dec (high)' END zone,
+               COUNT(*) line_items,
+               SUM(ss_ext_sales_price) revenue,
+               SUM(ss_ext_sales_price) / COUNT(DISTINCT d_moy) revenue_per_month
+        FROM store_sales, date_dim
+        WHERE ss_sold_date_sk = d_date_sk
+        GROUP BY 1 ORDER BY 1
+    """).to_text())
+
+    section("Top brands in the holiday season (the paper's Query 52 shape)")
+    print(db.execute("""
+        SELECT i_brand, SUM(ss_ext_sales_price) revenue
+        FROM store_sales, item, date_dim
+        WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+          AND d_moy = 12
+        GROUP BY i_brand ORDER BY revenue DESC LIMIT 5
+    """).to_text())
+
+    section("Demographics through the snowflake (income band -> spend)")
+    print(db.execute("""
+        SELECT ib_lower_bound, ib_upper_bound,
+               COUNT(*) purchases, AVG(ss_net_paid) avg_ticket
+        FROM store_sales, household_demographics, income_band
+        WHERE ss_hdemo_sk = hd_demo_sk
+          AND hd_income_band_sk = ib_income_band_sk
+        GROUP BY ib_lower_bound, ib_upper_bound
+        ORDER BY ib_lower_bound LIMIT 10
+    """).to_text())
+
+    section("Returns analysis via the ticket+item fact-to-fact join")
+    print(db.execute("""
+        SELECT r_reason_desc, COUNT(*) returns, SUM(sr_return_amt) amount
+        FROM store_returns, reason
+        WHERE sr_reason_sk = r_reason_sk
+        GROUP BY r_reason_desc ORDER BY returns DESC LIMIT 5
+    """).to_text())
+
+    section("Channel comparison (store vs catalog vs web, by category)")
+    print(db.execute("""
+        WITH st AS (SELECT i_category c, SUM(ss_ext_sales_price) r
+                    FROM store_sales, item WHERE ss_item_sk = i_item_sk GROUP BY i_category),
+             ct AS (SELECT i_category c, SUM(cs_ext_sales_price) r
+                    FROM catalog_sales, item WHERE cs_item_sk = i_item_sk GROUP BY i_category)
+        SELECT st.c category, st.r store_rev, ct.r catalog_rev,
+               st.r / ct.r store_to_catalog
+        FROM st, ct WHERE st.c = ct.c
+        ORDER BY store_rev DESC LIMIT 5
+    """).to_text())
+
+    section("Customer loyalty: year-over-year growers (Q74 shape)")
+    print(db.execute("""
+        WITH yearly AS (
+            SELECT ss_customer_sk cust, d_year yr, SUM(ss_net_paid) total
+            FROM store_sales, date_dim
+            WHERE ss_sold_date_sk = d_date_sk AND ss_customer_sk IS NOT NULL
+            GROUP BY ss_customer_sk, d_year)
+        SELECT cur.yr, COUNT(*) growing_customers
+        FROM yearly cur JOIN yearly prev
+          ON cur.cust = prev.cust AND cur.yr = prev.yr + 1
+        WHERE cur.total > prev.total
+        GROUP BY cur.yr ORDER BY cur.yr
+    """).to_text())
+
+
+if __name__ == "__main__":
+    main()

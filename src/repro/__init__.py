@@ -1,0 +1,21 @@
+"""repro — a pure-Python reproduction of TPC-DS.
+
+Reproduces "The Making of TPC-DS" (Othayoth & Poess, VLDB 2006): the
+snowstorm schema, the dsdgen data generator, the dsqgen query generator
+with its 99-template workload, the ETL data-maintenance workload, the
+execution rules and the QphDS@SF metric — plus the columnar SQL engine
+substrate the workload runs on.
+
+Quickstart::
+
+    from repro import Benchmark
+    result = Benchmark(scale_factor=0.01).run()
+    print(result.report())
+"""
+
+from .core import Benchmark, RunSummary, spec
+from .engine import Database, OptimizerSettings
+
+__version__ = "1.0.0"
+
+__all__ = ["Benchmark", "RunSummary", "spec", "Database", "OptimizerSettings", "__version__"]

@@ -1,0 +1,152 @@
+"""Command-line interface: ``tpcds-py``.
+
+Subcommands mirror the original kit's tools:
+
+* ``dsdgen``  — generate flat files for a scale factor;
+* ``dsqgen``  — print generated queries for a template / stream;
+* ``run``     — execute the full benchmark and print the report;
+* ``schema``  — print Table 1-style schema statistics;
+* ``audit``   — generate, load and audit a database (auditor checks);
+* ``scaling`` — print Table 2-style row counts for a scale factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.benchmark import Benchmark
+from .dsdgen import DsdGen, ScalingModel
+from .qgen import QGen, build_catalog
+from .schema import PAPER_TABLE_1, schema_statistics
+
+
+def _cmd_dsdgen(args: argparse.Namespace) -> int:
+    generator = DsdGen(args.scale, seed=args.seed, strict=args.strict)
+    data = generator.generate()
+    sizes = data.write_flat_files(args.output)
+    total = sum(sizes.values())
+    for name in sorted(sizes):
+        print(f"{name:24s} {data.row_counts[name]:>12,} rows  {sizes[name]:>14,} bytes")
+    print(f"{'total':24s} {sum(data.row_counts.values()):>12,} rows  {total:>14,} bytes")
+    return 0
+
+
+def _cmd_dsqgen(args: argparse.Namespace) -> int:
+    generator = DsdGen(args.scale, seed=args.seed)
+    generator.generate()  # registers key pools used by substitutions
+    qgen = QGen(generator.context, build_catalog())
+    ids = [args.template] if args.template else sorted(qgen.templates)
+    for template_id in ids:
+        query = qgen.generate(template_id, stream=args.stream)
+        print(f"-- query {query.template_id} ({query.name}; {query.query_class};"
+              f" {query.channel_part} part)")
+        print(query.sql.strip())
+        print(";")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    bench = Benchmark(
+        scale_factor=args.scale,
+        streams=args.streams,
+        seed=args.seed,
+        use_aux_structures=not args.no_aux,
+        strict=args.strict,
+    )
+    summary = bench.run()
+    if args.full:
+        from .runner import render_full_disclosure
+
+        print(render_full_disclosure(summary.result))
+    else:
+        print(summary.report())
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .dsdgen import build_database
+    from .runner import audit_database
+
+    db, _ = build_database(args.scale, seed=args.seed)
+    findings = audit_database(db, scale_factor=args.scale, deep=not args.fast)
+    if not findings:
+        print("audit passed: no findings")
+        return 0
+    for finding in findings:
+        print(finding)
+    return 1
+
+
+def _cmd_schema(args: argparse.Namespace) -> int:
+    ours = schema_statistics()
+    print(f"{'statistic':34s} {'ours':>10s} {'paper':>10s}")
+    for (label, value), (_, paper) in zip(ours.as_rows(), PAPER_TABLE_1.as_rows()):
+        print(f"{label:34s} {value!s:>10s} {paper!s:>10s}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    model = ScalingModel(args.scale, strict=args.strict)
+    for table, rows in sorted(model.table_rows().items()):
+        print(f"{table:24s} {rows:>15,}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="tpcds-py",
+        description="Pure-Python reproduction of TPC-DS (VLDB 2006).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("dsdgen", help="generate flat files")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=19620718)
+    p.add_argument("--strict", action="store_true")
+    p.add_argument("--output", default="tpcds_data")
+    p.set_defaults(func=_cmd_dsdgen)
+
+    p = sub.add_parser("dsqgen", help="generate queries")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=19620718)
+    p.add_argument("--template", type=int, default=None)
+    p.add_argument("--stream", type=int, default=0)
+    p.set_defaults(func=_cmd_dsqgen)
+
+    p = sub.add_parser("run", help="run the full benchmark")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--streams", type=int, default=None)
+    p.add_argument("--seed", type=int, default=19620718)
+    p.add_argument("--no-aux", action="store_true")
+    p.add_argument("--strict", action="store_true")
+    p.add_argument("--full", action="store_true",
+                   help="long-form full-disclosure report")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("audit", help="generate, load and audit a database")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=19620718)
+    p.add_argument("--fast", action="store_true", help="skip the FK scan")
+    p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser("schema", help="Table 1 schema statistics")
+    p.set_defaults(func=_cmd_schema)
+
+    p = sub.add_parser("scaling", help="Table 2 row counts")
+    p.add_argument("--scale", type=float, default=100)
+    p.add_argument("--strict", action="store_true")
+    p.set_defaults(func=_cmd_scaling)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""The benchmark's primary contribution: spec constants + facade."""
+
+from . import spec
+from .benchmark import Benchmark, RunSummary
+
+__all__ = ["Benchmark", "RunSummary", "spec"]

@@ -1,0 +1,103 @@
+"""The one-call public API.
+
+    from repro import Benchmark
+
+    bench = Benchmark(scale_factor=0.01)
+    result = bench.run()
+    print(result.report())
+
+``Benchmark`` wraps the load/QR1/DM/QR2 sequence; after ``run()`` the
+loaded database stays available on ``bench.database`` for interactive
+queries, and ``bench.query(sql)`` executes ad-hoc SQL against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine import Database, OptimizerSettings, Result
+from ..qgen import GeneratedQuery
+from ..runner import BenchmarkConfig, BenchmarkResult, BenchmarkRun, render_report
+from ..runner.execution import run_benchmark
+
+
+@dataclass
+class RunSummary:
+    """A thin, stable wrapper around the runner's result object."""
+
+    result: BenchmarkResult
+
+    @property
+    def qphds(self) -> float:
+        return self.result.qphds
+
+    @property
+    def price_performance(self) -> float:
+        return self.result.price_performance
+
+    @property
+    def total_queries(self) -> int:
+        return self.result.total_queries
+
+    def report(self) -> str:
+        return render_report(self.result)
+
+
+class Benchmark:
+    """High-level facade over the complete TPC-DS reproduction."""
+
+    def __init__(
+        self,
+        scale_factor: float = 0.01,
+        streams: Optional[int] = None,
+        seed: int = 19620718,
+        use_aux_structures: bool = True,
+        strict: bool = False,
+        optimizer: Optional[OptimizerSettings] = None,
+    ):
+        self.config = BenchmarkConfig(
+            scale_factor=scale_factor,
+            streams=streams,
+            seed=seed,
+            use_aux_structures=use_aux_structures,
+            strict=strict,
+            optimizer=optimizer or OptimizerSettings(),
+        )
+        self._run: Optional[BenchmarkRun] = None
+        self._summary: Optional[RunSummary] = None
+
+    def run(self) -> RunSummary:
+        result, run = run_benchmark(self.config)
+        self._run = run
+        self._summary = RunSummary(result)
+        return self._summary
+
+    # -- post-run access -----------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        if self._run is None or self._run.db is None:
+            raise RuntimeError("run() or load() must complete first")
+        return self._run.db
+
+    def load(self) -> Database:
+        """Run only the load test (build + load + aux + stats)."""
+        run = BenchmarkRun(self.config)
+        run.load_test()
+        self._run = run
+        return run.db
+
+    def query(self, sql: str) -> Result:
+        return self.database.execute(sql)
+
+    def generate_query(self, template_id: int, stream: int = 0) -> GeneratedQuery:
+        if self._run is None or self._run.qgen is None:
+            raise RuntimeError("run() or load() must complete first")
+        return self._run.qgen.generate(template_id, stream)
+
+    @property
+    def summary(self) -> RunSummary:
+        if self._summary is None:
+            raise RuntimeError("run() must complete first")
+        return self._summary

@@ -1,0 +1,53 @@
+"""Benchmark specification constants — the numbers the paper states.
+
+Collected in one place so tests and benches compare against the source
+of truth rather than scattering magic numbers.
+"""
+
+from __future__ import annotations
+
+from ..dsdgen.scaling import OFFICIAL_SCALE_FACTORS, minimum_streams
+
+#: the workload size (§1: "99 distinct SQL 99 queries")
+NUM_QUERIES = 99
+
+#: data maintenance operations (§1: "12 data maintenance operations")
+NUM_DM_OPERATIONS = 12
+
+#: table population (§2.2, Table 1)
+NUM_FACT_TABLES = 7
+NUM_DIMENSION_TABLES = 17
+NUM_TABLES = NUM_FACT_TABLES + NUM_DIMENSION_TABLES
+AVG_COLUMNS_PER_TABLE = 18
+NUM_FOREIGN_KEYS = 104
+
+#: Figure 12 verbatim
+MINIMUM_STREAMS_TABLE = {
+    100: 3,
+    300: 5,
+    1000: 7,
+    3000: 9,
+    10000: 11,
+    30000: 13,
+    100000: 15,
+}
+
+#: §5.3 worked examples: (scale factor, streams, total queries)
+METRIC_EXAMPLES = (
+    (1000, 7, 1386),   # "a 1000 scale factor ... executes 1386 (198 * 7)"
+    (100000, 15, 2970),  # "2970 (198 * 15)" (the paper's own arithmetic)
+)
+
+__all__ = [
+    "NUM_QUERIES",
+    "NUM_DM_OPERATIONS",
+    "NUM_FACT_TABLES",
+    "NUM_DIMENSION_TABLES",
+    "NUM_TABLES",
+    "AVG_COLUMNS_PER_TABLE",
+    "NUM_FOREIGN_KEYS",
+    "MINIMUM_STREAMS_TABLE",
+    "METRIC_EXAMPLES",
+    "OFFICIAL_SCALE_FACTORS",
+    "minimum_streams",
+]

@@ -1,0 +1,33 @@
+"""dsdgen — the TPC-DS data generator (pure Python reproduction)."""
+
+from .context import GeneratorContext
+from .distributions import SalesDateDistribution, gaussian_sales_pdf
+from .generator import DsdGen, GeneratedData, build_database, load_from_flat_files, load_tables
+from .hierarchies import ItemHierarchy
+from .rng import RandomStream, RandomStreamFactory
+from .scaling import (
+    OFFICIAL_SCALE_FACTORS,
+    ROW_COUNT_ANCHORS,
+    ScaleFactorError,
+    ScalingModel,
+    minimum_streams,
+)
+
+__all__ = [
+    "DsdGen",
+    "GeneratedData",
+    "GeneratorContext",
+    "build_database",
+    "load_tables",
+    "load_from_flat_files",
+    "ScalingModel",
+    "ScaleFactorError",
+    "OFFICIAL_SCALE_FACTORS",
+    "ROW_COUNT_ANCHORS",
+    "minimum_streams",
+    "SalesDateDistribution",
+    "gaussian_sales_pdf",
+    "ItemHierarchy",
+    "RandomStream",
+    "RandomStreamFactory",
+]

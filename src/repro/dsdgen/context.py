@@ -1,0 +1,129 @@
+"""Shared state for the table generators.
+
+The :class:`GeneratorContext` binds together the scaling model, the
+per-column random streams, the business calendar, the item hierarchy
+and the surrogate-key pools that fact generators sample foreign keys
+from. One context generates one consistent database.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from ..engine.types import date_to_epoch_days
+from .distributions import SalesDateDistribution
+from .hierarchies import ItemHierarchy
+from .rng import RandomStream, RandomStreamFactory
+from .scaling import ScalingModel
+
+#: dsdgen's traditional julian-style base for date surrogate keys
+DATE_SK_BASE = 2_415_022
+
+#: the business window sales transactions fall into
+SALES_START = _dt.date(1998, 1, 1)
+SALES_YEARS = 5
+
+
+@dataclass
+class Calendar:
+    """The date_dim window and the sales sub-window."""
+
+    start: _dt.date
+    num_days: int
+
+    @property
+    def end(self) -> _dt.date:
+        return self.start + _dt.timedelta(days=self.num_days - 1)
+
+    def date_at(self, offset: int) -> _dt.date:
+        return self.start + _dt.timedelta(days=offset)
+
+    def sk_at(self, offset: int) -> int:
+        return DATE_SK_BASE + offset
+
+    def offset_of(self, value: _dt.date) -> int:
+        return (value - self.start).days
+
+    def sk_of_date(self, value: _dt.date) -> int:
+        return self.sk_at(self.offset_of(value))
+
+    def epoch_days_at(self, offset: int) -> int:
+        return date_to_epoch_days(self.date_at(offset))
+
+    @property
+    def sales_years(self) -> list[int]:
+        last = min(self.end.year, SALES_START.year + SALES_YEARS - 1)
+        return list(range(SALES_START.year, last + 1)) or [self.start.year]
+
+
+class GeneratorContext:
+    """Shared state binding scaling, RNG streams, calendar, hierarchy and key pools for one consistent database."""
+    def __init__(self, scale_factor: float, seed: int = 19620718, strict: bool = False):
+        self.scaling = ScalingModel(scale_factor, strict=strict)
+        self.streams = RandomStreamFactory(seed)
+        self.seed = seed
+        self.hierarchy = ItemHierarchy()
+        self.sales_dates = SalesDateDistribution()
+        num_days = self.scaling.rows("date_dim")
+        if self.scaling.is_model_scale:
+            start = SALES_START
+        else:
+            start = _dt.date(1900, 1, 2)
+        self.calendar = Calendar(start, num_days)
+        #: surrogate-key pool sizes, filled as dimensions are generated:
+        #: table -> max surrogate key (keys are 1..max)
+        self.key_pools: dict[str, int] = {}
+
+    def rows(self, table: str) -> int:
+        return self.scaling.rows(table)
+
+    def stream(self, *name: str) -> RandomStream:
+        return self.streams.stream(*name)
+
+    def register_keys(self, table: str, count: int) -> None:
+        self.key_pools[table] = count
+
+    def sample_fk(self, table: str, rng: RandomStream, null_fraction: float = 0.0):
+        """A uniform surrogate key into ``table``, occasionally NULL."""
+        size = self.key_pools.get(table)
+        if not size:
+            return None
+        if null_fraction > 0 and rng.uniform() < null_fraction:
+            return None
+        return rng.uniform_int(1, size)
+
+    def random_date_sk(self, rng: RandomStream, null_fraction: float = 0.0):
+        """A uniform date surrogate key within the calendar (date sks are
+        DATE_SK_BASE-offset, not 1..N, so they cannot come from
+        :meth:`sample_fk`)."""
+        if null_fraction > 0 and rng.uniform() < null_fraction:
+            return None
+        return self.calendar.sk_at(rng.uniform_int(0, self.calendar.num_days - 1))
+
+    def clamp_date_sk(self, sk: int) -> int:
+        """Clamp a derived date key (return/ship dates computed as
+        offsets from a sale date) to the calendar."""
+        return min(sk, self.calendar.sk_at(self.calendar.num_days - 1))
+
+    # -- sales-date machinery (comparability zones) --------------------------
+
+    def sample_sales_date_offset(self, rng: RandomStream) -> int:
+        """An offset into the calendar drawn from the zoned weekly
+        distribution of Figure 2, uniform within the chosen week."""
+        years = self.calendar.sales_years
+        year = years[rng.uniform_int(0, len(years) - 1)]
+        week = self.sales_dates.sample_week(rng)
+        day_in_week = rng.uniform_int(0, 6)
+        day_of_year = min((week - 1) * 7 + day_in_week, 364)
+        value = _dt.date(year, 1, 1) + _dt.timedelta(days=day_of_year)
+        if value > self.calendar.end:
+            value = self.calendar.end
+        return self.calendar.offset_of(value)
+
+    def sales_date_sk(self, rng: RandomStream) -> int:
+        return self.calendar.sk_at(self.sample_sales_date_offset(rng))
+
+    def business_key(self, prefix: str, entity: int) -> str:
+        """A 16-character business key, dsdgen style."""
+        return f"{prefix}{entity:0{16 - len(prefix)}d}"

@@ -1,0 +1,608 @@
+"""Dimension-table generators.
+
+Each ``gen_<table>`` produces row tuples in schema column order and
+registers the table's surrogate-key pool on the context so fact
+generators can sample foreign keys. History-keeping dimensions (item,
+store, call_center, web_page, web_site) are generated *with SCD
+history already present* — up to 3 revisions per business key with
+``rec_start_date`` / ``rec_end_date`` ranges — because §3.3.2 requires
+the initial population to contain the effects of previous maintenance.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable, Optional
+
+from ..engine.types import date_to_epoch_days
+from . import distributions as D
+from .context import GeneratorContext
+from .rng import RandomStream
+
+#: share of SCD entities with 1, 2, 3 revisions
+_REVISION_WEIGHTS = ((1, 50), (2, 30), (3, 20))
+
+
+def _flag(rng: RandomStream, p_true: float = 0.5) -> str:
+    return "Y" if rng.uniform() < p_true else "N"
+
+
+def _weighted(rng: RandomStream, pairs):
+    values, cumulative = D.cumulative_weights(pairs)
+    return values[rng.weighted_index(cumulative)]
+
+
+def scd_plan(ctx: GeneratorContext, table: str, total_rows: int):
+    """Assign revisions to entities until the row budget is met.
+
+    Yields ``(entity, revision_index, revision_count, start_days,
+    end_days_or_None)`` where the day values are epoch days. Revisions
+    partition the sales window; the current revision has an open end.
+    """
+    rng = ctx.stream(table, "scd")
+    window_start = date_to_epoch_days(ctx.calendar.start)
+    window_end = date_to_epoch_days(ctx.calendar.end)
+    produced = 0
+    entity = 0
+    while produced < total_rows:
+        entity += 1
+        revisions = _weighted(rng, _REVISION_WEIGHTS)
+        revisions = min(revisions, total_rows - produced)
+        cuts = sorted(
+            rng.uniform_int(window_start + 1, window_end - 1)
+            for _ in range(revisions - 1)
+        )
+        bounds = [window_start] + cuts + [None]
+        for rev in range(revisions):
+            start = bounds[rev]
+            end = bounds[rev + 1]
+            yield entity, rev, revisions, start, end
+        produced += revisions
+
+
+# ---------------------------------------------------------------------------
+# static dimensions
+# ---------------------------------------------------------------------------
+
+
+def gen_date_dim(ctx: GeneratorContext) -> list[tuple]:
+    """The calendar dimension (static, one row per day)."""
+    rows = []
+    n = ctx.rows("date_dim")
+    day_names = ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+                 "Saturday", "Sunday"]
+    today = _dt.date(2003, 1, 8)  # the spec's frozen "current date"
+    for offset in range(n):
+        d = ctx.calendar.date_at(offset)
+        sk = ctx.calendar.sk_at(offset)
+        dow = d.weekday()
+        quarter = (d.month - 1) // 3 + 1
+        first_dom = ctx.calendar.sk_of_date(d.replace(day=1))
+        next_month = (d.replace(day=28) + _dt.timedelta(days=4)).replace(day=1)
+        last_dom_date = next_month - _dt.timedelta(days=1)
+        rows.append((
+            sk,
+            ctx.business_key("AAAA", sk),
+            date_to_epoch_days(d),
+            (d.year - 1900) * 12 + d.month - 1,
+            (date_to_epoch_days(d) + 3) // 7,
+            (d.year - 1900) * 4 + quarter - 1,
+            d.year,
+            dow,
+            d.month,
+            d.day,
+            quarter,
+            d.year,
+            (d.year - 1900) * 4 + quarter - 1,
+            (date_to_epoch_days(d) + 3) // 7,
+            day_names[dow],
+            f"{d.year}Q{quarter}",
+            "Y" if (d.month, d.day) in ((1, 1), (7, 4), (12, 25)) else "N",
+            "Y" if dow >= 5 else "N",
+            "Y" if (d.month, d.day) in ((1, 2), (7, 5), (12, 26)) else "N",
+            first_dom,
+            ctx.calendar.sk_of_date(last_dom_date)
+            if last_dom_date <= ctx.calendar.end
+            else ctx.calendar.sk_at(n - 1),
+            sk - 365,
+            sk - 91,
+            "Y" if d == today else "N",
+            "N",
+            "Y" if (d.year, d.month) == (today.year, today.month) else "N",
+            "Y" if (d.year, quarter) == (today.year, (today.month - 1) // 3 + 1) else "N",
+            "Y" if d.year == today.year else "N",
+        ))
+    ctx.register_keys("date_dim", n)
+    return rows
+
+
+def gen_time_dim(ctx: GeneratorContext) -> list[tuple]:
+    """The time-of-day dimension (static)."""
+    n = ctx.rows("time_dim")
+    step = max(1, 86_400 // n)
+    rows = []
+    for i in range(n):
+        seconds = i * step
+        hour = seconds // 3600
+        minute = (seconds % 3600) // 60
+        second = seconds % 60
+        shift = D.SHIFTS[hour // 8]
+        sub_shift = D.SUB_SHIFTS[min(hour // 6, 3)]
+        if 6 <= hour < 9:
+            meal = "breakfast"
+        elif 11 <= hour < 14:
+            meal = "lunch"
+        elif 17 <= hour < 21:
+            meal = "dinner"
+        else:
+            meal = None
+        rows.append((
+            i + 1,
+            ctx.business_key("AAAA", i + 1),
+            seconds,
+            hour,
+            minute,
+            second,
+            "AM" if hour < 12 else "PM",
+            shift,
+            sub_shift,
+            meal,
+        ))
+    ctx.register_keys("time_dim", n)
+    return rows
+
+
+def gen_reason(ctx: GeneratorContext) -> list[tuple]:
+    """Return-reason dimension (static)."""
+    n = ctx.rows("reason")
+    rows = []
+    for i in range(n):
+        desc = D.RETURN_REASONS[i % len(D.RETURN_REASONS)]
+        if i >= len(D.RETURN_REASONS):
+            desc = f"{desc} ({i // len(D.RETURN_REASONS)})"
+        rows.append((i + 1, ctx.business_key("AAAA", i + 1), desc))
+    ctx.register_keys("reason", n)
+    return rows
+
+
+def gen_ship_mode(ctx: GeneratorContext) -> list[tuple]:
+    """Ship-mode dimension (static)."""
+    n = ctx.rows("ship_mode")
+    rng = ctx.stream("ship_mode", "contract")
+    rows = []
+    for i in range(n):
+        rows.append((
+            i + 1,
+            ctx.business_key("AAAA", i + 1),
+            D.SHIP_MODE_TYPES[i % len(D.SHIP_MODE_TYPES)],
+            D.SHIP_MODE_CODES[(i // len(D.SHIP_MODE_TYPES)) % len(D.SHIP_MODE_CODES)],
+            D.SHIP_CARRIERS[i % len(D.SHIP_CARRIERS)],
+            "".join(chr(ord("A") + rng.uniform_int(0, 25)) for _ in range(10)),
+        ))
+    ctx.register_keys("ship_mode", n)
+    return rows
+
+
+def gen_income_band(ctx: GeneratorContext) -> list[tuple]:
+    """Income-band dimension: twenty 10k-wide bands (static)."""
+    n = ctx.rows("income_band")
+    rows = []
+    for i in range(n):
+        lower = i * 10_000 + 1 if i else 0
+        rows.append((i + 1, lower, (i + 1) * 10_000))
+    ctx.register_keys("income_band", n)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# demographic snowflake
+# ---------------------------------------------------------------------------
+
+
+def gen_customer_demographics(ctx: GeneratorContext) -> list[tuple]:
+    """The cdemo table is a cross product of its domains (that is why its
+    cardinality is fixed); at model scale we enumerate a prefix."""
+    n = ctx.rows("customer_demographics")
+    rows = []
+    sk = 0
+    estimates = list(range(500, 10_001, 500))
+    counts = list(range(0, 7))
+    done = False
+    while not done:
+        for gender in D.GENDERS:
+            for marital in D.MARITAL_STATUS:
+                for education in D.EDUCATION:
+                    for estimate in estimates:
+                        for credit in D.CREDIT_RATINGS:
+                            for dep in counts:
+                                sk += 1
+                                rows.append((
+                                    sk, gender, marital, education, estimate,
+                                    credit, dep, dep % 5, dep % 3,
+                                ))
+                                if sk >= n:
+                                    done = True
+                                if done:
+                                    break
+                            if done:
+                                break
+                        if done:
+                            break
+                    if done:
+                        break
+                if done:
+                    break
+            if done:
+                break
+        if sk == 0:
+            break
+    ctx.register_keys("customer_demographics", len(rows))
+    return rows
+
+
+def gen_household_demographics(ctx: GeneratorContext) -> list[tuple]:
+    """Household demographics, snowflaked onto income_band."""
+    n = ctx.rows("household_demographics")
+    bands = max(ctx.key_pools.get("income_band", 20), 1)
+    rows = []
+    for i in range(n):
+        rows.append((
+            i + 1,
+            (i % bands) + 1,
+            D.BUY_POTENTIAL[i % len(D.BUY_POTENTIAL)],
+            i % 10,
+            D.VEHICLE_COUNTS[i % len(D.VEHICLE_COUNTS)],
+        ))
+    ctx.register_keys("household_demographics", n)
+    return rows
+
+
+def _address_fields(ctx: GeneratorContext, rng: RandomStream, counties: list[str]):
+    street_number = str(rng.uniform_int(1, 999))
+    street_name = f"{rng.choice(D.STREET_NAMES)} {rng.choice(D.STREET_NAMES)}"
+    street_type = rng.choice(D.STREET_TYPES)
+    suite = f"Suite {rng.uniform_int(0, 99) * 10}"
+    city = rng.choice(D.CITIES)
+    county = rng.choice(counties)
+    state = _weighted(rng, D.STATES)
+    zip_code = f"{rng.uniform_int(10000, 99999):05d}"
+    country = D.COUNTRIES[0]
+    gmt = float(rng.uniform_int(-8, -5))
+    return (street_number, street_name, street_type, suite, city, county,
+            state, zip_code, country, gmt)
+
+
+def gen_customer_address(ctx: GeneratorContext) -> list[tuple]:
+    """Customer addresses with the scaled county domain (3.1)."""
+    n = ctx.rows("customer_address")
+    rng = ctx.stream("customer_address", "fields")
+    counties = D.county_domain(max(10, min(1800, n // 50)))
+    rows = []
+    for i in range(n):
+        fields = _address_fields(ctx, rng, counties)
+        rows.append((
+            i + 1,
+            ctx.business_key("AAAA", i + 1),
+            *fields,
+            rng.choice(["apartment", "condo", "single family"]),
+        ))
+    ctx.register_keys("customer_address", n)
+    return rows
+
+
+def gen_customer(ctx: GeneratorContext) -> list[tuple]:
+    """Customers with frequency-weighted real names (3.2)."""
+    n = ctx.rows("customer")
+    rng = ctx.stream("customer", "fields")
+    first_names, first_cum = D.cumulative_weights(D.FIRST_NAMES)
+    last_names, last_cum = D.cumulative_weights(D.LAST_NAMES)
+    date_pool = ctx.key_pools["date_dim"]
+    rows = []
+    for i in range(n):
+        first = first_names[rng.weighted_index(first_cum)]
+        last = last_names[rng.weighted_index(last_cum)]
+        birth_year = rng.uniform_int(1924, 1992)
+        first_sales = ctx.calendar.sk_at(rng.uniform_int(0, date_pool - 1))
+        rows.append((
+            i + 1,
+            ctx.business_key("AAAA", i + 1),
+            ctx.sample_fk("customer_demographics", rng, 0.02),
+            ctx.sample_fk("household_demographics", rng, 0.02),
+            ctx.sample_fk("customer_address", rng, 0.02),
+            ctx.clamp_date_sk(first_sales + rng.uniform_int(0, 30)),
+            first_sales,
+            rng.maybe_null(_weighted(rng, D.SALUTATIONS), 0.01),
+            rng.maybe_null(first, 0.01),
+            rng.maybe_null(last, 0.01),
+            _flag(rng, 0.5),
+            rng.uniform_int(1, 28),
+            rng.uniform_int(1, 12),
+            birth_year,
+            D.COUNTRIES[0],
+            None,
+            f"{first}.{last}.{i + 1}@example.com"[:50],
+            ctx.calendar.sk_at(rng.uniform_int(0, date_pool - 1)),
+        ))
+    ctx.register_keys("customer", n)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# history-keeping (type-2 SCD) dimensions
+# ---------------------------------------------------------------------------
+
+
+def gen_item(ctx: GeneratorContext) -> list[tuple]:
+    """Item dimension: hierarchy assignment + type-2 SCD history."""
+    n = ctx.rows("item")
+    rng = ctx.stream("item", "fields")
+    rows = []
+    sk = 0
+    for entity, rev, revisions, start, end in scd_plan(ctx, "item", n):
+        sk += 1
+        brand = ctx.hierarchy.sample_brand(rng)
+        wholesale = round(rng.uniform() * 99 + 1, 2)
+        current_price = round(wholesale * (1.0 + rng.uniform() * 1.5), 2)
+        rows.append((
+            sk,
+            ctx.business_key("AAAA", entity),
+            start,
+            end,
+            D.gaussian_words(rng, rng.uniform_int(5, 15)),
+            current_price,
+            wholesale,
+            brand.brand_id,
+            brand.name,
+            brand.class_id,
+            brand.class_name,
+            brand.category_id,
+            brand.category_name,
+            rng.uniform_int(1, 1000),
+            D.gaussian_words(rng, 1),
+            rng.choice(D.SIZES),
+            D.gaussian_words(rng, 2),
+            rng.choice(D.COLORS),
+            rng.choice(D.UNITS),
+            rng.choice(D.CONTAINERS),
+            rng.uniform_int(1, 100),
+            D.gaussian_words(rng, rng.uniform_int(2, 4)),
+        ))
+    ctx.register_keys("item", sk)
+    return rows
+
+
+def gen_store(ctx: GeneratorContext) -> list[tuple]:
+    """Store dimension (type-2 SCD) with scaled county domain."""
+    n = ctx.rows("store")
+    rng = ctx.stream("store", "fields")
+    counties = D.county_domain(max(5, min(1800, n)))
+    rows = []
+    sk = 0
+    for entity, rev, revisions, start, end in scd_plan(ctx, "store", n):
+        sk += 1
+        fields = _address_fields(ctx, rng, counties)
+        rows.append((
+            sk,
+            ctx.business_key("AAAA", entity),
+            start,
+            end,
+            ctx.random_date_sk(rng, 0.7),
+            rng.choice(["ought", "able", "pri", "ese", "anti", "cally", "ation", "eing", "n st", "bar"]),
+            rng.uniform_int(200, 300),
+            rng.uniform_int(5_000_000, 9_999_999),
+            "8AM-8PM" if rng.uniform() < 0.7 else "8AM-12AM",
+            f"{rng.choice([v for v, _ in D.FIRST_NAMES])} {rng.choice([v for v, _ in D.LAST_NAMES])}",
+            rng.uniform_int(1, 10),
+            "Unknown",
+            D.gaussian_words(rng, rng.uniform_int(5, 15)),
+            f"{rng.choice([v for v, _ in D.FIRST_NAMES])} {rng.choice([v for v, _ in D.LAST_NAMES])}",
+            rng.uniform_int(1, 6),
+            "Unknown",
+            rng.uniform_int(1, 6),
+            "Unknown",
+            *fields[:2],
+            fields[2],
+            fields[3],
+            fields[4],
+            fields[5],
+            fields[6],
+            fields[7],
+            fields[8],
+            fields[9],
+            round(rng.uniform() * 0.11, 2),
+        ))
+    ctx.register_keys("store", sk)
+    return rows
+
+
+def _center_rows(ctx: GeneratorContext, table: str, prefix_fields) -> list[tuple]:
+    """Shared shape for call_center and web_site (SCD + address block)."""
+    n = ctx.rows(table)
+    rng = ctx.stream(table, "fields")
+    counties = D.county_domain(30)
+    rows = []
+    sk = 0
+    for entity, rev, revisions, start, end in scd_plan(ctx, table, n):
+        sk += 1
+        rows.append(tuple(prefix_fields(sk, entity, start, end, rng, counties)))
+    ctx.register_keys(table, sk)
+    return rows
+
+
+def gen_call_center(ctx: GeneratorContext) -> list[tuple]:
+    """Call-center dimension (type-2 SCD, catalog channel)."""
+    def build(sk, entity, start, end, rng, counties):
+        fields = _address_fields(ctx, rng, counties)
+        manager = f"{rng.choice([v for v, _ in D.FIRST_NAMES])} {rng.choice([v for v, _ in D.LAST_NAMES])}"
+        return (
+            sk, ctx.business_key("AAAA", entity), start, end,
+            ctx.random_date_sk(rng, 0.9),
+            ctx.random_date_sk(rng),
+            f"{rng.choice(['NY Metro', 'Mid Atlantic', 'North Midwest', 'Pacific Northwest', 'California'])}",
+            rng.choice(["small", "medium", "large"]),
+            rng.uniform_int(100, 700),
+            rng.uniform_int(10_000, 30_000),
+            "8AM-8PM",
+            manager,
+            rng.uniform_int(1, 6),
+            D.gaussian_words(rng, 3),
+            D.gaussian_words(rng, rng.uniform_int(5, 15)),
+            manager,
+            rng.uniform_int(1, 6),
+            rng.choice(["pri", "cally", "able", "ought", "ese"]),
+            rng.uniform_int(1, 6),
+            rng.choice(["FAIRVIEW", "MIDWAY"]),
+            *fields[:2], fields[2], fields[3], fields[4], fields[5],
+            fields[6], fields[7], fields[8], fields[9],
+            round(rng.uniform() * 0.11, 2),
+        )
+
+    return _center_rows(ctx, "call_center", build)
+
+
+def gen_web_site(ctx: GeneratorContext) -> list[tuple]:
+    """Web-site dimension (type-2 SCD, web channel)."""
+    def build(sk, entity, start, end, rng, counties):
+        fields = _address_fields(ctx, rng, counties)
+        manager = f"{rng.choice([v for v, _ in D.FIRST_NAMES])} {rng.choice([v for v, _ in D.LAST_NAMES])}"
+        return (
+            sk, ctx.business_key("AAAA", entity), start, end,
+            f"site_{entity}",
+            ctx.random_date_sk(rng),
+            ctx.random_date_sk(rng, 0.9),
+            rng.choice(["Unknown", "mail", "general", "premium"]),
+            manager,
+            rng.uniform_int(1, 6),
+            D.gaussian_words(rng, 3),
+            D.gaussian_words(rng, rng.uniform_int(5, 15)),
+            manager,
+            rng.uniform_int(1, 6),
+            rng.choice(["pri", "cally", "able", "ought", "ese"]),
+            *fields[:2], fields[2], fields[3], fields[4], fields[5],
+            fields[6], fields[7], fields[8], fields[9],
+            round(rng.uniform() * 0.11, 2),
+        )
+
+    return _center_rows(ctx, "web_site", build)
+
+
+def gen_web_page(ctx: GeneratorContext) -> list[tuple]:
+    """Web-page dimension (type-2 SCD, web channel)."""
+    n = ctx.rows("web_page")
+    rng = ctx.stream("web_page", "fields")
+    rows = []
+    sk = 0
+    for entity, rev, revisions, start, end in scd_plan(ctx, "web_page", n):
+        sk += 1
+        rows.append((
+            sk,
+            ctx.business_key("AAAA", entity),
+            start,
+            end,
+            ctx.random_date_sk(rng),
+            ctx.random_date_sk(rng),
+            _flag(rng, 0.3),
+            ctx.sample_fk("customer", rng, 0.8),
+            "http://www.foo.com",
+            rng.choice(["ad", "bio", "feedback", "general", "order", "protected", "welcome", "dynamic"]),
+            rng.uniform_int(100, 8_000),
+            rng.uniform_int(2, 25),
+            rng.uniform_int(1, 7),
+            rng.uniform_int(0, 4),
+        ))
+    ctx.register_keys("web_page", sk)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# remaining non-history dimensions
+# ---------------------------------------------------------------------------
+
+
+def gen_warehouse(ctx: GeneratorContext) -> list[tuple]:
+    """Warehouse dimension, shared by catalog and web."""
+    n = ctx.rows("warehouse")
+    rng = ctx.stream("warehouse", "fields")
+    counties = D.county_domain(30)
+    rows = []
+    for i in range(n):
+        fields = _address_fields(ctx, rng, counties)
+        rows.append((
+            i + 1,
+            ctx.business_key("AAAA", i + 1),
+            D.gaussian_words(rng, 2)[:20],
+            rng.uniform_int(50_000, 1_000_000),
+            *fields,
+        ))
+    ctx.register_keys("warehouse", n)
+    return rows
+
+
+def gen_catalog_page(ctx: GeneratorContext) -> list[tuple]:
+    """Catalog-page dimension (reporting channel)."""
+    n = ctx.rows("catalog_page")
+    rng = ctx.stream("catalog_page", "fields")
+    pages_per_catalog = 100
+    rows = []
+    for i in range(n):
+        rows.append((
+            i + 1,
+            ctx.business_key("AAAA", i + 1),
+            ctx.random_date_sk(rng),
+            ctx.random_date_sk(rng),
+            "DEPARTMENT",
+            i // pages_per_catalog + 1,
+            i % pages_per_catalog + 1,
+            D.gaussian_words(rng, rng.uniform_int(4, 12)),
+            rng.choice(["bi-annual", "quarterly", "monthly"]),
+        ))
+    ctx.register_keys("catalog_page", n)
+    return rows
+
+
+def gen_promotion(ctx: GeneratorContext) -> list[tuple]:
+    """Promotion dimension with channel flags."""
+    n = ctx.rows("promotion")
+    rng = ctx.stream("promotion", "fields")
+    rows = []
+    for i in range(n):
+        start = ctx.random_date_sk(rng)
+        rows.append((
+            i + 1,
+            ctx.business_key("AAAA", i + 1),
+            start,
+            None if start is None else ctx.clamp_date_sk(start + rng.uniform_int(10, 60)),
+            ctx.sample_fk("item", rng),
+            float(rng.uniform_int(100, 1000)),
+            rng.uniform_int(1, 3),
+            f"promo_{i + 1}",
+            _flag(rng, 0.1), _flag(rng, 0.1), _flag(rng, 0.1), _flag(rng, 0.1),
+            _flag(rng, 0.1), _flag(rng, 0.1), _flag(rng, 0.1), _flag(rng, 0.1),
+            D.gaussian_words(rng, rng.uniform_int(3, 8)),
+            rng.choice(D.PROMO_PURPOSES),
+            _flag(rng, 0.5),
+        ))
+    ctx.register_keys("promotion", n)
+    return rows
+
+
+#: generation order respecting intra-dimension references
+DIMENSION_ORDER = [
+    ("date_dim", gen_date_dim),
+    ("time_dim", gen_time_dim),
+    ("reason", gen_reason),
+    ("ship_mode", gen_ship_mode),
+    ("income_band", gen_income_band),
+    ("customer_demographics", gen_customer_demographics),
+    ("household_demographics", gen_household_demographics),
+    ("customer_address", gen_customer_address),
+    ("customer", gen_customer),
+    ("item", gen_item),
+    ("store", gen_store),
+    ("call_center", gen_call_center),
+    ("web_site", gen_web_site),
+    ("web_page", gen_web_page),
+    ("warehouse", gen_warehouse),
+    ("catalog_page", gen_catalog_page),
+    ("promotion", gen_promotion),
+]

@@ -1,0 +1,334 @@
+"""Data domains and distributions (§3.2, Figures 2 and 3).
+
+TPC-DS populates most columns from *synthetic* distributions (uniform
+integers, Gaussian word picks) but synthesizes *real-world* data for a
+handful of crucial distributions, flattened into **comparability
+zones**: ranges of the domain within which every value is equally
+likely, so the query generator can substitute any value from a zone
+without changing the number of qualifying rows.
+
+The flagship example is the store-sales-by-week distribution of
+Figure 2. The paper calibrates it against the US census monthly retail
+series for department stores (2001) and defines three zones:
+
+* zone 1 — January–July (low likelihood),
+* zone 2 — August–October (medium),
+* zone 3 — November–December (high).
+
+``SalesDateDistribution`` reproduces that construction: the per-zone
+step heights are the census mass of the zone spread uniformly over its
+weeks, and ``sample_week`` draws with exactly those probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .rng import RandomStream
+
+# ---------------------------------------------------------------------------
+# Figure 2: census series and comparability zones
+# ---------------------------------------------------------------------------
+
+#: US Census Bureau, unadjusted monthly retail sales, department stores
+#: (excl. leased departments), 2001, in millions of dollars [12].
+CENSUS_DEPT_STORE_SALES_2001 = {
+    1: 12_775,
+    2: 13_245,
+    3: 16_106,
+    4: 15_951,
+    5: 16_628,
+    6: 15_979,
+    7: 15_208,
+    8: 17_458,
+    9: 14_960,
+    10: 16_151,
+    11: 19_079,
+    12: 28_541,
+}
+
+#: month -> comparability zone (1 = low, 2 = medium, 3 = high)
+MONTH_ZONE = {1: 1, 2: 1, 3: 1, 4: 1, 5: 1, 6: 1, 7: 1, 8: 2, 9: 2, 10: 2, 11: 3, 12: 3}
+
+#: first ISO-ish week of each month in the 52-week year used by the
+#: distribution (month m covers weeks _MONTH_WEEK0[m] .. _MONTH_WEEK0[m+1]-1)
+_MONTH_WEEK0 = {1: 1, 2: 5, 3: 9, 4: 14, 5: 18, 6: 22, 7: 27, 8: 31, 9: 36, 10: 40, 11: 44, 12: 48, 13: 53}
+
+WEEKS_PER_YEAR = 52
+
+
+def week_month(week: int) -> int:
+    """The calendar month a week (1-52) belongs to."""
+    if not 1 <= week <= WEEKS_PER_YEAR:
+        raise ValueError(f"week out of range: {week}")
+    for month in range(1, 13):
+        if _MONTH_WEEK0[month] <= week < _MONTH_WEEK0[month + 1]:
+            return month
+    return 12
+
+
+def week_zone(week: int) -> int:
+    """The comparability zone (1, 2, 3) of a sales week."""
+    return MONTH_ZONE[week_month(week)]
+
+
+@dataclass(frozen=True)
+class SalesDateDistribution:
+    """The zoned store-sales date distribution of Figure 2."""
+
+    @property
+    def zone_weeks(self) -> dict[int, list[int]]:
+        zones: dict[int, list[int]] = {1: [], 2: [], 3: []}
+        for week in range(1, WEEKS_PER_YEAR + 1):
+            zones[week_zone(week)].append(week)
+        return zones
+
+    def zone_mass(self) -> dict[int, float]:
+        """Fraction of annual sales mass in each zone, from the census."""
+        total = sum(CENSUS_DEPT_STORE_SALES_2001.values())
+        mass = {1: 0.0, 2: 0.0, 3: 0.0}
+        for month, sales in CENSUS_DEPT_STORE_SALES_2001.items():
+            mass[MONTH_ZONE[month]] += sales / total
+        return mass
+
+    def weekly_weights(self) -> list[float]:
+        """P(sale in week w) for w = 1..52 — the step function (square
+        markers) of Figure 2: uniform within each zone."""
+        mass = self.zone_mass()
+        zones = self.zone_weeks
+        weights = []
+        for week in range(1, WEEKS_PER_YEAR + 1):
+            zone = week_zone(week)
+            weights.append(mass[zone] / len(zones[zone]))
+        return weights
+
+    def census_weekly_weights(self) -> list[float]:
+        """P(sale in week w) following the raw census curve (the diamond
+        markers of Figure 2), for comparison."""
+        total = sum(CENSUS_DEPT_STORE_SALES_2001.values())
+        weights = []
+        for week in range(1, WEEKS_PER_YEAR + 1):
+            month = week_month(week)
+            weeks_in_month = len(
+                [w for w in range(1, WEEKS_PER_YEAR + 1) if week_month(w) == month]
+            )
+            weights.append(
+                CENSUS_DEPT_STORE_SALES_2001[month] / total / weeks_in_month
+            )
+        return weights
+
+    def sample_week(self, rng: RandomStream) -> int:
+        """Draw a sales week 1..52 from the zoned distribution."""
+        weights = self.weekly_weights()
+        cumulative = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cumulative.append(acc)
+        return rng.weighted_index(cumulative) + 1
+
+    def uniformity_within_zone(self) -> bool:
+        """Invariant: every week in a zone is equally likely."""
+        weights = self.weekly_weights()
+        for zone, weeks in self.zone_weeks.items():
+            values = {round(weights[w - 1], 12) for w in weeks}
+            if len(values) != 1:
+                return False
+        return True
+
+
+def gaussian_sales_pdf(x: float, mu: float = 200.0, sigma: float = 50.0) -> float:
+    """The synthetic sales distribution of Figure 3 (a Normal density,
+    the paper's example of a pure synthetic alternative)."""
+    return math.exp(-((x - mu) ** 2) / (2 * sigma**2)) / (sigma * math.sqrt(2 * math.pi))
+
+
+# ---------------------------------------------------------------------------
+# real-world word domains ("common data skews, such as ... frequent names")
+# ---------------------------------------------------------------------------
+
+#: (value, relative frequency) — loosely the US census frequency ranking
+FIRST_NAMES = [
+    ("James", 331), ("Mary", 338), ("John", 326), ("Patricia", 159),
+    ("Robert", 314), ("Jennifer", 146), ("Michael", 354), ("Linda", 172),
+    ("William", 246), ("Elizabeth", 94), ("David", 280), ("Barbara", 176),
+    ("Richard", 223), ("Susan", 113), ("Joseph", 148), ("Jessica", 105),
+    ("Thomas", 138), ("Sarah", 103), ("Charles", 123), ("Karen", 100),
+    ("Christopher", 120), ("Nancy", 97), ("Daniel", 118), ("Lisa", 96),
+    ("Matthew", 108), ("Margaret", 76), ("Anthony", 72), ("Betty", 66),
+    ("Mark", 81), ("Sandra", 63), ("Donald", 84), ("Ashley", 64),
+    ("Steven", 78), ("Dorothy", 61), ("Paul", 72), ("Kimberly", 62),
+    ("Andrew", 70), ("Emily", 60), ("Joshua", 60), ("Donna", 55),
+]
+
+LAST_NAMES = [
+    ("Smith", 2376), ("Johnson", 1857), ("Williams", 1534), ("Brown", 1380),
+    ("Jones", 1362), ("Garcia", 858), ("Miller", 1127), ("Davis", 1072),
+    ("Rodriguez", 804), ("Martinez", 775), ("Hernandez", 706), ("Lopez", 621),
+    ("Gonzalez", 597), ("Wilson", 783), ("Anderson", 762), ("Thomas", 710),
+    ("Taylor", 720), ("Moore", 698), ("Jackson", 666), ("Martin", 672),
+    ("Lee", 605), ("Perez", 488), ("Thompson", 644), ("White", 639),
+    ("Harris", 593), ("Sanchez", 441), ("Clark", 548), ("Ramirez", 388),
+    ("Lewis", 531), ("Robinson", 529), ("Walker", 501), ("Young", 465),
+    ("Allen", 442), ("King", 438), ("Wright", 440), ("Scott", 420),
+    ("Torres", 325), ("Nguyen", 310), ("Hill", 434), ("Flores", 318),
+]
+
+STATES = [
+    ("CA", 120), ("TX", 85), ("NY", 68), ("FL", 62), ("IL", 45), ("PA", 44),
+    ("OH", 41), ("MI", 36), ("GA", 30), ("NC", 29), ("NJ", 30), ("VA", 26),
+    ("WA", 22), ("MA", 23), ("IN", 22), ("AZ", 19), ("TN", 20), ("MO", 20),
+    ("MD", 19), ("WI", 19), ("MN", 18), ("CO", 16), ("AL", 16), ("SC", 14),
+    ("LA", 16), ("KY", 15), ("OR", 13), ("OK", 12), ("CT", 12), ("IA", 11),
+    ("MS", 10), ("AR", 10), ("KS", 10), ("UT", 8), ("NV", 7), ("NM", 7),
+    ("WV", 7), ("NE", 6), ("ID", 5), ("ME", 5), ("NH", 5), ("HI", 4),
+    ("RI", 4), ("MT", 3), ("DE", 3), ("SD", 3), ("ND", 3), ("AK", 2),
+    ("VT", 2), ("WY", 2),
+]
+
+#: the county domain holds roughly 1800 values nation-wide (§3.1); it is
+#: synthesized as "<seed name> County" and *scaled down* for small tables
+_COUNTY_SEEDS = [
+    "Williamson", "Walker", "Ziebach", "Fairfield", "Bronx", "Maverick",
+    "Mobile", "Huron", "Kittitas", "Mesa", "Dauphin", "Levy", "Barrow",
+    "Oglethorpe", "Pennington", "Sumner", "Jackson", "Daviess", "Morgan",
+    "Greene", "Franklin", "Perry", "Pulaski", "Macon", "Marion", "Union",
+    "Clay", "Pike", "Monroe", "Shelby",
+]
+
+CITIES = [
+    "Midway", "Fairview", "Oak Grove", "Five Points", "Oakland", "Riverside",
+    "Salem", "Georgetown", "Greenville", "Marion", "Centerville", "Springdale",
+    "Franklin", "Clinton", "Bridgeport", "Lakeside", "Union", "Wildwood",
+    "Liberty", "Glendale", "Lebanon", "Sulphur Springs", "Pleasant Grove",
+    "Mount Olive", "Shady Grove", "Highland Park", "Pine Grove", "Cedar Grove",
+    "Harmony", "Antioch", "Concord", "Friendship", "Crossroads", "Edgewood",
+    "Hamilton", "Ashland", "Belmont", "Bethel", "Brownsville", "Buena Vista",
+]
+
+COUNTRIES = ["United States"]
+
+STREET_NAMES = [
+    "Main", "Oak", "Park", "Elm", "Maple", "Cedar", "Pine", "Lake", "Hill",
+    "Walnut", "Spring", "North", "Ridge", "Church", "Willow", "Mill",
+    "Sunset", "Railroad", "Jackson", "West", "South", "Highland", "Forest",
+    "Center", "Washington", "College", "Green", "Lincoln", "Smith", "River",
+    "Meadow", "Broadway", "Locust", "Poplar", "Dogwood", "Franklin",
+    "Johnson", "Chestnut", "Sycamore", "Valley",
+]
+
+STREET_TYPES = [
+    "Street", "Avenue", "Boulevard", "Circle", "Court", "Drive", "Lane",
+    "Parkway", "Place", "Road", "Way",
+]
+
+SALUTATIONS = [("Mr.", 40), ("Mrs.", 25), ("Ms.", 20), ("Dr.", 10), ("Sir", 5)]
+
+EDUCATION = [
+    "Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree",
+    "Advanced Degree", "Unknown",
+]
+
+MARITAL_STATUS = ["M", "S", "D", "W", "U"]
+GENDERS = ["M", "F"]
+CREDIT_RATINGS = ["Low Risk", "Good", "High Risk", "Unknown"]
+BUY_POTENTIAL = ["0-500", "501-1000", "1001-5000", "5001-10000", ">10000", "Unknown"]
+
+VEHICLE_COUNTS = [-1, 0, 1, 2, 3, 4]
+
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium",
+]
+
+UNITS = [
+    "Unknown", "Each", "Dozen", "Case", "Pallet", "Gross", "Ton", "Oz",
+    "Lb", "Bunch", "Bundle", "Box", "Carton", "Cup", "Dram", "Gram", "Pound",
+    "Tbl", "Tsp", "N/A",
+]
+
+SIZES = ["petite", "small", "medium", "large", "extra large", "economy", "N/A"]
+
+CONTAINERS = ["Unknown", "Tub", "Tube", "Box", "Bag", "Pouch", "Wrap"]
+
+MEAL_TIMES = ["breakfast", "lunch", "dinner", ""]
+SHIFTS = ["first", "second", "third"]
+SUB_SHIFTS = ["morning", "afternoon", "evening", "night"]
+
+SHIP_MODE_TYPES = ["EXPRESS", "NEXT DAY", "OVERNIGHT", "REGULAR", "TWO DAY"]
+SHIP_MODE_CODES = ["AIR", "SURFACE", "SEA"]
+SHIP_CARRIERS = [
+    "UPS", "FEDEX", "AIRBORNE", "USPS", "DHL", "TBS", "ZHOU", "ZOUROS",
+    "MSC", "LATVIAN", "ALLIANCE", "BARIAN", "BOXBUNDLES", "CARGO", "DIAMOND",
+    "GERMA", "GREAT EASTERN", "HARMSTORF", "ORIENTAL", "RUPEKSA",
+]
+
+RETURN_REASONS = [
+    "Package was damaged", "Stopped working", "Did not fit",
+    "Found a better price in a store", "Not the product that was ordered",
+    "Parts missing", "Does not work with a product that I have",
+    "Gift exchange", "Did not like the color", "Did not like the model",
+    "Did not like the make", "Did not like the warranty", "No service location",
+    "Unauthorized purchase", "Duplicate purchase", "Lost my job",
+    "Wrong size", "Changed my mind", "Ordered too many", "Not working any more",
+]
+
+PROMO_PURPOSES = ["Unknown", "New Product", "Seasonal", "Clearance", "Holiday"]
+
+#: word pool for Gaussian word selection (item descriptions etc.)
+DESCRIPTION_WORDS = [
+    "able", "about", "above", "according", "across", "actually", "additional",
+    "adequate", "advanced", "against", "agricultural", "alone", "ancient",
+    "annual", "apparent", "appropriate", "available", "basic", "beautiful",
+    "big", "bright", "broad", "capable", "careful", "central", "certain",
+    "cheap", "chief", "civil", "clean", "clear", "close", "cold", "commercial",
+    "common", "complete", "complex", "considerable", "constant", "contemporary",
+    "content", "continuous", "conventional", "correct", "critical", "crucial",
+    "cultural", "current", "daily", "dark", "dear", "deep", "democratic",
+    "different", "difficult", "direct", "distinct", "domestic", "double",
+    "dramatic", "dry", "due", "early", "eastern", "easy", "economic",
+    "effective", "elderly", "electric", "electronic", "emotional", "empty",
+    "enormous", "entire", "environmental", "equal", "essential", "exact",
+]
+
+
+def cumulative_weights(pairs) -> tuple[list, list[float]]:
+    """Split (value, weight) pairs into values and a cumulative table for
+    :meth:`RandomStream.weighted_index`."""
+    values = [v for v, _ in pairs]
+    cumulative: list[float] = []
+    acc = 0.0
+    for _, w in pairs:
+        acc += w
+        cumulative.append(acc)
+    return values, cumulative
+
+
+def county_domain(size: int) -> list[str]:
+    """The scaled county domain (§3.1: the full domain holds ~1800 values
+    and must be scaled down for small tables such as store)."""
+    full = []
+    for i in range(1800):
+        seed = _COUNTY_SEEDS[i % len(_COUNTY_SEEDS)]
+        suffix = "" if i < len(_COUNTY_SEEDS) else f" {i // len(_COUNTY_SEEDS)}"
+        full.append(f"{seed}{suffix} County")
+    return full[: max(1, min(size, len(full)))]
+
+
+def gaussian_words(rng: RandomStream, count: int, mu_index: float | None = None) -> str:
+    """Gaussian word selection (§3.2: "word selections with a Gaussian
+    distribution"): indexes into the word pool cluster around the mean."""
+    n = len(DESCRIPTION_WORDS)
+    mu = mu_index if mu_index is not None else n / 2
+    words = []
+    for _ in range(count):
+        idx = int(round(rng.gaussian(mu, n / 6)))
+        idx = min(max(idx, 0), n - 1)
+        words.append(DESCRIPTION_WORDS[idx])
+    return " ".join(words)

@@ -1,0 +1,315 @@
+"""Fact-table generators.
+
+Sales facts are generated transaction-first: a basket (store ticket /
+catalog order / web order) draws a zoned sales date, a customer context
+and a set of items; every item line becomes one fact row ("each row in
+the sales fact table represents the purchase of one item", §3.1).
+Returns are derived from sales lines so the ticket/order + item
+fact-to-fact relationship the paper highlights (§2.2) actually joins.
+
+Pricing follows the dsdgen arithmetic chain: wholesale cost → list
+price (markup) → sales price (discount) → extended amounts → tax,
+coupon, net paid, net profit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import distributions as D
+from .context import GeneratorContext
+from .rng import RandomStream
+
+#: average basket size ~10.5 items (§3.1: "on average each shopping
+#: cart contains 10.5 items") — uniform 1..20
+_BASKET_MIN, _BASKET_MAX = 1, 20
+
+
+@dataclass
+class Pricing:
+    quantity: int
+    wholesale_cost: float
+    list_price: float
+    sales_price: float
+    ext_discount_amt: float
+    ext_sales_price: float
+    ext_wholesale_cost: float
+    ext_list_price: float
+    ext_tax: float
+    coupon_amt: float
+    net_paid: float
+    net_paid_inc_tax: float
+    net_profit: float
+
+
+def make_pricing(rng: RandomStream) -> Pricing:
+    """One fact line's pricing chain (dsdgen arithmetic)."""
+    quantity = rng.uniform_int(1, 100)
+    wholesale = round(1 + rng.uniform() * 99, 2)
+    list_price = round(wholesale * (1 + rng.uniform()), 2)
+    discount = round(rng.uniform() * 0.5, 2)
+    sales_price = round(list_price * (1 - discount), 2)
+    ext_list = round(list_price * quantity, 2)
+    ext_sales = round(sales_price * quantity, 2)
+    ext_wholesale = round(wholesale * quantity, 2)
+    ext_discount = round(ext_list - ext_sales, 2)
+    tax_rate = rng.uniform_int(0, 9) / 100.0
+    coupon = round(ext_sales * rng.uniform() * 0.1, 2) if rng.uniform() < 0.2 else 0.0
+    net_paid = round(ext_sales - coupon, 2)
+    ext_tax = round(net_paid * tax_rate, 2)
+    return Pricing(
+        quantity=quantity,
+        wholesale_cost=wholesale,
+        list_price=list_price,
+        sales_price=sales_price,
+        ext_discount_amt=ext_discount,
+        ext_sales_price=ext_sales,
+        ext_wholesale_cost=ext_wholesale,
+        ext_list_price=ext_list,
+        ext_tax=ext_tax,
+        coupon_amt=coupon,
+        net_paid=net_paid,
+        net_paid_inc_tax=round(net_paid + ext_tax, 2),
+        net_profit=round(net_paid - ext_wholesale, 2),
+    )
+
+
+def _return_pricing(rng: RandomStream, sold: Pricing) -> dict:
+    quantity = rng.uniform_int(1, sold.quantity)
+    fraction = quantity / sold.quantity
+    amount = round(sold.net_paid * fraction, 2)
+    tax = round(sold.ext_tax * fraction, 2)
+    fee = round(1 + rng.uniform() * 99, 2)
+    ship = round(sold.ext_wholesale_cost * fraction * 0.5, 2)
+    refunded = round(amount * rng.uniform(), 2)
+    reversed_charge = round(amount - refunded, 2)
+    return {
+        "quantity": quantity,
+        "amount": amount,
+        "tax": tax,
+        "amount_inc_tax": round(amount + tax, 2),
+        "fee": fee,
+        "ship": ship,
+        "refunded": refunded,
+        "reversed": reversed_charge,
+        "credit": 0.0,
+        "net_loss": round(ship + fee + tax + reversed_charge * 0.1, 2),
+    }
+
+
+def _distinct_item(ctx: GeneratorContext, rng: RandomStream, taken: set[int]) -> int:
+    """An item key not yet in this basket — order lines are distinct per
+    (ticket/order, item), which the sales-to-returns join relies on."""
+    pool = max(ctx.key_pools.get("item", 1), 1)
+    item = ctx.sample_fk("item", rng)
+    while item in taken and len(taken) < pool:
+        item = item % pool + 1  # linear probe; pool >> basket size
+    taken.add(item)
+    return item
+
+
+def gen_store_sales(ctx: GeneratorContext) -> tuple[list[tuple], list[tuple]]:
+    """Returns (store_sales rows, store_returns rows)."""
+    target_sales = ctx.rows("store_sales")
+    target_returns = ctx.rows("store_returns")
+    return_prob = min(1.0, target_returns / max(target_sales, 1))
+    rng = ctx.stream("store_sales", "body")
+    sales: list[tuple] = []
+    returns: list[tuple] = []
+    ticket = 0
+    while len(sales) < target_sales:
+        ticket += 1
+        date_sk = ctx.sales_date_sk(rng)
+        time_sk = ctx.sample_fk("time_dim", rng, 0.02)
+        customer = ctx.sample_fk("customer", rng, 0.03)
+        cdemo = ctx.sample_fk("customer_demographics", rng, 0.03)
+        hdemo = ctx.sample_fk("household_demographics", rng, 0.03)
+        addr = ctx.sample_fk("customer_address", rng, 0.03)
+        store = ctx.sample_fk("store", rng, 0.02)
+        basket = rng.uniform_int(_BASKET_MIN, _BASKET_MAX)
+        basket_items: set[int] = set()
+        for _ in range(basket):
+            if len(sales) >= target_sales:
+                break
+            item = _distinct_item(ctx, rng, basket_items)
+            promo = ctx.sample_fk("promotion", rng, 0.3)
+            p = make_pricing(rng)
+            sales.append((
+                date_sk, time_sk, item, customer, cdemo, hdemo, addr, store,
+                promo, ticket, p.quantity, p.wholesale_cost, p.list_price,
+                p.sales_price, p.ext_discount_amt, p.ext_sales_price,
+                p.ext_wholesale_cost, p.ext_list_price, p.ext_tax,
+                p.coupon_amt, p.net_paid, p.net_paid_inc_tax, p.net_profit,
+            ))
+            if len(returns) < target_returns and rng.uniform() < return_prob:
+                r = _return_pricing(rng, p)
+                returns.append((
+                    ctx.clamp_date_sk(date_sk + rng.uniform_int(1, 90)),
+                    ctx.sample_fk("time_dim", rng, 0.02),
+                    item, customer, cdemo, hdemo, addr, store,
+                    ctx.sample_fk("reason", rng),
+                    ticket,
+                    r["quantity"], r["amount"], r["tax"], r["amount_inc_tax"],
+                    r["fee"], r["ship"], r["refunded"], r["reversed"],
+                    r["credit"], r["net_loss"],
+                ))
+    return sales, returns
+
+
+def _catalog_like_sales(
+    ctx: GeneratorContext,
+    rng: RandomStream,
+    target_sales: int,
+    target_returns: int,
+    channel: str,
+) -> tuple[list[tuple], list[tuple]]:
+    """Shared body for catalog_sales and web_sales (they differ only in
+    the channel-specific FK block)."""
+    return_prob = min(1.0, target_returns / max(target_sales, 1))
+    sales: list[tuple] = []
+    returns: list[tuple] = []
+    order = 0
+    while len(sales) < target_sales:
+        order += 1
+        date_sk = ctx.sales_date_sk(rng)
+        time_sk = ctx.sample_fk("time_dim", rng, 0.02)
+        bill_customer = ctx.sample_fk("customer", rng, 0.02)
+        bill_cdemo = ctx.sample_fk("customer_demographics", rng, 0.02)
+        bill_hdemo = ctx.sample_fk("household_demographics", rng, 0.02)
+        bill_addr = ctx.sample_fk("customer_address", rng, 0.02)
+        # ~85% of orders ship to the billing customer
+        if rng.uniform() < 0.85 and bill_customer is not None:
+            ship = (bill_customer, bill_cdemo, bill_hdemo, bill_addr)
+        else:
+            ship = (
+                ctx.sample_fk("customer", rng, 0.02),
+                ctx.sample_fk("customer_demographics", rng, 0.02),
+                ctx.sample_fk("household_demographics", rng, 0.02),
+                ctx.sample_fk("customer_address", rng, 0.02),
+            )
+        if channel == "catalog":
+            channel_fks = (
+                ctx.sample_fk("call_center", rng, 0.02),
+                ctx.sample_fk("catalog_page", rng, 0.02),
+            )
+        else:
+            channel_fks = (
+                ctx.sample_fk("web_page", rng, 0.02),
+                ctx.sample_fk("web_site", rng, 0.02),
+            )
+        ship_mode = ctx.sample_fk("ship_mode", rng, 0.02)
+        warehouse = ctx.sample_fk("warehouse", rng, 0.02)
+        basket = rng.uniform_int(_BASKET_MIN, _BASKET_MAX)
+        basket_items: set[int] = set()
+        for _ in range(basket):
+            if len(sales) >= target_sales:
+                break
+            item = _distinct_item(ctx, rng, basket_items)
+            promo = ctx.sample_fk("promotion", rng, 0.3)
+            ship_date = ctx.clamp_date_sk(date_sk + rng.uniform_int(2, 120))
+            p = make_pricing(rng)
+            ship_cost = round(p.ext_wholesale_cost * rng.uniform() * 0.5, 2)
+            if channel == "catalog":
+                row = (
+                    date_sk, time_sk, ship_date,
+                    bill_customer, bill_cdemo, bill_hdemo, bill_addr,
+                    *ship, *channel_fks, ship_mode, warehouse, item, promo,
+                    order, p.quantity, p.wholesale_cost, p.list_price,
+                    p.sales_price, p.ext_discount_amt, p.ext_sales_price,
+                    p.ext_wholesale_cost, p.ext_list_price, p.ext_tax,
+                    p.coupon_amt, ship_cost, p.net_paid, p.net_paid_inc_tax,
+                    round(p.net_paid + ship_cost, 2),
+                    round(p.net_paid_inc_tax + ship_cost, 2),
+                    p.net_profit,
+                )
+            else:
+                row = (
+                    date_sk, time_sk, ship_date, item,
+                    bill_customer, bill_cdemo, bill_hdemo, bill_addr,
+                    *ship, *channel_fks, ship_mode, warehouse, promo,
+                    order, p.quantity, p.wholesale_cost, p.list_price,
+                    p.sales_price, p.ext_discount_amt, p.ext_sales_price,
+                    p.ext_wholesale_cost, p.ext_list_price, p.ext_tax,
+                    p.coupon_amt, ship_cost, p.net_paid, p.net_paid_inc_tax,
+                    round(p.net_paid + ship_cost, 2),
+                    round(p.net_paid_inc_tax + ship_cost, 2),
+                    p.net_profit,
+                )
+            sales.append(row)
+            if len(returns) < target_returns and rng.uniform() < return_prob:
+                r = _return_pricing(rng, p)
+                if channel == "catalog":
+                    returns.append((
+                        ctx.clamp_date_sk(date_sk + rng.uniform_int(1, 90)),
+                        ctx.sample_fk("time_dim", rng, 0.02),
+                        item,
+                        bill_customer, bill_cdemo, bill_hdemo, bill_addr,
+                        *ship, *channel_fks, ship_mode, warehouse,
+                        ctx.sample_fk("reason", rng),
+                        order,
+                        r["quantity"], r["amount"], r["tax"],
+                        r["amount_inc_tax"], r["fee"], r["ship"],
+                        r["refunded"], r["reversed"], r["credit"],
+                        r["net_loss"],
+                    ))
+                else:
+                    returns.append((
+                        ctx.clamp_date_sk(date_sk + rng.uniform_int(1, 90)),
+                        ctx.sample_fk("time_dim", rng, 0.02),
+                        item,
+                        bill_customer, bill_cdemo, bill_hdemo, bill_addr,
+                        *ship, channel_fks[0],
+                        ctx.sample_fk("reason", rng),
+                        order,
+                        r["quantity"], r["amount"], r["tax"],
+                        r["amount_inc_tax"], r["fee"], r["ship"],
+                        r["refunded"], r["reversed"], r["credit"],
+                        r["net_loss"],
+                    ))
+    return sales, returns
+
+
+def gen_catalog_sales(ctx: GeneratorContext) -> tuple[list[tuple], list[tuple]]:
+    """Catalog channel: (catalog_sales rows, catalog_returns rows)."""
+    return _catalog_like_sales(
+        ctx,
+        ctx.stream("catalog_sales", "body"),
+        ctx.rows("catalog_sales"),
+        ctx.rows("catalog_returns"),
+        "catalog",
+    )
+
+
+def gen_web_sales(ctx: GeneratorContext) -> tuple[list[tuple], list[tuple]]:
+    """Web channel: (web_sales rows, web_returns rows)."""
+    return _catalog_like_sales(
+        ctx,
+        ctx.stream("web_sales", "body"),
+        ctx.rows("web_sales"),
+        ctx.rows("web_returns"),
+        "web",
+    )
+
+
+def gen_inventory(ctx: GeneratorContext) -> list[tuple]:
+    """Weekly warehouse inventory snapshots (shared by the catalog and
+    web channels). Snapshot weeks × an item stride × warehouses fill the
+    row budget."""
+    target = ctx.rows("inventory")
+    rng = ctx.stream("inventory", "body")
+    n_items = max(ctx.key_pools.get("item", 1), 1)
+    n_wh = max(ctx.key_pools.get("warehouse", 1), 1)
+    n_days = ctx.rows("date_dim")
+    n_weeks = max(1, min(n_days // 7, 52))
+    per_week = max(1, target // (n_weeks * n_wh))
+    stride = max(1, n_items // per_week)
+    rows: list[tuple] = []
+    for week in range(n_weeks):
+        date_sk = ctx.calendar.sk_at(min(week * 7, n_days - 1))
+        for item in range(1, n_items + 1, stride):
+            for wh in range(1, n_wh + 1):
+                if len(rows) >= target:
+                    return rows
+                quantity = rng.maybe_null(rng.uniform_int(0, 1000), 0.02)
+                rows.append((date_sk, item, wh, quantity))
+    return rows

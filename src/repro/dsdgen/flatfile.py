@@ -1,0 +1,119 @@
+"""Flat-file output and loading.
+
+dsdgen emits one ``<table>.dat`` per table: pipe-delimited fields with
+a trailing pipe, empty field for NULL, ISO dates. The data-maintenance
+workload's "extraction step is assumed and represented in the form of
+generated flat files" (§4.2), so the same writer serves the refresh
+sets. ``measured_row_statistics`` computes the actual flat-file row
+lengths behind Table 1's byte columns.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..engine.types import Kind, TableSchema, format_date, parse_date
+
+
+def format_field(value, kind: Kind) -> str:
+    """Render one value as a flat-file field (empty string = NULL)."""
+    if value is None:
+        return ""
+    if kind is Kind.DATE:
+        return format_date(int(value))
+    if kind is Kind.FLOAT:
+        return f"{value:.2f}"
+    return str(value)
+
+
+def parse_field(text: str, kind: Kind):
+    """Parse one flat-file field back to a typed value."""
+    if text == "":
+        return None
+    if kind is Kind.INT:
+        return int(text)
+    if kind is Kind.FLOAT:
+        return float(text)
+    if kind is Kind.DATE:
+        return parse_date(text)
+    if kind is Kind.BOOL:
+        return text in ("1", "Y", "true", "True")
+    return text
+
+
+def format_row(row: Sequence, schema: TableSchema) -> str:
+    """Render a row as a pipe-delimited line with trailing pipe."""
+    return "|".join(
+        format_field(value, column.kind)
+        for value, column in zip(row, schema.columns)
+    ) + "|"
+
+
+def parse_row(line: str, schema: TableSchema) -> list:
+    """Parse one flat-file line against a table schema."""
+    parts = line.rstrip("\n").split("|")
+    if parts and parts[-1] == "":
+        parts = parts[:-1]
+    if len(parts) != len(schema.columns):
+        raise ValueError(
+            f"{schema.name}: expected {len(schema.columns)} fields, got {len(parts)}"
+        )
+    return [parse_field(p, c.kind) for p, c in zip(parts, schema.columns)]
+
+
+def write_flat_file(path: str, rows: Iterable[Sequence], schema: TableSchema) -> int:
+    """Write rows to ``path``; returns the number of bytes written."""
+    total = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            line = format_row(row, schema) + "\n"
+            handle.write(line)
+            total += len(line.encode("utf-8"))
+    return total
+
+
+def read_flat_file(path: str, schema: TableSchema) -> list[list]:
+    """Load a .dat file into typed row lists."""
+    rows = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                rows.append(parse_row(line, schema))
+    return rows
+
+
+@dataclass(frozen=True)
+class RowLengthStats:
+    """Per-schema flat-file row-length aggregates (Table 1's byte rows)."""
+
+    min_bytes: int
+    max_bytes: int
+    avg_bytes: float
+
+
+def measured_row_statistics(tables: dict[str, list], schemas: dict[str, TableSchema]) -> RowLengthStats:
+    """Row-length statistics over the *average* flat-file row of each
+    table, matching the paper's footnote ("raw size of flat files as
+    created by the data generator")."""
+    per_table_avg: list[float] = []
+    for name, rows in tables.items():
+        schema = schemas[name]
+        if not rows:
+            continue
+        sample = rows if len(rows) <= 2000 else rows[:: max(1, len(rows) // 2000)]
+        sizes = [len(format_row(r, schema)) + 1 for r in sample]
+        per_table_avg.append(sum(sizes) / len(sizes))
+    if not per_table_avg:
+        return RowLengthStats(0, 0, 0.0)
+    return RowLengthStats(
+        min_bytes=round(min(per_table_avg)),
+        max_bytes=round(max(per_table_avg)),
+        avg_bytes=sum(per_table_avg) / len(per_table_avg),
+    )
+
+
+def dat_path(directory: str, table: str) -> str:
+    """The <directory>/<table>.dat path convention."""
+    return os.path.join(directory, f"{table}.dat")

@@ -1,0 +1,101 @@
+"""The dsdgen orchestrator.
+
+``DsdGen(scale_factor).generate()`` produces every table (dimensions in
+dependency order, then facts), deterministically for a given seed.
+``build_database`` loads the result into a fresh engine
+:class:`Database`, which is what the benchmark runner's *load test*
+times (§5.2: create tables, load data, create auxiliary structures,
+gather statistics).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..engine import Database
+from ..schema import ALL_TABLES
+from .context import GeneratorContext
+from .dimensions import DIMENSION_ORDER
+from .facts import gen_catalog_sales, gen_inventory, gen_store_sales, gen_web_sales
+from .flatfile import dat_path, read_flat_file, write_flat_file
+
+
+@dataclass
+class GeneratedData:
+    """All generated rows plus the context that produced them."""
+
+    context: GeneratorContext
+    tables: dict[str, list[tuple]] = field(default_factory=dict)
+
+    @property
+    def row_counts(self) -> dict[str, int]:
+        return {name: len(rows) for name, rows in self.tables.items()}
+
+    def write_flat_files(self, directory: str) -> dict[str, int]:
+        """Write every table as <name>.dat; returns bytes per table."""
+        os.makedirs(directory, exist_ok=True)
+        sizes = {}
+        for name, rows in self.tables.items():
+            sizes[name] = write_flat_file(
+                dat_path(directory, name), rows, ALL_TABLES[name]
+            )
+        return sizes
+
+
+class DsdGen:
+    """The data generator, configured for one scale factor and seed."""
+
+    def __init__(self, scale_factor: float, seed: int = 19620718, strict: bool = False):
+        self.context = GeneratorContext(scale_factor, seed=seed, strict=strict)
+
+    def generate(self) -> GeneratedData:
+        data = GeneratedData(self.context)
+        for name, generator in DIMENSION_ORDER:
+            data.tables[name] = generator(self.context)
+        sales, returns = gen_store_sales(self.context)
+        data.tables["store_sales"] = sales
+        data.tables["store_returns"] = returns
+        sales, returns = gen_catalog_sales(self.context)
+        data.tables["catalog_sales"] = sales
+        data.tables["catalog_returns"] = returns
+        sales, returns = gen_web_sales(self.context)
+        data.tables["web_sales"] = sales
+        data.tables["web_returns"] = returns
+        data.tables["inventory"] = gen_inventory(self.context)
+        return data
+
+
+def load_tables(db: Database, data: GeneratedData) -> None:
+    """Create every schema table and load the generated rows."""
+    for name, schema in ALL_TABLES.items():
+        if not db.catalog.has_table(name):
+            db.create_table(schema)
+        db.table(name).append_rows(data.tables.get(name, []))
+
+
+def load_from_flat_files(db: Database, directory: str) -> None:
+    """Create the schema tables and load them from .dat files."""
+    for name, schema in ALL_TABLES.items():
+        if not db.catalog.has_table(name):
+            db.create_table(schema)
+        path = dat_path(directory, name)
+        if os.path.exists(path):
+            db.table(name).append_rows(read_flat_file(path, schema))
+
+
+def build_database(
+    scale_factor: float,
+    seed: int = 19620718,
+    data: Optional[GeneratedData] = None,
+    gather_stats: bool = True,
+) -> tuple[Database, GeneratedData]:
+    """Generate (or reuse) data and load it into a fresh database."""
+    if data is None:
+        data = DsdGen(scale_factor, seed=seed).generate()
+    db = Database()
+    load_tables(db, data)
+    if gather_stats:
+        db.gather_stats()
+    return db, data

@@ -1,0 +1,114 @@
+"""The item merchandise hierarchy (§3.3.1, Figure 5).
+
+TPC-DS hierarchies are strict single-inheritance trees: every brand
+belongs to exactly one class, every class to exactly one category.
+``ItemHierarchy`` materializes the category → class → brand tree with
+set cardinalities per level and provides the deterministic assignment
+used by the item dimension generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .rng import RandomStream
+
+#: category -> classes (the classic TPC-DS merchandise hierarchy)
+CATEGORY_CLASSES: dict[str, list[str]] = {
+    "Books": ["arts", "business", "computers", "cooking", "entertainments",
+              "fiction", "history", "home repair", "mystery", "parenting",
+              "reference", "romance", "science", "self-help", "sports",
+              "travel"],
+    "Children": ["infants", "newborn", "school-uniforms", "toddlers"],
+    "Electronics": ["audio", "automotive", "cameras", "camcorders", "dvd/vcr players",
+                    "karoke", "memory", "monitors", "musical", "personal",
+                    "portable", "scanners", "stereo", "televisions", "wireless"],
+    "Home": ["accent", "bathroom", "bedding", "blinds/shades", "curtains/drapes",
+             "decor", "flatware", "furniture", "glassware", "kids", "lighting",
+             "mattresses", "paint", "rugs", "tables", "wallpaper"],
+    "Jewelry": ["birdal", "costume", "custom", "diamonds", "earings", "estate",
+                "gold", "jewelry boxes", "loose stones", "mens watch", "pendants",
+                "rings", "semi-precious", "womens watch"],
+    "Men": ["accessories", "pants", "shirts", "sports-apparel"],
+    "Music": ["classical", "country", "pop", "rock"],
+    "Shoes": ["athletic", "kids", "mens", "womens"],
+    "Sports": ["archery", "athletic shoes", "baseball", "basketball", "camping",
+               "fishing", "fitness", "football", "golf", "guns", "hockey",
+               "optics", "outdoor", "pools", "sailing", "tennis"],
+    "Women": ["dresses", "fragrances", "maternity", "swimwear"],
+}
+
+#: brand-name prefixes combined per class to synthesize brand names
+_BRAND_MAKERS = [
+    "amalg", "edu pack", "exporti", "import", "scholar", "brand", "corp",
+    "univ", "name", "max",
+]
+
+BRANDS_PER_CLASS = 10
+
+
+@dataclass(frozen=True)
+class Brand:
+    brand_id: int
+    name: str
+    class_id: int
+    class_name: str
+    category_id: int
+    category_name: str
+
+
+class ItemHierarchy:
+    """The materialized category → class → brand tree."""
+
+    def __init__(self, brands_per_class: int = BRANDS_PER_CLASS):
+        self.categories = list(CATEGORY_CLASSES)
+        self.brands: list[Brand] = []
+        self._by_class: dict[int, list[Brand]] = {}
+        class_id = 0
+        for cat_id, category in enumerate(self.categories, start=1):
+            for class_name in CATEGORY_CLASSES[category]:
+                class_id += 1
+                members = []
+                for b in range(1, brands_per_class + 1):
+                    maker = _BRAND_MAKERS[(b - 1) % len(_BRAND_MAKERS)]
+                    brand = Brand(
+                        brand_id=class_id * 1000 + b,
+                        name=f"{maker} #{class_id}",
+                        class_id=class_id,
+                        class_name=class_name,
+                        category_id=cat_id,
+                        category_name=category,
+                    )
+                    members.append(brand)
+                    self.brands.append(brand)
+                self._by_class[class_id] = members
+
+    @property
+    def num_categories(self) -> int:
+        return len(self.categories)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._by_class)
+
+    @property
+    def num_brands(self) -> int:
+        return len(self.brands)
+
+    def sample_brand(self, rng: RandomStream) -> Brand:
+        return rng.choice(self.brands)
+
+    def verify_single_inheritance(self) -> bool:
+        """Every brand maps to exactly one class, every class to exactly
+        one category (the Figure 5 invariant)."""
+        class_to_category: dict[int, int] = {}
+        brand_to_class: dict[int, int] = {}
+        for brand in self.brands:
+            if brand_to_class.setdefault(brand.brand_id, brand.class_id) != brand.class_id:
+                return False
+            if (
+                class_to_category.setdefault(brand.class_id, brand.category_id)
+                != brand.category_id
+            ):
+                return False
+        return True

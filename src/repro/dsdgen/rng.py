@@ -1,0 +1,128 @@
+"""Deterministic per-stream random number generation.
+
+dsdgen assigns every table column its own random stream so that adding
+a column or table never perturbs the data of another — and so the query
+generator can reproduce the exact domain a column was drawn from. We
+reproduce that design: a :class:`RandomStream` is a 64-bit congruential
+generator seeded from ``(benchmark seed, stream name)`` via a
+SplitMix64-style mixer, giving independent, reproducible streams.
+
+Streams are cheap value types: creating ``RandomStreamFactory(seed)``
+and asking it for the ``("store_sales", "ss_quantity")`` stream always
+yields the same sequence, regardless of generation order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_MASK64 = (1 << 64) - 1
+
+# Knuth's MMIX multiplier — a full-period 64-bit LCG
+_MULT = 6364136223846793005
+_INC = 1442695040888963407
+
+
+def _splitmix64(x: int) -> int:
+    """One step of SplitMix64; used to derive stream seeds."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def stream_seed(base_seed: int, name: str) -> int:
+    """Mix a base seed with a stream name into a 64-bit stream seed."""
+    h = base_seed & _MASK64
+    for ch in name:
+        h = _splitmix64(h ^ ord(ch))
+    return h or 1
+
+
+class RandomStream:
+    """A deterministic uniform generator with convenience draws."""
+
+    def __init__(self, seed: int):
+        self._state = seed & _MASK64 or 1
+
+    def next_raw(self) -> int:
+        """Advance the LCG and return 64 raw bits."""
+        self._state = (self._state * _MULT + _INC) & _MASK64
+        return self._state
+
+    def uniform(self) -> float:
+        """A float in [0, 1) with 53 bits of precision."""
+        return (self.next_raw() >> 11) / float(1 << 53)
+
+    def uniform_int(self, low: int, high: int) -> int:
+        """An integer in the inclusive range [low, high]."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        return low + self.next_raw() % span
+
+    def gaussian(self, mu: float = 0.0, sigma: float = 1.0) -> float:
+        """Box–Muller transform (one value per call, second discarded to
+        keep the stream position deterministic per draw count)."""
+        import math
+
+        u1 = max(self.uniform(), 1e-12)
+        u2 = self.uniform()
+        z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        return mu + sigma * z
+
+    def choice(self, items: Sequence):
+        return items[self.uniform_int(0, len(items) - 1)]
+
+    def weighted_index(self, cumulative: Sequence[float]) -> int:
+        """Index into a cumulative-weight table (last entry must be the
+        total weight)."""
+        x = self.uniform() * cumulative[-1]
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def sample_without_replacement(self, population: int, k: int) -> list[int]:
+        """k distinct integers from range(population)."""
+        if k > population:
+            raise ValueError("sample larger than population")
+        chosen: set[int] = set()
+        while len(chosen) < k:
+            chosen.add(self.uniform_int(0, population - 1))
+        return sorted(chosen)
+
+    def maybe_null(self, value, null_fraction: float):
+        """Replace ``value`` with None at the given rate (dsdgen columns
+        carry explicit null fractions)."""
+        if null_fraction > 0 and self.uniform() < null_fraction:
+            return None
+        return value
+
+
+class RandomStreamFactory:
+    """Creates named, independent streams from one benchmark seed."""
+
+    def __init__(self, base_seed: int = 19620718):
+        # default seed: dsdgen's traditional build date seed
+        self.base_seed = base_seed
+        self._streams: dict[str, RandomStream] = {}
+
+    def stream(self, *name_parts: str) -> RandomStream:
+        """The stream for a dotted name; repeated calls CONTINUE the same
+        stream (matching dsdgen, where a column's stream advances as rows
+        are generated)."""
+        name = ".".join(name_parts)
+        if name not in self._streams:
+            self._streams[name] = RandomStream(stream_seed(self.base_seed, name))
+        return self._streams[name]
+
+    def fresh(self, *name_parts: str) -> RandomStream:
+        """A stream reset to its initial position (for reproducing a
+        column's domain independently of generation progress)."""
+        return RandomStream(stream_seed(self.base_seed, ".".join(name_parts)))

@@ -1,0 +1,218 @@
+"""The TPC-DS scaling model (§3.1, Table 2).
+
+Two regimes:
+
+* **fact tables scale linearly** with the scale factor (each scale
+  factor is the raw data size in GB);
+* **dimensions scale sub-linearly**, anchored at the published row
+  counts for the official scale factors and interpolated with a
+  power law (log-log straight line) in between.
+
+``ROW_COUNT_ANCHORS`` pins the official scale factors; the values for
+store_sales, store_returns, store, customer and item are the paper's
+Table 2 verbatim, the rest follow the public TPC-DS draft. ``rows()``
+therefore reproduces Table 2 exactly by construction and degrades
+smoothly for the fractional *model* scale factors (sf < 1) we use to
+run the benchmark at laptop size; static in-memory caps keep the fixed
+dimensions (date_dim, time_dim, customer_demographics) proportionate
+in model mode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: official TPC-DS scale factors (GB of raw data); anything else is only
+#: legal as a "model" scale factor with strict=False
+OFFICIAL_SCALE_FACTORS = (100, 300, 1000, 3000, 10000, 30000, 100000)
+
+_K = 1_000
+_M = 1_000_000
+_B = 1_000_000_000
+
+#: rows at the anchor scale factors 100 / 1000 / 10000 / 100000
+ROW_COUNT_ANCHORS: dict[str, tuple[int, int, int, int]] = {
+    # paper Table 2, verbatim
+    "store_sales": (288 * _M, 2_900 * _M, 30 * _B, 297 * _B),
+    "store_returns": (14 * _M, 147 * _M, 1_500 * _M, 15 * _B),
+    "store": (200, 500, 750, 1_500),
+    "customer": (2 * _M, 8 * _M, 20 * _M, 100 * _M),
+    "item": (200 * _K, 300 * _K, 400 * _K, 500 * _K),
+    # remaining tables, following the public draft's proportions
+    "catalog_sales": (144 * _M, 1_440 * _M, 14_400 * _M, 144 * _B),
+    "catalog_returns": (14 * _M, 144 * _M, 1_440 * _M, 14_400 * _M),
+    "web_sales": (72 * _M, 720 * _M, 7_200 * _M, 72 * _B),
+    "web_returns": (7 * _M, 72 * _M, 720 * _M, 7_200 * _M),
+    "inventory": (399 * _M, 783 * _M, 1_311 * _M, 1_627 * _M),
+    "customer_address": (1 * _M, 4 * _M, 10 * _M, 50 * _M),
+    "customer_demographics": (1_920_800, 1_920_800, 1_920_800, 1_920_800),
+    "household_demographics": (7_200, 7_200, 7_200, 7_200),
+    "income_band": (20, 20, 20, 20),
+    "date_dim": (73_049, 73_049, 73_049, 73_049),
+    "time_dim": (86_400, 86_400, 86_400, 86_400),
+    "reason": (55, 65, 70, 75),
+    "ship_mode": (20, 20, 20, 20),
+    "call_center": (30, 42, 54, 60),
+    "catalog_page": (20_400, 30_000, 40_000, 50_000),
+    "web_site": (24, 54, 78, 96),
+    "web_page": (2_040, 3_000, 4_002, 5_004),
+    "warehouse": (15, 20, 25, 30),
+    "promotion": (1_000, 1_500, 2_000, 2_500),
+}
+
+_ANCHOR_SFS = (100, 1_000, 10_000, 100_000)
+
+FACT_TABLE_NAMES = frozenset(
+    {
+        "store_sales",
+        "store_returns",
+        "catalog_sales",
+        "catalog_returns",
+        "web_sales",
+        "web_returns",
+        "inventory",
+    }
+)
+
+#: tables whose cardinality never depends on the scale factor
+FIXED_TABLES = frozenset(
+    {
+        "customer_demographics",
+        "household_demographics",
+        "income_band",
+        "date_dim",
+        "time_dim",
+        "ship_mode",
+    }
+)
+
+#: caps applied in model mode (sf < 1) so fixed-size dimensions stay
+#: proportionate to the shrunken facts
+_MODEL_CAPS = {
+    "date_dim": 1_827,  # 5 calendar years
+    "time_dim": 1_440,  # minute granularity instead of seconds
+    "customer_demographics": 1_920,
+    "household_demographics": 720,
+    # the item power law decays slowly; uncapped it would exceed the model
+    # fact tables, so model runs bound it (documented deviation)
+    "item": 5_000,
+    "catalog_page": 2_000,
+}
+
+
+class ScaleFactorError(ValueError):
+    """Raised for scale factors outside the specification in strict mode."""
+
+
+@dataclass(frozen=True)
+class ScalingModel:
+    """Row-count model for one scale factor.
+
+    ``strict=True`` enforces the specification's discrete scale factors
+    ("benchmark publications using other scale factors are not valid");
+    ``strict=False`` additionally admits fractional model scale factors
+    for laptop-size runs.
+    """
+
+    scale_factor: float
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scale_factor <= 0:
+            raise ScaleFactorError(f"scale factor must be positive: {self.scale_factor}")
+        if self.strict and self.scale_factor not in OFFICIAL_SCALE_FACTORS:
+            raise ScaleFactorError(
+                f"scale factor {self.scale_factor} is not one of the official "
+                f"TPC-DS scale factors {OFFICIAL_SCALE_FACTORS}"
+            )
+
+    @property
+    def is_model_scale(self) -> bool:
+        return self.scale_factor < OFFICIAL_SCALE_FACTORS[0]
+
+    def rows(self, table: str) -> int:
+        """Row count for ``table`` at this scale factor."""
+        anchors = ROW_COUNT_ANCHORS.get(table)
+        if anchors is None:
+            raise KeyError(f"no scaling anchors for table {table!r}")
+        sf = self.scale_factor
+        if table == "inventory" and self.is_model_scale:
+            # inventory's shallow power law would dwarf the model facts;
+            # model runs scale it linearly from the 100 GB anchor
+            return max(1, round(anchors[0] * sf / 100.0))
+        if table in FACT_TABLE_NAMES and table != "inventory":
+            # facts are linear in SF; the 100 GB anchor defines rows/GB,
+            # but published anchor values win exactly at anchor points
+            exact = self._exact_anchor(table, sf)
+            if exact is not None:
+                return exact
+            return max(1, round(anchors[0] * sf / 100.0))
+        exact = self._exact_anchor(table, sf)
+        if exact is not None:
+            return exact
+        rows = self._power_law(anchors, sf)
+        if self.is_model_scale:
+            cap = _MODEL_CAPS.get(table)
+            if cap is not None:
+                rows = min(rows, cap)
+            if table in ("date_dim",):
+                rows = max(rows, 366)
+            rows = max(rows, 1)
+        if table in FIXED_TABLES and not self.is_model_scale:
+            rows = anchors[0]
+        return int(rows)
+
+    @staticmethod
+    def _exact_anchor(table: str, sf: float):
+        anchors = ROW_COUNT_ANCHORS[table]
+        if sf in _ANCHOR_SFS:
+            return anchors[_ANCHOR_SFS.index(sf)]
+        return None
+
+    @staticmethod
+    def _power_law(anchors: tuple[int, int, int, int], sf: float) -> int:
+        """Log-log interpolation through the anchor points (clamped to the
+        end segments outside [100, 100000])."""
+        xs = _ANCHOR_SFS
+        ys = anchors
+        if ys[0] == ys[-1]:
+            return ys[0]
+        # find the surrounding segment
+        if sf <= xs[0]:
+            i = 0
+        elif sf >= xs[-1]:
+            i = len(xs) - 2
+        else:
+            i = max(j for j in range(len(xs) - 1) if xs[j] <= sf)
+        x0, x1 = xs[i], xs[i + 1]
+        y0, y1 = ys[i], ys[i + 1]
+        if y0 == y1:
+            return y0
+        alpha = math.log(y1 / y0) / math.log(x1 / x0)
+        value = y0 * (sf / x0) ** alpha
+        return max(1, round(value))
+
+    def table_rows(self) -> dict[str, int]:
+        """Row counts for every table at this scale factor."""
+        return {name: self.rows(name) for name in ROW_COUNT_ANCHORS}
+
+    def raw_data_gb(self) -> float:
+        """The nominal raw data size this scale factor represents."""
+        return float(self.scale_factor)
+
+
+def minimum_streams(scale_factor: float) -> int:
+    """Figure 12: the minimum number of concurrent query streams.
+
+    The mapping is 100→3, 300→5, 1000→7, 3000→9, 10000→11, 30000→13,
+    100000→15; model scale factors below 100 use the smallest value.
+    """
+    table = {100: 3, 300: 5, 1000: 7, 3000: 9, 10000: 11, 30000: 13, 100000: 15}
+    if scale_factor in table:
+        return table[scale_factor]
+    if scale_factor < 100:
+        return 3
+    # between official points, the requirement of the next lower point applies
+    eligible = [sf for sf in table if sf <= scale_factor]
+    return table[max(eligible)]

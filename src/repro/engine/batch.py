@@ -1,0 +1,102 @@
+"""Batches: the runtime unit flowing between physical operators.
+
+A :class:`Batch` is an ordered mapping of column name to :class:`Vector`.
+Column names follow the convention documented in :mod:`repro.engine.plan`:
+``binding.column`` for scanned columns and bare aliases for computed ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .errors import PlanningError
+from .vector import Vector
+
+
+class Batch:
+    """An ordered set of equal-length named vectors."""
+
+    def __init__(self, columns: dict[str, Vector] | None = None):
+        self.columns: dict[str, Vector] = dict(columns or {})
+        lengths = {len(v) for v in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged batch: lengths {sorted(lengths)}")
+
+    @property
+    def num_rows(self) -> int:
+        for v in self.columns.values():
+            return len(v)
+        return 0
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.columns)
+
+    def add(self, name: str, vector: Vector) -> None:
+        if self.columns and len(vector) != self.num_rows:
+            raise ValueError("vector length mismatch on add")
+        self.columns[name] = vector
+
+    def resolve_name(self, name: str, table: Optional[str] = None) -> str:
+        """Resolve a possibly-unqualified column reference to a batch key.
+
+        Qualified refs (``table.name``) must match exactly. Unqualified
+        refs match a bare key first, then a unique ``*.name`` suffix.
+        """
+        if table is not None:
+            key = f"{table}.{name}"
+            if key in self.columns:
+                return key
+            raise PlanningError(f"unknown column {key!r}")
+        if name in self.columns:
+            return name
+        suffix = "." + name
+        matches = [k for k in self.columns if k.endswith(suffix)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise PlanningError(f"unknown column {name!r}")
+        raise PlanningError(f"ambiguous column {name!r}: {sorted(matches)}")
+
+    def has_column(self, name: str, table: Optional[str] = None) -> bool:
+        try:
+            self.resolve_name(name, table)
+            return True
+        except PlanningError:
+            return False
+
+    def column(self, name: str, table: Optional[str] = None) -> Vector:
+        return self.columns[self.resolve_name(name, table)]
+
+    def take(self, indices: np.ndarray) -> "Batch":
+        return Batch({k: v.take(indices) for k, v in self.columns.items()})
+
+    def filter(self, mask: np.ndarray) -> "Batch":
+        return Batch({k: v.filter(mask) for k, v in self.columns.items()})
+
+    def head(self, limit: int, offset: int = 0) -> "Batch":
+        idx = np.arange(offset, min(self.num_rows, offset + limit))
+        return self.take(idx)
+
+    def rows(self) -> list[tuple]:
+        """Materialize as Python row tuples (column order preserved)."""
+        cols = [v.to_list() for v in self.columns.values()]
+        return list(zip(*cols)) if cols else []
+
+    @staticmethod
+    def concat(parts: Iterable["Batch"]) -> "Batch":
+        parts = [p for p in parts]
+        if not parts:
+            raise ValueError("concat of zero batches")
+        names = parts[0].names
+        for p in parts[1:]:
+            if p.names != names:
+                raise ValueError("batch schema mismatch in concat")
+        return Batch(
+            {n: Vector.concat([p.columns[n] for p in parts]) for n in names}
+        )
+
+    def renamed(self, mapping: dict[str, str]) -> "Batch":
+        return Batch({mapping.get(k, k): v for k, v in self.columns.items()})

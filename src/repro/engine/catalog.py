@@ -1,0 +1,157 @@
+"""The database catalog: tables, indexes, statistics, materialized views.
+
+The catalog is the hub every other engine component binds against. It
+also enforces the TPC-DS auxiliary-structure rule when asked to
+(`restrict_aux_on` — the benchmark sets this to the ad-hoc channel's
+fact tables, making complex auxiliary structures on them illegal,
+mirroring Clause 2.6 of the specification as described in §2.1/§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .errors import CatalogError
+from .indexes import BitmapIndex, HashIndex, SortedIndex
+from .stats import TableStats, gather_statistics
+from .storage import Table
+from .types import TableSchema
+
+_INDEX_TYPES = {"hash": HashIndex, "sorted": SortedIndex, "bitmap": BitmapIndex}
+
+#: index flavors considered "basic" (allowed everywhere); bitmap indexes and
+#: materialized views are "complex" auxiliary structures restricted to the
+#: reporting part of the schema when a restriction is installed
+_BASIC_INDEX_TYPES = {"hash", "sorted"}
+
+
+class Catalog:
+    """Tables, statistics, indexes and materialized views, plus the aux-structure policy."""
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, TableStats] = {}
+        self._indexes: dict[tuple[str, str, str], object] = {}
+        self._matviews: dict[str, object] = {}
+        #: when set, complex aux structures are ILLEGAL on these tables
+        #: (the benchmark lists the ad-hoc channel's fact tables here;
+        #: shared dimensions remain eligible because the channel split
+        #: divides fact tables, not dimensions)
+        self.restrict_aux_on: Optional[set[str]] = None
+
+    # -- tables ---------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise CatalogError(f"table {schema.name} already exists")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name}")
+        del self._tables[name]
+        self._stats.pop(name, None)
+        self._indexes = {
+            k: v for k, v in self._indexes.items() if k[0] != name
+        }
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- statistics --------------------------------------------------------------
+
+    def gather_stats(self, name: Optional[str] = None) -> None:
+        names = [name] if name else list(self._tables)
+        for n in names:
+            self._stats[n] = gather_statistics(self.table(n))
+
+    def stats(self, name: str) -> Optional[TableStats]:
+        return self._stats.get(name)
+
+    # -- indexes -------------------------------------------------------------------
+
+    def create_index(self, table: str, column: str, index_type: str = "hash"):
+        if index_type not in _INDEX_TYPES:
+            raise CatalogError(f"unknown index type {index_type!r}")
+        if index_type not in _BASIC_INDEX_TYPES:
+            self._check_aux_allowed(table, f"{index_type} index")
+        tab = self.table(table)
+        if not tab.schema.has_column(column):
+            raise CatalogError(f"table {table} has no column {column}")
+        key = (table, column, index_type)
+        if key not in self._indexes:
+            self._indexes[key] = _INDEX_TYPES[index_type](tab, column)
+        return self._indexes[key]
+
+    def index(self, table: str, column: str, index_type: str = "hash"):
+        return self._indexes.get((table, column, index_type))
+
+    def drop_index(self, table: str, column: str, index_type: str) -> None:
+        self._indexes.pop((table, column, index_type), None)
+
+    @property
+    def index_keys(self) -> list[tuple[str, str, str]]:
+        return sorted(self._indexes)
+
+    def bitmap_rows(self, table: str, column: str, keys: Iterable) -> Optional[np.ndarray]:
+        """Row positions matching any key, via the bitmap index, when one
+        exists; None otherwise (caller falls back to a scan filter)."""
+        index = self.index(table, column, "bitmap")
+        if index is None:
+            return None
+        return index.rows_for_keys(keys)
+
+    def rebuild_indexes(self) -> int:
+        """Force-rebuild every index (charged to the data-maintenance run)."""
+        for index in self._indexes.values():
+            index.invalidate()
+            index._ensure()
+        return len(self._indexes)
+
+    # -- materialized views ---------------------------------------------------------
+
+    def register_matview(self, view) -> None:
+        for base in view.base_tables:
+            self._check_aux_allowed(base, "materialized view")
+        if view.name in self._matviews or view.name in self._tables:
+            raise CatalogError(f"name {view.name} already in use")
+        self._matviews[view.name] = view
+
+    def matview(self, name: str):
+        try:
+            return self._matviews[name]
+        except KeyError:
+            raise CatalogError(f"unknown materialized view {name!r}") from None
+
+    def has_matview(self, name: str) -> bool:
+        return name in self._matviews
+
+    def drop_matview(self, name: str) -> None:
+        self._matviews.pop(name, None)
+
+    @property
+    def matviews(self) -> list:
+        return list(self._matviews.values())
+
+    # -- aux-structure policy -----------------------------------------------------------
+
+    def _check_aux_allowed(self, table: str, what: str) -> None:
+        if self.restrict_aux_on is not None and table in self.restrict_aux_on:
+            raise CatalogError(
+                f"{what} on {table!r} violates the ad-hoc implementation "
+                f"rules: complex auxiliary structures are not allowed on "
+                f"the ad-hoc part of the schema ({sorted(self.restrict_aux_on)})"
+            )

@@ -1,0 +1,301 @@
+"""The public engine facade: a small in-memory analytical database.
+
+Typical use::
+
+    db = Database()
+    db.create_table(schema)           # TableSchema from repro.schema
+    db.table("store_sales").append_rows(rows)
+    db.gather_stats()
+    result = db.execute("SELECT ... FROM store_sales, date_dim WHERE ...")
+    for row in result.rows():
+        ...
+
+``execute`` accepts SELECT (with CTEs, set ops, windows), INSERT,
+DELETE and UPDATE. ``explain`` returns the optimized plan as text.
+Materialized views (``create_materialized_view``) are matched
+transparently by query rewrite when ``enable_matview_rewrite`` is on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from .batch import Batch
+from .catalog import Catalog
+from .errors import EngineError, ExecutionError, PlanningError
+from .executor import Executor
+from .expr import EvalContext, evaluate
+from .matview import MaterializedView, define_view, try_rewrite
+from .optimizer import Optimizer, OptimizerSettings
+from .planner import Planner
+from .sql import ast_nodes as A
+from .sql.parser import parse_statement
+from .types import Kind, TableSchema
+from .vector import Vector
+
+
+@dataclass
+class Result:
+    """A query result: ordered column names plus row tuples."""
+
+    column_names: list[str]
+    _batch: Batch
+    elapsed: float = 0.0
+    rewritten_from_view: Optional[str] = None
+    rowcount: int = 0  # affected rows for DML
+
+    def rows(self) -> list[tuple]:
+        return self._batch.rows()
+
+    def column(self, name: str) -> list[Any]:
+        return self._batch.column(name).to_list()
+
+    def scalar(self) -> Any:
+        rows = self.rows()
+        if len(rows) != 1 or len(rows[0]) != 1:
+            raise ExecutionError("scalar() requires a 1x1 result")
+        return rows[0][0]
+
+    def __len__(self) -> int:
+        return self._batch.num_rows
+
+    def to_text(self, max_rows: int = 20) -> str:
+        header = " | ".join(self.column_names)
+        lines = [header, "-" * len(header)]
+        for row in self.rows()[:max_rows]:
+            lines.append(" | ".join(str(v) for v in row))
+        if len(self) > max_rows:
+            lines.append(f"... ({len(self)} rows)")
+        return "\n".join(lines)
+
+
+@dataclass
+class QueryTrace:
+    """Lightweight execution trace for EXPLAIN ANALYZE-style reporting."""
+
+    sql: str
+    plan_text: str
+    elapsed: float
+    used_view: Optional[str]
+
+
+class Database:
+    """The engine facade: DDL, SQL execution, materialized views, statistics."""
+    def __init__(
+        self,
+        optimizer_settings: OptimizerSettings | None = None,
+        enable_matview_rewrite: bool = True,
+    ):
+        self.catalog = Catalog()
+        self.optimizer_settings = optimizer_settings or OptimizerSettings()
+        self.enable_matview_rewrite = enable_matview_rewrite
+        self.traces: list[QueryTrace] = []
+        self.trace_queries = False
+
+    # -- DDL -----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema):
+        return self.catalog.create_table(schema)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+
+    def table(self, name: str):
+        return self.catalog.table(name)
+
+    def create_index(self, table: str, column: str, index_type: str = "hash"):
+        return self.catalog.create_index(table, column, index_type)
+
+    def gather_stats(self, table: Optional[str] = None) -> None:
+        self.catalog.gather_stats(table)
+
+    def create_materialized_view(self, name: str, sql: str) -> MaterializedView:
+        view = define_view(name, sql, self.catalog, self._execute_sql_to_batch)
+        self.catalog.register_matview(view)
+        return view
+
+    def refresh_matviews(self) -> int:
+        """Recompute every materialized view (data-maintenance step)."""
+        for view in self.catalog.matviews:
+            view.refresh(self._execute_sql_to_batch)
+        return len(self.catalog.matviews)
+
+    # -- queries -----------------------------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        statement = parse_statement(sql)
+        start = time.perf_counter()
+        if isinstance(statement, A.Query):
+            result = self._execute_query(statement, sql)
+        elif isinstance(statement, A.Insert):
+            result = self._execute_insert(statement)
+        elif isinstance(statement, A.Delete):
+            result = self._execute_delete(statement)
+        elif isinstance(statement, A.Update):
+            result = self._execute_update(statement)
+        else:  # pragma: no cover
+            raise EngineError(f"unsupported statement {type(statement).__name__}")
+        result.elapsed = time.perf_counter() - start
+        return result
+
+    def explain(self, sql: str) -> str:
+        statement = parse_statement(sql)
+        if not isinstance(statement, A.Query):
+            raise PlanningError("EXPLAIN supports queries only")
+        query, used_view = self._maybe_rewrite(statement)
+        plan = self._plan(query)
+        header = []
+        if used_view:
+            header.append(f"-- rewritten to use materialized view {used_view}")
+        return "\n".join(header + [plan.explain()])
+
+    def _maybe_rewrite(self, query: A.Query):
+        if self.enable_matview_rewrite and self.catalog.matviews:
+            rewritten = try_rewrite(query, self.catalog, self.catalog.matviews)
+            if rewritten is not None:
+                view_name = rewritten.body.from_[0].name  # type: ignore[union-attr]
+                return rewritten, view_name
+        return query, None
+
+    def _plan(self, query: A.Query):
+        plan = Planner(self.catalog).plan_query(query)
+        return Optimizer(self.catalog, self.optimizer_settings).optimize(plan)
+
+    def _run_query_batch(self, query: A.Query) -> Batch:
+        """Plan, optimize and execute a query AST, wiring expression
+        subqueries (pre-planned in their CTE scope) into the executor."""
+        planner = Planner(self.catalog)
+        plan = planner.plan_query(query)
+        optimizer = Optimizer(self.catalog, self.optimizer_settings)
+        plan = optimizer.optimize(plan)
+        subplans = planner.subquery_plans
+        optimized: dict[int, object] = {}
+
+        def run_sub(sub_query: A.Query) -> Batch:
+            key = id(sub_query)
+            if key not in optimized:
+                sub_plan = subplans.get(key)
+                if sub_plan is None:
+                    sub_plan = Planner(self.catalog).plan_query(sub_query)
+                optimized[key] = optimizer.optimize(sub_plan)
+            return Executor(run_sub, self.catalog).run(optimized[key])
+
+        executor = Executor(run_sub, self.catalog)
+        return executor.run(plan)
+
+    def _execute_query(self, query: A.Query, sql: str = "") -> Result:
+        query, used_view = self._maybe_rewrite(query)
+        start = time.perf_counter()
+        batch = self._run_query_batch(query)
+        elapsed = time.perf_counter() - start
+        if self.trace_queries:
+            self.traces.append(QueryTrace(sql, "", elapsed, used_view))
+        return Result(batch.names, batch, rewritten_from_view=used_view)
+
+    def _run_subquery(self, query: A.Query) -> Batch:
+        return self._run_query_batch(query)
+
+    def _execute_sql_to_batch(self, sql: str) -> Batch:
+        statement = parse_statement(sql)
+        if not isinstance(statement, A.Query):
+            raise PlanningError("expected a query")
+        return self._run_query_batch(statement)
+
+    # -- DML ------------------------------------------------------------------------
+
+    def _eval_scalar_row(self, exprs: Sequence[A.Expr]) -> list[Any]:
+        batch = Batch({"_dummy": Vector.constant(Kind.INT, 0, 1)})
+        ctx = EvalContext(self._run_subquery)
+        return [evaluate(e, batch, ctx).value(0) for e in exprs]
+
+    def _execute_insert(self, statement: A.Insert) -> Result:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        target_cols = list(statement.columns) or schema.column_names
+        for c in target_cols:
+            schema.column(c)  # validates
+        if statement.rows:
+            rows = [self._eval_scalar_row(r) for r in statement.rows]
+            full_rows = []
+            for row in rows:
+                if len(row) != len(target_cols):
+                    raise ExecutionError("INSERT arity mismatch")
+                by_col = dict(zip(target_cols, row))
+                full_rows.append([by_col.get(c) for c in schema.column_names])
+            table.append_rows(full_rows)
+            count = len(full_rows)
+        else:
+            batch = self._execute_query(statement.query)._batch
+            if len(batch.columns) != len(target_cols):
+                raise ExecutionError("INSERT ... SELECT arity mismatch")
+            vectors = dict(zip(target_cols, batch.columns.values()))
+            full = {}
+            n = batch.num_rows
+            for c in schema.column_names:
+                if c in vectors:
+                    full[c] = self._coerce(vectors[c], schema.column(c).kind)
+                else:
+                    full[c] = Vector.nulls(schema.column(c).kind, n)
+            table.append_columns(full)
+            count = n
+        return Result([], Batch({}), rowcount=count)
+
+    @staticmethod
+    def _coerce(vec: Vector, kind: Kind) -> Vector:
+        if vec.kind is kind:
+            return vec
+        if kind is Kind.FLOAT and vec.kind is Kind.INT:
+            return Vector(Kind.FLOAT, vec.data.astype(np.float64), vec.null)
+        if kind is Kind.DATE and vec.kind is Kind.INT:
+            return Vector(Kind.DATE, vec.data, vec.null)
+        if kind is Kind.INT and vec.kind in (Kind.DATE, Kind.FLOAT):
+            return Vector(Kind.INT, vec.data.astype(np.int64), vec.null)
+        if kind is Kind.STR:
+            return Vector.from_values(
+                Kind.STR, [None if vec.null[i] else str(vec.value(i)) for i in range(len(vec))]
+            )
+        raise ExecutionError(f"cannot coerce {vec.kind} to {kind}")
+
+    def _table_batch(self, table_name: str) -> Batch:
+        table = self.catalog.table(table_name)
+        return Batch(
+            {
+                f"{table_name}.{c}": table.scan_column(c)
+                for c in table.schema.column_names
+            }
+        )
+
+    def _execute_delete(self, statement: A.Delete) -> Result:
+        table = self.catalog.table(statement.table)
+        if statement.where is None:
+            mask = np.ones(table.num_rows, dtype=bool)
+        else:
+            batch = self._table_batch(statement.table)
+            ctx = EvalContext(self._run_subquery)
+            mask = evaluate(statement.where, batch, ctx).is_true()
+        count = table.delete_where(mask)
+        return Result([], Batch({}), rowcount=count)
+
+    def _execute_update(self, statement: A.Update) -> Result:
+        table = self.catalog.table(statement.table)
+        batch = self._table_batch(statement.table)
+        ctx = EvalContext(self._run_subquery)
+        if statement.where is None:
+            mask = np.ones(table.num_rows, dtype=bool)
+        else:
+            mask = evaluate(statement.where, batch, ctx).is_true()
+        indices = np.flatnonzero(mask)
+        if not len(indices):
+            return Result([], Batch({}), rowcount=0)
+        target = batch.take(indices)
+        assignments: dict[str, list[Any]] = {}
+        for column, expr in statement.assignments:
+            table.schema.column(column)  # validates
+            vec = evaluate(expr, target, ctx)
+            assignments[column] = vec.to_list()
+        count = table.update_rows(indices, assignments)
+        return Result([], Batch({}), rowcount=count)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the query engine.
+
+Every error raised by the engine derives from :class:`EngineError`, so
+callers can catch one type. The subtypes mirror the stage of query
+processing that failed, which makes test assertions precise.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all engine errors."""
+
+
+class SqlSyntaxError(EngineError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the 1-based line/column of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = f" at line {line}, column {column}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class PlanningError(EngineError):
+    """The statement parsed but could not be bound to the catalog.
+
+    Examples: unknown table, unknown column, ambiguous column reference,
+    aggregate misuse (nested aggregates, aggregate in WHERE).
+    """
+
+
+class ExecutionError(EngineError):
+    """A runtime failure while executing a physical plan."""
+
+
+class CatalogError(EngineError):
+    """Catalog violation: duplicate table, unknown index, bad DDL."""
+
+
+class TypeError_(EngineError):
+    """Type mismatch in an expression (named with underscore to avoid
+    shadowing the builtin)."""
+
+
+class ConstraintError(EngineError):
+    """Primary-key or not-null constraint violation during DML."""

@@ -1,0 +1,646 @@
+"""Physical execution of logical plans.
+
+One :class:`Executor` instance runs one statement; it memoizes CTE
+subtrees (plan nodes are shared by reference when a CTE is referenced
+more than once) and carries the expression-evaluation context used for
+uncorrelated subqueries.
+
+Operator notes:
+
+* **hash join** — builds on the right input, probes with the left; a
+  sorted-key binary-search fast path handles the ubiquitous single
+  integer surrogate-key joins without Python-level hashing. NULL keys
+  never match. LEFT/RIGHT/FULL are supported; the residual (non-equi)
+  condition is applied before null-extension, as SQL requires.
+* **hash aggregate** — group keys are factorized to integer codes and
+  grouped with ``np.unique``; SUM/COUNT/AVG/MIN/MAX/STDDEV run as
+  vectorized segmented reductions. ROLLUP executes one pass per prefix
+  grouping set. NULLs form a single group, per SQL.
+* **window** — aggregate windows without ORDER BY compute one value per
+  partition; with ORDER BY they compute running (RANGE-peers) values,
+  matching the SQL default frame. RANK / DENSE_RANK / ROW_NUMBER are
+  supported.
+* **sort** — stable lexicographic sort; NULLs sort as larger than every
+  value (NULLS LAST ascending), with explicit NULLS FIRST/LAST honored.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from . import plan as P
+from .batch import Batch
+from .errors import ExecutionError, PlanningError
+from .expr import EvalContext, evaluate, harmonize
+from .sql import ast_nodes as A
+from .types import Kind
+from .vector import Vector
+
+#: guard against runaway cartesian products: a cross join may emit at
+#: most this many rows (every output row materializes all columns of
+#: both sides, so memory cost is rows x total width)
+_MAX_JOIN_ROWS = 20_000_000
+
+
+def factorize(vec: Vector) -> np.ndarray:
+    """Map a vector to dense int codes; NULL gets code 0, values get codes
+    ordered by value starting at 1 (so codes also encode sort order)."""
+    codes = np.zeros(len(vec), dtype=np.int64)
+    valid = ~vec.null
+    if valid.any():
+        _, inverse = np.unique(vec.data[valid], return_inverse=True)
+        codes[valid] = inverse + 1
+    return codes
+
+
+def _row_codes(vectors: list[Vector]) -> np.ndarray:
+    """Factorize a list of key vectors into a single int64 row id."""
+    n = len(vectors[0]) if vectors else 0
+    if not vectors:
+        return np.zeros(n, dtype=np.int64)
+    columns = [factorize(v) for v in vectors]
+    stacked = np.stack(columns, axis=1)
+    _, row_ids = np.unique(stacked, axis=0, return_inverse=True)
+    return row_ids.astype(np.int64)
+
+
+class Executor:
+    """Interprets one logical plan tree; memoizes shared (CTE) subtrees."""
+    def __init__(self, run_subquery: Callable[[A.Query], Batch], catalog):
+        self._catalog = catalog
+        self._ctx = EvalContext(run_subquery)
+        self._cache: dict[int, Batch] = {}
+
+    # -- entry -------------------------------------------------------------
+
+    def run(self, node: P.PlanNode) -> Batch:
+        key = id(node)
+        if key in self._cache:
+            return self._cache[key]
+        batch = self._dispatch(node)
+        self._cache[key] = batch
+        return batch
+
+    def _dispatch(self, node: P.PlanNode) -> Batch:
+        if isinstance(node, P.Scan):
+            return self._scan(node)
+        if isinstance(node, P.StarFilter):
+            return self._star_filter(node)
+        if isinstance(node, P.MatViewScan):
+            return self._matview_scan(node)
+        if isinstance(node, P.OneRow):
+            return Batch({"_dummy": Vector.constant(Kind.INT, 0, 1)})
+        if isinstance(node, P.Filter):
+            child = self.run(node.child)
+            mask = evaluate(node.predicate, child, self._ctx).is_true()
+            return child.filter(mask)
+        if isinstance(node, P.Project):
+            return self._project(node)
+        if isinstance(node, P.Join):
+            return self._join(node)
+        if isinstance(node, P.Aggregate):
+            return self._aggregate(node)
+        if isinstance(node, P.Window):
+            return self._window(node)
+        if isinstance(node, P.Sort):
+            return self._sort(node)
+        if isinstance(node, P.Limit):
+            child = self.run(node.child)
+            limit = child.num_rows if node.limit is None else node.limit
+            return child.head(limit, node.offset)
+        if isinstance(node, P.Distinct):
+            return self._distinct(self.run(node.child))
+        if isinstance(node, P.SetOpPlan):
+            return self._set_op(node)
+        if isinstance(node, P.Rename):
+            return self._rename(node)
+        raise ExecutionError(f"no executor for {type(node).__name__}")
+
+    # -- scans ----------------------------------------------------------------
+
+    def _scan(self, node: P.Scan, row_subset: np.ndarray | None = None) -> Batch:
+        table = self._catalog.table(node.table)
+        batch = Batch(
+            {
+                f"{node.binding}.{name}": table.scan_column(name)
+                for name in table.schema.column_names
+            }
+        )
+        if row_subset is not None:
+            batch = batch.take(row_subset)
+        for predicate in node.pushed_filters:
+            mask = evaluate(predicate, batch, self._ctx).is_true()
+            batch = batch.filter(mask)
+        return batch
+
+    def _star_filter(self, node: P.StarFilter) -> Batch:
+        """Bitmap star transformation: intersect per-dimension row sets
+        before materializing the fact scan."""
+        allowed: Optional[np.ndarray] = None
+        for dim_plan, fact_col, dim_ref in node.dims:
+            dim_batch = self.run(dim_plan)
+            vec = dim_batch.column(dim_ref.name, dim_ref.table)
+            keys = set(vec.data[~vec.null].tolist())
+            rows = self._catalog.bitmap_rows(node.fact.table, fact_col, keys)
+            if rows is None:
+                continue
+            allowed = rows if allowed is None else np.intersect1d(allowed, rows)
+        return self._scan(node.fact, row_subset=allowed)
+
+    def _matview_scan(self, node: P.MatViewScan) -> Batch:
+        view = self._catalog.matview(node.view)
+        return Batch(
+            {
+                f"{node.binding}.{name}": view.storage.scan_column(name)
+                for name in view.column_names
+            }
+        )
+
+    def _project(self, node: P.Project) -> Batch:
+        child = self.run(node.child)
+        out = Batch()
+        for expr, name in node.items:
+            out.add(name, evaluate(expr, child, self._ctx))
+        if not node.items:
+            raise ExecutionError("empty projection")
+        return out
+
+    # -- joins --------------------------------------------------------------------
+
+    def _join(self, node: P.Join) -> Batch:
+        left = self.run(node.left)
+        right = self.run(node.right)
+        kind = node.kind
+        if kind == "right":
+            # execute as a left join with sides swapped, then restore order
+            swapped = P.Join(node.right, node.left, "left",
+                             [(r, l) for l, r in node.equi_keys], node.residual)
+            swapped_result = self._join_impl(right, left, swapped)
+            names = list(left.columns) + list(right.columns)
+            return Batch({n: swapped_result.columns[n] for n in names})
+        return self._join_impl(left, right, node)
+
+    def _join_impl(self, left: Batch, right: Batch, node: P.Join) -> Batch:
+        kind = node.kind
+        if not node.equi_keys:
+            pairs = self._cross_pairs(left, right)
+        else:
+            pairs = self._hash_pairs(left, right, node.equi_keys)
+        li, ri = pairs
+        joined = Batch()
+        for name, vec in left.columns.items():
+            joined.add(name, vec.take(li))
+        for name, vec in right.columns.items():
+            joined.add(name, vec.take(ri))
+        if node.residual is not None:
+            mask = evaluate(node.residual, joined, self._ctx).is_true()
+            joined = joined.filter(mask)
+            li = li[mask]
+            ri = ri[mask]
+        if kind in ("left", "full"):
+            matched = np.zeros(left.num_rows, dtype=bool)
+            matched[li] = True
+            missing = np.flatnonzero(~matched)
+            if len(missing):
+                pad = Batch()
+                for name, vec in left.columns.items():
+                    pad.add(name, vec.take(missing))
+                for name, vec in right.columns.items():
+                    pad.add(name, Vector.nulls(vec.kind, len(missing)))
+                joined = Batch.concat([joined, pad])
+        if kind == "full":
+            # also null-extend unmatched right rows
+            rmatched = np.zeros(right.num_rows, dtype=bool)
+            rmatched[ri] = True
+            missing_r = np.flatnonzero(~rmatched)
+            if len(missing_r):
+                pad = Batch()
+                for name, vec in left.columns.items():
+                    pad.add(name, Vector.nulls(vec.kind, len(missing_r)))
+                for name, vec in right.columns.items():
+                    pad.add(name, vec.take(missing_r))
+                joined = Batch.concat([joined, pad])
+        return joined
+
+    def _cross_pairs(self, left: Batch, right: Batch):
+        total = left.num_rows * right.num_rows
+        if total > _MAX_JOIN_ROWS:
+            raise ExecutionError(
+                f"cross join would produce {total} rows; add a join condition"
+            )
+        li = np.repeat(np.arange(left.num_rows), right.num_rows)
+        ri = np.tile(np.arange(right.num_rows), left.num_rows)
+        return li, ri
+
+    def _hash_pairs(self, left: Batch, right: Batch, keys):
+        lvecs = [evaluate(l, left, self._ctx) for l, _ in keys]
+        rvecs = [evaluate(r, right, self._ctx) for _, r in keys]
+        for i in range(len(keys)):
+            lvecs[i], rvecs[i] = harmonize([lvecs[i], rvecs[i]])
+        if len(keys) == 1 and lvecs[0].kind in (Kind.INT, Kind.DATE):
+            return self._int_key_pairs(lvecs[0], rvecs[0])
+        return self._tuple_key_pairs(lvecs, rvecs)
+
+    @staticmethod
+    def _int_key_pairs(lvec: Vector, rvec: Vector):
+        """Sorted-probe equi-join on a single integer key."""
+        rvalid = np.flatnonzero(~rvec.null)
+        rkeys = rvec.data[rvalid]
+        order = np.argsort(rkeys, kind="stable")
+        rkeys_sorted = rkeys[order]
+        rrows_sorted = rvalid[order]
+        lvalid = np.flatnonzero(~lvec.null)
+        lkeys = lvec.data[lvalid]
+        lo = np.searchsorted(rkeys_sorted, lkeys, side="left")
+        hi = np.searchsorted(rkeys_sorted, lkeys, side="right")
+        counts = hi - lo
+        has_match = counts > 0
+        lrows = lvalid[has_match]
+        lo = lo[has_match]
+        counts = counts[has_match]
+        li = np.repeat(lrows, counts)
+        if len(counts):
+            # positions within the sorted build array for every match
+            starts = np.repeat(lo, counts)
+            step = np.arange(len(starts)) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            ri = rrows_sorted[starts + step]
+        else:
+            ri = np.empty(0, dtype=np.int64)
+        return li, ri
+
+    def _tuple_key_pairs(self, lvecs: list[Vector], rvecs: list[Vector]):
+        build: dict[tuple, list[int]] = {}
+        r_n = len(rvecs[0]) if rvecs else 0
+        rnull = np.zeros(r_n, dtype=bool)
+        for v in rvecs:
+            rnull |= v.null
+        for i in range(r_n):
+            if rnull[i]:
+                continue
+            key = tuple(v.data[i] for v in rvecs)
+            build.setdefault(key, []).append(i)
+        l_n = len(lvecs[0]) if lvecs else 0
+        lnull = np.zeros(l_n, dtype=bool)
+        for v in lvecs:
+            lnull |= v.null
+        li_parts: list[int] = []
+        ri_parts: list[int] = []
+        for i in range(l_n):
+            if lnull[i]:
+                continue
+            matches = build.get(tuple(v.data[i] for v in lvecs))
+            if matches:
+                li_parts.extend([i] * len(matches))
+                ri_parts.extend(matches)
+        return (
+            np.asarray(li_parts, dtype=np.int64),
+            np.asarray(ri_parts, dtype=np.int64),
+        )
+
+    # -- aggregation ------------------------------------------------------------------
+
+    def _aggregate(self, node: P.Aggregate) -> Batch:
+        child = self.run(node.child)
+        group_vecs = [evaluate(g, child, self._ctx) for g, _ in node.group_items]
+        if not node.rollup:
+            return self._aggregate_pass(node, child, group_vecs, active=len(group_vecs))
+        passes = []
+        for active in range(len(group_vecs), -1, -1):
+            passes.append(self._aggregate_pass(node, child, group_vecs, active))
+        return Batch.concat(passes)
+
+    def _aggregate_pass(
+        self, node: P.Aggregate, child: Batch, group_vecs: list[Vector], active: int
+    ) -> Batch:
+        """One grouping-set pass: the first ``active`` keys group, the rest
+        (for ROLLUP) are emitted as NULL."""
+        used = group_vecs[:active]
+        n = child.num_rows
+        if used:
+            row_ids = _row_codes(used)
+            uniques, first_idx, inverse = np.unique(
+                row_ids, return_index=True, return_inverse=True
+            )
+            n_groups = len(uniques)
+        else:
+            # global aggregate (or the ROLLUP grand-total pass): one row,
+            # even over empty input, per SQL
+            n_groups = 1
+            first_idx = np.zeros(1, dtype=np.int64)
+            inverse = np.zeros(n, dtype=np.int64)
+        out = Batch()
+        group_names = [name for _, name in node.group_items]
+        for idx, (vec, name) in enumerate(zip(group_vecs, group_names)):
+            if idx < active:
+                out.add(name, vec.take(first_idx[:n_groups]))
+            else:
+                out.add(name, Vector.nulls(vec.kind, n_groups))
+        for call, name in node.agg_items:
+            out.add(name, self._compute_aggregate(call, child, inverse, n_groups))
+        if not node.group_items and not node.agg_items:
+            raise ExecutionError("degenerate aggregate")
+        return out
+
+    def _compute_aggregate(
+        self, call: A.FuncCall, child: Batch, inverse: np.ndarray, n_groups: int
+    ) -> Vector:
+        name = call.name
+        if name == "COUNT" and call.is_star:
+            counts = np.bincount(inverse, minlength=n_groups)
+            return Vector(Kind.INT, counts.astype(np.int64), np.zeros(n_groups, dtype=bool))
+        arg = evaluate(call.args[0], child, self._ctx)
+        valid = ~arg.null
+        if name == "COUNT":
+            if call.distinct:
+                return self._count_distinct(arg, inverse, n_groups)
+            counts = np.bincount(inverse[valid], minlength=n_groups)
+            return Vector(Kind.INT, counts.astype(np.int64), np.zeros(n_groups, dtype=bool))
+        if name in ("SUM", "AVG", "STDDEV_SAMP", "STDDEV", "VAR_SAMP"):
+            if arg.kind is Kind.STR:
+                raise ExecutionError(f"{name} over strings")
+            data = arg.data.astype(np.float64)
+            data = np.where(valid, data, 0.0)
+            counts = np.bincount(inverse[valid], minlength=n_groups).astype(np.float64)
+            sums = np.bincount(inverse, weights=data, minlength=n_groups)
+            null = counts == 0
+            if name == "SUM":
+                if call.distinct:
+                    return self._sum_distinct(arg, inverse, n_groups)
+                kind = Kind.INT if arg.kind is Kind.INT else Kind.FLOAT
+                out = sums.astype(np.int64) if kind is Kind.INT else sums
+                return Vector(kind, np.asarray(out), null)
+            if name == "AVG":
+                means = sums / np.where(null, 1.0, counts)
+                return Vector(Kind.FLOAT, means, null)
+            sq = np.bincount(inverse, weights=data * data, minlength=n_groups)
+            denom = np.where(counts > 1, counts - 1, 1.0)
+            means = sums / np.where(null, 1.0, np.where(counts == 0, 1.0, counts))
+            var = (sq - counts * means * means) / denom
+            var = np.maximum(var, 0.0)
+            null_v = counts < 2
+            if name == "VAR_SAMP":
+                return Vector(Kind.FLOAT, var, null_v)
+            return Vector(Kind.FLOAT, np.sqrt(var), null_v)
+        if name in ("MIN", "MAX"):
+            return self._min_max(arg, inverse, n_groups, name == "MIN")
+        raise ExecutionError(f"unknown aggregate {name}")
+
+    @staticmethod
+    def _min_max(arg: Vector, inverse: np.ndarray, n_groups: int, is_min: bool) -> Vector:
+        valid = ~arg.null
+        if arg.kind is Kind.STR:
+            best: list[Optional[str]] = [None] * n_groups
+            for i in np.flatnonzero(valid):
+                g = inverse[i]
+                v = arg.data[i]
+                if best[g] is None or (v < best[g]) == is_min and v != best[g]:
+                    best[g] = v
+            return Vector.from_values(Kind.STR, best)
+        data = arg.data.astype(np.float64)
+        init = np.inf if is_min else -np.inf
+        acc = np.full(n_groups, init, dtype=np.float64)
+        if is_min:
+            np.minimum.at(acc, inverse[valid], data[valid])
+        else:
+            np.maximum.at(acc, inverse[valid], data[valid])
+        counts = np.bincount(inverse[valid], minlength=n_groups)
+        null = counts == 0
+        if arg.kind in (Kind.INT, Kind.DATE):
+            out = np.where(null, 0, acc).astype(np.int64)
+            return Vector(arg.kind, out, null)
+        return Vector(Kind.FLOAT, np.where(null, 0.0, acc), null)
+
+    @staticmethod
+    def _count_distinct(arg: Vector, inverse: np.ndarray, n_groups: int) -> Vector:
+        valid = ~arg.null
+        codes = factorize(arg)
+        pairs = np.stack([inverse[valid], codes[valid]], axis=1)
+        if len(pairs):
+            uniq = np.unique(pairs, axis=0)
+            counts = np.bincount(uniq[:, 0], minlength=n_groups)
+        else:
+            counts = np.zeros(n_groups, dtype=np.int64)
+        return Vector(Kind.INT, counts.astype(np.int64), np.zeros(n_groups, dtype=bool))
+
+    @staticmethod
+    def _sum_distinct(arg: Vector, inverse: np.ndarray, n_groups: int) -> Vector:
+        valid = ~arg.null
+        sums = np.zeros(n_groups, dtype=np.float64)
+        seen: set[tuple[int, float]] = set()
+        counts = np.zeros(n_groups, dtype=np.int64)
+        for i in np.flatnonzero(valid):
+            key = (int(inverse[i]), float(arg.data[i]))
+            if key in seen:
+                continue
+            seen.add(key)
+            sums[key[0]] += key[1]
+            counts[key[0]] += 1
+        null = counts == 0
+        kind = Kind.INT if arg.kind is Kind.INT else Kind.FLOAT
+        data = sums.astype(np.int64) if kind is Kind.INT else sums
+        return Vector(kind, data, null)
+
+    # -- window functions -----------------------------------------------------------
+
+    def _window(self, node: P.Window) -> Batch:
+        child = self.run(node.child)
+        out = Batch(dict(child.columns))
+        for wf, name in node.items:
+            out.add(name, self._compute_window(wf, child))
+        return out
+
+    def _compute_window(self, wf: A.WindowFunc, child: Batch) -> Vector:
+        n = child.num_rows
+        if n == 0:
+            kind = Kind.INT if wf.func.name in ("RANK", "DENSE_RANK", "ROW_NUMBER", "COUNT") else Kind.FLOAT
+            return Vector.from_values(kind, [])
+        part_vecs = [evaluate(p, child, self._ctx) for p in wf.partition_by]
+        part_ids = _row_codes(part_vecs) if part_vecs else np.zeros(n, dtype=np.int64)
+        func = wf.func.name
+        if not wf.order_by:
+            if func in ("RANK", "DENSE_RANK", "ROW_NUMBER"):
+                raise ExecutionError(f"{func} requires ORDER BY in OVER clause")
+            # one value per partition, broadcast back
+            n_groups = int(part_ids.max()) + 1
+            agg = self._compute_aggregate(wf.func, child, part_ids, n_groups)
+            return agg.take(part_ids)
+        order = self._sort_indices(child, list(wf.order_by), pre_keys=[part_ids])
+        sorted_parts = part_ids[order]
+        key_vecs = [evaluate(k.expr, child, self._ctx) for k in wf.order_by]
+        order_codes = _row_codes(key_vecs)[order]
+        boundaries = np.ones(n, dtype=bool)
+        if n:
+            boundaries[1:] = sorted_parts[1:] != sorted_parts[:-1]
+        part_start = np.maximum.accumulate(
+            np.where(boundaries, np.arange(n), 0)
+        )
+        row_number = np.arange(n) - part_start + 1
+        peer_change = np.ones(n, dtype=bool)
+        if n:
+            peer_change[1:] = boundaries[1:] | (order_codes[1:] != order_codes[:-1])
+        result = np.zeros(n, dtype=np.float64)
+        null = np.zeros(n, dtype=bool)
+        kind = Kind.INT
+        group_ids = np.cumsum(peer_change) - 1  # peer-group id per sorted row
+        if func == "ROW_NUMBER":
+            result = row_number.astype(np.float64)
+        elif func == "RANK":
+            # rank = row_number of the first row of the peer group
+            first_rows = np.flatnonzero(peer_change)
+            result = row_number[first_rows][group_ids].astype(np.float64)
+        elif func == "DENSE_RANK":
+            # peer groups seen so far within the partition
+            cum = np.cumsum(peer_change.astype(np.int64))
+            start_cum = np.maximum.accumulate(np.where(boundaries, cum, 0))
+            result = (cum - start_cum + 1).astype(np.float64)
+        else:
+            # running aggregate over peers (SQL default frame)
+            arg = (
+                evaluate(wf.func.args[0], child, self._ctx)
+                if wf.func.args
+                else Vector.constant(Kind.INT, 1, n)
+            )
+            kind = Kind.FLOAT if func == "AVG" or arg.kind is Kind.FLOAT else Kind.INT
+            data = arg.data.astype(np.float64)[order]
+            data_valid = (~arg.null)[order]
+            running_sum = np.zeros(n, dtype=np.float64)
+            running_cnt = np.zeros(n, dtype=np.float64)
+            acc_s = 0.0
+            acc_c = 0.0
+            # peer groups share the value computed at the last peer row
+            for i in range(n):
+                if boundaries[i]:
+                    acc_s = 0.0
+                    acc_c = 0.0
+                if data_valid[i]:
+                    acc_s += data[i]
+                    acc_c += 1
+                running_sum[i] = acc_s
+                running_cnt[i] = acc_c
+            # propagate last-peer values backwards within peer groups
+            last_in_group = np.zeros(int(group_ids.max()) + 1 if n else 0, dtype=np.int64)
+            last_in_group[group_ids] = np.arange(n)
+            running_sum = running_sum[last_in_group][group_ids]
+            running_cnt = running_cnt[last_in_group][group_ids]
+            if func == "SUM":
+                result = running_sum
+                null = running_cnt == 0
+            elif func == "COUNT":
+                result = running_cnt
+            elif func == "AVG":
+                null = running_cnt == 0
+                result = running_sum / np.where(null, 1.0, running_cnt)
+            elif func in ("MIN", "MAX"):
+                raw = self._running_min_max(
+                    data, data_valid, boundaries, func == "MIN"
+                )
+                # peers share the value computed at the last peer row
+                result = raw[last_in_group][group_ids]
+                null = running_cnt == 0
+                kind = arg.kind
+            else:
+                raise ExecutionError(f"unsupported window function {func}")
+        unsorted = np.empty(n, dtype=np.int64)
+        unsorted[order] = np.arange(n)
+        final = result[unsorted]
+        final_null = null[unsorted]
+        if kind is Kind.INT or kind is Kind.DATE:
+            return Vector(kind, final.astype(np.int64), final_null)
+        return Vector(Kind.FLOAT, final, final_null)
+
+    @staticmethod
+    def _running_min_max(data, valid, boundaries, is_min: bool) -> np.ndarray:
+        n = len(data)
+        out = np.zeros(n, dtype=np.float64)
+        acc = np.inf if is_min else -np.inf
+        for i in range(n):
+            if boundaries[i]:
+                acc = np.inf if is_min else -np.inf
+            if valid[i]:
+                acc = min(acc, data[i]) if is_min else max(acc, data[i])
+            out[i] = acc
+        return out
+
+    # -- sort / distinct / set ops -------------------------------------------------------
+
+    def _sort_indices(
+        self, batch: Batch, keys: list[A.SortKey], pre_keys: list[np.ndarray] | None = None
+    ) -> np.ndarray:
+        """Stable lexsort indices; ``pre_keys`` sort before the SQL keys."""
+        n = batch.num_rows
+        arrays: list[np.ndarray] = []
+        for key in keys:
+            vec = evaluate(key.expr, batch, self._ctx)
+            codes = self._sort_codes(vec, key)
+            arrays.append(codes)
+        all_keys = (pre_keys or []) + arrays
+        if not all_keys:
+            return np.arange(n)
+        return np.lexsort(tuple(reversed(all_keys)))
+
+    @staticmethod
+    def _sort_codes(vec: Vector, key: A.SortKey) -> np.ndarray:
+        """Integer codes encoding the desired ordering of one sort key.
+
+        ``factorize`` yields 0 for NULL and 1..k in ascending value order;
+        this remaps codes so a plain ascending integer sort realizes the
+        requested direction and NULL placement (default: NULLs sort as the
+        largest value — last ascending, first descending).
+        """
+        codes = factorize(vec).astype(np.int64)
+        k = int(codes.max()) if len(codes) else 0
+        nulls_first = key.nulls_first
+        if nulls_first is None:
+            nulls_first = not key.ascending
+        value_codes = codes if key.ascending else (k + 1) - codes
+        null_code = 0 if nulls_first else k + 2
+        return np.where(vec.null, null_code, value_codes)
+
+    def _sort(self, node: P.Sort) -> Batch:
+        child = self.run(node.child)
+        order = self._sort_indices(child, node.keys)
+        return child.take(order)
+
+    def _distinct(self, batch: Batch) -> Batch:
+        if batch.num_rows == 0:
+            return batch
+        row_ids = _row_codes(list(batch.columns.values()))
+        _, first_idx = np.unique(row_ids, return_index=True)
+        return batch.take(np.sort(first_idx))
+
+    def _set_op(self, node: P.SetOpPlan) -> Batch:
+        left = self.run(node.left)
+        right = self.run(node.right)
+        right = Batch(dict(zip(left.names, right.columns.values())))
+        if node.op == "union_all":
+            return Batch.concat([left, right])
+        if node.op == "union":
+            return self._distinct(Batch.concat([left, right]))
+        # intersect / except use distinct-row semantics
+        combined = Batch.concat([left, right])
+        row_ids = _row_codes(list(combined.columns.values()))
+        left_ids = set(row_ids[: left.num_rows].tolist())
+        right_ids = set(row_ids[left.num_rows:].tolist())
+        if node.op == "intersect":
+            keep_ids = left_ids & right_ids
+        elif node.op == "except":
+            keep_ids = left_ids - right_ids
+        else:
+            raise ExecutionError(f"unknown set op {node.op}")
+        mask = np.fromiter(
+            (rid in keep_ids for rid in row_ids[: left.num_rows]),
+            dtype=bool,
+            count=left.num_rows,
+        )
+        return self._distinct(left.filter(mask))
+
+    def _rename(self, node: P.Rename) -> Batch:
+        child = self.run(node.child)
+        mapping = {
+            old: f"{node.alias}.{old.rsplit('.', 1)[-1]}" for old in child.names
+        }
+        return child.renamed(mapping)

@@ -1,0 +1,406 @@
+"""Vectorized expression evaluation.
+
+``evaluate(expr, batch, ctx)`` computes an AST expression over a
+:class:`Batch`, returning a :class:`Vector` of the batch's row count.
+Aggregates and window functions never reach this module: the planner
+rewrites them into column references before projection.
+
+Subqueries are evaluated through the :class:`EvalContext`, which carries
+a callback into the executor. Only uncorrelated subqueries are supported
+(a documented dialect restriction; the query templates are written
+accordingly).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from .batch import Batch
+from .errors import ExecutionError, PlanningError, TypeError_
+from .sql import ast_nodes as A
+from .types import Kind, parse_date
+from .vector import Vector
+
+
+@dataclass
+class EvalContext:
+    """Runtime services available to expression evaluation."""
+
+    #: executes an uncorrelated subquery AST, returning its result batch
+    run_subquery: Callable[[A.Query], Batch]
+    #: memoized subquery results, keyed by AST node identity
+    _subquery_cache: dict[int, Batch] | None = None
+
+    def subquery_batch(self, query: A.Query) -> Batch:
+        if self._subquery_cache is None:
+            self._subquery_cache = {}
+        key = id(query)
+        if key not in self._subquery_cache:
+            self._subquery_cache[key] = self.run_subquery(query)
+        return self._subquery_cache[key]
+
+
+def literal_kind(value: Any) -> Kind:
+    """The storage kind a Python literal value maps to."""
+    if isinstance(value, bool):
+        return Kind.BOOL
+    if isinstance(value, int):
+        return Kind.INT
+    if isinstance(value, float):
+        return Kind.FLOAT
+    if isinstance(value, str):
+        return Kind.STR
+    if value is None:
+        return Kind.INT  # placeholder; harmonized at combination points
+    raise TypeError_(f"unsupported literal {value!r}")
+
+
+def harmonize(vectors: list[Vector]) -> list[Vector]:
+    """Coerce vectors to a common kind, treating all-null vectors as wild."""
+    kinds = {v.kind for v in vectors if not v.null.all()}
+    if not kinds:
+        return vectors
+    if len(kinds) == 1:
+        target = kinds.pop()
+    elif kinds == {Kind.INT, Kind.FLOAT}:
+        target = Kind.FLOAT
+    elif kinds == {Kind.INT, Kind.DATE}:
+        target = Kind.DATE
+    else:
+        raise TypeError_(f"cannot harmonize kinds {sorted(k.value for k in kinds)}")
+    out = []
+    for v in vectors:
+        if v.kind is target:
+            out.append(v)
+        elif v.null.all():
+            out.append(Vector.nulls(target, len(v)))
+        elif target is Kind.FLOAT:
+            out.append(Vector(Kind.FLOAT, v.data.astype(np.float64), v.null))
+        elif target is Kind.DATE and v.kind is Kind.INT:
+            out.append(Vector(Kind.DATE, v.data, v.null))
+        else:
+            raise TypeError_(f"cannot coerce {v.kind} to {target}")
+    return out
+
+
+def evaluate(expr: A.Expr, batch: Batch, ctx: EvalContext) -> Vector:
+    """Evaluate an expression over a batch, returning a Vector."""
+    n = batch.num_rows
+    if isinstance(expr, A.Literal):
+        value = expr.value
+        kind = Kind.DATE if expr.is_date else literal_kind(value)
+        return Vector.constant(kind, value, n)
+    if isinstance(expr, A.ColumnRef):
+        return batch.column(expr.name, expr.table)
+    if isinstance(expr, A.BinaryOp):
+        return _binary(expr, batch, ctx)
+    if isinstance(expr, A.UnaryOp):
+        operand = evaluate(expr.operand, batch, ctx)
+        if expr.op == "NOT":
+            return operand.not_()
+        if expr.op == "-":
+            return operand.negate()
+        raise TypeError_(f"unknown unary op {expr.op!r}")
+    if isinstance(expr, A.FuncCall):
+        return _scalar_func(expr, batch, ctx)
+    if isinstance(expr, A.Case):
+        return _case(expr, batch, ctx)
+    if isinstance(expr, A.Between):
+        target = evaluate(expr.expr, batch, ctx)
+        low = evaluate(expr.low, batch, ctx)
+        high = evaluate(expr.high, batch, ctx)
+        result = target.compare(">=", low).and_(target.compare("<=", high))
+        return result.not_() if expr.negated else result
+    if isinstance(expr, A.InList):
+        return _in_list(expr, batch, ctx)
+    if isinstance(expr, A.InSubquery):
+        return _in_subquery(expr, batch, ctx)
+    if isinstance(expr, A.Exists):
+        sub = ctx.subquery_batch(expr.query)
+        truth = (sub.num_rows > 0) != expr.negated
+        return Vector.constant(Kind.BOOL, truth, n)
+    if isinstance(expr, A.ScalarSubquery):
+        return _scalar_subquery(expr, batch, ctx)
+    if isinstance(expr, A.IsNull):
+        operand = evaluate(expr.expr, batch, ctx)
+        data = ~operand.null if expr.negated else operand.null.copy()
+        return Vector(Kind.BOOL, data, np.zeros(n, dtype=bool))
+    if isinstance(expr, A.Like):
+        return _like(expr, batch, ctx)
+    if isinstance(expr, A.Cast):
+        return _cast(expr, batch, ctx)
+    if isinstance(expr, A.WindowFunc):
+        raise PlanningError("window function in unsupported position")
+    raise TypeError_(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _binary(expr: A.BinaryOp, batch: Batch, ctx: EvalContext) -> Vector:
+    op = expr.op
+    left = evaluate(expr.left, batch, ctx)
+    right = evaluate(expr.right, batch, ctx)
+    if op == "AND":
+        return left.and_(right)
+    if op == "OR":
+        return left.or_(right)
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        left, right = harmonize([left, right])
+        return left.compare(op, right)
+    if op in ("+", "-", "*", "/", "||"):
+        if op != "||":
+            left, right = harmonize([left, right])
+        return left.arith(op, right)
+    raise TypeError_(f"unknown binary op {op!r}")
+
+
+def _case(expr: A.Case, batch: Batch, ctx: EvalContext) -> Vector:
+    n = batch.num_rows
+    branches = [evaluate(result, batch, ctx) for _, result in expr.whens]
+    else_vec = (
+        evaluate(expr.else_, batch, ctx)
+        if expr.else_ is not None
+        else Vector.nulls(branches[0].kind, n)
+    )
+    vectors = harmonize(branches + [else_vec])
+    branches, else_vec = vectors[:-1], vectors[-1]
+    result = else_vec.copy()
+    decided = np.zeros(n, dtype=bool)
+    for (cond_expr, _), branch in zip(expr.whens, branches):
+        cond = evaluate(cond_expr, batch, ctx).is_true()
+        pick = cond & ~decided
+        result.data[pick] = branch.data[pick]
+        result.null[pick] = branch.null[pick]
+        decided |= pick
+    return result
+
+
+def _in_list(expr: A.InList, batch: Batch, ctx: EvalContext) -> Vector:
+    target = evaluate(expr.expr, batch, ctx)
+    items = [evaluate(item, batch, ctx) for item in expr.items]
+    vectors = harmonize([target] + items)
+    target, items = vectors[0], vectors[1:]
+    found = np.zeros(len(target), dtype=bool)
+    any_null_item = np.zeros(len(target), dtype=bool)
+    for item in items:
+        found |= (target.data == item.data) & ~item.null & ~target.null
+        any_null_item |= item.null
+    null = (~found & any_null_item) | target.null
+    data = ~found if expr.negated else found
+    data = data & ~null
+    return Vector(Kind.BOOL, data, null)
+
+
+def _in_subquery(expr: A.InSubquery, batch: Batch, ctx: EvalContext) -> Vector:
+    target = evaluate(expr.expr, batch, ctx)
+    sub = ctx.subquery_batch(expr.query)
+    if len(sub.columns) != 1:
+        raise ExecutionError("IN subquery must return exactly one column")
+    sub_vec = next(iter(sub.columns.values()))
+    sub_vec, target = harmonize([sub_vec, target])
+    values = sub_vec.data[~sub_vec.null]
+    has_null = bool(sub_vec.null.any())
+    if sub_vec.kind is Kind.STR:
+        value_set = set(values.tolist())
+        found = np.fromiter(
+            (v in value_set for v in target.data), dtype=bool, count=len(target)
+        )
+    else:
+        found = np.isin(target.data, values)
+    found &= ~target.null
+    null = target.null | (~found & has_null)
+    data = ~found if expr.negated else found
+    data = data & ~null
+    return Vector(Kind.BOOL, data, null)
+
+
+def _scalar_subquery(expr: A.ScalarSubquery, batch: Batch, ctx: EvalContext) -> Vector:
+    sub = ctx.subquery_batch(expr.query)
+    if len(sub.columns) != 1:
+        raise ExecutionError("scalar subquery must return one column")
+    if sub.num_rows > 1:
+        raise ExecutionError("scalar subquery returned more than one row")
+    vec = next(iter(sub.columns.values()))
+    value = vec.value(0) if sub.num_rows == 1 else None
+    kind = vec.kind
+    return Vector.constant(kind, value, batch.num_rows) if value is not None else (
+        Vector.nulls(kind, batch.num_rows)
+    )
+
+
+def like_to_regex(pattern: str) -> re.Pattern:
+    """Compile a SQL LIKE pattern (%/_) into a regular expression."""
+    parts = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+def _like(expr: A.Like, batch: Batch, ctx: EvalContext) -> Vector:
+    target = evaluate(expr.expr, batch, ctx)
+    if target.kind is not Kind.STR:
+        raise TypeError_("LIKE applies to strings")
+    regex = like_to_regex(expr.pattern)
+    data = np.fromiter(
+        (bool(regex.match(v)) for v in target.data), dtype=bool, count=len(target)
+    )
+    if expr.negated:
+        data = ~data
+    data = data & ~target.null
+    return Vector(Kind.BOOL, data, target.null.copy())
+
+
+def _cast(expr: A.Cast, batch: Batch, ctx: EvalContext) -> Vector:
+    operand = evaluate(expr.expr, batch, ctx)
+    name = expr.type_name.lower()
+    if name in ("int", "integer", "bigint"):
+        if operand.kind is Kind.STR:
+            values = [
+                None if operand.null[i] else int(float(operand.data[i]))
+                for i in range(len(operand))
+            ]
+            return Vector.from_values(Kind.INT, values)
+        return Vector(Kind.INT, operand.data.astype(np.int64), operand.null.copy())
+    if name in ("float", "double", "real") or name.startswith("decimal") or name.startswith("numeric"):
+        if operand.kind is Kind.STR:
+            values = [
+                None if operand.null[i] else float(operand.data[i])
+                for i in range(len(operand))
+            ]
+            return Vector.from_values(Kind.FLOAT, values)
+        return Vector(Kind.FLOAT, operand.data.astype(np.float64), operand.null.copy())
+    if name in ("char", "varchar", "text", "string"):
+        values = [
+            None if operand.null[i] else _to_string(operand, i)
+            for i in range(len(operand))
+        ]
+        return Vector.from_values(Kind.STR, values)
+    if name == "date":
+        if operand.kind is Kind.STR:
+            values = [
+                None if operand.null[i] else parse_date(operand.data[i])
+                for i in range(len(operand))
+            ]
+            return Vector.from_values(Kind.DATE, values)
+        return Vector(Kind.DATE, operand.data.astype(np.int64), operand.null.copy())
+    raise TypeError_(f"unsupported cast target {expr.type_name!r}")
+
+
+def _to_string(vec: Vector, i: int) -> str:
+    value = vec.value(i)
+    if vec.kind is Kind.DATE:
+        from .types import format_date
+
+        return format_date(value)
+    return str(value)
+
+
+def _scalar_func(expr: A.FuncCall, batch: Batch, ctx: EvalContext) -> Vector:
+    name = expr.name
+    from .sql.parser import AGGREGATE_FUNCS
+
+    if name in AGGREGATE_FUNCS:
+        raise PlanningError(f"aggregate {name} used outside GROUP BY context")
+    args = [evaluate(a, batch, ctx) for a in expr.args]
+    n = batch.num_rows
+    if name == "COALESCE":
+        vectors = harmonize(args)
+        result = vectors[0].copy()
+        for vec in vectors[1:]:
+            need = result.null & ~vec.null
+            result.data[need] = vec.data[need]
+            result.null[need] = False
+        return result
+    if name == "NULLIF":
+        a, b = harmonize(args)
+        equal = a.compare("=", b).is_true()
+        result = a.copy()
+        result.null = result.null | equal
+        return result
+    if name in ("SUBSTR", "SUBSTRING"):
+        s, start = args[0], args[1]
+        length = args[2] if len(args) > 2 else None
+        values = []
+        for i in range(n):
+            if s.null[i] or start.null[i] or (length is not None and length.null[i]):
+                values.append(None)
+                continue
+            begin = int(start.data[i]) - 1
+            if length is None:
+                values.append(s.data[i][begin:])
+            else:
+                values.append(s.data[i][begin:begin + int(length.data[i])])
+        return Vector.from_values(Kind.STR, values)
+    if name == "UPPER":
+        return _map_str(args[0], str.upper)
+    if name == "LOWER":
+        return _map_str(args[0], str.lower)
+    if name == "TRIM":
+        return _map_str(args[0], str.strip)
+    if name == "LENGTH":
+        data = np.fromiter((len(v) for v in args[0].data), dtype=np.int64, count=n)
+        return Vector(Kind.INT, data, args[0].null.copy())
+    if name == "ABS":
+        return Vector(args[0].kind, np.abs(args[0].data), args[0].null.copy())
+    if name == "ROUND":
+        digits = int(args[1].data[0]) if len(args) > 1 else 0
+        data = np.round(args[0].data.astype(np.float64), digits)
+        return Vector(Kind.FLOAT, data, args[0].null.copy())
+    if name == "FLOOR":
+        return Vector(Kind.INT, np.floor(args[0].data).astype(np.int64), args[0].null.copy())
+    if name == "CEIL":
+        return Vector(Kind.INT, np.ceil(args[0].data).astype(np.int64), args[0].null.copy())
+    if name == "MOD":
+        a, b = harmonize(args)
+        null = a.null | b.null | (b.data == 0)
+        safe = np.where(b.data == 0, 1, b.data)
+        return Vector(a.kind, np.mod(a.data, safe), null)
+    if name == "POWER":
+        a, b = args
+        data = np.power(a.data.astype(np.float64), b.data.astype(np.float64))
+        return Vector(Kind.FLOAT, data, a.null | b.null)
+    if name == "SQRT":
+        v = args[0]
+        null = v.null | (v.data < 0)
+        data = np.sqrt(np.where(v.data < 0, 0, v.data).astype(np.float64))
+        return Vector(Kind.FLOAT, data, null)
+    if name in ("LEAST", "GREATEST"):
+        vectors = harmonize(args)
+        result = vectors[0].copy()
+        for vec in vectors[1:]:
+            if name == "LEAST":
+                pick = (vec.data < result.data) & ~vec.null & ~result.null
+            else:
+                pick = (vec.data > result.data) & ~vec.null & ~result.null
+            result.data[pick] = vec.data[pick]
+            result.null = result.null | vec.null
+        return result
+    if name in ("YEAR", "MONTH", "DAY"):
+        v = args[0]
+        if v.kind is not Kind.DATE:
+            raise TypeError_(f"{name} applies to dates")
+        values = []
+        for i in range(n):
+            if v.null[i]:
+                values.append(None)
+                continue
+            d = _dt.date(1970, 1, 1) + _dt.timedelta(days=int(v.data[i]))
+            values.append({"YEAR": d.year, "MONTH": d.month, "DAY": d.day}[name])
+        return Vector.from_values(Kind.INT, values)
+    raise TypeError_(f"unknown scalar function {name}")
+
+
+def _map_str(vec: Vector, fn: Callable[[str], str]) -> Vector:
+    data = np.array([fn(v) if isinstance(v, str) else "" for v in vec.data], dtype=object)
+    return Vector(Kind.STR, data, vec.null.copy())

@@ -1,0 +1,121 @@
+"""Secondary index structures.
+
+Three index flavors back the access paths the paper enumerates (§2.1):
+
+* :class:`HashIndex` — equality probes; used by the data-maintenance
+  workload's business-key lookups (Figures 8–10).
+* :class:`SortedIndex` — range probes (BETWEEN on dates), a stand-in for
+  a B-tree.
+* :class:`BitmapIndex` — per-key row-position arrays on fact-table
+  foreign-key columns; the star transformation intersects them to reduce
+  the fact scan before any join runs.
+
+All indexes are lazily rebuilt after DML: the owning table calls the
+registered invalidation hook and the next probe rebuilds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from .storage import Table
+
+
+class _LazyIndex:
+    """Shared rebuild-on-demand machinery."""
+
+    def __init__(self, table: Table, column: str):
+        self.table = table
+        self.column = column
+        self._stale = True
+        table.register_mutation_listener(self.invalidate)
+
+    def invalidate(self) -> None:
+        self._stale = True
+
+    def _ensure(self) -> None:
+        if self._stale:
+            self._rebuild()
+            self._stale = False
+
+    def _rebuild(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class HashIndex(_LazyIndex):
+    """value -> array of row positions."""
+
+    def _rebuild(self) -> None:
+        vec = self.table.scan_column(self.column)
+        self._map: dict[Any, list[int]] = {}
+        for i in range(len(vec)):
+            if vec.null[i]:
+                continue
+            self._map.setdefault(vec.value(i), []).append(i)
+
+    def lookup(self, value: Any) -> np.ndarray:
+        self._ensure()
+        return np.asarray(self._map.get(value, []), dtype=np.int64)
+
+    def lookup_many(self, values) -> np.ndarray:
+        self._ensure()
+        rows: list[int] = []
+        for v in values:
+            rows.extend(self._map.get(v, ()))
+        return np.asarray(sorted(set(rows)), dtype=np.int64)
+
+    @property
+    def num_keys(self) -> int:
+        self._ensure()
+        return len(self._map)
+
+
+class SortedIndex(_LazyIndex):
+    """Sorted (value, row) pairs supporting range scans."""
+
+    def _rebuild(self) -> None:
+        vec = self.table.scan_column(self.column)
+        valid = np.flatnonzero(~vec.null)
+        keys = vec.data[valid]
+        order = np.argsort(keys, kind="stable")
+        self._keys = keys[order]
+        self._rows = valid[order]
+
+    def range(self, low: Any = None, high: Any = None) -> np.ndarray:
+        """Row positions with low <= value <= high (either bound optional)."""
+        self._ensure()
+        lo = 0 if low is None else int(np.searchsorted(self._keys, low, side="left"))
+        hi = (
+            len(self._keys)
+            if high is None
+            else int(np.searchsorted(self._keys, high, side="right"))
+        )
+        return np.sort(self._rows[lo:hi])
+
+    def lookup(self, value: Any) -> np.ndarray:
+        return self.range(value, value)
+
+
+class BitmapIndex(_LazyIndex):
+    """key value -> row-position array, for star-transformation semi-joins."""
+
+    def _rebuild(self) -> None:
+        vec = self.table.scan_column(self.column)
+        valid = np.flatnonzero(~vec.null)
+        keys = vec.data[valid]
+        order = np.argsort(keys, kind="stable")
+        self._keys = keys[order]
+        self._rows = valid[order]
+
+    def rows_for_keys(self, keys) -> np.ndarray:
+        """Union of row positions for all keys (sorted, deduplicated)."""
+        self._ensure()
+        wanted = np.asarray(sorted(keys), dtype=self._keys.dtype if len(self._keys) else np.int64)
+        lo = np.searchsorted(self._keys, wanted, side="left")
+        hi = np.searchsorted(self._keys, wanted, side="right")
+        parts = [self._rows[a:b] for a, b in zip(lo, hi) if b > a]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))

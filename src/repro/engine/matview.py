@@ -1,0 +1,599 @@
+"""Materialized views with transparent query rewrite.
+
+TPC-DS allows "complex auxiliary data structures" — materialized
+pre-joins and pre-aggregations used transparently via query rewrite —
+on the reporting part of the schema only (§2.1, §5.3). This module
+implements exactly that mechanism:
+
+* a view is defined by an aggregate query (joins + optional filters +
+  GROUP BY + SUM/COUNT/MIN/MAX/AVG);
+* creation canonicalizes the definition into a *signature* (base tables,
+  join-condition set, filter set, group columns, aggregate map) and
+  materializes the result into a stored table;
+* at query time :func:`try_rewrite` structurally matches an incoming
+  SELECT against the registered signatures and, when the view subsumes
+  the query (same joins, filters a subset, group columns a superset,
+  aggregates derivable), rewrites the query to re-aggregate from the
+  view (``SUM(x)`` → ``SUM(sum_x)``, ``COUNT`` → ``SUM(cnt)``,
+  ``AVG`` → ``SUM(sum_x)/SUM(cnt_x)`` …).
+
+The matcher is conservative: any feature it does not model (subqueries
+in WHERE, outer joins, self-joins, HAVING in the view…) simply makes
+the view unusable for that query — never an incorrect rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .batch import Batch
+from .errors import CatalogError, PlanningError
+from .sql import ast_nodes as A
+from .sql.parser import AGGREGATE_FUNCS, parse_query
+from .storage import Table
+from .types import ColumnDef, Kind, SqlType, TableSchema
+from .vector import Vector
+
+_KIND_TO_SQL = {
+    Kind.INT: SqlType("integer", Kind.INT, 11),
+    Kind.FLOAT: SqlType("decimal(15,2)", Kind.FLOAT, 17),
+    Kind.STR: SqlType("varchar(100)", Kind.STR, 100),
+    Kind.DATE: SqlType("date", Kind.DATE, 10),
+    Kind.BOOL: SqlType("integer", Kind.BOOL, 1),
+}
+
+JoinPair = frozenset  # frozenset({(table, col), (table, col)})
+
+
+@dataclass
+class ViewSignature:
+    base_tables: frozenset[str]
+    join_pairs: frozenset
+    filters: frozenset  # canonical filter conjuncts
+    group_cols: tuple[A.ColumnRef, ...]  # canonical
+    #: canonical aggregate call -> stored column name
+    agg_map: dict[A.FuncCall, str] = field(default_factory=dict)
+    #: canonical group column -> stored column name
+    group_map: dict[A.ColumnRef, str] = field(default_factory=dict)
+
+
+@dataclass
+class MaterializedView:
+    name: str
+    sql: str
+    signature: ViewSignature
+    storage: Table
+
+    @property
+    def base_tables(self) -> frozenset[str]:
+        return self.signature.base_tables
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.storage.schema.column_names
+
+    @property
+    def num_rows(self) -> int:
+        return self.storage.num_rows
+
+    def refresh(self, execute: Callable[[str], Batch]) -> None:
+        """Recompute the view from its definition (data-maintenance step)."""
+        batch = execute(self._storage_sql)
+        fresh = Table(self.storage.schema)
+        fresh.append_columns(dict(zip(self.column_names, batch.columns.values())))
+        self.storage = fresh
+
+    _storage_sql: str = ""
+
+
+# --------------------------------------------------------------------------
+# canonicalization
+# --------------------------------------------------------------------------
+
+
+class _Canonicalizer:
+    """Rewrites column references to carry their *table* (not alias) name."""
+
+    def __init__(self, alias_to_table: dict[str, str], catalog):
+        self._alias_to_table = alias_to_table
+        self._catalog = catalog
+
+    def resolve(self, ref: A.ColumnRef) -> A.ColumnRef:
+        if ref.table is not None:
+            table = self._alias_to_table.get(ref.table)
+            if table is None:
+                raise _Unsupported(f"unknown alias {ref.table}")
+            return A.ColumnRef(ref.name, table)
+        owners = [
+            t
+            for t in set(self._alias_to_table.values())
+            if self._catalog.table(t).schema.has_column(ref.name)
+        ]
+        if len(owners) != 1:
+            raise _Unsupported(f"cannot uniquely resolve column {ref.name}")
+        return A.ColumnRef(ref.name, owners[0])
+
+    def canonical(self, expr: A.Expr) -> A.Expr:
+        if isinstance(expr, A.ColumnRef):
+            return self.resolve(expr)
+        if isinstance(expr, A.Literal):
+            return expr
+        if isinstance(expr, A.BinaryOp):
+            return A.BinaryOp(expr.op, self.canonical(expr.left), self.canonical(expr.right))
+        if isinstance(expr, A.UnaryOp):
+            return A.UnaryOp(expr.op, self.canonical(expr.operand))
+        if isinstance(expr, A.FuncCall):
+            return A.FuncCall(
+                expr.name,
+                tuple(self.canonical(a) for a in expr.args),
+                expr.distinct,
+                expr.is_star,
+            )
+        if isinstance(expr, A.Case):
+            return A.Case(
+                tuple((self.canonical(c), self.canonical(r)) for c, r in expr.whens),
+                None if expr.else_ is None else self.canonical(expr.else_),
+            )
+        if isinstance(expr, A.Between):
+            return A.Between(
+                self.canonical(expr.expr),
+                self.canonical(expr.low),
+                self.canonical(expr.high),
+                expr.negated,
+            )
+        if isinstance(expr, A.InList):
+            return A.InList(
+                self.canonical(expr.expr),
+                tuple(self.canonical(i) for i in expr.items),
+                expr.negated,
+            )
+        if isinstance(expr, A.IsNull):
+            return A.IsNull(self.canonical(expr.expr), expr.negated)
+        if isinstance(expr, A.Like):
+            return A.Like(self.canonical(expr.expr), expr.pattern, expr.negated)
+        if isinstance(expr, A.Cast):
+            return A.Cast(self.canonical(expr.expr), expr.type_name)
+        if isinstance(expr, A.WindowFunc):
+            return A.WindowFunc(
+                self.canonical(expr.func),
+                tuple(self.canonical(p) for p in expr.partition_by),
+                tuple(
+                    A.SortKey(self.canonical(k.expr), k.ascending, k.nulls_first)
+                    for k in expr.order_by
+                ),
+            )
+        raise _Unsupported(f"expression {type(expr).__name__} not canonicalizable")
+
+
+class _Unsupported(Exception):
+    """Internal: structure outside the rewrite model; abort matching."""
+
+
+def _flatten_from(
+    refs: tuple[A.TableRef, ...], catalog
+) -> tuple[dict[str, str], list[A.Expr]]:
+    """Collapse a FROM clause into (alias -> table) plus ON conjuncts.
+
+    Only named base tables and inner joins are supported; anything else
+    raises ``_Unsupported``.
+    """
+    alias_to_table: dict[str, str] = {}
+    conjuncts: list[A.Expr] = []
+
+    def visit(ref: A.TableRef) -> None:
+        if isinstance(ref, A.NamedTable):
+            if not catalog.has_table(ref.name):
+                raise _Unsupported(f"{ref.name} is not a base table")
+            if ref.binding in alias_to_table:
+                raise _Unsupported(f"duplicate binding {ref.binding} (self join)")
+            alias_to_table[ref.binding] = ref.name
+            return
+        if isinstance(ref, A.JoinRef):
+            if ref.kind != "inner":
+                raise _Unsupported(f"{ref.kind} join not supported by rewrite")
+            visit(ref.left)
+            visit(ref.right)
+            if ref.on is not None:
+                conjuncts.extend(_split_and(ref.on))
+            return
+        raise _Unsupported("derived tables not supported by rewrite")
+
+    for ref in refs:
+        visit(ref)
+    tables = set(alias_to_table.values())
+    if len(tables) != len(alias_to_table):
+        raise _Unsupported("self join")
+    return alias_to_table, conjuncts
+
+
+def _split_and(expr: A.Expr) -> list[A.Expr]:
+    if isinstance(expr, A.BinaryOp) and expr.op == "AND":
+        return _split_and(expr.left) + _split_and(expr.right)
+    return [expr]
+
+
+@dataclass
+class _AnalyzedSelect:
+    alias_to_table: dict[str, str]
+    join_pairs: frozenset
+    filters: frozenset
+    canon: _Canonicalizer
+    core: A.SelectCore
+
+
+def _analyze_select(core: A.SelectCore, catalog) -> _AnalyzedSelect:
+    alias_to_table, on_conjuncts = _flatten_from(core.from_, catalog)
+    canon = _Canonicalizer(alias_to_table, catalog)
+    conjuncts = list(on_conjuncts)
+    if core.where is not None:
+        conjuncts.extend(_split_and(core.where))
+    join_pairs = set()
+    filters = set()
+    for conjunct in conjuncts:
+        pair = _as_join_pair(conjunct, canon)
+        if pair is not None:
+            join_pairs.add(pair)
+        else:
+            filters.add(canon.canonical(conjunct))
+    return _AnalyzedSelect(
+        alias_to_table, frozenset(join_pairs), frozenset(filters), canon, core
+    )
+
+
+def _as_join_pair(conjunct: A.Expr, canon: _Canonicalizer):
+    if (
+        isinstance(conjunct, A.BinaryOp)
+        and conjunct.op == "="
+        and isinstance(conjunct.left, A.ColumnRef)
+        and isinstance(conjunct.right, A.ColumnRef)
+    ):
+        a = canon.resolve(conjunct.left)
+        b = canon.resolve(conjunct.right)
+        if a.table != b.table:
+            return frozenset({(a.table, a.name), (b.table, b.name)})
+    return None
+
+
+# --------------------------------------------------------------------------
+# view creation
+# --------------------------------------------------------------------------
+
+
+def define_view(name: str, sql: str, catalog, execute) -> MaterializedView:
+    """Parse, validate, canonicalize and materialize a view definition.
+
+    ``execute`` runs a SQL string and returns the result :class:`Batch`
+    (supplied by the database facade to avoid a circular import).
+    """
+    query = parse_query(sql)
+    if query.ctes or query.order_by or query.limit is not None:
+        raise CatalogError("view definitions cannot have CTEs, ORDER BY or LIMIT")
+    if not isinstance(query.body, A.SelectCore):
+        raise CatalogError("view definitions cannot use set operations")
+    core = query.body
+    if core.distinct or core.group_rollup or core.having is not None:
+        raise CatalogError("view definitions cannot use DISTINCT, ROLLUP or HAVING")
+    try:
+        analyzed = _analyze_select(core, catalog)
+    except _Unsupported as exc:
+        raise CatalogError(f"view definition not rewritable: {exc}") from exc
+
+    canon = analyzed.canon
+    group_cols: list[A.ColumnRef] = []
+    for g in core.group_by:
+        if not isinstance(g, A.ColumnRef):
+            raise CatalogError("view GROUP BY must be plain columns")
+        group_cols.append(canon.resolve(g))
+
+    # decompose select list: group columns + aggregates (AVG splits into
+    # SUM and COUNT so re-aggregation stays correct)
+    agg_calls: list[A.FuncCall] = []
+    for item in core.items:
+        expr = item.expr
+        if isinstance(expr, A.ColumnRef):
+            if canon.resolve(expr) not in group_cols:
+                raise CatalogError(f"non-grouped column {expr} in view select list")
+            continue
+        if isinstance(expr, A.FuncCall) and expr.name in AGGREGATE_FUNCS:
+            if expr.distinct:
+                raise CatalogError("DISTINCT aggregates are not re-aggregable")
+            agg_calls.append(canon.canonical(expr))
+            continue
+        raise CatalogError("view select items must be group columns or aggregates")
+
+    expanded: list[A.FuncCall] = []
+    for call in agg_calls:
+        if call.name == "AVG":
+            expanded.append(A.FuncCall("SUM", call.args))
+            expanded.append(A.FuncCall("COUNT", call.args))
+        elif call.name in ("SUM", "MIN", "MAX"):
+            expanded.append(call)
+            if call.name == "SUM":
+                expanded.append(A.FuncCall("COUNT", call.args))
+        elif call.name == "COUNT":
+            expanded.append(call)
+        else:
+            raise CatalogError(f"aggregate {call.name} is not re-aggregable")
+    # always store a row count so COUNT(*) queries can rewrite
+    expanded.append(A.FuncCall("COUNT", (), is_star=True))
+    deduped: list[A.FuncCall] = []
+    for call in expanded:
+        if call not in deduped:
+            deduped.append(call)
+
+    signature = ViewSignature(
+        base_tables=frozenset(analyzed.alias_to_table.values()),
+        join_pairs=analyzed.join_pairs,
+        filters=analyzed.filters,
+        group_cols=tuple(group_cols),
+        agg_map={call: f"a{i}" for i, call in enumerate(deduped)},
+        group_map={col: f"k{i}" for i, col in enumerate(group_cols)},
+    )
+
+    storage_sql = _storage_sql(signature, analyzed.alias_to_table)
+    batch = execute(storage_sql)
+    columns = []
+    for out_name, vec in batch.columns.items():
+        columns.append(ColumnDef(out_name, _KIND_TO_SQL[vec.kind]))
+    storage = Table(TableSchema(name, columns))
+    storage.append_columns(dict(batch.columns))
+    view = MaterializedView(name, sql, signature, storage)
+    view._storage_sql = storage_sql
+    return view
+
+
+def _render(expr: A.Expr) -> str:
+    """Render a canonical expression back to SQL text."""
+    if isinstance(expr, A.ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, A.Literal):
+        if expr.value is None:
+            return "NULL"
+        if expr.is_date:
+            from .types import format_date
+
+            return f"date '{format_date(expr.value)}'"
+        if isinstance(expr.value, str):
+            escaped = expr.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(expr.value, bool):
+            return "TRUE" if expr.value else "FALSE"
+        return repr(expr.value)
+    if isinstance(expr, A.BinaryOp):
+        return f"({_render(expr.left)} {expr.op} {_render(expr.right)})"
+    if isinstance(expr, A.UnaryOp):
+        return f"({expr.op} {_render(expr.operand)})"
+    if isinstance(expr, A.FuncCall):
+        if expr.is_star:
+            return f"{expr.name}(*)"
+        inner = ", ".join(_render(a) for a in expr.args)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({prefix}{inner})"
+    if isinstance(expr, A.Between):
+        word = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return f"({_render(expr.expr)} {word} {_render(expr.low)} AND {_render(expr.high)})"
+    if isinstance(expr, A.InList):
+        word = "NOT IN" if expr.negated else "IN"
+        inner = ", ".join(_render(i) for i in expr.items)
+        return f"({_render(expr.expr)} {word} ({inner}))"
+    if isinstance(expr, A.IsNull):
+        word = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({_render(expr.expr)} {word})"
+    if isinstance(expr, A.Like):
+        word = "NOT LIKE" if expr.negated else "LIKE"
+        escaped = expr.pattern.replace("'", "''")
+        return f"({_render(expr.expr)} {word} '{escaped}')"
+    if isinstance(expr, A.Cast):
+        return f"CAST({_render(expr.expr)} AS {expr.type_name})"
+    if isinstance(expr, A.Case):
+        parts = ["CASE"]
+        for cond, result in expr.whens:
+            parts.append(f"WHEN {_render(cond)} THEN {_render(result)}")
+        if expr.else_ is not None:
+            parts.append(f"ELSE {_render(expr.else_)}")
+        parts.append("END")
+        return " ".join(parts)
+    raise PlanningError(f"cannot render {type(expr).__name__}")
+
+
+def _storage_sql(signature: ViewSignature, alias_to_table: dict[str, str]) -> str:
+    """SQL that materializes the view contents (canonical table names)."""
+    select_parts = [
+        f"{_render(col)} AS {name}" for col, name in signature.group_map.items()
+    ]
+    select_parts += [
+        f"{_render(call)} AS {name}" for call, name in signature.agg_map.items()
+    ]
+    tables = sorted(signature.base_tables)
+    where_parts = []
+    for pair in sorted(signature.join_pairs, key=lambda p: sorted(p)):
+        (t1, c1), (t2, c2) = sorted(pair)
+        where_parts.append(f"{t1}.{c1} = {t2}.{c2}")
+    where_parts += [_render(f) for f in sorted(signature.filters, key=_render)]
+    sql = "SELECT " + ", ".join(select_parts) + " FROM " + ", ".join(tables)
+    if where_parts:
+        sql += " WHERE " + " AND ".join(where_parts)
+    if signature.group_map:
+        sql += " GROUP BY " + ", ".join(_render(c) for c in signature.group_map)
+    return sql
+
+
+# --------------------------------------------------------------------------
+# query rewrite
+# --------------------------------------------------------------------------
+
+
+def try_rewrite(query: A.Query, catalog, views: list[MaterializedView]) -> Optional[A.Query]:
+    """Rewrite ``query`` to read from a matching materialized view.
+
+    Returns the rewritten query, or None when no view applies.
+    """
+    if query.ctes or not isinstance(query.body, A.SelectCore):
+        return None
+    core = query.body
+    if core.group_rollup or core.distinct:
+        return None
+    try:
+        analyzed = _analyze_select(core, catalog)
+    except _Unsupported:
+        return None
+    for view in views:
+        rewritten = _rewrite_with(analyzed, query, view)
+        if rewritten is not None:
+            return rewritten
+    return None
+
+
+def _rewrite_with(
+    analyzed: _AnalyzedSelect, query: A.Query, view: MaterializedView
+) -> Optional[A.Query]:
+    sig = view.signature
+    if frozenset(analyzed.alias_to_table.values()) != sig.base_tables:
+        return None
+    if analyzed.join_pairs != sig.join_pairs:
+        return None
+    if not sig.filters <= analyzed.filters:
+        return None
+    leftover = analyzed.filters - sig.filters
+    canon = analyzed.canon
+    core = analyzed.core
+
+    group_lookup = dict(sig.group_map)
+
+    def map_expr(expr: A.Expr) -> A.Expr:
+        """Map a canonical expression onto view columns; raise when not
+        derivable."""
+        if isinstance(expr, A.ColumnRef):
+            stored = group_lookup.get(expr)
+            if stored is None:
+                raise _Unsupported(f"{expr} not a view group column")
+            return A.ColumnRef(stored)
+        if isinstance(expr, A.FuncCall) and expr.name in AGGREGATE_FUNCS:
+            return _derive_aggregate(expr, sig)
+        if isinstance(expr, A.Literal):
+            return expr
+        if isinstance(expr, A.BinaryOp):
+            return A.BinaryOp(expr.op, map_expr(expr.left), map_expr(expr.right))
+        if isinstance(expr, A.UnaryOp):
+            return A.UnaryOp(expr.op, map_expr(expr.operand))
+        if isinstance(expr, A.Case):
+            return A.Case(
+                tuple((map_expr(c), map_expr(r)) for c, r in expr.whens),
+                None if expr.else_ is None else map_expr(expr.else_),
+            )
+        if isinstance(expr, A.Between):
+            return A.Between(
+                map_expr(expr.expr), map_expr(expr.low), map_expr(expr.high), expr.negated
+            )
+        if isinstance(expr, A.InList):
+            return A.InList(
+                map_expr(expr.expr), tuple(map_expr(i) for i in expr.items), expr.negated
+            )
+        if isinstance(expr, A.IsNull):
+            return A.IsNull(map_expr(expr.expr), expr.negated)
+        if isinstance(expr, A.Like):
+            return A.Like(map_expr(expr.expr), expr.pattern, expr.negated)
+        if isinstance(expr, A.Cast):
+            return A.Cast(map_expr(expr.expr), expr.type_name)
+        if isinstance(expr, A.FuncCall):
+            return A.FuncCall(
+                expr.name, tuple(map_expr(a) for a in expr.args), expr.distinct, expr.is_star
+            )
+        if isinstance(expr, A.WindowFunc):
+            return A.WindowFunc(
+                A.FuncCall(
+                    expr.func.name,
+                    tuple(map_expr(a) for a in expr.func.args),
+                    expr.func.distinct,
+                    expr.func.is_star,
+                ),
+                tuple(map_expr(p) for p in expr.partition_by),
+                tuple(
+                    A.SortKey(map_expr(k.expr), k.ascending, k.nulls_first)
+                    for k in expr.order_by
+                ),
+            )
+        raise _Unsupported(f"cannot map {type(expr).__name__}")
+
+    try:
+        new_items = []
+        for item in core.items:
+            alias = item.alias
+            if alias is None and isinstance(item.expr, A.ColumnRef):
+                # keep the user-visible column name across the rewrite
+                alias = item.expr.name
+            new_items.append(
+                A.SelectItem(map_expr(canon.canonical(item.expr)), alias)
+            )
+        new_items = tuple(new_items)
+        new_where = None
+        for conjunct in sorted(leftover, key=_render):
+            mapped = map_expr(conjunct)
+            new_where = mapped if new_where is None else A.BinaryOp("AND", new_where, mapped)
+        new_group = tuple(map_expr(canon.resolve(g)) for g in core.group_by
+                          if isinstance(g, A.ColumnRef))
+        if len(new_group) != len(core.group_by):
+            return None
+        new_having = None
+        if core.having is not None:
+            new_having = map_expr(canon.canonical(core.having))
+        new_order = tuple(
+            A.SortKey(_map_order_expr(k.expr, core, map_expr, canon), k.ascending, k.nulls_first)
+            for k in query.order_by
+        )
+    except _Unsupported:
+        return None
+
+    new_core = A.SelectCore(
+        items=new_items,
+        from_=(A.NamedTable(view.name),),
+        where=new_where,
+        group_by=new_group,
+        having=new_having,
+    )
+    return A.Query(new_core, (), new_order, query.limit, query.offset)
+
+
+def _map_order_expr(expr: A.Expr, core: A.SelectCore, map_expr, canon) -> A.Expr:
+    """ORDER BY keys may reference select aliases or ordinals — leave those
+    untouched; canonical column/aggregate expressions get mapped."""
+    if isinstance(expr, A.Literal) and isinstance(expr.value, int):
+        return expr
+    if isinstance(expr, A.ColumnRef) and expr.table is None:
+        aliases = {item.alias for item in core.items if item.alias}
+        if expr.name in aliases:
+            return expr
+    return map_expr(canon.canonical(expr))
+
+
+def _derive_aggregate(call: A.FuncCall, sig: ViewSignature) -> A.Expr:
+    if call.distinct:
+        raise _Unsupported("DISTINCT aggregate not derivable")
+    name = call.name
+    if name == "COUNT" and call.is_star:
+        stored = sig.agg_map.get(A.FuncCall("COUNT", (), is_star=True))
+        if stored is None:
+            raise _Unsupported("view lacks COUNT(*)")
+        return A.FuncCall("SUM", (A.ColumnRef(stored),))
+    if name in ("SUM", "COUNT"):
+        stored = sig.agg_map.get(A.FuncCall(name, call.args))
+        if stored is None:
+            raise _Unsupported(f"view lacks {name}{call.args}")
+        return A.FuncCall("SUM", (A.ColumnRef(stored),))
+    if name in ("MIN", "MAX"):
+        stored = sig.agg_map.get(A.FuncCall(name, call.args))
+        if stored is None:
+            raise _Unsupported(f"view lacks {name}{call.args}")
+        return A.FuncCall(name, (A.ColumnRef(stored),))
+    if name == "AVG":
+        sum_col = sig.agg_map.get(A.FuncCall("SUM", call.args))
+        cnt_col = sig.agg_map.get(A.FuncCall("COUNT", call.args))
+        if sum_col is None or cnt_col is None:
+            raise _Unsupported("view lacks SUM/COUNT pair for AVG")
+        return A.BinaryOp(
+            "/",
+            A.FuncCall("SUM", (A.ColumnRef(sum_col),)),
+            A.FuncCall("SUM", (A.ColumnRef(cnt_col),)),
+        )
+    raise _Unsupported(f"aggregate {name} not derivable")

@@ -1,0 +1,422 @@
+"""Rule- and cost-based plan optimization.
+
+Three rewrites, each independently switchable (the ablation benches in
+``benchmarks/bench_ablation_access_paths.py`` toggle them):
+
+1. **Predicate pushdown** — WHERE conjuncts sink through joins to the
+   side that binds them; single-table conjuncts land in the scan itself.
+   Equality conjuncts spanning a cross join convert it into a hash join.
+2. **Join reordering** — flattens a connected inner-join tree into a
+   relation set plus conjunct pool and rebuilds it greedily from
+   statistics: start with the smallest estimated relation and repeatedly
+   attach the relation that minimizes the estimated intermediate size
+   (foreign-key joins estimate as ``max(left, right)``; cartesian growth
+   is penalized). This is where the paper's point about snowflake
+   schemas challenging optimizers lives.
+3. **Star transformation** — when a large fact scan is equi-joined to
+   selective filtered dimensions and a bitmap index exists on the fact
+   foreign-key column, insert a :class:`StarFilter` that intersects
+   bitmap row sets before the scan feeds the joins (§2.1's "bitmap
+   accesses, bitmap merges, bitmap joins").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from . import plan as P
+from .planner import and_all, output_names, refs_bound, split_conjuncts
+from .sql import ast_nodes as A
+from .stats import estimate_selectivity
+
+
+@dataclass
+class OptimizerSettings:
+    enable_pushdown: bool = True
+    enable_join_reorder: bool = True
+    enable_star_transformation: bool = True
+    #: a fact scan qualifies for star transformation above this size
+    star_fact_threshold: int = 5_000
+    #: a dimension subplan qualifies when its estimated selectivity is below
+    star_dim_selectivity: float = 0.5
+
+
+class Optimizer:
+    """Applies pushdown, join reordering and star transformation per its settings."""
+    def __init__(self, catalog, settings: OptimizerSettings | None = None):
+        self._catalog = catalog
+        self.settings = settings or OptimizerSettings()
+        #: optimized form of shared (CTE) subtrees, keyed by original id,
+        #: so a CTE referenced twice stays one shared object and the
+        #: executor's memoization still applies
+        self._shared: dict[int, P.PlanNode] = {}
+
+    def optimize(self, node: P.PlanNode) -> P.PlanNode:
+        self._shared = {}
+        return self._rewrite(node)
+
+    # -- recursive driver ---------------------------------------------------
+
+    def _rewrite(self, node: P.PlanNode) -> P.PlanNode:
+        # bottom-up: children first
+        if isinstance(node, P.Filter):
+            child = self._rewrite(node.child)
+            node = P.Filter(child, node.predicate)
+            if self.settings.enable_pushdown:
+                node = self._push_filter(node)
+        elif isinstance(node, P.Join):
+            node = P.Join(
+                self._rewrite(node.left),
+                self._rewrite(node.right),
+                node.kind,
+                list(node.equi_keys),
+                node.residual,
+            )
+        elif isinstance(node, P.Project):
+            node = P.Project(self._rewrite(node.child), node.items)
+        elif isinstance(node, P.Aggregate):
+            node = P.Aggregate(
+                self._rewrite(node.child), node.group_items, node.agg_items, node.rollup
+            )
+        elif isinstance(node, P.Window):
+            node = P.Window(self._rewrite(node.child), node.items)
+        elif isinstance(node, P.Sort):
+            node = P.Sort(self._rewrite(node.child), node.keys)
+        elif isinstance(node, P.Limit):
+            node = P.Limit(self._rewrite(node.child), node.limit, node.offset)
+        elif isinstance(node, P.Distinct):
+            node = P.Distinct(self._rewrite(node.child))
+        elif isinstance(node, P.SetOpPlan):
+            node = P.SetOpPlan(node.op, self._rewrite(node.left), self._rewrite(node.right))
+        elif isinstance(node, P.Rename):
+            key = id(node.child)
+            if key not in self._shared:
+                self._shared[key] = self._rewrite(node.child)
+            node = P.Rename(self._shared[key], node.alias, node.column_names)
+        if isinstance(node, P.Join):
+            node = self._optimize_join_region(node)
+        return node
+
+    # -- predicate pushdown ------------------------------------------------------
+
+    def _push_filter(self, node: P.Filter) -> P.PlanNode:
+        conjuncts = split_conjuncts(node.predicate)
+        child = node.child
+        remaining: list[A.Expr] = []
+        for conjunct in conjuncts:
+            if not self._push_conjunct(child, conjunct):
+                remaining.append(conjunct)
+        predicate = and_all(remaining)
+        return child if predicate is None else P.Filter(child, predicate)
+
+    def _push_conjunct(self, node: P.PlanNode, conjunct: A.Expr) -> bool:
+        """Try to sink one conjunct into ``node``; True when absorbed."""
+        if isinstance(conjunct, (A.ScalarSubquery, A.Exists)):
+            return False
+        if _contains_subquery(conjunct):
+            # evaluate subquery predicates once, at the top
+            return False
+        if isinstance(node, P.Scan):
+            names = output_names(node, self._catalog)
+            if refs_bound(conjunct, names):
+                node.pushed_filters.append(conjunct)
+                return True
+            return False
+        if isinstance(node, P.Filter):
+            return self._push_conjunct(node.child, conjunct)
+        if isinstance(node, P.Join):
+            if node.kind in ("inner", "cross"):
+                names_l = output_names(node.left, self._catalog)
+                names_r = output_names(node.right, self._catalog)
+                if refs_bound(conjunct, names_l):
+                    if not self._push_conjunct(node.left, conjunct):
+                        node.left = P.Filter(node.left, conjunct)
+                    return True
+                if refs_bound(conjunct, names_r):
+                    if not self._push_conjunct(node.right, conjunct):
+                        node.right = P.Filter(node.right, conjunct)
+                    return True
+                pair = _equi_pair_for(conjunct, names_l, names_r)
+                if pair is not None:
+                    node.equi_keys.append(pair)
+                    if node.kind == "cross":
+                        node.kind = "inner"
+                    return True
+                if refs_bound(conjunct, names_l + names_r):
+                    node.residual = (
+                        conjunct
+                        if node.residual is None
+                        else A.BinaryOp("AND", node.residual, conjunct)
+                    )
+                    return True
+            elif node.kind == "left":
+                # only the probe (left) side may safely absorb filters
+                names_l = output_names(node.left, self._catalog)
+                if refs_bound(conjunct, names_l):
+                    if not self._push_conjunct(node.left, conjunct):
+                        node.left = P.Filter(node.left, conjunct)
+                    return True
+            return False
+        return False
+
+    # -- join-region optimization (reorder + star transformation) ------------------
+
+    def _optimize_join_region(self, node: P.Join) -> P.PlanNode:
+        if node.kind not in ("inner", "cross"):
+            return node
+        relations: list[P.PlanNode] = []
+        conjuncts: list[A.Expr] = []
+        self._flatten(node, relations, conjuncts)
+        changed = False
+        if self.settings.enable_star_transformation:
+            relations, star_applied = self._star_wrap(relations, conjuncts)
+            changed = changed or star_applied
+        if self.settings.enable_join_reorder and len(relations) > 2:
+            return self._greedy_order(relations, conjuncts)
+        if changed:
+            return self._rebuild_in_order(relations, conjuncts)
+        return node
+
+    def _rebuild_in_order(self, relations, conjuncts) -> P.PlanNode:
+        """Rebuild a left-deep join tree preserving relation order (used
+        when reordering is disabled but the star transformation fired)."""
+        names = [output_names(rel, self._catalog) for rel in relations]
+        current = relations[0]
+        current_names = list(names[0])
+        pool = list(conjuncts)
+        for rel, rel_names in zip(relations[1:], names[1:]):
+            join = P.Join(current, rel, "inner")
+            combined = current_names + rel_names
+            attached = []
+            for conjunct in pool:
+                if not refs_bound(conjunct, combined):
+                    continue
+                pair = _equi_pair_for(conjunct, current_names, rel_names)
+                if pair is not None:
+                    join.equi_keys.append(pair)
+                else:
+                    join.residual = (
+                        conjunct
+                        if join.residual is None
+                        else A.BinaryOp("AND", join.residual, conjunct)
+                    )
+                attached.append(conjunct)
+            for conjunct in attached:
+                pool.remove(conjunct)
+            if not join.equi_keys and join.residual is None:
+                join.kind = "cross"
+            current = join
+            current_names = combined
+        leftover = and_all(pool)
+        return current if leftover is None else P.Filter(current, leftover)
+
+    def _flatten(self, node: P.PlanNode, relations, conjuncts) -> bool:
+        """Collect the maximal inner-join region under ``node``."""
+        if isinstance(node, P.Join) and node.kind in ("inner", "cross"):
+            ok = self._flatten(node.left, relations, conjuncts)
+            ok = ok and self._flatten(node.right, relations, conjuncts)
+            for l, r in node.equi_keys:
+                conjuncts.append(A.BinaryOp("=", l, r))
+            if node.residual is not None:
+                conjuncts.extend(split_conjuncts(node.residual))
+            return ok
+        relations.append(node)
+        return True
+
+    def _estimate_rows(self, node: P.PlanNode) -> float:
+        if isinstance(node, P.Scan):
+            stats = self._catalog.stats(node.table)
+            if stats is None:
+                base = float(self._catalog.table(node.table).num_rows)
+            else:
+                base = float(stats.row_count)
+            column_stats = stats if stats else None
+            for predicate in node.pushed_filters:
+                base *= estimate_selectivity(
+                    predicate, column_stats, node.binding
+                )
+            return max(base, 1.0)
+        if isinstance(node, P.StarFilter):
+            return self._estimate_rows(node.fact) * 0.1
+        if isinstance(node, P.MatViewScan):
+            return float(self._catalog.matview(node.view).num_rows)
+        if isinstance(node, P.Filter):
+            return max(self._estimate_rows(node.child) * 0.2, 1.0)
+        if isinstance(node, P.Join):
+            left = self._estimate_rows(node.left)
+            right = self._estimate_rows(node.right)
+            if node.equi_keys:
+                return max(left, right)
+            return left * right
+        if isinstance(node, P.Aggregate):
+            return max(self._estimate_rows(node.child) * 0.1, 1.0)
+        if isinstance(node, P.Rename):
+            return self._estimate_rows(node.child)
+        if isinstance(node, (P.Sort, P.Limit, P.Distinct, P.Window, P.Project)):
+            return self._estimate_rows(node.children()[0])
+        return 1000.0
+
+    def _greedy_order(self, relations: list[P.PlanNode], conjuncts: list[A.Expr]) -> P.PlanNode:
+        names = {id(rel): output_names(rel, self._catalog) for rel in relations}
+        sizes = {id(rel): self._estimate_rows(rel) for rel in relations}
+        remaining = list(relations)
+        pool = list(conjuncts)
+
+        # seed with the smallest relation that participates in a join
+        current = min(remaining, key=lambda r: sizes[id(r)])
+        remaining.remove(current)
+        current_names = list(names[id(current)])
+        current_size = sizes[id(current)]
+
+        while remaining:
+            best = None
+            best_size = None
+            for candidate in remaining:
+                cand_names = current_names + names[id(candidate)]
+                join_keys = [
+                    c
+                    for c in pool
+                    if _joins_across(c, current_names, names[id(candidate)])
+                ]
+                if join_keys:
+                    est = max(current_size, sizes[id(candidate)])
+                else:
+                    est = current_size * sizes[id(candidate)]
+                if best is None or est < best_size:
+                    best = candidate
+                    best_size = est
+            remaining.remove(best)
+            join = P.Join(
+                _as_node(current), best, "inner"
+            )
+            # attach every conjunct now bound by the combined output
+            combined = current_names + names[id(best)]
+            attached: list[A.Expr] = []
+            for conjunct in pool:
+                if not refs_bound(conjunct, combined):
+                    continue
+                pair = _equi_pair_for(conjunct, current_names, names[id(best)])
+                if pair is not None:
+                    join.equi_keys.append(pair)
+                else:
+                    join.residual = (
+                        conjunct
+                        if join.residual is None
+                        else A.BinaryOp("AND", join.residual, conjunct)
+                    )
+                attached.append(conjunct)
+            for conjunct in attached:
+                pool.remove(conjunct)
+            if not join.equi_keys and join.residual is None:
+                join.kind = "cross"
+            current = join
+            current_names = combined
+            current_size = best_size
+        leftover = and_all(pool)
+        result: P.PlanNode = current
+        if leftover is not None:
+            result = P.Filter(result, leftover)
+        return result
+
+    # -- star transformation ----------------------------------------------------------
+
+    def _star_wrap(self, relations: list[P.PlanNode], conjuncts: list[A.Expr]):
+        """Wrap qualifying fact scans in :class:`StarFilter` nodes.
+
+        A fact scan qualifies when it is large, the join key has a bitmap
+        index, and the dimension side of the key is selectively filtered.
+        The dimension *plan node object* is shared between the StarFilter
+        and the join that still performs the actual join, so the executor
+        evaluates it once.
+        """
+        applied = False
+        out: list[P.PlanNode] = []
+        rel_names = {id(rel): output_names(rel, self._catalog) for rel in relations}
+        for rel in relations:
+            if not isinstance(rel, P.Scan):
+                out.append(rel)
+                continue
+            stats = self._catalog.stats(rel.table)
+            fact_rows = (
+                stats.row_count if stats else self._catalog.table(rel.table).num_rows
+            )
+            if fact_rows < self.settings.star_fact_threshold:
+                out.append(rel)
+                continue
+            dims = []
+            for conjunct in conjuncts:
+                if not (
+                    isinstance(conjunct, A.BinaryOp)
+                    and conjunct.op == "="
+                    and isinstance(conjunct.left, A.ColumnRef)
+                    and isinstance(conjunct.right, A.ColumnRef)
+                ):
+                    continue
+                for fact_key, dim_key in (
+                    (conjunct.left, conjunct.right),
+                    (conjunct.right, conjunct.left),
+                ):
+                    if not refs_bound(fact_key, rel_names[id(rel)]):
+                        continue
+                    if self._catalog.index(rel.table, fact_key.name, "bitmap") is None:
+                        continue
+                    for other in relations:
+                        if other is rel:
+                            continue
+                        if not refs_bound(dim_key, rel_names[id(other)]):
+                            continue
+                        if self._dim_is_selective(other):
+                            dims.append((other, fact_key.name, dim_key))
+                        break
+                    break
+            if dims:
+                out.append(P.StarFilter(rel, dims))
+                applied = True
+            else:
+                out.append(rel)
+        return out, applied
+
+    def _dim_is_selective(self, node: P.PlanNode) -> bool:
+        if isinstance(node, P.Scan) and node.pushed_filters:
+            stats = self._catalog.stats(node.table)
+            base = stats.row_count if stats else self._catalog.table(node.table).num_rows
+            if base == 0:
+                return False
+            est = self._estimate_rows(node)
+            return est / base <= self.settings.star_dim_selectivity
+        if isinstance(node, P.Filter):
+            return True
+        return False
+
+
+def _contains_subquery(expr: A.Expr) -> bool:
+    return any(
+        isinstance(n, (A.InSubquery, A.Exists, A.ScalarSubquery))
+        for n in A.walk(expr)
+    )
+
+
+def _equi_pair_for(conjunct: A.Expr, names_l, names_r):
+    if not (isinstance(conjunct, A.BinaryOp) and conjunct.op == "="):
+        return None
+    a, b = conjunct.left, conjunct.right
+    if _contains_subquery(a) or _contains_subquery(b):
+        return None
+    a_refs = any(isinstance(n, A.ColumnRef) for n in A.walk(a))
+    b_refs = any(isinstance(n, A.ColumnRef) for n in A.walk(b))
+    if not (a_refs and b_refs):
+        return None
+    if refs_bound(a, names_l) and refs_bound(b, names_r):
+        return (a, b)
+    if refs_bound(a, names_r) and refs_bound(b, names_l):
+        return (b, a)
+    return None
+
+
+def _joins_across(conjunct: A.Expr, names_l, names_r) -> bool:
+    return _equi_pair_for(conjunct, names_l, names_r) is not None
+
+
+def _as_node(node: P.PlanNode) -> P.PlanNode:
+    return node

@@ -1,0 +1,215 @@
+"""Logical query plans.
+
+The planner lowers a SQL AST into a tree of these nodes; the optimizer
+rewrites the tree (predicate pushdown, join ordering, star transformation,
+materialized-view rewrite); the executor interprets it.
+
+Column naming convention: a :class:`Scan` with binding ``b`` over table
+columns ``c1..cn`` outputs columns named ``b.c1 .. b.cn``. Computed
+columns (projections, aggregates, windows) are output under their bare
+alias. Expression resolution accepts either an exact key or a unique
+``*.name`` suffix match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .sql import ast_nodes as A
+
+
+class PlanNode:
+    """Base class of logical plan nodes."""
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class Scan(PlanNode):
+    table: str
+    binding: str
+    #: predicate pushed down to the scan by the optimizer (conjuncts)
+    pushed_filters: list[A.Expr] = field(default_factory=list)
+
+    def label(self) -> str:
+        extra = ""
+        if self.pushed_filters:
+            extra += f" filters={len(self.pushed_filters)}"
+        return f"Scan({self.table} as {self.binding}){extra}"
+
+
+@dataclass
+class MatViewScan(PlanNode):
+    """Scan of a materialized view selected by query rewrite."""
+
+    view: str
+    binding: str
+
+    def label(self) -> str:
+        return f"MatViewScan({self.view} as {self.binding})"
+
+
+@dataclass
+class StarFilter(PlanNode):
+    """Star transformation: reduce a fact scan by intersecting bitmap-index
+    row sets derived from filtered dimension subplans, before any join runs.
+
+    Each entry of ``dims`` is ``(dim_plan, fact_column, dim_key_ref)``:
+    the dimension subplan is executed first (its result is memoized, so
+    the actual join above reuses it), and the distinct values of the
+    referenced dimension key column become the allowed key set for the
+    fact scan's ``fact_column``.
+    """
+
+    fact: "Scan"
+    dims: list = field(default_factory=list)
+
+    def children(self):
+        return (self.fact,) + tuple(d for d, _, _ in self.dims)
+
+    def label(self) -> str:
+        keys = ", ".join(f"{fc}" for _, fc, _ in self.dims)
+        return f"StarFilter({keys})"
+
+
+@dataclass
+class Filter(PlanNode):
+    child: PlanNode
+    predicate: A.Expr
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass
+class Project(PlanNode):
+    child: PlanNode
+    items: list[tuple[A.Expr, str]]  # (expression, output name)
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Project({', '.join(name for _, name in self.items)})"
+
+
+@dataclass
+class Join(PlanNode):
+    left: PlanNode
+    right: PlanNode
+    kind: str  # inner, left, right, full, cross
+    #: equi-join key pairs (left expr, right expr)
+    equi_keys: list[tuple[A.Expr, A.Expr]] = field(default_factory=list)
+    #: non-equi residual predicate evaluated on joined rows
+    residual: Optional[A.Expr] = None
+
+    def children(self):
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        algo = "HashJoin" if self.equi_keys else "NestedLoopJoin"
+        return f"{algo}[{self.kind}] keys={len(self.equi_keys)}"
+
+
+@dataclass
+class Aggregate(PlanNode):
+    child: PlanNode
+    group_items: list[tuple[A.Expr, str]]  # evaluated pre-aggregation
+    agg_items: list[tuple[A.FuncCall, str]]
+    rollup: bool = False
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        kind = "Rollup" if self.rollup else "HashAggregate"
+        return (
+            f"{kind}(groups={len(self.group_items)}, aggs={len(self.agg_items)})"
+        )
+
+
+@dataclass
+class Window(PlanNode):
+    child: PlanNode
+    items: list[tuple[A.WindowFunc, str]]
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass
+class Sort(PlanNode):
+    child: PlanNode
+    keys: list[A.SortKey]
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Sort(keys={len(self.keys)})"
+
+
+@dataclass
+class Limit(PlanNode):
+    child: PlanNode
+    limit: Optional[int]
+    offset: int = 0
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Limit({self.limit} offset {self.offset})"
+
+
+@dataclass
+class Distinct(PlanNode):
+    child: PlanNode
+
+    def children(self):
+        return (self.child,)
+
+
+@dataclass
+class SetOpPlan(PlanNode):
+    op: str  # union, union_all, intersect, except
+    left: PlanNode
+    right: PlanNode
+
+    def children(self):
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return f"SetOp({self.op})"
+
+
+@dataclass
+class OneRow(PlanNode):
+    """A single anonymous row, the FROM-less SELECT source."""
+
+
+@dataclass
+class Rename(PlanNode):
+    """Rebind a subplan's output columns under a new alias
+    (derived tables and CTE references)."""
+
+    child: PlanNode
+    alias: str
+    column_names: list[str]
+
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Rename(as {self.alias})"

@@ -1,0 +1,444 @@
+"""Lowering of SQL ASTs into logical plans.
+
+The planner binds table and column references against the catalog,
+decomposes joins, rewrites aggregates and window functions into column
+references over :class:`Aggregate` / :class:`Window` nodes, and resolves
+GROUP BY / ORDER BY aliases and ordinals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import plan as P
+from .errors import PlanningError
+from .sql import ast_nodes as A
+from .sql.parser import AGGREGATE_FUNCS
+
+
+def output_names(node: P.PlanNode, catalog) -> list[str]:
+    """The ordered output column names a plan node produces."""
+    if isinstance(node, P.Scan):
+        schema = catalog.table(node.table).schema
+        return [f"{node.binding}.{c}" for c in schema.column_names]
+    if isinstance(node, P.MatViewScan):
+        view = catalog.matview(node.view)
+        return [f"{node.binding}.{c}" for c in view.column_names]
+    if isinstance(node, P.OneRow):
+        return []
+    if isinstance(node, P.StarFilter):
+        return output_names(node.fact, catalog)
+    if isinstance(node, P.Project):
+        return [name for _, name in node.items]
+    if isinstance(node, P.Join):
+        return output_names(node.left, catalog) + output_names(node.right, catalog)
+    if isinstance(node, P.Aggregate):
+        return [n for _, n in node.group_items] + [n for _, n in node.agg_items]
+    if isinstance(node, P.Window):
+        return output_names(node.child, catalog) + [n for _, n in node.items]
+    if isinstance(node, P.SetOpPlan):
+        return output_names(node.left, catalog)
+    if isinstance(node, P.Rename):
+        return [
+            f"{node.alias}.{name.rsplit('.', 1)[-1]}" for name in node.column_names
+        ]
+    if isinstance(node, (P.Filter, P.Sort, P.Limit, P.Distinct)):
+        return output_names(node.child, catalog)
+    raise PlanningError(f"unknown plan node {type(node).__name__}")
+
+
+def _resolvable(name: str, table: Optional[str], names: list[str]) -> bool:
+    if table is not None:
+        return f"{table}.{name}" in names
+    if name in names:
+        return True
+    suffix = "." + name
+    return sum(1 for n in names if n.endswith(suffix)) == 1
+
+
+def refs_bound(expr: A.Expr, names: list[str]) -> bool:
+    """True when every column reference in ``expr`` resolves in ``names``."""
+    return all(
+        _resolvable(node.name, node.table, names)
+        for node in A.walk(expr)
+        if isinstance(node, A.ColumnRef)
+    )
+
+
+def _replace(expr: A.Expr, mapping: dict[A.Expr, A.Expr]) -> A.Expr:
+    """Structurally replace sub-expressions (top-down, aggregate-aware)."""
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, A.BinaryOp):
+        return A.BinaryOp(expr.op, _replace(expr.left, mapping), _replace(expr.right, mapping))
+    if isinstance(expr, A.UnaryOp):
+        return A.UnaryOp(expr.op, _replace(expr.operand, mapping))
+    if isinstance(expr, A.FuncCall):
+        return A.FuncCall(
+            expr.name,
+            tuple(_replace(a, mapping) for a in expr.args),
+            expr.distinct,
+            expr.is_star,
+        )
+    if isinstance(expr, A.Case):
+        return A.Case(
+            tuple(
+                (_replace(c, mapping), _replace(r, mapping)) for c, r in expr.whens
+            ),
+            None if expr.else_ is None else _replace(expr.else_, mapping),
+        )
+    if isinstance(expr, A.Between):
+        return A.Between(
+            _replace(expr.expr, mapping),
+            _replace(expr.low, mapping),
+            _replace(expr.high, mapping),
+            expr.negated,
+        )
+    if isinstance(expr, A.InList):
+        return A.InList(
+            _replace(expr.expr, mapping),
+            tuple(_replace(i, mapping) for i in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, A.InSubquery):
+        return A.InSubquery(_replace(expr.expr, mapping), expr.query, expr.negated)
+    if isinstance(expr, A.IsNull):
+        return A.IsNull(_replace(expr.expr, mapping), expr.negated)
+    if isinstance(expr, A.Like):
+        return A.Like(_replace(expr.expr, mapping), expr.pattern, expr.negated)
+    if isinstance(expr, A.Cast):
+        return A.Cast(_replace(expr.expr, mapping), expr.type_name)
+    if isinstance(expr, A.WindowFunc):
+        return A.WindowFunc(
+            A.FuncCall(
+                expr.func.name,
+                tuple(_replace(a, mapping) for a in expr.func.args),
+                expr.func.distinct,
+                expr.func.is_star,
+            ),
+            tuple(_replace(p, mapping) for p in expr.partition_by),
+            tuple(
+                A.SortKey(_replace(k.expr, mapping), k.ascending, k.nulls_first)
+                for k in expr.order_by
+            ),
+        )
+    return expr
+
+
+def _collect_aggregates(expr: A.Expr) -> list[A.FuncCall]:
+    """All plain aggregate calls in ``expr`` (window wrappers excluded by walk)."""
+    return [
+        node
+        for node in A.walk(expr)
+        if isinstance(node, A.FuncCall) and node.name in AGGREGATE_FUNCS
+    ]
+
+
+def _collect_windows(expr: A.Expr) -> list[A.WindowFunc]:
+    return [node for node in A.walk(expr) if isinstance(node, A.WindowFunc)]
+
+
+class Planner:
+    """Plans statements against a catalog."""
+
+    def __init__(self, catalog):
+        self._catalog = catalog
+        #: expression subqueries planned in their enclosing CTE scope,
+        #: keyed by the identity of the subquery AST node; the executor's
+        #: run_subquery callback consults this before planning from scratch
+        self.subquery_plans: dict[int, P.PlanNode] = {}
+
+    # -- public -----------------------------------------------------------
+
+    def plan_query(self, query: A.Query, ctes: dict[str, P.PlanNode] | None = None) -> P.PlanNode:
+        cte_env: dict[str, P.PlanNode] = dict(ctes or {})
+        for cte in query.ctes:
+            cte_env[cte.name] = self.plan_query(cte.query, cte_env)
+        node, mapping = self._plan_body(query.body, cte_env)
+        if query.order_by:
+            keys = tuple(
+                A.SortKey(_replace(k.expr, mapping), k.ascending, k.nulls_first)
+                for k in query.order_by
+            )
+            node = self._plan_order_by(node, keys)
+        if query.limit is not None or query.offset:
+            node = P.Limit(node, query.limit, query.offset)
+        return node
+
+    def _register_subqueries(self, expr: A.Expr | None, cte_env) -> None:
+        """Plan every expression subquery under the current CTE scope."""
+        if expr is None:
+            return
+        for node in A.walk(expr):
+            query = None
+            if isinstance(node, (A.InSubquery, A.Exists)):
+                query = node.query
+            elif isinstance(node, A.ScalarSubquery):
+                query = node.query
+            if query is not None and id(query) not in self.subquery_plans:
+                self.subquery_plans[id(query)] = self.plan_query(query, cte_env)
+
+    # -- body -------------------------------------------------------------------
+
+    def _plan_body(self, body, cte_env: dict[str, P.PlanNode]):
+        """Returns (plan, mapping) where mapping rewrites aggregate/window
+        expressions to their computed output columns (used by ORDER BY)."""
+        if isinstance(body, A.SetOp):
+            left, _ = self._plan_body(body.left, cte_env)
+            right, _ = self._plan_body(body.right, cte_env)
+            names_l = output_names(left, self._catalog)
+            names_r = output_names(right, self._catalog)
+            if len(names_l) != len(names_r):
+                raise PlanningError("set operation arity mismatch")
+            return P.SetOpPlan(body.op, left, right), {}
+        return self._plan_select(body, cte_env)
+
+    # -- FROM ---------------------------------------------------------------------
+
+    def _plan_table_ref(self, ref: A.TableRef, cte_env) -> P.PlanNode:
+        if isinstance(ref, A.NamedTable):
+            binding = ref.binding
+            if ref.name in cte_env:
+                child = cte_env[ref.name]
+                return P.Rename(child, binding, output_names(child, self._catalog))
+            if self._catalog.has_matview(ref.name):
+                return P.MatViewScan(ref.name, binding)
+            self._catalog.table(ref.name)  # raises CatalogError when missing
+            return P.Scan(ref.name, binding)
+        if isinstance(ref, A.DerivedTable):
+            child = self.plan_query(ref.query, cte_env)
+            return P.Rename(child, ref.alias, output_names(child, self._catalog))
+        if isinstance(ref, A.JoinRef):
+            left = self._plan_table_ref(ref.left, cte_env)
+            right = self._plan_table_ref(ref.right, cte_env)
+            join = P.Join(left, right, ref.kind)
+            if ref.on is not None:
+                self._register_subqueries(ref.on, cte_env)
+                self._split_join_condition(join, ref.on)
+            return join
+        raise PlanningError(f"unknown table ref {type(ref).__name__}")
+
+    def _split_join_condition(self, join: P.Join, condition: A.Expr) -> None:
+        names_l = output_names(join.left, self._catalog)
+        names_r = output_names(join.right, self._catalog)
+        residual: list[A.Expr] = []
+        for conjunct in split_conjuncts(condition):
+            pair = _equi_pair(conjunct, names_l, names_r)
+            if pair is not None:
+                join.equi_keys.append(pair)
+            else:
+                residual.append(conjunct)
+        join.residual = and_all(residual)
+
+    # -- SELECT core --------------------------------------------------------------
+
+    def _plan_select(self, core: A.SelectCore, cte_env) -> P.PlanNode:
+        # FROM
+        if core.from_:
+            node = self._plan_table_ref(core.from_[0], cte_env)
+            for ref in core.from_[1:]:
+                node = P.Join(node, self._plan_table_ref(ref, cte_env), "cross")
+        else:
+            node = P.OneRow()
+        child_names = output_names(node, self._catalog)
+
+        # subqueries in any clause are planned in the current CTE scope
+        self._register_subqueries(core.where, cte_env)
+        self._register_subqueries(core.having, cte_env)
+        for item in core.items:
+            if not isinstance(item.expr, A.Star):
+                self._register_subqueries(item.expr, cte_env)
+
+        # WHERE
+        if core.where is not None:
+            node = P.Filter(node, core.where)
+
+        # expand stars and name the select items
+        items: list[tuple[A.Expr, Optional[str]]] = []
+        for item in core.items:
+            if isinstance(item.expr, A.Star):
+                prefix = item.expr.table
+                for name in child_names:
+                    binding, _, base = name.rpartition(".")
+                    if prefix is not None and binding != prefix:
+                        continue
+                    items.append((A.ColumnRef(base, binding or None), base))
+            else:
+                items.append((item.expr, item.alias))
+        named_items: list[tuple[A.Expr, str]] = []
+        used: set[str] = set()
+        for i, (expr, alias) in enumerate(items):
+            name = alias
+            if name is None:
+                name = expr.name if isinstance(expr, A.ColumnRef) else f"_col{i}"
+            while name in used:
+                name = name + "_"
+            used.add(name)
+            named_items.append((expr, name))
+        alias_map = {name: expr for expr, name in named_items}
+
+        # aggregate detection
+        has_agg = bool(core.group_by) or any(
+            A.contains_aggregate(e) for e, _ in named_items
+        )
+        if core.having is not None and A.contains_aggregate(core.having):
+            has_agg = True
+
+        select_exprs = [e for e, _ in named_items]
+        having = core.having
+        full_mapping: dict[A.Expr, A.Expr] = {}
+        if has_agg:
+            node, mapping = self._plan_aggregate(
+                node, core, named_items, alias_map, cte_env
+            )
+            full_mapping.update(mapping)
+            select_exprs = [_replace(e, mapping) for e in select_exprs]
+            if having is not None:
+                having = _replace(having, mapping)
+                node = P.Filter(node, having)
+        elif having is not None:
+            raise PlanningError("HAVING without aggregation")
+
+        # windows
+        window_calls: list[A.WindowFunc] = []
+        for expr in select_exprs:
+            for w in _collect_windows(expr):
+                if w not in window_calls:
+                    window_calls.append(w)
+        if window_calls:
+            win_items = [(w, f"_win{i}") for i, w in enumerate(window_calls)]
+            node = P.Window(node, win_items)
+            wmap: dict[A.Expr, A.Expr] = {w: A.ColumnRef(name) for w, name in win_items}
+            full_mapping.update(wmap)
+            select_exprs = [_replace(e, wmap) for e in select_exprs]
+
+        node = P.Project(node, list(zip(select_exprs, [n for _, n in named_items])))
+        if core.distinct:
+            node = P.Distinct(node)
+        return node, full_mapping
+
+    def _plan_aggregate(self, node, core, named_items, alias_map, cte_env):
+        # resolve GROUP BY entries: ordinals and select aliases allowed
+        group_exprs: list[A.Expr] = []
+        for g in core.group_by:
+            if isinstance(g, A.Literal) and isinstance(g.value, int) and not g.is_date:
+                idx = g.value - 1
+                if not 0 <= idx < len(named_items):
+                    raise PlanningError(f"GROUP BY ordinal {g.value} out of range")
+                group_exprs.append(named_items[idx][0])
+                continue
+            if isinstance(g, A.ColumnRef) and g.table is None and g.name in alias_map:
+                child_names = output_names(node, self._catalog)
+                if not _resolvable(g.name, None, child_names):
+                    group_exprs.append(alias_map[g.name])
+                    continue
+            group_exprs.append(g)
+        # dedupe structurally, preserving order
+        seen: set[A.Expr] = set()
+        group_exprs = [g for g in group_exprs if not (g in seen or seen.add(g))]
+
+        group_items: list[tuple[A.Expr, str]] = []
+        mapping: dict[A.Expr, A.Expr] = {}
+        for i, g in enumerate(group_exprs):
+            if isinstance(g, A.ColumnRef):
+                name = g.name
+            else:
+                name = f"_g{i}"
+            if any(name == n for _, n in group_items):
+                name = f"_g{i}"
+            group_items.append((g, name))
+            mapping[g] = A.ColumnRef(name)
+
+        agg_calls: list[A.FuncCall] = []
+        sources = [e for e, _ in named_items]
+        if core.having is not None:
+            sources.append(core.having)
+        for expr in sources:
+            for call in _collect_aggregates(expr):
+                if call not in agg_calls:
+                    agg_calls.append(call)
+        agg_items = [(call, f"_agg{i}") for i, call in enumerate(agg_calls)]
+        for call, name in agg_items:
+            mapping[call] = A.ColumnRef(name)
+
+        agg_node = P.Aggregate(node, group_items, agg_items, rollup=core.group_rollup)
+        return agg_node, mapping
+
+    # -- ORDER BY -------------------------------------------------------------------
+
+    def _plan_order_by(self, node: P.PlanNode, keys: tuple[A.SortKey, ...]) -> P.PlanNode:
+        names = output_names(node, self._catalog)
+        resolved: list[A.SortKey] = []
+        for key in keys:
+            expr = key.expr
+            if isinstance(expr, A.Literal) and isinstance(expr.value, int) and not expr.is_date:
+                idx = expr.value - 1
+                if not 0 <= idx < len(names):
+                    raise PlanningError(f"ORDER BY ordinal {expr.value} out of range")
+                expr = A.ColumnRef(names[idx])
+            resolved.append(A.SortKey(expr, key.ascending, key.nulls_first))
+
+        # keys not covered by the select list sort on hidden columns
+        # computed before the projection, which is then re-applied
+        if isinstance(node, P.Project):
+            child_names = output_names(node.child, self._catalog)
+            hidden: list[tuple[A.Expr, str]] = []
+            final_keys: list[A.SortKey] = []
+            for key in resolved:
+                if refs_bound(key.expr, names) and not A.contains_aggregate(key.expr):
+                    final_keys.append(key)
+                    continue
+                if refs_bound(key.expr, child_names):
+                    hname = f"_ord{len(hidden)}"
+                    hidden.append((key.expr, hname))
+                    final_keys.append(
+                        A.SortKey(A.ColumnRef(hname), key.ascending, key.nulls_first)
+                    )
+                else:
+                    final_keys.append(key)
+            if hidden:
+                widened = P.Project(node.child, list(node.items) + hidden)
+                sorted_node = P.Sort(widened, final_keys)
+                visible = [
+                    (A.ColumnRef(name), name) for _, name in node.items
+                ]
+                return P.Project(sorted_node, visible)
+            return P.Sort(node, final_keys)
+        return P.Sort(node, resolved)
+
+
+# -- predicate utilities shared with the optimizer ------------------------------
+
+
+def split_conjuncts(expr: A.Expr) -> list[A.Expr]:
+    """Flatten an AND tree into its conjunct list."""
+    if isinstance(expr, A.BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def and_all(conjuncts: list[A.Expr]) -> Optional[A.Expr]:
+    """AND a conjunct list back together (None when empty)."""
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for c in conjuncts[1:]:
+        result = A.BinaryOp("AND", result, c)
+    return result
+
+
+def _equi_pair(expr: A.Expr, names_l: list[str], names_r: list[str]):
+    """If ``expr`` is ``left_col = right_col`` across the two sides, return
+    the ordered pair; otherwise None."""
+    if not (isinstance(expr, A.BinaryOp) and expr.op == "="):
+        return None
+    a, b = expr.left, expr.right
+    if refs_bound(a, names_l) and refs_bound(b, names_r) and _has_ref(a) and _has_ref(b):
+        return (a, b)
+    if refs_bound(a, names_r) and refs_bound(b, names_l) and _has_ref(a) and _has_ref(b):
+        return (b, a)
+    return None
+
+
+def _has_ref(expr: A.Expr) -> bool:
+    return any(isinstance(n, A.ColumnRef) for n in A.walk(expr))

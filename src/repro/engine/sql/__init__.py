@@ -1,0 +1,1 @@
+"""SQL front end: lexer, AST and parser for the engine dialect."""

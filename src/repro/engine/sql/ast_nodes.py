@@ -1,0 +1,295 @@
+"""Abstract syntax tree for the engine's SQL-99 subset.
+
+The dialect covers what the TPC-DS query set needs: SELECT with joins
+(comma and ANSI, inner/left/right/full), WHERE with 3VL predicates,
+GROUP BY / HAVING (including ROLLUP), window functions with PARTITION BY
+and ORDER BY, common table expressions, set operations, scalar / IN /
+EXISTS subqueries, CASE, BETWEEN, LIKE, IN-lists, CAST, and DML
+(INSERT / DELETE / UPDATE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any  # int, float, str, bool, None
+    is_date: bool = False
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # + - * / || = <> < <= > >= AND OR
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # NOT, -
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str  # upper-cased
+    args: tuple[Expr, ...]
+    distinct: bool = False
+    is_star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    whens: tuple[tuple[Expr, Expr], ...]
+    else_: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    expr: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    expr: Expr
+    query: "Query"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    query: "Query"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    expr: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    expr: Expr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    expr: Expr
+    type_name: str
+
+
+@dataclass(frozen=True)
+class SortKey:
+    expr: Expr
+    ascending: bool = True
+    nulls_first: Optional[bool] = None  # None = dialect default (nulls last asc)
+
+
+@dataclass(frozen=True)
+class WindowFunc(Expr):
+    func: FuncCall  # SUM/AVG/COUNT/MIN/MAX or RANK/DENSE_RANK/ROW_NUMBER
+    partition_by: tuple[Expr, ...] = ()
+    order_by: tuple[SortKey, ...] = ()
+
+
+# --------------------------------------------------------------------------
+# table references
+# --------------------------------------------------------------------------
+
+
+class TableRef:
+    """Base class for FROM-clause items."""
+
+
+@dataclass(frozen=True)
+class NamedTable(TableRef):
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class DerivedTable(TableRef):
+    query: "Query"
+    alias: str
+
+
+@dataclass(frozen=True)
+class JoinRef(TableRef):
+    left: TableRef
+    right: TableRef
+    kind: str  # inner, left, right, full, cross
+    on: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SelectCore:
+    items: tuple[SelectItem, ...]
+    from_: tuple[TableRef, ...] = ()
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    group_rollup: bool = False
+    having: Optional[Expr] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SetOp:
+    op: str  # union, union_all, intersect, except
+    left: Union[SelectCore, "SetOp"]
+    right: Union[SelectCore, "SetOp"]
+
+
+@dataclass(frozen=True)
+class Cte:
+    name: str
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full query: optional CTEs, a select/set-op body, ordering, limit."""
+
+    body: Union[SelectCore, SetOp]
+    ctes: tuple[Cte, ...] = ()
+    order_by: tuple[SortKey, ...] = ()
+    limit: Optional[int] = None
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]  # empty = all, in schema order
+    rows: tuple[tuple[Expr, ...], ...] = ()
+    query: Optional[Query] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+Statement = Union[Query, Insert, Delete, Update]
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and all sub-expressions, depth first."""
+    yield expr
+    children: tuple = ()
+    if isinstance(expr, BinaryOp):
+        children = (expr.left, expr.right)
+    elif isinstance(expr, UnaryOp):
+        children = (expr.operand,)
+    elif isinstance(expr, FuncCall):
+        children = expr.args
+    elif isinstance(expr, Case):
+        children = tuple(e for pair in expr.whens for e in pair)
+        if expr.else_ is not None:
+            children += (expr.else_,)
+    elif isinstance(expr, Between):
+        children = (expr.expr, expr.low, expr.high)
+    elif isinstance(expr, InList):
+        children = (expr.expr,) + expr.items
+    elif isinstance(expr, InSubquery):
+        children = (expr.expr,)
+    elif isinstance(expr, IsNull):
+        children = (expr.expr,)
+    elif isinstance(expr, Like):
+        children = (expr.expr,)
+    elif isinstance(expr, Cast):
+        children = (expr.expr,)
+    elif isinstance(expr, WindowFunc):
+        children = (
+            tuple(expr.func.args)
+            + expr.partition_by
+            + tuple(k.expr for k in expr.order_by)
+        )
+    for child in children:
+        yield from walk(child)
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True when the expression contains a plain (non-window) aggregate.
+
+    ``walk`` never yields the ``FuncCall`` wrapped inside a ``WindowFunc``
+    (it descends directly into the call's arguments), so any aggregate
+    call that *is* yielded here is a plain grouping aggregate.
+    """
+    from .parser import AGGREGATE_FUNCS  # local import to avoid cycle
+
+    return any(
+        isinstance(node, FuncCall) and node.name in AGGREGATE_FUNCS
+        for node in walk(expr)
+    )
+
+
+def contains_window(expr: Expr) -> bool:
+    """True when the expression contains a window function."""
+    return any(isinstance(node, WindowFunc) for node in walk(expr))

@@ -1,0 +1,142 @@
+"""Tokenizer for the SQL subset.
+
+Produces a flat list of :class:`Token` with 1-based line/column positions
+for error reporting. Handles ``--`` line comments, ``/* */`` block
+comments, single-quoted strings with doubled-quote escapes, numeric
+literals (int/decimal), identifiers, and multi-character operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "OFFSET", "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS",
+    "NULL", "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON",
+    "UNION", "ALL", "INTERSECT", "EXCEPT", "DISTINCT", "EXISTS",
+    "WITH", "OVER", "PARTITION", "ASC", "DESC", "NULLS", "FIRST", "LAST",
+    "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET", "CAST",
+    "DATE", "INTERVAL", "ROLLUP", "TOP",
+}
+
+OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/",
+             "(", ")", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str  # KEYWORD, IDENT, NUMBER, STRING, OP, EOF
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type == "KEYWORD" and self.value in names
+
+    def is_op(self, *ops: str) -> bool:
+        return self.type == "OP" and self.value in ops
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text into a Token list ending with EOF."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise SqlSyntaxError("unterminated block comment", line, col)
+            advance(end + 2 - i)
+            continue
+        if ch == "'":
+            start_line, start_col = line, col
+            advance(1)
+            buf: list[str] = []
+            while True:
+                if i >= n:
+                    raise SqlSyntaxError("unterminated string", start_line, start_col)
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        buf.append("'")
+                        advance(2)
+                        continue
+                    advance(1)
+                    break
+                buf.append(text[i])
+                advance(1)
+            tokens.append(Token("STRING", "".join(buf), start_line, start_col))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start_line, start_col = line, col
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # avoid swallowing "1." followed by identifier (qualified ref)
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            value = text[i:j]
+            advance(j - i)
+            tokens.append(Token("NUMBER", value, start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, col
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            advance(j - i)
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start_line, start_col))
+            else:
+                tokens.append(Token("IDENT", word.lower(), start_line, start_col))
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise SqlSyntaxError("unterminated quoted identifier", line, col)
+            word = text[i + 1:end]
+            advance(end + 1 - i)
+            tokens.append(Token("IDENT", word.lower(), start_line, start_col))
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, line, col))
+                advance(len(op))
+                matched = True
+                break
+        if not matched:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

@@ -1,0 +1,611 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar highlights (see :mod:`ast_nodes` for the produced tree):
+
+* queries: ``WITH`` CTEs, set operations (``INTERSECT`` binds tighter
+  than ``UNION`` / ``EXCEPT``), ``ORDER BY``, ``LIMIT`` / ``OFFSET``;
+* select cores: ``DISTINCT``, expression select-lists with aliases,
+  comma joins and ANSI joins, ``GROUP BY`` (optionally ``ROLLUP``),
+  ``HAVING``;
+* expressions: precedence-climbing with OR < AND < NOT < comparison /
+  IS / IN / BETWEEN / LIKE < additive < multiplicative < unary;
+* window functions: ``agg(...) OVER (PARTITION BY ... ORDER BY ...)``
+  and the ranking functions;
+* DML: ``INSERT ... VALUES/SELECT``, ``DELETE``, ``UPDATE``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SqlSyntaxError
+from ..types import parse_date
+from . import ast_nodes as A
+from .lexer import Token, tokenize
+
+AGGREGATE_FUNCS = {
+    "SUM", "AVG", "MIN", "MAX", "COUNT", "STDDEV_SAMP", "VAR_SAMP", "STDDEV",
+}
+
+RANKING_FUNCS = {"RANK", "DENSE_RANK", "ROW_NUMBER"}
+
+SCALAR_FUNCS = {
+    "SUBSTR", "SUBSTRING", "COALESCE", "ABS", "ROUND", "UPPER", "LOWER",
+    "LENGTH", "NULLIF", "FLOOR", "CEIL", "MOD", "TRIM", "YEAR", "MONTH",
+    "DAY", "POWER", "SQRT", "LEAST", "GREATEST",
+}
+
+
+def parse_statement(sql: str) -> A.Statement:
+    """Parse one SQL statement (query or DML) into its AST."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+def parse_query(sql: str) -> A.Query:
+    """Parse SQL that must be a query; rejects DML."""
+    stmt = parse_statement(sql)
+    if not isinstance(stmt, A.Query):
+        raise SqlSyntaxError("expected a query")
+    return stmt
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        i = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[i]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.type != "EOF":
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        tok = self._cur
+        shown = tok.value or tok.type
+        return SqlSyntaxError(f"{message} (found {shown!r})", tok.line, tok.column)
+
+    def _accept_kw(self, *names: str) -> bool:
+        if self._cur.is_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _expect_kw(self, name: str) -> None:
+        if not self._accept_kw(name):
+            raise self._error(f"expected {name}")
+
+    def _accept_op(self, *ops: str) -> bool:
+        if self._cur.is_op(*ops):
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            raise self._error(f"expected {op!r}")
+
+    def _expect_ident(self) -> str:
+        if self._cur.type == "IDENT":
+            return self._advance().value
+        # allow non-reserved keywords used as identifiers in a pinch
+        if self._cur.type == "KEYWORD" and self._cur.value in ("DATE", "YEAR"):
+            return self._advance().value.lower()
+        raise self._error("expected identifier")
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> A.Statement:
+        """Parse one SQL statement (query or DML) into its AST."""
+        if self._cur.is_keyword("SELECT", "WITH") or self._cur.is_op("("):
+            stmt: A.Statement = self._parse_query()
+        elif self._cur.is_keyword("INSERT"):
+            stmt = self._parse_insert()
+        elif self._cur.is_keyword("DELETE"):
+            stmt = self._parse_delete()
+        elif self._cur.is_keyword("UPDATE"):
+            stmt = self._parse_update()
+        else:
+            raise self._error("expected SELECT, WITH, INSERT, DELETE or UPDATE")
+        self._accept_op(";")
+        if self._cur.type != "EOF":
+            raise self._error("unexpected trailing input")
+        return stmt
+
+    def _parse_insert(self) -> A.Insert:
+        self._expect_kw("INSERT")
+        self._expect_kw("INTO")
+        table = self._expect_ident()
+        columns: tuple[str, ...] = ()
+        if self._cur.is_op("(") and self._peek().type == "IDENT":
+            # disambiguate column list from INSERT INTO t (SELECT ...)
+            save = self._pos
+            self._advance()
+            names = [self._expect_ident()]
+            while self._accept_op(","):
+                names.append(self._expect_ident())
+            if self._accept_op(")") and (
+                self._cur.is_keyword("VALUES", "SELECT", "WITH")
+            ):
+                columns = tuple(names)
+            else:
+                self._pos = save
+        if self._accept_kw("VALUES"):
+            rows = [self._parse_value_row()]
+            while self._accept_op(","):
+                rows.append(self._parse_value_row())
+            return A.Insert(table, columns, rows=tuple(rows))
+        query = self._parse_query()
+        return A.Insert(table, columns, query=query)
+
+    def _parse_value_row(self) -> tuple[A.Expr, ...]:
+        self._expect_op("(")
+        exprs = [self.parse_expr()]
+        while self._accept_op(","):
+            exprs.append(self.parse_expr())
+        self._expect_op(")")
+        return tuple(exprs)
+
+    def _parse_delete(self) -> A.Delete:
+        self._expect_kw("DELETE")
+        self._expect_kw("FROM")
+        table = self._expect_ident()
+        where = self.parse_expr() if self._accept_kw("WHERE") else None
+        return A.Delete(table, where)
+
+    def _parse_update(self) -> A.Update:
+        self._expect_kw("UPDATE")
+        table = self._expect_ident()
+        self._expect_kw("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept_op(","):
+            assignments.append(self._parse_assignment())
+        where = self.parse_expr() if self._accept_kw("WHERE") else None
+        return A.Update(table, tuple(assignments), where)
+
+    def _parse_assignment(self) -> tuple[str, A.Expr]:
+        name = self._expect_ident()
+        self._expect_op("=")
+        return name, self.parse_expr()
+
+    # -- queries ----------------------------------------------------------------
+
+    def _parse_query(self) -> A.Query:
+        ctes: list[A.Cte] = []
+        if self._accept_kw("WITH"):
+            ctes.append(self._parse_cte())
+            while self._accept_op(","):
+                ctes.append(self._parse_cte())
+        body = self._parse_set_expr()
+        order_by: tuple[A.SortKey, ...] = ()
+        if self._accept_kw("ORDER"):
+            self._expect_kw("BY")
+            order_by = self._parse_sort_keys()
+        limit: Optional[int] = None
+        offset = 0
+        if self._accept_kw("LIMIT"):
+            limit = self._parse_int_literal()
+            if self._accept_kw("OFFSET"):
+                offset = self._parse_int_literal()
+        return A.Query(body, tuple(ctes), order_by, limit, offset)
+
+    def _parse_cte(self) -> A.Cte:
+        name = self._expect_ident()
+        self._expect_kw("AS")
+        self._expect_op("(")
+        query = self._parse_query()
+        self._expect_op(")")
+        return A.Cte(name, query)
+
+    def _parse_int_literal(self) -> int:
+        if self._cur.type != "NUMBER":
+            raise self._error("expected integer literal")
+        return int(self._advance().value)
+
+    def _parse_sort_keys(self) -> tuple[A.SortKey, ...]:
+        keys = [self._parse_sort_key()]
+        while self._accept_op(","):
+            keys.append(self._parse_sort_key())
+        return tuple(keys)
+
+    def _parse_sort_key(self) -> A.SortKey:
+        expr = self.parse_expr()
+        ascending = True
+        if self._accept_kw("ASC"):
+            ascending = True
+        elif self._accept_kw("DESC"):
+            ascending = False
+        nulls_first: Optional[bool] = None
+        if self._accept_kw("NULLS"):
+            if self._accept_kw("FIRST"):
+                nulls_first = True
+            else:
+                self._expect_kw("LAST")
+                nulls_first = False
+        return A.SortKey(expr, ascending, nulls_first)
+
+    def _parse_set_expr(self):
+        left = self._parse_intersect_expr()
+        while self._cur.is_keyword("UNION", "EXCEPT"):
+            op = self._advance().value.lower()
+            if op == "union" and self._accept_kw("ALL"):
+                op = "union_all"
+            right = self._parse_intersect_expr()
+            left = A.SetOp(op, left, right)
+        return left
+
+    def _parse_intersect_expr(self):
+        left = self._parse_set_operand()
+        while self._accept_kw("INTERSECT"):
+            right = self._parse_set_operand()
+            left = A.SetOp("intersect", left, right)
+        return left
+
+    def _parse_set_operand(self):
+        if self._accept_op("("):
+            inner = self._parse_query()
+            self._expect_op(")")
+            if inner.ctes or inner.order_by or inner.limit is not None:
+                # keep as derived table semantics by wrapping in SELECT *
+                return A.SelectCore(
+                    items=(A.SelectItem(A.Star()),),
+                    from_=(A.DerivedTable(inner, alias="__sub"),),
+                )
+            return inner.body
+        return self._parse_select_core()
+
+    def _parse_select_core(self) -> A.SelectCore:
+        self._expect_kw("SELECT")
+        distinct = False
+        if self._accept_kw("DISTINCT"):
+            distinct = True
+        elif self._accept_kw("ALL"):
+            pass
+        items = [self._parse_select_item()]
+        while self._accept_op(","):
+            items.append(self._parse_select_item())
+        from_: tuple[A.TableRef, ...] = ()
+        if self._accept_kw("FROM"):
+            refs = [self._parse_table_ref()]
+            while self._accept_op(","):
+                refs.append(self._parse_table_ref())
+            from_ = tuple(refs)
+        where = self.parse_expr() if self._accept_kw("WHERE") else None
+        group_by: tuple[A.Expr, ...] = ()
+        group_rollup = False
+        if self._accept_kw("GROUP"):
+            self._expect_kw("BY")
+            if self._accept_kw("ROLLUP"):
+                group_rollup = True
+                self._expect_op("(")
+                exprs = [self.parse_expr()]
+                while self._accept_op(","):
+                    exprs.append(self.parse_expr())
+                self._expect_op(")")
+                group_by = tuple(exprs)
+            else:
+                exprs = [self.parse_expr()]
+                while self._accept_op(","):
+                    exprs.append(self.parse_expr())
+                group_by = tuple(exprs)
+        having = self.parse_expr() if self._accept_kw("HAVING") else None
+        return A.SelectCore(
+            items=tuple(items),
+            from_=from_,
+            where=where,
+            group_by=group_by,
+            group_rollup=group_rollup,
+            having=having,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> A.SelectItem:
+        if self._cur.is_op("*"):
+            self._advance()
+            return A.SelectItem(A.Star())
+        if (
+            self._cur.type == "IDENT"
+            and self._peek().is_op(".")
+            and self._peek(2).is_op("*")
+        ):
+            table = self._advance().value
+            self._advance()  # .
+            self._advance()  # *
+            return A.SelectItem(A.Star(table))
+        expr = self.parse_expr()
+        alias: Optional[str] = None
+        if self._accept_kw("AS"):
+            alias = self._expect_ident()
+        elif self._cur.type == "IDENT":
+            alias = self._advance().value
+        return A.SelectItem(expr, alias)
+
+    # -- table references -----------------------------------------------------
+
+    def _parse_table_ref(self) -> A.TableRef:
+        left = self._parse_table_primary()
+        while True:
+            kind: Optional[str] = None
+            if self._accept_kw("CROSS"):
+                kind = "cross"
+                self._expect_kw("JOIN")
+            elif self._accept_kw("INNER"):
+                kind = "inner"
+                self._expect_kw("JOIN")
+            elif self._cur.is_keyword("LEFT", "RIGHT", "FULL"):
+                kind = self._advance().value.lower()
+                self._accept_kw("OUTER")
+                self._expect_kw("JOIN")
+            elif self._accept_kw("JOIN"):
+                kind = "inner"
+            else:
+                return left
+            right = self._parse_table_primary()
+            on: Optional[A.Expr] = None
+            if kind != "cross":
+                self._expect_kw("ON")
+                on = self.parse_expr()
+            left = A.JoinRef(left, right, kind, on)
+
+    def _parse_table_primary(self) -> A.TableRef:
+        if self._accept_op("("):
+            if self._cur.is_keyword("SELECT", "WITH"):
+                query = self._parse_query()
+                self._expect_op(")")
+                self._accept_kw("AS")
+                alias = self._expect_ident()
+                return A.DerivedTable(query, alias)
+            ref = self._parse_table_ref()
+            self._expect_op(")")
+            return ref
+        name = self._expect_ident()
+        alias: Optional[str] = None
+        if self._accept_kw("AS"):
+            alias = self._expect_ident()
+        elif self._cur.type == "IDENT":
+            alias = self._advance().value
+        return A.NamedTable(name, alias)
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> A.Expr:
+        left = self._parse_and()
+        while self._accept_kw("OR"):
+            left = A.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> A.Expr:
+        left = self._parse_not()
+        while self._accept_kw("AND"):
+            left = A.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> A.Expr:
+        if self._accept_kw("NOT"):
+            return A.UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> A.Expr:
+        left = self._parse_additive()
+        while True:
+            if self._cur.is_op("=", "<>", "!=", "<", "<=", ">", ">="):
+                op = self._advance().value
+                if op == "!=":
+                    op = "<>"
+                right = self._parse_additive()
+                left = A.BinaryOp(op, left, right)
+                continue
+            negated = False
+            save = self._pos
+            if self._accept_kw("NOT"):
+                negated = True
+                if not self._cur.is_keyword("BETWEEN", "IN", "LIKE"):
+                    self._pos = save
+                    return left
+            if self._accept_kw("IS"):
+                is_not = self._accept_kw("NOT")
+                self._expect_kw("NULL")
+                left = A.IsNull(left, negated=is_not)
+                continue
+            if self._accept_kw("BETWEEN"):
+                low = self._parse_additive()
+                self._expect_kw("AND")
+                high = self._parse_additive()
+                left = A.Between(left, low, high, negated)
+                continue
+            if self._accept_kw("IN"):
+                self._expect_op("(")
+                if self._cur.is_keyword("SELECT", "WITH"):
+                    query = self._parse_query()
+                    self._expect_op(")")
+                    left = A.InSubquery(left, query, negated)
+                else:
+                    items = [self.parse_expr()]
+                    while self._accept_op(","):
+                        items.append(self.parse_expr())
+                    self._expect_op(")")
+                    left = A.InList(left, tuple(items), negated)
+                continue
+            if self._accept_kw("LIKE"):
+                if self._cur.type != "STRING":
+                    raise self._error("LIKE pattern must be a string literal")
+                pattern = self._advance().value
+                left = A.Like(left, pattern, negated)
+                continue
+            return left
+
+    def _parse_additive(self) -> A.Expr:
+        left = self._parse_multiplicative()
+        while self._cur.is_op("+", "-", "||"):
+            op = self._advance().value
+            left = A.BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> A.Expr:
+        left = self._parse_unary()
+        while self._cur.is_op("*", "/"):
+            op = self._advance().value
+            left = A.BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> A.Expr:
+        if self._accept_op("-"):
+            operand = self._parse_unary()
+            # fold negation into numeric literals (canonical form)
+            if isinstance(operand, A.Literal) and isinstance(
+                operand.value, (int, float)
+            ) and not isinstance(operand.value, bool) and not operand.is_date:
+                return A.Literal(-operand.value)
+            return A.UnaryOp("-", operand)
+        if self._accept_op("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> A.Expr:
+        tok = self._cur
+        if tok.type == "NUMBER":
+            self._advance()
+            value = float(tok.value) if "." in tok.value else int(tok.value)
+            return A.Literal(value)
+        if tok.type == "STRING":
+            self._advance()
+            return A.Literal(tok.value)
+        if tok.is_keyword("NULL"):
+            self._advance()
+            return A.Literal(None)
+        if tok.is_keyword("TRUE"):
+            self._advance()
+            return A.Literal(True)
+        if tok.is_keyword("FALSE"):
+            self._advance()
+            return A.Literal(False)
+        if tok.is_keyword("DATE") and self._peek().type == "STRING":
+            self._advance()
+            text = self._advance().value
+            return A.Literal(parse_date(text), is_date=True)
+        if tok.is_keyword("CASE"):
+            return self._parse_case()
+        if tok.is_keyword("CAST"):
+            return self._parse_cast()
+        if tok.is_keyword("EXISTS"):
+            self._advance()
+            self._expect_op("(")
+            query = self._parse_query()
+            self._expect_op(")")
+            return A.Exists(query)
+        if tok.is_op("("):
+            self._advance()
+            if self._cur.is_keyword("SELECT", "WITH"):
+                query = self._parse_query()
+                self._expect_op(")")
+                return A.ScalarSubquery(query)
+            expr = self.parse_expr()
+            self._expect_op(")")
+            return expr
+        if tok.type == "IDENT" or tok.is_keyword("DATE", "YEAR"):
+            return self._parse_name_or_call()
+        raise self._error("expected expression")
+
+    def _parse_case(self) -> A.Expr:
+        self._expect_kw("CASE")
+        operand: Optional[A.Expr] = None
+        if not self._cur.is_keyword("WHEN"):
+            operand = self.parse_expr()
+        whens: list[tuple[A.Expr, A.Expr]] = []
+        while self._accept_kw("WHEN"):
+            cond = self.parse_expr()
+            if operand is not None:
+                cond = A.BinaryOp("=", operand, cond)
+            self._expect_kw("THEN")
+            result = self.parse_expr()
+            whens.append((cond, result))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        else_ = self.parse_expr() if self._accept_kw("ELSE") else None
+        self._expect_kw("END")
+        return A.Case(tuple(whens), else_)
+
+    def _parse_cast(self) -> A.Expr:
+        self._expect_kw("CAST")
+        self._expect_op("(")
+        expr = self.parse_expr()
+        self._expect_kw("AS")
+        if self._cur.is_keyword("DATE"):
+            self._advance()
+            type_name = "date"
+        else:
+            type_name = self._expect_ident()
+            # swallow optional (p[,s]) on decimal/char casts
+            if self._accept_op("("):
+                self._parse_int_literal()
+                if self._accept_op(","):
+                    self._parse_int_literal()
+                self._expect_op(")")
+        self._expect_op(")")
+        return A.Cast(expr, type_name)
+
+    def _parse_name_or_call(self) -> A.Expr:
+        name = self._advance().value
+        if self._cur.is_op("(") :
+            return self._parse_call(name)
+        if self._accept_op("."):
+            column = self._expect_ident()
+            return A.ColumnRef(column, table=name)
+        return A.ColumnRef(name)
+
+    def _parse_call(self, name: str) -> A.Expr:
+        func_name = name.upper()
+        self._expect_op("(")
+        distinct = False
+        is_star = False
+        args: list[A.Expr] = []
+        if self._accept_op("*"):
+            is_star = True
+        elif not self._cur.is_op(")"):
+            if self._accept_kw("DISTINCT"):
+                distinct = True
+            args.append(self.parse_expr())
+            while self._accept_op(","):
+                args.append(self.parse_expr())
+        self._expect_op(")")
+        call = A.FuncCall(func_name, tuple(args), distinct, is_star)
+        if self._accept_kw("OVER"):
+            return self._parse_window(call)
+        if func_name in RANKING_FUNCS:
+            raise self._error(f"{func_name} requires an OVER clause")
+        if (
+            func_name not in AGGREGATE_FUNCS
+            and func_name not in SCALAR_FUNCS
+            and func_name not in RANKING_FUNCS
+        ):
+            raise self._error(f"unknown function {func_name}")
+        return call
+
+    def _parse_window(self, call: A.FuncCall) -> A.WindowFunc:
+        self._expect_op("(")
+        partition: tuple[A.Expr, ...] = ()
+        order: tuple[A.SortKey, ...] = ()
+        if self._accept_kw("PARTITION"):
+            self._expect_kw("BY")
+            exprs = [self.parse_expr()]
+            while self._accept_op(","):
+                exprs.append(self.parse_expr())
+            partition = tuple(exprs)
+        if self._accept_kw("ORDER"):
+            self._expect_kw("BY")
+            order = self._parse_sort_keys()
+        self._expect_op(")")
+        return A.WindowFunc(call, partition, order)

@@ -1,0 +1,146 @@
+"""Table and column statistics for the cost-based optimizer.
+
+``gather_statistics`` corresponds to the statistics-collection step of
+the TPC-DS database load (§5.2: "gather statistics for the test
+database" is part of the timed load). The optimizer uses row counts,
+per-column NDV and min/max to order joins and to estimate filter
+selectivity; the paper argues skewed data makes exactly this hard, so
+the estimator here is intentionally the classic uniformity-based one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from .sql import ast_nodes as A
+from .storage import Table
+from .types import Kind
+
+
+@dataclass
+class ColumnStats:
+    ndv: int
+    null_fraction: float
+    min_value: Any = None
+    max_value: Any = None
+
+
+@dataclass
+class TableStats:
+    row_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+
+def gather_statistics(table: Table) -> TableStats:
+    """Scan a table and compute optimizer statistics."""
+    stats = TableStats(row_count=table.num_rows)
+    for name, column in table.columns.items():
+        vec = column.scan()
+        n = len(vec)
+        nulls = int(vec.null.sum())
+        ndv = column.distinct_count()
+        min_v = max_v = None
+        if n - nulls > 0 and vec.kind in (Kind.INT, Kind.FLOAT, Kind.DATE):
+            valid = vec.data[~vec.null]
+            min_v = valid.min().item()
+            max_v = valid.max().item()
+        stats.columns[name] = ColumnStats(
+            ndv=ndv,
+            null_fraction=nulls / n if n else 0.0,
+            min_value=min_v,
+            max_value=max_v,
+        )
+    return stats
+
+
+#: default selectivity guesses for predicate shapes the estimator cannot
+#: quantify from statistics (classic System-R constants)
+_DEFAULT_EQ = 0.05
+_DEFAULT_RANGE = 0.25
+_DEFAULT_LIKE = 0.1
+_DEFAULT_OTHER = 0.33
+
+
+def estimate_selectivity(
+    predicate: A.Expr, stats: Optional[TableStats], binding: str
+) -> float:
+    """Estimated fraction of rows that satisfy ``predicate``.
+
+    Uses NDV for equality and min/max interpolation for ranges when the
+    statistics are available; otherwise falls back to fixed guesses.
+    """
+    if isinstance(predicate, A.BinaryOp) and predicate.op == "AND":
+        return estimate_selectivity(predicate.left, stats, binding) * estimate_selectivity(
+            predicate.right, stats, binding
+        )
+    if isinstance(predicate, A.BinaryOp) and predicate.op == "OR":
+        a = estimate_selectivity(predicate.left, stats, binding)
+        b = estimate_selectivity(predicate.right, stats, binding)
+        return min(1.0, a + b - a * b)
+    column = _single_column(predicate)
+    col_stats = stats.columns.get(column) if (stats and column) else None
+    if isinstance(predicate, A.BinaryOp) and predicate.op == "=":
+        if col_stats and col_stats.ndv > 0:
+            return min(1.0, 1.0 / col_stats.ndv)
+        return _DEFAULT_EQ
+    if isinstance(predicate, A.BinaryOp) and predicate.op in ("<", "<=", ">", ">="):
+        bound = _literal_operand(predicate)
+        if (
+            col_stats
+            and bound is not None
+            and col_stats.min_value is not None
+            and col_stats.max_value is not None
+            and col_stats.max_value > col_stats.min_value
+        ):
+            span = col_stats.max_value - col_stats.min_value
+            frac = (bound - col_stats.min_value) / span
+            frac = min(1.0, max(0.0, frac))
+            if predicate.op in (">", ">="):
+                frac = 1.0 - frac
+            return max(frac, 1e-4)
+        return _DEFAULT_RANGE
+    if isinstance(predicate, A.Between):
+        if (
+            col_stats
+            and isinstance(predicate.low, A.Literal)
+            and isinstance(predicate.high, A.Literal)
+            and col_stats.min_value is not None
+            and col_stats.max_value is not None
+            and col_stats.max_value > col_stats.min_value
+            and isinstance(predicate.low.value, (int, float))
+            and isinstance(predicate.high.value, (int, float))
+        ):
+            span = col_stats.max_value - col_stats.min_value
+            width = predicate.high.value - predicate.low.value
+            return min(1.0, max(width / span, 1e-4))
+        return _DEFAULT_RANGE
+    if isinstance(predicate, A.InList):
+        if col_stats and col_stats.ndv > 0:
+            return min(1.0, len(predicate.items) / col_stats.ndv)
+        return min(1.0, _DEFAULT_EQ * len(predicate.items))
+    if isinstance(predicate, A.Like):
+        return _DEFAULT_LIKE
+    if isinstance(predicate, A.IsNull):
+        if col_stats:
+            frac = col_stats.null_fraction
+            return (1.0 - frac) if predicate.negated else max(frac, 1e-4)
+        return _DEFAULT_EQ
+    if isinstance(predicate, A.UnaryOp) and predicate.op == "NOT":
+        return max(0.0, 1.0 - estimate_selectivity(predicate.operand, stats, binding))
+    return _DEFAULT_OTHER
+
+
+def _single_column(predicate: A.Expr) -> Optional[str]:
+    refs = [n for n in A.walk(predicate) if isinstance(n, A.ColumnRef)]
+    names = {r.name for r in refs}
+    return names.pop() if len(names) == 1 else None
+
+
+def _literal_operand(predicate: A.BinaryOp) -> Optional[float]:
+    for side in (predicate.right, predicate.left):
+        if isinstance(side, A.Literal) and isinstance(side.value, (int, float)):
+            return float(side.value)
+    return None

@@ -1,0 +1,230 @@
+"""Columnar table storage.
+
+Tables hold one :class:`StoredColumn` per schema column. Numeric columns
+store a numpy array plus null mask. String columns are
+dictionary-encoded: an ``int32`` code array (-1 encodes NULL) plus the
+list of distinct values, which is both compact and gives the optimizer a
+free NDV statistic. ``scan`` materializes runtime :class:`Vector` objects.
+
+DML (append / delete / update) operates in place and keeps secondary
+indexes registered on the table in sync via an invalidation callback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from .errors import ConstraintError, ExecutionError
+from .types import ColumnDef, Kind, TableSchema
+from .vector import _NUMPY_DTYPE, Vector
+
+
+class StoredColumn:
+    """One column of a stored table."""
+
+    def __init__(self, definition: ColumnDef):
+        self.definition = definition
+        self.kind = definition.kind
+        if self.kind is Kind.STR:
+            self._codes = np.empty(0, dtype=np.int32)
+            self._values: list[str] = []
+            self._value_ids: dict[str, int] = {}
+        else:
+            self._data = np.empty(0, dtype=_NUMPY_DTYPE[self.kind])
+            self._null = np.empty(0, dtype=bool)
+
+    def __len__(self) -> int:
+        if self.kind is Kind.STR:
+            return len(self._codes)
+        return len(self._data)
+
+    # -- encoding -----------------------------------------------------------
+
+    def _encode(self, value: str) -> int:
+        code = self._value_ids.get(value)
+        if code is None:
+            code = len(self._values)
+            self._values.append(value)
+            self._value_ids[value] = code
+        return code
+
+    def append_values(self, values: Iterable[Any]) -> None:
+        values = list(values)
+        if self.kind is Kind.STR:
+            codes = np.fromiter(
+                (-1 if v is None else self._encode(str(v)) for v in values),
+                dtype=np.int32,
+                count=len(values),
+            )
+            self._codes = np.concatenate([self._codes, codes])
+        else:
+            vec = Vector.from_values(self.kind, values)
+            self._data = np.concatenate([self._data, vec.data])
+            self._null = np.concatenate([self._null, vec.null])
+
+    def append_vector(self, vec: Vector) -> None:
+        if vec.kind is not self.kind:
+            raise ExecutionError(
+                f"cannot append {vec.kind} vector to {self.kind} column "
+                f"{self.definition.name}"
+            )
+        if self.kind is Kind.STR:
+            codes = np.fromiter(
+                (
+                    -1 if vec.null[i] else self._encode(vec.data[i])
+                    for i in range(len(vec))
+                ),
+                dtype=np.int32,
+                count=len(vec),
+            )
+            self._codes = np.concatenate([self._codes, codes])
+        else:
+            self._data = np.concatenate([self._data, vec.data])
+            self._null = np.concatenate([self._null, vec.null])
+
+    # -- reads ---------------------------------------------------------------
+
+    def scan(self) -> Vector:
+        """Materialize the whole column as a runtime vector."""
+        if self.kind is Kind.STR:
+            lookup = np.array(self._values + [""], dtype=object)
+            data = lookup[self._codes]
+            null = self._codes < 0
+            return Vector(Kind.STR, data, null)
+        return Vector(self.kind, self._data, self._null)
+
+    def value(self, i: int) -> Any:
+        if self.kind is Kind.STR:
+            code = self._codes[i]
+            return None if code < 0 else self._values[code]
+        if self._null[i]:
+            return None
+        v = self._data[i]
+        if self.kind in (Kind.INT, Kind.DATE):
+            return int(v)
+        if self.kind is Kind.FLOAT:
+            return float(v)
+        return bool(v)
+
+    def distinct_count(self) -> int:
+        """Cheap NDV: exact for dictionary columns, numpy unique otherwise."""
+        if self.kind is Kind.STR:
+            return len(set(self._codes[self._codes >= 0].tolist()))
+        valid = self._data[~self._null]
+        return int(len(np.unique(valid)))
+
+    # -- mutation ------------------------------------------------------------
+
+    def keep(self, mask: np.ndarray) -> None:
+        """Retain only rows where ``mask`` is True (delete support)."""
+        if self.kind is Kind.STR:
+            self._codes = self._codes[mask]
+        else:
+            self._data = self._data[mask]
+            self._null = self._null[mask]
+
+    def set_value(self, i: int, value: Any) -> None:
+        if self.kind is Kind.STR:
+            self._codes[i] = -1 if value is None else self._encode(str(value))
+        elif value is None:
+            self._null[i] = True
+        else:
+            self._data[i] = value
+            self._null[i] = False
+
+
+class Table:
+    """A stored table: schema + columns + registered index invalidators."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.columns: dict[str, StoredColumn] = {
+            c.name: StoredColumn(c) for c in schema.columns
+        }
+        self._on_mutate: list[Callable[[], None]] = []
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def num_rows(self) -> int:
+        first = next(iter(self.columns.values()), None)
+        return 0 if first is None else len(first)
+
+    def register_mutation_listener(self, callback: Callable[[], None]) -> None:
+        self._on_mutate.append(callback)
+
+    def _mutated(self) -> None:
+        for cb in self._on_mutate:
+            cb()
+
+    # -- loading ---------------------------------------------------------------
+
+    def append_rows(self, rows: Sequence[Sequence[Any]]) -> None:
+        """Append row-major data (used by INSERT VALUES and the loader)."""
+        if not rows:
+            return
+        names = self.schema.column_names
+        if any(len(r) != len(names) for r in rows):
+            raise ExecutionError(f"row arity mismatch inserting into {self.name}")
+        for idx, name in enumerate(names):
+            self.columns[name].append_values([r[idx] for r in rows])
+        self._check_not_null(names)
+        self._mutated()
+
+    def append_columns(self, vectors: dict[str, Vector]) -> None:
+        """Append column-major data (used by INSERT ... SELECT)."""
+        names = self.schema.column_names
+        lengths = {len(v) for v in vectors.values()}
+        if len(lengths) > 1:
+            raise ExecutionError("ragged column append")
+        for name in names:
+            if name not in vectors:
+                raise ExecutionError(f"missing column {name} in append to {self.name}")
+            self.columns[name].append_vector(vectors[name])
+        self._check_not_null(names)
+        self._mutated()
+
+    def _check_not_null(self, names: Iterable[str]) -> None:
+        for name in names:
+            col = self.columns[name]
+            if col.definition.nullable:
+                continue
+            vec = col.scan()
+            if vec.null.any():
+                raise ConstraintError(
+                    f"NULL in NOT NULL column {self.name}.{name}"
+                )
+
+    # -- reads -------------------------------------------------------------------
+
+    def scan_column(self, name: str) -> Vector:
+        return self.columns[name].scan()
+
+    def row(self, i: int) -> dict[str, Any]:
+        return {name: col.value(i) for name, col in self.columns.items()}
+
+    # -- mutation ------------------------------------------------------------------
+
+    def delete_where(self, mask: np.ndarray) -> int:
+        """Delete rows where ``mask`` is True; returns the number removed."""
+        removed = int(mask.sum())
+        if removed:
+            keep = ~mask
+            for col in self.columns.values():
+                col.keep(keep)
+            self._mutated()
+        return removed
+
+    def update_rows(self, row_indices: np.ndarray, assignments: dict[str, list[Any]]) -> int:
+        """Set ``assignments[col][k]`` at ``row_indices[k]`` for each column."""
+        for name, values in assignments.items():
+            col = self.columns[name]
+            for k, i in enumerate(row_indices):
+                col.set_value(int(i), values[k])
+        if len(row_indices):
+            self._mutated()
+        return len(row_indices)

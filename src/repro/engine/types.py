@@ -1,0 +1,161 @@
+"""Logical column types for the engine and the TPC-DS schema.
+
+The engine distinguishes five storage kinds (``int``, ``float``, ``str``,
+``date``, ``bool``) but the schema layer declares richer SQL types
+(``CHAR(n)``, ``DECIMAL(p, s)``, ``IDENTIFIER`` …) because the paper's
+Table 1 reports flat-file row widths, which depend on the declared widths.
+
+Dates are stored as int64 *epoch days* (days since 1970-01-01, proleptic
+Gregorian), which makes range predicates and arithmetic vectorizable.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from enum import Enum
+
+EPOCH = _dt.date(1970, 1, 1)
+
+
+class Kind(str, Enum):
+    """Physical storage kind of a column vector."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    DATE = "date"
+    BOOL = "bool"
+
+
+@dataclass(frozen=True)
+class SqlType:
+    """A declared SQL type: logical name plus physical kind and width.
+
+    ``width`` is the maximum number of characters the value occupies in the
+    generated flat file. It drives the row-length statistics of Table 1.
+    """
+
+    name: str
+    kind: Kind
+    width: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def identifier() -> SqlType:
+    """Surrogate-key type: 64-bit integer, 11 bytes in flat files."""
+    return SqlType("identifier", Kind.INT, 11)
+
+
+def integer() -> SqlType:
+    """32/64-bit integer column type."""
+    return SqlType("integer", Kind.INT, 11)
+
+
+def decimal(precision: int = 7, scale: int = 2) -> SqlType:
+    """Fixed-point decimal; stored as float64 (documented deviation)."""
+    return SqlType(f"decimal({precision},{scale})", Kind.FLOAT, precision + 2)
+
+
+def char(n: int) -> SqlType:
+    """Fixed-width character column type."""
+    return SqlType(f"char({n})", Kind.STR, n)
+
+
+def varchar(n: int) -> SqlType:
+    """Variable-width character column type."""
+    return SqlType(f"varchar({n})", Kind.STR, n)
+
+
+def date() -> SqlType:
+    """Calendar date column type (stored as epoch days)."""
+    return SqlType("date", Kind.DATE, 10)
+
+
+def time_of_day() -> SqlType:
+    """Seconds since midnight, stored as integer."""
+    return SqlType("time", Kind.INT, 11)
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """A column declaration in a table schema."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+    primary_key: bool = False
+    #: name of the referenced table for foreign keys, None otherwise
+    references: str | None = None
+    #: True when the column holds the business (OLTP) key of an SCD dimension
+    business_key: bool = False
+
+    @property
+    def kind(self) -> Kind:
+        return self.sql_type.kind
+
+    @property
+    def flat_file_width(self) -> int:
+        return self.sql_type.width
+
+
+@dataclass
+class TableSchema:
+    """A table declaration: name plus ordered column definitions."""
+
+    name: str
+    columns: list[ColumnDef] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_name = {c.name: c for c in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise ValueError(f"duplicate column names in table {self.name}")
+
+    def column(self, name: str) -> ColumnDef:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"table {self.name} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def primary_key(self) -> list[str]:
+        return [c.name for c in self.columns if c.primary_key]
+
+    @property
+    def foreign_keys(self) -> list[tuple[str, str]]:
+        """``(column_name, referenced_table)`` pairs."""
+        return [(c.name, c.references) for c in self.columns if c.references]
+
+    def row_flat_width(self) -> int:
+        """Average flat-file row width in bytes: sum of column widths plus
+        one pipe separator per column (dsdgen writes ``a|b|c|``)."""
+        return sum(c.flat_file_width for c in self.columns) + len(self.columns)
+
+
+def date_to_epoch_days(value: _dt.date) -> int:
+    """Days since 1970-01-01 for a date."""
+    return (value - EPOCH).days
+
+
+def epoch_days_to_date(days: int) -> _dt.date:
+    """The date for a days-since-1970 count."""
+    return EPOCH + _dt.timedelta(days=int(days))
+
+
+def parse_date(text: str) -> int:
+    """Parse ``YYYY-MM-DD`` into epoch days."""
+    return date_to_epoch_days(_dt.date.fromisoformat(text))
+
+
+def format_date(days: int) -> str:
+    """Render epoch days as YYYY-MM-DD."""
+    return epoch_days_to_date(days).isoformat()

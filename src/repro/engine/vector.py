@@ -1,0 +1,250 @@
+"""Runtime column vectors.
+
+A :class:`Vector` is the unit of data flowing between physical operators:
+a numpy data array plus a boolean null mask. Strings are held as numpy
+object arrays at runtime (dictionary encoding is a storage-layer concern,
+see :mod:`repro.engine.storage`).
+
+SQL three-valued logic is implemented by carrying the null mask through
+every operation: comparisons involving NULL yield NULL, and boolean
+combinators follow Kleene logic (``TRUE OR NULL = TRUE`` etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from .errors import TypeError_
+from .types import Kind
+
+_NUMPY_DTYPE = {
+    Kind.INT: np.int64,
+    Kind.FLOAT: np.float64,
+    Kind.STR: object,
+    Kind.DATE: np.int64,
+    Kind.BOOL: bool,
+}
+
+#: fill value used in data slots that are null (value is irrelevant, but a
+#: deterministic fill keeps hashing and debugging stable)
+_FILL: dict[Kind, Any] = {
+    Kind.INT: 0,
+    Kind.FLOAT: 0.0,
+    Kind.STR: "",
+    Kind.DATE: 0,
+    Kind.BOOL: False,
+}
+
+
+@dataclass
+class Vector:
+    """A typed column of values with a null mask.
+
+    ``data`` always has a valid (non-garbage) fill in null slots so that
+    vectorized numpy operations never trip on None.
+    """
+
+    kind: Kind
+    data: np.ndarray
+    null: np.ndarray  # bool mask, True means NULL
+
+    def __post_init__(self) -> None:
+        if len(self.data) != len(self.null):
+            raise ValueError("data / null length mismatch")
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def from_values(kind: Kind, values: Iterable[Any]) -> "Vector":
+        """Build a vector from Python values; ``None`` becomes NULL."""
+        values = list(values)
+        null = np.array([v is None for v in values], dtype=bool)
+        fill = _FILL[kind]
+        cleaned = [fill if v is None else v for v in values]
+        if kind is Kind.DATE:
+            cleaned = [int(v) for v in cleaned]
+        data = np.array(cleaned, dtype=_NUMPY_DTYPE[kind])
+        return Vector(kind, data, null)
+
+    @staticmethod
+    def constant(kind: Kind, value: Any, n: int) -> "Vector":
+        if value is None:
+            return Vector.nulls(kind, n)
+        data = np.full(n, value, dtype=_NUMPY_DTYPE[kind])
+        return Vector(kind, data, np.zeros(n, dtype=bool))
+
+    @staticmethod
+    def nulls(kind: Kind, n: int) -> "Vector":
+        data = np.full(n, _FILL[kind], dtype=_NUMPY_DTYPE[kind])
+        return Vector(kind, data, np.ones(n, dtype=bool))
+
+    @staticmethod
+    def from_numpy(kind: Kind, data: np.ndarray, null: np.ndarray | None = None) -> "Vector":
+        if null is None:
+            null = np.zeros(len(data), dtype=bool)
+        return Vector(kind, data, null)
+
+    # -- basics ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def value(self, i: int) -> Any:
+        """Python value at row ``i`` (``None`` for NULL)."""
+        if self.null[i]:
+            return None
+        v = self.data[i]
+        if self.kind is Kind.INT or self.kind is Kind.DATE:
+            return int(v)
+        if self.kind is Kind.FLOAT:
+            return float(v)
+        if self.kind is Kind.BOOL:
+            return bool(v)
+        return v
+
+    def to_list(self) -> list[Any]:
+        return [self.value(i) for i in range(len(self))]
+
+    def take(self, indices: np.ndarray) -> "Vector":
+        return Vector(self.kind, self.data[indices], self.null[indices])
+
+    def filter(self, mask: np.ndarray) -> "Vector":
+        return Vector(self.kind, self.data[mask], self.null[mask])
+
+    def copy(self) -> "Vector":
+        return Vector(self.kind, self.data.copy(), self.null.copy())
+
+    @staticmethod
+    def concat(parts: Sequence["Vector"]) -> "Vector":
+        if not parts:
+            raise ValueError("cannot concat zero vectors")
+        kind = parts[0].kind
+        if any(p.kind is not kind for p in parts):
+            raise TypeError_("concat of mismatched vector kinds")
+        data = np.concatenate([p.data for p in parts])
+        null = np.concatenate([p.null for p in parts])
+        return Vector(kind, data, null)
+
+    # -- comparisons (return BOOL vectors with 3VL nulls) -------------------
+
+    def _binary_null(self, other: "Vector") -> np.ndarray:
+        return self.null | other.null
+
+    def compare(self, op: str, other: "Vector") -> "Vector":
+        a, b = _coerce_pair(self, other)
+        if op == "=":
+            res = a.data == b.data
+        elif op in ("<>", "!="):
+            res = a.data != b.data
+        elif op == "<":
+            res = a.data < b.data
+        elif op == "<=":
+            res = a.data <= b.data
+        elif op == ">":
+            res = a.data > b.data
+        elif op == ">=":
+            res = a.data >= b.data
+        else:  # pragma: no cover - parser restricts ops
+            raise TypeError_(f"unknown comparison {op!r}")
+        null = a.null | b.null
+        res = np.asarray(res, dtype=bool)
+        res[null] = False
+        return Vector(Kind.BOOL, res, null)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def arith(self, op: str, other: "Vector") -> "Vector":
+        a, b = _coerce_pair(self, other)
+        if a.kind is Kind.STR:
+            if op == "||":
+                data = np.array(
+                    [x + y for x, y in zip(a.data, b.data)], dtype=object
+                )
+                return Vector(Kind.STR, data, a.null | b.null)
+            raise TypeError_(f"operator {op!r} not defined for strings")
+        null = a.null | b.null
+        x = a.data.astype(np.float64) if op == "/" else a.data
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if op == "+":
+                data = a.data + b.data
+            elif op == "-":
+                data = a.data - b.data
+            elif op == "*":
+                data = a.data * b.data
+            elif op == "/":
+                denom = b.data.astype(np.float64)
+                data = np.where(denom == 0, np.nan, x / np.where(denom == 0, 1.0, denom))
+                null = null | (denom == 0)
+            else:  # pragma: no cover
+                raise TypeError_(f"unknown arithmetic op {op!r}")
+        kind = Kind.FLOAT if (op == "/" or a.kind is Kind.FLOAT or b.kind is Kind.FLOAT) else a.kind
+        data = np.asarray(data, dtype=_NUMPY_DTYPE[kind])
+        data = data.copy()
+        data[null] = _FILL[kind]
+        return Vector(kind, data, null)
+
+    def negate(self) -> "Vector":
+        if self.kind not in (Kind.INT, Kind.FLOAT):
+            raise TypeError_("unary minus on non-numeric vector")
+        return Vector(self.kind, -self.data, self.null.copy())
+
+    # -- boolean combinators (Kleene 3VL) ------------------------------------
+
+    def and_(self, other: "Vector") -> "Vector":
+        _require_bool(self, other)
+        false_a = ~self.data & ~self.null
+        false_b = ~other.data & ~other.null
+        res_false = false_a | false_b
+        res_true = (self.data & ~self.null) & (other.data & ~other.null)
+        null = ~res_false & ~res_true
+        return Vector(Kind.BOOL, res_true, null)
+
+    def or_(self, other: "Vector") -> "Vector":
+        _require_bool(self, other)
+        res_true = (self.data & ~self.null) | (other.data & ~other.null)
+        res_false = (~self.data & ~self.null) & (~other.data & ~other.null)
+        null = ~res_true & ~res_false
+        return Vector(Kind.BOOL, res_true, null)
+
+    def not_(self) -> "Vector":
+        _require_bool(self)
+        data = ~self.data
+        data[self.null] = False
+        return Vector(Kind.BOOL, data, self.null.copy())
+
+    def is_true(self) -> np.ndarray:
+        """Selection mask for WHERE: rows where the predicate is TRUE
+        (NULL and FALSE both drop the row)."""
+        _require_bool(self)
+        return self.data & ~self.null
+
+
+def _require_bool(*vectors: Vector) -> None:
+    for v in vectors:
+        if v.kind is not Kind.BOOL:
+            raise TypeError_(f"expected boolean vector, got {v.kind}")
+
+
+def _coerce_pair(a: Vector, b: Vector) -> tuple[Vector, Vector]:
+    """Coerce a pair of vectors to a common kind for comparison/arithmetic.
+
+    INT and DATE inter-operate as integers; INT widens to FLOAT.
+    """
+    if a.kind is b.kind:
+        return a, b
+    numeric = {Kind.INT, Kind.FLOAT, Kind.DATE}
+    if a.kind in numeric and b.kind in numeric:
+        if Kind.FLOAT in (a.kind, b.kind):
+            return _to_float(a), _to_float(b)
+        # INT vs DATE: compare as raw int64 (dates are epoch days)
+        return a, b
+    raise TypeError_(f"cannot combine {a.kind} with {b.kind}")
+
+
+def _to_float(v: Vector) -> Vector:
+    if v.kind is Kind.FLOAT:
+        return v
+    return Vector(Kind.FLOAT, v.data.astype(np.float64), v.null)

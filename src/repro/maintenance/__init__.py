@@ -1,0 +1,33 @@
+"""Data maintenance — the ETL workload (§4.2)."""
+
+from .apply import (
+    apply_dimension_updates,
+    apply_history_update,
+    apply_nonhistory_update,
+    apply_refresh,
+    business_key_column,
+    delete_fact_range,
+    lookup_surrogate,
+    translate_and_insert_facts,
+)
+from .operations import DM_OPERATIONS, MaintenanceOperation, MaintenanceResult, run_all
+from .refresh import DimensionUpdate, FactInsert, RefreshGenerator, RefreshSet
+
+__all__ = [
+    "RefreshGenerator",
+    "RefreshSet",
+    "DimensionUpdate",
+    "FactInsert",
+    "apply_refresh",
+    "apply_dimension_updates",
+    "apply_history_update",
+    "apply_nonhistory_update",
+    "translate_and_insert_facts",
+    "delete_fact_range",
+    "lookup_surrogate",
+    "business_key_column",
+    "DM_OPERATIONS",
+    "MaintenanceOperation",
+    "MaintenanceResult",
+    "run_all",
+]

@@ -1,0 +1,290 @@
+"""Refresh-set generation — the assumed Extract step (§4.2).
+
+"The data extraction step of the ETL process (E) is assumed and
+represented in the benchmark in the form of generated flat files."
+A :class:`RefreshSet` is that flat-file payload:
+
+* **dimension updates** keyed by *business key* (the OLTP-side key);
+  the warehouse side must look the row up (Figures 8/9);
+* **fact inserts** carrying business keys / natural dates that must be
+  translated to surrogate keys during the load (Figure 10);
+* **fact delete ranges**, logically clustered on date so engines can
+  exercise partition-drop-style maintenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..dsdgen.context import GeneratorContext
+from ..dsdgen.facts import make_pricing
+from ..dsdgen import distributions as D
+from ..schema import HISTORY_DIMENSIONS, NONHISTORY_DIMENSIONS
+
+
+@dataclass(frozen=True)
+class DimensionUpdate:
+    """One update row for a dimension: business key + changed fields."""
+
+    table: str
+    business_key: str
+    changes: dict[str, Any]
+    #: the (epoch-day) date the change becomes effective — drives the SCD
+    #: rec_begin/rec_end dates for history-keeping dimensions
+    effective_date: int
+
+
+@dataclass(frozen=True)
+class FactInsert:
+    """One fact row awaiting surrogate-key translation.
+
+    ``natural_keys`` maps fact FK columns to (dimension, business key or
+    ISO date) pairs; ``values`` carries the remaining columns verbatim.
+    """
+
+    table: str
+    natural_keys: dict[str, tuple[str, Any]]
+    values: dict[str, Any]
+
+
+@dataclass
+class RefreshSet:
+    dimension_updates: list[DimensionUpdate] = field(default_factory=list)
+    fact_inserts: list[FactInsert] = field(default_factory=list)
+    #: table -> (low date_sk, high date_sk) clustered delete window
+    delete_ranges: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def updates_for(self, table: str) -> list[DimensionUpdate]:
+        return [u for u in self.dimension_updates if u.table == table]
+
+    def inserts_for(self, table: str) -> list[FactInsert]:
+        return [i for i in self.fact_inserts if i.table == table]
+
+
+#: fields rewritten by dimension updates, per table (a representative
+#: subset of mutable attributes)
+_MUTABLE_FIELDS = {
+    "customer": ("c_email_address", "c_preferred_cust_flag"),
+    "customer_address": ("ca_street_number", "ca_suite_number"),
+    "warehouse": ("w_warehouse_sq_ft",),
+    "promotion": ("p_discount_active", "p_purpose"),
+    "catalog_page": ("cp_description",),
+    "item": ("i_current_price", "i_manager_id"),
+    "store": ("s_number_employees", "s_manager"),
+    "call_center": ("cc_employees", "cc_manager"),
+    "web_site": ("web_manager",),
+    "web_page": ("wp_link_count", "wp_char_count"),
+}
+
+
+def _new_value(field_name: str, rng) -> Any:
+    if field_name in ("c_preferred_cust_flag", "p_discount_active"):
+        return "Y" if rng.uniform() < 0.5 else "N"
+    if field_name == "c_email_address":
+        return f"updated.{rng.uniform_int(1, 10_000_000)}@example.com"
+    if field_name in ("ca_street_number",):
+        return str(rng.uniform_int(1, 999))
+    if field_name == "ca_suite_number":
+        return f"Suite {rng.uniform_int(0, 99) * 10}"
+    if field_name == "hd_buy_potential":
+        return rng.choice(D.BUY_POTENTIAL)
+    if field_name == "cd_credit_rating":
+        return rng.choice(D.CREDIT_RATINGS)
+    if field_name in ("w_warehouse_sq_ft", "wp_char_count"):
+        return rng.uniform_int(50_000, 1_000_000)
+    if field_name == "p_purpose":
+        return rng.choice(D.PROMO_PURPOSES)
+    if field_name == "cp_description":
+        return D.gaussian_words(rng, 6)
+    if field_name == "i_current_price":
+        return round(1 + rng.uniform() * 99, 2)
+    if field_name in ("i_manager_id", "s_number_employees", "cc_employees",
+                      "wp_link_count"):
+        return rng.uniform_int(1, 300)
+    if field_name in ("s_manager", "cc_manager", "web_manager"):
+        first = rng.choice([v for v, _ in D.FIRST_NAMES])
+        last = rng.choice([v for v, _ in D.LAST_NAMES])
+        return f"{first} {last}"
+    raise KeyError(f"no update generator for {field_name}")
+
+
+class RefreshGenerator:
+    """Generates refresh sets from the same context that built the data
+    (the tight dsdgen/maintenance coupling the paper describes)."""
+
+    def __init__(self, context: GeneratorContext, update_fraction: float = 0.05,
+                 insert_fraction: float = 0.05, delete_days: int = 14):
+        self.context = context
+        self.update_fraction = update_fraction
+        self.insert_fraction = insert_fraction
+        self.delete_days = delete_days
+
+    # -- dimension updates ----------------------------------------------------
+
+    def _entities(self, table: str) -> int:
+        """Approximate business-entity count (≤ surrogate-key pool)."""
+        return max(1, self.context.key_pools.get(table, 0))
+
+    def dimension_updates(self, refresh_round: int = 1) -> list[DimensionUpdate]:
+        rng = self.context.streams.fresh("refresh", f"dims.{refresh_round}")
+        updates: list[DimensionUpdate] = []
+        window_end = self.context.calendar.epoch_days_at(
+            self.context.rows("date_dim") - 1
+        )
+        for table in sorted(HISTORY_DIMENSIONS | NONHISTORY_DIMENSIONS):
+            fields = _MUTABLE_FIELDS.get(table)
+            if not fields:
+                continue
+            entity_count = self._entities(table)
+            count = max(1, int(entity_count * self.update_fraction))
+            for _ in range(count):
+                entity = rng.uniform_int(1, entity_count)
+                changes = {
+                    f: _new_value(f, rng)
+                    for f in fields
+                    if rng.uniform() < 0.8
+                } or {fields[0]: _new_value(fields[0], rng)}
+                updates.append(
+                    DimensionUpdate(
+                        table=table,
+                        business_key=self.context.business_key("AAAA", entity),
+                        changes=changes,
+                        effective_date=window_end,
+                    )
+                )
+        return updates
+
+    # -- fact inserts ---------------------------------------------------------------
+
+    def fact_inserts(self, refresh_round: int = 1) -> list[FactInsert]:
+        """Insert rows for all three sales channels, carrying business
+        keys to translate (item + customer by business key, sale date as
+        an ISO date string) — exercising both the history-keeping (item)
+        and non-history (customer) lookups of Figure 10."""
+        inserts: list[FactInsert] = []
+        for channel in ("store", "catalog", "web"):
+            inserts += self._channel_inserts(refresh_round, channel)
+        return inserts
+
+    #: per-channel fact-insert column naming
+    _CHANNEL_COLUMNS = {
+        "store": {
+            "table": "store_sales", "prefix": "ss",
+            "date_fk": "ss_sold_date_sk", "item_fk": "ss_item_sk",
+            "customer_fk": "ss_customer_sk", "order_col": "ss_ticket_number",
+            "extra": {"ss_store_sk": "store"},
+        },
+        "catalog": {
+            "table": "catalog_sales", "prefix": "cs",
+            "date_fk": "cs_sold_date_sk", "item_fk": "cs_item_sk",
+            "customer_fk": "cs_bill_customer_sk", "order_col": "cs_order_number",
+            "extra": {"cs_call_center_sk": "call_center",
+                      "cs_catalog_page_sk": "catalog_page"},
+        },
+        "web": {
+            "table": "web_sales", "prefix": "ws",
+            "date_fk": "ws_sold_date_sk", "item_fk": "ws_item_sk",
+            "customer_fk": "ws_bill_customer_sk", "order_col": "ws_order_number",
+            "extra": {"ws_web_page_sk": "web_page", "ws_web_site_sk": "web_site"},
+        },
+    }
+
+    def _channel_inserts(self, refresh_round: int, channel: str) -> list[FactInsert]:
+        ctx = self.context
+        spec = self._CHANNEL_COLUMNS[channel]
+        table = spec["table"]
+        prefix = spec["prefix"]
+        rng = ctx.streams.fresh("refresh", f"facts.{channel}.{refresh_round}")
+        target = max(1, int(ctx.rows(table) * self.insert_fraction))
+        items = self._entities("item")
+        customers = self._entities("customer")
+        order_base = 1_000_000_000 * refresh_round
+        inserts: list[FactInsert] = []
+        order = 0
+        while len(inserts) < target:
+            order += 1
+            date_offset = ctx.sample_sales_date_offset(rng)
+            iso_date = ctx.calendar.date_at(date_offset).isoformat()
+            customer_bk = ctx.business_key("AAAA", rng.uniform_int(1, customers))
+            basket = rng.uniform_int(1, 20)
+            for _ in range(basket):
+                if len(inserts) >= target:
+                    break
+                item_bk = ctx.business_key("AAAA", rng.uniform_int(1, items))
+                p = make_pricing(rng)
+                values = {
+                    f"{prefix}_sold_time_sk": ctx.sample_fk("time_dim", rng, 0.02),
+                    f"{prefix}_promo_sk": ctx.sample_fk("promotion", rng, 0.3),
+                    spec["order_col"]: order_base + order,
+                    f"{prefix}_quantity": p.quantity,
+                    f"{prefix}_wholesale_cost": p.wholesale_cost,
+                    f"{prefix}_list_price": p.list_price,
+                    f"{prefix}_sales_price": p.sales_price,
+                    f"{prefix}_ext_discount_amt": p.ext_discount_amt,
+                    f"{prefix}_ext_sales_price": p.ext_sales_price,
+                    f"{prefix}_ext_wholesale_cost": p.ext_wholesale_cost,
+                    f"{prefix}_ext_list_price": p.ext_list_price,
+                    f"{prefix}_ext_tax": p.ext_tax,
+                    f"{prefix}_coupon_amt": p.coupon_amt,
+                    f"{prefix}_net_paid": p.net_paid,
+                    f"{prefix}_net_paid_inc_tax": p.net_paid_inc_tax,
+                    f"{prefix}_net_profit": p.net_profit,
+                }
+                if channel == "store":
+                    values.update({
+                        "ss_cdemo_sk": ctx.sample_fk("customer_demographics", rng, 0.03),
+                        "ss_hdemo_sk": ctx.sample_fk("household_demographics", rng, 0.03),
+                        "ss_addr_sk": ctx.sample_fk("customer_address", rng, 0.03),
+                    })
+                else:
+                    values.update({
+                        f"{prefix}_bill_cdemo_sk": ctx.sample_fk("customer_demographics", rng, 0.03),
+                        f"{prefix}_bill_hdemo_sk": ctx.sample_fk("household_demographics", rng, 0.03),
+                        f"{prefix}_bill_addr_sk": ctx.sample_fk("customer_address", rng, 0.03),
+                        f"{prefix}_ship_mode_sk": ctx.sample_fk("ship_mode", rng, 0.02),
+                        f"{prefix}_warehouse_sk": ctx.sample_fk("warehouse", rng, 0.02),
+                        f"{prefix}_ship_date_sk": ctx.clamp_date_sk(
+                            ctx.calendar.sk_at(date_offset) + rng.uniform_int(2, 120)
+                        ),
+                    })
+                for column, dimension in spec["extra"].items():
+                    values[column] = ctx.sample_fk(dimension, rng, 0.02)
+                inserts.append(
+                    FactInsert(
+                        table=table,
+                        natural_keys={
+                            spec["date_fk"]: ("date_dim", iso_date),
+                            spec["item_fk"]: ("item", item_bk),
+                            spec["customer_fk"]: ("customer", customer_bk),
+                        },
+                        values=values,
+                    )
+                )
+        return inserts
+
+    # -- fact deletes -----------------------------------------------------------------
+
+    def delete_ranges(self, refresh_round: int = 1) -> dict[str, tuple[int, int]]:
+        """A randomly picked, date-clustered delete window per channel."""
+        ctx = self.context
+        rng = ctx.streams.fresh("refresh", f"deletes.{refresh_round}")
+        n_days = ctx.rows("date_dim")
+        start = rng.uniform_int(0, max(0, n_days - self.delete_days - 1))
+        low = ctx.calendar.sk_at(start)
+        high = ctx.calendar.sk_at(start + self.delete_days)
+        return {
+            "store_sales": (low, high),
+            "store_returns": (low, high),
+            "catalog_sales": (low, high),
+            "catalog_returns": (low, high),
+            "web_sales": (low, high),
+            "web_returns": (low, high),
+        }
+
+    def generate(self, refresh_round: int = 1) -> RefreshSet:
+        return RefreshSet(
+            dimension_updates=self.dimension_updates(refresh_round),
+            fact_inserts=self.fact_inserts(refresh_round),
+            delete_ranges=self.delete_ranges(refresh_round),
+        )

@@ -1,0 +1,13 @@
+"""dsqgen — the TPC-DS query generator (templates + substitutions)."""
+
+from .model import GeneratedQuery, QGen, QueryTemplate, QUERY_CLASSES
+from .templates.catalog import WORKLOAD_SIZE, build_catalog
+
+__all__ = [
+    "QGen",
+    "QueryTemplate",
+    "GeneratedQuery",
+    "QUERY_CLASSES",
+    "build_catalog",
+    "WORKLOAD_SIZE",
+]

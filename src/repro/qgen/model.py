@@ -1,0 +1,177 @@
+"""Query templates, generated queries, and the query generator.
+
+The TPC-DS workload is 99 *distinct* query templates covering four
+classes (§4.1):
+
+* ``ad_hoc`` — touch only the ad-hoc (store / web) part of the schema;
+* ``reporting`` — touch only the reporting (catalog) part;
+* ``iterative`` — sequences of syntactically independent but logically
+  affiliated statements (drill down / up);
+* ``data_mining`` — large-output extraction queries feeding external
+  tools.
+
+A template's channel classification is *derived from the tables it
+references*, mirroring the specification's referencing rule ("queries
+referencing the catalog channel are reporting queries"). ``QGen``
+expands templates deterministically per (stream, template) and permutes
+the query order per stream.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dsdgen.context import GeneratorContext
+from ..dsdgen.rng import RandomStream, stream_seed
+from ..schema import AD_HOC_TABLES, REPORTING_TABLES
+from .substitutions import Substitution
+
+_TAG = re.compile(r"\[([A-Z0-9_]+)\]")
+
+QUERY_CLASSES = ("ad_hoc", "reporting", "iterative", "data_mining")
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One of the 99 workload templates."""
+
+    template_id: int
+    name: str
+    #: one or more SQL statements (iterative templates have several)
+    statements: tuple[str, ...]
+    substitutions: dict[str, Substitution] = field(default_factory=dict)
+    #: workload class; channel part is derived from referenced tables
+    query_class: str = "ad_hoc"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.query_class not in QUERY_CLASSES:
+            raise ValueError(f"unknown query class {self.query_class}")
+        missing = self.required_tags() - self._provided_tags()
+        if missing:
+            raise ValueError(
+                f"template {self.template_id} is missing substitutions for {sorted(missing)}"
+            )
+
+    def required_tags(self) -> set[str]:
+        tags: set[str] = set()
+        for stmt in self.statements:
+            tags.update(_TAG.findall(stmt))
+        return tags
+
+    def _provided_tags(self) -> set[str]:
+        provided: set[str] = set()
+        for name in self.substitutions:
+            provided.add(name)
+            # compound substitutions provide NAME_<part> tags; accept any
+            provided.update(
+                tag for tag in self.required_tags() if tag.startswith(name + "_")
+            )
+        return provided
+
+    def referenced_tables(self) -> set[str]:
+        """Schema tables mentioned in the template text."""
+        from ..schema import ALL_TABLES
+
+        tables = set()
+        text = " ".join(self.statements).lower()
+        for name in ALL_TABLES:
+            if re.search(rf"\b{name}\b", text):
+                tables.add(name)
+        return tables
+
+    @property
+    def channel_part(self) -> str:
+        """'ad_hoc', 'reporting', or 'hybrid' by the referencing rule."""
+        tables = self.referenced_tables()
+        touches_adhoc = bool(tables & AD_HOC_TABLES)
+        touches_reporting = bool(tables & REPORTING_TABLES)
+        if touches_adhoc and touches_reporting:
+            return "hybrid"
+        if touches_reporting:
+            return "reporting"
+        return "ad_hoc"
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    template_id: int
+    name: str
+    query_class: str
+    channel_part: str
+    statements: tuple[str, ...]
+    stream: int
+    substitution_values: dict[str, str]
+
+    @property
+    def sql(self) -> str:
+        return ";\n".join(self.statements)
+
+
+class QGen:
+    """Expands templates into executable SQL, deterministically.
+
+    The generator is *tightly coupled* to the data generator: it shares
+    the :class:`GeneratorContext` (calendar, hierarchy, scaling), so
+    substitutions are always drawn from the populated domains.
+    """
+
+    def __init__(self, context: GeneratorContext, templates: list[QueryTemplate]):
+        self.context = context
+        self.templates = {t.template_id: t for t in templates}
+        if len(self.templates) != len(templates):
+            raise ValueError("duplicate template ids")
+
+    def template(self, template_id: int) -> QueryTemplate:
+        return self.templates[template_id]
+
+    def generate(self, template_id: int, stream: int = 0) -> GeneratedQuery:
+        template = self.templates[template_id]
+        rng = RandomStream(
+            stream_seed(self.context.seed, f"qgen.{template_id}.{stream}")
+        )
+        values: dict[str, str] = {}
+        for name in sorted(template.substitutions):
+            result = template.substitutions[name].generate(rng, self.context)
+            if isinstance(result, dict):
+                for part, text in result.items():
+                    values[f"{name}_{part.upper()}"] = text
+            else:
+                values[name] = result
+        statements = tuple(
+            _TAG.sub(lambda m: self._lookup(values, m.group(1)), stmt)
+            for stmt in template.statements
+        )
+        return GeneratedQuery(
+            template_id=template.template_id,
+            name=template.name,
+            query_class=template.query_class,
+            channel_part=template.channel_part,
+            statements=statements,
+            stream=stream,
+            substitution_values=values,
+        )
+
+    @staticmethod
+    def _lookup(values: dict[str, str], tag: str) -> str:
+        if tag not in values:
+            raise KeyError(f"unbound substitution tag [{tag}]")
+        return values[tag]
+
+    def stream_order(self, stream: int) -> list[int]:
+        """The permuted template order for a stream (stream 0 runs in
+        template-id order, like dsqgen's stream 0)."""
+        ids = sorted(self.templates)
+        if stream == 0:
+            return ids
+        rng = RandomStream(stream_seed(self.context.seed, f"qgen.permutation.{stream}"))
+        order = list(ids)
+        for i in range(len(order) - 1, 0, -1):
+            j = rng.uniform_int(0, i)
+            order[i], order[j] = order[j], order[i]
+        return order
+
+    def generate_stream(self, stream: int) -> list[GeneratedQuery]:
+        return [self.generate(tid, stream) for tid in self.stream_order(stream)]

@@ -1,0 +1,100 @@
+"""Qualification runs — the answer-set regression harness.
+
+TPC-DS ships *qualification* substitutions and answer sets: a fixed
+parameterization whose results validate an implementation before any
+performance run counts. We reproduce the mechanism at model scale: a
+canonical database (fixed scale factor and seed) plus stream-0
+substitutions defines a deterministic answer set per template, reduced
+to a stable fingerprint (row count + order-insensitive content hash).
+
+``fingerprint_workload`` computes the fingerprints; a checked-in JSON
+(regenerated with ``python -m repro.qgen.qualification``) pins them so
+any behavioral drift in the engine, the generators or the optimizer is
+caught by the test suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+QUALIFICATION_SCALE_FACTOR = 0.004
+QUALIFICATION_SEED = 19620718
+QUALIFICATION_STREAM = 0
+
+_DATA_FILE = os.path.join(os.path.dirname(__file__), "qualification_answers.json")
+
+
+def _stable_cell(value) -> str:
+    if value is None:
+        return "~"
+    if isinstance(value, float):
+        # quantize so float-order effects below 1e-6 don't flip the hash
+        return f"{value:.6g}"
+    return str(value)
+
+
+def fingerprint_rows(rows) -> str:
+    """An order-insensitive digest of a result set."""
+    digests = sorted(
+        hashlib.sha256("|".join(_stable_cell(v) for v in row).encode()).hexdigest()
+        for row in rows
+    )
+    outer = hashlib.sha256("\n".join(digests).encode())
+    return outer.hexdigest()[:16]
+
+
+def fingerprint_workload(db, qgen) -> dict[str, dict]:
+    """Run every template at the qualification parameterization and
+    fingerprint the answers."""
+    answers: dict[str, dict] = {}
+    for template_id in sorted(qgen.templates):
+        query = qgen.generate(template_id, stream=QUALIFICATION_STREAM)
+        rows = []
+        for statement in query.statements:
+            rows.extend(db.execute(statement).rows())
+        answers[str(template_id)] = {
+            "name": query.name,
+            "rows": len(rows),
+            "digest": fingerprint_rows(rows),
+        }
+    return answers
+
+
+def load_reference() -> Optional[dict[str, dict]]:
+    """Load the pinned qualification answers (None if absent)."""
+    if not os.path.exists(_DATA_FILE):
+        return None
+    with open(_DATA_FILE, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_reference(answers: dict[str, dict]) -> str:
+    """Write the qualification answers JSON; returns its path."""
+    with open(_DATA_FILE, "w", encoding="utf-8") as handle:
+        json.dump(answers, handle, indent=1, sort_keys=True)
+    return _DATA_FILE
+
+
+def build_qualification_environment():
+    """The canonical database + query generator pair."""
+    from ..dsdgen import build_database
+    from . import QGen, build_catalog
+
+    db, data = build_database(QUALIFICATION_SCALE_FACTOR, seed=QUALIFICATION_SEED)
+    return db, QGen(data.context, build_catalog())
+
+
+def main() -> int:  # pragma: no cover - regeneration utility
+    """Regenerate the pinned qualification answer set."""
+    db, qgen = build_qualification_environment()
+    answers = fingerprint_workload(db, qgen)
+    path = write_reference(answers)
+    print(f"wrote {len(answers)} qualification answers to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,186 @@
+"""Substitution generators for query templates (§4.1).
+
+A template-based query "relies on a query template by substituting SQL
+fragments and scalar constants into the query template". Substitutions
+are drawn from the *same* distributions the data generator used — this
+coupling is what guarantees query comparability (§3.2): every
+substitution keeps the number of qualifying rows and the join/group/sort
+distributions nearly identical, because values are only ever drawn from
+within one comparability zone.
+
+A substitution returns either a single string or a dict of named parts
+(e.g. a date range returns ``{"start": ..., "end": ...}``, referenced
+in the template as ``[TAG_START]`` / ``[TAG_END]``).
+"""
+
+from __future__ import annotations
+
+import calendar as _calendar
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Callable, Sequence, Union
+
+from ..dsdgen.context import GeneratorContext
+from ..dsdgen.distributions import MONTH_ZONE
+from ..dsdgen.rng import RandomStream
+
+SubValue = Union[str, dict[str, str]]
+
+
+@dataclass(frozen=True)
+class Substitution:
+    """A named substitution: a callable from (rng, ctx) to its value(s)."""
+
+    generate: Callable[[RandomStream, GeneratorContext], SubValue]
+    description: str = ""
+
+
+def uniform_int(low: int, high: int) -> Substitution:
+    """A uniform integer substitution in [low, high]."""
+    return Substitution(
+        lambda rng, ctx: str(rng.uniform_int(low, high)),
+        f"uniform integer in [{low}, {high}]",
+    )
+
+
+def choice(values: Sequence[str], quote: bool = False) -> Substitution:
+    """A single value drawn uniformly from a fixed list."""
+    def gen(rng: RandomStream, ctx: GeneratorContext) -> str:
+        value = rng.choice(list(values))
+        return f"'{value}'" if quote else str(value)
+
+    return Substitution(gen, f"one of {len(values)} values")
+
+
+def choice_list(values: Sequence[str], k: int, quote: bool = True) -> Substitution:
+    """An IN-list of ``k`` distinct values (e.g. the category lists of
+    Query 20)."""
+
+    def gen(rng: RandomStream, ctx: GeneratorContext) -> str:
+        pool = list(values)
+        picks = rng.sample_without_replacement(len(pool), min(k, len(pool)))
+        rendered = [f"'{pool[i]}'" if quote else str(pool[i]) for i in picks]
+        return ", ".join(rendered)
+
+    return Substitution(gen, f"in-list of {k} values")
+
+
+def sales_year() -> Substitution:
+    """A year drawn from the populated sales window."""
+    def gen(rng: RandomStream, ctx: GeneratorContext) -> str:
+        years = ctx.calendar.sales_years
+        return str(years[rng.uniform_int(0, len(years) - 1)])
+
+    return Substitution(gen, "a year within the sales window")
+
+
+def zone_month(zone: int) -> Substitution:
+    """A month drawn from one comparability zone (1: Jan–Jul, 2: Aug–Oct,
+    3: Nov–Dec) — months within a zone are interchangeable."""
+    months = [m for m, z in MONTH_ZONE.items() if z == zone]
+
+    def gen(rng: RandomStream, ctx: GeneratorContext) -> str:
+        return str(months[rng.uniform_int(0, len(months) - 1)])
+
+    return Substitution(gen, f"a month in comparability zone {zone}")
+
+
+def zone_date_range(zone: int, days: int) -> Substitution:
+    """A date range of fixed width lying entirely inside one zone, so
+    every substitution qualifies a near-identical number of fact rows."""
+    months = sorted(m for m, z in MONTH_ZONE.items() if z == zone)
+
+    def gen(rng: RandomStream, ctx: GeneratorContext) -> dict[str, str]:
+        years = ctx.calendar.sales_years
+        year = years[rng.uniform_int(0, len(years) - 1)]
+        zone_start = _dt.date(year, months[0], 1)
+        last_month = months[-1]
+        zone_end = _dt.date(
+            year, last_month, _calendar.monthrange(year, last_month)[1]
+        )
+        latest_start = zone_end - _dt.timedelta(days=days)
+        if latest_start < zone_start:
+            latest_start = zone_start
+        span = (latest_start - zone_start).days
+        start = zone_start + _dt.timedelta(days=rng.uniform_int(0, max(span, 0)))
+        end = start + _dt.timedelta(days=days)
+        return {
+            "start": f"date '{start.isoformat()}'",
+            "end": f"date '{end.isoformat()}'",
+        }
+
+    return Substitution(gen, f"a {days}-day range inside zone {zone}")
+
+
+def aggregate_exchange(options: Sequence[str] = ("SUM", "MIN", "MAX", "AVG")) -> Substitution:
+    """Aggregate-function exchange — the "more complex text substitutions"
+    of §4.1 ("exchanging aggregations, such as max, min")."""
+    return choice(options, quote=False)
+
+
+def category() -> Substitution:
+    """A single item category from the hierarchy."""
+    def gen(rng: RandomStream, ctx: GeneratorContext) -> str:
+        return f"'{rng.choice(ctx.hierarchy.categories)}'"
+
+    return Substitution(gen, "an item category")
+
+
+def category_list(k: int) -> Substitution:
+    """An IN-list of k distinct item categories."""
+    def gen(rng: RandomStream, ctx: GeneratorContext) -> str:
+        cats = ctx.hierarchy.categories
+        picks = rng.sample_without_replacement(len(cats), min(k, len(cats)))
+        return ", ".join(f"'{cats[i]}'" for i in picks)
+
+    return Substitution(gen, f"{k} distinct item categories")
+
+
+def state_list(k: int) -> Substitution:
+    """An IN-list of k populous states."""
+    from ..dsdgen.distributions import STATES
+
+    return choice_list([s for s, _ in STATES[:20]], k)
+
+
+def manager_id() -> Substitution:
+    """i_manager_id is uniform 1..100 in the item generator."""
+    return uniform_int(1, 100)
+
+
+def manufact_id() -> Substitution:
+    """A manufacturer id matching the item generator's domain."""
+    return uniform_int(1, 1000)
+
+
+def gender() -> Substitution:
+    """A cd_gender value."""
+    return choice(["M", "F"], quote=True)
+
+
+def marital_status() -> Substitution:
+    """A cd_marital_status value."""
+    from ..dsdgen.distributions import MARITAL_STATUS
+
+    return choice(MARITAL_STATUS, quote=True)
+
+
+def education() -> Substitution:
+    """A cd_education_status value."""
+    from ..dsdgen.distributions import EDUCATION
+
+    return choice(EDUCATION, quote=True)
+
+
+def buy_potential() -> Substitution:
+    """An hd_buy_potential value."""
+    from ..dsdgen.distributions import BUY_POTENTIAL
+
+    return choice(BUY_POTENTIAL, quote=True)
+
+
+def color_list(k: int) -> Substitution:
+    """An IN-list of k item colors."""
+    from ..dsdgen.distributions import COLORS
+
+    return choice_list(COLORS[:30], k)

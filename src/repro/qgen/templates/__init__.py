@@ -1,0 +1,1 @@
+"""The query-template catalog (channels + 99 template definitions)."""

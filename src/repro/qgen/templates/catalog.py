@@ -1,0 +1,1050 @@
+"""The 99-query workload catalog (§4.1).
+
+Templates are organized as *families* instantiated per sales channel —
+exactly how the real TPC-DS query set is structured (the paper's two
+printed queries, Q52 and Q20, are one family shape on two channels).
+Template 52 reproduces Figure 6 (the ad-hoc example) and template 20
+reproduces Figure 7 (the reporting example) nearly verbatim.
+
+Class coverage:
+
+* ad-hoc / reporting — derived from the tables each query references;
+* iterative OLAP — templates whose ``statements`` form a drill-down
+  sequence of syntactically independent, logically affiliated queries;
+* data mining — large-output extraction queries (no aggregation
+  cut-off; output is "intended for feeding data mining tools").
+"""
+
+from __future__ import annotations
+
+from .. import substitutions as S
+from ..model import QueryTemplate
+from .channels import CATALOG, CHANNELS, STORE, WEB, Channel
+
+#: (name, statements, substitutions, query_class) tuples in catalog order
+_DEFINITIONS: list[tuple] = []
+
+#: names pinned to specific template ids (the paper's printed queries)
+_PINNED_IDS = {"brand_monthly_store": 52, "class_ratio_catalog": 20}
+
+
+def _define(name, statements, substitutions, query_class="ad_hoc", description=""):
+    if isinstance(statements, str):
+        statements = (statements,)
+    _DEFINITIONS.append((name, tuple(statements), substitutions, query_class, description))
+
+
+# ---------------------------------------------------------------------------
+# family 1: brand revenue for one month (paper Figure 6 / Query 52)
+# ---------------------------------------------------------------------------
+
+def _brand_monthly(ch: Channel) -> None:
+    _define(
+        f"brand_monthly_{ch.key}",
+        f"""
+        SELECT dt.d_year, item.i_brand_id brand_id, item.i_brand brand,
+               SUM({ch.ext_price}) ext_price
+        FROM date_dim dt, {ch.sales}, item
+        WHERE dt.d_date_sk = {ch.sales}.{ch.date_fk}
+          AND {ch.sales}.{ch.item_fk} = item.i_item_sk
+          AND item.i_manager_id = [MANAGER]
+          AND dt.d_moy = [MONTH]
+          AND dt.d_year = [YEAR]
+        GROUP BY dt.d_year, item.i_brand, item.i_brand_id
+        ORDER BY dt.d_year, ext_price DESC, brand_id
+        LIMIT 100
+        """,
+        {"MANAGER": S.manager_id(), "MONTH": S.zone_month(3), "YEAR": S.sales_year()},
+        description="sum of extended sales price for all items of one "
+        "manager in one month, by brand (the paper's ad-hoc example)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# family 2: item revenue as a share of its class (Figure 7 / Query 20)
+# ---------------------------------------------------------------------------
+
+def _class_ratio(ch: Channel) -> None:
+    _define(
+        f"class_ratio_{ch.key}",
+        f"""
+        SELECT i_item_desc, i_category, i_class, i_current_price,
+               SUM({ch.ext_price}) AS itemrevenue,
+               SUM({ch.ext_price})*100/SUM(SUM({ch.ext_price}))
+                   OVER (PARTITION BY i_class) AS revenueratio
+        FROM {ch.sales}, item, date_dim
+        WHERE {ch.item_fk} = i_item_sk
+          AND i_category IN ([CATEGORY_LIST])
+          AND {ch.date_fk} = d_date_sk
+          AND d_date BETWEEN [RANGE_START] AND [RANGE_END]
+        GROUP BY i_item_id, i_item_desc, i_category, i_class, i_current_price
+        ORDER BY i_category, i_class, i_item_id, i_item_desc, revenueratio
+        """,
+        {"CATEGORY_LIST": S.category_list(3), "RANGE": S.zone_date_range(1, 28)},
+        description="ratio of item revenue to class revenue over a 30-day "
+        "window (the paper's reporting example)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# family 3: brand revenue for one manufacturer-month (Q3 shape)
+# ---------------------------------------------------------------------------
+
+def _manufact_month(ch: Channel) -> None:
+    _define(
+        f"manufact_month_{ch.key}",
+        f"""
+        SELECT dt.d_year, item.i_brand_id brand_id, item.i_brand brand,
+               [AGG]({ch.ext_price}) agg_value
+        FROM date_dim dt, {ch.sales}, item
+        WHERE dt.d_date_sk = {ch.date_fk}
+          AND {ch.item_fk} = i_item_sk
+          AND i_manufact_id = [MANUFACT]
+          AND dt.d_moy = [MONTH]
+        GROUP BY dt.d_year, item.i_brand, item.i_brand_id
+        ORDER BY dt.d_year, agg_value DESC, brand_id
+        LIMIT 100
+        """,
+        {"MANUFACT": S.uniform_int(1, 1000), "MONTH": S.zone_month(3),
+         "AGG": S.aggregate_exchange(("SUM", "MIN", "MAX", "AVG"))},
+    )
+
+
+# ---------------------------------------------------------------------------
+# family 4: average sales metrics for a demographic slice (Q7 shape)
+# ---------------------------------------------------------------------------
+
+def _demographics_avg(ch: Channel) -> None:
+    _define(
+        f"demographics_avg_{ch.key}",
+        f"""
+        SELECT i_item_id,
+               AVG({ch.qty}) agg1,
+               AVG({ch.ext_list}) agg2,
+               AVG({ch.coupon}) agg3,
+               AVG({ch.sales_price}) agg4
+        FROM {ch.sales}, customer_demographics, date_dim, item, promotion
+        WHERE {ch.date_fk} = d_date_sk
+          AND {ch.item_fk} = i_item_sk
+          AND {ch.cdemo_fk} = cd_demo_sk
+          AND {ch.promo_fk} = p_promo_sk
+          AND cd_gender = [GENDER]
+          AND cd_marital_status = [MARITAL]
+          AND cd_education_status = [EDUCATION]
+          AND (p_channel_email = 'N' OR p_channel_event = 'N')
+          AND d_year = [YEAR]
+        GROUP BY i_item_id
+        ORDER BY i_item_id
+        LIMIT 100
+        """,
+        {"GENDER": S.gender(), "MARITAL": S.marital_status(),
+         "EDUCATION": S.education(), "YEAR": S.sales_year()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# family 5: category/class ROLLUP (Q27 / Q18 shape)
+# ---------------------------------------------------------------------------
+
+def _category_rollup(ch: Channel) -> None:
+    _define(
+        f"category_rollup_{ch.key}",
+        f"""
+        SELECT i_category, i_class,
+               AVG({ch.qty}) agg1,
+               AVG({ch.ext_price}) agg2,
+               SUM({ch.net_profit}) agg3,
+               COUNT(*) cnt
+        FROM {ch.sales}, date_dim, item
+        WHERE {ch.date_fk} = d_date_sk
+          AND {ch.item_fk} = i_item_sk
+          AND d_year = [YEAR]
+        GROUP BY ROLLUP(i_category, i_class)
+        ORDER BY i_category NULLS LAST, i_class NULLS LAST
+        LIMIT 100
+        """,
+        {"YEAR": S.sales_year()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# family 6: sales-to-returns fact-to-fact join (§2.2's ticket/order link)
+# ---------------------------------------------------------------------------
+
+def _sales_returns_join(ch: Channel) -> None:
+    _define(
+        f"sales_returns_join_{ch.key}",
+        f"""
+        SELECT i_item_id, i_item_desc,
+               SUM({ch.qty}) sold_qty,
+               SUM({ch.r_qty}) returned_qty,
+               SUM({ch.r_amount}) returned_amt
+        FROM {ch.sales}, {ch.returns}, item, date_dim
+        WHERE {ch.order_col} = {ch.r_order}
+          AND {ch.item_fk} = {ch.r_item_fk}
+          AND {ch.item_fk} = i_item_sk
+          AND {ch.date_fk} = d_date_sk
+          AND d_year = [YEAR]
+        GROUP BY i_item_id, i_item_desc
+        ORDER BY returned_amt DESC, i_item_id
+        LIMIT 100
+        """,
+        {"YEAR": S.sales_year()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# family 7: top customers by revenue (data mining: large output)
+# ---------------------------------------------------------------------------
+
+def _top_customers(ch: Channel) -> None:
+    _define(
+        f"top_customers_{ch.key}",
+        f"""
+        SELECT c_customer_id, c_last_name, c_first_name,
+               SUM({ch.net_paid}) total_paid,
+               SUM({ch.qty}) total_quantity,
+               COUNT(*) transactions
+        FROM {ch.sales}, customer, date_dim
+        WHERE {ch.customer_fk} = c_customer_sk
+          AND {ch.date_fk} = d_date_sk
+          AND d_year = [YEAR]
+        GROUP BY c_customer_id, c_last_name, c_first_name
+        ORDER BY total_paid DESC, c_customer_id
+        """,
+        {"YEAR": S.sales_year()},
+        query_class="data_mining",
+        description="full customer revenue extraction feeding mining tools",
+    )
+
+
+# ---------------------------------------------------------------------------
+# family 8: iterative OLAP drill-down (category -> class -> brand)
+# ---------------------------------------------------------------------------
+
+def _drill_down(ch: Channel) -> None:
+    _define(
+        f"drill_down_{ch.key}",
+        (
+            f"""
+            SELECT i_category, SUM({ch.ext_price}) revenue
+            FROM {ch.sales}, item, date_dim
+            WHERE {ch.item_fk} = i_item_sk AND {ch.date_fk} = d_date_sk
+              AND d_year = [YEAR]
+            GROUP BY i_category ORDER BY revenue DESC
+            """,
+            f"""
+            SELECT i_class, SUM({ch.ext_price}) revenue
+            FROM {ch.sales}, item, date_dim
+            WHERE {ch.item_fk} = i_item_sk AND {ch.date_fk} = d_date_sk
+              AND d_year = [YEAR] AND i_category = [CATEGORY]
+            GROUP BY i_class ORDER BY revenue DESC
+            """,
+            f"""
+            SELECT i_brand, SUM({ch.ext_price}) revenue
+            FROM {ch.sales}, item, date_dim
+            WHERE {ch.item_fk} = i_item_sk AND {ch.date_fk} = d_date_sk
+              AND d_year = [YEAR] AND i_category = [CATEGORY]
+            GROUP BY i_brand ORDER BY revenue DESC LIMIT 100
+            """,
+            f"""
+            SELECT d_year, SUM({ch.ext_price}) revenue
+            FROM {ch.sales}, item, date_dim
+            WHERE {ch.item_fk} = i_item_sk AND {ch.date_fk} = d_date_sk
+              AND i_category = [CATEGORY]
+            GROUP BY d_year ORDER BY d_year
+            """,
+        ),
+        {"YEAR": S.sales_year(), "CATEGORY": S.category()},
+        query_class="iterative",
+        description="drill down from category through class to brand, "
+        "then back up to the category level (yearly trend)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# hybrid / single-channel families
+# ---------------------------------------------------------------------------
+
+def _channel_totals() -> None:
+    _define(
+        "channel_totals",
+        """
+        SELECT 'store' channel, d_year, SUM(ss_ext_sales_price) sales
+        FROM store_sales, date_dim
+        WHERE ss_sold_date_sk = d_date_sk GROUP BY d_year
+        UNION ALL
+        SELECT 'catalog' channel, d_year, SUM(cs_ext_sales_price) sales
+        FROM catalog_sales, date_dim
+        WHERE cs_sold_date_sk = d_date_sk GROUP BY d_year
+        UNION ALL
+        SELECT 'web' channel, d_year, SUM(ws_ext_sales_price) sales
+        FROM web_sales, date_dim
+        WHERE ws_sold_date_sk = d_date_sk GROUP BY d_year
+        ORDER BY channel, d_year
+        """,
+        {},
+        query_class="reporting",
+        description="revenue per channel per year (hybrid: all channels)",
+    )
+
+
+def _store_web_customers() -> None:
+    _define(
+        "store_web_customers",
+        """
+        SELECT COUNT(*) both_channel_customers
+        FROM customer
+        WHERE c_customer_sk IN (SELECT ss_customer_sk FROM store_sales
+                                WHERE ss_customer_sk IS NOT NULL)
+          AND c_customer_sk IN (SELECT ws_bill_customer_sk FROM web_sales
+                                WHERE ws_bill_customer_sk IS NOT NULL)
+        """,
+        {},
+        description="customers active in both the store and web channels",
+    )
+
+
+def _catalog_store_ratio() -> None:
+    _define(
+        "catalog_store_ratio",
+        """
+        WITH cat AS (
+            SELECT i_category category, SUM(cs_ext_sales_price) revenue
+            FROM catalog_sales, item WHERE cs_item_sk = i_item_sk
+            GROUP BY i_category
+        ), st AS (
+            SELECT i_category category, SUM(ss_ext_sales_price) revenue
+            FROM store_sales, item WHERE ss_item_sk = i_item_sk
+            GROUP BY i_category
+        )
+        SELECT cat.category, cat.revenue catalog_revenue,
+               st.revenue store_revenue,
+               cat.revenue / st.revenue ratio
+        FROM cat, st
+        WHERE cat.category = st.category
+        ORDER BY ratio DESC
+        """,
+        {},
+        description="catalog-to-store revenue ratio per category (hybrid)",
+    )
+
+
+def _inventory_weeks() -> None:
+    _define(
+        "inventory_weeks",
+        """
+        SELECT w_warehouse_name, AVG(inv_quantity_on_hand) avg_qty,
+               MIN(inv_quantity_on_hand) min_qty, MAX(inv_quantity_on_hand) max_qty
+        FROM inventory, warehouse, date_dim
+        WHERE inv_warehouse_sk = w_warehouse_sk
+          AND inv_date_sk = d_date_sk
+          AND d_moy = [MONTH]
+        GROUP BY w_warehouse_name
+        ORDER BY w_warehouse_name
+        """,
+        {"MONTH": S.zone_month(1)},
+    )
+
+
+def _inventory_category_rollup() -> None:
+    _define(
+        "inventory_category_rollup",
+        """
+        SELECT i_category, i_class, AVG(inv_quantity_on_hand) qoh
+        FROM inventory, item
+        WHERE inv_item_sk = i_item_sk
+        GROUP BY ROLLUP(i_category, i_class)
+        ORDER BY qoh, i_category NULLS LAST, i_class NULLS LAST
+        LIMIT 100
+        """,
+        {},
+    )
+
+
+def _time_of_day(ch: Channel) -> None:
+    _define(
+        f"time_of_day_{ch.key}",
+        f"""
+        SELECT CASE WHEN t_hour < 12 THEN 'AM' ELSE 'PM' END half_day,
+               COUNT(*) cnt, SUM({ch.ext_price}) revenue
+        FROM {ch.sales}, time_dim
+        WHERE {ch.time_fk} = t_time_sk
+        GROUP BY 1
+        ORDER BY half_day
+        """,
+        {},
+    )
+
+
+def _ship_modes(ch: Channel) -> None:
+    ship_date = "cs_ship_date_sk" if ch.key == "catalog" else "ws_ship_date_sk"
+    _define(
+        f"ship_modes_{ch.key}",
+        f"""
+        SELECT sm_type,
+               SUM(CASE WHEN {ship_date} - {ch.date_fk} <= 30 THEN 1 ELSE 0 END) d30,
+               SUM(CASE WHEN {ship_date} - {ch.date_fk} > 30
+                        AND {ship_date} - {ch.date_fk} <= 60 THEN 1 ELSE 0 END) d60,
+               SUM(CASE WHEN {ship_date} - {ch.date_fk} > 60 THEN 1 ELSE 0 END) d90
+        FROM {ch.sales}, ship_mode
+        WHERE {'cs_ship_mode_sk' if ch.key == 'catalog' else 'ws_ship_mode_sk'} = sm_ship_mode_sk
+        GROUP BY sm_type
+        ORDER BY sm_type
+        """,
+        {},
+        description="days-to-ship buckets per ship mode",
+    )
+
+
+def _state_revenue(ch: Channel) -> None:
+    _define(
+        f"state_revenue_{ch.key}",
+        f"""
+        SELECT ca_state, COUNT(*) cnt, SUM({ch.ext_price}) revenue
+        FROM {ch.sales}, customer_address, date_dim
+        WHERE {ch.addr_fk} = ca_address_sk
+          AND {ch.date_fk} = d_date_sk
+          AND d_year = [YEAR]
+        GROUP BY ca_state
+        HAVING COUNT(*) >= 10
+        ORDER BY revenue DESC, ca_state
+        """,
+        {"YEAR": S.sales_year()},
+    )
+
+
+def _income_band(ch: Channel) -> None:
+    _define(
+        f"income_band_{ch.key}",
+        f"""
+        SELECT ib_lower_bound, ib_upper_bound,
+               COUNT(*) cnt, AVG({ch.net_paid}) avg_paid
+        FROM {ch.sales}, household_demographics, income_band
+        WHERE {ch.hdemo_fk} = hd_demo_sk
+          AND hd_income_band_sk = ib_income_band_sk
+        GROUP BY ib_lower_bound, ib_upper_bound
+        ORDER BY ib_lower_bound
+        """,
+        {},
+        description="sales by income band through the demographic snowflake",
+    )
+
+
+def _promo_effect(ch: Channel) -> None:
+    _define(
+        f"promo_effect_{ch.key}",
+        f"""
+        SELECT p_channel_email, p_channel_event,
+               SUM({ch.ext_price}) promotional_sales,
+               COUNT(*) cnt
+        FROM {ch.sales}, promotion, date_dim
+        WHERE {ch.promo_fk} = p_promo_sk
+          AND {ch.date_fk} = d_date_sk
+          AND d_year = [YEAR]
+        GROUP BY p_channel_email, p_channel_event
+        ORDER BY p_channel_email, p_channel_event
+        """,
+        {"YEAR": S.sales_year()},
+    )
+
+
+def _returns_by_reason(ch: Channel) -> None:
+    _define(
+        f"returns_by_reason_{ch.key}",
+        f"""
+        SELECT r_reason_desc,
+               COUNT(*) return_count,
+               AVG({ch.r_amount}) avg_return_amt,
+               SUM({ch.r_net_loss}) total_loss
+        FROM {ch.returns}, reason
+        WHERE {ch.r_reason_fk} = r_reason_sk
+        GROUP BY r_reason_desc
+        ORDER BY return_count DESC, r_reason_desc
+        LIMIT 100
+        """,
+        {},
+    )
+
+
+def _frequent_baskets(ch: Channel) -> None:
+    _define(
+        f"frequent_baskets_{ch.key}",
+        f"""
+        SELECT basket_size, COUNT(*) baskets
+        FROM (SELECT {ch.order_col} ord, COUNT(*) basket_size
+              FROM {ch.sales} GROUP BY {ch.order_col}) t
+        GROUP BY basket_size
+        HAVING COUNT(*) > [MIN_BASKETS]
+        ORDER BY basket_size
+        """,
+        {"MIN_BASKETS": S.uniform_int(1, 5)},
+        description="distribution of basket sizes (avg ~10.5 items, §3.1)",
+    )
+
+
+def _distinct_customers_zone(ch: Channel) -> None:
+    _define(
+        f"distinct_customers_zone_{ch.key}",
+        f"""
+        SELECT COUNT(DISTINCT {ch.customer_fk}) customers,
+               COUNT(*) line_items
+        FROM {ch.sales}, date_dim
+        WHERE {ch.date_fk} = d_date_sk
+          AND d_date BETWEEN [RANGE_START] AND [RANGE_END]
+        """,
+        {"RANGE": S.zone_date_range(2, 28)},
+    )
+
+
+def _zone_seasonality(ch: Channel) -> None:
+    _define(
+        f"zone_seasonality_{ch.key}",
+        f"""
+        SELECT d_year,
+               SUM(CASE WHEN d_moy <= 7 THEN {ch.ext_price} ELSE 0 END) zone1_sales,
+               SUM(CASE WHEN d_moy BETWEEN 8 AND 10 THEN {ch.ext_price} ELSE 0 END) zone2_sales,
+               SUM(CASE WHEN d_moy >= 11 THEN {ch.ext_price} ELSE 0 END) zone3_sales
+        FROM {ch.sales}, date_dim
+        WHERE {ch.date_fk} = d_date_sk
+        GROUP BY d_year
+        ORDER BY d_year
+        """,
+        {},
+        description="revenue split by comparability zone (Figure 2 shape)",
+    )
+
+
+def _frequent_names(ch: Channel) -> None:
+    _define(
+        f"frequent_names_{ch.key}",
+        f"""
+        SELECT c_last_name, COUNT(*) purchases
+        FROM {ch.sales}, customer
+        WHERE {ch.customer_fk} = c_customer_sk
+        GROUP BY c_last_name
+        ORDER BY purchases DESC, c_last_name
+        LIMIT 25
+        """,
+        {},
+        description="frequent-name skew surfaced through sales",
+    )
+
+
+def _yoy_growth(ch: Channel) -> None:
+    _define(
+        f"yoy_growth_{ch.key}",
+        f"""
+        WITH yearly AS (
+            SELECT {ch.customer_fk} cust, d_year yr, SUM({ch.net_paid}) total
+            FROM {ch.sales}, date_dim
+            WHERE {ch.date_fk} = d_date_sk
+              AND {ch.customer_fk} IS NOT NULL
+            GROUP BY {ch.customer_fk}, d_year
+        )
+        SELECT cur.yr, COUNT(*) growing_customers
+        FROM yearly cur JOIN yearly prev
+          ON cur.cust = prev.cust AND cur.yr = prev.yr + 1
+        WHERE cur.total > prev.total
+        GROUP BY cur.yr
+        ORDER BY cur.yr
+        """,
+        {},
+        description="customers whose spend grew year over year (Q74 shape)",
+    )
+
+
+def _rank_profit_window() -> None:
+    _define(
+        "rank_profit_window",
+        """
+        SELECT i_item_id, avg_profit,
+               RANK() OVER (ORDER BY avg_profit DESC) profit_rank
+        FROM (SELECT i_item_id, AVG(ss_net_profit) avg_profit
+              FROM store_sales, item
+              WHERE ss_item_sk = i_item_sk
+              GROUP BY i_item_id) ranked
+        ORDER BY profit_rank
+        LIMIT 100
+        """,
+        {},
+    )
+
+
+def _current_items(ch: Channel) -> None:
+    _define(
+        f"current_items_{ch.key}",
+        f"""
+        SELECT i_item_id, i_product_name, SUM({ch.ext_price}) revenue
+        FROM {ch.sales}, item
+        WHERE {ch.item_fk} = i_item_sk
+          AND i_rec_end_date IS NULL
+        GROUP BY i_item_id, i_product_name
+        ORDER BY revenue DESC
+        LIMIT 100
+        """,
+        {},
+        description="revenue of the current SCD revision of each item",
+    )
+
+
+def _cross_channel_exists(variant: int) -> None:
+    if variant == 1:
+        _define(
+            "store_only_customers",
+            """
+            SELECT COUNT(DISTINCT ss_customer_sk) store_only
+            FROM store_sales
+            WHERE ss_customer_sk IS NOT NULL
+              AND ss_customer_sk NOT IN (
+                  SELECT ws_bill_customer_sk FROM web_sales
+                  WHERE ws_bill_customer_sk IS NOT NULL)
+            """,
+            {},
+        )
+    else:
+        _define(
+            "catalog_buyers_with_web_returns",
+            """
+            SELECT COUNT(DISTINCT cs_bill_customer_sk) cnt
+            FROM catalog_sales
+            WHERE cs_bill_customer_sk IN (
+                SELECT wr_returning_customer_sk FROM web_returns
+                WHERE wr_returning_customer_sk IS NOT NULL)
+            """,
+            {},
+        )
+
+
+def _extract_sales(ch: Channel) -> None:
+    _define(
+        f"extract_sales_{ch.key}",
+        f"""
+        SELECT {ch.item_fk} item_sk, {ch.customer_fk} customer_sk,
+               {ch.order_col} order_number, {ch.qty} quantity,
+               {ch.sales_price} sales_price, {ch.net_paid} net_paid,
+               {ch.net_profit} net_profit, d_date
+        FROM {ch.sales}, date_dim
+        WHERE {ch.date_fk} = d_date_sk
+          AND d_date BETWEEN [RANGE_START] AND [RANGE_END]
+        ORDER BY order_number, item_sk
+        """,
+        {"RANGE": S.zone_date_range(1, 14)},
+        query_class="data_mining",
+        description="raw line-item extraction over a date window",
+    )
+
+
+def _stddev_stats(ch: Channel) -> None:
+    _define(
+        f"stddev_stats_{ch.key}",
+        f"""
+        SELECT i_class,
+               COUNT(*) cnt,
+               AVG({ch.qty}) mean_qty,
+               STDDEV_SAMP({ch.qty}) std_qty,
+               STDDEV_SAMP({ch.sales_price}) std_price
+        FROM {ch.sales}, item
+        WHERE {ch.item_fk} = i_item_sk
+        GROUP BY i_class
+        HAVING COUNT(*) > 10
+        ORDER BY std_qty DESC, i_class
+        LIMIT 100
+        """,
+        {},
+    )
+
+
+def _discount_share(ch: Channel) -> None:
+    _define(
+        f"discount_share_{ch.key}",
+        f"""
+        SELECT i_category,
+               SUM({ch.ext_discount}) total_discount,
+               SUM({ch.ext_list}) total_list,
+               SUM({ch.ext_discount}) * 100 / SUM({ch.ext_list}) discount_pct
+        FROM {ch.sales}, item, date_dim
+        WHERE {ch.item_fk} = i_item_sk
+          AND {ch.date_fk} = d_date_sk
+          AND d_year = [YEAR]
+        GROUP BY i_category
+        HAVING SUM({ch.ext_list}) > 0
+        ORDER BY discount_pct DESC, i_category
+        """,
+        {"YEAR": S.sales_year()},
+    )
+
+
+def _weekend_effect(ch: Channel) -> None:
+    _define(
+        f"weekend_effect_{ch.key}",
+        f"""
+        SELECT d_weekend, COUNT(*) cnt, AVG({ch.ext_price}) avg_price
+        FROM {ch.sales}, date_dim
+        WHERE {ch.date_fk} = d_date_sk
+        GROUP BY d_weekend
+        ORDER BY d_weekend
+        """,
+        {},
+    )
+
+
+def _holiday_brand(ch: Channel) -> None:
+    _define(
+        f"holiday_brand_{ch.key}",
+        f"""
+        SELECT i_brand, SUM({ch.ext_price}) revenue
+        FROM {ch.sales}, item, date_dim
+        WHERE {ch.item_fk} = i_item_sk
+          AND {ch.date_fk} = d_date_sk
+          AND d_holiday = 'Y'
+        GROUP BY i_brand
+        ORDER BY revenue DESC, i_brand
+        LIMIT 100
+        """,
+        {},
+    )
+
+
+def _quarterly_trend(ch: Channel) -> None:
+    _define(
+        f"quarterly_trend_{ch.key}",
+        f"""
+        SELECT d_year, d_qoy, SUM({ch.ext_price}) revenue,
+               SUM(SUM({ch.ext_price}))
+                   OVER (PARTITION BY d_year ORDER BY d_qoy) running_total
+        FROM {ch.sales}, date_dim
+        WHERE {ch.date_fk} = d_date_sk
+        GROUP BY d_year, d_qoy
+        ORDER BY d_year, d_qoy
+        """,
+        {},
+        description="quarterly revenue with running totals (window frame)",
+    )
+
+
+def _wholesale_margin(ch: Channel) -> None:
+    _define(
+        f"wholesale_margin_{ch.key}",
+        f"""
+        SELECT i_manufact_id,
+               SUM({ch.ext_price}) revenue,
+               SUM({ch.ext_wholesale}) cost,
+               SUM({ch.net_profit}) profit
+        FROM {ch.sales}, item
+        WHERE {ch.item_fk} = i_item_sk
+          AND i_manufact_id BETWEEN [MANUFACT_LOW] AND [MANUFACT_LOW] + 40
+        GROUP BY i_manufact_id
+        ORDER BY profit DESC, i_manufact_id
+        LIMIT 100
+        """,
+        {"MANUFACT_LOW": S.uniform_int(1, 960)},
+    )
+
+
+def _birth_cohort() -> None:
+    _define(
+        "birth_cohort",
+        """
+        SELECT c_birth_year / 10 * 10 decade,
+               COUNT(DISTINCT c_customer_sk) customers,
+               SUM(ss_net_paid) total_paid
+        FROM store_sales, customer, date_dim
+        WHERE ss_customer_sk = c_customer_sk
+          AND ss_sold_date_sk = d_date_sk
+          AND d_moy = [MONTH]
+        GROUP BY c_birth_year / 10 * 10
+        ORDER BY decade
+        """,
+        {"MONTH": S.zone_month(3)},
+    )
+
+
+def _web_page_types() -> None:
+    _define(
+        "web_page_types",
+        """
+        SELECT web_name, wp_type, COUNT(*) cnt, SUM(ws_ext_sales_price) revenue
+        FROM web_sales, web_page, web_site
+        WHERE ws_web_page_sk = wp_web_page_sk
+          AND ws_web_site_sk = web_site_sk
+        GROUP BY web_name, wp_type
+        ORDER BY revenue DESC, web_name, wp_type
+        """,
+        {},
+    )
+
+
+def _call_center_perf() -> None:
+    _define(
+        "call_center_perf",
+        """
+        SELECT cc_name, cc_manager,
+               SUM(cs_net_profit) profit, COUNT(*) orders
+        FROM catalog_sales, call_center
+        WHERE cs_call_center_sk = cc_call_center_sk
+        GROUP BY cc_name, cc_manager
+        ORDER BY profit DESC, cc_name
+        """,
+        {},
+        query_class="reporting",
+    )
+
+
+def _catalog_page_perf() -> None:
+    _define(
+        "catalog_page_perf",
+        """
+        SELECT cp_catalog_number, COUNT(*) cnt,
+               SUM(cs_ext_sales_price) revenue
+        FROM catalog_sales, catalog_page
+        WHERE cs_catalog_page_sk = cp_catalog_page_sk
+        GROUP BY cp_catalog_number
+        ORDER BY revenue DESC, cp_catalog_number
+        LIMIT 100
+        """,
+        {},
+        query_class="reporting",
+    )
+
+
+def _coupon_share(ch: Channel) -> None:
+    _define(
+        f"coupon_share_{ch.key}",
+        f"""
+        SELECT cd_gender, cd_marital_status,
+               SUM({ch.coupon}) coupons,
+               SUM({ch.net_paid}) paid
+        FROM {ch.sales}, customer_demographics
+        WHERE {ch.cdemo_fk} = cd_demo_sk
+        GROUP BY cd_gender, cd_marital_status
+        ORDER BY cd_gender, cd_marital_status
+        """,
+        {},
+    )
+
+
+def _price_band(ch: Channel) -> None:
+    _define(
+        f"price_band_{ch.key}",
+        f"""
+        SELECT CASE WHEN {ch.sales_price} < 50 THEN 'low'
+                    WHEN {ch.sales_price} < 100 THEN 'medium'
+                    ELSE 'high' END price_band,
+               COUNT(*) cnt,
+               [AGG]({ch.qty}) agg_qty
+        FROM {ch.sales}
+        GROUP BY 1
+        ORDER BY price_band
+        """,
+        {"AGG": S.aggregate_exchange(("SUM", "AVG", "MAX"))},
+    )
+
+
+def _return_rate(ch: Channel) -> None:
+    _define(
+        f"return_rate_{ch.key}",
+        f"""
+        WITH s AS (SELECT {ch.item_fk} item, COUNT(*) sold
+                   FROM {ch.sales} GROUP BY {ch.item_fk}),
+             r AS (SELECT {ch.r_item_fk} item, COUNT(*) returned
+                   FROM {ch.returns} GROUP BY {ch.r_item_fk})
+        SELECT i_class,
+               SUM(r.returned) returned, SUM(s.sold) sold,
+               SUM(r.returned) * 100.0 / SUM(s.sold) return_pct
+        FROM s, r, item
+        WHERE s.item = r.item AND s.item = i_item_sk
+        GROUP BY i_class
+        ORDER BY return_pct DESC, i_class
+        LIMIT 100
+        """,
+        {},
+    )
+
+
+def _gmt_offset(ch: Channel) -> None:
+    _define(
+        f"gmt_offset_{ch.key}",
+        f"""
+        SELECT ca_gmt_offset, COUNT(*) cnt, SUM({ch.ext_price}) revenue
+        FROM {ch.sales}, customer_address
+        WHERE {ch.addr_fk} = ca_address_sk
+        GROUP BY ca_gmt_offset
+        ORDER BY ca_gmt_offset
+        """,
+        {},
+    )
+
+
+def _monthly_zone_labels(ch: Channel) -> None:
+    _define(
+        f"monthly_zone_labels_{ch.key}",
+        f"""
+        SELECT d_moy,
+               CASE WHEN d_moy <= 7 THEN 'zone1'
+                    WHEN d_moy <= 10 THEN 'zone2'
+                    ELSE 'zone3' END zone,
+               SUM({ch.ext_price}) revenue, COUNT(*) cnt
+        FROM {ch.sales}, date_dim
+        WHERE {ch.date_fk} = d_date_sk AND d_year = [YEAR]
+        GROUP BY d_moy, 2
+        ORDER BY d_moy
+        """,
+        {"YEAR": S.sales_year()},
+    )
+
+
+def _order_size_stats(ch: Channel) -> None:
+    _define(
+        f"order_size_stats_{ch.key}",
+        f"""
+        SELECT COUNT(*) line_items,
+               COUNT(DISTINCT {ch.order_col}) orders,
+               COUNT(*) * 1.0 / COUNT(DISTINCT {ch.order_col}) avg_basket
+        FROM {ch.sales}
+        """,
+        {},
+        description="average items per basket (the 10.5 of §3.1)",
+    )
+
+
+def _manager_perf(ch: Channel) -> None:
+    _define(
+        f"manager_perf_{ch.key}",
+        f"""
+        SELECT i_manager_id, SUM({ch.ext_price}) revenue
+        FROM {ch.sales}, item, date_dim
+        WHERE {ch.item_fk} = i_item_sk
+          AND {ch.date_fk} = d_date_sk
+          AND d_moy = [MONTH] AND d_year = [YEAR]
+        GROUP BY i_manager_id
+        ORDER BY revenue DESC, i_manager_id
+        LIMIT 100
+        """,
+        {"MONTH": S.zone_month(2), "YEAR": S.sales_year()},
+    )
+
+
+def _education_matrix(ch: Channel) -> None:
+    _define(
+        f"education_matrix_{ch.key}",
+        f"""
+        SELECT cd_education_status,
+               SUM(CASE WHEN cd_gender = 'M' THEN {ch.qty} ELSE 0 END) male_qty,
+               SUM(CASE WHEN cd_gender = 'F' THEN {ch.qty} ELSE 0 END) female_qty
+        FROM {ch.sales}, customer_demographics
+        WHERE {ch.cdemo_fk} = cd_demo_sk
+        GROUP BY cd_education_status
+        ORDER BY cd_education_status
+        """,
+        {},
+    )
+
+
+def build_catalog() -> list[QueryTemplate]:
+    """Assemble the 99 templates, pinning the paper's printed queries to
+    their original ids (52 and 20)."""
+    global _DEFINITIONS
+    _DEFINITIONS = []
+    for ch in CHANNELS:
+        _brand_monthly(ch)
+    for ch in CHANNELS:
+        _class_ratio(ch)
+    for ch in CHANNELS:
+        _manufact_month(ch)
+    for ch in CHANNELS:
+        _demographics_avg(ch)
+    for ch in CHANNELS:
+        _category_rollup(ch)
+    for ch in CHANNELS:
+        _sales_returns_join(ch)
+    for ch in CHANNELS:
+        _top_customers(ch)
+    for ch in CHANNELS:
+        _drill_down(ch)
+    _channel_totals()
+    _store_web_customers()
+    _catalog_store_ratio()
+    _inventory_weeks()
+    _inventory_category_rollup()
+    for ch in CHANNELS:
+        _time_of_day(ch)
+    _ship_modes(CATALOG)
+    _ship_modes(WEB)
+    for ch in CHANNELS:
+        _state_revenue(ch)
+    _income_band(STORE)
+    _income_band(WEB)
+    _promo_effect(STORE)
+    _promo_effect(CATALOG)
+    for ch in CHANNELS:
+        _returns_by_reason(ch)
+    _frequent_baskets(STORE)
+    _frequent_baskets(CATALOG)
+    _distinct_customers_zone(STORE)
+    _distinct_customers_zone(WEB)
+    for ch in CHANNELS:
+        _zone_seasonality(ch)
+    _frequent_names(STORE)
+    _frequent_names(CATALOG)
+    _yoy_growth(STORE)
+    _yoy_growth(CATALOG)
+    _rank_profit_window()
+    _current_items(STORE)
+    _current_items(CATALOG)
+    _cross_channel_exists(1)
+    _cross_channel_exists(2)
+    for ch in CHANNELS:
+        _extract_sales(ch)
+    _stddev_stats(STORE)
+    _stddev_stats(CATALOG)
+    for ch in CHANNELS:
+        _discount_share(ch)
+    _weekend_effect(STORE)
+    _holiday_brand(STORE)
+    _holiday_brand(CATALOG)
+    for ch in CHANNELS:
+        _quarterly_trend(ch)
+    for ch in CHANNELS:
+        _wholesale_margin(ch)
+    _birth_cohort()
+    _web_page_types()
+    _call_center_perf()
+    _catalog_page_perf()
+    _coupon_share(STORE)
+    _coupon_share(WEB)
+    for ch in CHANNELS:
+        _price_band(ch)
+    for ch in CHANNELS:
+        _return_rate(ch)
+    _gmt_offset(STORE)
+    for ch in CHANNELS:
+        _monthly_zone_labels(ch)
+    for ch in CHANNELS:
+        _order_size_stats(ch)
+    _manager_perf(STORE)
+    _manager_perf(WEB)
+    _education_matrix(STORE)
+
+    # assign ids: pinned names take their ids, the rest fill in order
+    taken = set(_PINNED_IDS.values())
+    free_ids = iter(i for i in range(1, 1000) if i not in taken)
+    templates = []
+    for name, statements, substitutions, query_class, description in _DEFINITIONS:
+        template_id = _PINNED_IDS.get(name, None)
+        if template_id is None:
+            template_id = next(free_ids)
+        templates.append(
+            QueryTemplate(
+                template_id=template_id,
+                name=name,
+                statements=statements,
+                substitutions=substitutions,
+                query_class=query_class,
+                description=description,
+            )
+        )
+    return sorted(templates, key=lambda t: t.template_id)
+
+
+WORKLOAD_SIZE = 99

@@ -1,0 +1,160 @@
+"""Channel descriptors used by the template families.
+
+TPC-DS query families repeat across the three sales channels with the
+channel's own fact tables and column prefixes (the real query set does
+exactly this — e.g. Q52/Q55 on store, Q20 on catalog, Q12 on web share
+one shape). The :class:`Channel` descriptor carries the naming scheme
+so a family builder can emit one template per channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Channel:
+    key: str
+    sales: str
+    returns: str
+    date_fk: str
+    time_fk: str
+    item_fk: str
+    customer_fk: str
+    cdemo_fk: str
+    hdemo_fk: str
+    addr_fk: str
+    promo_fk: str
+    order_col: str
+    qty: str
+    sales_price: str
+    ext_price: str
+    ext_list: str
+    ext_wholesale: str
+    ext_discount: str
+    coupon: str
+    net_paid: str
+    net_profit: str
+    r_date_fk: str
+    r_item_fk: str
+    r_customer_fk: str
+    r_reason_fk: str
+    r_amount: str
+    r_qty: str
+    r_order: str
+    r_net_loss: str
+    location_fk: str
+    location_table: str
+    location_sk: str
+    location_name: str
+
+
+STORE = Channel(
+    key="store",
+    sales="store_sales",
+    returns="store_returns",
+    date_fk="ss_sold_date_sk",
+    time_fk="ss_sold_time_sk",
+    item_fk="ss_item_sk",
+    customer_fk="ss_customer_sk",
+    cdemo_fk="ss_cdemo_sk",
+    hdemo_fk="ss_hdemo_sk",
+    addr_fk="ss_addr_sk",
+    promo_fk="ss_promo_sk",
+    order_col="ss_ticket_number",
+    qty="ss_quantity",
+    sales_price="ss_sales_price",
+    ext_price="ss_ext_sales_price",
+    ext_list="ss_ext_list_price",
+    ext_wholesale="ss_ext_wholesale_cost",
+    ext_discount="ss_ext_discount_amt",
+    coupon="ss_coupon_amt",
+    net_paid="ss_net_paid",
+    net_profit="ss_net_profit",
+    r_date_fk="sr_returned_date_sk",
+    r_item_fk="sr_item_sk",
+    r_customer_fk="sr_customer_sk",
+    r_reason_fk="sr_reason_sk",
+    r_amount="sr_return_amt",
+    r_qty="sr_return_quantity",
+    r_order="sr_ticket_number",
+    r_net_loss="sr_net_loss",
+    location_fk="ss_store_sk",
+    location_table="store",
+    location_sk="s_store_sk",
+    location_name="s_store_name",
+)
+
+CATALOG = Channel(
+    key="catalog",
+    sales="catalog_sales",
+    returns="catalog_returns",
+    date_fk="cs_sold_date_sk",
+    time_fk="cs_sold_time_sk",
+    item_fk="cs_item_sk",
+    customer_fk="cs_bill_customer_sk",
+    cdemo_fk="cs_bill_cdemo_sk",
+    hdemo_fk="cs_bill_hdemo_sk",
+    addr_fk="cs_bill_addr_sk",
+    promo_fk="cs_promo_sk",
+    order_col="cs_order_number",
+    qty="cs_quantity",
+    sales_price="cs_sales_price",
+    ext_price="cs_ext_sales_price",
+    ext_list="cs_ext_list_price",
+    ext_wholesale="cs_ext_wholesale_cost",
+    ext_discount="cs_ext_discount_amt",
+    coupon="cs_coupon_amt",
+    net_paid="cs_net_paid",
+    net_profit="cs_net_profit",
+    r_date_fk="cr_returned_date_sk",
+    r_item_fk="cr_item_sk",
+    r_customer_fk="cr_returning_customer_sk",
+    r_reason_fk="cr_reason_sk",
+    r_amount="cr_return_amount",
+    r_qty="cr_return_quantity",
+    r_order="cr_order_number",
+    r_net_loss="cr_net_loss",
+    location_fk="cs_call_center_sk",
+    location_table="call_center",
+    location_sk="cc_call_center_sk",
+    location_name="cc_name",
+)
+
+WEB = Channel(
+    key="web",
+    sales="web_sales",
+    returns="web_returns",
+    date_fk="ws_sold_date_sk",
+    time_fk="ws_sold_time_sk",
+    item_fk="ws_item_sk",
+    customer_fk="ws_bill_customer_sk",
+    cdemo_fk="ws_bill_cdemo_sk",
+    hdemo_fk="ws_bill_hdemo_sk",
+    addr_fk="ws_bill_addr_sk",
+    promo_fk="ws_promo_sk",
+    order_col="ws_order_number",
+    qty="ws_quantity",
+    sales_price="ws_sales_price",
+    ext_price="ws_ext_sales_price",
+    ext_list="ws_ext_list_price",
+    ext_wholesale="ws_ext_wholesale_cost",
+    ext_discount="ws_ext_discount_amt",
+    coupon="ws_coupon_amt",
+    net_paid="ws_net_paid",
+    net_profit="ws_net_profit",
+    r_date_fk="wr_returned_date_sk",
+    r_item_fk="wr_item_sk",
+    r_customer_fk="wr_returning_customer_sk",
+    r_reason_fk="wr_reason_sk",
+    r_amount="wr_return_amt",
+    r_qty="wr_return_quantity",
+    r_order="wr_order_number",
+    r_net_loss="wr_net_loss",
+    location_fk="ws_web_site_sk",
+    location_table="web_site",
+    location_sk="web_site_sk",
+    location_name="web_name",
+)
+
+CHANNELS = (STORE, CATALOG, WEB)

@@ -1,0 +1,57 @@
+"""Execution rules and metrics (§5)."""
+
+from .execution import (
+    BenchmarkConfig,
+    BenchmarkResult,
+    BenchmarkRun,
+    LoadResult,
+    MaintenanceRunResult,
+    QueryRunResult,
+    QueryTiming,
+    run_benchmark,
+    validate_primary_keys,
+)
+from .metric import (
+    LOAD_FRACTION_PER_STREAM,
+    MetricError,
+    MetricInputs,
+    QUERIES_PER_STREAM,
+    QUERY_RUNS,
+    load_time_share,
+    power_metric,
+    price_performance,
+    qphds,
+    total_queries,
+)
+from .audit import AuditFinding, audit_database
+from .pricing import PriceBook, SystemConfiguration, dollars_per_qphds
+from .report import render_full_disclosure, render_report
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkResult",
+    "BenchmarkRun",
+    "run_benchmark",
+    "LoadResult",
+    "QueryRunResult",
+    "QueryTiming",
+    "MaintenanceRunResult",
+    "validate_primary_keys",
+    "MetricInputs",
+    "MetricError",
+    "qphds",
+    "price_performance",
+    "power_metric",
+    "total_queries",
+    "load_time_share",
+    "QUERIES_PER_STREAM",
+    "QUERY_RUNS",
+    "LOAD_FRACTION_PER_STREAM",
+    "render_report",
+    "render_full_disclosure",
+    "AuditFinding",
+    "audit_database",
+    "PriceBook",
+    "SystemConfiguration",
+    "dollars_per_qphds",
+]

@@ -1,0 +1,340 @@
+"""Benchmark execution rules (§5.2, Figure 11).
+
+The benchmark test is a *database load test* followed by a *performance
+test*::
+
+    Load  →  Query Run 1  →  Data Maintenance  →  Query Run 2
+
+* The load test times table loading, auxiliary-structure creation,
+  constraint validation and statistics gathering (data *generation* is
+  untimed, as in the spec).
+* Each query run executes S concurrent streams; each stream runs all
+  99 templates in its own permuted order with its own substitutions.
+* The data-maintenance run applies one refresh set per stream through
+  the 12 operations, then maintains auxiliary structures — whose cost
+  Query Run 2 would otherwise expose.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dsdgen import DsdGen, GeneratedData, minimum_streams
+from ..dsdgen.generator import load_tables
+from ..engine import Database, OptimizerSettings
+from ..engine.errors import ConstraintError
+from ..maintenance import RefreshGenerator, run_all
+from ..qgen import QGen, build_catalog
+from ..schema import AD_HOC_TABLES, ALL_TABLES
+from .metric import MetricInputs, qphds, total_queries
+
+#: materialized views created on the reporting (catalog) channel when
+#: auxiliary structures are enabled; Q20-family queries rewrite onto the
+#: first, brand queries onto the second, call-center reporting onto the
+#: third
+REPORTING_MATVIEWS = {
+    "mv_catalog_item_date": """
+        SELECT i_item_id, i_item_desc, i_category, i_class, i_current_price,
+               d_date, SUM(cs_ext_sales_price)
+        FROM catalog_sales, item, date_dim
+        WHERE cs_item_sk = i_item_sk AND cs_sold_date_sk = d_date_sk
+        GROUP BY i_item_id, i_item_desc, i_category, i_class,
+                 i_current_price, d_date
+    """,
+    "mv_catalog_brand_month": """
+        SELECT d_year, d_moy, i_brand, i_brand_id, i_manager_id,
+               SUM(cs_ext_sales_price)
+        FROM catalog_sales, item, date_dim
+        WHERE cs_sold_date_sk = d_date_sk AND cs_item_sk = i_item_sk
+        GROUP BY d_year, d_moy, i_brand, i_brand_id, i_manager_id
+    """,
+    "mv_call_center_profit": """
+        SELECT cc_name, cc_manager, SUM(cs_net_profit), COUNT(*)
+        FROM catalog_sales, call_center
+        WHERE cs_call_center_sk = cc_call_center_sk
+        GROUP BY cc_name, cc_manager
+    """,
+}
+
+#: bitmap join indexes on reporting-channel fact foreign keys (complex
+#: aux structures — only legal on the catalog channel)
+REPORTING_BITMAP_INDEXES = (
+    ("catalog_sales", "cs_sold_date_sk"),
+    ("catalog_sales", "cs_item_sk"),
+    ("catalog_sales", "cs_call_center_sk"),
+)
+
+#: basic indexes (legal everywhere): business keys and fact date columns
+BASIC_HASH_INDEXES = (
+    ("customer", "c_customer_id"),
+    ("customer_address", "ca_address_id"),
+    ("item", "i_item_id"),
+    ("store", "s_store_id"),
+    ("call_center", "cc_call_center_id"),
+    ("web_site", "web_site_id"),
+    ("web_page", "wp_web_page_id"),
+    ("warehouse", "w_warehouse_id"),
+    ("promotion", "p_promo_id"),
+    ("catalog_page", "cp_catalog_page_id"),
+    ("date_dim", "d_date"),
+)
+
+BASIC_SORTED_INDEXES = (
+    ("store_sales", "ss_sold_date_sk"),
+    ("store_returns", "sr_returned_date_sk"),
+    ("catalog_sales", "cs_sold_date_sk"),
+    ("catalog_returns", "cr_returned_date_sk"),
+    ("web_sales", "ws_sold_date_sk"),
+    ("web_returns", "wr_returned_date_sk"),
+)
+
+
+@dataclass
+class BenchmarkConfig:
+    scale_factor: float = 0.01
+    #: number of concurrent query streams; None = the Figure 12 minimum
+    streams: Optional[int] = None
+    seed: int = 19620718
+    #: create the reporting-channel aux structures (matviews + bitmaps)
+    use_aux_structures: bool = True
+    #: enforce the official discrete scale factors
+    strict: bool = False
+    #: enforce the ad-hoc implementation rules (complex aux structures
+    #: restricted to the reporting channel)
+    enforce_implementation_rules: bool = True
+    optimizer: OptimizerSettings = field(default_factory=OptimizerSettings)
+    #: refresh-set sizing
+    update_fraction: float = 0.02
+    insert_fraction: float = 0.02
+    #: 3-year total cost of ownership for $/QphDS (synthetic price book)
+    system_price: float = 150_000.0
+
+    def resolved_streams(self) -> int:
+        return self.streams or minimum_streams(self.scale_factor)
+
+
+@dataclass
+class QueryTiming:
+    stream: int
+    template_id: int
+    name: str
+    query_class: str
+    channel_part: str
+    elapsed: float
+    rows: int
+    used_view: Optional[str]
+
+
+@dataclass
+class QueryRunResult:
+    elapsed: float
+    timings: list[QueryTiming] = field(default_factory=list)
+
+    @property
+    def queries_executed(self) -> int:
+        return len(self.timings)
+
+
+@dataclass
+class LoadResult:
+    elapsed: float
+    untimed_generation: float
+    rows_loaded: int
+    aux_structures: int
+
+
+@dataclass
+class MaintenanceRunResult:
+    elapsed: float
+    operations: list = field(default_factory=list)
+
+
+def validate_primary_keys(db: Database) -> None:
+    """Constraint validation — part of the timed load (§5.2)."""
+    for name, schema in ALL_TABLES.items():
+        pk = schema.primary_key
+        if len(pk) != 1:
+            continue
+        column = db.table(name).scan_column(pk[0])
+        if column.null.any():
+            raise ConstraintError(f"NULL primary key in {name}")
+        import numpy as np
+
+        valid = column.data
+        if len(np.unique(valid)) != len(valid):
+            raise ConstraintError(f"duplicate primary key in {name}")
+
+
+class BenchmarkRun:
+    """Drives one full benchmark test against a fresh database."""
+
+    def __init__(self, config: BenchmarkConfig):
+        self.config = config
+        self.db: Optional[Database] = None
+        self.data: Optional[GeneratedData] = None
+        self.qgen: Optional[QGen] = None
+
+    # -- load test -------------------------------------------------------------
+
+    def load_test(self) -> LoadResult:
+        config = self.config
+        gen_start = time.perf_counter()
+        generator = DsdGen(config.scale_factor, seed=config.seed, strict=config.strict)
+        self.data = generator.generate()
+        untimed = time.perf_counter() - gen_start
+
+        db = Database(optimizer_settings=config.optimizer)
+        start = time.perf_counter()
+        load_tables(db, self.data)
+        aux = 0
+        for table, column in BASIC_HASH_INDEXES:
+            db.create_index(table, column, "hash")
+            aux += 1
+        for table, column in BASIC_SORTED_INDEXES:
+            db.create_index(table, column, "sorted")
+            aux += 1
+        if config.enforce_implementation_rules:
+            db.catalog.restrict_aux_on = set(AD_HOC_TABLES)
+        if config.use_aux_structures:
+            for table, column in REPORTING_BITMAP_INDEXES:
+                db.create_index(table, column, "bitmap")
+                aux += 1
+            for name, sql in REPORTING_MATVIEWS.items():
+                db.create_materialized_view(name, sql)
+                aux += 1
+        validate_primary_keys(db)
+        db.gather_stats()
+        elapsed = time.perf_counter() - start
+        self.db = db
+        self.qgen = QGen(self.data.context, build_catalog())
+        rows = sum(self.data.row_counts.values())
+        return LoadResult(elapsed, untimed, rows, aux)
+
+    # -- query runs -------------------------------------------------------------
+
+    def _run_stream(self, stream: int) -> list[QueryTiming]:
+        timings = []
+        for query in self.qgen.generate_stream(stream):
+            start = time.perf_counter()
+            rows = 0
+            used_view = None
+            for statement in query.statements:
+                result = self.db.execute(statement)
+                rows += len(result)
+                used_view = used_view or result.rewritten_from_view
+            timings.append(
+                QueryTiming(
+                    stream=stream,
+                    template_id=query.template_id,
+                    name=query.name,
+                    query_class=query.query_class,
+                    channel_part=query.channel_part,
+                    elapsed=time.perf_counter() - start,
+                    rows=rows,
+                    used_view=used_view,
+                )
+            )
+        return timings
+
+    def query_run(self, run_number: int) -> QueryRunResult:
+        streams = self.config.resolved_streams()
+        start = time.perf_counter()
+        # stream ids differ between run 1 and run 2 so substitutions differ
+        base = (run_number - 1) * streams
+        if streams == 1:
+            all_timings = [self._run_stream(base)]
+        else:
+            with ThreadPoolExecutor(max_workers=streams) as pool:
+                all_timings = list(
+                    pool.map(self._run_stream, range(base, base + streams))
+                )
+        elapsed = time.perf_counter() - start
+        result = QueryRunResult(elapsed)
+        for timings in all_timings:
+            result.timings.extend(timings)
+        return result
+
+    # -- data maintenance ----------------------------------------------------------
+
+    def data_maintenance(self) -> MaintenanceRunResult:
+        config = self.config
+        generator = RefreshGenerator(
+            self.data.context,
+            update_fraction=config.update_fraction,
+            insert_fraction=config.insert_fraction,
+        )
+        start = time.perf_counter()
+        operations = []
+        for stream in range(1, config.resolved_streams() + 1):
+            refresh = generator.generate(refresh_round=stream)
+            operations.extend(run_all(self.db, refresh, refresh_aux=False))
+        # aux maintenance once, after all refresh sets (its cost belongs
+        # to the DM run; deferring it further would distort Query Run 2)
+        aux_start = time.perf_counter()
+        self.db.refresh_matviews()
+        self.db.catalog.rebuild_indexes()
+        from ..maintenance import MaintenanceResult
+
+        operations.append(
+            MaintenanceResult("AUX", 0, time.perf_counter() - aux_start)
+        )
+        return MaintenanceRunResult(time.perf_counter() - start, operations)
+
+
+@dataclass
+class BenchmarkResult:
+    config: BenchmarkConfig
+    load: LoadResult
+    query_run_1: QueryRunResult
+    maintenance: MaintenanceRunResult
+    query_run_2: QueryRunResult
+    qphds: float
+    price_performance: float
+
+    @property
+    def metric_inputs(self) -> MetricInputs:
+        return MetricInputs(
+            scale_factor=self.config.scale_factor,
+            streams=self.config.resolved_streams(),
+            t_qr1=self.query_run_1.elapsed,
+            t_dm=self.maintenance.elapsed,
+            t_qr2=self.query_run_2.elapsed,
+            t_load=self.load.elapsed,
+        )
+
+    @property
+    def total_queries(self) -> int:
+        return total_queries(self.config.resolved_streams())
+
+
+def run_benchmark(config: BenchmarkConfig) -> tuple[BenchmarkResult, BenchmarkRun]:
+    """Execute the Figure 11 sequence and compute the §5.3 metrics."""
+    from .metric import price_performance
+
+    run = BenchmarkRun(config)
+    load = run.load_test()
+    qr1 = run.query_run(1)
+    dm = run.data_maintenance()
+    qr2 = run.query_run(2)
+    inputs = MetricInputs(
+        scale_factor=config.scale_factor,
+        streams=config.resolved_streams(),
+        t_qr1=qr1.elapsed,
+        t_dm=dm.elapsed,
+        t_qr2=qr2.elapsed,
+        t_load=load.elapsed,
+    )
+    metric = qphds(inputs, enforce_min_streams=config.strict)
+    result = BenchmarkResult(
+        config=config,
+        load=load,
+        query_run_1=qr1,
+        maintenance=dm,
+        query_run_2=qr2,
+        qphds=metric,
+        price_performance=price_performance(config.system_price, metric),
+    )
+    return result, run

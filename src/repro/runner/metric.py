@@ -1,0 +1,113 @@
+"""The TPC-DS primary metrics (§5.3).
+
+Performance metric::
+
+                            198 * S
+    QphDS@SF = SF * 3600 * -----------------------------------------
+                            T_QR1 + T_DM + T_QR2 + 0.01 * S * T_Load
+
+* ``198 * S`` — 99 queries × two query runs × S streams;
+* the denominator is wall-clock seconds; the load contributes a 1%
+  fraction *per stream* so more streams cannot dilute the cost of
+  auxiliary structures;
+* multiplying by 3600 normalizes to queries per hour; multiplying by
+  SF normalizes across scale factors (ideal scaling keeps the metric
+  constant — "marketing teams would like to see the same number of
+  queries per hour").
+
+Price/performance: ``$/QphDS@SF = P / QphDS@SF`` with P the 3-year TCO.
+
+``power_metric`` implements the *rejected* geometric-mean power metric
+of previous benchmarks so the bench can reproduce the paper's critique
+(a 6h→2h improvement moves it exactly as much as 6s→2s).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..dsdgen.scaling import minimum_streams
+
+#: queries per stream per query run
+QUERIES_PER_STREAM = 99
+#: two query runs
+QUERY_RUNS = 2
+#: fraction of the load time charged per stream
+LOAD_FRACTION_PER_STREAM = 0.01
+
+
+class MetricError(ValueError):
+    """Raised for invalid metric inputs (non-positive times, too few
+    streams…)."""
+
+
+def total_queries(streams: int) -> int:
+    """The metric numerator's query count: 198 * S."""
+    if streams < 1:
+        raise MetricError("at least one stream is required")
+    return QUERIES_PER_STREAM * QUERY_RUNS * streams
+
+
+@dataclass(frozen=True)
+class MetricInputs:
+    scale_factor: float
+    streams: int
+    t_qr1: float
+    t_dm: float
+    t_qr2: float
+    t_load: float
+
+    def validate(self, enforce_min_streams: bool = True) -> None:
+        if min(self.t_qr1, self.t_dm, self.t_qr2, self.t_load) < 0:
+            raise MetricError("elapsed times must be non-negative")
+        if self.t_qr1 + self.t_dm + self.t_qr2 <= 0:
+            raise MetricError("total measured time must be positive")
+        if enforce_min_streams:
+            required = minimum_streams(self.scale_factor)
+            if self.streams < required:
+                raise MetricError(
+                    f"scale factor {self.scale_factor} requires at least "
+                    f"{required} streams, got {self.streams}"
+                )
+
+
+def qphds(inputs: MetricInputs, enforce_min_streams: bool = True) -> float:
+    """The primary performance metric QphDS@SF."""
+    inputs.validate(enforce_min_streams)
+    numerator = total_queries(inputs.streams)
+    denominator = (
+        inputs.t_qr1
+        + inputs.t_dm
+        + inputs.t_qr2
+        + LOAD_FRACTION_PER_STREAM * inputs.streams * inputs.t_load
+    )
+    return inputs.scale_factor * 3600.0 * numerator / denominator
+
+
+def price_performance(price: float, qphds_value: float) -> float:
+    """$/QphDS@SF — the 3-year TCO divided by the performance metric."""
+    if price <= 0:
+        raise MetricError("system price must be positive")
+    if qphds_value <= 0:
+        raise MetricError("QphDS must be positive")
+    return price / qphds_value
+
+
+def load_time_share(inputs: MetricInputs) -> float:
+    """Fraction of the metric denominator contributed by the load."""
+    load_part = LOAD_FRACTION_PER_STREAM * inputs.streams * inputs.t_load
+    total = inputs.t_qr1 + inputs.t_dm + inputs.t_qr2 + load_part
+    return load_part / total
+
+
+def power_metric(query_times: list[float], scale_factor: float) -> float:
+    """The geometric-mean "power" metric of TPC-H-era benchmarks, which
+    TPC-DS deliberately dropped (§5.3). Included for the critique bench:
+    proportional improvements move it identically regardless of the
+    query's absolute duration."""
+    if not query_times or any(t <= 0 for t in query_times):
+        raise MetricError("power metric requires positive query times")
+    log_sum = sum(math.log(t) for t in query_times)
+    geo_mean = math.exp(log_sum / len(query_times))
+    return 3600.0 * scale_factor / geo_mean

@@ -1,0 +1,106 @@
+"""Human-readable benchmark reports (the "full disclosure" summary)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .execution import BenchmarkResult
+from .metric import load_time_share
+
+
+def format_seconds(value: float) -> str:
+    """Human-friendly seconds/minutes/ms formatting."""
+    if value >= 60:
+        return f"{value / 60:.1f} min"
+    if value >= 1:
+        return f"{value:.2f} s"
+    return f"{value * 1000:.1f} ms"
+
+
+def render_report(result: BenchmarkResult) -> str:
+    """The summary benchmark report (phases + metrics)."""
+    config = result.config
+    lines = [
+        "TPC-DS (Python reproduction) — benchmark result",
+        "=" * 52,
+        f"scale factor          : {config.scale_factor}",
+        f"streams               : {config.resolved_streams()}",
+        f"aux structures        : {'on' if config.use_aux_structures else 'off'}",
+        f"queries executed      : {result.total_queries} (198 * S)",
+        "",
+        "execution order (Figure 11)",
+        f"  load test           : {format_seconds(result.load.elapsed)}"
+        f"  ({result.load.rows_loaded:,} rows, {result.load.aux_structures} aux structures)",
+        f"  query run 1         : {format_seconds(result.query_run_1.elapsed)}",
+        f"  data maintenance    : {format_seconds(result.maintenance.elapsed)}",
+        f"  query run 2         : {format_seconds(result.query_run_2.elapsed)}",
+        "",
+        f"QphDS@{config.scale_factor:g}        : {result.qphds:,.1f}",
+        f"$/QphDS               : {result.price_performance:,.4f}",
+        f"load share of metric  : {load_time_share(result.metric_inputs) * 100:.1f}%",
+        "",
+        "per-class mean query time (query run 1)",
+    ]
+    by_class: dict[str, list[float]] = defaultdict(list)
+    for timing in result.query_run_1.timings:
+        by_class[timing.query_class].append(timing.elapsed)
+    for query_class in sorted(by_class):
+        times = by_class[query_class]
+        lines.append(
+            f"  {query_class:12s}: {sum(times) / len(times) * 1000:8.1f} ms avg"
+            f"  ({len(times)} executions)"
+        )
+    rewritten = [t for t in result.query_run_1.timings if t.used_view]
+    lines.append("")
+    lines.append(
+        f"queries answered from materialized views (run 1): {len(rewritten)}"
+    )
+    return "\n".join(lines)
+
+
+def render_full_disclosure(result: BenchmarkResult, top: int = 15) -> str:
+    """The long-form report: per-template timings across streams and
+    runs, the data-maintenance operation table, and the metric inputs —
+    the information a TPC full-disclosure report would carry."""
+    lines = [render_report(result), "", "per-template timings (both runs, all streams)"]
+    by_template: dict[int, dict] = {}
+    for run_no, run in ((1, result.query_run_1), (2, result.query_run_2)):
+        for timing in run.timings:
+            slot = by_template.setdefault(
+                timing.template_id,
+                {"name": timing.name, "class": timing.query_class,
+                 "part": timing.channel_part, "times": [], "rows": 0,
+                 "views": 0},
+            )
+            slot["times"].append(timing.elapsed)
+            slot["rows"] += timing.rows
+            slot["views"] += 1 if timing.used_view else 0
+    header = (f"  {'id':>3s} {'template':28s} {'class':12s} {'part':10s} "
+              f"{'mean ms':>9s} {'max ms':>9s} {'rows':>8s} {'via view':>8s}")
+    lines.append(header)
+    ranked = sorted(
+        by_template.items(),
+        key=lambda kv: -(sum(kv[1]["times"]) / len(kv[1]["times"])),
+    )
+    for template_id, slot in ranked[:top]:
+        mean = sum(slot["times"]) / len(slot["times"]) * 1000
+        worst = max(slot["times"]) * 1000
+        lines.append(
+            f"  {template_id:>3d} {slot['name']:28.28s} {slot['class']:12s} "
+            f"{slot['part']:10s} {mean:>9.1f} {worst:>9.1f} "
+            f"{slot['rows']:>8d} {slot['views']:>8d}"
+        )
+    if len(ranked) > top:
+        lines.append(f"  ... ({len(ranked) - top} more templates)")
+
+    lines.append("")
+    lines.append("data maintenance operations")
+    op_totals: dict[str, list] = {}
+    for op in result.maintenance.operations:
+        slot = op_totals.setdefault(op.operation, [0, 0.0])
+        slot[0] += op.rows_affected
+        slot[1] += op.elapsed
+    lines.append(f"  {'operation':10s} {'rows':>10s} {'elapsed':>12s}")
+    for name, (rows, elapsed) in op_totals.items():
+        lines.append(f"  {name:10s} {rows:>10,} {format_seconds(elapsed):>12s}")
+    return "\n".join(lines)

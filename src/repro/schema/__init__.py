@@ -1,0 +1,30 @@
+"""The TPC-DS snowstorm schema (24 tables) and its statistics."""
+
+from .stats import PAPER_TABLE_1, SchemaStatistics, schema_statistics, snowflake_graph
+from .tables import (
+    AD_HOC_TABLES,
+    ALL_TABLES,
+    DIMENSION_TABLES,
+    FACT_TABLES,
+    HISTORY_DIMENSIONS,
+    NONHISTORY_DIMENSIONS,
+    REPORTING_TABLES,
+    SALES_RETURNS_LINKS,
+    STATIC_DIMENSIONS,
+)
+
+__all__ = [
+    "ALL_TABLES",
+    "FACT_TABLES",
+    "DIMENSION_TABLES",
+    "REPORTING_TABLES",
+    "AD_HOC_TABLES",
+    "STATIC_DIMENSIONS",
+    "HISTORY_DIMENSIONS",
+    "NONHISTORY_DIMENSIONS",
+    "SALES_RETURNS_LINKS",
+    "SchemaStatistics",
+    "schema_statistics",
+    "PAPER_TABLE_1",
+    "snowflake_graph",
+]

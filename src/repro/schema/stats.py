@@ -1,0 +1,86 @@
+"""Schema statistics — the numbers behind the paper's Table 1.
+
+The paper reports: 7 fact tables, 17 dimension tables, columns
+min 3 / max 34 / avg 18, 104 foreign keys, and flat-file row lengths
+min 16 / max 317 / avg 136 bytes. ``schema_statistics`` computes the
+same aggregates from our schema definitions so the bench can print the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tables import ALL_TABLES, DIMENSION_TABLES, FACT_TABLES
+
+
+@dataclass(frozen=True)
+class SchemaStatistics:
+    fact_tables: int
+    dimension_tables: int
+    columns_min: int
+    columns_max: int
+    columns_avg: float
+    foreign_keys: int
+    row_bytes_min: int
+    row_bytes_max: int
+    row_bytes_avg: float
+
+    def as_rows(self) -> list[tuple[str, object]]:
+        return [
+            ("Number of fact tables", self.fact_tables),
+            ("Number of dimension tables", self.dimension_tables),
+            ("Number of columns (min)", self.columns_min),
+            ("Number of columns (max)", self.columns_max),
+            ("Number of columns (avg)", round(self.columns_avg, 1)),
+            ("Number of foreign keys", self.foreign_keys),
+            ("Row length bytes (min)", self.row_bytes_min),
+            ("Row length bytes (max)", self.row_bytes_max),
+            ("Row length bytes (avg)", round(self.row_bytes_avg)),
+        ]
+
+
+#: Table 1 as printed in the paper, for comparison in tests and benches
+PAPER_TABLE_1 = SchemaStatistics(
+    fact_tables=7,
+    dimension_tables=17,
+    columns_min=3,
+    columns_max=34,
+    columns_avg=18.0,
+    foreign_keys=104,
+    row_bytes_min=16,
+    row_bytes_max=317,
+    row_bytes_avg=136.0,
+)
+
+
+def schema_statistics() -> SchemaStatistics:
+    """Compute Table 1's aggregates from the schema definitions."""
+    column_counts = [len(t.columns) for t in ALL_TABLES.values()]
+    row_widths = [t.row_flat_width() for t in ALL_TABLES.values()]
+    fk_count = sum(len(t.foreign_keys) for t in ALL_TABLES.values())
+    return SchemaStatistics(
+        fact_tables=len(FACT_TABLES),
+        dimension_tables=len(DIMENSION_TABLES),
+        columns_min=min(column_counts),
+        columns_max=max(column_counts),
+        columns_avg=sum(column_counts) / len(column_counts),
+        foreign_keys=fk_count,
+        row_bytes_min=min(row_widths),
+        row_bytes_max=max(row_widths),
+        row_bytes_avg=sum(row_widths) / len(row_widths),
+    )
+
+
+def snowflake_graph():
+    """The schema as a directed graph (table -> referenced table), the
+    structure behind the paper's Figure 1. Requires networkx."""
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    for table in ALL_TABLES.values():
+        graph.add_node(table.name, kind="fact" if table.name in FACT_TABLES else "dimension")
+    for table in ALL_TABLES.values():
+        for column, referenced in table.foreign_keys:
+            graph.add_edge(table.name, referenced, column=column)
+    return graph

@@ -1,0 +1,648 @@
+"""The TPC-DS "snowstorm" schema: 7 fact tables and 17 dimensions.
+
+Column sets follow the public TPC-DS specification draft the paper
+references [3]; surrogate keys are ``identifier``, business keys are
+``char(16)``, and money columns are ``decimal(7,2)``. Foreign keys are
+declared on the column (``references=``), which the benchmark uses both
+for Table 1's statistics and for the data generator's referential
+integrity.
+
+Channel partition (§2.2): the **catalog** channel is the *reporting*
+part of the schema (complex auxiliary structures allowed); **store**
+and **web** are the *ad-hoc* part.
+
+Slowly-changing-dimension classification (§3.3.2 / §4.2):
+
+* ``static`` — loaded once, never maintained: date_dim, time_dim, reason,
+  ship_mode, income_band;
+* ``history`` — type-2 SCD with rec_start_date / rec_end_date: item,
+  store, call_center, web_page, web_site;
+* ``nonhistory`` — type-1 overwrite: everything else.
+"""
+
+from __future__ import annotations
+
+from ..engine.types import (
+    ColumnDef,
+    TableSchema,
+    char,
+    date,
+    decimal,
+    identifier,
+    integer,
+    time_of_day,
+    varchar,
+)
+
+
+def _sk(name: str, references: str | None = None, pk: bool = False) -> ColumnDef:
+    return ColumnDef(name, identifier(), nullable=not pk, primary_key=pk,
+                     references=references)
+
+
+def _bk(name: str) -> ColumnDef:
+    """Business key: the OLTP-side identifier used by data maintenance."""
+    return ColumnDef(name, char(16), nullable=False, business_key=True)
+
+
+def _money(name: str) -> ColumnDef:
+    return ColumnDef(name, decimal(7, 2))
+
+
+def _int(name: str) -> ColumnDef:
+    return ColumnDef(name, integer())
+
+
+def _char(name: str, n: int) -> ColumnDef:
+    return ColumnDef(name, char(n))
+
+
+def _varchar(name: str, n: int) -> ColumnDef:
+    return ColumnDef(name, varchar(n))
+
+
+def _date(name: str) -> ColumnDef:
+    return ColumnDef(name, date())
+
+
+# ---------------------------------------------------------------------------
+# dimension tables
+# ---------------------------------------------------------------------------
+
+DATE_DIM = TableSchema("date_dim", [
+    _sk("d_date_sk", pk=True),
+    _bk("d_date_id"),
+    _date("d_date"),
+    _int("d_month_seq"),
+    _int("d_week_seq"),
+    _int("d_quarter_seq"),
+    _int("d_year"),
+    _int("d_dow"),
+    _int("d_moy"),
+    _int("d_dom"),
+    _int("d_qoy"),
+    _int("d_fy_year"),
+    _int("d_fy_quarter_seq"),
+    _int("d_fy_week_seq"),
+    _char("d_day_name", 9),
+    _char("d_quarter_name", 6),
+    _char("d_holiday", 1),
+    _char("d_weekend", 1),
+    _char("d_following_holiday", 1),
+    _int("d_first_dom"),
+    _int("d_last_dom"),
+    _int("d_same_day_ly"),
+    _int("d_same_day_lq"),
+    _char("d_current_day", 1),
+    _char("d_current_week", 1),
+    _char("d_current_month", 1),
+    _char("d_current_quarter", 1),
+    _char("d_current_year", 1),
+])
+
+TIME_DIM = TableSchema("time_dim", [
+    _sk("t_time_sk", pk=True),
+    _bk("t_time_id"),
+    _int("t_time"),
+    _int("t_hour"),
+    _int("t_minute"),
+    _int("t_second"),
+    _char("t_am_pm", 2),
+    _char("t_shift", 20),
+    _char("t_sub_shift", 20),
+    _char("t_meal_time", 20),
+])
+
+REASON = TableSchema("reason", [
+    _sk("r_reason_sk", pk=True),
+    _bk("r_reason_id"),
+    _char("r_reason_desc", 100),
+])
+
+SHIP_MODE = TableSchema("ship_mode", [
+    _sk("sm_ship_mode_sk", pk=True),
+    _bk("sm_ship_mode_id"),
+    _char("sm_type", 30),
+    _char("sm_code", 10),
+    _char("sm_carrier", 20),
+    _char("sm_contract", 20),
+])
+
+INCOME_BAND = TableSchema("income_band", [
+    _sk("ib_income_band_sk", pk=True),
+    _int("ib_lower_bound"),
+    _int("ib_upper_bound"),
+])
+
+CUSTOMER_DEMOGRAPHICS = TableSchema("customer_demographics", [
+    _sk("cd_demo_sk", pk=True),
+    _char("cd_gender", 1),
+    _char("cd_marital_status", 1),
+    _char("cd_education_status", 20),
+    _int("cd_purchase_estimate"),
+    _char("cd_credit_rating", 10),
+    _int("cd_dep_count"),
+    _int("cd_dep_employed_count"),
+    _int("cd_dep_college_count"),
+])
+
+HOUSEHOLD_DEMOGRAPHICS = TableSchema("household_demographics", [
+    _sk("hd_demo_sk", pk=True),
+    _sk("hd_income_band_sk", references="income_band"),
+    _char("hd_buy_potential", 15),
+    _int("hd_dep_count"),
+    _int("hd_vehicle_count"),
+])
+
+CUSTOMER_ADDRESS = TableSchema("customer_address", [
+    _sk("ca_address_sk", pk=True),
+    _bk("ca_address_id"),
+    _char("ca_street_number", 10),
+    _varchar("ca_street_name", 60),
+    _char("ca_street_type", 15),
+    _char("ca_suite_number", 10),
+    _varchar("ca_city", 60),
+    _varchar("ca_county", 30),
+    _char("ca_state", 2),
+    _char("ca_zip", 10),
+    _varchar("ca_country", 20),
+    ColumnDef("ca_gmt_offset", decimal(5, 2)),
+    _char("ca_location_type", 20),
+])
+
+CUSTOMER = TableSchema("customer", [
+    _sk("c_customer_sk", pk=True),
+    _bk("c_customer_id"),
+    _sk("c_current_cdemo_sk", references="customer_demographics"),
+    _sk("c_current_hdemo_sk", references="household_demographics"),
+    _sk("c_current_addr_sk", references="customer_address"),
+    _sk("c_first_shipto_date_sk", references="date_dim"),
+    _sk("c_first_sales_date_sk", references="date_dim"),
+    _char("c_salutation", 10),
+    _char("c_first_name", 20),
+    _char("c_last_name", 30),
+    _char("c_preferred_cust_flag", 1),
+    _int("c_birth_day"),
+    _int("c_birth_month"),
+    _int("c_birth_year"),
+    _varchar("c_birth_country", 20),
+    _char("c_login", 13),
+    _char("c_email_address", 50),
+    _sk("c_last_review_date_sk", references="date_dim"),
+])
+
+ITEM = TableSchema("item", [
+    _sk("i_item_sk", pk=True),
+    _bk("i_item_id"),
+    _date("i_rec_start_date"),
+    _date("i_rec_end_date"),
+    _varchar("i_item_desc", 200),
+    ColumnDef("i_current_price", decimal(7, 2)),
+    ColumnDef("i_wholesale_cost", decimal(7, 2)),
+    _int("i_brand_id"),
+    _char("i_brand", 50),
+    _int("i_class_id"),
+    _char("i_class", 50),
+    _int("i_category_id"),
+    _char("i_category", 50),
+    _int("i_manufact_id"),
+    _char("i_manufact", 50),
+    _char("i_size", 20),
+    _char("i_formulation", 20),
+    _char("i_color", 20),
+    _char("i_units", 10),
+    _char("i_container", 10),
+    _int("i_manager_id"),
+    _char("i_product_name", 50),
+])
+
+STORE = TableSchema("store", [
+    _sk("s_store_sk", pk=True),
+    _bk("s_store_id"),
+    _date("s_rec_start_date"),
+    _date("s_rec_end_date"),
+    _sk("s_closed_date_sk", references="date_dim"),
+    _varchar("s_store_name", 50),
+    _int("s_number_employees"),
+    _int("s_floor_space"),
+    _char("s_hours", 20),
+    _varchar("s_manager", 40),
+    _int("s_market_id"),
+    _varchar("s_geography_class", 100),
+    _varchar("s_market_desc", 100),
+    _varchar("s_market_manager", 40),
+    _int("s_division_id"),
+    _varchar("s_division_name", 50),
+    _int("s_company_id"),
+    _varchar("s_company_name", 50),
+    _varchar("s_street_number", 10),
+    _varchar("s_street_name", 60),
+    _char("s_street_type", 15),
+    _char("s_suite_number", 10),
+    _varchar("s_city", 60),
+    _varchar("s_county", 30),
+    _char("s_state", 2),
+    _char("s_zip", 10),
+    _varchar("s_country", 20),
+    ColumnDef("s_gmt_offset", decimal(5, 2)),
+    ColumnDef("s_tax_percentage", decimal(5, 2)),
+])
+
+CALL_CENTER = TableSchema("call_center", [
+    _sk("cc_call_center_sk", pk=True),
+    _bk("cc_call_center_id"),
+    _date("cc_rec_start_date"),
+    _date("cc_rec_end_date"),
+    _sk("cc_closed_date_sk", references="date_dim"),
+    _sk("cc_open_date_sk", references="date_dim"),
+    _varchar("cc_name", 50),
+    _varchar("cc_class", 50),
+    _int("cc_employees"),
+    _int("cc_sq_ft"),
+    _char("cc_hours", 20),
+    _varchar("cc_manager", 40),
+    _int("cc_mkt_id"),
+    _char("cc_mkt_class", 50),
+    _varchar("cc_mkt_desc", 100),
+    _varchar("cc_market_manager", 40),
+    _int("cc_division"),
+    _varchar("cc_division_name", 50),
+    _int("cc_company"),
+    _char("cc_company_name", 50),
+    _char("cc_street_number", 10),
+    _varchar("cc_street_name", 60),
+    _char("cc_street_type", 15),
+    _char("cc_suite_number", 10),
+    _varchar("cc_city", 60),
+    _varchar("cc_county", 30),
+    _char("cc_state", 2),
+    _char("cc_zip", 10),
+    _varchar("cc_country", 20),
+    ColumnDef("cc_gmt_offset", decimal(5, 2)),
+    ColumnDef("cc_tax_percentage", decimal(5, 2)),
+])
+
+CATALOG_PAGE = TableSchema("catalog_page", [
+    _sk("cp_catalog_page_sk", pk=True),
+    _bk("cp_catalog_page_id"),
+    _sk("cp_start_date_sk", references="date_dim"),
+    _sk("cp_end_date_sk", references="date_dim"),
+    _varchar("cp_department", 50),
+    _int("cp_catalog_number"),
+    _int("cp_catalog_page_number"),
+    _varchar("cp_description", 100),
+    _varchar("cp_type", 100),
+])
+
+WEB_SITE = TableSchema("web_site", [
+    _sk("web_site_sk", pk=True),
+    _bk("web_site_id"),
+    _date("web_rec_start_date"),
+    _date("web_rec_end_date"),
+    _varchar("web_name", 50),
+    _sk("web_open_date_sk", references="date_dim"),
+    _sk("web_close_date_sk", references="date_dim"),
+    _varchar("web_class", 50),
+    _varchar("web_manager", 40),
+    _int("web_mkt_id"),
+    _varchar("web_mkt_class", 50),
+    _varchar("web_mkt_desc", 100),
+    _varchar("web_market_manager", 40),
+    _int("web_company_id"),
+    _char("web_company_name", 50),
+    _char("web_street_number", 10),
+    _varchar("web_street_name", 60),
+    _char("web_street_type", 15),
+    _char("web_suite_number", 10),
+    _varchar("web_city", 60),
+    _varchar("web_county", 30),
+    _char("web_state", 2),
+    _char("web_zip", 10),
+    _varchar("web_country", 20),
+    ColumnDef("web_gmt_offset", decimal(5, 2)),
+    ColumnDef("web_tax_percentage", decimal(5, 2)),
+])
+
+WEB_PAGE = TableSchema("web_page", [
+    _sk("wp_web_page_sk", pk=True),
+    _bk("wp_web_page_id"),
+    _date("wp_rec_start_date"),
+    _date("wp_rec_end_date"),
+    _sk("wp_creation_date_sk", references="date_dim"),
+    _sk("wp_access_date_sk", references="date_dim"),
+    _char("wp_autogen_flag", 1),
+    _sk("wp_customer_sk", references="customer"),
+    _varchar("wp_url", 100),
+    _char("wp_type", 50),
+    _int("wp_char_count"),
+    _int("wp_link_count"),
+    _int("wp_image_count"),
+    _int("wp_max_ad_count"),
+])
+
+WAREHOUSE = TableSchema("warehouse", [
+    _sk("w_warehouse_sk", pk=True),
+    _bk("w_warehouse_id"),
+    _varchar("w_warehouse_name", 20),
+    _int("w_warehouse_sq_ft"),
+    _char("w_street_number", 10),
+    _varchar("w_street_name", 60),
+    _char("w_street_type", 15),
+    _char("w_suite_number", 10),
+    _varchar("w_city", 60),
+    _varchar("w_county", 30),
+    _char("w_state", 2),
+    _char("w_zip", 10),
+    _varchar("w_country", 20),
+    ColumnDef("w_gmt_offset", decimal(5, 2)),
+])
+
+PROMOTION = TableSchema("promotion", [
+    _sk("p_promo_sk", pk=True),
+    _bk("p_promo_id"),
+    _sk("p_start_date_sk", references="date_dim"),
+    _sk("p_end_date_sk", references="date_dim"),
+    _sk("p_item_sk", references="item"),
+    ColumnDef("p_cost", decimal(15, 2)),
+    _int("p_response_target"),
+    _char("p_promo_name", 50),
+    _char("p_channel_dmail", 1),
+    _char("p_channel_email", 1),
+    _char("p_channel_catalog", 1),
+    _char("p_channel_tv", 1),
+    _char("p_channel_radio", 1),
+    _char("p_channel_press", 1),
+    _char("p_channel_event", 1),
+    _char("p_channel_demo", 1),
+    _varchar("p_channel_details", 100),
+    _char("p_purpose", 15),
+    _char("p_discount_active", 1),
+])
+
+# ---------------------------------------------------------------------------
+# fact tables
+# ---------------------------------------------------------------------------
+
+STORE_SALES = TableSchema("store_sales", [
+    _sk("ss_sold_date_sk", references="date_dim"),
+    _sk("ss_sold_time_sk", references="time_dim"),
+    _sk("ss_item_sk", references="item"),
+    _sk("ss_customer_sk", references="customer"),
+    _sk("ss_cdemo_sk", references="customer_demographics"),
+    _sk("ss_hdemo_sk", references="household_demographics"),
+    _sk("ss_addr_sk", references="customer_address"),
+    _sk("ss_store_sk", references="store"),
+    _sk("ss_promo_sk", references="promotion"),
+    _sk("ss_ticket_number"),
+    _int("ss_quantity"),
+    _money("ss_wholesale_cost"),
+    _money("ss_list_price"),
+    _money("ss_sales_price"),
+    _money("ss_ext_discount_amt"),
+    _money("ss_ext_sales_price"),
+    _money("ss_ext_wholesale_cost"),
+    _money("ss_ext_list_price"),
+    _money("ss_ext_tax"),
+    _money("ss_coupon_amt"),
+    _money("ss_net_paid"),
+    _money("ss_net_paid_inc_tax"),
+    _money("ss_net_profit"),
+])
+
+STORE_RETURNS = TableSchema("store_returns", [
+    _sk("sr_returned_date_sk", references="date_dim"),
+    _sk("sr_return_time_sk", references="time_dim"),
+    _sk("sr_item_sk", references="item"),
+    _sk("sr_customer_sk", references="customer"),
+    _sk("sr_cdemo_sk", references="customer_demographics"),
+    _sk("sr_hdemo_sk", references="household_demographics"),
+    _sk("sr_addr_sk", references="customer_address"),
+    _sk("sr_store_sk", references="store"),
+    _sk("sr_reason_sk", references="reason"),
+    _sk("sr_ticket_number"),
+    _int("sr_return_quantity"),
+    _money("sr_return_amt"),
+    _money("sr_return_tax"),
+    _money("sr_return_amt_inc_tax"),
+    _money("sr_fee"),
+    _money("sr_return_ship_cost"),
+    _money("sr_refunded_cash"),
+    _money("sr_reversed_charge"),
+    _money("sr_store_credit"),
+    _money("sr_net_loss"),
+])
+
+CATALOG_SALES = TableSchema("catalog_sales", [
+    _sk("cs_sold_date_sk", references="date_dim"),
+    _sk("cs_sold_time_sk", references="time_dim"),
+    _sk("cs_ship_date_sk", references="date_dim"),
+    _sk("cs_bill_customer_sk", references="customer"),
+    _sk("cs_bill_cdemo_sk", references="customer_demographics"),
+    _sk("cs_bill_hdemo_sk", references="household_demographics"),
+    _sk("cs_bill_addr_sk", references="customer_address"),
+    _sk("cs_ship_customer_sk", references="customer"),
+    _sk("cs_ship_cdemo_sk", references="customer_demographics"),
+    _sk("cs_ship_hdemo_sk", references="household_demographics"),
+    _sk("cs_ship_addr_sk", references="customer_address"),
+    _sk("cs_call_center_sk", references="call_center"),
+    _sk("cs_catalog_page_sk", references="catalog_page"),
+    _sk("cs_ship_mode_sk", references="ship_mode"),
+    _sk("cs_warehouse_sk", references="warehouse"),
+    _sk("cs_item_sk", references="item"),
+    _sk("cs_promo_sk", references="promotion"),
+    _sk("cs_order_number"),
+    _int("cs_quantity"),
+    _money("cs_wholesale_cost"),
+    _money("cs_list_price"),
+    _money("cs_sales_price"),
+    _money("cs_ext_discount_amt"),
+    _money("cs_ext_sales_price"),
+    _money("cs_ext_wholesale_cost"),
+    _money("cs_ext_list_price"),
+    _money("cs_ext_tax"),
+    _money("cs_coupon_amt"),
+    _money("cs_ext_ship_cost"),
+    _money("cs_net_paid"),
+    _money("cs_net_paid_inc_tax"),
+    _money("cs_net_paid_inc_ship"),
+    _money("cs_net_paid_inc_ship_tax"),
+    _money("cs_net_profit"),
+])
+
+CATALOG_RETURNS = TableSchema("catalog_returns", [
+    _sk("cr_returned_date_sk", references="date_dim"),
+    _sk("cr_returned_time_sk", references="time_dim"),
+    _sk("cr_item_sk", references="item"),
+    _sk("cr_refunded_customer_sk", references="customer"),
+    _sk("cr_refunded_cdemo_sk", references="customer_demographics"),
+    _sk("cr_refunded_hdemo_sk", references="household_demographics"),
+    _sk("cr_refunded_addr_sk", references="customer_address"),
+    _sk("cr_returning_customer_sk", references="customer"),
+    _sk("cr_returning_cdemo_sk", references="customer_demographics"),
+    _sk("cr_returning_hdemo_sk", references="household_demographics"),
+    _sk("cr_returning_addr_sk", references="customer_address"),
+    _sk("cr_call_center_sk", references="call_center"),
+    _sk("cr_catalog_page_sk", references="catalog_page"),
+    _sk("cr_ship_mode_sk", references="ship_mode"),
+    _sk("cr_warehouse_sk", references="warehouse"),
+    _sk("cr_reason_sk", references="reason"),
+    _sk("cr_order_number"),
+    _int("cr_return_quantity"),
+    _money("cr_return_amount"),
+    _money("cr_return_tax"),
+    _money("cr_return_amt_inc_tax"),
+    _money("cr_fee"),
+    _money("cr_return_ship_cost"),
+    _money("cr_refunded_cash"),
+    _money("cr_reversed_charge"),
+    _money("cr_store_credit"),
+    _money("cr_net_loss"),
+])
+
+WEB_SALES = TableSchema("web_sales", [
+    _sk("ws_sold_date_sk", references="date_dim"),
+    _sk("ws_sold_time_sk", references="time_dim"),
+    _sk("ws_ship_date_sk", references="date_dim"),
+    _sk("ws_item_sk", references="item"),
+    _sk("ws_bill_customer_sk", references="customer"),
+    _sk("ws_bill_cdemo_sk", references="customer_demographics"),
+    _sk("ws_bill_hdemo_sk", references="household_demographics"),
+    _sk("ws_bill_addr_sk", references="customer_address"),
+    _sk("ws_ship_customer_sk", references="customer"),
+    _sk("ws_ship_cdemo_sk", references="customer_demographics"),
+    _sk("ws_ship_hdemo_sk", references="household_demographics"),
+    _sk("ws_ship_addr_sk", references="customer_address"),
+    _sk("ws_web_page_sk", references="web_page"),
+    _sk("ws_web_site_sk", references="web_site"),
+    _sk("ws_ship_mode_sk", references="ship_mode"),
+    _sk("ws_warehouse_sk", references="warehouse"),
+    _sk("ws_promo_sk", references="promotion"),
+    _sk("ws_order_number"),
+    _int("ws_quantity"),
+    _money("ws_wholesale_cost"),
+    _money("ws_list_price"),
+    _money("ws_sales_price"),
+    _money("ws_ext_discount_amt"),
+    _money("ws_ext_sales_price"),
+    _money("ws_ext_wholesale_cost"),
+    _money("ws_ext_list_price"),
+    _money("ws_ext_tax"),
+    _money("ws_coupon_amt"),
+    _money("ws_ext_ship_cost"),
+    _money("ws_net_paid"),
+    _money("ws_net_paid_inc_tax"),
+    _money("ws_net_paid_inc_ship"),
+    _money("ws_net_paid_inc_ship_tax"),
+    _money("ws_net_profit"),
+])
+
+WEB_RETURNS = TableSchema("web_returns", [
+    _sk("wr_returned_date_sk", references="date_dim"),
+    _sk("wr_returned_time_sk", references="time_dim"),
+    _sk("wr_item_sk", references="item"),
+    _sk("wr_refunded_customer_sk", references="customer"),
+    _sk("wr_refunded_cdemo_sk", references="customer_demographics"),
+    _sk("wr_refunded_hdemo_sk", references="household_demographics"),
+    _sk("wr_refunded_addr_sk", references="customer_address"),
+    _sk("wr_returning_customer_sk", references="customer"),
+    _sk("wr_returning_cdemo_sk", references="customer_demographics"),
+    _sk("wr_returning_hdemo_sk", references="household_demographics"),
+    _sk("wr_returning_addr_sk", references="customer_address"),
+    _sk("wr_web_page_sk", references="web_page"),
+    _sk("wr_reason_sk", references="reason"),
+    _sk("wr_order_number"),
+    _int("wr_return_quantity"),
+    _money("wr_return_amt"),
+    _money("wr_return_tax"),
+    _money("wr_return_amt_inc_tax"),
+    _money("wr_fee"),
+    _money("wr_return_ship_cost"),
+    _money("wr_refunded_cash"),
+    _money("wr_reversed_charge"),
+    _money("wr_account_credit"),
+    _money("wr_net_loss"),
+])
+
+INVENTORY = TableSchema("inventory", [
+    _sk("inv_date_sk", references="date_dim"),
+    _sk("inv_item_sk", references="item"),
+    _sk("inv_warehouse_sk", references="warehouse"),
+    _int("inv_quantity_on_hand"),
+])
+
+# ---------------------------------------------------------------------------
+# groupings
+# ---------------------------------------------------------------------------
+
+FACT_TABLES: dict[str, TableSchema] = {
+    t.name: t
+    for t in (
+        STORE_SALES,
+        STORE_RETURNS,
+        CATALOG_SALES,
+        CATALOG_RETURNS,
+        WEB_SALES,
+        WEB_RETURNS,
+        INVENTORY,
+    )
+}
+
+DIMENSION_TABLES: dict[str, TableSchema] = {
+    t.name: t
+    for t in (
+        DATE_DIM,
+        TIME_DIM,
+        REASON,
+        SHIP_MODE,
+        INCOME_BAND,
+        CUSTOMER_DEMOGRAPHICS,
+        HOUSEHOLD_DEMOGRAPHICS,
+        CUSTOMER_ADDRESS,
+        CUSTOMER,
+        ITEM,
+        STORE,
+        CALL_CENTER,
+        CATALOG_PAGE,
+        WEB_SITE,
+        WEB_PAGE,
+        WAREHOUSE,
+        PROMOTION,
+    )
+}
+
+ALL_TABLES: dict[str, TableSchema] = {**FACT_TABLES, **DIMENSION_TABLES}
+
+#: the reporting part of the schema: the catalog sales channel (§2.2);
+#: complex auxiliary structures (bitmap join indexes, materialized views)
+#: are legal only here
+REPORTING_TABLES = frozenset({"catalog_sales", "catalog_returns", "catalog_page"})
+
+#: the ad-hoc part: store and web channels
+AD_HOC_TABLES = frozenset(
+    {"store_sales", "store_returns", "web_sales", "web_returns", "inventory"}
+)
+
+#: dimensions loaded once and never touched by data maintenance
+STATIC_DIMENSIONS = frozenset(
+    {"date_dim", "time_dim", "reason", "ship_mode", "income_band"}
+)
+
+#: type-2 slowly changing dimensions (rec_start_date / rec_end_date)
+HISTORY_DIMENSIONS = frozenset(
+    {"item", "store", "call_center", "web_page", "web_site"}
+)
+
+#: type-1 dimensions maintained by overwrite
+NONHISTORY_DIMENSIONS = frozenset(DIMENSION_TABLES) - STATIC_DIMENSIONS - HISTORY_DIMENSIONS
+
+#: sales fact table -> its returns fact table and the join keys that relate
+#: them (the paper highlights the store ticket_number+item_sk fact-to-fact
+#: relationship; catalog and web use order_number+item_sk)
+SALES_RETURNS_LINKS = {
+    "store_sales": ("store_returns", ("ss_ticket_number", "sr_ticket_number"),
+                    ("ss_item_sk", "sr_item_sk")),
+    "catalog_sales": ("catalog_returns", ("cs_order_number", "cr_order_number"),
+                      ("cs_item_sk", "cr_item_sk")),
+    "web_sales": ("web_returns", ("ws_order_number", "wr_order_number"),
+                  ("ws_item_sk", "wr_item_sk")),
+}

@@ -1,0 +1,92 @@
+"""Shared fixtures.
+
+Generation and loading are expensive relative to individual tests, so a
+small model-scale database (sf = 0.004) is built once per session and
+shared. Tests that mutate data build their own copies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsdgen import DsdGen, build_database
+from repro.qgen import QGen, build_catalog
+
+SESSION_SF = 0.004
+SESSION_SEED = 19620718
+
+
+@pytest.fixture(scope="session")
+def generated_data():
+    return DsdGen(SESSION_SF, seed=SESSION_SEED).generate()
+
+
+@pytest.fixture(scope="session")
+def loaded_db(generated_data):
+    db, _ = build_database(SESSION_SF, data=generated_data)
+    return db
+
+
+@pytest.fixture(scope="session")
+def qgen(generated_data):
+    return QGen(generated_data.context, build_catalog())
+
+
+@pytest.fixture()
+def fresh_db(generated_data):
+    """A private database copy for tests that mutate data."""
+    db, _ = build_database(SESSION_SF, data=generated_data)
+    return db
+
+
+def make_simple_db():
+    """A tiny hand-built database used by engine unit tests."""
+    from repro.engine import ColumnDef, Database, TableSchema, decimal, integer, varchar
+
+    db = Database()
+    sales = db.create_table(
+        TableSchema(
+            "sales",
+            [
+                ColumnDef("item_sk", integer()),
+                ColumnDef("cust_sk", integer()),
+                ColumnDef("price", decimal()),
+                ColumnDef("qty", integer()),
+            ],
+        )
+    )
+    item = db.create_table(
+        TableSchema(
+            "item",
+            [
+                ColumnDef("i_sk", integer(), nullable=False, primary_key=True),
+                ColumnDef("i_brand", varchar(20)),
+                ColumnDef("i_class", varchar(20)),
+            ],
+        )
+    )
+    sales.append_rows(
+        [
+            [1, 10, 10.0, 2],
+            [2, 11, 20.0, 1],
+            [1, 10, 15.0, 3],
+            [3, 12, 5.0, 1],
+            [2, None, 25.0, 2],
+            [None, 10, 7.5, 4],
+        ]
+    )
+    item.append_rows(
+        [
+            [1, "b1", "c1"],
+            [2, "b2", "c1"],
+            [3, "b3", "c2"],
+            [4, "b4", "c3"],
+        ]
+    )
+    db.gather_stats()
+    return db
+
+
+@pytest.fixture()
+def simple_db():
+    return make_simple_db()

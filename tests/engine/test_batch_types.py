@@ -1,0 +1,145 @@
+"""Batch resolution rules and the type / date helpers."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.batch import Batch
+from repro.engine.errors import PlanningError
+from repro.engine.types import (
+    ColumnDef,
+    Kind,
+    TableSchema,
+    char,
+    date_to_epoch_days,
+    decimal,
+    epoch_days_to_date,
+    format_date,
+    identifier,
+    integer,
+    parse_date,
+    varchar,
+)
+from repro.engine.vector import Vector
+
+
+def make_batch():
+    return Batch({
+        "s.a": Vector.from_values(Kind.INT, [1, 2]),
+        "s.b": Vector.from_values(Kind.STR, ["x", "y"]),
+        "t.b": Vector.from_values(Kind.STR, ["p", "q"]),
+        "alias": Vector.from_values(Kind.FLOAT, [0.5, 1.5]),
+    })
+
+
+class TestBatchResolution:
+    def test_qualified_exact(self):
+        b = make_batch()
+        assert b.resolve_name("a", "s") == "s.a"
+
+    def test_qualified_missing(self):
+        with pytest.raises(PlanningError):
+            make_batch().resolve_name("a", "t")
+
+    def test_unqualified_bare_key_wins(self):
+        assert make_batch().resolve_name("alias") == "alias"
+
+    def test_unqualified_unique_suffix(self):
+        assert make_batch().resolve_name("a") == "s.a"
+
+    def test_unqualified_ambiguous(self):
+        with pytest.raises(PlanningError):
+            make_batch().resolve_name("b")
+
+    def test_unknown(self):
+        with pytest.raises(PlanningError):
+            make_batch().resolve_name("zzz")
+
+    def test_has_column(self):
+        b = make_batch()
+        assert b.has_column("a")
+        assert not b.has_column("b")  # ambiguous counts as unresolvable
+        assert not b.has_column("zzz")
+
+
+class TestBatchOps:
+    def test_take_filter_head(self):
+        b = make_batch()
+        assert b.take(np.array([1])).column("a", "s").to_list() == [2]
+        assert b.filter(np.array([True, False])).num_rows == 1
+        assert b.head(1, offset=1).column("a", "s").to_list() == [2]
+
+    def test_rows(self):
+        rows = make_batch().rows()
+        assert rows[0] == (1, "x", "p", 0.5)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            Batch({
+                "a": Vector.from_values(Kind.INT, [1]),
+                "b": Vector.from_values(Kind.INT, [1, 2]),
+            })
+
+    def test_concat_schema_mismatch(self):
+        a = Batch({"x": Vector.from_values(Kind.INT, [1])})
+        b = Batch({"y": Vector.from_values(Kind.INT, [1])})
+        with pytest.raises(ValueError):
+            Batch.concat([a, b])
+
+    def test_renamed(self):
+        b = make_batch().renamed({"s.a": "n.a"})
+        assert "n.a" in b.names
+
+
+class TestTypes:
+    def test_widths(self):
+        assert identifier().width == 11
+        assert char(16).width == 16
+        assert decimal(7, 2).width == 9
+
+    def test_table_schema_duplicate_column(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", [ColumnDef("a", integer()), ColumnDef("a", integer())])
+
+    def test_unknown_column_lookup(self):
+        schema = TableSchema("t", [ColumnDef("a", integer())])
+        with pytest.raises(KeyError):
+            schema.column("b")
+
+    def test_row_flat_width_includes_separators(self):
+        schema = TableSchema("t", [ColumnDef("a", integer()), ColumnDef("b", char(4))])
+        assert schema.row_flat_width() == 11 + 4 + 2
+
+    def test_primary_and_foreign_keys(self):
+        schema = TableSchema("t", [
+            ColumnDef("id", identifier(), nullable=False, primary_key=True),
+            ColumnDef("fk", identifier(), references="other"),
+            ColumnDef("v", varchar(5)),
+        ])
+        assert schema.primary_key == ["id"]
+        assert schema.foreign_keys == [("fk", "other")]
+
+
+class TestDates:
+    def test_round_trip_known(self):
+        assert parse_date("1970-01-01") == 0
+        assert format_date(0) == "1970-01-01"
+        assert parse_date("2000-03-01") == date_to_epoch_days(dt.date(2000, 3, 1))
+
+    def test_leap_day(self):
+        days = parse_date("2000-02-29")
+        assert format_date(days) == "2000-02-29"
+
+    @given(st.integers(min_value=-30000, max_value=60000))
+    def test_epoch_days_round_trip(self, days):
+        assert date_to_epoch_days(epoch_days_to_date(days)) == days
+
+    @given(st.dates(min_value=dt.date(1800, 1, 1), max_value=dt.date(2200, 1, 1)))
+    def test_date_round_trip(self, value):
+        assert epoch_days_to_date(date_to_epoch_days(value)) == value
+
+    def test_bad_date_rejected(self):
+        with pytest.raises(ValueError):
+            parse_date("not-a-date")

@@ -1,0 +1,126 @@
+"""INSERT / UPDATE / DELETE and constraint behavior."""
+
+import pytest
+
+from repro.engine import (
+    ColumnDef,
+    ConstraintError,
+    Database,
+    ExecutionError,
+    TableSchema,
+    decimal,
+    integer,
+    varchar,
+)
+
+
+@pytest.fixture()
+def db():
+    db = Database()
+    db.create_table(TableSchema("t", [
+        ColumnDef("a", integer(), nullable=False),
+        ColumnDef("b", varchar(10)),
+        ColumnDef("c", decimal()),
+    ]))
+    return db
+
+
+class TestInsert:
+    def test_insert_values(self, db):
+        result = db.execute("INSERT INTO t VALUES (1, 'x', 1.5), (2, 'y', 2.5)")
+        assert result.rowcount == 2
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_insert_with_column_list_fills_nulls(self, db):
+        db.execute("INSERT INTO t (a) VALUES (7)")
+        assert db.execute("SELECT a, b, c FROM t").rows() == [(7, None, None)]
+
+    def test_insert_expression_values(self, db):
+        db.execute("INSERT INTO t VALUES (1 + 2, UPPER('ab'), 10.0 / 4)")
+        assert db.execute("SELECT * FROM t").rows() == [(3, "AB", 2.5)]
+
+    def test_insert_select(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.0), (2, 'y', 2.0)")
+        db.execute("INSERT INTO t SELECT a + 10, b, c * 2 FROM t")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 4
+        assert db.execute("SELECT MAX(a) FROM t").scalar() == 12
+
+    def test_insert_not_null_violation(self, db):
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (NULL, 'x', 1.0)")
+
+    def test_insert_arity_mismatch(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO t VALUES (1, 'x')")
+
+    def test_insert_int_coerces_to_decimal_column(self, db):
+        db.execute("INSERT INTO t (a, c) VALUES (1, 3)")
+        assert db.execute("SELECT c FROM t").rows() == [(3.0,)]
+
+
+class TestUpdate:
+    def test_update_where(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.0), (2, 'y', 2.0)")
+        result = db.execute("UPDATE t SET b = 'z' WHERE a = 2")
+        assert result.rowcount == 1
+        assert db.execute("SELECT b FROM t ORDER BY a").rows() == [("x",), ("z",)]
+
+    def test_update_expression_uses_old_values(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 10.0)")
+        db.execute("UPDATE t SET c = c * 2 + a")
+        assert db.execute("SELECT c FROM t").scalar() == 21.0
+
+    def test_update_to_null(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.0)")
+        db.execute("UPDATE t SET b = NULL")
+        assert db.execute("SELECT b FROM t").rows() == [(None,)]
+
+    def test_update_no_match(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.0)")
+        assert db.execute("UPDATE t SET b = 'q' WHERE a = 99").rowcount == 0
+
+    def test_update_multiple_assignments(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.0)")
+        db.execute("UPDATE t SET b = 'n', c = 9.0 WHERE a = 1")
+        assert db.execute("SELECT b, c FROM t").rows() == [("n", 9.0)]
+
+
+class TestDelete:
+    def test_delete_where(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.0), (2, 'y', 2.0), (3, 'z', 3.0)")
+        result = db.execute("DELETE FROM t WHERE c >= 2.0")
+        assert result.rowcount == 2
+        assert db.execute("SELECT a FROM t").rows() == [(1,)]
+
+    def test_delete_all(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.0)")
+        db.execute("DELETE FROM t")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_delete_with_subquery(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.0), (2, 'y', 5.0)")
+        db.execute("DELETE FROM t WHERE c > (SELECT AVG(c) FROM t)")
+        assert db.execute("SELECT a FROM t").rows() == [(1,)]
+
+    def test_queries_see_mutations(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.0)")
+        db.execute("DELETE FROM t")
+        db.execute("INSERT INTO t VALUES (9, 'n', 0.5)")
+        assert db.execute("SELECT a FROM t").rows() == [(9,)]
+
+
+class TestResultApi:
+    def test_scalar_requires_1x1(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.0), (2, 'y', 2.0)")
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT a FROM t").scalar()
+
+    def test_column_access(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.0), (2, 'y', 2.0)")
+        result = db.execute("SELECT a, b FROM t ORDER BY a")
+        assert result.column("a") == [1, 2]
+
+    def test_to_text(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x', 1.0)")
+        text = db.execute("SELECT a, b FROM t").to_text()
+        assert "a | b" in text and "1 | x" in text

@@ -1,0 +1,168 @@
+"""Scalar expression evaluation: functions, casts, LIKE, dates."""
+
+import pytest
+
+from repro.engine import ColumnDef, Database, TableSchema, date, decimal, integer, varchar
+from repro.engine.errors import SqlSyntaxError, TypeError_
+from repro.engine.expr import like_to_regex
+
+
+@pytest.fixture()
+def db():
+    db = Database()
+    t = db.create_table(TableSchema("t", [
+        ColumnDef("i", integer()),
+        ColumnDef("f", decimal()),
+        ColumnDef("s", varchar(30)),
+        ColumnDef("d", date()),
+    ]))
+    from repro.engine.types import parse_date
+
+    t.append_rows([
+        [5, 2.5, "Hello World", parse_date("2000-03-15")],
+        [-3, 0.4, "abc", parse_date("1999-12-31")],
+        [None, None, None, None],
+    ])
+    return db
+
+
+def one(db, expr):
+    return db.execute(f"SELECT {expr} FROM t WHERE i = 5").rows()[0][0]
+
+
+class TestScalarFunctions:
+    def test_substr(self, db):
+        assert one(db, "SUBSTR(s, 1, 5)") == "Hello"
+
+    def test_substr_no_length(self, db):
+        assert one(db, "SUBSTR(s, 7)") == "World"
+
+    def test_upper_lower(self, db):
+        assert one(db, "UPPER(s)") == "HELLO WORLD"
+        assert one(db, "LOWER(s)") == "hello world"
+
+    def test_length(self, db):
+        assert one(db, "LENGTH(s)") == 11
+
+    def test_trim(self, db):
+        assert one(db, "TRIM('  x  ')") == "x"
+
+    def test_abs(self, db):
+        out = db.execute("SELECT ABS(i) FROM t WHERE i = -3").rows()
+        assert out == [(3,)]
+
+    def test_round(self, db):
+        assert one(db, "ROUND(f + 0.06, 1)") == pytest.approx(2.6)
+
+    def test_floor_ceil(self, db):
+        assert one(db, "FLOOR(f)") == 2
+        assert one(db, "CEIL(f)") == 3
+
+    def test_mod(self, db):
+        assert one(db, "MOD(i, 3)") == 2
+
+    def test_mod_by_zero_null(self, db):
+        assert one(db, "MOD(i, 0)") is None
+
+    def test_power_sqrt(self, db):
+        assert one(db, "POWER(i, 2)") == 25.0
+        assert one(db, "SQRT(25)") == 5.0
+
+    def test_sqrt_negative_null(self, db):
+        assert one(db, "SQRT(-1)") is None
+
+    def test_coalesce(self, db):
+        out = db.execute("SELECT COALESCE(i, 0) FROM t WHERE i IS NULL").rows()
+        assert out == [(0,)]
+
+    def test_coalesce_multi(self, db):
+        out = db.execute("SELECT COALESCE(i, f, -1) FROM t WHERE i IS NULL").rows()
+        assert out == [(-1.0,)]
+
+    def test_nullif(self, db):
+        assert one(db, "NULLIF(i, 5)") is None
+        assert one(db, "NULLIF(i, 6)") == 5
+
+    def test_least_greatest(self, db):
+        assert one(db, "LEAST(i, 3)") == 3
+        assert one(db, "GREATEST(i, 3)") == 5
+
+    def test_year_month_day(self, db):
+        assert one(db, "YEAR(d)") == 2000
+        assert one(db, "MONTH(d)") == 3
+        assert one(db, "DAY(d)") == 15
+
+    def test_null_propagates_through_functions(self, db):
+        out = db.execute("SELECT UPPER(s), ABS(i) FROM t WHERE s IS NULL").rows()
+        assert out == [(None, None)]
+
+
+class TestCasts:
+    def test_int_to_float(self, db):
+        assert one(db, "CAST(i AS double)") == 5.0
+
+    def test_float_to_int(self, db):
+        assert one(db, "CAST(f AS integer)") == 2
+
+    def test_string_to_int(self, db):
+        assert one(db, "CAST('42' AS integer)") == 42
+
+    def test_int_to_string(self, db):
+        assert one(db, "CAST(i AS varchar)") == "5"
+
+    def test_string_to_date(self, db):
+        from repro.engine.types import parse_date
+
+        assert one(db, "CAST('2001-07-04' AS date)") == parse_date("2001-07-04")
+
+    def test_date_to_string(self, db):
+        assert one(db, "CAST(d AS varchar)") == "2000-03-15"
+
+    def test_bad_cast_target(self, db):
+        with pytest.raises(TypeError_):
+            db.execute("SELECT CAST(i AS blob) FROM t")
+
+
+class TestDates:
+    def test_date_literal_comparison(self, db):
+        out = db.execute("SELECT COUNT(*) FROM t WHERE d >= DATE '2000-01-01'").rows()
+        assert out == [(1,)]
+
+    def test_date_arithmetic(self, db):
+        out = db.execute(
+            "SELECT COUNT(*) FROM t WHERE d BETWEEN DATE '2000-03-01' AND DATE '2000-03-01' + 30"
+        ).rows()
+        assert out == [(1,)]
+
+    def test_date_difference(self, db):
+        out = db.execute(
+            "SELECT MAX(d) - MIN(d) FROM t"
+        ).rows()
+        assert out == [(75,)]  # 1999-12-31 .. 2000-03-15
+
+
+class TestLike:
+    @pytest.mark.parametrize("pattern,text,matches", [
+        ("abc", "abc", True),
+        ("a%", "abc", True),
+        ("%c", "abc", True),
+        ("a_c", "abc", True),
+        ("a_c", "abbc", False),
+        ("%b%", "abc", True),
+        ("", "", True),
+        ("a.c", "abc", False),  # dot is literal
+    ])
+    def test_patterns(self, pattern, text, matches):
+        assert bool(like_to_regex(pattern).match(text)) is matches
+
+    def test_like_on_null_is_dropped(self, db):
+        out = db.execute("SELECT COUNT(*) FROM t WHERE s LIKE '%'").rows()
+        assert out == [(2,)]
+
+    def test_not_like(self, db):
+        out = db.execute("SELECT COUNT(*) FROM t WHERE s NOT LIKE 'H%'").rows()
+        assert out == [(1,)]
+
+    def test_like_requires_literal(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT 1 FROM t WHERE s LIKE s")

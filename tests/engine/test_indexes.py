@@ -1,0 +1,128 @@
+"""Secondary index behavior: lookups, ranges, bitmaps, DML invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.engine import CatalogError, ColumnDef, Database, TableSchema, integer, varchar
+
+
+@pytest.fixture()
+def db():
+    db = Database()
+    t = db.create_table(TableSchema("t", [
+        ColumnDef("k", integer()),
+        ColumnDef("v", varchar(5)),
+    ]))
+    t.append_rows([[3, "c"], [1, "a"], [2, "b"], [1, "a2"], [None, "n"]])
+    return db
+
+
+class TestHashIndex:
+    def test_lookup(self, db):
+        index = db.create_index("t", "k", "hash")
+        assert index.lookup(1).tolist() == [1, 3]
+        assert index.lookup(99).tolist() == []
+
+    def test_null_keys_not_indexed(self, db):
+        index = db.create_index("t", "k", "hash")
+        assert index.lookup(None).tolist() == []
+
+    def test_lookup_many(self, db):
+        index = db.create_index("t", "k", "hash")
+        assert index.lookup_many([1, 3]).tolist() == [0, 1, 3]
+
+    def test_num_keys(self, db):
+        index = db.create_index("t", "k", "hash")
+        assert index.num_keys == 3
+
+    def test_invalidation_on_insert(self, db):
+        index = db.create_index("t", "k", "hash")
+        assert index.lookup(42).tolist() == []
+        db.execute("INSERT INTO t VALUES (42, 'z')")
+        assert index.lookup(42).tolist() == [5]
+
+    def test_invalidation_on_delete(self, db):
+        index = db.create_index("t", "k", "hash")
+        index.lookup(1)
+        db.execute("DELETE FROM t WHERE v = 'a'")
+        assert index.lookup(1).tolist() == [2]  # row positions shifted
+
+    def test_invalidation_on_update(self, db):
+        index = db.create_index("t", "k", "hash")
+        index.lookup(3)
+        db.execute("UPDATE t SET k = 7 WHERE v = 'c'")
+        assert index.lookup(3).tolist() == []
+        assert index.lookup(7).tolist() == [0]
+
+    def test_string_keys(self, db):
+        index = db.create_index("t", "v", "hash")
+        assert index.lookup("b").tolist() == [2]
+
+
+class TestSortedIndex:
+    def test_range(self, db):
+        index = db.create_index("t", "k", "sorted")
+        assert index.range(1, 2).tolist() == [1, 2, 3]
+
+    def test_open_ranges(self, db):
+        index = db.create_index("t", "k", "sorted")
+        assert index.range(low=2).tolist() == [0, 2]
+        assert index.range(high=1).tolist() == [1, 3]
+        assert index.range().tolist() == [0, 1, 2, 3]
+
+    def test_point_lookup(self, db):
+        index = db.create_index("t", "k", "sorted")
+        assert index.lookup(2).tolist() == [2]
+
+
+class TestBitmapIndex:
+    def test_rows_for_keys(self, db):
+        index = db.create_index("t", "k", "bitmap")
+        assert index.rows_for_keys({1, 3}).tolist() == [0, 1, 3]
+
+    def test_rows_for_missing_keys(self, db):
+        index = db.create_index("t", "k", "bitmap")
+        assert index.rows_for_keys({99}).tolist() == []
+
+    def test_catalog_bitmap_rows(self, db):
+        db.create_index("t", "k", "bitmap")
+        rows = db.catalog.bitmap_rows("t", "k", {2})
+        assert rows.tolist() == [2]
+
+    def test_no_bitmap_returns_none(self, db):
+        assert db.catalog.bitmap_rows("t", "k", {2}) is None
+
+
+class TestCatalogRules:
+    def test_unknown_index_type(self, db):
+        with pytest.raises(CatalogError):
+            db.create_index("t", "k", "btree")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(CatalogError):
+            db.create_index("t", "nope", "hash")
+
+    def test_idempotent_create(self, db):
+        a = db.create_index("t", "k", "hash")
+        b = db.create_index("t", "k", "hash")
+        assert a is b
+
+    def test_aux_restriction_blocks_bitmap(self, db):
+        db.catalog.restrict_aux_on = {"t"}
+        with pytest.raises(CatalogError):
+            db.create_index("t", "k", "bitmap")
+
+    def test_aux_restriction_allows_basic(self, db):
+        db.catalog.restrict_aux_on = {"t"}
+        db.create_index("t", "k", "hash")
+        db.create_index("t", "k", "sorted")
+
+    def test_rebuild_indexes_counts(self, db):
+        db.create_index("t", "k", "hash")
+        db.create_index("t", "v", "hash")
+        assert db.catalog.rebuild_indexes() == 2
+
+    def test_drop_index(self, db):
+        db.create_index("t", "k", "hash")
+        db.catalog.drop_index("t", "k", "hash")
+        assert db.catalog.index("t", "k", "hash") is None

@@ -1,0 +1,121 @@
+"""Join operator correctness: hash fast path, tuple keys, outer joins,
+residual predicates, null keys."""
+
+import pytest
+
+from repro.engine import ColumnDef, Database, TableSchema, integer, varchar
+
+
+def make_db():
+    db = Database()
+    left = db.create_table(TableSchema("l", [
+        ColumnDef("lk", integer()), ColumnDef("lv", varchar(10)),
+    ]))
+    right = db.create_table(TableSchema("r", [
+        ColumnDef("rk", integer()), ColumnDef("rv", varchar(10)),
+    ]))
+    left.append_rows([[1, "a"], [2, "b"], [2, "b2"], [3, "c"], [None, "n"]])
+    right.append_rows([[2, "x"], [2, "y"], [4, "z"], [None, "rn"]])
+    return db
+
+
+@pytest.fixture()
+def db():
+    return make_db()
+
+
+def rows(db, sql):
+    return db.execute(sql).rows()
+
+
+class TestInnerJoin:
+    def test_duplicates_multiply(self, db):
+        out = rows(db, "SELECT lv, rv FROM l JOIN r ON lk = rk ORDER BY lv, rv")
+        assert out == [("b", "x"), ("b", "y"), ("b2", "x"), ("b2", "y")]
+
+    def test_null_keys_never_match(self, db):
+        out = rows(db, "SELECT COUNT(*) FROM l JOIN r ON lk = rk")
+        assert out == [(4,)]
+
+    def test_comma_join_with_where(self, db):
+        out = rows(db, "SELECT COUNT(*) FROM l, r WHERE lk = rk")
+        assert out == [(4,)]
+
+    def test_composite_key(self, db):
+        # join on (lk, lv) vs (rk, rv): build a matching pair first
+        db.execute("INSERT INTO r VALUES (2, 'b')")
+        out = rows(db, "SELECT COUNT(*) FROM l JOIN r ON lk = rk AND lv = rv")
+        assert out == [(1,)]
+
+    def test_expression_key(self, db):
+        out = rows(db, "SELECT COUNT(*) FROM l JOIN r ON lk + 2 = rk")
+        assert out == [(2,)]  # both lk=2 rows match rk=4
+
+    def test_residual_non_equi(self, db):
+        out = rows(db, "SELECT lv, rv FROM l JOIN r ON lk = rk AND rv <> 'x' ORDER BY lv")
+        assert out == [("b", "y"), ("b2", "y")]
+
+    def test_pure_inequality_join(self, db):
+        out = rows(db, "SELECT COUNT(*) FROM l JOIN r ON lk < rk")
+        # lk 1,2,2,3 each < rk 4; lk 1 < rk 2,2
+        assert out == [(6,)]
+
+    def test_cross_join(self, db):
+        assert rows(db, "SELECT COUNT(*) FROM l CROSS JOIN r") == [(20,)]
+
+
+class TestOuterJoins:
+    def test_left_join_preserves_unmatched(self, db):
+        out = rows(db, "SELECT lv, rv FROM l LEFT JOIN r ON lk = rk ORDER BY lv NULLS LAST")
+        by_lv = {}
+        for lv, rv in out:
+            by_lv.setdefault(lv, []).append(rv)
+        assert by_lv["a"] == [None]
+        assert by_lv["c"] == [None]
+        assert by_lv["n"] == [None]
+        assert sorted(by_lv["b"]) == ["x", "y"]
+
+    def test_left_join_residual_applies_before_padding(self, db):
+        # condition never true -> every left row padded exactly once
+        out = rows(db, "SELECT COUNT(*) FROM l LEFT JOIN r ON lk = rk AND rv = 'nope'")
+        assert out == [(5,)]
+
+    def test_right_join(self, db):
+        out = rows(db, "SELECT lv, rv FROM l RIGHT JOIN r ON lk = rk ORDER BY rv")
+        rvs = [rv for _, rv in out]
+        assert "z" in rvs and "rn" in rvs
+        assert len(out) == 6  # 4 matches + 2 unmatched right rows
+
+    def test_full_join(self, db):
+        out = rows(db, "SELECT lv, rv FROM l FULL OUTER JOIN r ON lk = rk")
+        assert len(out) == 4 + 3 + 2  # matches + unmatched left + unmatched right
+
+    def test_left_join_counts_with_aggregation(self, db):
+        out = rows(db, """
+            SELECT lv, COUNT(rv) FROM l LEFT JOIN r ON lk = rk
+            GROUP BY lv ORDER BY lv
+        """)
+        assert ("a", 0) in out and ("b", 2) in out
+
+
+class TestMultiJoin:
+    def test_three_way(self, simple_db):
+        out = rows(simple_db, """
+            SELECT i_class, SUM(price * qty) rev
+            FROM sales, item
+            WHERE item_sk = i_sk
+            GROUP BY i_class ORDER BY rev DESC
+        """)
+        # item 1: 10*2 + 15*3 = 65; item 2: 20*1 + 25*2 = 70 -> c1 = 135
+        assert out == [("c1", 135.0), ("c2", 5.0)]
+
+    def test_self_join(self, db):
+        out = rows(db, "SELECT COUNT(*) FROM r a, r b WHERE a.rk = b.rk")
+        assert out == [(5,)]  # 2x2 for rk=2 plus 1 for rk=4
+
+    def test_join_cte_to_base(self, db):
+        out = rows(db, """
+            WITH agg AS (SELECT rk, COUNT(*) c FROM r GROUP BY rk)
+            SELECT lv, c FROM l JOIN agg ON lk = rk ORDER BY lv
+        """)
+        assert out == [("b", 2), ("b2", 2)]

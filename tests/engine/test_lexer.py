@@ -1,0 +1,99 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.engine.errors import SqlSyntaxError
+from repro.engine.sql.lexer import Token, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_uppercase(self):
+        assert kinds("select from where") == [
+            ("KEYWORD", "SELECT"), ("KEYWORD", "FROM"), ("KEYWORD", "WHERE"),
+        ]
+
+    def test_identifiers_lowercase(self):
+        assert kinds("Foo_Bar") == [("IDENT", "foo_bar")]
+
+    def test_mixed_case_keyword(self):
+        assert kinds("SeLeCt") == [("KEYWORD", "SELECT")]
+
+    def test_integer_literal(self):
+        assert kinds("42") == [("NUMBER", "42")]
+
+    def test_decimal_literal(self):
+        assert kinds("3.14") == [("NUMBER", "3.14")]
+
+    def test_number_then_dot_ident_not_swallowed(self):
+        # "1." followed by a letter must not absorb the dot
+        tokens = kinds("t1.col")
+        assert tokens == [("IDENT", "t1"), ("OP", "."), ("IDENT", "col")]
+
+    def test_string_literal(self):
+        assert kinds("'hello'") == [("STRING", "hello")]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds("'it''s'") == [("STRING", "it's")]
+
+    def test_empty_string(self):
+        assert kinds("''") == [("STRING", "")]
+
+    def test_quoted_identifier(self):
+        assert kinds('"Weird Name"') == [("IDENT", "weird name")]
+
+    def test_eof_token_present(self):
+        assert tokenize("x")[-1].type == "EOF"
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<>", "!=", "<=", ">=", "||", "=", "<", ">",
+                                    "+", "-", "*", "/", "(", ")", ",", ".", ";"])
+    def test_single_operator(self, op):
+        assert kinds(op) == [("OP", op)]
+
+    def test_multichar_preferred(self):
+        assert kinds("a<=b") == [("IDENT", "a"), ("OP", "<="), ("IDENT", "b")]
+
+    def test_concat_not_two_pipes_misread(self):
+        assert kinds("a || b")[1] == ("OP", "||")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("select -- comment\n 1") == [("KEYWORD", "SELECT"), ("NUMBER", "1")]
+
+    def test_block_comment(self):
+        assert kinds("select /* multi\nline */ 1") == [
+            ("KEYWORD", "SELECT"), ("NUMBER", "1"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select /* oops")
+
+
+class TestErrorsAndPositions:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select #")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("select\n  foo")
+        ident = tokens[1]
+        assert (ident.line, ident.column) == (2, 3)
+
+    def test_token_helpers(self):
+        token = Token("KEYWORD", "SELECT", 1, 1)
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+        op = Token("OP", "+", 1, 1)
+        assert op.is_op("+", "-")
+        assert not op.is_op("*")

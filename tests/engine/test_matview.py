@@ -1,0 +1,179 @@
+"""Materialized views and transparent query rewrite."""
+
+import pytest
+
+from repro.engine import CatalogError, ColumnDef, Database, TableSchema, decimal, integer, varchar
+
+
+@pytest.fixture()
+def db():
+    db = Database()
+    sales = db.create_table(TableSchema("f", [
+        ColumnDef("item", integer()),
+        ColumnDef("dt", integer()),
+        ColumnDef("amount", decimal()),
+    ]))
+    item = db.create_table(TableSchema("dim", [
+        ColumnDef("id", integer()),
+        ColumnDef("cls", varchar(5)),
+        ColumnDef("cat", varchar(5)),
+    ]))
+    sales.append_rows([
+        [1, 10, 5.0], [1, 11, 7.0], [2, 10, 9.0], [3, 12, 1.0], [2, 11, 3.0],
+    ])
+    item.append_rows([[1, "a", "X"], [2, "a", "X"], [3, "b", "Y"]])
+    db.gather_stats()
+    return db
+
+
+VIEW_SQL = """
+    SELECT cls, cat, dt, SUM(amount), COUNT(amount), MIN(amount), MAX(amount), AVG(amount)
+    FROM f, dim WHERE item = id
+    GROUP BY cls, cat, dt
+"""
+
+
+class TestCreation:
+    def test_create_and_row_count(self, db):
+        view = db.create_materialized_view("mv", VIEW_SQL)
+        assert view.num_rows == db.execute(
+            "SELECT COUNT(*) FROM (SELECT cls, cat, dt FROM f, dim WHERE item = id GROUP BY cls, cat, dt) x"
+        ).scalar()
+
+    def test_name_collision_rejected(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        with pytest.raises(CatalogError):
+            db.create_materialized_view("mv", VIEW_SQL)
+
+    def test_order_by_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_materialized_view("bad", VIEW_SQL + " ORDER BY cls")
+
+    def test_distinct_aggregate_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_materialized_view(
+                "bad", "SELECT cls, COUNT(DISTINCT amount) FROM f, dim WHERE item = id GROUP BY cls"
+            )
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_materialized_view(
+                "bad", "SELECT cls, cat FROM f, dim WHERE item = id GROUP BY cls"
+            )
+
+    def test_outer_join_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_materialized_view(
+                "bad",
+                "SELECT cls, SUM(amount) FROM f LEFT JOIN dim ON item = id GROUP BY cls",
+            )
+
+    def test_aux_restriction_enforced(self, db):
+        db.catalog.restrict_aux_on = {"f"}
+        with pytest.raises(CatalogError):
+            db.create_materialized_view("mv", VIEW_SQL)
+
+
+class TestRewrite:
+    def check(self, db, sql, expect_view):
+        result = db.execute(sql)
+        if expect_view:
+            assert result.rewritten_from_view == "mv", sql
+        else:
+            assert result.rewritten_from_view is None, sql
+        # correctness: rewrite off must give the same rows
+        db.enable_matview_rewrite = False
+        reference = db.execute(sql).rows()
+        db.enable_matview_rewrite = True
+        assert result.rows() == reference
+        return result
+
+    def test_exact_group_match(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        self.check(db, """
+            SELECT cls, cat, dt, SUM(amount) FROM f, dim WHERE item = id
+            GROUP BY cls, cat, dt ORDER BY cls, cat, dt
+        """, True)
+
+    def test_coarser_group_reaggregates(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        result = self.check(db, """
+            SELECT cls, SUM(amount) s FROM f, dim WHERE item = id
+            GROUP BY cls ORDER BY cls
+        """, True)
+        assert result.rows() == [("a", 24.0), ("b", 1.0)]
+
+    def test_count_star_via_stored_count(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        result = self.check(db, """
+            SELECT cat, COUNT(*) c FROM f, dim WHERE item = id
+            GROUP BY cat ORDER BY cat
+        """, True)
+        assert result.rows() == [("X", 4), ("Y", 1)]
+
+    def test_avg_reconstructed_from_sum_count(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        result = self.check(db, """
+            SELECT cls, AVG(amount) a FROM f, dim WHERE item = id
+            GROUP BY cls ORDER BY cls
+        """, True)
+        assert result.rows()[0][1] == pytest.approx(24.0 / 4)
+
+    def test_min_max_derived(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        result = self.check(db, """
+            SELECT cat, MIN(amount), MAX(amount) FROM f, dim WHERE item = id
+            GROUP BY cat ORDER BY cat
+        """, True)
+        assert result.rows() == [("X", 3.0, 9.0), ("Y", 1.0, 1.0)]
+
+    def test_filter_on_group_column_applies(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        result = self.check(db, """
+            SELECT cls, SUM(amount) FROM f, dim
+            WHERE item = id AND dt = 10 GROUP BY cls ORDER BY cls
+        """, True)
+        assert result.rows() == [("a", 14.0)]
+
+    def test_filter_on_non_group_column_blocks(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        self.check(db, """
+            SELECT cls, SUM(amount) FROM f, dim
+            WHERE item = id AND amount > 4 GROUP BY cls ORDER BY cls
+        """, False)
+
+    def test_different_table_set_blocks(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        self.check(db, "SELECT SUM(amount) FROM f", False)
+
+    def test_global_aggregate_rewrites(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        result = self.check(db, "SELECT SUM(amount) FROM f, dim WHERE item = id", True)
+        assert result.rows() == [(25.0,)]
+
+    def test_rewrite_disabled_flag(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        db.enable_matview_rewrite = False
+        result = db.execute("SELECT cls, SUM(amount) FROM f, dim WHERE item = id GROUP BY cls")
+        assert result.rewritten_from_view is None
+
+    def test_direct_select_from_view_name(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        result = db.execute("SELECT COUNT(*) FROM mv")
+        assert result.scalar() == db.catalog.matview("mv").num_rows
+
+
+class TestRefresh:
+    def test_refresh_after_base_change(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        db.execute("INSERT INTO f VALUES (3, 12, 100.0)")
+        stale = db.execute("SELECT SUM(amount) FROM f, dim WHERE item = id GROUP BY cat ORDER BY cat")
+        # stale view still answers with the old total for category Y
+        assert stale.rows()[1] == (1.0,)
+        db.refresh_matviews()
+        fresh = db.execute("SELECT SUM(amount) FROM f, dim WHERE item = id GROUP BY cat ORDER BY cat")
+        assert fresh.rows()[1] == (101.0,)
+
+    def test_refresh_count(self, db):
+        db.create_materialized_view("mv", VIEW_SQL)
+        assert db.refresh_matviews() == 1

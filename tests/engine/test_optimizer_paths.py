@@ -1,0 +1,107 @@
+"""Optimizer combinations not covered by the main optimizer tests:
+star transformation with reordering disabled (the rebuild-in-order
+path), shared-CTE optimization, and estimate sanity."""
+
+import pytest
+
+from repro.engine import OptimizerSettings
+from repro.engine import plan as P
+from repro.engine.optimizer import Optimizer
+from repro.engine.planner import Planner
+from repro.engine.sql.parser import parse_query
+
+
+def plan_for(db, sql, settings):
+    node = Planner(db.catalog).plan_query(parse_query(sql))
+    return Optimizer(db.catalog, settings).optimize(node)
+
+
+def find_nodes(node, cls):
+    found = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, cls):
+            found.append(current)
+        stack.extend(current.children())
+    return found
+
+
+STAR_SQL = """
+    SELECT COUNT(*) FROM catalog_sales, date_dim
+    WHERE cs_sold_date_sk = d_date_sk AND d_year = 1998 AND d_moy = 12
+"""
+
+
+class TestStarWithoutReorder:
+    @pytest.fixture()
+    def star_db(self, loaded_db):
+        loaded_db.create_index("catalog_sales", "cs_sold_date_sk", "bitmap")
+        return loaded_db
+
+    def test_rebuild_in_order_keeps_star(self, star_db):
+        settings = OptimizerSettings(
+            enable_join_reorder=False, star_fact_threshold=100
+        )
+        plan = plan_for(star_db, STAR_SQL, settings)
+        assert find_nodes(plan, P.StarFilter), plan.explain()
+
+    def test_rebuild_in_order_correct(self, star_db):
+        saved = star_db.optimizer_settings
+        try:
+            star_db.optimizer_settings = OptimizerSettings(
+                enable_join_reorder=False, star_fact_threshold=100
+            )
+            with_star = star_db.execute(STAR_SQL).scalar()
+            star_db.optimizer_settings = OptimizerSettings(
+                enable_star_transformation=False
+            )
+            without = star_db.execute(STAR_SQL).scalar()
+        finally:
+            star_db.optimizer_settings = saved
+        assert with_star == without
+
+    def test_star_skipped_when_dim_unselective(self, star_db):
+        settings = OptimizerSettings(
+            star_fact_threshold=100, star_dim_selectivity=1e-12
+        )
+        plan = plan_for(star_db, STAR_SQL, settings)
+        assert not find_nodes(plan, P.StarFilter)
+
+
+class TestSharedCtes:
+    def test_cte_subtree_shared_after_optimization(self, simple_db):
+        plan = plan_for(simple_db, """
+            WITH s AS (SELECT item_sk, price FROM sales WHERE price > 5)
+            SELECT a.item_sk FROM s a, s b WHERE a.item_sk = b.item_sk
+        """, OptimizerSettings())
+        renames = find_nodes(plan, P.Rename)
+        assert len(renames) == 2
+        assert renames[0].child is renames[1].child  # one shared subtree
+
+
+class TestEstimates:
+    def test_scan_estimate_reflects_filters(self, loaded_db):
+        settings = OptimizerSettings()
+        optimizer = Optimizer(loaded_db.catalog, settings)
+        unfiltered = P.Scan("store_sales", "store_sales")
+        filtered = plan_for(
+            loaded_db,
+            "SELECT COUNT(*) FROM store_sales WHERE ss_quantity = 5",
+            settings,
+        )
+        scans = find_nodes(filtered, P.Scan)
+        assert scans and scans[0].pushed_filters
+        assert optimizer._estimate_rows(scans[0]) < optimizer._estimate_rows(unfiltered)
+
+    def test_join_estimate_max_of_sides(self, loaded_db):
+        optimizer = Optimizer(loaded_db.catalog, OptimizerSettings())
+        plan = plan_for(
+            loaded_db,
+            "SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk",
+            OptimizerSettings(),
+        )
+        join = find_nodes(plan, P.Join)[0]
+        estimate = optimizer._estimate_rows(join)
+        fact = loaded_db.table("store_sales").num_rows
+        assert estimate == pytest.approx(fact, rel=0.01)

@@ -1,0 +1,319 @@
+"""Parser unit tests: AST shapes for the SQL subset."""
+
+import pytest
+
+from repro.engine.errors import SqlSyntaxError
+from repro.engine.sql import ast_nodes as A
+from repro.engine.sql.parser import parse_query, parse_statement
+
+
+def body(sql) -> A.SelectCore:
+    query = parse_query(sql)
+    assert isinstance(query.body, A.SelectCore)
+    return query.body
+
+
+class TestSelectCore:
+    def test_simple_select(self):
+        core = body("SELECT a, b FROM t")
+        assert len(core.items) == 2
+        assert isinstance(core.from_[0], A.NamedTable)
+
+    def test_select_star(self):
+        core = body("SELECT * FROM t")
+        assert isinstance(core.items[0].expr, A.Star)
+
+    def test_qualified_star(self):
+        core = body("SELECT t.* FROM t")
+        assert core.items[0].expr == A.Star("t")
+
+    def test_alias_with_as(self):
+        core = body("SELECT a AS x FROM t")
+        assert core.items[0].alias == "x"
+
+    def test_alias_without_as(self):
+        core = body("SELECT a x FROM t")
+        assert core.items[0].alias == "x"
+
+    def test_distinct(self):
+        assert body("SELECT DISTINCT a FROM t").distinct
+
+    def test_table_alias(self):
+        core = body("SELECT 1 FROM t AS s")
+        assert core.from_[0].alias == "s"
+
+    def test_where(self):
+        core = body("SELECT a FROM t WHERE a > 1")
+        assert isinstance(core.where, A.BinaryOp)
+
+    def test_group_by_and_having(self):
+        core = body("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+        assert len(core.group_by) == 1
+        assert core.having is not None
+
+    def test_group_by_rollup(self):
+        core = body("SELECT a, b, SUM(c) FROM t GROUP BY ROLLUP(a, b)")
+        assert core.group_rollup
+        assert len(core.group_by) == 2
+
+    def test_no_from(self):
+        core = body("SELECT 1 + 1")
+        assert core.from_ == ()
+
+
+class TestJoins:
+    def test_comma_join(self):
+        core = body("SELECT 1 FROM a, b, c")
+        assert len(core.from_) == 3
+
+    def test_inner_join_on(self):
+        core = body("SELECT 1 FROM a JOIN b ON a.x = b.y")
+        ref = core.from_[0]
+        assert isinstance(ref, A.JoinRef)
+        assert ref.kind == "inner"
+
+    @pytest.mark.parametrize("sql_kind,kind", [
+        ("LEFT JOIN", "left"), ("LEFT OUTER JOIN", "left"),
+        ("RIGHT JOIN", "right"), ("FULL OUTER JOIN", "full"),
+        ("INNER JOIN", "inner"),
+    ])
+    def test_join_kinds(self, sql_kind, kind):
+        core = body(f"SELECT 1 FROM a {sql_kind} b ON a.x = b.y")
+        assert core.from_[0].kind == kind
+
+    def test_cross_join(self):
+        core = body("SELECT 1 FROM a CROSS JOIN b")
+        assert core.from_[0].kind == "cross"
+        assert core.from_[0].on is None
+
+    def test_join_chain(self):
+        core = body("SELECT 1 FROM a JOIN b ON a.x=b.x JOIN c ON b.y=c.y")
+        outer = core.from_[0]
+        assert isinstance(outer.left, A.JoinRef)
+
+    def test_derived_table(self):
+        core = body("SELECT 1 FROM (SELECT a FROM t) AS d")
+        assert isinstance(core.from_[0], A.DerivedTable)
+        assert core.from_[0].alias == "d"
+
+
+class TestExpressions:
+    def expr(self, text):
+        return body(f"SELECT {text} FROM t").items[0].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_parenthesized(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_unary_minus(self):
+        e = self.expr("-a")
+        assert isinstance(e, A.UnaryOp) and e.op == "-"
+
+    def test_and_or_precedence(self):
+        core = body("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert core.where.op == "OR"
+
+    def test_not(self):
+        core = body("SELECT 1 FROM t WHERE NOT a = 1")
+        assert isinstance(core.where, A.UnaryOp)
+
+    def test_between(self):
+        core = body("SELECT 1 FROM t WHERE a BETWEEN 1 AND 10")
+        assert isinstance(core.where, A.Between)
+
+    def test_not_between(self):
+        core = body("SELECT 1 FROM t WHERE a NOT BETWEEN 1 AND 10")
+        assert core.where.negated
+
+    def test_in_list(self):
+        core = body("SELECT 1 FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(core.where, A.InList)
+        assert len(core.where.items) == 3
+
+    def test_in_subquery(self):
+        core = body("SELECT 1 FROM t WHERE a IN (SELECT b FROM u)")
+        assert isinstance(core.where, A.InSubquery)
+
+    def test_not_in(self):
+        core = body("SELECT 1 FROM t WHERE a NOT IN (1)")
+        assert core.where.negated
+
+    def test_like(self):
+        core = body("SELECT 1 FROM t WHERE a LIKE 'x%'")
+        assert isinstance(core.where, A.Like)
+
+    def test_is_null_and_is_not_null(self):
+        assert not body("SELECT 1 FROM t WHERE a IS NULL").where.negated
+        assert body("SELECT 1 FROM t WHERE a IS NOT NULL").where.negated
+
+    def test_case_searched(self):
+        e = self.expr("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(e, A.Case)
+        assert e.else_ == A.Literal("y")
+
+    def test_case_simple_rewritten_to_equality(self):
+        e = self.expr("CASE a WHEN 1 THEN 'x' END")
+        cond = e.whens[0][0]
+        assert isinstance(cond, A.BinaryOp) and cond.op == "="
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT CASE END FROM t")
+
+    def test_cast(self):
+        e = self.expr("CAST(a AS integer)")
+        assert isinstance(e, A.Cast)
+
+    def test_cast_with_precision(self):
+        e = self.expr("CAST(a AS decimal(7,2))")
+        assert e.type_name == "decimal"
+
+    def test_date_literal(self):
+        e = self.expr("DATE '2000-01-02'")
+        assert isinstance(e, A.Literal) and e.is_date
+
+    def test_exists(self):
+        core = body("SELECT 1 FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert isinstance(core.where, A.Exists)
+
+    def test_scalar_subquery(self):
+        e = self.expr("(SELECT MAX(x) FROM u)")
+        assert isinstance(e, A.ScalarSubquery)
+
+    def test_string_concat(self):
+        e = self.expr("a || 'x'")
+        assert e.op == "||"
+
+    def test_neq_normalized(self):
+        core = body("SELECT 1 FROM t WHERE a != 1")
+        assert core.where.op == "<>"
+
+
+class TestFunctions:
+    def test_count_star(self):
+        e = body("SELECT COUNT(*) FROM t").items[0].expr
+        assert e.is_star
+
+    def test_count_distinct(self):
+        e = body("SELECT COUNT(DISTINCT a) FROM t").items[0].expr
+        assert e.distinct
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT frobnicate(a) FROM t")
+
+    def test_window_function(self):
+        e = body("SELECT SUM(a) OVER (PARTITION BY b ORDER BY c DESC) FROM t").items[0].expr
+        assert isinstance(e, A.WindowFunc)
+        assert len(e.partition_by) == 1
+        assert not e.order_by[0].ascending
+
+    def test_rank_requires_over(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT RANK() FROM t")
+
+    def test_rank_with_over(self):
+        e = body("SELECT RANK() OVER (ORDER BY a) FROM t").items[0].expr
+        assert isinstance(e, A.WindowFunc)
+
+    def test_nested_aggregate_in_window(self):
+        e = body("SELECT SUM(SUM(a)) OVER (PARTITION BY b) FROM t GROUP BY b").items[0].expr
+        assert isinstance(e, A.WindowFunc)
+        inner = e.func.args[0]
+        assert isinstance(inner, A.FuncCall) and inner.name == "SUM"
+
+
+class TestQueryLevel:
+    def test_order_by_directions(self):
+        q = parse_query("SELECT a FROM t ORDER BY a DESC, b ASC")
+        assert [k.ascending for k in q.order_by] == [False, True]
+
+    def test_order_by_nulls(self):
+        q = parse_query("SELECT a FROM t ORDER BY a NULLS FIRST, b DESC NULLS LAST")
+        assert q.order_by[0].nulls_first is True
+        assert q.order_by[1].nulls_first is False
+
+    def test_limit_offset(self):
+        q = parse_query("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert (q.limit, q.offset) == (10, 5)
+
+    def test_ctes(self):
+        q = parse_query("WITH x AS (SELECT 1), y AS (SELECT 2) SELECT * FROM x, y")
+        assert [c.name for c in q.ctes] == ["x", "y"]
+
+    def test_union_all(self):
+        q = parse_query("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert q.body.op == "union_all"
+
+    def test_intersect_binds_tighter_than_union(self):
+        q = parse_query("SELECT 1 UNION SELECT 2 INTERSECT SELECT 3")
+        assert q.body.op == "union"
+        assert q.body.right.op == "intersect"
+
+    def test_except(self):
+        q = parse_query("SELECT a FROM t EXCEPT SELECT b FROM u")
+        assert q.body.op == "except"
+
+    def test_trailing_semicolon(self):
+        parse_query("SELECT 1;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("SELECT 1 SELECT 2")
+
+
+class TestDml:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, A.Insert)
+        assert len(stmt.rows) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT a FROM u")
+        assert stmt.query is not None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, A.Delete)
+        assert stmt.where is not None
+
+    def test_delete_all(self):
+        stmt = parse_statement("DELETE FROM t")
+        assert stmt.where is None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = 'x' WHERE c = 2")
+        assert isinstance(stmt, A.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_parse_query_rejects_dml(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("DELETE FROM t")
+
+
+class TestWalk:
+    def test_walk_yields_nested(self):
+        core = body("SELECT a + b * c FROM t")
+        names = {n.name for n in A.walk(core.items[0].expr) if isinstance(n, A.ColumnRef)}
+        assert names == {"a", "b", "c"}
+
+    def test_contains_aggregate_plain(self):
+        core = body("SELECT SUM(a) FROM t")
+        assert A.contains_aggregate(core.items[0].expr)
+
+    def test_window_alone_is_not_plain_aggregate(self):
+        core = body("SELECT SUM(a) OVER (PARTITION BY b) FROM t")
+        assert not A.contains_aggregate(core.items[0].expr)
+
+    def test_aggregate_inside_window_detected(self):
+        core = body("SELECT SUM(SUM(a)) OVER (PARTITION BY b) FROM t GROUP BY b")
+        assert A.contains_aggregate(core.items[0].expr)

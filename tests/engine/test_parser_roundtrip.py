@@ -1,0 +1,116 @@
+"""Grammar round-trip property: rendering a random expression tree to
+SQL and parsing it back yields the same tree.
+
+The renderer is the one the materialized-view machinery uses for its
+storage queries, so this property also guards the view-definition
+pipeline.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.matview import _render
+from repro.engine.sql import ast_nodes as A
+from repro.engine.sql.parser import parse_query
+
+settings.register_profile("roundtrip", deadline=None, max_examples=120)
+settings.load_profile("roundtrip")
+
+_identifiers = st.sampled_from(["col_a", "col_b", "price", "qty", "d_year"])
+_tables = st.sampled_from(["t1", "t2", "sales"])
+
+_literals = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6).map(A.Literal),
+    st.sampled_from(["x", "it's", "Home", ""]).map(A.Literal),
+    st.just(A.Literal(None)),
+    st.booleans().map(A.Literal),
+)
+
+_columns = st.one_of(
+    _identifiers.map(A.ColumnRef),
+    st.tuples(_identifiers, _tables).map(lambda p: A.ColumnRef(*p)),
+)
+
+_atoms = st.one_of(_literals, _columns)
+
+
+def _binary(children):
+    ops = st.sampled_from(["+", "-", "*", "/", "=", "<>", "<", "<=", ">", ">="])
+    return st.tuples(ops, children, children).map(
+        lambda t: A.BinaryOp(t[0], t[1], t[2])
+    )
+
+
+def _boolean(children):
+    return st.tuples(st.sampled_from(["AND", "OR"]), children, children).map(
+        lambda t: A.BinaryOp(t[0], t[1], t[2])
+    )
+
+
+def _between(children):
+    return st.tuples(children, children, children, st.booleans()).map(
+        lambda t: A.Between(t[0], t[1], t[2], t[3])
+    )
+
+
+def _in_list(children):
+    return st.tuples(
+        children, st.lists(children, min_size=1, max_size=3), st.booleans()
+    ).map(lambda t: A.InList(t[0], tuple(t[1]), t[2]))
+
+
+def _is_null(children):
+    return st.tuples(children, st.booleans()).map(lambda t: A.IsNull(t[0], t[1]))
+
+
+def _like(children):
+    return st.tuples(
+        _columns, st.sampled_from(["a%", "%b", "_x_", "100%'s"]), st.booleans()
+    ).map(lambda t: A.Like(t[0], t[1], t[2]))
+
+
+def _case(children):
+    return st.tuples(
+        st.lists(st.tuples(children, children), min_size=1, max_size=2),
+        st.one_of(st.none(), children),
+    ).map(lambda t: A.Case(tuple(t[0]), t[1]))
+
+
+def _func(children):
+    return st.tuples(
+        st.sampled_from(["COALESCE", "ABS", "UPPER", "LOWER"]), children
+    ).map(lambda t: A.FuncCall(t[0], (t[1],)))
+
+
+_expr = st.recursive(
+    _atoms,
+    lambda children: st.one_of(
+        _binary(children),
+        _boolean(children),
+        _between(children),
+        _in_list(children),
+        _is_null(children),
+        _like(children),
+        _case(children),
+        _func(children),
+    ),
+    max_leaves=12,
+)
+
+
+@given(_expr)
+def test_render_parse_round_trip(expr):
+    sql = f"SELECT 1 FROM t WHERE {_render(expr)}"
+    parsed = parse_query(sql).body.where
+    assert parsed == expr
+
+
+@given(_expr)
+def test_render_is_stable(expr):
+    assert _render(expr) == _render(expr)
+
+
+@given(st.lists(_expr, min_size=1, max_size=4))
+def test_select_list_round_trip(exprs):
+    sql = "SELECT " + ", ".join(f"({_render(e)})" for e in exprs) + " FROM t"
+    body = parse_query(sql).body
+    assert tuple(item.expr for item in body.items) == tuple(exprs)

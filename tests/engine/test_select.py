@@ -1,0 +1,276 @@
+"""End-to-end SELECT correctness against the tiny hand-built database.
+
+The ``sales`` table (see conftest)::
+
+    item_sk cust_sk price qty
+    1       10      10.0  2
+    2       11      20.0  1
+    1       10      15.0  3
+    3       12      5.0   1
+    2       None    25.0  2
+    None    10      7.5   4
+"""
+
+import pytest
+
+from repro.engine.errors import PlanningError
+
+
+def rows(db, sql):
+    return db.execute(sql).rows()
+
+
+class TestProjectionAndFilter:
+    def test_select_columns(self, simple_db):
+        assert rows(simple_db, "SELECT item_sk, qty FROM sales WHERE price = 5.0") == [(3, 1)]
+
+    def test_expression_projection(self, simple_db):
+        out = rows(simple_db, "SELECT price * qty FROM sales WHERE item_sk = 1 ORDER BY 1")
+        assert out == [(20.0,), (45.0,)]
+
+    def test_where_null_dropped(self, simple_db):
+        # NULL item_sk never satisfies item_sk <> 1
+        out = rows(simple_db, "SELECT COUNT(*) FROM sales WHERE item_sk <> 1")
+        assert out == [(3,)]
+
+    def test_is_null(self, simple_db):
+        assert rows(simple_db, "SELECT COUNT(*) FROM sales WHERE item_sk IS NULL") == [(1,)]
+
+    def test_between(self, simple_db):
+        assert rows(simple_db, "SELECT COUNT(*) FROM sales WHERE price BETWEEN 10 AND 20") == [(3,)]
+
+    def test_in_list(self, simple_db):
+        assert rows(simple_db, "SELECT COUNT(*) FROM sales WHERE item_sk IN (1, 3)") == [(3,)]
+
+    def test_not_in_with_null_target(self, simple_db):
+        # the NULL item_sk row is neither in nor not-in
+        assert rows(simple_db, "SELECT COUNT(*) FROM sales WHERE item_sk NOT IN (1, 3)") == [(2,)]
+
+    def test_select_star(self, simple_db):
+        out = simple_db.execute("SELECT * FROM item WHERE i_sk = 1")
+        assert out.column_names == ["i_sk", "i_brand", "i_class"]
+
+    def test_case(self, simple_db):
+        out = rows(simple_db, """
+            SELECT CASE WHEN price >= 20 THEN 'high' ELSE 'low' END b, COUNT(*)
+            FROM sales GROUP BY 1 ORDER BY 1
+        """)
+        assert out == [("high", 2), ("low", 4)]
+
+    def test_like(self, simple_db):
+        assert rows(simple_db, "SELECT COUNT(*) FROM item WHERE i_brand LIKE 'b%'") == [(4,)]
+
+    def test_no_from(self, simple_db):
+        assert rows(simple_db, "SELECT 2 + 3 * 4") == [(14,)]
+
+    def test_unknown_column(self, simple_db):
+        with pytest.raises(PlanningError):
+            simple_db.execute("SELECT nope FROM sales")
+
+    def test_unknown_table(self, simple_db):
+        from repro.engine.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            simple_db.execute("SELECT 1 FROM missing")
+
+    def test_ambiguous_column(self, simple_db):
+        with pytest.raises(PlanningError):
+            simple_db.execute(
+                "SELECT i_sk FROM item a, item b WHERE a.i_sk = b.i_sk"
+            )
+
+
+class TestAggregation:
+    def test_global_aggregates(self, simple_db):
+        out = rows(simple_db, "SELECT COUNT(*), COUNT(item_sk), SUM(qty), MIN(price), MAX(price) FROM sales")
+        assert out == [(6, 5, 13, 5.0, 25.0)]
+
+    def test_avg_ignores_nulls_in_arg(self, simple_db):
+        out = rows(simple_db, "SELECT AVG(cust_sk) FROM sales")
+        assert out[0][0] == pytest.approx((10 + 11 + 10 + 12 + 10) / 5)
+
+    def test_group_by(self, simple_db):
+        out = rows(simple_db, "SELECT item_sk, SUM(price) FROM sales GROUP BY item_sk ORDER BY item_sk")
+        assert out == [(1, 25.0), (2, 45.0), (3, 5.0), (None, 7.5)]
+
+    def test_null_forms_single_group(self, simple_db):
+        out = rows(simple_db, "SELECT item_sk, COUNT(*) FROM sales GROUP BY item_sk ORDER BY item_sk NULLS FIRST")
+        assert out[0] == (None, 1)
+
+    def test_having(self, simple_db):
+        out = rows(simple_db, "SELECT item_sk, COUNT(*) c FROM sales GROUP BY item_sk HAVING COUNT(*) > 1 ORDER BY 1")
+        assert out == [(1, 2), (2, 2)]
+
+    def test_count_distinct(self, simple_db):
+        assert rows(simple_db, "SELECT COUNT(DISTINCT cust_sk) FROM sales") == [(3,)]
+
+    def test_aggregate_of_expression(self, simple_db):
+        out = rows(simple_db, "SELECT SUM(price * qty) FROM sales")
+        assert out[0][0] == pytest.approx(20 + 20 + 45 + 5 + 50 + 30)
+
+    def test_empty_group_result(self, simple_db):
+        assert rows(simple_db, "SELECT item_sk, COUNT(*) FROM sales WHERE price > 999 GROUP BY item_sk") == []
+
+    def test_global_aggregate_over_empty_input(self, simple_db):
+        out = rows(simple_db, "SELECT COUNT(*), SUM(qty) FROM sales WHERE price > 999")
+        assert out == [(0, None)]
+
+    def test_sum_all_null_group_is_null(self, simple_db):
+        out = rows(simple_db, "SELECT SUM(cust_sk) FROM sales WHERE cust_sk IS NULL")
+        assert out == [(None,)]
+
+    def test_rollup(self, simple_db):
+        out = rows(simple_db, """
+            SELECT i_class, i_brand, SUM(price)
+            FROM sales, item WHERE item_sk = i_sk
+            GROUP BY ROLLUP(i_class, i_brand)
+            ORDER BY i_class NULLS LAST, i_brand NULLS LAST
+        """)
+        # detail rows, per-class subtotals, grand total
+        assert (None, None, 75.0) in out
+        assert ("c1", None, 70.0) in out
+        assert ("c2", None, 5.0) in out
+        assert ("c1", "b1", 25.0) in out
+        assert len(out) == 3 + 2 + 1
+
+    def test_group_by_alias(self, simple_db):
+        out = rows(simple_db, "SELECT price * qty AS revenue, COUNT(*) FROM sales GROUP BY revenue ORDER BY revenue")
+        assert out[0][0] == 5.0
+
+    def test_group_by_ordinal(self, simple_db):
+        out = rows(simple_db, "SELECT item_sk, COUNT(*) FROM sales GROUP BY 1 ORDER BY 1 NULLS LAST")
+        assert out[0] == (1, 2)
+
+    def test_stddev(self, simple_db):
+        out = rows(simple_db, "SELECT STDDEV_SAMP(qty) FROM sales WHERE item_sk = 1")
+        # qty values 2 and 3 -> stddev = sqrt(0.5)
+        assert out[0][0] == pytest.approx(0.5**0.5)
+
+    def test_having_without_group_rejected(self, simple_db):
+        with pytest.raises(PlanningError):
+            simple_db.execute("SELECT item_sk FROM sales HAVING item_sk > 1")
+
+
+class TestOrderLimit:
+    def test_order_desc(self, simple_db):
+        out = rows(simple_db, "SELECT price FROM sales ORDER BY price DESC LIMIT 2")
+        assert out == [(25.0,), (20.0,)]
+
+    def test_order_nulls_default_last_asc(self, simple_db):
+        out = rows(simple_db, "SELECT cust_sk FROM sales ORDER BY cust_sk")
+        assert out[-1] == (None,)
+
+    def test_order_nulls_default_first_desc(self, simple_db):
+        out = rows(simple_db, "SELECT cust_sk FROM sales ORDER BY cust_sk DESC")
+        assert out[0] == (None,)
+
+    def test_order_nulls_first_explicit(self, simple_db):
+        out = rows(simple_db, "SELECT cust_sk FROM sales ORDER BY cust_sk NULLS FIRST")
+        assert out[0] == (None,)
+
+    def test_order_by_ordinal(self, simple_db):
+        out = rows(simple_db, "SELECT item_sk, price FROM sales ORDER BY 2 LIMIT 1")
+        assert out == [(3, 5.0)]
+
+    def test_order_by_unprojected_column(self, simple_db):
+        out = simple_db.execute("SELECT price FROM sales ORDER BY qty DESC, price")
+        assert out.column_names == ["price"]
+        assert out.rows()[0] == (7.5,)
+
+    def test_limit_offset(self, simple_db):
+        out = rows(simple_db, "SELECT price FROM sales ORDER BY price LIMIT 2 OFFSET 1")
+        assert out == [(7.5,), (10.0,)]
+
+    def test_multi_key_sort_stability(self, simple_db):
+        out = rows(simple_db, "SELECT item_sk, price FROM sales WHERE item_sk IS NOT NULL ORDER BY item_sk, price DESC")
+        assert out == [(1, 15.0), (1, 10.0), (2, 25.0), (2, 20.0), (3, 5.0)]
+
+
+class TestDistinctAndSetOps:
+    def test_distinct(self, simple_db):
+        out = rows(simple_db, "SELECT DISTINCT item_sk FROM sales ORDER BY item_sk NULLS LAST")
+        assert out == [(1,), (2,), (3,), (None,)]
+
+    def test_union_all(self, simple_db):
+        out = rows(simple_db, "SELECT i_sk FROM item UNION ALL SELECT i_sk FROM item")
+        assert len(out) == 8
+
+    def test_union_dedupes(self, simple_db):
+        out = rows(simple_db, "SELECT i_sk FROM item UNION SELECT i_sk FROM item")
+        assert len(out) == 4
+
+    def test_intersect(self, simple_db):
+        out = rows(simple_db, "SELECT item_sk FROM sales INTERSECT SELECT i_sk FROM item")
+        assert sorted(r[0] for r in out) == [1, 2, 3]
+
+    def test_except(self, simple_db):
+        out = rows(simple_db, "SELECT i_sk FROM item EXCEPT SELECT item_sk FROM sales")
+        assert out == [(4,)]
+
+    def test_set_op_arity_mismatch(self, simple_db):
+        with pytest.raises(PlanningError):
+            simple_db.execute("SELECT i_sk, i_brand FROM item UNION SELECT i_sk FROM item")
+
+
+class TestSubqueriesAndCtes:
+    def test_scalar_subquery(self, simple_db):
+        # avg(price) = 82.5 / 6 = 13.75 -> prices 15, 20, 25 qualify
+        out = rows(simple_db, "SELECT COUNT(*) FROM sales WHERE price > (SELECT AVG(price) FROM sales)")
+        assert out == [(3,)]
+
+    def test_scalar_subquery_empty_is_null(self, simple_db):
+        out = rows(simple_db, "SELECT COUNT(*) FROM sales WHERE price > (SELECT price FROM sales WHERE price > 999)")
+        assert out == [(0,)]
+
+    def test_in_subquery(self, simple_db):
+        out = rows(simple_db, "SELECT COUNT(*) FROM item WHERE i_sk IN (SELECT item_sk FROM sales)")
+        assert out == [(3,)]
+
+    def test_not_in_subquery_with_nulls_yields_unknown(self, simple_db):
+        # subquery result contains NULL -> NOT IN is never TRUE
+        out = rows(simple_db, "SELECT COUNT(*) FROM item WHERE i_sk NOT IN (SELECT item_sk FROM sales)")
+        assert out == [(0,)]
+
+    def test_not_in_subquery_without_nulls(self, simple_db):
+        out = rows(simple_db, "SELECT COUNT(*) FROM item WHERE i_sk NOT IN (SELECT item_sk FROM sales WHERE item_sk IS NOT NULL)")
+        assert out == [(1,)]
+
+    def test_exists(self, simple_db):
+        out = rows(simple_db, "SELECT COUNT(*) FROM item WHERE EXISTS (SELECT 1 FROM sales WHERE price > 24)")
+        assert out == [(4,)]
+
+    def test_not_exists_empty(self, simple_db):
+        out = rows(simple_db, "SELECT COUNT(*) FROM item WHERE NOT EXISTS (SELECT 1 FROM sales WHERE price > 999)")
+        assert out == [(4,)]
+
+    def test_cte(self, simple_db):
+        out = rows(simple_db, """
+            WITH expensive AS (SELECT * FROM sales WHERE price >= 15)
+            SELECT COUNT(*) FROM expensive
+        """)
+        assert out == [(3,)]
+
+    def test_cte_referenced_twice(self, simple_db):
+        out = rows(simple_db, """
+            WITH s AS (SELECT item_sk, price FROM sales WHERE item_sk IS NOT NULL)
+            SELECT a.item_sk, COUNT(*)
+            FROM s a, s b
+            WHERE a.item_sk = b.item_sk
+            GROUP BY a.item_sk ORDER BY 1
+        """)
+        assert out == [(1, 4), (2, 4), (3, 1)]
+
+    def test_cte_visible_in_subquery(self, simple_db):
+        out = rows(simple_db, """
+            WITH big AS (SELECT item_sk FROM sales WHERE price >= 20)
+            SELECT COUNT(*) FROM item WHERE i_sk IN (SELECT item_sk FROM big)
+        """)
+        assert out == [(1,)]
+
+    def test_derived_table(self, simple_db):
+        out = rows(simple_db, """
+            SELECT b, COUNT(*) FROM
+            (SELECT item_sk, CASE WHEN price > 10 THEN 'hi' ELSE 'lo' END b FROM sales) t
+            GROUP BY b ORDER BY b
+        """)
+        assert out == [("hi", 3), ("lo", 3)]

@@ -1,0 +1,90 @@
+"""Statistics gathering and selectivity estimation."""
+
+import pytest
+
+from repro.engine.sql.parser import parse_query
+from repro.engine.stats import estimate_selectivity, gather_statistics
+
+
+def predicate(sql_condition):
+    query = parse_query(f"SELECT 1 FROM t WHERE {sql_condition}")
+    return query.body.where
+
+
+class TestGather:
+    def test_row_count_and_ndv(self, simple_db):
+        stats = gather_statistics(simple_db.table("sales"))
+        assert stats.row_count == 6
+        assert stats.columns["item_sk"].ndv == 3
+        assert stats.columns["cust_sk"].ndv == 3
+
+    def test_null_fraction(self, simple_db):
+        stats = gather_statistics(simple_db.table("sales"))
+        assert stats.columns["item_sk"].null_fraction == pytest.approx(1 / 6)
+
+    def test_min_max(self, simple_db):
+        stats = gather_statistics(simple_db.table("sales"))
+        assert stats.columns["price"].min_value == 5.0
+        assert stats.columns["price"].max_value == 25.0
+
+    def test_string_columns_have_no_min_max(self, simple_db):
+        stats = gather_statistics(simple_db.table("item"))
+        assert stats.columns["i_brand"].min_value is None
+        assert stats.columns["i_brand"].ndv == 4
+
+    def test_catalog_caches_stats(self, simple_db):
+        assert simple_db.catalog.stats("sales") is not None
+        assert simple_db.catalog.stats("missing_table") is None
+
+
+class TestSelectivity:
+    @pytest.fixture()
+    def stats(self, simple_db):
+        return gather_statistics(simple_db.table("sales"))
+
+    def test_equality_uses_ndv(self, stats):
+        sel = estimate_selectivity(predicate("item_sk = 1"), stats, "sales")
+        assert sel == pytest.approx(1 / 3)
+
+    def test_range_interpolates(self, stats):
+        sel = estimate_selectivity(predicate("price < 15"), stats, "sales")
+        assert 0 < sel < 1
+        wider = estimate_selectivity(predicate("price < 25"), stats, "sales")
+        assert wider >= sel
+
+    def test_between_width(self, stats):
+        narrow = estimate_selectivity(predicate("price BETWEEN 10 AND 11"), stats, "sales")
+        wide = estimate_selectivity(predicate("price BETWEEN 5 AND 25"), stats, "sales")
+        assert narrow < wide
+
+    def test_in_list_scales_with_length(self, stats):
+        one = estimate_selectivity(predicate("item_sk IN (1)"), stats, "sales")
+        three = estimate_selectivity(predicate("item_sk IN (1, 2, 3)"), stats, "sales")
+        assert three == pytest.approx(3 * one)
+
+    def test_and_multiplies(self, stats):
+        a = estimate_selectivity(predicate("item_sk = 1"), stats, "sales")
+        b = estimate_selectivity(predicate("cust_sk = 10"), stats, "sales")
+        both = estimate_selectivity(predicate("item_sk = 1 AND cust_sk = 10"), stats, "sales")
+        assert both == pytest.approx(a * b)
+
+    def test_or_adds_with_overlap(self, stats):
+        a = estimate_selectivity(predicate("item_sk = 1"), stats, "sales")
+        either = estimate_selectivity(predicate("item_sk = 1 OR item_sk = 2"), stats, "sales")
+        assert a < either <= 1.0
+
+    def test_is_null_uses_null_fraction(self, stats):
+        sel = estimate_selectivity(predicate("item_sk IS NULL"), stats, "sales")
+        assert sel == pytest.approx(1 / 6)
+
+    def test_not_inverts(self, stats):
+        sel = estimate_selectivity(predicate("NOT item_sk = 1"), stats, "sales")
+        assert sel == pytest.approx(1 - 1 / 3)
+
+    def test_missing_stats_fall_back(self):
+        sel = estimate_selectivity(predicate("a = 1"), None, "t")
+        assert 0 < sel < 1
+
+    def test_selectivity_bounded(self, stats):
+        sel = estimate_selectivity(predicate("price BETWEEN 0 AND 99999"), stats, "sales")
+        assert sel <= 1.0

@@ -1,0 +1,146 @@
+"""Storage-layer tests: dictionary encoding, mutation, listeners."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ColumnDef, ConstraintError, TableSchema, decimal, integer, varchar
+from repro.engine.errors import ExecutionError
+from repro.engine.storage import StoredColumn, Table
+from repro.engine.types import Kind
+from repro.engine.vector import Vector
+
+
+def make_table():
+    return Table(TableSchema("t", [
+        ColumnDef("a", integer(), nullable=False),
+        ColumnDef("b", varchar(10)),
+        ColumnDef("c", decimal()),
+    ]))
+
+
+class TestStoredColumn:
+    def test_dictionary_encoding_dedupes(self):
+        col = StoredColumn(ColumnDef("s", varchar(10)))
+        col.append_values(["x", "y", "x", "x", None])
+        assert len(col) == 5
+        assert col.distinct_count() == 2
+        assert col._values == ["x", "y"]  # two dictionary entries only
+
+    def test_string_scan_round_trip(self):
+        col = StoredColumn(ColumnDef("s", varchar(10)))
+        col.append_values(["a", None, "b"])
+        assert col.scan().to_list() == ["a", None, "b"]
+
+    def test_numeric_scan(self):
+        col = StoredColumn(ColumnDef("n", integer()))
+        col.append_values([3, None, -1])
+        assert col.scan().to_list() == [3, None, -1]
+
+    def test_value_accessor(self):
+        col = StoredColumn(ColumnDef("s", varchar(10)))
+        col.append_values(["q", None])
+        assert col.value(0) == "q"
+        assert col.value(1) is None
+
+    def test_append_vector(self):
+        col = StoredColumn(ColumnDef("n", integer()))
+        col.append_vector(Vector.from_values(Kind.INT, [1, None]))
+        assert col.scan().to_list() == [1, None]
+
+    def test_append_vector_kind_mismatch(self):
+        col = StoredColumn(ColumnDef("n", integer()))
+        with pytest.raises(ExecutionError):
+            col.append_vector(Vector.from_values(Kind.STR, ["x"]))
+
+    def test_keep_filters_rows(self):
+        col = StoredColumn(ColumnDef("n", integer()))
+        col.append_values([1, 2, 3])
+        col.keep(np.array([True, False, True]))
+        assert col.scan().to_list() == [1, 3]
+
+    def test_set_value_string_and_null(self):
+        col = StoredColumn(ColumnDef("s", varchar(10)))
+        col.append_values(["a", "b"])
+        col.set_value(0, "z")
+        col.set_value(1, None)
+        assert col.scan().to_list() == ["z", None]
+
+    def test_distinct_count_numeric(self):
+        col = StoredColumn(ColumnDef("n", integer()))
+        col.append_values([1, 1, 2, None])
+        assert col.distinct_count() == 2
+
+
+class TestTable:
+    def test_append_and_row(self):
+        t = make_table()
+        t.append_rows([[1, "x", 0.5]])
+        assert t.row(0) == {"a": 1, "b": "x", "c": 0.5}
+
+    def test_num_rows(self):
+        t = make_table()
+        assert t.num_rows == 0
+        t.append_rows([[1, None, None], [2, "y", 1.0]])
+        assert t.num_rows == 2
+
+    def test_arity_check(self):
+        t = make_table()
+        with pytest.raises(ExecutionError):
+            t.append_rows([[1, "x"]])
+
+    def test_not_null_enforced(self):
+        t = make_table()
+        with pytest.raises(ConstraintError):
+            t.append_rows([[None, "x", 0.1]])
+
+    def test_append_columns(self):
+        t = make_table()
+        t.append_columns({
+            "a": Vector.from_values(Kind.INT, [1, 2]),
+            "b": Vector.from_values(Kind.STR, ["p", None]),
+            "c": Vector.from_values(Kind.FLOAT, [0.0, 9.9]),
+        })
+        assert t.num_rows == 2
+
+    def test_append_columns_missing_column(self):
+        t = make_table()
+        with pytest.raises(ExecutionError):
+            t.append_columns({"a": Vector.from_values(Kind.INT, [1])})
+
+    def test_append_columns_ragged(self):
+        t = make_table()
+        with pytest.raises(ExecutionError):
+            t.append_columns({
+                "a": Vector.from_values(Kind.INT, [1]),
+                "b": Vector.from_values(Kind.STR, ["p", "q"]),
+                "c": Vector.from_values(Kind.FLOAT, [0.0]),
+            })
+
+    def test_delete_where(self):
+        t = make_table()
+        t.append_rows([[1, "x", 0.1], [2, "y", 0.2], [3, "z", 0.3]])
+        removed = t.delete_where(np.array([False, True, True]))
+        assert removed == 2
+        assert t.num_rows == 1
+
+    def test_update_rows(self):
+        t = make_table()
+        t.append_rows([[1, "x", 0.1], [2, "y", 0.2]])
+        t.update_rows(np.array([1]), {"b": ["new"], "c": [9.0]})
+        assert t.row(1) == {"a": 2, "b": "new", "c": 9.0}
+
+    def test_mutation_listener_fires(self):
+        t = make_table()
+        events = []
+        t.register_mutation_listener(lambda: events.append(1))
+        t.append_rows([[1, "x", 0.1]])
+        t.delete_where(np.array([True]))
+        assert len(events) == 2
+
+    def test_delete_nothing_no_event(self):
+        t = make_table()
+        t.append_rows([[1, "x", 0.1]])
+        events = []
+        t.register_mutation_listener(lambda: events.append(1))
+        t.delete_where(np.array([False]))
+        assert events == []

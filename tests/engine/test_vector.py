@@ -1,0 +1,162 @@
+"""Vector runtime tests: three-valued logic, coercion, null handling."""
+
+import numpy as np
+import pytest
+
+from repro.engine.errors import TypeError_
+from repro.engine.types import Kind
+from repro.engine.vector import Vector
+
+
+def bools(*values):
+    return Vector.from_values(Kind.BOOL, list(values))
+
+
+class TestConstruction:
+    def test_from_values_nulls(self):
+        v = Vector.from_values(Kind.INT, [1, None, 3])
+        assert v.to_list() == [1, None, 3]
+        assert v.null.tolist() == [False, True, False]
+
+    def test_constant(self):
+        v = Vector.constant(Kind.STR, "x", 3)
+        assert v.to_list() == ["x", "x", "x"]
+
+    def test_constant_none_is_nulls(self):
+        v = Vector.constant(Kind.FLOAT, None, 2)
+        assert v.to_list() == [None, None]
+
+    def test_value_types(self):
+        v = Vector.from_values(Kind.FLOAT, [1.5])
+        assert isinstance(v.value(0), float)
+        v = Vector.from_values(Kind.INT, [7])
+        assert isinstance(v.value(0), int)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Vector(Kind.INT, np.array([1, 2]), np.array([False]))
+
+    def test_take_and_filter(self):
+        v = Vector.from_values(Kind.INT, [10, 20, 30])
+        assert v.take(np.array([2, 0])).to_list() == [30, 10]
+        assert v.filter(np.array([True, False, True])).to_list() == [10, 30]
+
+    def test_concat(self):
+        a = Vector.from_values(Kind.INT, [1])
+        b = Vector.from_values(Kind.INT, [None, 2])
+        assert Vector.concat([a, b]).to_list() == [1, None, 2]
+
+    def test_concat_kind_mismatch(self):
+        with pytest.raises(TypeError_):
+            Vector.concat([
+                Vector.from_values(Kind.INT, [1]),
+                Vector.from_values(Kind.STR, ["x"]),
+            ])
+
+
+class TestComparisons:
+    def test_eq_with_null_propagates(self):
+        a = Vector.from_values(Kind.INT, [1, None, 3])
+        b = Vector.from_values(Kind.INT, [1, 2, 4])
+        r = a.compare("=", b)
+        assert r.to_list() == [True, None, False]
+
+    @pytest.mark.parametrize("op,expected", [
+        ("<", [True, False, False]),
+        ("<=", [True, True, False]),
+        (">", [False, False, True]),
+        (">=", [False, True, True]),
+        ("<>", [True, False, True]),
+    ])
+    def test_ops(self, op, expected):
+        a = Vector.from_values(Kind.INT, [1, 2, 3])
+        b = Vector.from_values(Kind.INT, [2, 2, 2])
+        assert a.compare(op, b).to_list() == expected
+
+    def test_string_comparison(self):
+        a = Vector.from_values(Kind.STR, ["a", "b"])
+        b = Vector.from_values(Kind.STR, ["b", "b"])
+        assert a.compare("<", b).to_list() == [True, False]
+
+    def test_int_float_coercion(self):
+        a = Vector.from_values(Kind.INT, [1])
+        b = Vector.from_values(Kind.FLOAT, [1.0])
+        assert a.compare("=", b).to_list() == [True]
+
+    def test_str_int_comparison_rejected(self):
+        a = Vector.from_values(Kind.STR, ["1"])
+        b = Vector.from_values(Kind.INT, [1])
+        with pytest.raises(TypeError_):
+            a.compare("=", b)
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = Vector.from_values(Kind.INT, [1, 2])
+        b = Vector.from_values(Kind.INT, [10, 20])
+        assert a.arith("+", b).to_list() == [11, 22]
+
+    def test_division_is_float(self):
+        a = Vector.from_values(Kind.INT, [7])
+        b = Vector.from_values(Kind.INT, [2])
+        r = a.arith("/", b)
+        assert r.kind is Kind.FLOAT
+        assert r.to_list() == [3.5]
+
+    def test_division_by_zero_is_null(self):
+        a = Vector.from_values(Kind.INT, [7])
+        b = Vector.from_values(Kind.INT, [0])
+        assert a.arith("/", b).to_list() == [None]
+
+    def test_null_propagation(self):
+        a = Vector.from_values(Kind.INT, [1, None])
+        b = Vector.from_values(Kind.INT, [None, 2])
+        assert a.arith("*", b).to_list() == [None, None]
+
+    def test_string_concat(self):
+        a = Vector.from_values(Kind.STR, ["foo", None])
+        b = Vector.from_values(Kind.STR, ["bar", "x"])
+        assert a.arith("||", b).to_list() == ["foobar", None]
+
+    def test_string_addition_rejected(self):
+        a = Vector.from_values(Kind.STR, ["x"])
+        with pytest.raises(TypeError_):
+            a.arith("+", a)
+
+    def test_negate(self):
+        v = Vector.from_values(Kind.INT, [1, None, -3])
+        assert v.negate().to_list() == [-1, None, 3]
+
+    def test_negate_string_rejected(self):
+        with pytest.raises(TypeError_):
+            Vector.from_values(Kind.STR, ["x"]).negate()
+
+
+class TestKleeneLogic:
+    """SQL three-valued logic tables."""
+
+    def test_and_truth_table(self):
+        a = bools(True, True, True, False, False, False, None, None, None)
+        b = bools(True, False, None, True, False, None, True, False, None)
+        assert a.and_(b).to_list() == [
+            True, False, None, False, False, False, None, False, None,
+        ]
+
+    def test_or_truth_table(self):
+        a = bools(True, True, True, False, False, False, None, None, None)
+        b = bools(True, False, None, True, False, None, True, False, None)
+        assert a.or_(b).to_list() == [
+            True, True, True, True, False, None, True, None, None,
+        ]
+
+    def test_not_truth_table(self):
+        a = bools(True, False, None)
+        assert a.not_().to_list() == [False, True, None]
+
+    def test_is_true_mask(self):
+        a = bools(True, False, None)
+        assert a.is_true().tolist() == [True, False, False]
+
+    def test_boolean_op_requires_bool(self):
+        with pytest.raises(TypeError_):
+            Vector.from_values(Kind.INT, [1]).not_()

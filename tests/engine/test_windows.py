@@ -1,0 +1,134 @@
+"""Window function correctness."""
+
+import pytest
+
+from repro.engine import ColumnDef, Database, TableSchema, decimal, integer, varchar
+
+
+@pytest.fixture()
+def db():
+    db = Database()
+    t = db.create_table(TableSchema("t", [
+        ColumnDef("grp", varchar(2)),
+        ColumnDef("ord", integer()),
+        ColumnDef("val", decimal()),
+    ]))
+    t.append_rows([
+        ["a", 1, 10.0],
+        ["a", 2, 20.0],
+        ["a", 2, 5.0],   # peer of the row above
+        ["a", 3, 15.0],
+        ["b", 1, 100.0],
+        ["b", 2, None],
+    ])
+    return db
+
+
+def rows(db, sql):
+    return db.execute(sql).rows()
+
+
+class TestPartitionAggregates:
+    def test_sum_over_partition(self, db):
+        out = rows(db, "SELECT grp, val, SUM(val) OVER (PARTITION BY grp) s FROM t ORDER BY grp, ord, val")
+        assert out[0][2] == 50.0
+        assert out[-1][2] == 100.0
+
+    def test_count_star_over_partition(self, db):
+        out = rows(db, "SELECT grp, COUNT(*) OVER (PARTITION BY grp) c FROM t ORDER BY grp")
+        assert out[0][1] == 4 and out[-1][1] == 2
+
+    def test_avg_skips_nulls(self, db):
+        out = rows(db, "SELECT grp, AVG(val) OVER (PARTITION BY grp) a FROM t WHERE grp = 'b'")
+        assert out[0][1] == 100.0
+
+    def test_no_partition_is_whole_input(self, db):
+        out = rows(db, "SELECT SUM(val) OVER () s FROM t LIMIT 1")
+        assert out[0][0] == 150.0
+
+    def test_sum_of_sums(self, db):
+        out = rows(db, """
+            SELECT grp, SUM(val) s, SUM(SUM(val)) OVER () total
+            FROM t GROUP BY grp ORDER BY grp
+        """)
+        assert out == [("a", 50.0, 150.0), ("b", 100.0, 150.0)]
+
+
+class TestRunningAggregates:
+    def test_running_sum(self, db):
+        out = rows(db, """
+            SELECT grp, ord, val, SUM(val) OVER (PARTITION BY grp ORDER BY ord) r
+            FROM t WHERE grp = 'a' ORDER BY ord, val
+        """)
+        # ord=2 rows are peers: both see 10+20+5 = 35
+        running = [r[3] for r in out]
+        assert running == [10.0, 35.0, 35.0, 50.0]
+
+    def test_running_count(self, db):
+        out = rows(db, """
+            SELECT ord, COUNT(val) OVER (PARTITION BY grp ORDER BY ord) c
+            FROM t WHERE grp = 'b' ORDER BY ord
+        """)
+        assert [r[1] for r in out] == [1, 1]  # NULL val not counted
+
+    def test_running_min(self, db):
+        out = rows(db, """
+            SELECT ord, val, MIN(val) OVER (PARTITION BY grp ORDER BY ord) m
+            FROM t WHERE grp = 'a' ORDER BY ord, val
+        """)
+        assert [r[2] for r in out] == [10.0, 5.0, 5.0, 5.0]
+
+
+class TestRanking:
+    def test_row_number(self, db):
+        out = rows(db, """
+            SELECT ord, val, ROW_NUMBER() OVER (PARTITION BY grp ORDER BY val) rn
+            FROM t WHERE grp = 'a' ORDER BY rn
+        """)
+        assert [r[2] for r in out] == [1, 2, 3, 4]
+
+    def test_rank_with_ties(self, db):
+        out = rows(db, """
+            SELECT ord, RANK() OVER (PARTITION BY grp ORDER BY ord) rk
+            FROM t WHERE grp = 'a' ORDER BY ord, val
+        """)
+        assert [r[1] for r in out] == [1, 2, 2, 4]
+
+    def test_dense_rank_with_ties(self, db):
+        out = rows(db, """
+            SELECT ord, DENSE_RANK() OVER (PARTITION BY grp ORDER BY ord) rk
+            FROM t WHERE grp = 'a' ORDER BY ord, val
+        """)
+        assert [r[1] for r in out] == [1, 2, 2, 3]
+
+    def test_rank_resets_per_partition(self, db):
+        out = rows(db, """
+            SELECT grp, RANK() OVER (PARTITION BY grp ORDER BY ord) rk
+            FROM t ORDER BY grp, rk
+        """)
+        per_group = {}
+        for grp, rk in out:
+            per_group.setdefault(grp, []).append(rk)
+        assert per_group["b"] == [1, 2]
+        assert per_group["a"][0] == 1
+
+    def test_rank_requires_order(self, db):
+        from repro.engine.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT RANK() OVER (PARTITION BY grp) FROM t")
+
+    def test_window_over_empty_input(self, db):
+        out = rows(db, "SELECT RANK() OVER (ORDER BY val) FROM t WHERE val > 999")
+        assert out == []
+
+    def test_paper_q20_shape(self, simple_db):
+        out = rows(simple_db, """
+            SELECT i_class, i_brand, SUM(price) rev,
+                   SUM(price)*100/SUM(SUM(price)) OVER (PARTITION BY i_class) ratio
+            FROM sales, item WHERE item_sk = i_sk
+            GROUP BY i_class, i_brand ORDER BY i_class, i_brand
+        """)
+        ratios = {(r[0], r[1]): r[3] for r in out}
+        assert ratios[("c1", "b1")] == pytest.approx(25.0 / 70.0 * 100)
+        assert ratios[("c2", "b3")] == pytest.approx(100.0)

@@ -1,0 +1,104 @@
+"""Audit-module tests: a freshly generated database passes; corrupted
+databases are caught by the matching check."""
+
+import numpy as np
+import pytest
+
+from repro.runner import audit_database
+from repro.runner.audit import (
+    check_foreign_keys,
+    check_primary_keys,
+    check_returns_linkage,
+    check_row_counts,
+    check_scd_invariants,
+    check_zone_gradient,
+)
+from tests.conftest import SESSION_SF
+
+
+class TestCleanDatabasePasses:
+    def test_full_audit_clean(self, loaded_db):
+        findings = audit_database(loaded_db, scale_factor=SESSION_SF)
+        assert findings == []
+
+    def test_fast_audit_clean(self, loaded_db):
+        assert audit_database(loaded_db, scale_factor=SESSION_SF, deep=False) == []
+
+
+class TestCorruptionDetected:
+    def test_duplicate_pk(self, fresh_db):
+        item = fresh_db.table("item")
+        item.append_rows([[item.row(0)[c] for c in item.schema.column_names]])
+        findings = check_primary_keys(fresh_db)
+        assert any(f.table == "item" and f.check == "primary-key" for f in findings)
+
+    def test_null_pk(self, fresh_db):
+        table = fresh_db.table("warehouse")
+        row = [table.row(0)[c] for c in table.schema.column_names]
+        row[0] = None
+        # bypass NOT NULL by marking directly
+        table.columns["w_warehouse_sk"].append_values([None])
+        for c in table.schema.column_names[1:]:
+            table.columns[c].append_values([table.row(0)[c]])
+        findings = check_primary_keys(fresh_db)
+        assert any(f.table == "warehouse" for f in findings)
+
+    def test_dangling_fk(self, fresh_db):
+        fresh_db.execute("UPDATE store_sales SET ss_item_sk = 99999999 WHERE ss_item_sk IS NOT NULL")
+        findings = check_foreign_keys(fresh_db)
+        assert any(f.table == "store_sales" and "ss_item_sk" in f.detail for f in findings)
+
+    def test_row_count_mismatch(self, fresh_db):
+        fresh_db.execute("DELETE FROM customer WHERE c_customer_sk <= 1000")
+        findings = check_row_counts(fresh_db, SESSION_SF)
+        assert any(f.table == "customer" for f in findings)
+
+    def test_scd_double_open_revision(self, fresh_db):
+        item = fresh_db.table("item")
+        row = [item.row(0)[c] for c in item.schema.column_names]
+        names = item.schema.column_names
+        row[names.index("i_item_sk")] = 99_999_999
+        row[names.index("i_rec_end_date")] = None
+        # force a second open revision for the same business key
+        first_bk_rows = fresh_db.execute(
+            f"SELECT i_item_id FROM item WHERE i_rec_end_date IS NULL LIMIT 1"
+        ).rows()
+        row[names.index("i_item_id")] = first_bk_rows[0][0]
+        item.append_rows([row])
+        findings = check_scd_invariants(fresh_db)
+        assert any(f.check == "scd-open-revision" and f.table == "item" for f in findings)
+
+    def test_scd_inverted_range(self, fresh_db):
+        fresh_db.execute("""
+            UPDATE store SET s_rec_end_date = DATE '1900-01-01'
+            WHERE s_rec_end_date IS NOT NULL
+        """)
+        rows_affected = fresh_db.execute(
+            "SELECT COUNT(*) FROM store WHERE s_rec_end_date IS NOT NULL"
+        ).scalar()
+        if rows_affected:
+            findings = check_scd_invariants(fresh_db)
+            assert any(f.check == "scd-date-range" for f in findings)
+
+    def test_orphan_returns(self, fresh_db):
+        fresh_db.execute("UPDATE store_returns SET sr_ticket_number = 987654")
+        findings = check_returns_linkage(fresh_db)
+        assert any(f.table == "store_returns" for f in findings)
+
+    def test_zone_gradient_destroyed(self, fresh_db, generated_data):
+        # delete all November/December sales: zone 3 collapses
+        calendar = generated_data.context.calendar
+        fresh_db.execute("""
+            DELETE FROM store_sales WHERE ss_sold_date_sk IN
+            (SELECT d_date_sk FROM date_dim WHERE d_moy >= 11)
+        """)
+        findings = check_zone_gradient(fresh_db)
+        assert findings
+
+
+class TestFindingFormatting:
+    def test_str_contains_parts(self, fresh_db):
+        fresh_db.execute("DELETE FROM customer WHERE c_customer_sk <= 2000")
+        findings = check_row_counts(fresh_db, SESSION_SF)
+        text = str(findings[0])
+        assert "row-count" in text and "customer" in text

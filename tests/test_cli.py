@@ -1,0 +1,62 @@
+"""CLI smoke tests (argument wiring, not re-testing the internals)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def test_schema_command(capsys):
+    assert main(["schema"]) == 0
+    out = capsys.readouterr().out
+    assert "Number of fact tables" in out
+    assert "104" in out
+
+
+def test_scaling_command(capsys):
+    assert main(["scaling", "--scale", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "store_sales" in out
+    assert "288,000,000" in out
+
+
+def test_scaling_strict_rejects_bad_sf():
+    from repro.dsdgen import ScaleFactorError
+
+    with pytest.raises(ScaleFactorError):
+        main(["scaling", "--scale", "7", "--strict"])
+
+
+def test_dsdgen_command(tmp_path, capsys):
+    out_dir = os.path.join(tmp_path, "data")
+    assert main(["dsdgen", "--scale", "0.001", "--output", out_dir]) == 0
+    assert os.path.exists(os.path.join(out_dir, "store_sales.dat"))
+    out = capsys.readouterr().out
+    assert "total" in out
+
+
+def test_dsqgen_single_template(capsys):
+    assert main(["dsqgen", "--scale", "0.001", "--template", "52"]) == 0
+    out = capsys.readouterr().out
+    assert "query 52" in out
+    assert "ss_ext_sales_price" in out
+
+
+def test_dsqgen_stream_changes_output(capsys):
+    main(["dsqgen", "--scale", "0.001", "--template", "52", "--stream", "0"])
+    first = capsys.readouterr().out
+    main(["dsqgen", "--scale", "0.001", "--template", "52", "--stream", "4"])
+    second = capsys.readouterr().out
+    assert first.splitlines()[0] == second.splitlines()[0]
+
+
+def test_run_command(capsys):
+    assert main(["run", "--scale", "0.001", "--streams", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "QphDS" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,45 @@
+"""Spec-constant consistency: the core facade's numbers agree with every
+implementing subsystem (no drift between the spec module and reality)."""
+
+from repro.core import spec
+from repro.dsdgen import minimum_streams
+from repro.maintenance import DM_OPERATIONS
+from repro.qgen import build_catalog
+from repro.runner import QUERIES_PER_STREAM, QUERY_RUNS, total_queries
+from repro.schema import DIMENSION_TABLES, FACT_TABLES, schema_statistics
+
+
+class TestSpecAgreement:
+    def test_query_count(self):
+        assert spec.NUM_QUERIES == 99
+        assert len(build_catalog()) == spec.NUM_QUERIES
+        assert QUERIES_PER_STREAM == spec.NUM_QUERIES
+
+    def test_dm_operations(self):
+        assert spec.NUM_DM_OPERATIONS == 12
+        assert len(DM_OPERATIONS) == spec.NUM_DM_OPERATIONS
+
+    def test_table_counts(self):
+        assert len(FACT_TABLES) == spec.NUM_FACT_TABLES
+        assert len(DIMENSION_TABLES) == spec.NUM_DIMENSION_TABLES
+        assert spec.NUM_TABLES == 24
+
+    def test_foreign_keys(self):
+        assert schema_statistics().foreign_keys == spec.NUM_FOREIGN_KEYS
+
+    def test_minimum_streams_table(self):
+        for sf, expected in spec.MINIMUM_STREAMS_TABLE.items():
+            assert minimum_streams(sf) == expected
+
+    def test_metric_examples(self):
+        for _, streams, expected_queries in spec.METRIC_EXAMPLES:
+            assert total_queries(streams) == expected_queries
+
+    def test_query_runs(self):
+        assert QUERY_RUNS == 2
+
+    def test_official_scale_factors_reexported(self):
+        assert spec.OFFICIAL_SCALE_FACTORS == (100, 300, 1000, 3000, 10000, 30000, 100000)
+
+    def test_average_columns(self):
+        assert round(schema_statistics().columns_avg) == spec.AVG_COLUMNS_PER_TABLE

@@ -1,0 +1,183 @@
+"""Distribution tests — Figures 2 and 3 and the word domains."""
+
+import math
+
+import pytest
+
+from repro.dsdgen import RandomStream, SalesDateDistribution, gaussian_sales_pdf
+from repro.dsdgen.distributions import (
+    CENSUS_DEPT_STORE_SALES_2001,
+    FIRST_NAMES,
+    LAST_NAMES,
+    MONTH_ZONE,
+    WEEKS_PER_YEAR,
+    county_domain,
+    cumulative_weights,
+    gaussian_words,
+    week_month,
+    week_zone,
+)
+
+
+class TestZones:
+    """Figure 2's three comparability zones."""
+
+    def test_zone_boundaries(self):
+        assert week_zone(1) == 1        # January
+        assert week_zone(26) == 1       # early July
+        assert week_zone(32) == 2       # August
+        assert week_zone(43) == 2       # October
+        assert week_zone(45) == 3       # November
+        assert week_zone(52) == 3       # December
+
+    def test_month_zone_mapping(self):
+        assert all(MONTH_ZONE[m] == 1 for m in range(1, 8))
+        assert all(MONTH_ZONE[m] == 2 for m in range(8, 11))
+        assert all(MONTH_ZONE[m] == 3 for m in (11, 12))
+
+    def test_week_month_covers_year(self):
+        months = [week_month(w) for w in range(1, WEEKS_PER_YEAR + 1)]
+        assert months[0] == 1 and months[-1] == 12
+        assert months == sorted(months)
+
+    def test_week_out_of_range(self):
+        with pytest.raises(ValueError):
+            week_month(0)
+        with pytest.raises(ValueError):
+            week_month(53)
+
+
+class TestSalesDateDistribution:
+    dist = SalesDateDistribution()
+
+    def test_weights_sum_to_one(self):
+        assert sum(self.dist.weekly_weights()) == pytest.approx(1.0)
+
+    def test_census_weights_sum_to_one(self):
+        assert sum(self.dist.census_weekly_weights()) == pytest.approx(1.0)
+
+    def test_uniform_within_zone(self):
+        """The data generator 'guarantees that all domain values in one
+        domain have the same likelihood' (§3.2)."""
+        assert self.dist.uniformity_within_zone()
+
+    def test_zone_ordering_low_medium_high(self):
+        """Zone 1 weeks are least likely, zone 3 weeks most likely."""
+        weights = self.dist.weekly_weights()
+        w1 = weights[10 - 1]   # a zone-1 week
+        w2 = weights[35 - 1]   # a zone-2 week
+        w3 = weights[50 - 1]   # a zone-3 week
+        assert w1 < w2 < w3
+
+    def test_zone_mass_matches_census(self):
+        mass = self.dist.zone_mass()
+        total = sum(CENSUS_DEPT_STORE_SALES_2001.values())
+        want_z3 = (
+            CENSUS_DEPT_STORE_SALES_2001[11] + CENSUS_DEPT_STORE_SALES_2001[12]
+        ) / total
+        assert mass[3] == pytest.approx(want_z3)
+        assert sum(mass.values()) == pytest.approx(1.0)
+
+    def test_december_is_peak_month(self):
+        assert CENSUS_DEPT_STORE_SALES_2001[12] == max(CENSUS_DEPT_STORE_SALES_2001.values())
+
+    def test_sampling_matches_weights(self):
+        rng = RandomStream(123)
+        counts = [0] * WEEKS_PER_YEAR
+        n = 20000
+        for _ in range(n):
+            counts[self.dist.sample_week(rng) - 1] += 1
+        weights = self.dist.weekly_weights()
+        zone3_observed = sum(counts[w - 1] for w in range(1, 53) if week_zone(w) == 3) / n
+        zone3_expected = sum(weights[w - 1] for w in range(1, 53) if week_zone(w) == 3)
+        assert zone3_observed == pytest.approx(zone3_expected, abs=0.02)
+
+    def test_sampling_covers_all_weeks(self):
+        rng = RandomStream(5)
+        seen = {self.dist.sample_week(rng) for _ in range(20000)}
+        assert seen == set(range(1, 53))
+
+
+class TestGaussianPdf:
+    """Figure 3: the synthetic N(200, 50) sales distribution."""
+
+    def test_peak_at_mu(self):
+        assert gaussian_sales_pdf(200) > gaussian_sales_pdf(150)
+        assert gaussian_sales_pdf(200) > gaussian_sales_pdf(250)
+
+    def test_symmetry(self):
+        assert gaussian_sales_pdf(150) == pytest.approx(gaussian_sales_pdf(250))
+
+    def test_normalization(self):
+        total = sum(gaussian_sales_pdf(x) for x in range(-200, 601))
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_peak_value(self):
+        assert gaussian_sales_pdf(200) == pytest.approx(1 / (50 * math.sqrt(2 * math.pi)))
+
+
+class TestWordDomains:
+    def test_frequent_names_weighted(self):
+        """'real world data ... with common data skews, such as ... frequent
+        names' — Smith must dominate."""
+        weights = dict(LAST_NAMES)
+        assert weights["Smith"] == max(weights.values())
+
+    def test_cumulative_weights(self):
+        values, cumulative = cumulative_weights([("a", 1), ("b", 3)])
+        assert values == ["a", "b"]
+        assert cumulative == [1, 4]
+
+    def test_weighted_sampling_skews(self):
+        values, cumulative = cumulative_weights(LAST_NAMES)
+        rng = RandomStream(11)
+        counts = {}
+        for _ in range(5000):
+            name = values[rng.weighted_index(cumulative)]
+            counts[name] = counts.get(name, 0) + 1
+        assert counts.get("Smith", 0) > counts.get("Flores", 1)
+
+    def test_first_names_unique(self):
+        names = [n for n, _ in FIRST_NAMES]
+        assert len(names) == len(set(names))
+
+
+class TestCountyDomain:
+    def test_full_domain_size(self):
+        """§3.1: 'the domain for county is approximately 1800'."""
+        assert len(county_domain(1800)) == 1800
+
+    def test_scaled_down_for_small_tables(self):
+        """'At scale factor 100 there exist only about 200 stores. Hence
+        the county domain had to be scaled down.'"""
+        assert len(county_domain(200)) == 200
+
+    def test_values_unique(self):
+        counties = county_domain(1800)
+        assert len(set(counties)) == 1800
+
+    def test_minimum_one(self):
+        assert len(county_domain(0)) == 1
+
+
+class TestGaussianWords:
+    def test_word_count(self):
+        rng = RandomStream(1)
+        text = gaussian_words(rng, 5)
+        assert len(text.split()) == 5
+
+    def test_deterministic(self):
+        assert gaussian_words(RandomStream(1), 8) == gaussian_words(RandomStream(1), 8)
+
+    def test_central_words_more_frequent(self):
+        from collections import Counter
+
+        from repro.dsdgen.distributions import DESCRIPTION_WORDS
+
+        rng = RandomStream(2)
+        counter = Counter()
+        for _ in range(500):
+            counter.update(gaussian_words(rng, 4).split())
+        center = DESCRIPTION_WORDS[len(DESCRIPTION_WORDS) // 2]
+        edge = DESCRIPTION_WORDS[0]
+        assert counter[center] > counter.get(edge, 0)

@@ -1,0 +1,242 @@
+"""Data generator tests: cardinalities, SCD history, referential
+integrity, determinism, zones in the generated data, flat files."""
+
+import os
+
+import pytest
+
+from repro.dsdgen import DsdGen
+from repro.dsdgen.flatfile import (
+    format_row,
+    measured_row_statistics,
+    parse_row,
+    read_flat_file,
+    write_flat_file,
+)
+from repro.schema import ALL_TABLES, HISTORY_DIMENSIONS
+from tests.conftest import SESSION_SEED, SESSION_SF
+
+
+class TestCardinalities:
+    def test_row_counts_match_scaling_model(self, generated_data):
+        model = generated_data.context.scaling
+        for table in ("store_sales", "catalog_sales", "web_sales",
+                      "customer", "date_dim", "time_dim"):
+            assert generated_data.row_counts[table] == model.rows(table), table
+
+    def test_returns_do_not_exceed_target(self, generated_data):
+        model = generated_data.context.scaling
+        for table in ("store_returns", "catalog_returns", "web_returns"):
+            assert generated_data.row_counts[table] <= model.rows(table)
+            assert generated_data.row_counts[table] > 0
+
+    def test_every_schema_table_generated(self, generated_data):
+        assert set(generated_data.tables) == set(ALL_TABLES)
+
+    def test_row_arity_matches_schema(self, generated_data):
+        for name, rows in generated_data.tables.items():
+            width = len(ALL_TABLES[name].columns)
+            assert all(len(r) == width for r in rows[:50]), name
+
+
+class TestDeterminism:
+    def test_same_seed_identical_data(self):
+        a = DsdGen(0.002, seed=7).generate()
+        b = DsdGen(0.002, seed=7).generate()
+        assert a.tables["store_sales"] == b.tables["store_sales"]
+        assert a.tables["customer"] == b.tables["customer"]
+
+    def test_different_seed_differs(self):
+        a = DsdGen(0.002, seed=7).generate()
+        b = DsdGen(0.002, seed=8).generate()
+        assert a.tables["store_sales"] != b.tables["store_sales"]
+
+
+class TestReferentialIntegrity:
+    @pytest.mark.parametrize("fact,fk_idx,dim", [
+        ("store_sales", 2, "item"),        # ss_item_sk
+        ("store_sales", 7, "store"),       # ss_store_sk
+        ("catalog_sales", 15, "item"),     # cs_item_sk
+        ("web_sales", 3, "item"),          # ws_item_sk
+        ("inventory", 2, "warehouse"),     # inv_warehouse_sk
+    ])
+    def test_fact_fks_resolve(self, generated_data, fact, fk_idx, dim):
+        pool = generated_data.context.key_pools[dim]
+        column_name = ALL_TABLES[fact].columns[fk_idx].name
+        assert column_name.endswith("_sk")
+        for row in generated_data.tables[fact][:500]:
+            value = row[fk_idx]
+            if value is not None:
+                assert 1 <= value <= pool, (fact, column_name, value)
+
+    def test_sales_dates_within_calendar(self, generated_data):
+        calendar = generated_data.context.calendar
+        low = calendar.sk_at(0)
+        high = calendar.sk_at(generated_data.context.rows("date_dim") - 1)
+        for row in generated_data.tables["store_sales"][:500]:
+            assert low <= row[0] <= high
+
+    def test_returns_reference_sold_tickets(self, generated_data):
+        """§2.2: store_returns joins store_sales on ticket + item."""
+        sold = {
+            (row[9], row[2]) for row in generated_data.tables["store_sales"]
+        }
+        for row in generated_data.tables["store_returns"][:200]:
+            assert (row[9], row[2]) in sold
+
+    def test_order_lines_distinct_per_ticket_item(self, generated_data):
+        """Order lines are unique per (ticket/order, item) so the
+        fact-to-fact join multiplies by exactly the return count."""
+        for table, order_idx, item_idx in (
+            ("store_sales", 9, 2),
+            ("catalog_sales", 17, 15),
+            ("web_sales", 17, 3),
+        ):
+            seen = set()
+            for row in generated_data.tables[table]:
+                key = (row[order_idx], row[item_idx])
+                assert key not in seen, (table, key)
+                seen.add(key)
+
+
+class TestScdHistory:
+    def test_up_to_three_revisions(self, generated_data):
+        """§3.3.2: 'there are up to 3 revisions of any dimension entry'."""
+        item_rows = generated_data.tables["item"]
+        by_bk = {}
+        for row in item_rows:
+            by_bk.setdefault(row[1], []).append(row)
+        counts = {len(v) for v in by_bk.values()}
+        assert counts <= {1, 2, 3}
+        assert max(counts) > 1  # history actually present at load
+
+    def test_exactly_one_open_revision(self, generated_data):
+        for table in HISTORY_DIMENSIONS:
+            schema = ALL_TABLES[table]
+            end_idx = next(
+                i for i, c in enumerate(schema.columns) if c.name.endswith("rec_end_date")
+            )
+            bk_idx = next(
+                i for i, c in enumerate(schema.columns) if c.business_key
+            )
+            open_counts = {}
+            for row in generated_data.tables[table]:
+                if row[end_idx] is None:
+                    open_counts[row[bk_idx]] = open_counts.get(row[bk_idx], 0) + 1
+            assert open_counts, table
+            assert set(open_counts.values()) == {1}, table
+
+    def test_revision_ranges_ordered(self, generated_data):
+        schema = ALL_TABLES["item"]
+        start_idx = next(i for i, c in enumerate(schema.columns) if c.name == "i_rec_start_date")
+        end_idx = next(i for i, c in enumerate(schema.columns) if c.name == "i_rec_end_date")
+        bk_idx = 1
+        by_bk = {}
+        for row in generated_data.tables["item"]:
+            by_bk.setdefault(row[bk_idx], []).append(row)
+        for rows in by_bk.values():
+            ordered = sorted(rows, key=lambda r: r[start_idx])
+            for prev, nxt in zip(ordered, ordered[1:]):
+                assert prev[end_idx] is not None
+                assert prev[end_idx] <= nxt[start_idx]
+
+    def test_surrogate_keys_unique(self, generated_data):
+        for table in ("item", "customer", "store", "date_dim"):
+            pk = ALL_TABLES[table].primary_key[0]
+            idx = ALL_TABLES[table].column_names.index(pk)
+            keys = [row[idx] for row in generated_data.tables[table]]
+            assert len(keys) == len(set(keys)), table
+
+
+class TestZonesInData:
+    def test_zone3_denser_than_zone1(self, generated_data):
+        """Figure 2 realized: per-week sales density must rise zone1 ->
+        zone3."""
+        from repro.dsdgen.distributions import week_zone
+        from repro.engine.types import epoch_days_to_date
+
+        calendar = generated_data.context.calendar
+        zone_counts = {1: 0, 2: 0, 3: 0}
+        zone_weeks = {1: 29, 2: 13, 3: 10}  # approximate weeks per zone
+        for row in generated_data.tables["store_sales"]:
+            offset = row[0] - calendar.sk_at(0)
+            d = calendar.date_at(offset)
+            week = min((d.timetuple().tm_yday - 1) // 7 + 1, 52)
+            zone_counts[week_zone(week)] += 1
+        density = {z: zone_counts[z] / zone_weeks[z] for z in (1, 2, 3)}
+        assert density[1] < density[2] < density[3]
+
+
+class TestBasketStructure:
+    def test_average_basket_size(self, generated_data):
+        """§3.1: 'On average each shopping cart contains 10.5 items.'"""
+        tickets = {}
+        for row in generated_data.tables["store_sales"]:
+            tickets[row[9]] = tickets.get(row[9], 0) + 1
+        avg = sum(tickets.values()) / len(tickets)
+        assert avg == pytest.approx(10.5, abs=1.5)
+
+    def test_pricing_arithmetic(self, generated_data):
+        cols = ALL_TABLES["store_sales"].column_names
+        qty_i = cols.index("ss_quantity")
+        sales_i = cols.index("ss_sales_price")
+        ext_i = cols.index("ss_ext_sales_price")
+        paid_i = cols.index("ss_net_paid")
+        coupon_i = cols.index("ss_coupon_amt")
+        for row in generated_data.tables["store_sales"][:300]:
+            assert row[ext_i] == pytest.approx(row[sales_i] * row[qty_i], abs=0.5)
+            assert row[paid_i] == pytest.approx(row[ext_i] - row[coupon_i], abs=0.05)
+
+
+class TestFlatFiles:
+    def test_round_trip(self, tmp_path, generated_data):
+        schema = ALL_TABLES["item"]
+        rows = generated_data.tables["item"][:100]
+        path = os.path.join(tmp_path, "item.dat")
+        write_flat_file(path, rows, schema)
+        back = read_flat_file(path, schema)
+        assert [list(r) for r in rows] == back
+
+    def test_format_null_is_empty_field(self):
+        schema = ALL_TABLES["income_band"]
+        line = format_row([1, None, 10000], schema)
+        assert line == "1||10000|"
+
+    def test_parse_rejects_bad_arity(self):
+        schema = ALL_TABLES["income_band"]
+        with pytest.raises(ValueError):
+            parse_row("1|2|", schema)
+
+    def test_dates_round_trip_iso(self):
+        schema = ALL_TABLES["item"]
+        from repro.engine.types import parse_date
+
+        row = [1, "AAAA000000000001", parse_date("1998-01-01"), None,
+               "desc", 1.0, 0.5, 1, "b", 1, "c", 1, "cat", 1, "m", "s",
+               "f", "col", "u", "cn", 1, "p"]
+        text = format_row(row, schema)
+        assert "1998-01-01" in text
+        assert parse_row(text, schema)[2] == parse_date("1998-01-01")
+
+    def test_measured_row_statistics(self, generated_data):
+        stats = measured_row_statistics(generated_data.tables, ALL_TABLES)
+        # inventory is the narrowest table (paper: min 16 bytes)
+        assert stats.min_bytes < 30
+        assert stats.max_bytes > stats.avg_bytes > stats.min_bytes
+
+    def test_write_all_tables(self, tmp_path):
+        data = DsdGen(0.001).generate()
+        sizes = data.write_flat_files(str(tmp_path))
+        assert set(sizes) == set(ALL_TABLES)
+        assert all(os.path.exists(os.path.join(tmp_path, f"{t}.dat")) for t in ALL_TABLES)
+
+    def test_load_from_flat_files(self, tmp_path):
+        from repro.dsdgen import load_from_flat_files
+        from repro.engine import Database
+
+        data = DsdGen(0.001).generate()
+        data.write_flat_files(str(tmp_path))
+        db = Database()
+        load_from_flat_files(db, str(tmp_path))
+        assert db.table("store_sales").num_rows == data.row_counts["store_sales"]
+        assert db.execute("SELECT COUNT(*) FROM customer").scalar() == data.row_counts["customer"]

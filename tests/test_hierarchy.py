@@ -1,0 +1,62 @@
+"""Item hierarchy tests — Figure 5."""
+
+from collections import Counter
+
+from repro.dsdgen import ItemHierarchy, RandomStream
+from repro.dsdgen.hierarchies import CATEGORY_CLASSES
+
+
+class TestStructure:
+    hierarchy = ItemHierarchy()
+
+    def test_ten_categories(self):
+        assert self.hierarchy.num_categories == 10
+
+    def test_classes_match_definition(self):
+        want = sum(len(classes) for classes in CATEGORY_CLASSES.values())
+        assert self.hierarchy.num_classes == want
+
+    def test_brand_count(self):
+        assert self.hierarchy.num_brands == self.hierarchy.num_classes * 10
+
+    def test_single_inheritance(self):
+        """Figure 5: 'each Brand belongs to exactly one Class and each
+        class belongs exactly to one Category.'"""
+        assert self.hierarchy.verify_single_inheritance()
+
+    def test_brand_ids_unique(self):
+        ids = [b.brand_id for b in self.hierarchy.brands]
+        assert len(ids) == len(set(ids))
+
+    def test_class_ids_sequential_and_unique(self):
+        class_ids = {b.class_id for b in self.hierarchy.brands}
+        assert class_ids == set(range(1, self.hierarchy.num_classes + 1))
+
+    def test_brand_encodes_class(self):
+        for brand in self.hierarchy.brands:
+            assert brand.brand_id // 1000 == brand.class_id
+
+    def test_category_names_are_the_paper_examples(self):
+        """Q20 samples 'Sports', 'Books', 'Home' — they must exist."""
+        assert {"Sports", "Books", "Home"} <= set(self.hierarchy.categories)
+
+    def test_class_names_nonempty(self):
+        assert all(b.class_name for b in self.hierarchy.brands)
+
+
+class TestSampling:
+    def test_sample_is_deterministic(self):
+        h = ItemHierarchy()
+        a = [h.sample_brand(RandomStream(5)).brand_id for _ in range(10)]
+        b = [h.sample_brand(RandomStream(5)).brand_id for _ in range(10)]
+        assert a == b
+
+    def test_sampling_covers_categories(self):
+        h = ItemHierarchy()
+        rng = RandomStream(5)
+        seen = Counter(h.sample_brand(rng).category_name for _ in range(3000))
+        assert set(seen) == set(h.categories)
+
+    def test_custom_brands_per_class(self):
+        h = ItemHierarchy(brands_per_class=3)
+        assert h.num_brands == h.num_classes * 3

@@ -1,0 +1,284 @@
+"""Data-maintenance tests — Figures 8, 9, 10 and the 12 operations."""
+
+import pytest
+
+from repro.maintenance import (
+    DM_OPERATIONS,
+    DimensionUpdate,
+    FactInsert,
+    RefreshGenerator,
+    apply_dimension_updates,
+    apply_history_update,
+    apply_nonhistory_update,
+    apply_refresh,
+    business_key_column,
+    delete_fact_range,
+    lookup_surrogate,
+    run_all,
+    translate_and_insert_facts,
+)
+from repro.schema import HISTORY_DIMENSIONS
+
+
+@pytest.fixture()
+def refresh(generated_data):
+    return RefreshGenerator(generated_data.context).generate()
+
+
+def first_business_key(db, table):
+    column = business_key_column(table)
+    return db.table(table).columns[column].value(0)
+
+
+class TestFigure8NonHistory:
+    """'find the row for the business key; update all changed fields'."""
+
+    def test_update_by_business_key(self, fresh_db):
+        bk = first_business_key(fresh_db, "customer")
+        update = DimensionUpdate("customer", bk, {"c_email_address": "new@x.com"}, 0)
+        assert apply_nonhistory_update(fresh_db, update) == 1
+        got = fresh_db.execute(
+            f"SELECT c_email_address FROM customer WHERE c_customer_id = '{bk}'"
+        ).scalar()
+        assert got == "new@x.com"
+
+    def test_row_count_unchanged(self, fresh_db):
+        before = fresh_db.table("customer").num_rows
+        bk = first_business_key(fresh_db, "customer")
+        apply_nonhistory_update(
+            fresh_db, DimensionUpdate("customer", bk, {"c_preferred_cust_flag": "Y"}, 0)
+        )
+        assert fresh_db.table("customer").num_rows == before
+
+    def test_missing_business_key_is_noop(self, fresh_db):
+        update = DimensionUpdate("customer", "ZZZZ999999999999", {"c_preferred_cust_flag": "Y"}, 0)
+        assert apply_nonhistory_update(fresh_db, update) == 0
+
+    def test_other_fields_untouched(self, fresh_db):
+        bk = first_business_key(fresh_db, "customer")
+        before = fresh_db.execute(
+            f"SELECT c_first_name, c_last_name FROM customer WHERE c_customer_id = '{bk}'"
+        ).rows()
+        apply_nonhistory_update(
+            fresh_db, DimensionUpdate("customer", bk, {"c_email_address": "x@y"}, 0)
+        )
+        after = fresh_db.execute(
+            f"SELECT c_first_name, c_last_name FROM customer WHERE c_customer_id = '{bk}'"
+        ).rows()
+        assert before == after
+
+
+class TestFigure9History:
+    """'close the current revision, insert the new one'."""
+
+    def test_creates_new_revision(self, fresh_db):
+        bk = first_business_key(fresh_db, "item")
+        before = fresh_db.execute(
+            f"SELECT COUNT(*) FROM item WHERE i_item_id = '{bk}'"
+        ).scalar()
+        update = DimensionUpdate("item", bk, {"i_current_price": 1.23}, 10_000)
+        assert apply_history_update(fresh_db, update) == 2
+        after = fresh_db.execute(
+            f"SELECT COUNT(*) FROM item WHERE i_item_id = '{bk}'"
+        ).scalar()
+        assert after == before + 1
+
+    def test_old_revision_closed_new_open(self, fresh_db):
+        bk = first_business_key(fresh_db, "item")
+        apply_history_update(
+            fresh_db, DimensionUpdate("item", bk, {"i_current_price": 9.99}, 10_000)
+        )
+        open_rows = fresh_db.execute(f"""
+            SELECT i_current_price FROM item
+            WHERE i_item_id = '{bk}' AND i_rec_end_date IS NULL
+        """).rows()
+        assert open_rows == [(9.99,)]
+
+    def test_new_surrogate_key_assigned(self, fresh_db):
+        bk = first_business_key(fresh_db, "item")
+        max_before = fresh_db.execute("SELECT MAX(i_item_sk) FROM item").scalar()
+        apply_history_update(
+            fresh_db, DimensionUpdate("item", bk, {"i_current_price": 9.99}, 10_000)
+        )
+        assert fresh_db.execute("SELECT MAX(i_item_sk) FROM item").scalar() == max_before + 1
+
+    def test_one_open_revision_invariant(self, fresh_db, refresh):
+        apply_dimension_updates(fresh_db, refresh.dimension_updates)
+        for table in HISTORY_DIMENSIONS:
+            bk_col = business_key_column(table)
+            end_col = {
+                "item": "i_rec_end_date", "store": "s_rec_end_date",
+                "call_center": "cc_rec_end_date", "web_page": "wp_rec_end_date",
+                "web_site": "web_rec_end_date",
+            }[table]
+            violations = fresh_db.execute(f"""
+                SELECT {bk_col}, COUNT(*) FROM {table}
+                WHERE {end_col} IS NULL GROUP BY {bk_col} HAVING COUNT(*) > 1
+            """)
+            assert len(violations) == 0, table
+
+    def test_static_dimension_rejected(self, fresh_db):
+        from repro.engine.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            apply_dimension_updates(
+                fresh_db,
+                [DimensionUpdate("date_dim", "AAAA000000000001", {"d_dom": 2}, 0)],
+            )
+
+
+class TestFigure10FactInsert:
+    def test_surrogate_lookup_nonhistory(self, fresh_db):
+        bk = first_business_key(fresh_db, "customer")
+        sk = lookup_surrogate(fresh_db, "customer", bk)
+        got_bk = fresh_db.execute(
+            f"SELECT c_customer_id FROM customer WHERE c_customer_sk = {sk}"
+        ).scalar()
+        assert got_bk == bk
+
+    def test_surrogate_lookup_history_returns_current(self, fresh_db):
+        bk = first_business_key(fresh_db, "item")
+        apply_history_update(
+            fresh_db, DimensionUpdate("item", bk, {"i_current_price": 9.99}, 10_000)
+        )
+        sk = lookup_surrogate(fresh_db, "item", bk)
+        end = fresh_db.execute(
+            f"SELECT i_rec_end_date FROM item WHERE i_item_sk = {sk}"
+        ).scalar()
+        assert end is None
+
+    def test_unknown_key_returns_none(self, fresh_db):
+        assert lookup_surrogate(fresh_db, "customer", "ZZZZ999999999999") is None
+
+    def test_insert_translates_keys(self, fresh_db, generated_data):
+        item_bk = first_business_key(fresh_db, "item")
+        customer_bk = first_business_key(fresh_db, "customer")
+        iso = generated_data.context.calendar.date_at(10).isoformat()
+        insert = FactInsert(
+            table="store_sales",
+            natural_keys={
+                "ss_sold_date_sk": ("date_dim", iso),
+                "ss_item_sk": ("item", item_bk),
+                "ss_customer_sk": ("customer", customer_bk),
+            },
+            values={"ss_ticket_number": 999_999_999, "ss_quantity": 1,
+                    "ss_sales_price": 1.0, "ss_ext_sales_price": 1.0,
+                    "ss_net_paid": 1.0},
+        )
+        assert translate_and_insert_facts(fresh_db, [insert]) == 1
+        row = fresh_db.execute(
+            "SELECT ss_item_sk, ss_customer_sk, ss_sold_date_sk FROM store_sales "
+            "WHERE ss_ticket_number = 999999999"
+        ).rows()[0]
+        assert row[0] == lookup_surrogate(fresh_db, "item", item_bk)
+        assert row[1] == lookup_surrogate(fresh_db, "customer", customer_bk)
+        expected_sk = generated_data.context.calendar.sk_at(10)
+        assert row[2] == expected_sk
+
+    def test_unresolvable_rows_skipped(self, fresh_db, generated_data):
+        iso = generated_data.context.calendar.date_at(0).isoformat()
+        insert = FactInsert(
+            table="store_sales",
+            natural_keys={"ss_sold_date_sk": ("date_dim", iso),
+                          "ss_item_sk": ("item", "ZZZZ999999999999")},
+            values={"ss_ticket_number": 1},
+        )
+        assert translate_and_insert_facts(fresh_db, [insert]) == 0
+
+
+class TestDeletes:
+    def test_clustered_date_delete(self, fresh_db, generated_data):
+        calendar = generated_data.context.calendar
+        low, high = calendar.sk_at(0), calendar.sk_at(30)
+        in_range = fresh_db.execute(f"""
+            SELECT COUNT(*) FROM store_sales
+            WHERE ss_sold_date_sk BETWEEN {low} AND {high}
+        """).scalar()
+        deleted = delete_fact_range(fresh_db, "store_sales", low, high)
+        assert deleted == in_range
+        remaining = fresh_db.execute(f"""
+            SELECT COUNT(*) FROM store_sales
+            WHERE ss_sold_date_sk BETWEEN {low} AND {high}
+        """).scalar()
+        assert remaining == 0
+
+    def test_out_of_range_untouched(self, fresh_db, generated_data):
+        calendar = generated_data.context.calendar
+        total = fresh_db.table("store_sales").num_rows
+        low, high = calendar.sk_at(0), calendar.sk_at(30)
+        deleted = delete_fact_range(fresh_db, "store_sales", low, high)
+        assert fresh_db.table("store_sales").num_rows == total - deleted
+
+
+class TestTwelveOperations:
+    def test_exactly_twelve(self):
+        """§1: '12 data maintenance operations'."""
+        assert len(DM_OPERATIONS) == 12
+
+    def test_names_unique(self):
+        names = [op.name for op in DM_OPERATIONS]
+        assert len(set(names)) == 12
+
+    def test_run_all_returns_results(self, fresh_db, refresh):
+        results = run_all(fresh_db, refresh)
+        assert len(results) == 13  # 12 ops + AUX maintenance
+        assert all(r.elapsed >= 0 for r in results)
+
+    def test_updates_and_inserts_applied(self, fresh_db, refresh):
+        sales_before = fresh_db.table("store_sales").num_rows
+        returns_before = fresh_db.table("store_returns").num_rows
+        results = {r.operation: r for r in run_all(fresh_db, refresh)}
+        assert results["DM_CUST"].rows_affected > 0
+        assert results["DM_ITEM"].rows_affected > 0
+        assert results["LF_SS"].rows_affected > 0
+        assert results["DF_SS"].rows_affected > 0
+        sales_after = fresh_db.table("store_sales").num_rows
+        returns_after = fresh_db.table("store_returns").num_rows
+        # DF_SS removes from both store facts; LF_SS adds only sales lines
+        deleted_total = (sales_before - sales_after + results["LF_SS"].rows_affected) + (
+            returns_before - returns_after
+        )
+        assert deleted_total == results["DF_SS"].rows_affected
+
+    def test_apply_refresh_summary(self, fresh_db, refresh):
+        stats = apply_refresh(fresh_db, refresh)
+        assert stats["dimension_rows_touched"] > 0
+        assert stats["fact_rows_inserted"] > 0
+        assert stats["fact_rows_deleted"] >= 0
+
+
+class TestRefreshGenerator:
+    def test_deterministic(self, generated_data):
+        a = RefreshGenerator(generated_data.context).generate(1)
+        b = RefreshGenerator(generated_data.context).generate(1)
+        assert a.dimension_updates == b.dimension_updates
+        assert a.delete_ranges == b.delete_ranges
+
+    def test_rounds_differ(self, generated_data):
+        a = RefreshGenerator(generated_data.context).generate(1)
+        b = RefreshGenerator(generated_data.context).generate(2)
+        assert a.delete_ranges != b.delete_ranges or a.dimension_updates != b.dimension_updates
+
+    def test_updates_cover_both_scd_kinds(self, refresh):
+        tables = {u.table for u in refresh.dimension_updates}
+        assert tables & HISTORY_DIMENSIONS
+        assert tables - HISTORY_DIMENSIONS
+
+    def test_inserts_carry_natural_keys(self, refresh):
+        insert = refresh.fact_inserts[0]
+        assert "ss_item_sk" in insert.natural_keys
+        assert insert.natural_keys["ss_item_sk"][0] == "item"
+        assert "ss_sold_date_sk" in insert.natural_keys
+
+    def test_update_fraction_scales(self, generated_data):
+        small = RefreshGenerator(generated_data.context, update_fraction=0.01).generate()
+        large = RefreshGenerator(generated_data.context, update_fraction=0.1).generate()
+        assert len(large.dimension_updates) > len(small.dimension_updates)
+
+    def test_second_run_repeats_cleanly(self, fresh_db, generated_data):
+        """§3.3.2: the second performance run 'serves as a repetition of
+        the first' — maintenance must be repeatable."""
+        gen = RefreshGenerator(generated_data.context)
+        run_all(fresh_db, gen.generate(1))
+        results = run_all(fresh_db, gen.generate(2))
+        assert all(r.elapsed >= 0 for r in results)

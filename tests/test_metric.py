@@ -1,0 +1,167 @@
+"""Metric tests — the §5.3 formulas and the paper's worked examples."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runner import (
+    LOAD_FRACTION_PER_STREAM,
+    MetricError,
+    MetricInputs,
+    load_time_share,
+    power_metric,
+    price_performance,
+    qphds,
+    total_queries,
+)
+
+
+def inputs(sf=100, streams=3, qr1=100.0, dm=20.0, qr2=100.0, load=50.0):
+    return MetricInputs(sf, streams, qr1, dm, qr2, load)
+
+
+class TestTotalQueries:
+    def test_formula_198_s(self):
+        assert total_queries(1) == 198
+        assert total_queries(3) == 594
+
+    def test_paper_example_sf1000(self):
+        """'a 1000 scale factor benchmark test with minimum number of
+        required query streams executes 1386 (198 * 7) queries.'"""
+        assert total_queries(7) == 1386
+
+    def test_paper_example_15_streams(self):
+        """'2970 (198 * 15) queries' for 15 streams."""
+        assert total_queries(15) == 2970
+
+    def test_requires_at_least_one_stream(self):
+        with pytest.raises(MetricError):
+            total_queries(0)
+
+
+class TestQphds:
+    def test_formula_by_hand(self):
+        m = inputs()
+        expected = 100 * 3600 * (198 * 3) / (100 + 20 + 100 + 0.01 * 3 * 50)
+        assert qphds(m) == pytest.approx(expected)
+
+    def test_scale_factor_normalization(self):
+        """Same elapsed times at a 10x scale factor give a 10x metric —
+        the normalization that keeps ideal scaling flat."""
+        small = qphds(inputs(sf=100, streams=3))
+        big = qphds(inputs(sf=1000, streams=7))
+        ratio = big / small
+        # 10x SF and 7/3 more queries, slightly more load share
+        assert ratio > 10
+
+    def test_faster_queries_higher_metric(self):
+        slow = qphds(inputs(qr1=200.0, qr2=200.0))
+        fast = qphds(inputs(qr1=50.0, qr2=50.0))
+        assert fast > slow
+
+    def test_load_time_penalizes(self):
+        cheap = qphds(inputs(load=10.0))
+        expensive = qphds(inputs(load=10_000.0))
+        assert cheap > expensive
+
+    def test_load_fraction_scales_with_streams(self):
+        """'The fraction of the load time is multiplied by the number of
+        streams ... to avoid diminishing the impact of the load time'."""
+        m = inputs(streams=10, qr1=0.0, dm=0.0, qr2=1.0, load=100.0)
+        denominator = 1.0 + 0.01 * 10 * 100.0
+        assert qphds(m, enforce_min_streams=False) == pytest.approx(
+            100 * 3600 * 1980 / denominator
+        )
+
+    def test_ten_percent_example(self):
+        """'A 1000 scale factor benchmark test with minimum number of
+        required streams will have 10% of the database load time added'
+        (0.01 * 10 streams; the draft's stream count)."""
+        assert LOAD_FRACTION_PER_STREAM * 10 == pytest.approx(0.10)
+
+    def test_min_streams_enforced(self):
+        with pytest.raises(MetricError):
+            qphds(inputs(sf=1000, streams=3))
+
+    def test_min_streams_relaxed_for_model_runs(self):
+        value = qphds(inputs(sf=1000, streams=3), enforce_min_streams=False)
+        assert value > 0
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(MetricError):
+            qphds(inputs(qr1=-1.0))
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(MetricError):
+            qphds(inputs(qr1=0.0, dm=0.0, qr2=0.0, load=0.0))
+
+    @given(
+        st.floats(min_value=1, max_value=1e4),
+        st.floats(min_value=1, max_value=1e4),
+        st.floats(min_value=1, max_value=1e4),
+        st.floats(min_value=1, max_value=1e4),
+    )
+    def test_monotone_in_each_component(self, qr1, dm, qr2, load):
+        base = qphds(inputs(qr1=qr1, dm=dm, qr2=qr2, load=load))
+        slower = qphds(inputs(qr1=qr1 * 2, dm=dm, qr2=qr2, load=load))
+        assert slower < base
+
+
+class TestPricePerformance:
+    def test_ratio(self):
+        assert price_performance(100_000, 2_000) == pytest.approx(50.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MetricError):
+            price_performance(0, 100)
+        with pytest.raises(MetricError):
+            price_performance(100, 0)
+
+    def test_cheaper_system_wins(self):
+        assert price_performance(50_000, 1000) < price_performance(100_000, 1000)
+
+
+class TestLoadShare:
+    def test_share_between_zero_and_one(self):
+        assert 0 < load_time_share(inputs()) < 1
+
+    def test_share_grows_with_load(self):
+        assert load_time_share(inputs(load=1000)) > load_time_share(inputs(load=10))
+
+
+class TestPowerMetricCritique:
+    """§5.3: the geometric-mean power metric was dropped because a 6h->2h
+    improvement moves it exactly as much as 6s->2s."""
+
+    def test_proportional_improvements_identical(self):
+        times = [6 * 3600.0, 6.0, 100.0, 500.0]
+        improve_long = list(times)
+        improve_long[0] = 2 * 3600.0  # 6h -> 2h
+        improve_short = list(times)
+        improve_short[1] = 2.0  # 6s -> 2s
+        assert power_metric(improve_long, 100) == pytest.approx(
+            power_metric(improve_short, 100)
+        )
+
+    def test_arithmetic_total_prefers_long_query_fix(self):
+        """The TPC-DS metric (arithmetic total time) rewards fixing the
+        6-hour query far more — the design rationale."""
+        times = [6 * 3600.0, 6.0]
+        base = sum(times)
+        long_fixed = 2 * 3600.0 + 6.0
+        short_fixed = 6 * 3600.0 + 2.0
+        gain_long = base - long_fixed
+        gain_short = base - short_fixed
+        assert gain_long > 1000 * gain_short
+
+    def test_power_metric_value(self):
+        times = [4.0, 9.0]
+        geo = math.sqrt(4.0 * 9.0)
+        assert power_metric(times, 10) == pytest.approx(3600 * 10 / geo)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(MetricError):
+            power_metric([1.0, 0.0], 100)
+        with pytest.raises(MetricError):
+            power_metric([], 100)

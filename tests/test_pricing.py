@@ -1,0 +1,70 @@
+"""Pricing tests: the 3-year TCO structure behind $/QphDS."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runner import MetricError, PriceBook, SystemConfiguration, dollars_per_qphds
+
+
+class TestTco:
+    book = PriceBook()
+
+    def test_components_add_up_small_config(self):
+        config = SystemConfiguration(cpu_cores=4, memory_gb=32, storage_tb=0.5, nodes=1)
+        hw = self.book.hardware_cost(config)
+        sw = self.book.software_cost(config)
+        assert hw == pytest.approx(8000 + 4 * 450 + 32 * 18 + 0.5 * 220)
+        assert sw == pytest.approx(4 * 1900)
+        base = hw + sw  # below the volume threshold
+        assert self.book.three_year_tco(config) == pytest.approx(base * (1 + 0.12 * 3))
+
+    def test_volume_discount_applies(self):
+        big = SystemConfiguration(cpu_cores=64, memory_gb=1024, storage_tb=100, nodes=4)
+        base = self.book.hardware_cost(big) + self.book.software_cost(big)
+        assert base > self.book.volume_discount_threshold
+        discounted = base * (1 - self.book.volume_discount)
+        assert self.book.three_year_tco(big) == pytest.approx(discounted * 1.36)
+
+    def test_nodes_multiply(self):
+        one = SystemConfiguration(nodes=1)
+        two = SystemConfiguration(nodes=2)
+        assert self.book.hardware_cost(two) == 2 * self.book.hardware_cost(one)
+
+    def test_maintenance_is_three_years(self):
+        config = SystemConfiguration(cpu_cores=1, memory_gb=1, storage_tb=0.1)
+        base = self.book.hardware_cost(config) + self.book.software_cost(config)
+        tco = self.book.three_year_tco(config)
+        assert tco / base == pytest.approx(1 + 3 * self.book.maintenance_rate)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(MetricError):
+            SystemConfiguration(cpu_cores=0)
+        with pytest.raises(MetricError):
+            SystemConfiguration(storage_tb=-1)
+
+
+class TestDollarsPerQphds:
+    def test_ratio(self):
+        config = SystemConfiguration()
+        book = PriceBook()
+        value = dollars_per_qphds(config, 1000.0, book)
+        assert value == pytest.approx(book.three_year_tco(config) / 1000.0)
+
+    def test_better_performance_cheaper_ratio(self):
+        config = SystemConfiguration()
+        assert dollars_per_qphds(config, 2000.0) < dollars_per_qphds(config, 1000.0)
+
+    def test_zero_metric_rejected(self):
+        with pytest.raises(MetricError):
+            dollars_per_qphds(SystemConfiguration(), 0.0)
+
+    @given(
+        st.integers(min_value=1, max_value=256),
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_tco_monotone_in_size(self, cores, memory, nodes):
+        book = PriceBook()
+        small = SystemConfiguration(cpu_cores=cores, memory_gb=memory, nodes=nodes)
+        bigger = SystemConfiguration(cpu_cores=cores + 1, memory_gb=memory, nodes=nodes)
+        assert book.three_year_tco(bigger) > book.three_year_tco(small) * 0.9

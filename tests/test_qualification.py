@@ -1,0 +1,71 @@
+"""Qualification-run regression tests: the canonical parameterization
+must keep producing the pinned answer set (TPC-DS's qualification
+mechanism at model scale). Regenerate the reference after intentional
+changes with ``python -m repro.qgen.qualification``."""
+
+import pytest
+
+from repro.qgen.qualification import (
+    QUALIFICATION_SCALE_FACTOR,
+    QUALIFICATION_SEED,
+    fingerprint_rows,
+    fingerprint_workload,
+    load_reference,
+)
+from tests.conftest import SESSION_SEED, SESSION_SF
+
+
+@pytest.fixture(scope="module")
+def reference():
+    answers = load_reference()
+    assert answers is not None, "qualification_answers.json missing"
+    return answers
+
+
+class TestReferenceFile:
+    def test_covers_all_99(self, reference):
+        assert len(reference) == 99
+        assert set(reference) == {str(i) for i in range(1, 100)}
+
+    def test_entries_have_shape(self, reference):
+        for entry in reference.values():
+            assert set(entry) == {"name", "rows", "digest"}
+            assert entry["rows"] >= 0
+
+
+class TestAnswersReproduce:
+    def test_fixture_matches_qualification_environment(self):
+        # the session fixtures are the qualification environment, so the
+        # expensive database build is shared with the rest of the suite
+        assert SESSION_SF == QUALIFICATION_SCALE_FACTOR
+        assert SESSION_SEED == QUALIFICATION_SEED
+
+    def test_workload_fingerprints_match(self, loaded_db, qgen, reference):
+        current = fingerprint_workload(loaded_db, qgen)
+        mismatches = {
+            tid: (reference[tid], current[tid])
+            for tid in reference
+            if reference[tid] != current[tid]
+        }
+        assert mismatches == {}, (
+            f"{len(mismatches)} templates drifted; regenerate the reference "
+            f"if the change is intentional: {list(mismatches)[:5]}"
+        )
+
+
+class TestFingerprint:
+    def test_order_insensitive(self):
+        a = fingerprint_rows([(1, "x"), (2, "y")])
+        b = fingerprint_rows([(2, "y"), (1, "x")])
+        assert a == b
+
+    def test_content_sensitive(self):
+        assert fingerprint_rows([(1,)]) != fingerprint_rows([(2,)])
+
+    def test_null_distinct_from_string(self):
+        assert fingerprint_rows([(None,)]) != fingerprint_rows([("~x",)])
+
+    def test_float_quantization(self):
+        a = fingerprint_rows([(1.00000000001,)])
+        b = fingerprint_rows([(1.0,)])
+        assert a == b

@@ -1,0 +1,138 @@
+"""Random-stream tests: determinism, independence, distribution sanity."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsdgen import RandomStream, RandomStreamFactory
+from repro.dsdgen.rng import stream_seed
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RandomStream(42)
+        b = RandomStream(42)
+        assert [a.next_raw() for _ in range(100)] == [b.next_raw() for _ in range(100)]
+
+    def test_factory_streams_reproducible(self):
+        f1 = RandomStreamFactory(7)
+        f2 = RandomStreamFactory(7)
+        s1 = [f1.stream("t", "c").uniform_int(0, 999) for _ in range(50)]
+        s2 = [f2.stream("t", "c").uniform_int(0, 999) for _ in range(50)]
+        assert s1 == s2
+
+    def test_streams_independent_of_creation_order(self):
+        f1 = RandomStreamFactory(7)
+        f1.stream("a").next_raw()
+        first = f1.fresh("b").next_raw()
+        f2 = RandomStreamFactory(7)
+        second = f2.fresh("b").next_raw()
+        assert first == second
+
+    def test_stream_continues_across_calls(self):
+        f = RandomStreamFactory(7)
+        a = f.stream("x").next_raw()
+        b = f.stream("x").next_raw()
+        assert a != b  # same underlying stream advanced
+
+    def test_fresh_resets(self):
+        f = RandomStreamFactory(7)
+        f.stream("x").next_raw()
+        assert f.fresh("x").next_raw() == RandomStreamFactory(7).fresh("x").next_raw()
+
+    def test_different_names_differ(self):
+        f = RandomStreamFactory(7)
+        assert f.fresh("a").next_raw() != f.fresh("b").next_raw()
+
+    def test_different_seeds_differ(self):
+        assert (
+            RandomStreamFactory(1).fresh("a").next_raw()
+            != RandomStreamFactory(2).fresh("a").next_raw()
+        )
+
+    def test_stream_seed_nonzero(self):
+        assert stream_seed(0, "") != 0
+
+
+class TestDraws:
+    def test_uniform_in_unit_interval(self):
+        rng = RandomStream(3)
+        values = [rng.uniform() for _ in range(1000)]
+        assert all(0 <= v < 1 for v in values)
+        assert 0.4 < sum(values) / len(values) < 0.6
+
+    def test_uniform_int_bounds_inclusive(self):
+        rng = RandomStream(3)
+        values = {rng.uniform_int(1, 6) for _ in range(500)}
+        assert values == {1, 2, 3, 4, 5, 6}
+
+    def test_uniform_int_single_point(self):
+        rng = RandomStream(3)
+        assert rng.uniform_int(5, 5) == 5
+
+    def test_uniform_int_empty_range(self):
+        with pytest.raises(ValueError):
+            RandomStream(3).uniform_int(5, 4)
+
+    def test_gaussian_moments(self):
+        rng = RandomStream(3)
+        values = [rng.gaussian(10, 2) for _ in range(4000)]
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert mean == pytest.approx(10, abs=0.2)
+        assert math.sqrt(var) == pytest.approx(2, abs=0.2)
+
+    def test_choice_covers_items(self):
+        rng = RandomStream(3)
+        items = ["a", "b", "c"]
+        assert {rng.choice(items) for _ in range(100)} == set(items)
+
+    def test_weighted_index_respects_weights(self):
+        rng = RandomStream(3)
+        cumulative = [1.0, 1.1]  # ~91% weight on index 0
+        counts = [0, 0]
+        for _ in range(2000):
+            counts[rng.weighted_index(cumulative)] += 1
+        assert counts[0] > counts[1] * 5
+
+    def test_sample_without_replacement(self):
+        rng = RandomStream(3)
+        sample = rng.sample_without_replacement(10, 5)
+        assert len(set(sample)) == 5
+        assert all(0 <= v < 10 for v in sample)
+
+    def test_sample_all(self):
+        rng = RandomStream(3)
+        assert rng.sample_without_replacement(4, 4) == [0, 1, 2, 3]
+
+    def test_sample_too_many(self):
+        with pytest.raises(ValueError):
+            RandomStream(3).sample_without_replacement(3, 4)
+
+    def test_maybe_null_rate(self):
+        rng = RandomStream(3)
+        nulls = sum(1 for _ in range(2000) if rng.maybe_null(1, 0.25) is None)
+        assert 400 < nulls < 600
+
+    def test_maybe_null_zero_rate(self):
+        rng = RandomStream(3)
+        assert all(rng.maybe_null(1, 0.0) == 1 for _ in range(100))
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_any_seed_valid(self, seed):
+        rng = RandomStream(seed)
+        value = rng.uniform()
+        assert 0 <= value < 1
+
+    @given(st.integers(min_value=-1000, max_value=1000), st.integers(min_value=0, max_value=100))
+    def test_uniform_int_in_range(self, low, span):
+        rng = RandomStream(99)
+        value = rng.uniform_int(low, low + span)
+        assert low <= value <= low + span
+
+    @given(st.text(min_size=0, max_size=30))
+    def test_stream_seed_stable(self, name):
+        assert stream_seed(5, name) == stream_seed(5, name)

@@ -1,0 +1,166 @@
+"""Execution-rule tests — Figure 11's order, streams, aux rules, and the
+end-to-end benchmark (also exercising the public Benchmark facade)."""
+
+import pytest
+
+from repro import Benchmark
+from repro.engine.errors import CatalogError
+from repro.runner import BenchmarkConfig, BenchmarkRun, render_report
+from repro.runner.execution import run_benchmark
+
+SF = 0.002
+
+
+@pytest.fixture(scope="module")
+def bench_result():
+    config = BenchmarkConfig(scale_factor=SF, streams=2)
+    return run_benchmark(config)
+
+
+class TestFullRun:
+    def test_metric_positive(self, bench_result):
+        result, _ = bench_result
+        assert result.qphds > 0
+        assert result.price_performance > 0
+
+    def test_query_counts(self, bench_result):
+        """Each query run executes 99 queries per stream; two runs give
+        198 * S total."""
+        result, _ = bench_result
+        assert result.query_run_1.queries_executed == 99 * 2
+        assert result.query_run_2.queries_executed == 99 * 2
+        assert result.total_queries == 198 * 2
+
+    def test_all_phases_timed(self, bench_result):
+        result, _ = bench_result
+        assert result.load.elapsed > 0
+        assert result.query_run_1.elapsed > 0
+        assert result.maintenance.elapsed > 0
+        assert result.query_run_2.elapsed > 0
+
+    def test_generation_untimed_separately(self, bench_result):
+        result, _ = bench_result
+        assert result.load.untimed_generation > 0
+
+    def test_streams_cover_all_templates(self, bench_result):
+        result, _ = bench_result
+        for stream in {t.stream for t in result.query_run_1.timings}:
+            ids = {t.template_id for t in result.query_run_1.timings if t.stream == stream}
+            assert ids == set(range(1, 100))
+
+    def test_run2_uses_different_streams_than_run1(self, bench_result):
+        result, _ = bench_result
+        streams1 = {t.stream for t in result.query_run_1.timings}
+        streams2 = {t.stream for t in result.query_run_2.timings}
+        assert streams1.isdisjoint(streams2)
+
+    def test_maintenance_ran_13_ops_per_stream(self, bench_result):
+        result, _ = bench_result
+        # 12 ops per stream + 1 final AUX entry
+        assert len(result.maintenance.operations) == 12 * 2 + 1
+
+    def test_some_queries_used_matviews(self, bench_result):
+        result, _ = bench_result
+        used = [t for t in result.query_run_1.timings if t.used_view]
+        assert used
+
+    def test_metric_inputs_consistent(self, bench_result):
+        result, _ = bench_result
+        m = result.metric_inputs
+        assert m.t_qr1 == result.query_run_1.elapsed
+        assert m.streams == 2
+
+    def test_report_renders(self, bench_result):
+        result, _ = bench_result
+        text = render_report(result)
+        assert "QphDS" in text
+        assert "query run 1" in text
+        assert "198 * S" in text
+
+
+class TestConfig:
+    def test_default_streams_from_figure12(self):
+        assert BenchmarkConfig(scale_factor=0.01).resolved_streams() == 3
+        assert BenchmarkConfig(scale_factor=1000).resolved_streams() == 7
+
+    def test_explicit_streams_win(self):
+        assert BenchmarkConfig(scale_factor=0.01, streams=2).resolved_streams() == 2
+
+    def test_strict_rejects_model_scale(self):
+        from repro.dsdgen import ScaleFactorError
+
+        config = BenchmarkConfig(scale_factor=0.01, strict=True)
+        run = BenchmarkRun(config)
+        with pytest.raises(ScaleFactorError):
+            run.load_test()
+
+
+class TestImplementationRules:
+    def test_aux_on_adhoc_fact_rejected_after_load(self):
+        run = BenchmarkRun(BenchmarkConfig(scale_factor=SF, streams=1))
+        run.load_test()
+        with pytest.raises(CatalogError):
+            run.db.create_index("store_sales", "ss_item_sk", "bitmap")
+
+    def test_aux_on_reporting_fact_allowed(self):
+        run = BenchmarkRun(BenchmarkConfig(scale_factor=SF, streams=1))
+        run.load_test()
+        run.db.create_index("catalog_sales", "cs_promo_sk", "bitmap")
+
+    def test_basic_indexes_allowed_everywhere(self):
+        run = BenchmarkRun(BenchmarkConfig(scale_factor=SF, streams=1))
+        run.load_test()
+        run.db.create_index("store_sales", "ss_customer_sk", "hash")
+
+    def test_no_aux_config_creates_no_matviews(self):
+        run = BenchmarkRun(BenchmarkConfig(scale_factor=SF, streams=1,
+                                           use_aux_structures=False))
+        load = run.load_test()
+        assert not run.db.catalog.matviews
+        assert load.aux_structures < 20
+
+
+class TestBenchmarkFacade:
+    def test_load_then_query(self):
+        bench = Benchmark(scale_factor=SF, streams=1)
+        db = bench.load()
+        assert db.execute("SELECT COUNT(*) FROM store_sales").scalar() > 0
+        assert bench.query("SELECT COUNT(*) FROM item").scalar() > 0
+
+    def test_generate_query(self):
+        bench = Benchmark(scale_factor=SF, streams=1)
+        bench.load()
+        query = bench.generate_query(52)
+        assert "ss_ext_sales_price" in query.sql
+
+    def test_requires_load_first(self):
+        bench = Benchmark(scale_factor=SF)
+        with pytest.raises(RuntimeError):
+            bench.query("SELECT 1")
+        with pytest.raises(RuntimeError):
+            _ = bench.summary
+
+    def test_full_run_summary(self):
+        bench = Benchmark(scale_factor=SF, streams=1)
+        summary = bench.run()
+        assert summary.qphds > 0
+        assert summary.total_queries == 198
+        assert "QphDS" in summary.report()
+        assert bench.summary is summary
+
+
+class TestConstraintValidation:
+    def test_duplicate_pk_detected(self, fresh_db):
+        from repro.engine.errors import ConstraintError
+        from repro.runner import validate_primary_keys
+
+        item = fresh_db.table("item")
+        duplicate = [item.row(0)[c] for c in item.schema.column_names]
+        item.append_rows([duplicate])
+        with pytest.raises(ConstraintError):
+            validate_primary_keys(fresh_db)
+
+    def test_clean_database_passes(self, loaded_db):
+        from repro.runner import validate_primary_keys
+
+        validate_primary_keys(loaded_db)

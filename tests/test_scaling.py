@@ -1,0 +1,159 @@
+"""Scaling model tests — Table 2 and Figure 12."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsdgen import (
+    OFFICIAL_SCALE_FACTORS,
+    ROW_COUNT_ANCHORS,
+    ScaleFactorError,
+    ScalingModel,
+    minimum_streams,
+)
+
+_B = 10**9
+_M = 10**6
+_K = 10**3
+
+
+class TestTable2:
+    """The paper's Table 2 cardinalities, verbatim."""
+
+    @pytest.mark.parametrize("sf,expected", [
+        (100, 288 * _M), (1000, 2_900 * _M), (10000, 30 * _B), (100000, 297 * _B),
+    ])
+    def test_store_sales(self, sf, expected):
+        assert ScalingModel(sf).rows("store_sales") == expected
+
+    @pytest.mark.parametrize("sf,expected", [
+        (100, 14 * _M), (1000, 147 * _M), (10000, 1_500 * _M), (100000, 15 * _B),
+    ])
+    def test_store_returns(self, sf, expected):
+        assert ScalingModel(sf).rows("store_returns") == expected
+
+    @pytest.mark.parametrize("sf,expected", [
+        (100, 200), (1000, 500), (10000, 750), (100000, 1500),
+    ])
+    def test_store(self, sf, expected):
+        assert ScalingModel(sf).rows("store") == expected
+
+    @pytest.mark.parametrize("sf,expected", [
+        (100, 2 * _M), (1000, 8 * _M), (10000, 20 * _M), (100000, 100 * _M),
+    ])
+    def test_customer(self, sf, expected):
+        assert ScalingModel(sf).rows("customer") == expected
+
+    @pytest.mark.parametrize("sf,expected", [
+        (100, 200 * _K), (1000, 300 * _K), (10000, 400 * _K), (100000, 500 * _K),
+    ])
+    def test_item(self, sf, expected):
+        assert ScalingModel(sf).rows("item") == expected
+
+    def test_paper_headline_numbers_at_sf100(self):
+        """§3.1: '58 Million items are sold per year by 2 Million
+        customers in 200 stores' at SF 100 (288M line items over 5 years
+        ≈ 58M per year)."""
+        model = ScalingModel(100)
+        per_year = model.rows("store_sales") / 5
+        assert per_year == pytest.approx(58 * _M, rel=0.01)
+        assert model.rows("customer") == 2 * _M
+        assert model.rows("store") == 200
+
+
+class TestScalingShape:
+    def test_facts_scale_linearly(self):
+        m100 = ScalingModel(100).rows("store_sales")
+        m300 = ScalingModel(300).rows("store_sales")
+        assert m300 == pytest.approx(3 * m100, rel=0.01)
+
+    def test_dimensions_scale_sublinearly(self):
+        """§3.1: 'fact tables scale linearly while dimensions scale sub
+        linearly' — 10x data gives far less than 10x customers."""
+        for table in ("customer", "item", "store", "warehouse", "call_center"):
+            r100 = ScalingModel(100).rows(table)
+            r1000 = ScalingModel(1000).rows(table)
+            assert r1000 < 10 * r100, table
+            assert r1000 >= r100, table
+
+    def test_fixed_tables_constant(self):
+        for table in ("date_dim", "time_dim", "customer_demographics",
+                      "income_band", "ship_mode"):
+            assert (
+                ScalingModel(100).rows(table)
+                == ScalingModel(100000).rows(table)
+            ), table
+
+    def test_unrealistic_tpch_ratios_avoided(self):
+        """The motivating complaint: at SF 100000, TPC-H models 15 billion
+        customers; TPC-DS keeps dimensions realistic (100M customers)."""
+        model = ScalingModel(100000)
+        assert model.rows("customer") == 100 * _M  # not billions
+        assert model.rows("item") == 500 * _K
+
+    def test_interpolated_sf300_between_anchors(self):
+        r = ScalingModel(300).rows("customer")
+        assert ScalingModel(100).rows("customer") < r < ScalingModel(1000).rows("customer")
+
+    def test_all_tables_have_anchors(self):
+        from repro.schema import ALL_TABLES
+
+        assert set(ROW_COUNT_ANCHORS) == set(ALL_TABLES)
+
+    @given(st.floats(min_value=0.001, max_value=100000, allow_nan=False))
+    def test_rows_positive_and_finite(self, sf):
+        model = ScalingModel(sf)
+        for table in ROW_COUNT_ANCHORS:
+            assert model.rows(table) >= 1
+
+    @given(st.floats(min_value=0.01, max_value=50000), st.floats(min_value=1.1, max_value=3))
+    def test_monotone_in_scale_factor(self, sf, factor):
+        smaller = ScalingModel(sf)
+        bigger = ScalingModel(sf * factor)
+        for table in ("store_sales", "customer", "item", "web_sales"):
+            assert bigger.rows(table) >= smaller.rows(table)
+
+
+class TestStrictMode:
+    def test_official_scale_factors(self):
+        assert OFFICIAL_SCALE_FACTORS == (100, 300, 1000, 3000, 10000, 30000, 100000)
+
+    @pytest.mark.parametrize("sf", OFFICIAL_SCALE_FACTORS)
+    def test_strict_accepts_official(self, sf):
+        ScalingModel(sf, strict=True)
+
+    @pytest.mark.parametrize("sf", [1, 50, 200, 0.01, 99999])
+    def test_strict_rejects_others(self, sf):
+        with pytest.raises(ScaleFactorError):
+            ScalingModel(sf, strict=True)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ScaleFactorError):
+            ScalingModel(0)
+        with pytest.raises(ScaleFactorError):
+            ScalingModel(-5)
+
+    def test_model_scale_flag(self):
+        assert ScalingModel(0.01).is_model_scale
+        assert not ScalingModel(100).is_model_scale
+
+
+class TestFigure12:
+    """Minimum Required Query Streams."""
+
+    @pytest.mark.parametrize("sf,streams", [
+        (100, 3), (300, 5), (1000, 7), (3000, 9),
+        (10000, 11), (30000, 13), (100000, 15),
+    ])
+    def test_table_verbatim(self, sf, streams):
+        assert minimum_streams(sf) == streams
+
+    def test_model_scale_uses_smallest(self):
+        assert minimum_streams(0.01) == 3
+
+    def test_between_points_uses_lower(self):
+        assert minimum_streams(500) == 5
+        assert minimum_streams(2000) == 7
+
+    @given(st.floats(min_value=1, max_value=200000))
+    def test_monotone(self, sf):
+        assert minimum_streams(sf * 1.5) >= minimum_streams(sf)

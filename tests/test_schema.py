@@ -1,0 +1,167 @@
+"""Schema tests — the structure behind Table 1 and Figure 1."""
+
+import pytest
+
+from repro.schema import (
+    AD_HOC_TABLES,
+    ALL_TABLES,
+    DIMENSION_TABLES,
+    FACT_TABLES,
+    HISTORY_DIMENSIONS,
+    NONHISTORY_DIMENSIONS,
+    PAPER_TABLE_1,
+    REPORTING_TABLES,
+    SALES_RETURNS_LINKS,
+    STATIC_DIMENSIONS,
+    schema_statistics,
+    snowflake_graph,
+)
+
+
+class TestTable1:
+    """Table 1: Schema Statistics."""
+
+    def test_fact_table_count(self):
+        assert len(FACT_TABLES) == PAPER_TABLE_1.fact_tables == 7
+
+    def test_dimension_table_count(self):
+        assert len(DIMENSION_TABLES) == PAPER_TABLE_1.dimension_tables == 17
+
+    def test_24_tables_total(self):
+        assert len(ALL_TABLES) == 24
+
+    def test_column_min(self):
+        stats = schema_statistics()
+        assert stats.columns_min == PAPER_TABLE_1.columns_min == 3
+
+    def test_column_max(self):
+        stats = schema_statistics()
+        assert stats.columns_max == PAPER_TABLE_1.columns_max == 34
+
+    def test_column_avg_close_to_18(self):
+        stats = schema_statistics()
+        assert stats.columns_avg == pytest.approx(18, abs=0.5)
+
+    def test_foreign_key_count(self):
+        assert schema_statistics().foreign_keys == PAPER_TABLE_1.foreign_keys == 104
+
+    def test_min_columns_is_income_band_and_reason(self):
+        three_col = [t.name for t in ALL_TABLES.values() if len(t.columns) == 3]
+        assert "income_band" in three_col
+
+    def test_max_columns_are_the_big_sales_facts(self):
+        widest = [t.name for t in ALL_TABLES.values() if len(t.columns) == 34]
+        assert set(widest) == {"catalog_sales", "web_sales"}
+
+
+class TestStructure:
+    def test_every_fact_references_date_dim(self):
+        for name, schema in FACT_TABLES.items():
+            assert any(ref == "date_dim" for _, ref in schema.foreign_keys), name
+
+    def test_every_dimension_has_single_pk(self):
+        for name, schema in DIMENSION_TABLES.items():
+            assert len(schema.primary_key) == 1, name
+
+    def test_fact_tables_have_no_pk(self):
+        for name, schema in FACT_TABLES.items():
+            assert schema.primary_key == [], name
+
+    def test_fk_targets_exist(self):
+        for schema in ALL_TABLES.values():
+            for column, target in schema.foreign_keys:
+                assert target in ALL_TABLES, (schema.name, column, target)
+
+    def test_store_sales_double_address_role(self):
+        """§2.2: customer_address is referenced both from the fact table
+        and from the customer dimension (the circular relationship)."""
+        ss_targets = dict(FACT_TABLES["store_sales"].foreign_keys)
+        assert ss_targets["ss_addr_sk"] == "customer_address"
+        c_targets = dict(DIMENSION_TABLES["customer"].foreign_keys)
+        assert c_targets["c_current_addr_sk"] == "customer_address"
+
+    def test_demographics_snowflake_chain(self):
+        """household_demographics -> income_band normalization (§2.2)."""
+        hd = dict(DIMENSION_TABLES["household_demographics"].foreign_keys)
+        assert hd["hd_income_band_sk"] == "income_band"
+
+    def test_sales_returns_links(self):
+        for sales, (returns, order_link, item_link) in SALES_RETURNS_LINKS.items():
+            assert ALL_TABLES[sales].has_column(order_link[0])
+            assert ALL_TABLES[returns].has_column(order_link[1])
+            assert ALL_TABLES[sales].has_column(item_link[0])
+            assert ALL_TABLES[returns].has_column(item_link[1])
+
+    def test_reason_only_on_returns(self):
+        """§2.2: the reason dimension is added only to return facts."""
+        assert any(ref == "reason" for _, ref in FACT_TABLES["store_returns"].foreign_keys)
+        assert not any(ref == "reason" for _, ref in FACT_TABLES["store_sales"].foreign_keys)
+
+    def test_business_keys_on_maintainable_dims(self):
+        for name in HISTORY_DIMENSIONS:
+            schema = ALL_TABLES[name]
+            assert any(c.business_key for c in schema.columns), name
+
+    def test_column_names_globally_unique(self):
+        seen = {}
+        for schema in ALL_TABLES.values():
+            for column in schema.columns:
+                assert column.name not in seen, (column.name, schema.name, seen.get(column.name))
+                seen[column.name] = schema.name
+
+
+class TestChannelPartition:
+    def test_catalog_channel_is_reporting(self):
+        assert "catalog_sales" in REPORTING_TABLES
+        assert "catalog_returns" in REPORTING_TABLES
+
+    def test_store_and_web_are_adhoc(self):
+        assert {"store_sales", "web_sales"} <= AD_HOC_TABLES
+
+    def test_partition_disjoint(self):
+        assert not (REPORTING_TABLES & AD_HOC_TABLES)
+
+
+class TestScdClassification:
+    def test_static_dimensions(self):
+        assert {"date_dim", "time_dim", "reason"} <= STATIC_DIMENSIONS
+
+    def test_history_dimensions_have_rec_dates(self):
+        for name in HISTORY_DIMENSIONS:
+            columns = ALL_TABLES[name].column_names
+            assert any("rec_start_date" in c for c in columns), name
+            assert any("rec_end_date" in c for c in columns), name
+
+    def test_classification_partitions_dimensions(self):
+        union = STATIC_DIMENSIONS | HISTORY_DIMENSIONS | NONHISTORY_DIMENSIONS
+        assert union == set(DIMENSION_TABLES)
+        assert not (STATIC_DIMENSIONS & HISTORY_DIMENSIONS)
+        assert not (STATIC_DIMENSIONS & NONHISTORY_DIMENSIONS)
+        assert not (HISTORY_DIMENSIONS & NONHISTORY_DIMENSIONS)
+
+
+class TestSnowflakeGraph:
+    """Figure 1: the store-sales snowflake, as graph structure."""
+
+    def test_graph_shape(self):
+        graph = snowflake_graph()
+        assert graph.number_of_nodes() == 24
+        assert graph.number_of_edges() > 0
+
+    def test_store_sales_neighborhood(self):
+        graph = snowflake_graph()
+        targets = set(graph.successors("store_sales"))
+        assert {"date_dim", "time_dim", "item", "customer", "customer_address",
+                "customer_demographics", "household_demographics", "store",
+                "promotion"} <= targets
+
+    def test_snowflake_depth_two(self):
+        """customer -> customer_address etc. make it a snowflake, not a star."""
+        graph = snowflake_graph()
+        assert graph.has_edge("customer", "customer_address")
+        assert graph.has_edge("household_demographics", "income_band")
+
+    def test_fact_nodes_marked(self):
+        graph = snowflake_graph()
+        assert graph.nodes["store_sales"]["kind"] == "fact"
+        assert graph.nodes["item"]["kind"] == "dimension"

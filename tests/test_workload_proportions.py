@@ -1,0 +1,64 @@
+"""Cross-cutting proportions the paper states about the workload and
+data set, checked against the scaling model and the generated data."""
+
+import pytest
+
+from repro.dsdgen import ScalingModel
+from repro.qgen import build_catalog
+from repro.schema import REPORTING_TABLES
+
+
+class TestChannelProportions:
+    def test_catalog_channel_about_quarter_of_sales_data(self):
+        """§5.3: the catalog channel 'represents 25% of the data set'."""
+        model = ScalingModel(100)
+        sales_rows = {
+            "store": model.rows("store_sales") + model.rows("store_returns"),
+            "catalog": model.rows("catalog_sales") + model.rows("catalog_returns"),
+            "web": model.rows("web_sales") + model.rows("web_returns"),
+        }
+        total = sum(sales_rows.values())
+        catalog_share = sales_rows["catalog"] / total
+        assert catalog_share == pytest.approx(0.25, abs=0.05)
+
+    def test_store_channel_dominates(self):
+        model = ScalingModel(100)
+        assert model.rows("store_sales") > model.rows("catalog_sales") > model.rows("web_sales")
+
+    def test_returns_are_about_five_to_ten_percent(self):
+        model = ScalingModel(100)
+        for channel in ("store", "catalog", "web"):
+            ratio = model.rows(f"{channel}_returns") / model.rows(f"{channel}_sales")
+            assert 0.03 < ratio < 0.12, channel
+
+
+class TestWorkloadProportions:
+    templates = build_catalog()
+
+    def test_reporting_part_is_minority(self):
+        """Most queries are ad-hoc; the reporting (catalog-only) part is
+        the smaller share, matching the 25% data share."""
+        reporting = [t for t in self.templates if t.channel_part == "reporting"]
+        assert 0.15 <= len(reporting) / 99 <= 0.45
+
+    def test_each_channel_has_dedicated_queries(self):
+        by_channel = {"store_sales": 0, "catalog_sales": 0, "web_sales": 0}
+        for t in self.templates:
+            for table in by_channel:
+                if table in t.referenced_tables():
+                    by_channel[table] += 1
+        assert all(count >= 15 for count in by_channel.values()), by_channel
+
+    def test_substituted_templates_majority(self):
+        """'Template-based queries ... substituting SQL fragments and
+        scalar constants' — a substantial share of the workload must be
+        parameterized."""
+        with_subs = [t for t in self.templates if t.substitutions]
+        assert len(with_subs) >= 30
+
+    def test_every_query_class_represented_in_both_parts(self):
+        adhoc_classes = {t.query_class for t in self.templates if t.channel_part == "ad_hoc"}
+        reporting_classes = {t.query_class for t in self.templates if t.channel_part == "reporting"}
+        assert "data_mining" in adhoc_classes
+        assert "iterative" in adhoc_classes
+        assert {"ad_hoc", "data_mining", "iterative"} & reporting_classes
