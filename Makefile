@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test determinism bench qualification
+
+## tier-1 suite + parallel-generation determinism smoke
+check: test determinism
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## serial vs 4-worker generation must be byte-identical (sf 0.001)
+determinism:
+	$(PYTHON) -m pytest tests/test_parallel_dsdgen.py -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+## regenerate the pinned qualification answer set (after intentional
+## behavioral changes only)
+qualification:
+	$(PYTHON) -m repro.qgen.qualification

@@ -22,13 +22,50 @@ from .schema import PAPER_TABLE_1, schema_statistics
 
 
 def _cmd_dsdgen(args: argparse.Namespace) -> int:
-    generator = DsdGen(args.scale, seed=args.seed, strict=args.strict)
-    data = generator.generate()
-    sizes = data.write_flat_files(args.output)
+    import time
+
+    generator = DsdGen(
+        args.scale, seed=args.seed, strict=args.strict, workers=args.parallel
+    )
+    start = time.perf_counter()
+    if args.chunk is not None:
+        n_chunks = args.parallel or 1
+        try:
+            data = generator.generate_chunk(args.chunk, n_chunks)
+        except ValueError as exc:
+            print(f"dsdgen: {exc}", file=sys.stderr)
+            return 2
+        suffix = f"_{args.chunk}_{n_chunks}" if n_chunks > 1 else ""
+    else:
+        data = generator.generate()
+        suffix = ""
+    gen_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    sizes = data.write_flat_files(args.output, suffix=suffix)
+    write_elapsed = time.perf_counter() - start
     total = sum(sizes.values())
+    total_rows = sum(data.row_counts.values())
     for name in sorted(sizes):
         print(f"{name:24s} {data.row_counts[name]:>12,} rows  {sizes[name]:>14,} bytes")
-    print(f"{'total':24s} {sum(data.row_counts.values()):>12,} rows  {total:>14,} bytes")
+    print(f"{'total':24s} {total_rows:>12,} rows  {total:>14,} bytes")
+    if args.profile:
+        print()
+        print(f"{'-- profile':24s} {'generate (ms)':>14s}")
+        for name, elapsed in sorted(data.timings.items(), key=lambda kv: -kv[1]):
+            print(f"{name:24s} {elapsed * 1000.0:>14.1f}")
+        from .dsdgen import load_tables
+        from .engine import Database
+
+        start = time.perf_counter()
+        load_tables(Database(), data)
+        load_elapsed = time.perf_counter() - start
+        print()
+        print(f"{'generate':24s} {gen_elapsed:>10.3f} s  "
+              f"{total_rows / max(gen_elapsed, 1e-9):>14,.0f} rows/s")
+        print(f"{'write flat files':24s} {write_elapsed:>10.3f} s  "
+              f"{total_rows / max(write_elapsed, 1e-9):>14,.0f} rows/s")
+        print(f"{'load into engine':24s} {load_elapsed:>10.3f} s  "
+              f"{total_rows / max(load_elapsed, 1e-9):>14,.0f} rows/s")
     return 0
 
 
@@ -106,6 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=19620718)
     p.add_argument("--strict", action="store_true")
     p.add_argument("--output", default="tpcds_data")
+    p.add_argument("--parallel", type=int, default=None, metavar="N",
+                   help="generate with an N-process pool (byte-identical"
+                        " to serial output)")
+    p.add_argument("--chunk", type=int, default=None, metavar="I",
+                   help="generate only chunk I of --parallel chunks"
+                        " (1-based, like the kit's -child); chunk 1"
+                        " carries the dimension tables")
+    p.add_argument("--profile", action="store_true",
+                   help="print per-table generation timings and"
+                        " generate/write/load rows-per-second")
     p.set_defaults(func=_cmd_dsdgen)
 
     p = sub.add_parser("dsqgen", help="generate queries")

@@ -1,0 +1,136 @@
+"""Column-major generated tables.
+
+The vectorized generators produce whole columns (numpy arrays plus a
+null mask) instead of Python row tuples.  A :class:`ColumnarTable`
+carries those columns in schema order, concatenates across parallel
+chunks, converts to runtime :class:`~repro.engine.vector.Vector`
+columns for the fast load path, and materializes row tuples only when
+row-oriented consumers (tests, the flat-file round-trip reader) ask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..engine.types import Kind, TableSchema
+from ..engine.vector import _FILL, _NUMPY_DTYPE, Vector
+
+#: numpy dtypes a generated column may arrive in, per schema kind
+_KIND_DTYPE = {
+    Kind.INT: np.int64,
+    Kind.DATE: np.int64,
+    Kind.FLOAT: np.float64,
+    Kind.BOOL: bool,
+    Kind.STR: object,
+}
+
+
+@dataclass
+class ColumnarTable:
+    """One generated table held column-major.
+
+    ``columns`` maps column name (schema order) to a data array;
+    ``nulls`` holds an optional boolean mask per column (absent means
+    no NULLs).  Null slots in the data array hold the engine's
+    deterministic fill value so downstream numpy ops never see None.
+    """
+
+    schema: TableSchema
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+    nulls: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_rows(self) -> int:
+        first = next(iter(self.columns.values()), None)
+        return 0 if first is None else len(first)
+
+    def set(self, name: str, data: np.ndarray, null: Optional[np.ndarray] = None) -> None:
+        kind = self.schema.column(name).kind
+        data = np.asarray(data)
+        if data.dtype != _KIND_DTYPE[kind]:
+            data = data.astype(_KIND_DTYPE[kind])
+        if null is not None and null.any():
+            data = data.copy()
+            data[null] = _FILL[kind]
+            self.nulls[name] = null
+        self.columns[name] = data
+
+    def finish(self) -> "ColumnarTable":
+        """Validate completeness and rectangularity after generation."""
+        missing = [c.name for c in self.schema.columns if c.name not in self.columns]
+        if missing:
+            raise ValueError(f"{self.schema.name}: missing columns {missing}")
+        lengths = {len(v) for v in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"{self.schema.name}: ragged columns {lengths}")
+        return self
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_vectors(self) -> dict[str, Vector]:
+        """Engine vectors for the columnar load fast path (zero-copy for
+        the data arrays; null masks are materialized where absent)."""
+        out: dict[str, Vector] = {}
+        n = self.num_rows
+        for col in self.schema.columns:
+            data = self.columns[col.name]
+            null = self.nulls.get(col.name)
+            if null is None:
+                null = np.zeros(n, dtype=bool)
+            if data.dtype != _NUMPY_DTYPE[col.kind]:
+                data = data.astype(_NUMPY_DTYPE[col.kind])
+            out[col.name] = Vector(col.kind, data, null)
+        return out
+
+    def to_rows(self) -> list[tuple]:
+        """Materialize Python row tuples (``None`` for NULL slots)."""
+        cols = []
+        for col in self.schema.columns:
+            values = self.columns[col.name].tolist()
+            null = self.nulls.get(col.name)
+            if null is not None and null.any():
+                for i in np.flatnonzero(null):
+                    values[i] = None
+            cols.append(values)
+        return list(zip(*cols)) if cols else []
+
+    @staticmethod
+    def concat(parts: Sequence["ColumnarTable"]) -> "ColumnarTable":
+        """Concatenate chunk outputs in order (the parallel contract:
+        chunks concatenate to the identical serial result)."""
+        if not parts:
+            raise ValueError("cannot concat zero chunks")
+        schema = parts[0].schema
+        out = ColumnarTable(schema)
+        for col in schema.columns:
+            name = col.name
+            out.columns[name] = np.concatenate([p.columns[name] for p in parts])
+            if any(name in p.nulls for p in parts):
+                out.nulls[name] = np.concatenate(
+                    [
+                        p.nulls.get(name, np.zeros(p.num_rows, dtype=bool))
+                        for p in parts
+                    ]
+                )
+        return out
+
+    @staticmethod
+    def from_rows(schema: TableSchema, rows: Sequence[Sequence]) -> "ColumnarTable":
+        """Columnarize row tuples (used when a scalar generator's output
+        joins the columnar pipeline)."""
+        out = ColumnarTable(schema)
+        n = len(rows)
+        for idx, col in enumerate(schema.columns):
+            values = [r[idx] for r in rows]
+            null = np.fromiter((v is None for v in values), dtype=bool, count=n)
+            if null.any():
+                fill = _FILL[col.kind]
+                values = [fill if v is None else v for v in values]
+                out.columns[col.name] = np.asarray(values, dtype=_KIND_DTYPE[col.kind])
+                out.nulls[col.name] = null
+            else:
+                out.columns[col.name] = np.asarray(values, dtype=_KIND_DTYPE[col.kind])
+        return out

@@ -11,11 +11,13 @@ from __future__ import annotations
 import datetime as _dt
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..engine.types import date_to_epoch_days
 from .distributions import SalesDateDistribution
 from .hierarchies import ItemHierarchy
-from .rng import RandomStream, RandomStreamFactory
-from .scaling import ScalingModel
+from .rng import RandomStream, RandomStreamFactory, ints_from_raw, uniforms_from_raw
+from .scaling import ROW_COUNT_ANCHORS, ScalingModel
 
 #: dsdgen's traditional julian-style base for date surrogate keys
 DATE_SK_BASE = 2_415_022
@@ -84,6 +86,17 @@ class GeneratorContext:
     def register_keys(self, table: str, count: int) -> None:
         self.key_pools[table] = count
 
+    def ensure_key_pools(self) -> None:
+        """Fill every surrogate-key pool from the scaling model.
+
+        Every dimension generator registers exactly its scaled row count
+        as its key pool, so a parallel worker (or a fact generator run
+        standalone) can predict all pools without generating the
+        dimensions first.  ``test_parallel_dsdgen`` pins this invariant.
+        """
+        for table in ROW_COUNT_ANCHORS:
+            self.key_pools.setdefault(table, self.scaling.rows(table))
+
     def sample_fk(self, table: str, rng: RandomStream, null_fraction: float = 0.0):
         """A uniform surrogate key into ``table``, occasionally NULL."""
         size = self.key_pools.get(table)
@@ -123,6 +136,48 @@ class GeneratorContext:
 
     def sales_date_sk(self, rng: RandomStream) -> int:
         return self.calendar.sk_at(self.sample_sales_date_offset(rng))
+
+    def sales_date_sks_from_raw(
+        self, raw_year: np.ndarray, raw_week: np.ndarray, raw_day: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`sales_date_sk` over pre-drawn raw columns.
+
+        Consumes the same three draws per date (year, zoned week, day in
+        week) so scalar and batch generation agree draw-for-draw.
+        """
+        years = self.calendar.sales_years
+        year_idx = ints_from_raw(raw_year, 0, len(years) - 1)
+        week = self.sales_dates.sample_week_from_raw(raw_week)
+        day_in_week = ints_from_raw(raw_day, 0, 6)
+        day_of_year = np.minimum((week - 1) * 7 + day_in_week, 364)
+        year_start = np.array(
+            [self.calendar.offset_of(_dt.date(y, 1, 1)) for y in years],
+            dtype=np.int64,
+        )
+        offsets = np.minimum(
+            year_start[year_idx] + day_of_year, self.calendar.num_days - 1
+        )
+        return offsets + DATE_SK_BASE
+
+    def clamp_date_sk_batch(self, sks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`clamp_date_sk`."""
+        return np.minimum(sks, self.calendar.sk_at(self.calendar.num_days - 1))
+
+    def fk_from_raw(
+        self, table: str, raw_null: np.ndarray | None, raw_value: np.ndarray,
+        null_fraction: float = 0.0,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Vectorized :meth:`sample_fk` over pre-drawn raw columns;
+        returns ``(keys, null_mask_or_None)``."""
+        size = self.key_pools.get(table)
+        n = len(raw_value)
+        if not size:
+            return np.zeros(n, dtype=np.int64), np.ones(n, dtype=bool)
+        keys = ints_from_raw(raw_value, 1, size)
+        if null_fraction > 0 and raw_null is not None:
+            null = uniforms_from_raw(raw_null) < null_fraction
+            return keys, null
+        return keys, None
 
     def business_key(self, prefix: str, entity: int) -> str:
         """A 16-character business key, dsdgen style."""

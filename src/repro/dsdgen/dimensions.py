@@ -14,8 +14,12 @@ from __future__ import annotations
 import datetime as _dt
 from typing import Iterable, Optional
 
+import numpy as np
+
 from ..engine.types import date_to_epoch_days
+from ..schema import ALL_TABLES
 from . import distributions as D
+from .columnar import ColumnarTable
 from .context import GeneratorContext
 from .rng import RandomStream
 
@@ -272,59 +276,92 @@ def _address_fields(ctx: GeneratorContext, rng: RandomStream, counties: list[str
             state, zip_code, country, gmt)
 
 
-def gen_customer_address(ctx: GeneratorContext) -> list[tuple]:
-    """Customer addresses with the scaled county domain (3.1)."""
+def _business_keys(prefix: str, entities: "np.ndarray") -> "np.ndarray":
+    """Vectorized :meth:`GeneratorContext.business_key`."""
+    fmt = f"{prefix}%0{16 - len(prefix)}d"
+    return np.char.mod(fmt, entities).astype(object)
+
+
+def gen_customer_address(ctx: GeneratorContext) -> ColumnarTable:
+    """Customer addresses with the scaled county domain (3.1).
+
+    Vectorized column-major: each field draws one batch for the whole
+    table, in the field order of the old per-row loop (a different —
+    but still fully deterministic — stream schedule)."""
     n = ctx.rows("customer_address")
     rng = ctx.stream("customer_address", "fields")
     counties = D.county_domain(max(10, min(1800, n // 50)))
-    rows = []
-    for i in range(n):
-        fields = _address_fields(ctx, rng, counties)
-        rows.append((
-            i + 1,
-            ctx.business_key("AAAA", i + 1),
-            *fields,
-            rng.choice(["apartment", "condo", "single family"]),
-        ))
+    out = ColumnarTable(ALL_TABLES["customer_address"])
+    sks = np.arange(1, n + 1, dtype=np.int64)
+    out.set("ca_address_sk", sks)
+    out.set("ca_address_id", _business_keys("AAAA", sks))
+    out.set("ca_street_number", np.char.mod("%d", rng.uniform_int_batch(1, 999, n)).astype(object))
+    name_a = rng.choice_batch(D.STREET_NAMES, n).astype(str)
+    name_b = rng.choice_batch(D.STREET_NAMES, n).astype(str)
+    out.set("ca_street_name", np.char.add(np.char.add(name_a, " "), name_b).astype(object))
+    out.set("ca_street_type", rng.choice_batch(D.STREET_TYPES, n))
+    out.set("ca_suite_number", np.char.mod("Suite %d", rng.uniform_int_batch(0, 99, n) * 10).astype(object))
+    out.set("ca_city", rng.choice_batch(D.CITIES, n))
+    out.set("ca_county", rng.choice_batch(counties, n))
+    state_values, state_cum = D.cumulative_weights(D.STATES)
+    out.set("ca_state", np.asarray(state_values, dtype=object)[rng.weighted_index_batch(state_cum, n)])
+    out.set("ca_zip", np.char.mod("%05d", rng.uniform_int_batch(10000, 99999, n)).astype(object))
+    out.set("ca_country", np.full(n, D.COUNTRIES[0], dtype=object))
+    out.set("ca_gmt_offset", rng.uniform_int_batch(-8, -5, n).astype(np.float64))
+    out.set("ca_location_type", rng.choice_batch(["apartment", "condo", "single family"], n))
     ctx.register_keys("customer_address", n)
-    return rows
+    return out.finish()
 
 
-def gen_customer(ctx: GeneratorContext) -> list[tuple]:
-    """Customers with frequency-weighted real names (3.2)."""
+def gen_customer(ctx: GeneratorContext) -> ColumnarTable:
+    """Customers with frequency-weighted real names (3.2).
+
+    Vectorized column-major like :func:`gen_customer_address`."""
     n = ctx.rows("customer")
     rng = ctx.stream("customer", "fields")
     first_names, first_cum = D.cumulative_weights(D.FIRST_NAMES)
     last_names, last_cum = D.cumulative_weights(D.LAST_NAMES)
     date_pool = ctx.key_pools["date_dim"]
-    rows = []
-    for i in range(n):
-        first = first_names[rng.weighted_index(first_cum)]
-        last = last_names[rng.weighted_index(last_cum)]
-        birth_year = rng.uniform_int(1924, 1992)
-        first_sales = ctx.calendar.sk_at(rng.uniform_int(0, date_pool - 1))
-        rows.append((
-            i + 1,
-            ctx.business_key("AAAA", i + 1),
-            ctx.sample_fk("customer_demographics", rng, 0.02),
-            ctx.sample_fk("household_demographics", rng, 0.02),
-            ctx.sample_fk("customer_address", rng, 0.02),
-            ctx.clamp_date_sk(first_sales + rng.uniform_int(0, 30)),
-            first_sales,
-            rng.maybe_null(_weighted(rng, D.SALUTATIONS), 0.01),
-            rng.maybe_null(first, 0.01),
-            rng.maybe_null(last, 0.01),
-            _flag(rng, 0.5),
-            rng.uniform_int(1, 28),
-            rng.uniform_int(1, 12),
-            birth_year,
-            D.COUNTRIES[0],
-            None,
-            f"{first}.{last}.{i + 1}@example.com"[:50],
-            ctx.calendar.sk_at(rng.uniform_int(0, date_pool - 1)),
-        ))
+    out = ColumnarTable(ALL_TABLES["customer"])
+    sks = np.arange(1, n + 1, dtype=np.int64)
+    first = np.asarray(first_names, dtype=object)[rng.weighted_index_batch(first_cum, n)]
+    last = np.asarray(last_names, dtype=object)[rng.weighted_index_batch(last_cum, n)]
+    birth_year = rng.uniform_int_batch(1924, 1992, n)
+    first_sales = ctx.calendar.sk_at(0) + rng.uniform_int_batch(0, date_pool - 1, n)
+    out.set("c_customer_sk", sks)
+    out.set("c_customer_id", _business_keys("AAAA", sks))
+    for column, pool in (
+        ("c_current_cdemo_sk", "customer_demographics"),
+        ("c_current_hdemo_sk", "household_demographics"),
+        ("c_current_addr_sk", "customer_address"),
+    ):
+        null = rng.uniform_batch(n) < 0.02
+        keys = rng.uniform_int_batch(1, max(ctx.key_pools.get(pool, 1), 1), n)
+        out.set(column, keys, null)
+    out.set(
+        "c_first_shipto_date_sk",
+        ctx.clamp_date_sk_batch(first_sales + rng.uniform_int_batch(0, 30, n)),
+    )
+    out.set("c_first_sales_date_sk", first_sales)
+    sal_values, sal_cum = D.cumulative_weights(D.SALUTATIONS)
+    salutation = np.asarray(sal_values, dtype=object)[rng.weighted_index_batch(sal_cum, n)]
+    out.set("c_salutation", salutation, rng.uniform_batch(n) < 0.01)
+    out.set("c_first_name", first, rng.uniform_batch(n) < 0.01)
+    out.set("c_last_name", last, rng.uniform_batch(n) < 0.01)
+    out.set("c_preferred_cust_flag", np.where(rng.uniform_batch(n) < 0.5, "Y", "N").astype(object))
+    out.set("c_birth_day", rng.uniform_int_batch(1, 28, n))
+    out.set("c_birth_month", rng.uniform_int_batch(1, 12, n))
+    out.set("c_birth_year", birth_year)
+    out.set("c_birth_country", np.full(n, D.COUNTRIES[0], dtype=object))
+    out.set("c_login", np.full(n, "", dtype=object), np.ones(n, dtype=bool))
+    email = np.char.add(
+        np.char.add(np.char.add(first.astype(str), "."), np.char.add(last.astype(str), ".")),
+        np.char.add(np.char.mod("%d", sks), "@example.com"),
+    )
+    out.set("c_email_address", np.asarray([e[:50] for e in email], dtype=object))
+    out.set("c_last_review_date_sk", ctx.calendar.sk_at(0) + rng.uniform_int_batch(0, date_pool - 1, n))
     ctx.register_keys("customer", n)
-    return rows
+    return out.finish()
 
 
 # ---------------------------------------------------------------------------
@@ -333,41 +370,53 @@ def gen_customer(ctx: GeneratorContext) -> list[tuple]:
 
 
 def gen_item(ctx: GeneratorContext) -> list[tuple]:
-    """Item dimension: hierarchy assignment + type-2 SCD history."""
+    """Item dimension: hierarchy assignment + type-2 SCD history.
+
+    The SCD plan stays scalar; the per-row attribute draws are batched
+    column-major (one numpy batch per column, in the old per-row field
+    order)."""
     n = ctx.rows("item")
     rng = ctx.stream("item", "fields")
-    rows = []
-    sk = 0
-    for entity, rev, revisions, start, end in scd_plan(ctx, "item", n):
-        sk += 1
-        brand = ctx.hierarchy.sample_brand(rng)
-        wholesale = round(rng.uniform() * 99 + 1, 2)
-        current_price = round(wholesale * (1.0 + rng.uniform() * 1.5), 2)
-        rows.append((
-            sk,
-            ctx.business_key("AAAA", entity),
-            start,
-            end,
-            D.gaussian_words(rng, rng.uniform_int(5, 15)),
-            current_price,
-            wholesale,
-            brand.brand_id,
-            brand.name,
-            brand.class_id,
-            brand.class_name,
-            brand.category_id,
-            brand.category_name,
-            rng.uniform_int(1, 1000),
-            D.gaussian_words(rng, 1),
-            rng.choice(D.SIZES),
-            D.gaussian_words(rng, 2),
-            rng.choice(D.COLORS),
-            rng.choice(D.UNITS),
-            rng.choice(D.CONTAINERS),
-            rng.uniform_int(1, 100),
-            D.gaussian_words(rng, rng.uniform_int(2, 4)),
-        ))
-    ctx.register_keys("item", sk)
+    plan = list(scd_plan(ctx, "item", n))
+    m = len(plan)
+    brands = [ctx.hierarchy.sample_brand(rng) for _ in range(m)]
+    wholesale = np.round(rng.uniform_batch(m) * 99 + 1, 2)
+    current_price = np.round(wholesale * (1.0 + rng.uniform_batch(m) * 1.5), 2)
+    desc = D.gaussian_words_batch(rng, rng.uniform_int_batch(5, 15, m))
+    manufact = rng.uniform_int_batch(1, 1000, m)
+    formulation = D.gaussian_words_batch(rng, np.ones(m, dtype=np.int64))
+    sizes = rng.choice_batch(D.SIZES, m)
+    containers_desc = D.gaussian_words_batch(rng, np.full(m, 2, dtype=np.int64))
+    colors = rng.choice_batch(D.COLORS, m)
+    units = rng.choice_batch(D.UNITS, m)
+    containers = rng.choice_batch(D.CONTAINERS, m)
+    manager = rng.uniform_int_batch(1, 100, m)
+    product_name = D.gaussian_words_batch(rng, rng.uniform_int_batch(2, 4, m))
+    rows = list(zip(
+        range(1, m + 1),
+        [ctx.business_key("AAAA", entity) for entity, *_ in plan],
+        [start for *_, start, _end in plan],
+        [end for *_, end in plan],
+        desc.tolist(),
+        current_price.tolist(),
+        wholesale.tolist(),
+        [b.brand_id for b in brands],
+        [b.name for b in brands],
+        [b.class_id for b in brands],
+        [b.class_name for b in brands],
+        [b.category_id for b in brands],
+        [b.category_name for b in brands],
+        manufact.tolist(),
+        formulation.tolist(),
+        sizes.tolist(),
+        containers_desc.tolist(),
+        colors.tolist(),
+        units.tolist(),
+        containers.tolist(),
+        manager.tolist(),
+        product_name.tolist(),
+    ))
+    ctx.register_keys("item", m)
     return rows
 
 
@@ -543,19 +592,23 @@ def gen_catalog_page(ctx: GeneratorContext) -> list[tuple]:
     n = ctx.rows("catalog_page")
     rng = ctx.stream("catalog_page", "fields")
     pages_per_catalog = 100
-    rows = []
-    for i in range(n):
-        rows.append((
-            i + 1,
-            ctx.business_key("AAAA", i + 1),
-            ctx.random_date_sk(rng),
-            ctx.random_date_sk(rng),
-            "DEPARTMENT",
-            i // pages_per_catalog + 1,
-            i % pages_per_catalog + 1,
-            D.gaussian_words(rng, rng.uniform_int(4, 12)),
-            rng.choice(["bi-annual", "quarterly", "monthly"]),
-        ))
+    days = ctx.rows("date_dim")
+    base = ctx.calendar.sk_at(0)
+    start = base + rng.uniform_int_batch(0, days - 1, n)
+    end = base + rng.uniform_int_batch(0, days - 1, n)
+    desc = D.gaussian_words_batch(rng, rng.uniform_int_batch(4, 12, n))
+    ptype = rng.choice_batch(["bi-annual", "quarterly", "monthly"], n)
+    rows = list(zip(
+        range(1, n + 1),
+        [ctx.business_key("AAAA", i + 1) for i in range(n)],
+        start.tolist(),
+        end.tolist(),
+        ["DEPARTMENT"] * n,
+        [i // pages_per_catalog + 1 for i in range(n)],
+        [i % pages_per_catalog + 1 for i in range(n)],
+        desc.tolist(),
+        ptype.tolist(),
+    ))
     ctx.register_keys("catalog_page", n)
     return rows
 

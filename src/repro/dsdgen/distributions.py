@@ -24,8 +24,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
-from .rng import RandomStream
+import numpy as np
+
+from .rng import RandomStream, uniforms_from_raw
 
 # ---------------------------------------------------------------------------
 # Figure 2: census series and comparability zones
@@ -118,15 +121,21 @@ class SalesDateDistribution:
             )
         return weights
 
+    def weekly_cumulative(self) -> list[float]:
+        """Cached cumulative table over :meth:`weekly_weights` (the
+        distribution is static, so the hot samplers share one table)."""
+        return list(_weekly_cumulative())
+
     def sample_week(self, rng: RandomStream) -> int:
         """Draw a sales week 1..52 from the zoned distribution."""
-        weights = self.weekly_weights()
-        cumulative = []
-        acc = 0.0
-        for w in weights:
-            acc += w
-            cumulative.append(acc)
-        return rng.weighted_index(cumulative) + 1
+        return rng.weighted_index(_weekly_cumulative()) + 1
+
+    def sample_week_from_raw(self, raw: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sample_week` over pre-drawn raw outputs
+        (one draw per week, identical to the scalar binary search)."""
+        cum = np.asarray(_weekly_cumulative(), dtype=np.float64)
+        x = uniforms_from_raw(raw) * cum[-1]
+        return np.searchsorted(cum, x, side="right").astype(np.int64) + 1
 
     def uniformity_within_zone(self) -> bool:
         """Invariant: every week in a zone is equally likely."""
@@ -136,6 +145,16 @@ class SalesDateDistribution:
             if len(values) != 1:
                 return False
         return True
+
+
+@lru_cache(maxsize=1)
+def _weekly_cumulative() -> tuple[float, ...]:
+    acc = 0.0
+    cumulative = []
+    for w in SalesDateDistribution().weekly_weights():
+        acc += w
+        cumulative.append(acc)
+    return tuple(cumulative)
 
 
 def gaussian_sales_pdf(x: float, mu: float = 200.0, sigma: float = 50.0) -> float:
@@ -321,14 +340,40 @@ def county_domain(size: int) -> list[str]:
     return full[: max(1, min(size, len(full)))]
 
 
+def gaussian_word_indices(rng: RandomStream, count: int, mu_index: float | None = None) -> np.ndarray:
+    """Vectorized Gaussian word-index selection: ``count`` indexes into
+    the word pool clustering around the mean (2 draws per word)."""
+    n = len(DESCRIPTION_WORDS)
+    mu = mu_index if mu_index is not None else n / 2
+    z = rng.gaussian_batch(count, mu, n / 6)
+    return np.clip(np.rint(z).astype(np.int64), 0, n - 1)
+
+
 def gaussian_words(rng: RandomStream, count: int, mu_index: float | None = None) -> str:
     """Gaussian word selection (§3.2: "word selections with a Gaussian
     distribution"): indexes into the word pool cluster around the mean."""
-    n = len(DESCRIPTION_WORDS)
-    mu = mu_index if mu_index is not None else n / 2
-    words = []
-    for _ in range(count):
-        idx = int(round(rng.gaussian(mu, n / 6)))
-        idx = min(max(idx, 0), n - 1)
-        words.append(DESCRIPTION_WORDS[idx])
-    return " ".join(words)
+    pool = _word_pool()
+    return " ".join(pool[gaussian_word_indices(rng, count, mu_index)])
+
+
+def gaussian_words_batch(
+    rng: RandomStream, counts: np.ndarray, mu_index: float | None = None
+) -> np.ndarray:
+    """One Gaussian word phrase per row — ``counts[i]`` words for row
+    ``i`` — drawn from a single batch (2 draws per word, row order), so
+    hot loops like the item description column cost one numpy kernel
+    instead of one small batch per row."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    words = _word_pool()[gaussian_word_indices(rng, total, mu_index)]
+    bounds = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    return np.asarray(
+        [" ".join(words[bounds[i] : bounds[i + 1]]) for i in range(len(counts))],
+        dtype=object,
+    )
+
+
+@lru_cache(maxsize=1)
+def _word_pool() -> np.ndarray:
+    return np.asarray(DESCRIPTION_WORDS, dtype=object)

@@ -1,0 +1,118 @@
+"""Multi-process generation (the kit's ``-parallel`` contract).
+
+Work is split into independent tasks: one per dimension table, and one
+per (channel, chunk) / inventory chunk for the facts.  Dimension tables
+parallelize trivially because every table draws from its own named
+random streams; fact chunks rely on the fixed-draws-per-unit stream
+discipline of :mod:`repro.dsdgen.facts` — a worker O(log n) jump-aheads
+each stream to its chunk offset and generates only its row range.
+
+Every worker rebuilds the :class:`GeneratorContext` from (scale, seed,
+strict) and fills the surrogate-key pools from the scaling model
+(``ensure_key_pools``), which every dimension generator provably agrees
+with, so no cross-worker coordination is needed.  The parent
+concatenates fact chunks in order; the result is byte-identical to
+serial generation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+
+from .columnar import ColumnarTable
+from .context import GeneratorContext
+from .dimensions import DIMENSION_ORDER
+from .facts import (
+    RETURNS_OF,
+    generate_channel_chunk,
+    generate_inventory_chunk,
+    plan_channel,
+)
+from .generator import FACT_CHANNELS, GeneratedData
+
+#: per-process state, set up once by the pool initializer
+_WORKER_CTX: GeneratorContext | None = None
+_PLAN_CACHE: dict = {}
+
+
+def _init_worker(scale_factor: float, seed: int, strict: bool) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = GeneratorContext(scale_factor, seed=seed, strict=strict)
+    _WORKER_CTX.ensure_key_pools()
+    _PLAN_CACHE.clear()
+
+
+def _run_task(task: tuple):
+    kind = task[0]
+    ctx = _WORKER_CTX
+    start = time.perf_counter()
+    if kind == "dimension":
+        name = task[1]
+        payload = dict(DIMENSION_ORDER)[name](ctx)
+    elif kind == "channel":
+        _, table, chunk, n_chunks = task
+        plan = _PLAN_CACHE.get(table)
+        if plan is None:
+            plan = _PLAN_CACHE[table] = plan_channel(ctx, table)
+        payload = generate_channel_chunk(ctx, table, chunk, n_chunks, plan=plan)
+    else:
+        _, chunk, n_chunks = task
+        payload = generate_inventory_chunk(ctx, chunk, n_chunks)
+    return task, payload, time.perf_counter() - start
+
+
+def generate_parallel(ctx: GeneratorContext, workers: int) -> GeneratedData:
+    """Generate with a pool of ``workers`` processes; byte-identical to
+    :meth:`DsdGen.generate` run serially."""
+    scaling = ctx.scaling
+    tasks: list[tuple] = []
+    # fact chunks first — they are the largest tasks, so scheduling them
+    # early keeps the pool busy while small dimensions trail
+    for table in FACT_CHANNELS:
+        for chunk in range(workers):
+            tasks.append(("channel", table, chunk, workers))
+    for chunk in range(workers):
+        tasks.append(("inventory", chunk, workers))
+    dims = sorted(DIMENSION_ORDER, key=lambda kv: -scaling.rows(kv[0]))
+    tasks.extend(("dimension", name) for name, _ in dims)
+
+    mp_ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else None)
+    with mp_ctx.Pool(
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(scaling.scale_factor, ctx.seed, scaling.strict),
+    ) as pool:
+        results = pool.map(_run_task, tasks, chunksize=1)
+
+    dim_payloads: dict[str, object] = {}
+    chunk_parts: dict[str, list] = {t: [None] * workers for t in FACT_CHANNELS}
+    return_parts: dict[str, list] = {t: [None] * workers for t in FACT_CHANNELS}
+    inventory_parts: list = [None] * workers
+    timings: dict[str, float] = {}
+    for task, payload, elapsed in results:
+        if task[0] == "dimension":
+            dim_payloads[task[1]] = payload
+            timings[task[1]] = elapsed
+        elif task[0] == "channel":
+            _, table, chunk, _n = task
+            sales, returns = payload
+            chunk_parts[table][chunk] = sales
+            return_parts[table][chunk] = returns
+            timings[table] = timings.get(table, 0.0) + elapsed
+        else:
+            _, chunk, _n = task
+            inventory_parts[chunk] = payload
+            timings["inventory"] = timings.get("inventory", 0.0) + elapsed
+
+    ctx.ensure_key_pools()
+    data = GeneratedData(ctx)
+    for name, _generator in DIMENSION_ORDER:
+        data.add(name, dim_payloads[name])
+    for table in FACT_CHANNELS:
+        data.add(table, ColumnarTable.concat(chunk_parts[table]))
+        data.add(RETURNS_OF[table], ColumnarTable.concat(return_parts[table]))
+        timings.setdefault(RETURNS_OF[table], 0.0)
+    data.add("inventory", ColumnarTable.concat(inventory_parts))
+    data.timings = timings
+    return data

@@ -10,17 +10,62 @@ SplitMix64-style mixer, giving independent, reproducible streams.
 Streams are cheap value types: creating ``RandomStreamFactory(seed)``
 and asking it for the ``("store_sales", "ss_quantity")`` stream always
 yields the same sequence, regardless of generation order.
+
+Two capabilities make the generator parallelizable (the kit's
+``-parallel``/``-child`` contract):
+
+* :meth:`RandomStream.jump` — an O(log n) jump-ahead.  An LCG step is
+  the affine map ``x -> A*x + C (mod 2**64)``; ``n`` steps compose to
+  ``x -> A**n * x + C*(A**n - 1)/(A - 1)``, which we evaluate by
+  square-and-multiply on ``(a, c)`` pairs, so a worker can position a
+  stream at any absolute offset without drawing the skipped values.
+
+* batch draws (:meth:`raw_batch`, :meth:`uniform_batch`, ...) — the
+  closed form ``s_k = A**k * s0 + C*G_k`` with ``G_k = 1 + A + ... +
+  A**(k-1)`` is evaluated with wrapping ``uint64`` numpy arithmetic
+  (``A**k`` via cumprod, ``G_k`` via cumsum), yielding the exact same
+  values as ``k`` scalar :meth:`next_raw` calls but at numpy speed.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 _MASK64 = (1 << 64) - 1
 
 # Knuth's MMIX multiplier — a full-period 64-bit LCG
 _MULT = 6364136223846793005
 _INC = 1442695040888963407
+
+#: batch draws are produced in slabs of this size so the cached
+#: power/geometric tables stay bounded regardless of request size
+_SLAB = 1 << 18
+
+# lazily grown closed-form tables: _POWS[k] = A**k, _GEO[k] = sum_{j<k} A**j,
+# both mod 2**64 (wrapping uint64 arithmetic)
+_POWS = np.ones(1, dtype=np.uint64)
+_GEO = np.zeros(1, dtype=np.uint64)
+
+
+def _ensure_tables(n: int) -> None:
+    global _POWS, _GEO
+    if len(_POWS) > n:
+        return
+    size = len(_POWS)
+    grown = max(n + 1, 2 * size)
+    pows = np.empty(grown, dtype=np.uint64)
+    pows[:size] = _POWS
+    mult = np.uint64(_MULT)
+    with np.errstate(over="ignore"):
+        for k in range(size, grown):
+            pows[k] = pows[k - 1] * mult
+        geo = np.empty(grown, dtype=np.uint64)
+        geo[:size] = _GEO
+        np.cumsum(pows[size - 1 : grown - 1], dtype=np.uint64, out=geo[size:])
+        geo[size:] += _GEO[size - 1]
+    _POWS, _GEO = pows, geo
 
 
 def _splitmix64(x: int) -> int:
@@ -45,6 +90,8 @@ class RandomStream:
 
     def __init__(self, seed: int):
         self._state = seed & _MASK64 or 1
+
+    # -- scalar draws --------------------------------------------------------
 
     def next_raw(self) -> int:
         """Advance the LCG and return 64 raw bits."""
@@ -103,6 +150,110 @@ class RandomStream:
         if null_fraction > 0 and self.uniform() < null_fraction:
             return None
         return value
+
+    # -- jump-ahead ----------------------------------------------------------
+
+    def jump(self, n: int) -> "RandomStream":
+        """Advance the stream by ``n`` draws in O(log n).
+
+        ``jump(n)`` leaves the stream in exactly the state ``n`` calls of
+        :meth:`next_raw` would, which is what lets a parallel worker
+        position its streams at a chunk offset without generating the
+        skipped rows.  Returns ``self`` for chaining.
+        """
+        if n < 0:
+            raise ValueError("cannot jump backwards")
+        a_acc, c_acc = 1, 0
+        a, c = _MULT, _INC
+        while n:
+            if n & 1:
+                a_acc = (a * a_acc) & _MASK64
+                c_acc = (a * c_acc + c) & _MASK64
+            c = ((a + 1) * c) & _MASK64
+            a = (a * a) & _MASK64
+            n >>= 1
+        self._state = (a_acc * self._state + c_acc) & _MASK64
+        return self
+
+    # -- batch draws ---------------------------------------------------------
+
+    def raw_batch(self, n: int) -> np.ndarray:
+        """The next ``n`` raw 64-bit outputs as a ``uint64`` array.
+
+        Bit-identical to ``n`` scalar :meth:`next_raw` calls and leaves
+        the stream in the same final state.
+        """
+        if n < 0:
+            raise ValueError("negative batch size")
+        out = np.empty(n, dtype=np.uint64)
+        filled = 0
+        while filled < n:
+            k = min(_SLAB, n - filled)
+            _ensure_tables(k)
+            s0 = np.uint64(self._state)
+            inc = np.uint64(_INC)
+            with np.errstate(over="ignore"):
+                block = _POWS[1 : k + 1] * s0 + inc * _GEO[1 : k + 1]
+            out[filled : filled + k] = block
+            self._state = int(block[-1])
+            filled += k
+        return out
+
+    def uniform_batch(self, n: int) -> np.ndarray:
+        """``n`` floats in [0, 1), matching scalar :meth:`uniform`."""
+        raw = self.raw_batch(n)
+        return uniforms_from_raw(raw)
+
+    def uniform_int_batch(self, low: int, high: int, n: int) -> np.ndarray:
+        """``n`` integers in [low, high], matching :meth:`uniform_int`."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        raw = self.raw_batch(n)
+        return ints_from_raw(raw, low, high)
+
+    def gaussian_batch(self, n: int, mu: float = 0.0, sigma: float = 1.0) -> np.ndarray:
+        """``n`` Gaussian draws, two uniforms each, matching the scalar
+        interleaved (u1, u2) order of :meth:`gaussian`."""
+        raw = self.raw_batch(2 * n)
+        u = uniforms_from_raw(raw)
+        u1 = np.maximum(u[0::2], 1e-12)
+        u2 = u[1::2]
+        z = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+        return mu + sigma * z
+
+    def choice_batch(self, items: Sequence, n: int) -> np.ndarray:
+        """``n`` independent picks from ``items`` (1 draw each)."""
+        idx = self.uniform_int_batch(0, len(items) - 1, n)
+        pool = np.asarray(items, dtype=object)
+        return pool[idx]
+
+    def weighted_index_batch(self, cumulative: Sequence[float], n: int) -> np.ndarray:
+        """``n`` weighted indexes, matching :meth:`weighted_index`."""
+        cum = np.asarray(cumulative, dtype=np.float64)
+        x = self.uniform_batch(n) * cum[-1]
+        return np.searchsorted(cum, x, side="right").astype(np.int64)
+
+    def permutation_batch(self, n: int) -> np.ndarray:
+        """A permutation of range(n) via Fisher–Yates (n-1 draws)."""
+        perm = np.arange(n, dtype=np.int64)
+        if n < 2:
+            return perm
+        raw = self.raw_batch(n - 1)
+        for k, i in enumerate(range(n - 1, 0, -1)):
+            j = int(raw[k] % np.uint64(i + 1))
+            perm[i], perm[j] = perm[j], perm[i]
+        return perm
+
+
+def uniforms_from_raw(raw: np.ndarray) -> np.ndarray:
+    """Map raw 64-bit outputs to [0, 1) floats (scalar-compatible)."""
+    return (raw >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+
+
+def ints_from_raw(raw: np.ndarray, low: int, high: int) -> np.ndarray:
+    """Map raw outputs to [low, high] ints (scalar-compatible modulo)."""
+    span = np.uint64(high - low + 1)
+    return (raw % span).astype(np.int64) + np.int64(low)
 
 
 class RandomStreamFactory:

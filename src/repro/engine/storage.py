@@ -71,14 +71,20 @@ class StoredColumn:
                 f"{self.definition.name}"
             )
         if self.kind is Kind.STR:
-            codes = np.fromiter(
-                (
-                    -1 if vec.null[i] else self._encode(vec.data[i])
-                    for i in range(len(vec))
-                ),
-                dtype=np.int32,
-                count=len(vec),
-            )
+            if len(vec):
+                # dictionary-encode per distinct value, not per row
+                uniq, inverse = np.unique(
+                    np.asarray(vec.data, dtype=object).astype(str), return_inverse=True
+                )
+                uniq_codes = np.fromiter(
+                    (self._encode(u) for u in uniq.tolist()),
+                    dtype=np.int32,
+                    count=len(uniq),
+                )
+                codes = uniq_codes[inverse]
+                codes[np.asarray(vec.null, dtype=bool)] = -1
+            else:
+                codes = np.empty(0, dtype=np.int32)
             self._codes = np.concatenate([self._codes, codes])
         else:
             self._data = np.concatenate([self._data, vec.data])
@@ -107,6 +113,13 @@ class StoredColumn:
         if self.kind is Kind.FLOAT:
             return float(v)
         return bool(v)
+
+    def has_null_from(self, start: int) -> bool:
+        """Whether any row at index >= start is NULL (cheap NOT NULL
+        re-check over just-appended rows)."""
+        if self.kind is Kind.STR:
+            return bool((self._codes[start:] < 0).any())
+        return bool(self._null[start:].any())
 
     def distinct_count(self) -> int:
         """Cheap NDV: exact for dictionary columns, numpy unique otherwise."""
@@ -170,9 +183,10 @@ class Table:
         names = self.schema.column_names
         if any(len(r) != len(names) for r in rows):
             raise ExecutionError(f"row arity mismatch inserting into {self.name}")
+        start = self.num_rows
         for idx, name in enumerate(names):
             self.columns[name].append_values([r[idx] for r in rows])
-        self._check_not_null(names)
+        self._check_not_null(names, start)
         self._mutated()
 
     def append_columns(self, vectors: dict[str, Vector]) -> None:
@@ -181,20 +195,22 @@ class Table:
         lengths = {len(v) for v in vectors.values()}
         if len(lengths) > 1:
             raise ExecutionError("ragged column append")
+        start = self.num_rows
         for name in names:
             if name not in vectors:
                 raise ExecutionError(f"missing column {name} in append to {self.name}")
             self.columns[name].append_vector(vectors[name])
-        self._check_not_null(names)
+        self._check_not_null(names, start)
         self._mutated()
 
-    def _check_not_null(self, names: Iterable[str]) -> None:
+    def _check_not_null(self, names: Iterable[str], start: int = 0) -> None:
+        """NOT NULL constraint over rows appended at index >= start
+        (earlier rows were checked by their own append)."""
         for name in names:
             col = self.columns[name]
             if col.definition.nullable:
                 continue
-            vec = col.scan()
-            if vec.null.any():
+            if col.has_null_from(start):
                 raise ConstraintError(
                     f"NULL in NOT NULL column {self.name}.{name}"
                 )

@@ -61,7 +61,12 @@ class Vector:
     def from_values(kind: Kind, values: Iterable[Any]) -> "Vector":
         """Build a vector from Python values; ``None`` becomes NULL."""
         values = list(values)
-        null = np.array([v is None for v in values], dtype=bool)
+        n = len(values)
+        null = np.fromiter((v is None for v in values), dtype=bool, count=n)
+        if not null.any():
+            # fast path: one numpy conversion, no per-value cleaning
+            data = np.asarray(values, dtype=_NUMPY_DTYPE[kind])
+            return Vector(kind, data, null)
         fill = _FILL[kind]
         cleaned = [fill if v is None else v for v in values]
         if kind is Kind.DATE:
