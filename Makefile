@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test determinism bench qualification
+.PHONY: check test determinism bench bench-smoke qualification
 
 ## tier-1 suite + parallel-generation determinism smoke
 check: test determinism
@@ -15,6 +15,13 @@ determinism:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+## fast CI smoke: two quick benches with BENCH_*.json output, then the
+## observability zero-overhead check (<2% with tracing disabled)
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_metric_qphds.py \
+	    benchmarks/bench_table1_schema_stats.py --benchmark-only -q
+	$(PYTHON) benchmarks/check_overhead.py
 
 ## regenerate the pinned qualification answer set (after intentional
 ## behavioral changes only)

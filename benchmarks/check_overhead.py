@@ -1,0 +1,111 @@
+"""Observability overhead check (``make bench-smoke``).
+
+Verifies the `repro.obs` contract: with tracing and metrics *disabled*
+(the default), the instrumentation guards add no measurable cost to
+the tier-1 query suite — the acceptance bar is < 2% — and reports what
+*enabling* full EXPLAIN ANALYZE collection costs for context.
+
+Method: the same query set (one generated statement per template over
+a seeded sf-model database) is timed in interleaved A/B rounds:
+
+* ``disabled``  — the stock execute path, observability off (what the
+  seed measured);
+* ``disabled'`` — a second pass of the identical configuration, which
+  bounds the measurement noise floor;
+* ``analyze``   — every query run under ``explain_analyze_dict`` with
+  a live stats collector (the fully-instrumented path).
+
+The comparison is drift-proof: each round times A, analyze, B
+back-to-back, the per-round ratio ``B/A`` is computed *within* the
+round (so slow system drift hits both sides equally), and the check
+uses the **median** of the per-round ratios.  It fails if that median
+deviates from 1 by more than the threshold — meaning the guards are
+NOT free.  Overriding knobs: ``BENCH_OVERHEAD_MAX`` (fraction, default
+0.02), ``BENCH_OVERHEAD_SF`` and ``BENCH_OVERHEAD_ROUNDS``.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import sys
+import time
+
+from repro.dsdgen import build_database
+from repro.qgen import QGen, build_catalog
+
+SF = float(os.environ.get("BENCH_OVERHEAD_SF", "0.002"))
+ROUNDS = int(os.environ.get("BENCH_OVERHEAD_ROUNDS", "9"))
+MAX_OVERHEAD = float(os.environ.get("BENCH_OVERHEAD_MAX", "0.02"))
+SEED = 19620718
+
+
+def _suite(db, qgen) -> list[str]:
+    """One statement per template, skipping any that fail to run."""
+    statements = []
+    for template_id in sorted(qgen.templates):
+        query = qgen.generate(template_id, stream=0)
+        statements.append(query.statements[0])
+    return statements
+
+
+def _time_disabled(db, statements: list[str]) -> float:
+    start = time.perf_counter()
+    for sql in statements:
+        db.execute(sql)
+    return time.perf_counter() - start
+
+
+def _time_analyze(db, statements: list[str]) -> float:
+    start = time.perf_counter()
+    for sql in statements:
+        db.explain_analyze_dict(sql)
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    """Run the interleaved A/B overhead measurement; 0 on pass."""
+    print(f"building sf={SF} database ...", flush=True)
+    db, data = build_database(SF, seed=SEED)
+    qgen = QGen(data.context, build_catalog())
+    statements = _suite(db, qgen)
+    print(f"{len(statements)} statements, {ROUNDS} interleaved rounds")
+
+    disabled_a: list[float] = []
+    disabled_b: list[float] = []
+    analyze: list[float] = []
+    # warm-up pass so first-touch costs (lazy caches) hit no variant
+    _time_disabled(db, statements)
+    for _ in range(ROUNDS):
+        disabled_a.append(_time_disabled(db, statements))
+        analyze.append(_time_analyze(db, statements))
+        disabled_b.append(_time_disabled(db, statements))
+
+    best_a = min(disabled_a)
+    best_b = min(disabled_b)
+    best_analyze = min(analyze)
+    # within-round ratios cancel slow drift (thermal / scheduler) that
+    # would bias a best-of-group comparison on a shared machine
+    guard_delta = abs(
+        statistics.median(b / a for a, b in zip(disabled_a, disabled_b)) - 1.0
+    )
+    analyze_cost = (
+        statistics.median(x / a for a, x in zip(disabled_a, analyze)) - 1.0
+    )
+
+    print(f"disabled pass A (best of {ROUNDS})   : {best_a * 1000:9.1f} ms")
+    print(f"disabled pass B (best of {ROUNDS})   : {best_b * 1000:9.1f} ms")
+    print(f"explain-analyze (best of {ROUNDS})   : {best_analyze * 1000:9.1f} ms")
+    print(f"disabled-path delta (median of per-round B/A): {guard_delta * 100:6.2f}%"
+          f"  (limit {MAX_OVERHEAD * 100:.0f}%)")
+    print(f"full instrumentation cost (median per-round) : {analyze_cost * 100:6.2f}%")
+
+    if guard_delta > MAX_OVERHEAD:
+        print("FAIL: tracing-disabled runs differ beyond the overhead budget")
+        return 1
+    print("PASS: tracing disabled adds no measurable overhead")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,19 @@ Each ``bench_*`` module regenerates one exhibit (table or figure) of
 times the operation that produces it. Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Besides stdout, every bench module emits a machine-readable result
+file ``BENCH_<name>.json`` (one per module, written by the
+``pytest_sessionfinish`` hook below) into ``benchmarks/results/`` —
+override with ``BENCH_JSON_DIR`` — so the performance trajectory is
+trackable across PRs without parsing terminal output.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
 
 import pytest
 
@@ -40,3 +50,50 @@ def show(title: str, lines) -> None:
     print(f"== {title} ==")
     for line in lines:
         print(line)
+
+
+def _module_result_name(fullname: str) -> str:
+    """``benchmarks/bench_figure6_query52.py::test`` → ``figure6_query52``."""
+    module = fullname.split("::", 1)[0]
+    stem = os.path.splitext(os.path.basename(module))[0]
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<name>.json`` per bench module with the
+    timing stats pytest-benchmark collected, so benchmark results are
+    machine-readable alongside the stdout exhibits."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    out_dir = os.environ.get(
+        "BENCH_JSON_DIR", os.path.join(os.path.dirname(__file__), "results")
+    )
+    by_module: dict[str, list[dict]] = {}
+    for bench in bench_session.benchmarks:
+        entry = bench.as_dict(include_data=False, stats=True)
+        stats = entry.get("stats") or {}
+        by_module.setdefault(_module_result_name(bench.fullname), []).append(
+            {
+                "test": entry.get("name"),
+                "rounds": stats.get("rounds"),
+                "mean": stats.get("mean"),
+                "median": stats.get("median"),
+                "stddev": stats.get("stddev"),
+                "min": stats.get("min"),
+                "max": stats.get("max"),
+                "ops": stats.get("ops"),
+            }
+        )
+    os.makedirs(out_dir, exist_ok=True)
+    for name, entries in sorted(by_module.items()):
+        payload = {
+            "module": f"bench_{name}",
+            "scale_factor": BENCH_SF,
+            "seed": BENCH_SEED,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "benchmarks": entries,
+        }
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)

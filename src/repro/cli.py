@@ -4,7 +4,11 @@ Subcommands mirror the original kit's tools:
 
 * ``dsdgen``  — generate flat files for a scale factor;
 * ``dsqgen``  — print generated queries for a template / stream;
-* ``run``     — execute the full benchmark and print the report;
+* ``run``     — execute the full benchmark and print the report
+  (``--trace`` writes the span timeline, ``--metrics`` prints the
+  metrics-registry snapshot);
+* ``explain`` — EXPLAIN / EXPLAIN ANALYZE a generated template or
+  ad-hoc SQL against a freshly loaded database;
 * ``schema``  — print Table 1-style schema statistics;
 * ``audit``   — generate, load and audit a database (auditor checks);
 * ``scaling`` — print Table 2-style row counts for a scale factor.
@@ -84,6 +88,10 @@ def _cmd_dsqgen(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.metrics:
+        from .obs import MetricsRegistry, set_registry
+
+        set_registry(MetricsRegistry(enabled=True))
     bench = Benchmark(
         scale_factor=args.scale,
         streams=args.streams,
@@ -98,6 +106,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(render_full_disclosure(summary.result))
     else:
         print(summary.report())
+    if args.trace:
+        import json
+
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(summary.result.trace, handle, indent=2)
+        print(f"\nspan timeline written to {args.trace} "
+              f"({len(summary.result.trace)} spans)")
+    if args.metrics:
+        from .obs import get_registry
+
+        print()
+        print("metrics registry snapshot")
+        print(get_registry().to_json())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .dsdgen import build_database
+
+    db, data = build_database(args.scale, seed=args.seed)
+    if args.sql:
+        sql = args.sql
+    else:
+        qgen = QGen(data.context, build_catalog())
+        query = qgen.generate(args.template, stream=args.stream)
+        sql = query.statements[0]
+        print(f"-- query {query.template_id} ({query.name}; "
+              f"{query.query_class}; {query.channel_part} part)")
+    print(db.explain_analyze(sql) if args.analyze else db.explain(sql))
     return 0
 
 
@@ -170,7 +207,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true")
     p.add_argument("--full", action="store_true",
                    help="long-form full-disclosure report")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write the benchmark span timeline to FILE as JSON")
+    p.add_argument("--metrics", action="store_true",
+                   help="enable the metrics registry and print its"
+                        " snapshot after the run")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("explain",
+                       help="EXPLAIN [ANALYZE] a query against a loaded db")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=19620718)
+    p.add_argument("--template", type=int, default=52,
+                   help="query template to explain (default 52)")
+    p.add_argument("--stream", type=int, default=0)
+    p.add_argument("--sql", default=None,
+                   help="explain this SQL instead of a template")
+    p.add_argument("--analyze", action="store_true",
+                   help="execute the query and annotate the plan with"
+                        " per-operator rows / elapsed / counters")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("audit", help="generate, load and audit a database")
     p.add_argument("--scale", type=float, default=0.01)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 
+from ..obs import get_registry
 from .columnar import ColumnarTable
 from .context import GeneratorContext
 from .dimensions import DIMENSION_ORDER
@@ -29,7 +30,7 @@ from .facts import (
     generate_inventory_chunk,
     plan_channel,
 )
-from .generator import FACT_CHANNELS, GeneratedData
+from .generator import FACT_CHANNELS, GeneratedData, _record_throughput
 
 #: per-process state, set up once by the pool initializer
 _WORKER_CTX: GeneratorContext | None = None
@@ -90,6 +91,7 @@ def generate_parallel(ctx: GeneratorContext, workers: int) -> GeneratedData:
     return_parts: dict[str, list] = {t: [None] * workers for t in FACT_CHANNELS}
     inventory_parts: list = [None] * workers
     timings: dict[str, float] = {}
+    registry = get_registry()
     for task, payload, elapsed in results:
         if task[0] == "dimension":
             dim_payloads[task[1]] = payload
@@ -100,10 +102,18 @@ def generate_parallel(ctx: GeneratorContext, workers: int) -> GeneratedData:
             chunk_parts[table][chunk] = sales
             return_parts[table][chunk] = returns
             timings[table] = timings.get(table, 0.0) + elapsed
+            if registry.enabled:
+                registry.histogram(
+                    "dsdgen.chunk_seconds", labels={"table": table}
+                ).observe(elapsed)
         else:
             _, chunk, _n = task
             inventory_parts[chunk] = payload
             timings["inventory"] = timings.get("inventory", 0.0) + elapsed
+            if registry.enabled:
+                registry.histogram(
+                    "dsdgen.chunk_seconds", labels={"table": "inventory"}
+                ).observe(elapsed)
 
     ctx.ensure_key_pools()
     data = GeneratedData(ctx)
@@ -115,4 +125,5 @@ def generate_parallel(ctx: GeneratorContext, workers: int) -> GeneratedData:
         timings.setdefault(RETURNS_OF[table], 0.0)
     data.add("inventory", ColumnarTable.concat(inventory_parts))
     data.timings = timings
+    _record_throughput(data)
     return data

@@ -11,19 +11,25 @@ Typical use::
         ...
 
 ``execute`` accepts SELECT (with CTEs, set ops, windows), INSERT,
-DELETE and UPDATE. ``explain`` returns the optimized plan as text.
-Materialized views (``create_materialized_view``) are matched
-transparently by query rewrite when ``enable_matview_rewrite`` is on.
+DELETE and UPDATE — plus an ``EXPLAIN [ANALYZE]`` prefix on any query,
+returned as a one-column plan result. ``explain`` returns the
+optimized plan as text and ``explain_analyze`` executes the query and
+annotates every plan node with measured rows / elapsed / operator
+counters (see :mod:`repro.obs`). Materialized views
+(``create_materialized_view``) are matched transparently by query
+rewrite when ``enable_matview_rewrite`` is on.
 """
 
 from __future__ import annotations
 
+import re
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from ..obs import ExecStatsCollector, annotate_plan, get_registry, plan_to_dict
 from .batch import Batch
 from .catalog import Catalog
 from .errors import EngineError, ExecutionError, PlanningError
@@ -75,12 +81,20 @@ class Result:
 
 @dataclass
 class QueryTrace:
-    """Lightweight execution trace for EXPLAIN ANALYZE-style reporting."""
+    """Lightweight execution trace for EXPLAIN ANALYZE-style reporting.
+
+    ``plan_text`` holds the optimized plan (prefixed with the rewrite
+    header when a materialized view answered the query)."""
 
     sql: str
     plan_text: str
     elapsed: float
     used_view: Optional[str]
+    rows: int = 0
+
+
+#: recognizes an EXPLAIN [ANALYZE] prefix handed to ``execute``
+_EXPLAIN_RE = re.compile(r"^\s*EXPLAIN(\s+ANALYZE)?\s+", re.IGNORECASE)
 
 
 class Database:
@@ -127,6 +141,17 @@ class Database:
     # -- queries -----------------------------------------------------------------
 
     def execute(self, sql: str) -> Result:
+        match = _EXPLAIN_RE.match(sql)
+        if match is not None:
+            start = time.perf_counter()
+            body = sql[match.end():]
+            text = self.explain_analyze(body) if match.group(1) else self.explain(body)
+            batch = Batch(
+                {"QUERY PLAN": Vector.from_values(Kind.STR, text.splitlines())}
+            )
+            result = Result(["QUERY PLAN"], batch)
+            result.elapsed = time.perf_counter() - start
+            return result
         statement = parse_statement(sql)
         start = time.perf_counter()
         if isinstance(statement, A.Query):
@@ -153,9 +178,58 @@ class Database:
             header.append(f"-- rewritten to use materialized view {used_view}")
         return "\n".join(header + [plan.explain()])
 
+    def explain_analyze(self, sql: str) -> str:
+        """Execute ``sql`` and return the optimized plan tree annotated
+        with per-node measured rows, elapsed time, loop counts and
+        operator-specific counters (hash build sizes, bitmap probes,
+        CTE-memo hits)."""
+        plan, batch, collector, used_view, elapsed = self._analyze(sql)
+        lines = []
+        if used_view:
+            lines.append(f"-- rewritten to use materialized view {used_view}")
+        lines.append(annotate_plan(plan, collector))
+        lines.append(f"Execution: rows={batch.num_rows} "
+                     f"elapsed={elapsed * 1000:.3f}ms")
+        text = "\n".join(lines)
+        if self.trace_queries:
+            self.traces.append(
+                QueryTrace(sql, text, elapsed, used_view, rows=batch.num_rows)
+            )
+        return text
+
+    def explain_analyze_dict(self, sql: str) -> dict:
+        """:meth:`explain_analyze` for machine consumers: the annotated
+        plan tree as JSON-ready dicts plus execution totals."""
+        plan, batch, collector, used_view, elapsed = self._analyze(sql)
+        return {
+            "sql": sql,
+            "rewritten_from_view": used_view,
+            "rows": batch.num_rows,
+            "elapsed": elapsed,
+            "plan": plan_to_dict(plan, collector),
+        }
+
+    def _analyze(self, sql: str):
+        """Shared EXPLAIN ANALYZE machinery: parse, rewrite, execute
+        under a stats collector."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, A.Query):
+            raise PlanningError("EXPLAIN ANALYZE supports queries only")
+        query, used_view = self._maybe_rewrite(statement)
+        collector = ExecStatsCollector()
+        start = time.perf_counter()
+        plan, batch = self._execute_plan(query, collector)
+        elapsed = time.perf_counter() - start
+        return plan, batch, collector, used_view, elapsed
+
     def _maybe_rewrite(self, query: A.Query):
         if self.enable_matview_rewrite and self.catalog.matviews:
             rewritten = try_rewrite(query, self.catalog, self.catalog.matviews)
+            registry = get_registry()
+            if registry.enabled:
+                name = ("engine.matview.rewrites" if rewritten is not None
+                        else "engine.matview.misses")
+                registry.counter(name).add()
             if rewritten is not None:
                 view_name = rewritten.body.from_[0].name  # type: ignore[union-attr]
                 return rewritten, view_name
@@ -165,9 +239,13 @@ class Database:
         plan = Planner(self.catalog).plan_query(query)
         return Optimizer(self.catalog, self.optimizer_settings).optimize(plan)
 
-    def _run_query_batch(self, query: A.Query) -> Batch:
+    def _execute_plan(
+        self, query: A.Query, collector: ExecStatsCollector | None = None
+    ):
         """Plan, optimize and execute a query AST, wiring expression
-        subqueries (pre-planned in their CTE scope) into the executor."""
+        subqueries (pre-planned in their CTE scope) into the executor.
+        Returns ``(optimized plan, result batch)``; when ``collector``
+        is given, every executed node records its stats into it."""
         planner = Planner(self.catalog)
         plan = planner.plan_query(query)
         optimizer = Optimizer(self.catalog, self.optimizer_settings)
@@ -182,18 +260,29 @@ class Database:
                 if sub_plan is None:
                     sub_plan = Planner(self.catalog).plan_query(sub_query)
                 optimized[key] = optimizer.optimize(sub_plan)
-            return Executor(run_sub, self.catalog).run(optimized[key])
+            return Executor(run_sub, self.catalog, collector).run(optimized[key])
 
-        executor = Executor(run_sub, self.catalog)
-        return executor.run(plan)
+        executor = Executor(run_sub, self.catalog, collector)
+        return plan, executor.run(plan)
+
+    def _run_query_batch(self, query: A.Query) -> Batch:
+        """Plan, optimize and execute a query AST (batch only)."""
+        return self._execute_plan(query)[1]
 
     def _execute_query(self, query: A.Query, sql: str = "") -> Result:
         query, used_view = self._maybe_rewrite(query)
         start = time.perf_counter()
-        batch = self._run_query_batch(query)
+        plan, batch = self._execute_plan(query)
         elapsed = time.perf_counter() - start
         if self.trace_queries:
-            self.traces.append(QueryTrace(sql, "", elapsed, used_view))
+            header = (
+                f"-- rewritten to use materialized view {used_view}\n"
+                if used_view else ""
+            )
+            self.traces.append(
+                QueryTrace(sql, header + plan.explain(), elapsed, used_view,
+                           rows=batch.num_rows)
+            )
         return Result(batch.names, batch, rewritten_from_view=used_view)
 
     def _run_subquery(self, query: A.Query) -> Batch:

@@ -26,10 +26,12 @@ Operator notes:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional
 
 import numpy as np
 
+from ..obs import ExecStatsCollector
 from . import plan as P
 from .batch import Batch
 from .errors import ExecutionError, PlanningError
@@ -67,19 +69,39 @@ def _row_codes(vectors: list[Vector]) -> np.ndarray:
 
 
 class Executor:
-    """Interprets one logical plan tree; memoizes shared (CTE) subtrees."""
-    def __init__(self, run_subquery: Callable[[A.Query], Batch], catalog):
+    """Interprets one logical plan tree; memoizes shared (CTE) subtrees.
+
+    When an :class:`~repro.obs.ExecStatsCollector` is supplied, every
+    node execution records output rows, inclusive elapsed time and
+    operator-specific counters into it (the EXPLAIN ANALYZE substrate);
+    without one, ``run`` takes a branch with no timing calls at all.
+    """
+    def __init__(
+        self,
+        run_subquery: Callable[[A.Query], Batch],
+        catalog,
+        collector: ExecStatsCollector | None = None,
+    ):
         self._catalog = catalog
         self._ctx = EvalContext(run_subquery)
         self._cache: dict[int, Batch] = {}
+        self._collector = collector
 
     # -- entry -------------------------------------------------------------
 
     def run(self, node: P.PlanNode) -> Batch:
         key = id(node)
+        collector = self._collector
         if key in self._cache:
+            if collector is not None:
+                collector.memo_hit(node)
             return self._cache[key]
-        batch = self._dispatch(node)
+        if collector is None:
+            batch = self._dispatch(node)
+        else:
+            start = time.perf_counter()
+            batch = self._dispatch(node)
+            collector.record(node, batch.num_rows, time.perf_counter() - start)
         self._cache[key] = batch
         return batch
 
@@ -128,6 +150,9 @@ class Executor:
                 for name in table.schema.column_names
             }
         )
+        if self._collector is not None:
+            self._collector.add(node, rows_in=table.num_rows,
+                                pushed_filters=len(node.pushed_filters))
         if row_subset is not None:
             batch = batch.take(row_subset)
         for predicate in node.pushed_filters:
@@ -144,9 +169,14 @@ class Executor:
             vec = dim_batch.column(dim_ref.name, dim_ref.table)
             keys = set(vec.data[~vec.null].tolist())
             rows = self._catalog.bitmap_rows(node.fact.table, fact_col, keys)
+            if self._collector is not None:
+                self._collector.add(node, bitmap_probes=len(keys),
+                                    bitmap_hit=0 if rows is None else 1)
             if rows is None:
                 continue
             allowed = rows if allowed is None else np.intersect1d(allowed, rows)
+        if self._collector is not None and allowed is not None:
+            self._collector.add(node, bitmap_rows=len(allowed))
         return self._scan(node.fact, row_subset=allowed)
 
     def _matview_scan(self, node: P.MatViewScan) -> Batch:
@@ -172,6 +202,10 @@ class Executor:
     def _join(self, node: P.Join) -> Batch:
         left = self.run(node.left)
         right = self.run(node.right)
+        if self._collector is not None:
+            # the hash (or sorted-probe) build side is always the right
+            self._collector.add(node, build_rows=right.num_rows,
+                                probe_rows=left.num_rows)
         kind = node.kind
         if kind == "right":
             # execute as a left join with sides swapped, then restore order
@@ -306,6 +340,8 @@ class Executor:
     def _aggregate(self, node: P.Aggregate) -> Batch:
         child = self.run(node.child)
         group_vecs = [evaluate(g, child, self._ctx) for g, _ in node.group_items]
+        if self._collector is not None:
+            self._collector.add(node, rows_in=child.num_rows)
         if not node.rollup:
             return self._aggregate_pass(node, child, group_vecs, active=len(group_vecs))
         passes = []

@@ -34,6 +34,12 @@ class PlanNode:
             lines.append(child.explain(indent + 1))
         return "\n".join(lines)
 
+    def walk(self):
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
 
 @dataclass
 class Scan(PlanNode):

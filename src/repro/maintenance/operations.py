@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from ..obs import get_registry, get_tracer
 from ..engine import Database
 from .apply import (
     apply_dimension_updates,
@@ -36,9 +37,17 @@ class MaintenanceOperation:
     run: Callable[[Database, RefreshSet], int]
 
     def execute(self, db: Database, refresh: RefreshSet) -> MaintenanceResult:
-        start = time.perf_counter()
-        rows = self.run(db, refresh)
-        return MaintenanceResult(self.name, rows, time.perf_counter() - start)
+        with get_tracer().span("maintenance_op", op=self.name) as span:
+            start = time.perf_counter()
+            rows = self.run(db, refresh)
+            elapsed = time.perf_counter() - start
+            span.set(rows=rows)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("maintenance.ops", labels={"op": self.name}).add()
+            registry.counter("maintenance.rows").add(rows)
+            registry.histogram("maintenance.op_seconds").observe(elapsed)
+        return MaintenanceResult(self.name, rows, elapsed)
 
 
 def _update_op(tables: tuple[str, ...]):

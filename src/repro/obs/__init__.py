@@ -1,0 +1,46 @@
+"""`repro.obs` — the engine-wide observability layer.
+
+Three cooperating pieces, all designed for near-zero overhead when
+disabled (the default):
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and histograms.  Components record rates (dsdgen rows/sec,
+  maintenance op counts) into the global registry; snapshots export as
+  JSON.
+* :mod:`repro.obs.tracing` — a span-based tracer.  A span is a named,
+  timed interval with attributes and an optional parent; the benchmark
+  runner uses spans to build per-stream / per-query timelines and
+  per-phase (load / power / throughput / maintenance) breakdowns that
+  feed the full-disclosure report.
+* :mod:`repro.obs.exec_stats` — per-operator execution statistics
+  (rows in/out, elapsed, hash-build sizes, bitmap probe counts,
+  CTE-memo hits) collected by the executor and rendered by
+  ``EXPLAIN ANALYZE``.
+
+The global tracer and registry start *disabled*: every instrumentation
+site is guarded by a single attribute check, so a run that never turns
+observability on pays only that check (measured < 2% on the tier-1
+query suite — see ``benchmarks/check_overhead.py``).
+"""
+
+from .exec_stats import ExecStatsCollector, OperatorStats, annotate_plan, plan_to_dict
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry, set_registry
+from .tracing import NULL_TRACER, Span, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "ExecStatsCollector",
+    "OperatorStats",
+    "annotate_plan",
+    "plan_to_dict",
+]

@@ -1,0 +1,134 @@
+"""Per-operator execution statistics for EXPLAIN ANALYZE.
+
+The executor, when handed an :class:`ExecStatsCollector`, records for
+every plan node it runs: output rows, inclusive elapsed time, number
+of invocations, CTE-memo hits, and operator-specific counters (hash
+build/probe sizes, bitmap probe counts, pushed-filter counts, ...).
+
+:func:`annotate_plan` then renders the optimized plan tree with those
+numbers attached — the body of ``EXPLAIN ANALYZE`` — and
+:func:`plan_to_dict` produces the same tree as JSON-ready dicts for
+machine consumers (benchmark disclosure, regression tracking).
+
+This module is duck-typed against plan nodes (anything with
+``label()`` and ``children()``), so it has no dependency on the engine
+and the engine pays nothing for it when no collector is installed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class OperatorStats:
+    """Measured execution facts for one plan node."""
+
+    __slots__ = ("rows_out", "elapsed", "invocations", "memo_hits", "extra")
+
+    def __init__(self):
+        self.rows_out = 0
+        self.elapsed = 0.0
+        self.invocations = 0
+        self.memo_hits = 0
+        self.extra: dict[str, float] = {}
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        out = {
+            "rows": self.rows_out,
+            "elapsed": self.elapsed,
+            "invocations": self.invocations,
+        }
+        if self.memo_hits:
+            out["memo_hits"] = self.memo_hits
+        if self.extra:
+            out.update(self.extra)
+        return out
+
+
+class ExecStatsCollector:
+    """Accumulates :class:`OperatorStats` keyed by plan-node identity.
+
+    One collector observes one statement execution; executors call
+    :meth:`record` / :meth:`memo_hit` / :meth:`add` (all cheap), and
+    the EXPLAIN ANALYZE renderer reads the result.
+    """
+
+    def __init__(self):
+        self.nodes: dict[int, OperatorStats] = {}
+
+    def _slot(self, node) -> OperatorStats:
+        stats = self.nodes.get(id(node))
+        if stats is None:
+            stats = OperatorStats()
+            self.nodes[id(node)] = stats
+        return stats
+
+    def record(self, node, rows_out: int, elapsed: float) -> None:
+        """One completed execution of ``node`` (inclusive of children)."""
+        stats = self._slot(node)
+        stats.rows_out = rows_out
+        stats.elapsed += elapsed
+        stats.invocations += 1
+
+    def memo_hit(self, node) -> None:
+        """The executor served ``node`` from its CTE memo cache."""
+        self._slot(node).memo_hits += 1
+
+    def add(self, node, **counters: float) -> None:
+        """Attach operator-specific counters (summing on repeat)."""
+        extra = self._slot(node).extra
+        for key, value in counters.items():
+            extra[key] = extra.get(key, 0) + value
+
+    def stats_for(self, node) -> Optional[OperatorStats]:
+        """The stats recorded for ``node``, if any."""
+        return self.nodes.get(id(node))
+
+
+def _format_extra(extra: dict) -> str:
+    parts = []
+    for key in sorted(extra):
+        value = extra[key]
+        if isinstance(value, float) and not value.is_integer():
+            parts.append(f"{key}={value:.3g}")
+        else:
+            parts.append(f"{key}={int(value)}")
+    return " ".join(parts)
+
+
+def _annotate_node(node, collector: ExecStatsCollector, indent: int,
+                   lines: list[str]) -> None:
+    stats = collector.stats_for(node)
+    line = "  " * indent + node.label()
+    if stats is not None:
+        detail = (f"rows={stats.rows_out} elapsed={stats.elapsed * 1000:.3f}ms "
+                  f"loops={stats.invocations}")
+        if stats.memo_hits:
+            detail += f" memo_hits={stats.memo_hits}"
+        if stats.extra:
+            detail += " " + _format_extra(stats.extra)
+        line += f"  ({detail})"
+    lines.append(line)
+    for child in node.children():
+        _annotate_node(child, collector, indent + 1, lines)
+
+
+def annotate_plan(root, collector: ExecStatsCollector) -> str:
+    """Render the plan tree with per-node measured stats attached."""
+    lines: list[str] = []
+    _annotate_node(root, collector, 0, lines)
+    return "\n".join(lines)
+
+
+def plan_to_dict(root, collector: Optional[ExecStatsCollector] = None) -> dict:
+    """The plan tree (optionally annotated) as JSON-ready dicts."""
+    entry: dict = {"label": root.label()}
+    if collector is not None:
+        stats = collector.stats_for(root)
+        if stats is not None:
+            entry["stats"] = stats.as_dict()
+    children = [plan_to_dict(c, collector) for c in root.children()]
+    if children:
+        entry["children"] = children
+    return entry

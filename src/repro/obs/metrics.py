@@ -1,0 +1,241 @@
+"""A lightweight metrics registry: counters, gauges, histograms.
+
+Instruments are cheap plain-Python objects; the registry is a named
+collection of them with a JSON-serializable snapshot.  A *disabled*
+registry (the global default) hands out no-op instruments so that
+instrumentation sites cost one attribute check and one dict lookup at
+creation time and nothing per observation.
+
+Usage::
+
+    from repro.obs import get_registry
+
+    reg = get_registry()
+    reg.counter("dsdgen.rows").add(1000)
+    reg.gauge("dsdgen.rows_per_sec", labels={"table": "store_sales"}).set(52_000.0)
+    reg.histogram("engine.query_ms").observe(elapsed * 1000)
+    json.dumps(reg.snapshot())
+
+Histograms keep count / sum / min / max plus fixed log2 buckets, so
+they are bounded-memory and mergeable.  All instruments are
+thread-safe: observations from concurrent benchmark streams interleave
+under a per-registry lock.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Optional
+
+
+class Counter:
+    """A monotonically increasing count (events, rows, bytes)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increment by ``amount`` (must be non-negative)."""
+        with self._lock:
+            self.value += amount
+
+    def as_dict(self) -> dict:
+        """Snapshot as a plain dict."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (rows/sec, queue depth)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self.value = value
+
+    def as_dict(self) -> dict:
+        """Snapshot as a plain dict."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A bounded-memory distribution: count/sum/min/max + log2 buckets.
+
+    Bucket ``i`` counts observations in ``[2**(i-1-OFFSET),
+    2**(i-OFFSET))``; the offset centres the range on sub-second
+    latencies, so the covered span is ``2**-32`` .. ``2**31`` (bucket 0
+    absorbs anything smaller, the last bucket anything larger).  Good
+    enough to read p50/p95 off a latency distribution without keeping
+    samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
+
+    #: bucket count and the power-of-two shift placing 1.0 mid-range
+    N_BUCKETS = 64
+    OFFSET = 32
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets = [0] * self.N_BUCKETS
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if value <= 0.0:
+                index = 0
+            else:
+                index = math.floor(math.log2(value)) + 1 + self.OFFSET
+                index = min(max(index, 0), self.N_BUCKETS - 1)
+            self.buckets[index] += 1
+
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper edge of the bucket holding
+        the q-th observation (0 when empty)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, n in enumerate(self.buckets):
+            seen += n
+            if seen >= target:
+                return float(2.0 ** (index - self.OFFSET))
+        return self.max
+
+    def as_dict(self) -> dict:
+        """Snapshot as a plain dict (buckets trimmed to non-zero)."""
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean(),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "buckets": {str(i): n for i, n in enumerate(self.buckets) if n},
+        }
+
+
+class _NullInstrument:
+    """Absorbs every observation; handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def add(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+def _key(name: str, labels: Optional[dict]) -> str:
+    if not labels:
+        return name
+    tail = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{tail}}}"
+
+
+class MetricsRegistry:
+    """A named collection of instruments with a JSON snapshot.
+
+    ``enabled=False`` (the global default) makes every factory return
+    the shared no-op instrument, so disabled call sites record nothing
+    and allocate nothing.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, cls, name: str, labels: Optional[dict]):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        key = _key(name, labels)
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(key, self._lock)
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(f"metric {key!r} already registered as "
+                                f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str, labels: Optional[dict] = None) -> Counter:
+        """Get-or-create the counter ``name`` (optionally labelled)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, labels: Optional[dict] = None) -> Gauge:
+        """Get-or-create the gauge ``name`` (optionally labelled)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, labels: Optional[dict] = None) -> Histogram:
+        """Get-or-create the histogram ``name`` (optionally labelled)."""
+        return self._get(Histogram, name, labels)
+
+    def snapshot(self) -> dict:
+        """All instruments as ``{name: {type, ...}}``, sorted by name."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {name: inst.as_dict() for name, inst in items}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot serialized as JSON text."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def clear(self) -> None:
+        """Drop every instrument (tests and fresh benchmark runs)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+#: the process-wide registry; disabled until someone opts in
+_GLOBAL = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (disabled by default)."""
+    return _GLOBAL
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide registry; returns the previous one."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = registry
+    return previous

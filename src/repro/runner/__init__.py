@@ -25,7 +25,7 @@ from .metric import (
 )
 from .audit import AuditFinding, audit_database
 from .pricing import PriceBook, SystemConfiguration, dollars_per_qphds
-from .report import render_full_disclosure, render_report
+from .report import render_full_disclosure, render_phase_breakdown, render_report
 
 __all__ = [
     "BenchmarkConfig",
@@ -49,6 +49,7 @@ __all__ = [
     "LOAD_FRACTION_PER_STREAM",
     "render_report",
     "render_full_disclosure",
+    "render_phase_breakdown",
     "AuditFinding",
     "audit_database",
     "PriceBook",

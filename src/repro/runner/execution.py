@@ -17,11 +17,13 @@ test*::
 
 from __future__ import annotations
 
+import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import Tracer, get_registry
 from ..dsdgen import DsdGen, GeneratedData, minimum_streams
 from ..dsdgen.generator import load_tables
 from ..engine import Database, OptimizerSettings
@@ -169,89 +171,130 @@ def validate_primary_keys(db: Database) -> None:
 
 
 class BenchmarkRun:
-    """Drives one full benchmark test against a fresh database."""
+    """Drives one full benchmark test against a fresh database.
 
-    def __init__(self, config: BenchmarkConfig):
+    Every phase runs under a :class:`~repro.obs.Tracer` span: the
+    benchmark emits a per-phase / per-stream / per-query *span
+    timeline* (``span_timeline()``, ``export_trace()``) that the
+    full-disclosure report consumes.  Pass ``tracer=None`` to keep the
+    default enabled tracer, or a disabled one to opt out."""
+
+    def __init__(self, config: BenchmarkConfig, tracer: Optional[Tracer] = None):
         self.config = config
         self.db: Optional[Database] = None
         self.data: Optional[GeneratedData] = None
         self.qgen: Optional[QGen] = None
+        self.tracer = tracer if tracer is not None else Tracer(enabled=True)
 
     # -- load test -------------------------------------------------------------
 
     def load_test(self) -> LoadResult:
         config = self.config
-        gen_start = time.perf_counter()
-        generator = DsdGen(config.scale_factor, seed=config.seed, strict=config.strict)
-        self.data = generator.generate()
-        untimed = time.perf_counter() - gen_start
+        with self.tracer.installed(), self.tracer.span("phase:load") as phase:
+            with self.tracer.span("generate") as span:
+                gen_start = time.perf_counter()
+                generator = DsdGen(
+                    config.scale_factor, seed=config.seed, strict=config.strict
+                )
+                self.data = generator.generate()
+                untimed = time.perf_counter() - gen_start
+                span.set(timed=False, rows=sum(self.data.row_counts.values()))
 
-        db = Database(optimizer_settings=config.optimizer)
-        start = time.perf_counter()
-        load_tables(db, self.data)
-        aux = 0
-        for table, column in BASIC_HASH_INDEXES:
-            db.create_index(table, column, "hash")
-            aux += 1
-        for table, column in BASIC_SORTED_INDEXES:
-            db.create_index(table, column, "sorted")
-            aux += 1
-        if config.enforce_implementation_rules:
-            db.catalog.restrict_aux_on = set(AD_HOC_TABLES)
-        if config.use_aux_structures:
-            for table, column in REPORTING_BITMAP_INDEXES:
-                db.create_index(table, column, "bitmap")
-                aux += 1
-            for name, sql in REPORTING_MATVIEWS.items():
-                db.create_materialized_view(name, sql)
-                aux += 1
-        validate_primary_keys(db)
-        db.gather_stats()
-        elapsed = time.perf_counter() - start
-        self.db = db
-        self.qgen = QGen(self.data.context, build_catalog())
-        rows = sum(self.data.row_counts.values())
+            db = Database(optimizer_settings=config.optimizer)
+            start = time.perf_counter()
+            with self.tracer.span("load_tables"):
+                load_tables(db, self.data)
+            aux = 0
+            with self.tracer.span("aux_structures") as span:
+                for table, column in BASIC_HASH_INDEXES:
+                    db.create_index(table, column, "hash")
+                    aux += 1
+                for table, column in BASIC_SORTED_INDEXES:
+                    db.create_index(table, column, "sorted")
+                    aux += 1
+                if config.enforce_implementation_rules:
+                    db.catalog.restrict_aux_on = set(AD_HOC_TABLES)
+                if config.use_aux_structures:
+                    for table, column in REPORTING_BITMAP_INDEXES:
+                        db.create_index(table, column, "bitmap")
+                        aux += 1
+                    for name, sql in REPORTING_MATVIEWS.items():
+                        db.create_materialized_view(name, sql)
+                        aux += 1
+                span.set(count=aux)
+            with self.tracer.span("validate_constraints"):
+                validate_primary_keys(db)
+            with self.tracer.span("gather_stats"):
+                db.gather_stats()
+            elapsed = time.perf_counter() - start
+            self.db = db
+            self.qgen = QGen(self.data.context, build_catalog())
+            rows = sum(self.data.row_counts.values())
+            phase.set(rows=rows, aux_structures=aux, untimed_generation=untimed)
         return LoadResult(elapsed, untimed, rows, aux)
 
     # -- query runs -------------------------------------------------------------
 
-    def _run_stream(self, stream: int) -> list[QueryTiming]:
+    def _run_stream(self, stream: int, parent=None) -> list[QueryTiming]:
         timings = []
-        for query in self.qgen.generate_stream(stream):
-            start = time.perf_counter()
-            rows = 0
-            used_view = None
-            for statement in query.statements:
-                result = self.db.execute(statement)
-                rows += len(result)
-                used_view = used_view or result.rewritten_from_view
-            timings.append(
-                QueryTiming(
-                    stream=stream,
-                    template_id=query.template_id,
-                    name=query.name,
-                    query_class=query.query_class,
-                    channel_part=query.channel_part,
-                    elapsed=time.perf_counter() - start,
-                    rows=rows,
-                    used_view=used_view,
+        registry = get_registry()
+        with self.tracer.span("stream", parent=parent, stream=stream):
+            for query in self.qgen.generate_stream(stream):
+                with self.tracer.span(
+                    "query", stream=stream, template=query.template_id,
+                    query_name=query.name, query_class=query.query_class,
+                ) as span:
+                    start = time.perf_counter()
+                    rows = 0
+                    used_view = None
+                    for statement in query.statements:
+                        result = self.db.execute(statement)
+                        rows += len(result)
+                        used_view = used_view or result.rewritten_from_view
+                    elapsed = time.perf_counter() - start
+                    span.set(rows=rows, used_view=used_view)
+                if registry.enabled:
+                    registry.counter("runner.queries").add()
+                    registry.histogram(
+                        "runner.query_seconds",
+                        labels={"class": query.query_class},
+                    ).observe(elapsed)
+                timings.append(
+                    QueryTiming(
+                        stream=stream,
+                        template_id=query.template_id,
+                        name=query.name,
+                        query_class=query.query_class,
+                        channel_part=query.channel_part,
+                        elapsed=elapsed,
+                        rows=rows,
+                        used_view=used_view,
+                    )
                 )
-            )
         return timings
 
     def query_run(self, run_number: int) -> QueryRunResult:
         streams = self.config.resolved_streams()
-        start = time.perf_counter()
-        # stream ids differ between run 1 and run 2 so substitutions differ
-        base = (run_number - 1) * streams
-        if streams == 1:
-            all_timings = [self._run_stream(base)]
-        else:
-            with ThreadPoolExecutor(max_workers=streams) as pool:
-                all_timings = list(
-                    pool.map(self._run_stream, range(base, base + streams))
-                )
-        elapsed = time.perf_counter() - start
+        # the single-stream phase is the "power"-style run; concurrent
+        # streams exercise throughput (§5.2 names both query runs)
+        phase_name = "phase:power" if streams == 1 else "phase:throughput"
+        with self.tracer.installed(), self.tracer.span(
+            phase_name, run=run_number, streams=streams
+        ) as phase:
+            start = time.perf_counter()
+            # stream ids differ between run 1 and run 2 so substitutions differ
+            base = (run_number - 1) * streams
+            if streams == 1:
+                all_timings = [self._run_stream(base, parent=phase)]
+            else:
+                with ThreadPoolExecutor(max_workers=streams) as pool:
+                    all_timings = list(
+                        pool.map(
+                            lambda s: self._run_stream(s, parent=phase),
+                            range(base, base + streams),
+                        )
+                    )
+            elapsed = time.perf_counter() - start
         result = QueryRunResult(elapsed)
         for timings in all_timings:
             result.timings.extend(timings)
@@ -266,22 +309,38 @@ class BenchmarkRun:
             update_fraction=config.update_fraction,
             insert_fraction=config.insert_fraction,
         )
-        start = time.perf_counter()
-        operations = []
-        for stream in range(1, config.resolved_streams() + 1):
-            refresh = generator.generate(refresh_round=stream)
-            operations.extend(run_all(self.db, refresh, refresh_aux=False))
-        # aux maintenance once, after all refresh sets (its cost belongs
-        # to the DM run; deferring it further would distort Query Run 2)
-        aux_start = time.perf_counter()
-        self.db.refresh_matviews()
-        self.db.catalog.rebuild_indexes()
-        from ..maintenance import MaintenanceResult
+        with self.tracer.installed(), self.tracer.span("phase:maintenance"):
+            start = time.perf_counter()
+            operations = []
+            for stream in range(1, config.resolved_streams() + 1):
+                refresh = generator.generate(refresh_round=stream)
+                with self.tracer.span("refresh_set", stream=stream):
+                    operations.extend(run_all(self.db, refresh, refresh_aux=False))
+            # aux maintenance once, after all refresh sets (its cost belongs
+            # to the DM run; deferring it further would distort Query Run 2)
+            aux_start = time.perf_counter()
+            with self.tracer.span("aux_maintenance"):
+                self.db.refresh_matviews()
+                self.db.catalog.rebuild_indexes()
+            from ..maintenance import MaintenanceResult
 
-        operations.append(
-            MaintenanceResult("AUX", 0, time.perf_counter() - aux_start)
-        )
-        return MaintenanceRunResult(time.perf_counter() - start, operations)
+            operations.append(
+                MaintenanceResult("AUX", 0, time.perf_counter() - aux_start)
+            )
+            elapsed = time.perf_counter() - start
+        return MaintenanceRunResult(elapsed, operations)
+
+    # -- observability ---------------------------------------------------------
+
+    def span_timeline(self) -> list[dict]:
+        """The finished spans of every phase so far, as JSON-ready
+        dicts ordered by start time."""
+        return self.tracer.export()
+
+    def export_trace(self, path: str) -> None:
+        """Write the span timeline to ``path`` as a JSON document."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.span_timeline(), handle, indent=2)
 
 
 @dataclass
@@ -293,6 +352,9 @@ class BenchmarkResult:
     query_run_2: QueryRunResult
     qphds: float
     price_performance: float
+    #: the JSON span timeline from the run's tracer (phase / stream /
+    #: query spans) — the disclosure report's phase breakdown source
+    trace: list = field(default_factory=list)
 
     @property
     def metric_inputs(self) -> MetricInputs:
@@ -336,5 +398,6 @@ def run_benchmark(config: BenchmarkConfig) -> tuple[BenchmarkResult, BenchmarkRu
         query_run_2=qr2,
         qphds=metric,
         price_performance=price_performance(config.system_price, metric),
+        trace=run.span_timeline(),
     )
     return result, run

@@ -1,4 +1,9 @@
-"""Human-readable benchmark reports (the "full disclosure" summary)."""
+"""Human-readable benchmark reports (the "full disclosure" summary).
+
+The long-form report consumes the :class:`~repro.obs.Tracer` span
+timeline attached to :class:`BenchmarkResult` — per-phase breakdowns
+(load / power / throughput / maintenance sub-steps) and per-stream
+wall-clock summaries come from spans, not from ad-hoc timers."""
 
 from __future__ import annotations
 
@@ -103,4 +108,47 @@ def render_full_disclosure(result: BenchmarkResult, top: int = 15) -> str:
     lines.append(f"  {'operation':10s} {'rows':>10s} {'elapsed':>12s}")
     for name, (rows, elapsed) in op_totals.items():
         lines.append(f"  {name:10s} {rows:>10,} {format_seconds(elapsed):>12s}")
+    if result.trace:
+        lines.append("")
+        lines.extend(render_phase_breakdown(result.trace))
     return "\n".join(lines)
+
+
+def render_phase_breakdown(trace: list[dict]) -> list[str]:
+    """Render the span timeline as a per-phase / per-stream breakdown.
+
+    ``trace`` is the JSON span list a :class:`BenchmarkRun` exports:
+    phase spans (``phase:*``) with their direct sub-step children, and
+    per-stream wall-clock totals for the query-run phases."""
+    lines = ["phase breakdown (from span timeline)"]
+    for phase in trace:
+        if not phase["name"].startswith("phase:"):
+            continue
+        title = phase["name"].split(":", 1)[1]
+        attrs = phase.get("attrs", {})
+        note = ""
+        if "run" in attrs:
+            note = f" (query run {attrs['run']}, {attrs.get('streams', '?')} streams)"
+        lines.append(f"  {title:12s}: {format_seconds(phase['elapsed']):>10s}{note}")
+        children = [
+            span for span in trace
+            if span.get("parent") == phase["id"] and span["name"] != "query"
+        ]
+        for child in children:
+            label = child["name"]
+            if label == "stream":
+                label = f"stream {child['attrs'].get('stream')}"
+            lines.append(
+                f"    {label:20s} {format_seconds(child['elapsed']):>10s}"
+            )
+    queries = [s for s in trace if s["name"] == "query"]
+    if queries:
+        slowest = max(queries, key=lambda s: s["elapsed"])
+        attrs = slowest.get("attrs", {})
+        lines.append(
+            f"  spans recorded      : {len(trace)} "
+            f"({len(queries)} queries; slowest template "
+            f"{attrs.get('template')} at {format_seconds(slowest['elapsed'])} "
+            f"on stream {attrs.get('stream')})"
+        )
+    return lines

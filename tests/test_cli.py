@@ -57,6 +57,49 @@ def test_run_command(capsys):
     assert "QphDS" in out
 
 
+def test_run_command_trace_and_metrics(tmp_path, capsys):
+    import json
+
+    from repro.obs import get_registry, set_registry
+
+    trace_path = os.path.join(tmp_path, "trace.json")
+    previous = get_registry()
+    try:
+        assert main(["run", "--scale", "0.001", "--streams", "1",
+                     "--trace", trace_path, "--metrics"]) == 0
+    finally:
+        set_registry(previous)
+    out = capsys.readouterr().out
+    assert "span timeline written" in out
+    assert "metrics registry snapshot" in out
+    spans = json.loads(open(trace_path, encoding="utf-8").read())
+    assert any(s["name"] == "phase:load" for s in spans)
+
+
+def test_explain_command(capsys):
+    assert main(["explain", "--scale", "0.001", "--template", "52"]) == 0
+    out = capsys.readouterr().out
+    assert "query 52" in out
+    assert "Scan(store_sales" in out
+    assert "elapsed" not in out  # plain EXPLAIN does not execute
+
+
+def test_explain_analyze_command(capsys):
+    assert main(["explain", "--scale", "0.001", "--template", "52",
+                 "--analyze"]) == 0
+    out = capsys.readouterr().out
+    assert "rows=" in out
+    assert "elapsed=" in out
+    assert "Execution:" in out
+
+
+def test_explain_adhoc_sql(capsys):
+    assert main(["explain", "--scale", "0.001", "--analyze",
+                 "--sql", "SELECT COUNT(*) FROM item"]) == 0
+    out = capsys.readouterr().out
+    assert "Scan(item" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,234 @@
+"""Unit tests for `repro.obs` — metrics registry, tracer, exec stats."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    ExecStatsCollector,
+    MetricsRegistry,
+    Tracer,
+    annotate_plan,
+    get_registry,
+    get_tracer,
+    plan_to_dict,
+    set_registry,
+    set_tracer,
+)
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("rows").add(10)
+        reg.counter("rows").add(5)
+        assert reg.snapshot()["rows"] == {"type": "counter", "value": 15.0}
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("speed").set(100.0)
+        reg.gauge("speed").set(42.0)
+        assert reg.snapshot()["speed"]["value"] == 42.0
+
+    def test_histogram_stats(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat")
+        for value in (1, 2, 3, 4, 100):
+            hist.observe(value)
+        snap = reg.snapshot()["lat"]
+        assert snap["count"] == 5
+        assert snap["sum"] == 110
+        assert snap["min"] == 1
+        assert snap["max"] == 100
+        assert snap["mean"] == 22.0
+        assert snap["p50"] <= snap["p95"]
+
+    def test_histogram_resolves_subsecond_latencies(self):
+        """Regression: sub-1.0 observations used to collapse into one
+        bucket, reporting p50=1.0 for millisecond latencies."""
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat")
+        for value in (0.03, 0.035, 0.04, 0.05):
+            hist.observe(value)
+        snap = reg.snapshot()["lat"]
+        assert snap["p50"] <= 0.125
+        assert snap["p95"] <= 0.125
+        assert len(snap["buckets"]) >= 1
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("rows", labels={"table": "a"}).add(1)
+        reg.counter("rows", labels={"table": "b"}).add(2)
+        snap = reg.snapshot()
+        assert snap["rows{table=a}"]["value"] == 1
+        assert snap["rows{table=b}"]["value"] == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("rows").add(100)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(5.0)
+        assert reg.snapshot() == {}
+
+    def test_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(1)
+        assert json.loads(reg.to_json())["a"]["value"] == 1.0
+
+    def test_global_registry_swap(self):
+        replacement = MetricsRegistry(enabled=True)
+        previous = set_registry(replacement)
+        try:
+            assert get_registry() is replacement
+        finally:
+            set_registry(previous)
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("n")
+
+        def work():
+            for _ in range(1000):
+                counter.add()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+
+
+class TestTracer:
+    def test_span_timing_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", kind="test") as span:
+            span.set(rows=5)
+        (exported,) = tracer.export()
+        assert exported["name"] == "work"
+        assert exported["attrs"] == {"kind": "test", "rows": 5}
+        assert exported["elapsed"] >= 0
+        assert exported["parent"] is None
+
+    def test_nesting_same_thread(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        spans = {s["name"]: s for s in tracer.export()}
+        assert spans["inner"]["parent"] == outer.span_id
+        assert spans["outer"]["parent"] is None
+
+    def test_explicit_parent_across_threads(self):
+        tracer = Tracer()
+        with tracer.span("run") as run_span:
+            def work():
+                with tracer.span("stream", parent=run_span):
+                    pass
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        spans = {s["name"]: s for s in tracer.export()}
+        assert spans["stream"]["parent"] == run_span.span_id
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work") as span:
+            span.set(anything=1)
+        assert tracer.export() == []
+
+    def test_disabled_span_is_shared_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_installed_restores_previous(self):
+        tracer = Tracer()
+        before = get_tracer()
+        with tracer.installed():
+            assert get_tracer() is tracer
+        assert get_tracer() is before
+
+    def test_total_sums_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("op"):
+                pass
+        assert tracer.total("op") == pytest.approx(
+            sum(s["elapsed"] for s in tracer.export())
+        )
+
+    def test_json_export(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert json.loads(tracer.to_json())[0]["name"] == "a"
+
+    def test_global_default_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+
+
+class _FakeNode:
+    """Minimal plan-node double: label() + children()."""
+
+    def __init__(self, label, children=()):
+        self._label = label
+        self._children = tuple(children)
+
+    def label(self):
+        return self._label
+
+    def children(self):
+        return self._children
+
+
+class TestExecStats:
+    def test_record_and_annotate(self):
+        leaf = _FakeNode("Scan(t)")
+        root = _FakeNode("Project(x)", [leaf])
+        collector = ExecStatsCollector()
+        collector.record(leaf, rows_out=10, elapsed=0.001)
+        collector.record(root, rows_out=10, elapsed=0.002)
+        collector.add(leaf, rows_in=100)
+        text = annotate_plan(root, collector)
+        assert "Project(x)" in text
+        assert "rows=10" in text
+        assert "rows_in=100" in text
+        assert text.splitlines()[1].startswith("  Scan(t)")
+
+    def test_memo_hits_rendered(self):
+        node = _FakeNode("Rename(as cte)")
+        collector = ExecStatsCollector()
+        collector.record(node, rows_out=1, elapsed=0.0)
+        collector.memo_hit(node)
+        collector.memo_hit(node)
+        assert "memo_hits=2" in annotate_plan(node, collector)
+
+    def test_plan_to_dict_shape(self):
+        leaf = _FakeNode("Scan(t)")
+        root = _FakeNode("Limit(5)", [leaf])
+        collector = ExecStatsCollector()
+        collector.record(root, rows_out=5, elapsed=0.0)
+        tree = plan_to_dict(root, collector)
+        assert tree["label"] == "Limit(5)"
+        assert tree["stats"]["rows"] == 5
+        assert tree["children"][0]["label"] == "Scan(t)"
+        assert "stats" not in tree["children"][0]
+
+    def test_unrecorded_node_renders_bare(self):
+        node = _FakeNode("Scan(t)")
+        assert annotate_plan(node, ExecStatsCollector()) == "Scan(t)"

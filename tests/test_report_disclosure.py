@@ -35,6 +35,32 @@ class TestFullDisclosure:
         assert means == sorted(means, reverse=True)
         assert len(means) == 99
 
+    def test_phase_breakdown_from_span_timeline(self, small_result):
+        text = render_full_disclosure(small_result)
+        assert "phase breakdown (from span timeline)" in text
+        assert "load" in text
+        # single stream → the query runs are power-style phases
+        assert "power" in text
+        assert "maintenance" in text
+        assert "spans recorded" in text
+
+    def test_phase_breakdown_renders_substeps(self, small_result):
+        from repro.runner import render_phase_breakdown
+
+        lines = render_phase_breakdown(small_result.trace)
+        text = "\n".join(lines)
+        assert "load_tables" in text
+        assert "gather_stats" in text
+        assert "aux_maintenance" in text
+        assert "stream 0" in text
+
+    def test_breakdown_empty_without_trace(self, small_result):
+        import dataclasses
+
+        bare = dataclasses.replace(small_result, trace=[])
+        text = render_full_disclosure(bare)
+        assert "phase breakdown" not in text
+
 
 class TestMultiChannelInserts:
     def test_all_three_channels_present(self, generated_data):

@@ -78,6 +78,70 @@ class TestFullRun:
         assert "198 * S" in text
 
 
+class TestSpanTimeline:
+    def test_result_carries_span_timeline(self, bench_result):
+        result, _ = bench_result
+        assert result.trace
+        names = {span["name"] for span in result.trace}
+        assert {"phase:load", "phase:maintenance", "query", "stream"} <= names
+        # two query runs at 2 streams each
+        runs = [s for s in result.trace if s["name"] == "phase:throughput"]
+        assert len(runs) == 2
+
+    def test_phase_spans_nest_streams_and_queries(self, bench_result):
+        result, _ = bench_result
+        by_id = {span["id"]: span for span in result.trace}
+        streams = [s for s in result.trace if s["name"] == "stream"]
+        assert len(streams) == 4  # 2 runs x 2 streams
+        for stream in streams:
+            assert by_id[stream["parent"]]["name"] == "phase:throughput"
+        queries = [s for s in result.trace if s["name"] == "query"]
+        assert len(queries) == 99 * 4
+        for query in queries[:5]:
+            assert by_id[query["parent"]]["name"] == "stream"
+
+    def test_query_spans_carry_workload_attrs(self, bench_result):
+        result, _ = bench_result
+        query = next(s for s in result.trace if s["name"] == "query")
+        assert {"stream", "template", "query_name", "query_class", "rows"} <= set(
+            query["attrs"]
+        )
+
+    def test_maintenance_ops_traced(self, bench_result):
+        result, _ = bench_result
+        ops = [s for s in result.trace if s["name"] == "maintenance_op"]
+        # 12 operations per stream, 2 streams
+        assert len(ops) == 24
+        assert all("op" in s["attrs"] for s in ops)
+
+    def test_span_elapsed_consistent_with_phases(self, bench_result):
+        result, _ = bench_result
+        load_span = next(s for s in result.trace if s["name"] == "phase:load")
+        # the load phase span wraps generation + the timed load
+        assert load_span["elapsed"] >= result.load.elapsed
+
+    def test_export_trace_writes_json(self, bench_result, tmp_path):
+        import json
+
+        _, run = bench_result
+        path = tmp_path / "trace.json"
+        run.export_trace(str(path))
+        spans = json.loads(path.read_text())
+        assert spans == run.span_timeline()
+        assert len(spans) == len(run.tracer.export())
+
+    def test_disabled_tracer_yields_empty_timeline(self):
+        from repro.obs import Tracer
+
+        run = BenchmarkRun(
+            BenchmarkConfig(scale_factor=0.001, streams=1),
+            tracer=Tracer(enabled=False),
+        )
+        run.load_test()
+        run.query_run(1)
+        assert run.span_timeline() == []
+
+
 class TestConfig:
     def test_default_streams_from_figure12(self):
         assert BenchmarkConfig(scale_factor=0.01).resolved_streams() == 3
