@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test determinism bench bench-smoke qualification
+.PHONY: check test determinism bench bench-smoke bench-compare qualification
 
 ## tier-1 suite + parallel-generation determinism smoke
 check: test determinism
@@ -22,6 +22,11 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_metric_qphds.py \
 	    benchmarks/bench_table1_schema_stats.py --benchmark-only -q
 	$(PYTHON) benchmarks/check_overhead.py
+
+## compare the latest two benchmark runs in history.jsonl; exits
+## nonzero when any bench regressed beyond the noise threshold
+bench-compare:
+	$(PYTHON) -m repro.cli obs diff --history benchmarks/results/history.jsonl
 
 ## regenerate the pinned qualification answer set (after intentional
 ## behavioral changes only)

@@ -86,6 +86,7 @@ def pytest_sessionfinish(session, exitstatus):
             }
         )
     os.makedirs(out_dir, exist_ok=True)
+    payloads = []
     for name, entries in sorted(by_module.items()):
         payload = {
             "module": f"bench_{name}",
@@ -97,3 +98,10 @@ def pytest_sessionfinish(session, exitstatus):
         path = os.path.join(out_dir, f"BENCH_{name}.json")
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
+        payloads.append(payload)
+    # append this run to the regression-tracking history (keyed by git
+    # SHA) so `tpcds-py obs diff` / `make bench-compare` can flag
+    # run-over-run slowdowns
+    from repro.obs.regress import append_history
+
+    append_history(payloads, os.path.join(out_dir, "history.jsonl"))

@@ -6,9 +6,14 @@ Subcommands mirror the original kit's tools:
 * ``dsqgen``  — print generated queries for a template / stream;
 * ``run``     — execute the full benchmark and print the report
   (``--trace`` writes the span timeline, ``--metrics`` prints the
-  metrics-registry snapshot);
+  metrics-registry snapshot, ``--plan-quality`` aggregates
+  per-operator Q-error diagnostics);
 * ``explain`` — EXPLAIN / EXPLAIN ANALYZE a generated template or
-  ad-hoc SQL against a freshly loaded database;
+  ad-hoc SQL against a freshly loaded database (``--json`` emits the
+  machine-readable plan tree);
+* ``obs``     — observability tooling: ``obs diff`` compares the
+  latest two benchmark runs in ``history.jsonl`` and exits nonzero on
+  regressions beyond the noise threshold;
 * ``schema``  — print Table 1-style schema statistics;
 * ``audit``   — generate, load and audit a database (auditor checks);
 * ``scaling`` — print Table 2-style row counts for a scale factor.
@@ -98,6 +103,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         use_aux_structures=not args.no_aux,
         strict=args.strict,
+        plan_quality=args.plan_quality,
     )
     summary = bench.run()
     if args.full:
@@ -106,6 +112,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(render_full_disclosure(summary.result))
     else:
         print(summary.report())
+        if args.plan_quality and summary.result.plan_quality:
+            from .runner import render_plan_quality
+
+            print()
+            print("\n".join(render_plan_quality(summary.result.plan_quality)))
     if args.trace:
         import json
 
@@ -132,10 +143,31 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         qgen = QGen(data.context, build_catalog())
         query = qgen.generate(args.template, stream=args.stream)
         sql = query.statements[0]
-        print(f"-- query {query.template_id} ({query.name}; "
-              f"{query.query_class}; {query.channel_part} part)")
-    print(db.explain_analyze(sql) if args.analyze else db.explain(sql))
+        if not args.json:
+            print(f"-- query {query.template_id} ({query.name}; "
+                  f"{query.query_class}; {query.channel_part} part)")
+    if args.json:
+        import json
+
+        payload = (
+            db.explain_analyze_dict(sql) if args.analyze else db.explain_dict(sql)
+        )
+        print(json.dumps(payload, indent=2))
+    else:
+        print(db.explain_analyze(sql) if args.analyze else db.explain(sql))
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import compare_latest, load_history
+
+    if args.action == "diff":
+        history = load_history(args.history)
+        report = compare_latest(history, threshold=args.threshold)
+        print(report.render())
+        return report.exit_code()
+    print(f"obs: unknown action {args.action!r}", file=sys.stderr)
+    return 2
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -212,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true",
                    help="enable the metrics registry and print its"
                         " snapshot after the run")
+    p.add_argument("--plan-quality", action="store_true",
+                   help="collect per-operator Q-error diagnostics and"
+                        " print the worst-offender summary")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("explain",
@@ -226,7 +261,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--analyze", action="store_true",
                    help="execute the query and annotate the plan with"
                         " per-operator rows / elapsed / counters")
+    p.add_argument("--json", action="store_true",
+                   help="emit the plan tree as machine-readable JSON"
+                        " (plan_to_dict output)")
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser("obs", help="observability tooling")
+    p.add_argument("action", choices=["diff"],
+                   help="'diff' compares the latest two benchmark runs"
+                        " per module in the history file")
+    p.add_argument("--history", default="benchmarks/results/history.jsonl",
+                   help="path to the benchmark history JSONL file")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="relative noise threshold (default 0.25: flag"
+                        " regressions slower than 1.25x)")
+    p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser("audit", help="generate, load and audit a database")
     p.add_argument("--scale", type=float, default=0.01)

@@ -55,6 +55,7 @@ class Benchmark:
         use_aux_structures: bool = True,
         strict: bool = False,
         optimizer: Optional[OptimizerSettings] = None,
+        plan_quality: bool = False,
     ):
         self.config = BenchmarkConfig(
             scale_factor=scale_factor,
@@ -63,6 +64,7 @@ class Benchmark:
             use_aux_structures=use_aux_structures,
             strict=strict,
             optimizer=optimizer or OptimizerSettings(),
+            plan_quality=plan_quality,
         )
         self._run: Optional[BenchmarkRun] = None
         self._summary: Optional[RunSummary] = None

@@ -34,6 +34,11 @@ class Batch:
     def names(self) -> list[str]:
         return list(self.columns)
 
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of all column vectors."""
+        return sum(v.nbytes for v in self.columns.values())
+
     def add(self, name: str, vector: Vector) -> None:
         if self.columns and len(vector) != self.num_rows:
             raise ValueError("vector length mismatch on add")

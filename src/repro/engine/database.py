@@ -29,7 +29,13 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from ..obs import ExecStatsCollector, annotate_plan, get_registry, plan_to_dict
+from ..obs import (
+    ExecStatsCollector,
+    annotate_plan,
+    format_bytes,
+    get_registry,
+    plan_to_dict,
+)
 from .batch import Batch
 from .catalog import Catalog
 from .errors import EngineError, ExecutionError, PlanningError
@@ -109,6 +115,11 @@ class Database:
         self.enable_matview_rewrite = enable_matview_rewrite
         self.traces: list[QueryTrace] = []
         self.trace_queries = False
+        #: optional :class:`~repro.obs.PlanQualityAggregator`; when set,
+        #: every query executes under a stats collector and folds its
+        #: per-operator Q-error records into the aggregator (the
+        #: benchmark runner installs one for plan-quality reporting)
+        self.plan_quality = None
 
     # -- DDL -----------------------------------------------------------------
 
@@ -189,7 +200,8 @@ class Database:
             lines.append(f"-- rewritten to use materialized view {used_view}")
         lines.append(annotate_plan(plan, collector))
         lines.append(f"Execution: rows={batch.num_rows} "
-                     f"elapsed={elapsed * 1000:.3f}ms")
+                     f"elapsed={elapsed * 1000:.3f}ms "
+                     f"peak_mem={format_bytes(collector.peak_memory_bytes)}")
         text = "\n".join(lines)
         if self.trace_queries:
             self.traces.append(
@@ -206,7 +218,23 @@ class Database:
             "rewritten_from_view": used_view,
             "rows": batch.num_rows,
             "elapsed": elapsed,
+            "peak_memory_bytes": collector.peak_memory_bytes,
             "plan": plan_to_dict(plan, collector),
+        }
+
+    def explain_dict(self, sql: str) -> dict:
+        """:meth:`explain` for machine consumers: the optimized plan
+        (with optimizer row estimates) as JSON-ready dicts, without
+        executing the query."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, A.Query):
+            raise PlanningError("EXPLAIN supports queries only")
+        query, used_view = self._maybe_rewrite(statement)
+        plan = self._plan(query)
+        return {
+            "sql": sql,
+            "rewritten_from_view": used_view,
+            "plan": plan_to_dict(plan),
         }
 
     def _analyze(self, sql: str):
@@ -271,9 +299,14 @@ class Database:
 
     def _execute_query(self, query: A.Query, sql: str = "") -> Result:
         query, used_view = self._maybe_rewrite(query)
+        collector = (
+            ExecStatsCollector() if self.plan_quality is not None else None
+        )
         start = time.perf_counter()
-        plan, batch = self._execute_plan(query)
+        plan, batch = self._execute_plan(query, collector)
         elapsed = time.perf_counter() - start
+        if collector is not None:
+            self.plan_quality.record(sql, plan, collector)
         if self.trace_queries:
             header = (
                 f"-- rewritten to use materialized view {used_view}\n"

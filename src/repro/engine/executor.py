@@ -31,7 +31,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..obs import ExecStatsCollector
+from ..obs import ExecStatsCollector, get_registry
 from . import plan as P
 from .batch import Batch
 from .errors import ExecutionError, PlanningError
@@ -44,6 +44,13 @@ from .vector import Vector
 #: most this many rows (every output row materializes all columns of
 #: both sides, so memory cost is rows x total width)
 _MAX_JOIN_ROWS = 20_000_000
+
+#: estimated per-entry overhead of a Python hash build (dict slot +
+#: key tuple + match list) used by the memory accounting
+_HASH_ENTRY_BYTES = 112.0
+
+#: estimated per-entry overhead of a Python set (star-filter key sets)
+_SET_ENTRY_BYTES = 64.0
 
 
 def factorize(vec: Vector) -> np.ndarray:
@@ -86,6 +93,21 @@ class Executor:
         self._ctx = EvalContext(run_subquery)
         self._cache: dict[int, Batch] = {}
         self._collector = collector
+        # memory accounting is live when a collector is installed
+        # (EXPLAIN ANALYZE) or the metrics registry is enabled
+        # (`run --metrics`); otherwise the guards below cost one
+        # attribute check and the engine allocates nothing
+        registry = get_registry()
+        self._track_mem = collector is not None or registry.enabled
+        self._mem_gauge = registry.gauge("engine.peak_operator_bytes")
+
+    def _note_memory(self, node: P.PlanNode, nbytes: float) -> None:
+        """Report one operator's peak memory: into the per-node stats
+        (when a collector is installed) and the engine-wide high-water
+        gauge (a no-op instrument when the registry is disabled)."""
+        if self._collector is not None:
+            self._collector.note_memory(node, nbytes)
+        self._mem_gauge.set_max(nbytes)
 
     # -- entry -------------------------------------------------------------
 
@@ -164,10 +186,13 @@ class Executor:
         """Bitmap star transformation: intersect per-dimension row sets
         before materializing the fact scan."""
         allowed: Optional[np.ndarray] = None
+        mem_bytes = 0.0
         for dim_plan, fact_col, dim_ref in node.dims:
             dim_batch = self.run(dim_plan)
             vec = dim_batch.column(dim_ref.name, dim_ref.table)
             keys = set(vec.data[~vec.null].tolist())
+            if self._track_mem:
+                mem_bytes += _SET_ENTRY_BYTES * len(keys)
             rows = self._catalog.bitmap_rows(node.fact.table, fact_col, keys)
             if self._collector is not None:
                 self._collector.add(node, bitmap_probes=len(keys),
@@ -177,6 +202,10 @@ class Executor:
             allowed = rows if allowed is None else np.intersect1d(allowed, rows)
         if self._collector is not None and allowed is not None:
             self._collector.add(node, bitmap_rows=len(allowed))
+        if self._track_mem:
+            if allowed is not None:
+                mem_bytes += float(allowed.nbytes)
+            self._note_memory(node, mem_bytes)
         return self._scan(node.fact, row_subset=allowed)
 
     def _matview_scan(self, node: P.MatViewScan) -> Batch:
@@ -211,17 +240,24 @@ class Executor:
             # execute as a left join with sides swapped, then restore order
             swapped = P.Join(node.right, node.left, "left",
                              [(r, l) for l, r in node.equi_keys], node.residual)
-            swapped_result = self._join_impl(right, left, swapped)
+            swapped_result = self._join_impl(right, left, swapped, stats_node=node)
             names = list(left.columns) + list(right.columns)
             return Batch({n: swapped_result.columns[n] for n in names})
         return self._join_impl(left, right, node)
 
-    def _join_impl(self, left: Batch, right: Batch, node: P.Join) -> Batch:
+    def _join_impl(
+        self, left: Batch, right: Batch, node: P.Join,
+        stats_node: P.Join | None = None,
+    ) -> Batch:
+        """``stats_node`` is the original plan node to charge stats to
+        when ``node`` is the transient right-join swap."""
         kind = node.kind
         if not node.equi_keys:
             pairs = self._cross_pairs(left, right)
         else:
-            pairs = self._hash_pairs(left, right, node.equi_keys)
+            pairs = self._hash_pairs(
+                left, right, node.equi_keys, stats_node or node
+            )
         li, ri = pairs
         joined = Batch()
         for name, vec in left.columns.items():
@@ -268,12 +304,22 @@ class Executor:
         ri = np.tile(np.arange(right.num_rows), left.num_rows)
         return li, ri
 
-    def _hash_pairs(self, left: Batch, right: Batch, keys):
+    def _hash_pairs(self, left: Batch, right: Batch, keys, stats_node=None):
         lvecs = [evaluate(l, left, self._ctx) for l, _ in keys]
         rvecs = [evaluate(r, right, self._ctx) for _, r in keys]
         for i in range(len(keys)):
             lvecs[i], rvecs[i] = harmonize([lvecs[i], rvecs[i]])
-        if len(keys) == 1 and lvecs[0].kind in (Kind.INT, Kind.DATE):
+        int_path = len(keys) == 1 and lvecs[0].kind in (Kind.INT, Kind.DATE)
+        if self._track_mem and stats_node is not None:
+            build_bytes = float(sum(v.nbytes for v in rvecs))
+            if int_path:
+                # key copy + stable-sorted copy + sorted row-id array
+                build_bytes *= 3.0
+            else:
+                n_build = len(rvecs[0]) if rvecs else 0
+                build_bytes += _HASH_ENTRY_BYTES * n_build
+            self._note_memory(stats_node, build_bytes)
+        if int_path:
             return self._int_key_pairs(lvecs[0], rvecs[0])
         return self._tuple_key_pairs(lvecs, rvecs)
 
@@ -342,6 +388,14 @@ class Executor:
         group_vecs = [evaluate(g, child, self._ctx) for g, _ in node.group_items]
         if self._collector is not None:
             self._collector.add(node, rows_in=child.num_rows)
+        if self._track_mem:
+            # group-key vectors plus the int64 code + inverse arrays
+            # the np.unique grouping materializes
+            self._note_memory(
+                node,
+                float(sum(v.nbytes for v in group_vecs))
+                + 16.0 * child.num_rows,
+            )
         if not node.rollup:
             return self._aggregate_pass(node, child, group_vecs, active=len(group_vecs))
         passes = []
@@ -639,6 +693,11 @@ class Executor:
     def _sort(self, node: P.Sort) -> Batch:
         child = self.run(node.child)
         order = self._sort_indices(child, node.keys)
+        if self._track_mem:
+            # one int64 code array per sort key plus the lexsort result
+            self._note_memory(
+                node, 8.0 * child.num_rows * (len(node.keys) + 1)
+            )
         return child.take(order)
 
     def _distinct(self, batch: Batch) -> Batch:

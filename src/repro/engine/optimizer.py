@@ -28,7 +28,7 @@ from typing import Optional
 from . import plan as P
 from .planner import and_all, output_names, refs_bound, split_conjuncts
 from .sql import ast_nodes as A
-from .stats import estimate_selectivity
+from .stats import conjunction_selectivity, estimate_selectivity
 
 
 @dataclass
@@ -54,7 +54,16 @@ class Optimizer:
 
     def optimize(self, node: P.PlanNode) -> P.PlanNode:
         self._shared = {}
-        return self._rewrite(node)
+        node = self._rewrite(node)
+        self.annotate_estimates(node)
+        return node
+
+    def annotate_estimates(self, root: P.PlanNode) -> None:
+        """Attach ``estimated_rows`` to every node of the optimized
+        plan, so EXPLAIN ANALYZE can report the estimate next to the
+        measured row count and compute the per-operator Q-error."""
+        for node in root.walk():
+            node.estimated_rows = self._estimate_rows(node)
 
     # -- recursive driver ---------------------------------------------------
 
@@ -232,9 +241,15 @@ class Optimizer:
             else:
                 base = float(stats.row_count)
             column_stats = stats if stats else None
-            for predicate in node.pushed_filters:
-                base *= estimate_selectivity(
-                    predicate, column_stats, node.binding
+            if node.pushed_filters:
+                # pushed filters are one conjunction: combine with the
+                # same exponential backoff the estimator applies to
+                # explicit AND-chains
+                base *= conjunction_selectivity(
+                    [
+                        estimate_selectivity(p, column_stats, node.binding)
+                        for p in node.pushed_filters
+                    ]
                 )
             return max(base, 1.0)
         if isinstance(node, P.StarFilter):
@@ -247,6 +262,20 @@ class Optimizer:
             left = self._estimate_rows(node.left)
             right = self._estimate_rows(node.right)
             if node.equi_keys:
+                # classic equi-join estimate: |L| * |R| / max(ndv_l, ndv_r)
+                # per key (a PK/FK join collapses to ~|fact|); fall back
+                # to the old max(left, right) when NDV is unavailable
+                denominator = 1.0
+                have_ndv = False
+                for lexpr, rexpr in node.equi_keys:
+                    ndv_l = self._key_ndv(node.left, lexpr)
+                    ndv_r = self._key_ndv(node.right, rexpr)
+                    best = max(ndv_l or 0, ndv_r or 0)
+                    if best > 0:
+                        denominator *= best
+                        have_ndv = True
+                if have_ndv:
+                    return max(left * right / denominator, 1.0)
                 return max(left, right)
             return left * right
         if isinstance(node, P.Aggregate):
@@ -256,6 +285,36 @@ class Optimizer:
         if isinstance(node, (P.Sort, P.Limit, P.Distinct, P.Window, P.Project)):
             return self._estimate_rows(node.children()[0])
         return 1000.0
+
+    def _key_ndv(self, node: P.PlanNode, expr: A.Expr) -> Optional[int]:
+        """NDV of a join-key expression, resolved against catalog stats.
+
+        Only a bare column reference can be resolved; the scan that
+        binds it is located in ``node``'s subtree (qualified refs match
+        the scan binding, unqualified refs must match exactly one scan
+        column). Returns None when the key is computed, ambiguous, or
+        the table has no gathered statistics."""
+        refs = [n for n in A.walk(expr) if isinstance(n, A.ColumnRef)]
+        if len(refs) != 1 or not isinstance(expr, A.ColumnRef):
+            return None
+        ref = refs[0]
+        found: Optional[int] = None
+        for sub in node.walk():
+            if not isinstance(sub, P.Scan):
+                continue
+            if ref.table is not None and ref.table != sub.binding:
+                continue
+            if not self._catalog.table(sub.table).schema.has_column(ref.name):
+                continue
+            stats = self._catalog.stats(sub.table)
+            column = stats.columns.get(ref.name) if stats else None
+            ndv = column.ndv if column else None
+            if ref.table is not None:
+                return ndv
+            if found is not None:
+                return None  # unqualified ref matches several scans
+            found = ndv
+        return found
 
     def _greedy_order(self, relations: list[P.PlanNode], conjuncts: list[A.Expr]) -> P.PlanNode:
         names = {id(rel): output_names(rel, self._catalog) for rel in relations}

@@ -22,6 +22,12 @@ from .sql import ast_nodes as A
 class PlanNode:
     """Base class of logical plan nodes."""
 
+    #: optimizer cardinality estimate, attached by
+    #: :meth:`Optimizer.optimize` so EXPLAIN ANALYZE can compute the
+    #: per-operator Q-error (kept a plain class attribute, not a
+    #: dataclass field, so subclass constructors are unaffected)
+    estimated_rows = None
+
     def children(self) -> tuple["PlanNode", ...]:
         return ()
 

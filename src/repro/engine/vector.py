@@ -94,6 +94,16 @@ class Vector:
 
     # -- basics ------------------------------------------------------------
 
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint in bytes: the numpy buffers,
+        plus a flat per-element payload estimate for object (string)
+        arrays, whose ``.nbytes`` counts only the pointers."""
+        total = self.data.nbytes + self.null.nbytes
+        if self.kind is Kind.STR:
+            total += 56 * len(self.data)  # CPython small-str overhead
+        return total
+
     def __len__(self) -> int:
         return len(self.data)
 

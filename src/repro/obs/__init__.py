@@ -14,8 +14,14 @@ disabled (the default):
   feed the full-disclosure report.
 * :mod:`repro.obs.exec_stats` — per-operator execution statistics
   (rows in/out, elapsed, hash-build sizes, bitmap probe counts,
-  CTE-memo hits) collected by the executor and rendered by
-  ``EXPLAIN ANALYZE``.
+  CTE-memo hits, peak operator memory, estimate Q-error) collected by
+  the executor and rendered by ``EXPLAIN ANALYZE``.
+* :mod:`repro.obs.plan_quality` — aggregates per-operator Q-error
+  across a query run into worst-offender diagnostics for the
+  full-disclosure report.
+* :mod:`repro.obs.regress` — benchmark regression tracking: appends
+  bench results to ``history.jsonl`` keyed by git SHA and diffs the
+  latest two runs under a noise threshold (``tpcds-py obs diff``).
 
 The global tracer and registry start *disabled*: every instrumentation
 site is guarded by a single attribute check, so a run that never turns
@@ -23,8 +29,25 @@ observability on pays only that check (measured < 2% on the tier-1
 query suite — see ``benchmarks/check_overhead.py``).
 """
 
-from .exec_stats import ExecStatsCollector, OperatorStats, annotate_plan, plan_to_dict
+from .exec_stats import (
+    MISESTIMATE_THRESHOLD,
+    ExecStatsCollector,
+    OperatorStats,
+    annotate_plan,
+    format_bytes,
+    plan_to_dict,
+    q_error,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry, set_registry
+from .plan_quality import OperatorQuality, PlanQualityAggregator, collect_plan_quality
+from .regress import (
+    BenchDelta,
+    ComparisonReport,
+    append_history,
+    compare_latest,
+    git_sha,
+    load_history,
+)
 from .tracing import NULL_TRACER, Span, Tracer, get_tracer, set_tracer
 
 __all__ = [
@@ -43,4 +66,16 @@ __all__ = [
     "OperatorStats",
     "annotate_plan",
     "plan_to_dict",
+    "q_error",
+    "format_bytes",
+    "MISESTIMATE_THRESHOLD",
+    "OperatorQuality",
+    "PlanQualityAggregator",
+    "collect_plan_quality",
+    "BenchDelta",
+    "ComparisonReport",
+    "append_history",
+    "compare_latest",
+    "git_sha",
+    "load_history",
 ]

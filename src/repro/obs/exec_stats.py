@@ -2,13 +2,18 @@
 
 The executor, when handed an :class:`ExecStatsCollector`, records for
 every plan node it runs: output rows, inclusive elapsed time, number
-of invocations, CTE-memo hits, and operator-specific counters (hash
-build/probe sizes, bitmap probe counts, pushed-filter counts, ...).
+of invocations, CTE-memo hits, peak operator memory, and
+operator-specific counters (hash build/probe sizes, bitmap probe
+counts, pushed-filter counts, ...).
 
 :func:`annotate_plan` then renders the optimized plan tree with those
 numbers attached — the body of ``EXPLAIN ANALYZE`` — and
 :func:`plan_to_dict` produces the same tree as JSON-ready dicts for
-machine consumers (benchmark disclosure, regression tracking).
+machine consumers (benchmark disclosure, regression tracking). When
+the optimizer attached ``estimated_rows`` to a node, both also report
+the per-operator **Q-error** (``max(est, act) / min(est, act)``, the
+standard plan-quality measure) and flag misestimates beyond
+:data:`MISESTIMATE_THRESHOLD`.
 
 This module is duck-typed against plan nodes (anything with
 ``label()`` and ``children()``), so it has no dependency on the engine
@@ -18,6 +23,20 @@ and the engine pays nothing for it when no collector is installed.
 from __future__ import annotations
 
 from typing import Optional
+
+#: a per-operator Q-error at or beyond this is flagged as a misestimate
+#: (a factor-4 error is the conventional "the optimizer was wrong
+#: enough to pick a different plan" bar)
+MISESTIMATE_THRESHOLD = 4.0
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The Q-error of a cardinality estimate: ``max/min`` of the
+    estimated and actual row counts, both clamped to >= 1 so empty
+    results don't divide by zero. 1.0 is a perfect estimate."""
+    est = max(float(estimated), 1.0)
+    act = max(float(actual), 1.0)
+    return max(est, act) / min(est, act)
 
 
 class OperatorStats:
@@ -56,6 +75,8 @@ class ExecStatsCollector:
 
     def __init__(self):
         self.nodes: dict[int, OperatorStats] = {}
+        #: largest single-operator memory footprint seen (bytes)
+        self.peak_memory_bytes = 0.0
 
     def _slot(self, node) -> OperatorStats:
         stats = self.nodes.get(id(node))
@@ -81,20 +102,56 @@ class ExecStatsCollector:
         for key, value in counters.items():
             extra[key] = extra.get(key, 0) + value
 
+    def note_memory(self, node, nbytes: float) -> None:
+        """Record ``node``'s memory footprint for one execution: its
+        ``mem_bytes`` counter keeps the per-operator peak (not the sum
+        across loops) and the collector tracks the statement-wide
+        high-water mark."""
+        extra = self._slot(node).extra
+        if nbytes > extra.get("mem_bytes", 0):
+            extra["mem_bytes"] = nbytes
+        if nbytes > self.peak_memory_bytes:
+            self.peak_memory_bytes = nbytes
+
     def stats_for(self, node) -> Optional[OperatorStats]:
         """The stats recorded for ``node``, if any."""
         return self.nodes.get(id(node))
+
+
+def format_bytes(nbytes: float) -> str:
+    """Compact human-readable byte count (B / KB / MB / GB)."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB"):
+        if value < 1024.0:
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GB"
 
 
 def _format_extra(extra: dict) -> str:
     parts = []
     for key in sorted(extra):
         value = extra[key]
-        if isinstance(value, float) and not value.is_integer():
+        if key == "mem_bytes":
+            parts.append(f"mem={format_bytes(value)}")
+        elif isinstance(value, float) and not value.is_integer():
             parts.append(f"{key}={value:.3g}")
         else:
             parts.append(f"{key}={int(value)}")
     return " ".join(parts)
+
+
+def _estimate_detail(node, rows_out: int) -> str:
+    """The ``est= q_err=`` clause for one node (empty when the plan
+    carries no optimizer estimate)."""
+    estimated = getattr(node, "estimated_rows", None)
+    if estimated is None:
+        return ""
+    err = q_error(estimated, rows_out)
+    detail = f" est={estimated:.0f} q_err={err:.1f}"
+    if err >= MISESTIMATE_THRESHOLD:
+        detail += " [misestimate]"
+    return detail
 
 
 def _annotate_node(node, collector: ExecStatsCollector, indent: int,
@@ -104,6 +161,7 @@ def _annotate_node(node, collector: ExecStatsCollector, indent: int,
     if stats is not None:
         detail = (f"rows={stats.rows_out} elapsed={stats.elapsed * 1000:.3f}ms "
                   f"loops={stats.invocations}")
+        detail += _estimate_detail(node, stats.rows_out)
         if stats.memo_hits:
             detail += f" memo_hits={stats.memo_hits}"
         if stats.extra:
@@ -122,12 +180,23 @@ def annotate_plan(root, collector: ExecStatsCollector) -> str:
 
 
 def plan_to_dict(root, collector: Optional[ExecStatsCollector] = None) -> dict:
-    """The plan tree (optionally annotated) as JSON-ready dicts."""
+    """The plan tree (optionally annotated) as JSON-ready dicts.
+
+    Nodes carry the optimizer's ``estimated_rows`` when present; with
+    a collector, each node's measured stats plus its Q-error and
+    misestimate flag ride along."""
     entry: dict = {"label": root.label()}
+    estimated = getattr(root, "estimated_rows", None)
+    if estimated is not None:
+        entry["estimated_rows"] = estimated
     if collector is not None:
         stats = collector.stats_for(root)
         if stats is not None:
             entry["stats"] = stats.as_dict()
+            if estimated is not None:
+                err = q_error(estimated, stats.rows_out)
+                entry["q_error"] = err
+                entry["misestimate"] = err >= MISESTIMATE_THRESHOLD
     children = [plan_to_dict(c, collector) for c in root.children()]
     if children:
         entry["children"] = children

@@ -65,6 +65,13 @@ class Gauge:
         with self._lock:
             self.value = value
 
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is higher (high-water
+        marks: peak operator memory, max queue depth)."""
+        with self._lock:
+            if value > self.value:
+                self.value = value
+
     def as_dict(self) -> dict:
         """Snapshot as a plain dict."""
         return {"type": "gauge", "value": self.value}
@@ -153,6 +160,9 @@ class _NullInstrument:
         """No-op."""
 
     def set(self, value: float) -> None:
+        """No-op."""
+
+    def set_max(self, value: float) -> None:
         """No-op."""
 
     def observe(self, value: float) -> None:

@@ -1,0 +1,163 @@
+"""Plan-quality diagnostics: aggregated per-operator Q-error.
+
+The optimizer attaches ``estimated_rows`` to every plan node and the
+executor (under an :class:`~repro.obs.ExecStatsCollector`) measures the
+actual output rows; :func:`collect_plan_quality` turns one executed
+plan into per-operator quality records, and
+:class:`PlanQualityAggregator` accumulates them across a whole query
+run so the full-disclosure report can show *where the optimizer is
+wrong* — the worst-offender operators ranked by Q-error, the
+misestimate rate, and per-query worst cases.
+
+The paper's central tension (§4, §5.2) is that TPC-DS's skewed,
+correlated data defeats uniformity-based cardinality estimation; this
+module is the instrument that makes that failure visible and
+trackable across PRs.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from .exec_stats import MISESTIMATE_THRESHOLD, ExecStatsCollector, q_error
+
+
+@dataclass
+class OperatorQuality:
+    """One operator's estimate-vs-actual record."""
+
+    query: str
+    label: str
+    estimated: float
+    actual: int
+    q_error: float
+    misestimate: bool
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "query": self.query,
+            "label": self.label,
+            "estimated": self.estimated,
+            "actual": self.actual,
+            "q_error": self.q_error,
+            "misestimate": self.misestimate,
+        }
+
+
+def collect_plan_quality(
+    plan,
+    collector: ExecStatsCollector,
+    query: str = "",
+    threshold: float = MISESTIMATE_THRESHOLD,
+) -> list[OperatorQuality]:
+    """Per-operator quality records for one executed plan.
+
+    Only nodes that carry both an optimizer estimate and measured
+    stats contribute (a CTE subtree served from the memo on every
+    reference, for example, never re-executes and is skipped)."""
+    records: list[OperatorQuality] = []
+    seen: set[int] = set()
+    for node in plan.walk():
+        if id(node) in seen:  # shared (CTE / star-filter dim) subtrees
+            continue
+        seen.add(id(node))
+        estimated = getattr(node, "estimated_rows", None)
+        stats = collector.stats_for(node)
+        if estimated is None or stats is None:
+            continue
+        err = q_error(estimated, stats.rows_out)
+        records.append(
+            OperatorQuality(
+                query=query,
+                label=node.label(),
+                estimated=float(estimated),
+                actual=stats.rows_out,
+                q_error=err,
+                misestimate=err >= threshold,
+            )
+        )
+    return records
+
+
+class PlanQualityAggregator:
+    """Accumulates :class:`OperatorQuality` records across queries.
+
+    Thread-safe: concurrent benchmark streams record into one
+    aggregator. Keeps only the worst operator per (query, label) pair
+    plus run-wide totals, so memory stays bounded over a full
+    benchmark run."""
+
+    def __init__(self, threshold: float = MISESTIMATE_THRESHOLD,
+                 query_label_chars: int = 48):
+        self.threshold = threshold
+        self._label_chars = query_label_chars
+        self._lock = threading.Lock()
+        #: worst record per (query, operator label)
+        self._worst: dict[tuple[str, str], OperatorQuality] = {}
+        self.operators_seen = 0
+        self.misestimates = 0
+
+    def record(self, query: str, plan, collector: ExecStatsCollector) -> None:
+        """Fold one executed plan's quality records into the aggregate."""
+        name = " ".join(query.split())[: self._label_chars]
+        records = collect_plan_quality(
+            plan, collector, query=name, threshold=self.threshold
+        )
+        with self._lock:
+            self.operators_seen += len(records)
+            for rec in records:
+                if rec.misestimate:
+                    self.misestimates += 1
+                key = (rec.query, rec.label)
+                held = self._worst.get(key)
+                if held is None or rec.q_error > held.q_error:
+                    self._worst[key] = rec
+
+    def worst_offenders(self, top: int = 10) -> list[OperatorQuality]:
+        """The ``top`` worst-estimated operators across all queries."""
+        with self._lock:
+            ranked = sorted(self._worst.values(), key=lambda r: -r.q_error)
+        return ranked[:top]
+
+    def per_query_worst(self) -> dict[str, OperatorQuality]:
+        """Each query's single worst operator."""
+        out: dict[str, OperatorQuality] = {}
+        with self._lock:
+            records = list(self._worst.values())
+        for rec in records:
+            held = out.get(rec.query)
+            if held is None or rec.q_error > held.q_error:
+                out[rec.query] = rec
+        return out
+
+    def as_dict(self, top: int = 10) -> dict:
+        """JSON-ready summary (full-disclosure report payload)."""
+        return {
+            "threshold": self.threshold,
+            "operators_seen": self.operators_seen,
+            "misestimates": self.misestimates,
+            "worst_offenders": [r.as_dict() for r in self.worst_offenders(top)],
+        }
+
+    def render(self, top: int = 10) -> list[str]:
+        """Report lines: misestimate rate + the worst-offender table."""
+        lines = [
+            "plan quality (optimizer cardinality estimates)",
+            f"  operators measured  : {self.operators_seen}"
+            f"  (misestimates >= {self.threshold:g}x: {self.misestimates})",
+        ]
+        offenders = self.worst_offenders(top)
+        if not offenders:
+            lines.append("  no operators measured")
+            return lines
+        lines.append(
+            f"  {'q_err':>8s} {'est':>12s} {'actual':>12s}  operator / query"
+        )
+        for rec in offenders:
+            lines.append(
+                f"  {rec.q_error:>8.1f} {rec.estimated:>12.0f} "
+                f"{rec.actual:>12d}  {rec.label}  [{rec.query}]"
+            )
+        return lines

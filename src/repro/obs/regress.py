@@ -1,0 +1,220 @@
+"""Benchmark regression tracking over ``history.jsonl``.
+
+The bench harness (``benchmarks/conftest.py``) appends one JSONL
+record per bench module per run into ``benchmarks/results/
+history.jsonl``, keyed by git SHA. :func:`compare_latest` diffs the
+latest two runs of every module, applies a noise threshold to the
+mean-time ratio, and reports regressions / improvements;
+``tpcds-py obs diff`` (and ``make bench-compare``) exit nonzero when
+any regression exceeds the threshold — the closed loop that keeps
+``QphDS@SF`` honest across PRs.
+
+A history record looks like::
+
+    {"sha": "...", "recorded_at": "...", "module": "bench_metric_qphds",
+     "benchmarks": [{"test": "...", "mean": 0.012, ...}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: a mean-time ratio within ±this fraction is considered noise
+DEFAULT_NOISE_THRESHOLD = 0.25
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """The current git commit SHA, or ``"unknown"`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def append_history(
+    payloads: list[dict],
+    history_path: str,
+    sha: Optional[str] = None,
+    recorded_at: Optional[str] = None,
+) -> int:
+    """Append one JSONL record per bench-module payload to the history.
+
+    ``payloads`` are the ``BENCH_<name>.json`` documents (each with a
+    ``module`` name and a ``benchmarks`` list); every record is stamped
+    with the git SHA and a timestamp so runs stay distinguishable.
+    Returns the number of records written."""
+    if not payloads:
+        return 0
+    sha = sha or git_sha(os.path.dirname(os.path.abspath(history_path)))
+    recorded_at = recorded_at or time.strftime("%Y-%m-%dT%H:%M:%S")
+    os.makedirs(os.path.dirname(os.path.abspath(history_path)), exist_ok=True)
+    written = 0
+    with open(history_path, "a", encoding="utf-8") as handle:
+        for payload in payloads:
+            record = {
+                "sha": sha,
+                "recorded_at": recorded_at,
+                "module": payload.get("module", "unknown"),
+                "scale_factor": payload.get("scale_factor"),
+                "benchmarks": [
+                    {
+                        "test": entry.get("test"),
+                        "mean": entry.get("mean"),
+                        "median": entry.get("median"),
+                        "stddev": entry.get("stddev"),
+                        "rounds": entry.get("rounds"),
+                    }
+                    for entry in payload.get("benchmarks", [])
+                ],
+            }
+            handle.write(json.dumps(record) + "\n")
+            written += 1
+    return written
+
+
+def load_history(path: str) -> list[dict]:
+    """Parse a ``history.jsonl`` file (missing file -> empty history);
+    malformed lines are skipped rather than aborting the comparison."""
+    if not os.path.exists(path):
+        return []
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+@dataclass
+class BenchDelta:
+    """One test's latest-vs-previous comparison."""
+
+    module: str
+    test: str
+    old_mean: float
+    new_mean: float
+    ratio: float  # new / old; > 1 means slower
+    status: str   # "ok" | "regression" | "improvement"
+    old_sha: str = ""
+    new_sha: str = ""
+
+    def render(self) -> str:
+        """One report line."""
+        arrow = {"regression": "!!", "improvement": "++", "ok": "  "}[self.status]
+        return (
+            f"  {arrow} {self.module:36.36s} {self.test:32.32s} "
+            f"{self.old_mean * 1000:>10.3f}ms -> {self.new_mean * 1000:>10.3f}ms "
+            f"({(self.ratio - 1) * 100:+6.1f}%)"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """The latest-two-runs diff across all bench modules."""
+
+    threshold: float
+    deltas: list[BenchDelta] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def improvements(self) -> list[BenchDelta]:
+        return [d for d in self.deltas if d.status == "improvement"]
+
+    def exit_code(self) -> int:
+        """0 when no regression beats the noise threshold, 1 otherwise."""
+        return 1 if self.regressions else 0
+
+    def render(self) -> str:
+        """The human-readable comparison report."""
+        lines = [
+            f"benchmark comparison (noise threshold ±{self.threshold * 100:.0f}%)",
+        ]
+        if not self.deltas and not self.skipped:
+            lines.append("  no comparable runs in history (need two runs per module)")
+            return "\n".join(lines)
+        for delta in sorted(self.deltas, key=lambda d: -d.ratio):
+            lines.append(delta.render())
+        for note in self.skipped:
+            lines.append(f"     {note}")
+        lines.append(
+            f"  {len(self.deltas)} compared: "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s)"
+        )
+        if self.regressions:
+            lines.append("FAIL: benchmark regression beyond the noise threshold")
+        else:
+            lines.append("PASS: no benchmark regressions")
+        return "\n".join(lines)
+
+
+def compare_latest(
+    history: list[dict], threshold: float = DEFAULT_NOISE_THRESHOLD
+) -> ComparisonReport:
+    """Diff the latest two runs of every module in ``history``.
+
+    Runs are taken in file (append) order; for each module the last
+    two records form the (previous, latest) pair. A mean-time ratio
+    above ``1 + threshold`` is a regression, below ``1 - threshold``
+    an improvement, anything between is noise ("ok"). Back-to-back
+    identical runs therefore always pass."""
+    report = ComparisonReport(threshold=threshold)
+    by_module: dict[str, list[dict]] = {}
+    for record in history:
+        by_module.setdefault(record.get("module", "unknown"), []).append(record)
+    for module in sorted(by_module):
+        records = by_module[module]
+        if len(records) < 2:
+            report.skipped.append(f"{module}: only one recorded run")
+            continue
+        previous, latest = records[-2], records[-1]
+        old_tests = {b.get("test"): b for b in previous.get("benchmarks", [])}
+        for bench in latest.get("benchmarks", []):
+            test = bench.get("test")
+            old = old_tests.get(test)
+            new_mean = bench.get("mean")
+            old_mean = old.get("mean") if old else None
+            if old is None:
+                report.skipped.append(f"{module}::{test}: new test, no baseline")
+                continue
+            if not old_mean or new_mean is None:
+                report.skipped.append(f"{module}::{test}: missing mean")
+                continue
+            ratio = new_mean / old_mean
+            if ratio > 1.0 + threshold:
+                status = "regression"
+            elif ratio < 1.0 - threshold:
+                status = "improvement"
+            else:
+                status = "ok"
+            report.deltas.append(
+                BenchDelta(
+                    module=module,
+                    test=test,
+                    old_mean=old_mean,
+                    new_mean=new_mean,
+                    ratio=ratio,
+                    status=status,
+                    old_sha=previous.get("sha", ""),
+                    new_sha=latest.get("sha", ""),
+                )
+            )
+    return report

@@ -25,7 +25,12 @@ from .metric import (
 )
 from .audit import AuditFinding, audit_database
 from .pricing import PriceBook, SystemConfiguration, dollars_per_qphds
-from .report import render_full_disclosure, render_phase_breakdown, render_report
+from .report import (
+    render_full_disclosure,
+    render_phase_breakdown,
+    render_plan_quality,
+    render_report,
+)
 
 __all__ = [
     "BenchmarkConfig",
@@ -50,6 +55,7 @@ __all__ = [
     "render_report",
     "render_full_disclosure",
     "render_phase_breakdown",
+    "render_plan_quality",
     "AuditFinding",
     "audit_database",
     "PriceBook",

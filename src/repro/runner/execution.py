@@ -23,7 +23,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..obs import Tracer, get_registry
+from ..obs import PlanQualityAggregator, Tracer, get_registry
 from ..dsdgen import DsdGen, GeneratedData, minimum_streams
 from ..dsdgen.generator import load_tables
 from ..engine import Database, OptimizerSettings
@@ -107,6 +107,10 @@ class BenchmarkConfig:
     #: enforce the ad-hoc implementation rules (complex aux structures
     #: restricted to the reporting channel)
     enforce_implementation_rules: bool = True
+    #: run every query under a stats collector and aggregate per-operator
+    #: Q-error into the full-disclosure report (adds per-query overhead,
+    #: so it is opt-in)
+    plan_quality: bool = False
     optimizer: OptimizerSettings = field(default_factory=OptimizerSettings)
     #: refresh-set sizing
     update_fraction: float = 0.02
@@ -227,6 +231,8 @@ class BenchmarkRun:
             with self.tracer.span("gather_stats"):
                 db.gather_stats()
             elapsed = time.perf_counter() - start
+            if config.plan_quality:
+                db.plan_quality = PlanQualityAggregator()
             self.db = db
             self.qgen = QGen(self.data.context, build_catalog())
             rows = sum(self.data.row_counts.values())
@@ -355,6 +361,9 @@ class BenchmarkResult:
     #: the JSON span timeline from the run's tracer (phase / stream /
     #: query spans) — the disclosure report's phase breakdown source
     trace: list = field(default_factory=list)
+    #: plan-quality summary (worst Q-error operators) when the run was
+    #: configured with ``plan_quality=True``
+    plan_quality: Optional[dict] = None
 
     @property
     def metric_inputs(self) -> MetricInputs:
@@ -390,6 +399,9 @@ def run_benchmark(config: BenchmarkConfig) -> tuple[BenchmarkResult, BenchmarkRu
         t_load=load.elapsed,
     )
     metric = qphds(inputs, enforce_min_streams=config.strict)
+    quality = None
+    if run.db is not None and run.db.plan_quality is not None:
+        quality = run.db.plan_quality.as_dict()
     result = BenchmarkResult(
         config=config,
         load=load,
@@ -399,5 +411,6 @@ def run_benchmark(config: BenchmarkConfig) -> tuple[BenchmarkResult, BenchmarkRu
         qphds=metric,
         price_performance=price_performance(config.system_price, metric),
         trace=run.span_timeline(),
+        plan_quality=quality,
     )
     return result, run

@@ -108,10 +108,38 @@ def render_full_disclosure(result: BenchmarkResult, top: int = 15) -> str:
     lines.append(f"  {'operation':10s} {'rows':>10s} {'elapsed':>12s}")
     for name, (rows, elapsed) in op_totals.items():
         lines.append(f"  {name:10s} {rows:>10,} {format_seconds(elapsed):>12s}")
+    if result.plan_quality:
+        lines.append("")
+        lines.extend(render_plan_quality(result.plan_quality))
     if result.trace:
         lines.append("")
         lines.extend(render_phase_breakdown(result.trace))
     return "\n".join(lines)
+
+
+def render_plan_quality(quality: dict, top: int = 10) -> list[str]:
+    """Render the aggregated plan-quality summary (the JSON payload a
+    :class:`~repro.obs.PlanQualityAggregator` exports): misestimate
+    rate plus the worst-offender operator table, ranked by Q-error."""
+    seen = quality.get("operators_seen", 0)
+    missed = quality.get("misestimates", 0)
+    lines = [
+        "plan quality (optimizer cardinality estimates)",
+        f"  operators measured  : {seen}"
+        f"  (misestimates >= {quality.get('threshold', 0):g}x: {missed},"
+        f" {missed / seen * 100 if seen else 0.0:.1f}%)",
+    ]
+    offenders = quality.get("worst_offenders", [])[:top]
+    if not offenders:
+        lines.append("  no operators measured")
+        return lines
+    lines.append(f"  {'q_err':>8s} {'est':>12s} {'actual':>12s}  operator / query")
+    for rec in offenders:
+        lines.append(
+            f"  {rec['q_error']:>8.1f} {rec['estimated']:>12.0f} "
+            f"{rec['actual']:>12d}  {rec['label']}  [{rec['query']}]"
+        )
+    return lines
 
 
 def render_phase_breakdown(trace: list[dict]) -> list[str]:

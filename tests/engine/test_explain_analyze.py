@@ -30,6 +30,31 @@ class TestExplainAnalyzeText:
                 assert re.search(r"rows=\d+ elapsed=\d+\.\d+ms", line), line
         assert re.search(r"Execution: rows=\d+ elapsed=", text)
 
+    def test_estimates_and_q_error_annotated(self, loaded_db, qgen):
+        text = loaded_db.explain_analyze(_q52(qgen))
+        # every operator line carries the optimizer estimate + Q-error
+        for line in text.splitlines():
+            if line.strip().startswith(("Limit", "Sort", "Hash", "Scan")):
+                assert re.search(r"est=\d+ q_err=\d+\.\d+", line), line
+
+    def test_misestimate_flagged_above_threshold(self, simple_db):
+        # the subquery predicate cannot be pushed into the scan, so it
+        # stays a Filter whose estimate is child * 0.2 (1.2 of 6 rows);
+        # every row passes, putting the Q-error past the 4x threshold
+        text = simple_db.explain_analyze(
+            "SELECT item_sk, qty FROM sales "
+            "WHERE qty > (SELECT MIN(qty) FROM sales) - 1"
+        )
+        assert "[misestimate]" in text
+
+    def test_memory_reported_for_join_and_peak(self, loaded_db):
+        text = loaded_db.explain_analyze(
+            "SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk"
+        )
+        join_line = next(l for l in text.splitlines() if "HashJoin" in l)
+        assert re.search(r"mem=\d+(\.\d+)?\s?(B|KB|MB|GB)", join_line), join_line
+        assert re.search(r"peak_mem=\d+(\.\d+)?\s?(B|KB|MB|GB)", text)
+
     def test_row_counts_match_execution(self, loaded_db, qgen):
         sql = _q52(qgen)
         expected = len(loaded_db.execute(sql))
@@ -99,6 +124,30 @@ class TestExplainAnalyzeDict:
             assert "stats" in item, item["label"]
             stack.extend(item.get("children", ()))
         assert any(label.startswith("Scan(store_sales") for label in labels)
+
+    def test_estimates_q_error_and_memory_in_dict(self, loaded_db, qgen):
+        tree = loaded_db.explain_analyze_dict(_q52(qgen))
+        assert tree["peak_memory_bytes"] > 0
+        nodes = []
+        stack = [tree["plan"]]
+        while stack:
+            item = stack.pop()
+            nodes.append(item)
+            stack.extend(item.get("children", ()))
+        for node in nodes:
+            assert node["estimated_rows"] >= 1.0, node["label"]
+            assert node["q_error"] >= 1.0, node["label"]
+            assert isinstance(node["misestimate"], bool), node["label"]
+        assert any("mem_bytes" in n["stats"] for n in nodes)
+
+    def test_explain_dict_has_estimates_but_no_stats(self, loaded_db, qgen):
+        tree = loaded_db.explain_dict(_q52(qgen))
+        stack = [tree["plan"]]
+        while stack:
+            item = stack.pop()
+            assert item["estimated_rows"] >= 1.0, item["label"]
+            assert "stats" not in item, item["label"]
+            stack.extend(item.get("children", ()))
 
 
 class TestExplainPrefixInExecute:

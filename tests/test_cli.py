@@ -100,6 +100,35 @@ def test_explain_adhoc_sql(capsys):
     assert "Scan(item" in out
 
 
+def test_explain_json(capsys):
+    import json
+
+    assert main(["explain", "--scale", "0.001", "--template", "52",
+                 "--json"]) == 0
+    tree = json.loads(capsys.readouterr().out)
+    assert tree["plan"]["estimated_rows"] >= 1.0
+    assert "stats" not in tree["plan"]  # plain EXPLAIN does not execute
+
+
+def test_explain_analyze_json(capsys):
+    import json
+
+    assert main(["explain", "--scale", "0.001", "--analyze", "--json",
+                 "--sql", "SELECT COUNT(*) FROM item"]) == 0
+    tree = json.loads(capsys.readouterr().out)
+    assert tree["peak_memory_bytes"] >= 0
+    assert tree["plan"]["stats"]["rows"] == 1
+    assert tree["plan"]["q_error"] >= 1.0
+
+
+def test_run_plan_quality(capsys):
+    assert main(["run", "--scale", "0.001", "--streams", "1",
+                 "--plan-quality"]) == 0
+    out = capsys.readouterr().out
+    assert "plan quality (optimizer cardinality estimates)" in out
+    assert "q_err" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         main([])

@@ -1,4 +1,5 @@
-"""Unit tests for `repro.obs` — metrics registry, tracer, exec stats."""
+"""Unit tests for `repro.obs` — metrics registry, tracer, exec stats,
+Q-error / plan quality, memory accounting."""
 
 import json
 import threading
@@ -8,11 +9,15 @@ import pytest
 from repro.obs import (
     ExecStatsCollector,
     MetricsRegistry,
+    PlanQualityAggregator,
     Tracer,
     annotate_plan,
+    collect_plan_quality,
+    format_bytes,
     get_registry,
     get_tracer,
     plan_to_dict,
+    q_error,
     set_registry,
     set_tracer,
 )
@@ -70,10 +75,19 @@ class TestMetrics:
         with pytest.raises(TypeError):
             reg.gauge("x")
 
+    def test_gauge_set_max_keeps_high_water(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("peak")
+        gauge.set_max(10.0)
+        gauge.set_max(5.0)
+        gauge.set_max(25.0)
+        assert reg.snapshot()["peak"]["value"] == 25.0
+
     def test_disabled_registry_is_noop(self):
         reg = MetricsRegistry(enabled=False)
         reg.counter("rows").add(100)
         reg.gauge("g").set(1.0)
+        reg.gauge("g").set_max(9.0)
         reg.histogram("h").observe(5.0)
         assert reg.snapshot() == {}
 
@@ -232,3 +246,68 @@ class TestExecStats:
     def test_unrecorded_node_renders_bare(self):
         node = _FakeNode("Scan(t)")
         assert annotate_plan(node, ExecStatsCollector()) == "Scan(t)"
+
+    def test_note_memory_tracks_operator_and_statement_peaks(self):
+        node = _FakeNode("HashJoin")
+        collector = ExecStatsCollector()
+        collector.record(node, rows_out=1, elapsed=0.0)
+        collector.note_memory(node, 2048.0)
+        collector.note_memory(node, 512.0)  # smaller loop: peak kept
+        assert collector.peak_memory_bytes == 2048.0
+        assert "mem=2.0KB" in annotate_plan(node, collector)
+
+    def test_q_error_math(self):
+        assert q_error(100, 100) == 1.0
+        assert q_error(10, 100) == 10.0
+        assert q_error(100, 10) == 10.0
+        assert q_error(0, 0) == 1.0  # clamped, no division by zero
+
+    def test_format_bytes_units(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.0KB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0MB"
+        assert format_bytes(5 * 1024 ** 3) == "5.0GB"
+
+    def test_estimate_annotation_and_misestimate_flag(self):
+        node = _FakeNode("Scan(t)")
+        node.estimated_rows = 10.0
+        collector = ExecStatsCollector()
+        collector.record(node, rows_out=100, elapsed=0.0)
+        text = annotate_plan(node, collector)
+        assert "est=10 q_err=10.0" in text
+        assert "[misestimate]" in text
+        tree = plan_to_dict(node, collector)
+        assert tree["estimated_rows"] == 10.0
+        assert tree["q_error"] == 10.0
+        assert tree["misestimate"] is True
+
+
+class TestPlanQuality:
+    def _plan_and_collector(self, est, act):
+        node = _FakeNode("Scan(t)")
+        node.estimated_rows = est
+        node.walk = lambda: [node]
+        collector = ExecStatsCollector()
+        collector.record(node, rows_out=act, elapsed=0.0)
+        return node, collector
+
+    def test_collect_plan_quality(self):
+        plan, collector = self._plan_and_collector(10.0, 100)
+        (record,) = collect_plan_quality(plan, collector, query="q1")
+        assert record.q_error == 10.0
+        assert record.misestimate is True
+        assert record.as_dict()["label"] == "Scan(t)"
+
+    def test_aggregator_keeps_worst_offenders(self):
+        agg = PlanQualityAggregator()
+        plan_a, coll_a = self._plan_and_collector(10.0, 100)   # q_err 10
+        plan_b, coll_b = self._plan_and_collector(50.0, 100)   # q_err 2
+        agg.record("SELECT a", plan_a, coll_a)
+        agg.record("SELECT b", plan_b, coll_b)
+        summary = agg.as_dict()
+        assert summary["operators_seen"] == 2
+        assert summary["misestimates"] == 1
+        worst = summary["worst_offenders"]
+        assert worst[0]["q_error"] == 10.0
+        assert worst[0]["query"].startswith("SELECT a")
+        assert any("plan quality" in line for line in agg.render())

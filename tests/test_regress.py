@@ -1,0 +1,173 @@
+"""Benchmark regression tracking (repro.obs.regress + obs diff CLI).
+
+The acceptance loop: appending two runs to a history.jsonl fixture and
+injecting a slowdown must produce a regression and a nonzero exit;
+back-to-back identical runs must pass.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    append_history,
+    compare_latest,
+    load_history,
+)
+
+
+def _payload(mean_a: float, mean_b: float) -> list[dict]:
+    return [
+        {
+            "module": "bench_example",
+            "scale_factor": 0.01,
+            "benchmarks": [
+                {"test": "test_a", "mean": mean_a, "median": mean_a,
+                 "stddev": 0.0, "rounds": 5},
+                {"test": "test_b", "mean": mean_b, "median": mean_b,
+                 "stddev": 0.0, "rounds": 5},
+            ],
+        }
+    ]
+
+
+class TestHistory:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        written = append_history(
+            _payload(0.010, 0.020), str(path), sha="aaa", recorded_at="t0"
+        )
+        assert written == 1
+        append_history(_payload(0.011, 0.021), str(path), sha="bbb",
+                       recorded_at="t1")
+        records = load_history(str(path))
+        assert [r["sha"] for r in records] == ["aaa", "bbb"]
+        assert records[0]["module"] == "bench_example"
+        assert records[0]["benchmarks"][0]["mean"] == 0.010
+
+    def test_missing_history_is_empty(self, tmp_path):
+        assert load_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"module": "m", "benchmarks": []}\nnot json\n')
+        assert len(load_history(str(path))) == 1
+
+    def test_empty_payloads_write_nothing(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        assert append_history([], str(path)) == 0
+        assert not path.exists()
+
+
+class TestCompareLatest:
+    def _history(self, tmp_path, first, second):
+        path = tmp_path / "history.jsonl"
+        append_history(_payload(*first), str(path), sha="old", recorded_at="t0")
+        append_history(_payload(*second), str(path), sha="new", recorded_at="t1")
+        return load_history(str(path))
+
+    def test_identical_runs_pass(self, tmp_path):
+        history = self._history(tmp_path, (0.010, 0.020), (0.010, 0.020))
+        report = compare_latest(history)
+        assert report.exit_code() == 0
+        assert not report.regressions
+        assert all(d.status == "ok" for d in report.deltas)
+        assert "PASS" in report.render()
+
+    def test_injected_slowdown_is_a_regression(self, tmp_path):
+        # test_a 3x slower — well past the 25% noise threshold
+        history = self._history(tmp_path, (0.010, 0.020), (0.030, 0.020))
+        report = compare_latest(history)
+        assert report.exit_code() == 1
+        assert [d.test for d in report.regressions] == ["test_a"]
+        assert report.regressions[0].ratio == pytest.approx(3.0)
+        assert report.regressions[0].old_sha == "old"
+        assert report.regressions[0].new_sha == "new"
+        assert "FAIL" in report.render()
+        assert "!!" in report.render()
+
+    def test_noise_within_threshold_is_ok(self, tmp_path):
+        history = self._history(tmp_path, (0.010, 0.020), (0.0115, 0.019))
+        report = compare_latest(history, threshold=0.25)
+        assert report.exit_code() == 0
+        assert all(d.status == "ok" for d in report.deltas)
+
+    def test_speedup_is_an_improvement_not_failure(self, tmp_path):
+        history = self._history(tmp_path, (0.010, 0.020), (0.004, 0.020))
+        report = compare_latest(history)
+        assert report.exit_code() == 0
+        assert [d.test for d in report.improvements] == ["test_a"]
+
+    def test_single_run_is_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(_payload(0.010, 0.020), str(path), sha="only")
+        report = compare_latest(load_history(str(path)))
+        assert report.exit_code() == 0
+        assert not report.deltas
+        assert any("only one recorded run" in note for note in report.skipped)
+
+    def test_compares_last_two_of_three_runs(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(_payload(0.100, 0.020), str(path), sha="r1")
+        append_history(_payload(0.010, 0.020), str(path), sha="r2")
+        append_history(_payload(0.011, 0.020), str(path), sha="r3")
+        report = compare_latest(load_history(str(path)))
+        # r2 -> r3 is noise; the much slower r1 is out of the window
+        assert report.exit_code() == 0
+
+    def test_new_test_without_baseline_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(_payload(0.010, 0.020), str(path), sha="old")
+        extended = _payload(0.010, 0.020)
+        extended[0]["benchmarks"].append(
+            {"test": "test_new", "mean": 0.5, "median": 0.5,
+             "stddev": 0.0, "rounds": 5}
+        )
+        append_history(extended, str(path), sha="new")
+        report = compare_latest(load_history(str(path)))
+        assert report.exit_code() == 0
+        assert any("no baseline" in note for note in report.skipped)
+
+
+class TestObsDiffCli:
+    def test_obs_diff_exits_nonzero_on_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "history.jsonl"
+        append_history(_payload(0.010, 0.020), str(path), sha="old")
+        append_history(_payload(0.050, 0.020), str(path), sha="new")
+        code = main(["obs", "diff", "--history", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_obs_diff_passes_on_identical_runs(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "history.jsonl"
+        append_history(_payload(0.010, 0.020), str(path), sha="old")
+        append_history(_payload(0.010, 0.020), str(path), sha="new")
+        code = main(["obs", "diff", "--history", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+
+    def test_obs_diff_handles_missing_history(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["obs", "diff", "--history", str(tmp_path / "none.jsonl")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no comparable runs" in out
+
+    def test_obs_diff_threshold_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "history.jsonl"
+        append_history(_payload(0.010, 0.020), str(path), sha="old")
+        append_history(_payload(0.0115, 0.020), str(path), sha="new")
+        # 15% slower: noise at the default 25%, regression at 10%
+        assert main(["obs", "diff", "--history", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", "--history", str(path),
+                     "--threshold", "0.1"]) == 1
