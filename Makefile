@@ -1,7 +1,11 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test determinism bench bench-smoke bench-compare qualification
+.PHONY: check test determinism bench bench-smoke bench-compare qualification difftest
+
+## fuzz seed for `make difftest`; CI rotates it per run and logs the
+## value so any failure replays with DIFFTEST_SEED=<logged seed>
+DIFFTEST_SEED ?= 19620718
 
 ## tier-1 suite + parallel-generation determinism smoke
 check: test determinism
@@ -32,3 +36,10 @@ bench-compare:
 ## behavioral changes only)
 qualification:
 	$(PYTHON) -m repro.qgen.qualification
+
+## differential correctness vs the SQLite oracle: all 99 qualification
+## queries + 200 fuzzer queries; mismatches get shrunk into
+## tests/difftest_corpus/
+difftest:
+	$(PYTHON) -m repro.cli difftest --scale 0.01 --fuzz 200 \
+	    --fuzz-seed $(DIFFTEST_SEED)

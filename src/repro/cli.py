@@ -14,6 +14,9 @@ Subcommands mirror the original kit's tools:
 * ``obs``     — observability tooling: ``obs diff`` compares the
   latest two benchmark runs in ``history.jsonl`` and exits nonzero on
   regressions beyond the noise threshold;
+* ``difftest`` — differential correctness run against the SQLite
+  oracle: the 99 qualification queries plus a seeded query fuzzer;
+  disagreements are delta-shrunk into ``tests/difftest_corpus/``;
 * ``schema``  — print Table 1-style schema statistics;
 * ``audit``   — generate, load and audit a database (auditor checks);
 * ``scaling`` — print Table 2-style row counts for a scale factor.
@@ -184,6 +187,62 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_difftest(args: argparse.Namespace) -> int:
+    from .difftest import (
+        DiffHarness,
+        shrink_query,
+        summarize,
+        to_engine_sql,
+    )
+    from .difftest.corpus import write_repro
+    from .dsdgen import build_database
+
+    print(f"loading sf={args.scale} into engine + sqlite oracle ...")
+    db, data = build_database(args.scale, seed=args.seed)
+    harness = DiffHarness(db)
+    outcomes = []
+
+    if not args.skip_qualification:
+        qual = harness.run_qualification(QGen(data.context, build_catalog()))
+        outcomes.extend(qual)
+        print(f"qualification: {summarize(qual)}")
+
+    if args.fuzz > 0:
+        # the fuzz seed rotates in CI (logged here for reproduction:
+        # `tpcds-py difftest --fuzz-seed <seed>` replays the run)
+        print(f"fuzz: {args.fuzz} queries, seed {args.fuzz_seed}")
+
+        def on_mismatch(query, outcome):
+            def still_fails(candidate):
+                return not harness.check_query(candidate).passed
+
+            shrunk = shrink_query(query, still_fails)
+            final = harness.check_query(shrunk, label=outcome.label)
+            if final.passed:  # shrink lost the repro; keep the original
+                shrunk, final = query, outcome
+            path = write_repro(
+                args.corpus,
+                to_engine_sql(shrunk),
+                label=final.label or outcome.label,
+                status=final.status,
+                detail=final.detail,
+                seed=args.fuzz_seed,
+            )
+            print(f"  MISMATCH {outcome.label}: shrunk repro -> {path}")
+
+        fuzz = harness.run_fuzz(args.fuzz, args.fuzz_seed, on_mismatch)
+        outcomes.extend(fuzz)
+        print(f"fuzz: {summarize(fuzz)}")
+
+    failed = [o for o in outcomes if not o.passed]
+    for o in failed:
+        print(f"FAIL {o.label} [{o.status}] {o.detail}")
+        print(f"  engine: {o.sql}")
+        print(f"  sqlite: {o.sqlite_sql}")
+    print(f"total: {summarize(outcomes)}")
+    return 1 if failed else 0
+
+
 def _cmd_schema(args: argparse.Namespace) -> int:
     ours = schema_statistics()
     print(f"{'statistic':34s} {'ours':>10s} {'paper':>10s}")
@@ -282,6 +341,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=19620718)
     p.add_argument("--fast", action="store_true", help="skip the FK scan")
     p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser("difftest",
+                       help="differential correctness vs the SQLite oracle")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=19620718,
+                   help="dsdgen seed for the database under test")
+    p.add_argument("--fuzz", type=int, default=200, metavar="N",
+                   help="number of fuzzer queries (default 200)")
+    p.add_argument("--fuzz-seed", type=int, default=19620718,
+                   help="fuzzer seed; rotate it in CI, pin it to replay")
+    p.add_argument("--skip-qualification", action="store_true",
+                   help="skip the 99 qualification queries")
+    p.add_argument("--corpus", default="tests/difftest_corpus",
+                   help="directory for shrunk mismatch repros")
+    p.set_defaults(func=_cmd_difftest)
 
     p = sub.add_parser("schema", help="Table 1 schema statistics")
     p.set_defaults(func=_cmd_schema)

@@ -1,0 +1,31 @@
+"""Differential correctness harness.
+
+Runs the engine's query results against a SQLite oracle — the 99
+qualification queries plus a seeded grammar fuzzer — normalizes both
+result sets, and delta-shrinks any disagreement into a minimal repro
+for the checked-in corpus (``tests/difftest_corpus/``).
+"""
+
+from .harness import DiffHarness, DiffOutcome, PASS_STATUSES, summarize
+from .fuzzer import QueryFuzzer
+from .normalize import compare_results, is_total_order, normalize_cell
+from .oracle import SqliteOracle
+from .render import SqliteRenderer, SqlRenderer, to_engine_sql, to_sqlite_sql
+from .shrink import shrink_query
+
+__all__ = [
+    "DiffHarness",
+    "DiffOutcome",
+    "PASS_STATUSES",
+    "QueryFuzzer",
+    "SqliteOracle",
+    "SqliteRenderer",
+    "SqlRenderer",
+    "compare_results",
+    "is_total_order",
+    "normalize_cell",
+    "shrink_query",
+    "summarize",
+    "to_engine_sql",
+    "to_sqlite_sql",
+]

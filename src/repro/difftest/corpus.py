@@ -1,0 +1,78 @@
+"""Checked-in corpus of differential repros.
+
+Every disagreement the fuzzer finds is delta-shrunk and written to
+``tests/difftest_corpus/`` as a standalone ``.sql`` file in the
+engine's dialect, with a comment header recording provenance (fuzz
+seed, query index, status, first-difference detail).  The pytest suite
+replays every corpus file against a fresh oracle on each run, so a
+fixed bug stays fixed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus file: engine-dialect SQL plus its provenance header."""
+
+    name: str
+    sql: str
+    header: dict[str, str]
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_") or "repro"
+
+
+def write_repro(
+    corpus_dir: pathlib.Path | str,
+    sql: str,
+    *,
+    label: str,
+    status: str,
+    detail: str = "",
+    seed: int | None = None,
+) -> pathlib.Path:
+    """Write one shrunk repro; returns the path written."""
+    corpus_dir = pathlib.Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    base = _slug(label)
+    path = corpus_dir / f"{base}.sql"
+    counter = 1
+    while path.exists():
+        counter += 1
+        path = corpus_dir / f"{base}_{counter}.sql"
+    lines = [f"-- difftest repro: {label}", f"-- status: {status}"]
+    if seed is not None:
+        lines.append(f"-- seed: {seed}")
+    if detail:
+        lines.append(f"-- detail: {detail}")
+    lines.append(sql.strip())
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def load_corpus(corpus_dir: pathlib.Path | str) -> Iterator[CorpusEntry]:
+    """Yield every corpus entry (header comments parsed into a dict)."""
+    corpus_dir = pathlib.Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return
+    for path in sorted(corpus_dir.glob("*.sql")):
+        header: dict[str, str] = {}
+        sql_lines = []
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.startswith("--"):
+                body = line[2:].strip()
+                if ":" in body:
+                    key, _, value = body.partition(":")
+                    header[key.strip()] = value.strip()
+            else:
+                sql_lines.append(line)
+        sql = "\n".join(sql_lines).strip()
+        if sql:
+            yield CorpusEntry(path.stem, sql, header)

@@ -1,0 +1,410 @@
+"""Deterministic grammar-driven query fuzzer.
+
+Generates random-but-reproducible query ASTs over whatever schema the
+target database holds.  Everything flows from one ``random.Random(seed)``
+instance, so a failing query is reproducible from its seed and index
+alone.
+
+The grammar deliberately stays inside the subset both engines implement
+*deterministically*:
+
+* FROM clauses walk declared foreign keys (``ColumnDef.references``) so
+  joins hit real key pairs instead of empty cross products;
+* predicates compare against literals sampled from live table data, so
+  selectivity is neither 0 nor 1;
+* scalar subqueries are always uncorrelated single-aggregate selects
+  (guaranteed ≤ 1 row — both engines agree the >1-row case is an
+  error, but erroring is not an interesting differential);
+* ``ROW_NUMBER`` is only emitted when the window order includes the
+  table's primary key — under ties its numbering is an arbitrary
+  tie-break in both engines, and they need not break ties identically;
+* a query gets a LIMIT only together with an ORDER BY over every
+  projected column (a total order), for the same reason.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..engine.sql import ast_nodes as A
+from ..engine.types import Kind
+
+_NUMERIC = (Kind.INT, Kind.FLOAT)
+_AGG_FUNCS = ("SUM", "AVG", "MIN", "MAX", "COUNT")
+_CMP_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+class _TableSource:
+    """One aliased base table in the FROM clause."""
+
+    def __init__(self, table, alias: str):
+        self.table = table
+        self.schema = table.schema
+        self.alias = alias
+
+    def columns(self, kinds=None):
+        cols = self.schema.columns
+        if kinds is not None:
+            cols = [c for c in cols if c.kind in kinds]
+        return cols
+
+    def ref(self, col) -> A.ColumnRef:
+        return A.ColumnRef(col.name, self.alias)
+
+
+class QueryFuzzer:
+    """Seeded random query generator over an engine database."""
+
+    def __init__(self, db, seed: int, max_joins: int = 2):
+        self.db = db
+        self.rng = random.Random(seed)
+        self.max_joins = max_joins
+        self.catalog = db.catalog
+        names = [
+            n for n in self.catalog.table_names
+            if self.catalog.table(n).num_rows > 0
+        ]
+        if not names:
+            raise ValueError("fuzzer needs at least one non-empty table")
+        self._tables = {n: self.catalog.table(n) for n in names}
+        self._fk_out: dict[str, list] = {
+            name: [
+                c for c in table.schema.columns
+                if c.references and c.references in self._tables
+            ]
+            for name, table in self._tables.items()
+        }
+
+    # -- entry point --------------------------------------------------------
+
+    def generate(self) -> A.Query:
+        sources, from_ = self._build_from()
+        where = self._maybe_where(sources)
+        if self.rng.random() < 0.45:
+            core = self._aggregate_core(sources, from_, where)
+        else:
+            core = self._plain_core(sources, from_, where)
+        return self._finish_query(core)
+
+    # -- FROM clause --------------------------------------------------------
+
+    def _build_from(self):
+        rng = self.rng
+        name = rng.choice(sorted(self._tables))
+        sources = [_TableSource(self._tables[name], "t0")]
+        from_ref: A.TableRef = A.NamedTable(name, "t0")
+        joins = rng.randint(0, self.max_joins)
+        for _ in range(joins):
+            # follow an FK out of any table already in the tree
+            candidates = [
+                (src, fk)
+                for src in sources
+                for fk in self._fk_out[src.schema.name]
+            ]
+            if not candidates:
+                break
+            src, fk = rng.choice(candidates)
+            target_table = self._tables[fk.references]
+            pk = next(
+                (c for c in target_table.schema.columns if c.primary_key), None
+            )
+            if pk is None:
+                continue
+            target = _TableSource(target_table, f"t{len(sources)}")
+            sources.append(target)
+            kind = rng.choices(("inner", "left"), weights=(3, 1))[0]
+            on = A.BinaryOp("=", src.ref(fk), target.ref(pk))
+            from_ref = A.JoinRef(from_ref, A.NamedTable(target_table.schema.name, target.alias), kind, on)
+        return sources, (from_ref,)
+
+    # -- projections --------------------------------------------------------
+
+    def _plain_core(self, sources, from_, where) -> A.SelectCore:
+        rng = self.rng
+        items = []
+        n_cols = rng.randint(1, 4)
+        for i in range(n_cols):
+            expr = self._scalar_expr(sources)
+            items.append(A.SelectItem(expr, f"c{i}"))
+        distinct = rng.random() < 0.15
+        if not distinct and rng.random() < 0.25:
+            items.append(A.SelectItem(self._window_expr(sources), f"c{len(items)}"))
+        return A.SelectCore(
+            items=tuple(items),
+            from_=from_,
+            where=where,
+            distinct=distinct,
+        )
+
+    def _aggregate_core(self, sources, from_, where) -> A.SelectCore:
+        rng = self.rng
+        dims = []
+        if rng.random() < 0.8:
+            n_dims = rng.randint(1, 2)
+            pool = [
+                (src, col)
+                for src in sources
+                for col in src.columns()
+            ]
+            for src, col in rng.sample(pool, min(n_dims, len(pool))):
+                dims.append(src.ref(col))
+        items = [A.SelectItem(d, f"g{i}") for i, d in enumerate(dims)]
+        n_aggs = rng.randint(1, 2)
+        aggs = []
+        for i in range(n_aggs):
+            agg = self._aggregate_expr(sources)
+            aggs.append(agg)
+            items.append(A.SelectItem(agg, f"a{i}"))
+        having = None
+        if dims and rng.random() < 0.3:
+            having = A.BinaryOp(
+                self.rng.choice((">", ">=")),
+                A.FuncCall("COUNT", (), is_star=True),
+                A.Literal(self.rng.randint(1, 3)),
+            )
+        return A.SelectCore(
+            items=tuple(items),
+            from_=from_,
+            where=where,
+            group_by=tuple(dims),
+            having=having,
+        )
+
+    def _aggregate_expr(self, sources) -> A.Expr:
+        rng = self.rng
+        func = rng.choice(_AGG_FUNCS)
+        if func == "COUNT" and rng.random() < 0.5:
+            return A.FuncCall("COUNT", (), is_star=True)
+        kinds = _NUMERIC if func in ("SUM", "AVG") else None
+        picked = self._pick_column(sources, kinds)
+        if picked is None:
+            return A.FuncCall("COUNT", (), is_star=True)
+        src, col = picked
+        distinct = func == "COUNT" and rng.random() < 0.3
+        return A.FuncCall(func, (src.ref(col),), distinct=distinct)
+
+    def _window_expr(self, sources) -> A.Expr:
+        rng = self.rng
+        src = rng.choice(sources)
+        pk = next((c for c in src.schema.columns if c.primary_key), None)
+        order_cols = []
+        picked = self._pick_column([src])
+        if picked is not None:
+            order_cols.append(picked[1])
+        choices = ["RANK", "DENSE_RANK", "SUM", "COUNT", "MIN", "MAX"]
+        # ROW_NUMBER needs a unique window order to be deterministic; the
+        # root table's PK stays unique through the N:1 FK joins, a joined
+        # dimension's PK does not
+        if pk is not None and src is sources[0]:
+            choices.append("ROW_NUMBER")
+            order_cols.append(pk)
+        func_name = rng.choice(choices)
+        if func_name in ("RANK", "DENSE_RANK", "ROW_NUMBER"):
+            func = A.FuncCall(func_name, ())
+        else:
+            target = self._pick_column([src], _NUMERIC)
+            if target is None:
+                func = A.FuncCall("COUNT", (), is_star=True)
+            else:
+                func = A.FuncCall(func_name, (src.ref(target[1]),))
+        partition = ()
+        part_col = self._pick_column([src])
+        if part_col is not None and rng.random() < 0.6:
+            partition = (src.ref(part_col[1]),)
+        order_by = tuple(
+            A.SortKey(src.ref(c), ascending=rng.random() < 0.7)
+            for c in order_cols
+        )
+        if func_name == "ROW_NUMBER" and pk is not None:
+            order_by = order_by + (A.SortKey(src.ref(pk)),)
+        return A.WindowFunc(func, partition_by=partition, order_by=order_by)
+
+    # -- scalar expressions -------------------------------------------------
+
+    def _pick_column(self, sources, kinds=None):
+        pool = [
+            (src, col) for src in sources for col in src.columns(kinds)
+        ]
+        return self.rng.choice(pool) if pool else None
+
+    def _scalar_expr(self, sources, depth: int = 0) -> A.Expr:
+        rng = self.rng
+        picked = self._pick_column(sources)
+        if picked is None:
+            return A.Literal(1)
+        src, col = picked
+        ref = src.ref(col)
+        roll = rng.random()
+        if depth >= 2 or roll < 0.45:
+            return ref
+        if roll < 0.55 and col.kind in _NUMERIC:
+            op = rng.choice(("+", "-", "*"))
+            return A.BinaryOp(op, ref, A.Literal(rng.randint(1, 9)))
+        if roll < 0.63 and col.kind in _NUMERIC:
+            return self._cast_expr(ref, col.kind)
+        if roll < 0.71:
+            # THEN/ELSE must harmonize to one kind: stay within the
+            # picked column's kind group (all numerics are one group)
+            group = _NUMERIC if col.kind in _NUMERIC else (col.kind,)
+            else_ = None
+            if rng.random() < 0.7:
+                other = self._pick_column(sources, group)
+                if other is not None:
+                    else_ = other[0].ref(other[1])
+            whens = ((self._predicate(sources, depth + 1), ref),)
+            return A.Case(whens, else_)
+        if roll < 0.78:
+            sub = self._scalar_subquery(sources)
+            if sub is not None:
+                return sub
+        return ref
+
+    def _cast_expr(self, ref: A.Expr, kind: Kind) -> A.Expr:
+        rng = self.rng
+        if kind is Kind.INT:
+            target = rng.choice(("float", "char"))
+        else:
+            target = "int"
+        return A.Cast(ref, target)
+
+    def _scalar_subquery(self, sources) -> Optional[A.Expr]:
+        # uncorrelated aggregate over a random table: always exactly 1 row
+        rng = self.rng
+        name = rng.choice(sorted(self._tables))
+        table = self._tables[name]
+        numeric = [c for c in table.schema.columns if c.kind in _NUMERIC]
+        if not numeric:
+            return None
+        col = rng.choice(numeric)
+        func = rng.choice(("MIN", "MAX", "COUNT", "AVG"))
+        core = A.SelectCore(
+            items=(
+                A.SelectItem(A.FuncCall(func, (A.ColumnRef(col.name),)), "v"),
+            ),
+            from_=(A.NamedTable(name),),
+        )
+        return A.ScalarSubquery(A.Query(core))
+
+    # -- predicates ---------------------------------------------------------
+
+    def _maybe_where(self, sources) -> Optional[A.Expr]:
+        rng = self.rng
+        if rng.random() < 0.25:
+            return None
+        pred = self._predicate(sources)
+        if rng.random() < 0.3:
+            second = self._predicate(sources)
+            pred = A.BinaryOp(rng.choice(("AND", "OR")), pred, second)
+        return pred
+
+    def _sample_value(self, src: _TableSource, col):
+        """A live value from the column, or None when all-NULL/empty."""
+        vector = src.table.scan_column(col.name)
+        n = len(vector)
+        for _ in range(8):
+            v = vector.value(self.rng.randrange(n))
+            if v is not None:
+                return v
+        return None
+
+    def _value_literal(self, src, col) -> Optional[A.Expr]:
+        value = self._sample_value(src, col)
+        if value is None:
+            return None
+        if col.kind is Kind.DATE:
+            return A.Literal(int(value), is_date=True)
+        if col.kind is Kind.BOOL:
+            return A.Literal(bool(value))
+        if col.kind is Kind.FLOAT:
+            return A.Literal(round(float(value), 2))
+        return A.Literal(value)
+
+    def _predicate(self, sources, depth: int = 0) -> A.Expr:
+        rng = self.rng
+        picked = self._pick_column(sources)
+        if picked is None:
+            return A.Literal(True)
+        src, col = picked
+        ref = src.ref(col)
+        roll = rng.random()
+        lit = self._value_literal(src, col)
+        if lit is None or roll < 0.08:
+            return A.IsNull(ref, negated=rng.random() < 0.5)
+        if col.kind is Kind.STR and roll < 0.30:
+            return self._like_predicate(src, col)
+        if roll < 0.55:
+            return A.BinaryOp(rng.choice(_CMP_OPS), ref, lit)
+        if roll < 0.70 and col.kind in (Kind.INT, Kind.FLOAT, Kind.DATE):
+            other = self._value_literal(src, col)
+            if other is not None:
+                low, high = sorted(
+                    (lit, other), key=lambda l: l.value  # type: ignore[union-attr]
+                )
+                return A.Between(ref, low, high, negated=rng.random() < 0.2)
+        if roll < 0.85:
+            values = []
+            for _ in range(rng.randint(2, 4)):
+                v = self._value_literal(src, col)
+                if v is not None:
+                    values.append(v)
+            if values:
+                return A.InList(ref, tuple(values), negated=rng.random() < 0.2)
+        if depth == 0 and col.kind in _NUMERIC and roll < 0.93:
+            sub = self._scalar_subquery(sources)
+            if sub is not None:
+                return A.BinaryOp(rng.choice((">", "<", ">=", "<=")), ref, sub)
+        return A.BinaryOp(rng.choice(_CMP_OPS), ref, lit)
+
+    def _like_predicate(self, src, col) -> A.Expr:
+        rng = self.rng
+        value = self._sample_value(src, col)
+        if not value or not isinstance(value, str):
+            return A.IsNull(src.ref(col))
+        # carve a slice out of a live value and decorate with wildcards
+        start = rng.randrange(len(value))
+        end = min(len(value), start + rng.randint(1, 4))
+        chunk = value[start:end]
+        escape = None
+        if rng.random() < 0.25 and ("%" in chunk or "_" in chunk or rng.random() < 0.5):
+            escape = "!"
+            chunk = chunk.replace("!", "!!").replace("%", "!%").replace("_", "!_")
+        elif "%" in chunk or "_" in chunk or "!" in chunk:
+            # keep un-escaped patterns free of accidental wildcards
+            chunk = chunk.replace("%", "").replace("_", "")
+        style = rng.random()
+        if style < 0.4:
+            pattern = f"%{chunk}%"
+        elif style < 0.7:
+            pattern = f"{chunk}%"
+        elif style < 0.9:
+            pattern = f"%{chunk}"
+        else:
+            pattern = "%" + "_".join(chunk) + "%" if escape is None else f"%{chunk}%"
+        return A.Like(
+            src.ref(col), pattern, negated=rng.random() < 0.2, escape=escape
+        )
+
+    # -- ORDER BY / LIMIT ---------------------------------------------------
+
+    def _finish_query(self, core: A.SelectCore) -> A.Query:
+        rng = self.rng
+        order_by: tuple[A.SortKey, ...] = ()
+        limit = None
+        if rng.random() < 0.6:
+            # total order over every projected column → LIMIT is safe
+            keys = []
+            for item in core.items:
+                ascending = rng.random() < 0.7
+                nulls_first: Optional[bool] = None
+                if rng.random() < 0.3:
+                    nulls_first = rng.random() < 0.5
+                keys.append(
+                    A.SortKey(
+                        A.ColumnRef(item.alias), ascending, nulls_first
+                    )
+                )
+            order_by = tuple(keys)
+            if rng.random() < 0.5:
+                limit = rng.randint(1, 50)
+        return A.Query(core, order_by=order_by, limit=limit)

@@ -1,0 +1,139 @@
+"""Result-set normalization for engine-vs-oracle comparison.
+
+Both engines return rows of Python scalars but disagree on surface
+representation: the engine hands back numpy-derived ints/floats/bools
+and epoch-day ints for dates, SQLite hands back ints/floats/str.  The
+normalizer maps both onto one canonical form:
+
+* booleans → 0/1 integers;
+* floats → quantized through ``.{digits}g`` formatting (default 6
+  significant digits, the same policy the qualification fingerprints
+  use), then collapsed to int when integral so ``3.0`` ≡ ``3``;
+* ``-0.0`` → ``0``; NaN and ±Inf become distinguishable markers rather
+  than poisoning equality;
+* NULL stays ``None``.
+
+Comparison is order-sensitive only when the query's ORDER BY provably
+covers every projected column (a total order up to duplicates);
+otherwise rows compare as multisets.
+
+Quantization alone is brittle exactly at rounding boundaries: two sums
+that differ by one ULP of accumulation order can straddle a ``.x5``
+decimal boundary and quantize apart at *any* digit count.  The tolerant
+comparison therefore falls back to ``math.isclose`` on the raw values
+for cells whose quantized forms disagree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..engine.sql import ast_nodes as A
+
+#: sort rank per type so heterogeneous columns sort stably for the
+#: multiset comparison (None < numbers < strings)
+_TYPE_RANK = {type(None): 0, int: 1, float: 1, str: 2}
+
+
+def normalize_cell(value, digits: int = 6):
+    """Canonicalize one result cell (see module docstring)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "<nan>"
+        if math.isinf(value):
+            return "<inf>" if value > 0 else "<-inf>"
+        quantized = float(f"{value:.{digits}g}")
+        if quantized == int(quantized) and abs(quantized) < 2**53:
+            return int(quantized)
+        return quantized
+    return value
+
+
+def normalize_rows(rows: Sequence[Sequence], digits: int = 6) -> list[tuple]:
+    """Canonicalize every cell of a result set."""
+    return [tuple(normalize_cell(v, digits) for v in row) for row in rows]
+
+
+def _sort_key(row: tuple):
+    return tuple((_TYPE_RANK.get(type(v), 2), v if v is not None else 0) for v in row)
+
+
+def is_total_order(query: A.Query) -> bool:
+    """True when ORDER BY keys cover every projected column, making the
+    row order fully determined (up to duplicate rows, which compare
+    equal anyway)."""
+    if not query.order_by:
+        return False
+    body = query.body
+    if not isinstance(body, A.SelectCore):
+        return False
+    ordered = set()
+    for key in query.order_by:
+        expr = key.expr
+        ordered.add(expr)
+        if isinstance(expr, A.ColumnRef) and expr.table is None:
+            ordered.add(expr.name)  # may match a select-item alias
+    for item in body.items:
+        if isinstance(item.expr, A.Star):
+            return False
+        if item.expr in ordered:
+            continue
+        if item.alias is not None and item.alias in ordered:
+            continue
+        return False
+    return True
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_results(
+    engine_rows: Sequence[Sequence],
+    oracle_rows: Sequence[Sequence],
+    ordered: bool,
+    digits: int = 6,
+    rel_tol: Optional[float] = None,
+    abs_tol: float = 0.0,
+) -> Optional[str]:
+    """Compare two result sets; return None on match, else a short
+    human-readable description of the first difference.
+
+    With ``rel_tol`` set, cells whose quantized forms disagree still
+    match when the raw values are numeric and within tolerance — this
+    absorbs accumulation-order noise that happens to straddle a
+    quantization boundary."""
+    left = list(zip(normalize_rows(engine_rows, digits), engine_rows))
+    right = list(zip(normalize_rows(oracle_rows, digits), oracle_rows))
+    if len(left) != len(right):
+        return f"row count {len(left)} (engine) vs {len(right)} (oracle)"
+    if not ordered:
+        left.sort(key=lambda pair: _sort_key(pair[0]))
+        right.sort(key=lambda pair: _sort_key(pair[0]))
+    for i, ((lnorm, lraw), (rnorm, rraw)) in enumerate(zip(left, right)):
+        if lnorm == rnorm:
+            continue
+        if rel_tol is not None and _rows_close(lraw, rraw, rel_tol, abs_tol):
+            continue
+        return f"row {i}: engine={lnorm!r} oracle={rnorm!r}"
+    return None
+
+
+def _rows_close(lraw, rraw, rel_tol: float, abs_tol: float) -> bool:
+    if len(lraw) != len(rraw):
+        return False
+    for lv, rv in zip(lraw, rraw):
+        if normalize_cell(lv) == normalize_cell(rv):
+            continue
+        if not (_is_number(lv) and _is_number(rv)):
+            return False
+        if not math.isclose(float(lv), float(rv), rel_tol=rel_tol, abs_tol=abs_tol):
+            return False
+    return True

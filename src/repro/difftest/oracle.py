@@ -1,0 +1,225 @@
+"""SQLite oracle for differential testing.
+
+Loads an engine :class:`~repro.engine.database.Database`'s tables into an
+in-memory ``sqlite3`` connection with a storage model that mirrors the
+engine's columnar representation:
+
+* INT / DATE / BOOL columns → ``INTEGER`` (dates as epoch days, bools
+  as 0/1);
+* FLOAT columns → ``REAL``;
+* STR columns → ``TEXT``;
+* NULLs stay NULL.
+
+The connection registers deterministic UDFs for every engine scalar
+function that has no faithful SQLite builtin, plus the sample-variance
+aggregates, so the :mod:`~repro.difftest.render.SqliteRenderer` output
+runs unmodified.  ``PRAGMA case_sensitive_like`` is switched on because
+the engine's LIKE is case-sensitive.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+from typing import Iterable, Optional
+
+from ..engine.types import Kind, parse_date
+
+_SQLITE_TYPES = {
+    Kind.INT: "INTEGER",
+    Kind.DATE: "INTEGER",
+    Kind.BOOL: "INTEGER",
+    Kind.FLOAT: "REAL",
+    Kind.STR: "TEXT",
+}
+
+
+# -- scalar UDFs (all None-propagating, matching engine null semantics) ----
+
+
+def _year_of(days):
+    if days is None:
+        return None
+    from ..engine.types import format_date
+
+    return int(format_date(int(days))[:4])
+
+
+def _month_of(days):
+    if days is None:
+        return None
+    from ..engine.types import format_date
+
+    return int(format_date(int(days))[5:7])
+
+
+def _day_of(days):
+    if days is None:
+        return None
+    from ..engine.types import format_date
+
+    return int(format_date(int(days))[8:10])
+
+
+def _np_round(value, digits=0):
+    # numpy rounds half to even; Python 3's round() does too
+    if value is None or digits is None:
+        return None
+    return float(round(float(value), int(digits)))
+
+
+def _np_floor(value):
+    if value is None:
+        return None
+    return int(math.floor(float(value)))
+
+
+def _np_ceil(value):
+    if value is None:
+        return None
+    return int(math.ceil(float(value)))
+
+
+def _np_power(base, exp):
+    if base is None or exp is None:
+        return None
+    try:
+        result = float(base) ** float(exp)
+    except (OverflowError, ZeroDivisionError, ValueError):
+        return None
+    if isinstance(result, complex) or math.isnan(result):
+        return None
+    return float(result)
+
+
+def _np_sqrt(value):
+    if value is None:
+        return None
+    value = float(value)
+    if value < 0:
+        return None  # engine: sqrt of a negative yields NULL
+    return math.sqrt(value)
+
+
+def _np_mod(a, b):
+    if a is None or b is None:
+        return None
+    if float(b) == 0:
+        return None  # engine: MOD by zero yields NULL
+    # fmod semantics — sign of the dividend, like the engine and SQLite %
+    if isinstance(a, int) and isinstance(b, int):
+        return int(math.fmod(a, b))
+    return math.fmod(float(a), float(b))
+
+
+def _date_days(value):
+    """Oracle twin of the engine's CAST(x AS DATE)."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return parse_date(value)
+    return int(value)
+
+
+class _SampleAgg:
+    """Shared accumulator for VAR_SAMP / STDDEV_SAMP.
+
+    Uses the same E[x²] − n·mean² formulation over (n − 1) as the
+    engine, returning NULL when fewer than two non-null values arrive.
+    """
+
+    def __init__(self):
+        self.n = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+
+    def step(self, value):
+        if value is None:
+            return
+        value = float(value)
+        self.n += 1
+        self.total += value
+        self.total_sq += value * value
+
+    def _variance(self) -> Optional[float]:
+        if self.n < 2:
+            return None
+        mean = self.total / self.n
+        return max((self.total_sq - self.n * mean * mean) / (self.n - 1), 0.0)
+
+
+class _VarSamp(_SampleAgg):
+    def finalize(self):
+        return self._variance()
+
+
+class _StddevSamp(_SampleAgg):
+    def finalize(self):
+        var = self._variance()
+        return None if var is None else math.sqrt(var)
+
+
+class SqliteOracle:
+    """An in-memory SQLite database mirroring an engine database."""
+
+    def __init__(self) -> None:
+        self.conn = sqlite3.connect(":memory:")
+        self.conn.execute("PRAGMA case_sensitive_like = ON")
+        self._register_functions()
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def _register_functions(self) -> None:
+        create = self.conn.create_function
+        kwargs = {"deterministic": True}
+        create("year_of", 1, _year_of, **kwargs)
+        create("month_of", 1, _month_of, **kwargs)
+        create("day_of", 1, _day_of, **kwargs)
+        create("np_round", 1, _np_round, **kwargs)
+        create("np_round", 2, _np_round, **kwargs)
+        create("np_floor", 1, _np_floor, **kwargs)
+        create("np_ceil", 1, _np_ceil, **kwargs)
+        create("np_power", 2, _np_power, **kwargs)
+        create("np_sqrt", 1, _np_sqrt, **kwargs)
+        create("np_mod", 2, _np_mod, **kwargs)
+        create("date_days", 1, _date_days, **kwargs)
+        self.conn.create_aggregate("var_samp", 1, _VarSamp)
+        self.conn.create_aggregate("stddev_samp", 1, _StddevSamp)
+
+    # -- loading -----------------------------------------------------------
+
+    @classmethod
+    def from_database(cls, db) -> "SqliteOracle":
+        """Mirror every table of an engine database into a new oracle."""
+        oracle = cls()
+        for name in db.catalog.table_names:
+            oracle.load_table(db.catalog.table(name))
+        return oracle
+
+    def load_table(self, table) -> None:
+        cols = ", ".join(
+            f"{col.name} {_SQLITE_TYPES[col.kind]}" for col in table.schema.columns
+        )
+        self.conn.execute(f"CREATE TABLE {table.schema.name} ({cols})")
+        columns = []
+        for col in table.schema.columns:
+            vector = table.scan_column(col.name)
+            columns.append(
+                [None if vector.null[i] else vector.value(i) for i in range(len(vector))]
+            )
+        if columns and columns[0]:
+            placeholders = ", ".join("?" for _ in columns)
+            self.conn.executemany(
+                f"INSERT INTO {table.schema.name} VALUES ({placeholders})",
+                zip(*columns),
+            )
+        self.conn.commit()
+
+    # -- querying ----------------------------------------------------------
+
+    def execute(self, sql: str) -> tuple[list[tuple], list[str]]:
+        """Run SQL, returning (rows, column names)."""
+        cursor = self.conn.execute(sql)
+        names = [d[0] for d in cursor.description] if cursor.description else []
+        return cursor.fetchall(), names

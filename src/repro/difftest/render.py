@@ -1,0 +1,421 @@
+"""AST → SQL renderers for the differential harness.
+
+Two dialects share one renderer skeleton:
+
+* :class:`SqlRenderer` emits the engine's own dialect — used to write
+  shrunk repro queries into the corpus and to round-trip fuzzer ASTs;
+* :class:`SqliteRenderer` emits SQLite SQL for the oracle, applying the
+  documented translation rules:
+
+  - ``DATE 'YYYY-MM-DD'`` literals become epoch-day integers (the
+    oracle stores date columns as epoch days, exactly like the engine);
+  - ``/`` always divides as REAL (the engine's ``/`` is float
+    division; SQLite's integer ``/`` truncates);
+  - every ORDER BY key gets an explicit ``NULLS FIRST/LAST`` matching
+    the engine's defaults (NULLS LAST ascending, NULLS FIRST
+    descending; SQLite's bare default is the opposite);
+  - ``GROUP BY ROLLUP(a, b)`` expands to a UNION ALL of its prefix
+    grouping sets with the dropped keys substituted by NULL;
+  - engine scalar functions without a faithful SQLite builtin are
+    renamed onto UDFs the oracle registers (``YEAR`` → ``year_of``,
+    ``ROUND`` → ``np_round`` …);
+  - ``TRUE``/``FALSE`` render as ``1``/``0``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..engine.errors import PlanningError
+from ..engine.sql import ast_nodes as A
+from ..engine.types import format_date
+
+
+def _quote_str(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+def substitute(expr: A.Expr, match: A.Expr, replacement: A.Expr) -> A.Expr:
+    """Replace every occurrence of ``match`` (by structural equality)
+    inside ``expr``; does not descend into subqueries."""
+    if expr == match:
+        return replacement
+
+    def sub_any(value):
+        if isinstance(value, A.Expr):
+            return substitute(value, match, replacement)
+        if isinstance(value, A.SortKey):
+            return A.SortKey(
+                substitute(value.expr, match, replacement),
+                value.ascending,
+                value.nulls_first,
+            )
+        if isinstance(value, tuple):
+            return tuple(sub_any(v) for v in value)
+        return value
+
+    if not dataclasses.is_dataclass(expr) or isinstance(expr, A.Query):
+        return expr
+    changes = {}
+    for f in dataclasses.fields(expr):
+        old = getattr(expr, f.name)
+        new = sub_any(old)
+        if new != old:
+            changes[f.name] = new
+    return dataclasses.replace(expr, **changes) if changes else expr
+
+
+class SqlRenderer:
+    """Renders a query AST back to engine-dialect SQL."""
+
+    def render_statement(self, query: A.Query) -> str:
+        return self.render_query(query)
+
+    # -- query structure ---------------------------------------------------
+
+    def render_query(self, query: A.Query) -> str:
+        parts = []
+        if query.ctes:
+            ctes = ", ".join(
+                f"{cte.name} AS ({self.render_query(cte.query)})"
+                for cte in query.ctes
+            )
+            parts.append(f"WITH {ctes}")
+        parts.append(self.render_body(query.body))
+        if query.order_by:
+            keys = ", ".join(self.render_sort_key(k) for k in query.order_by)
+            parts.append(f"ORDER BY {keys}")
+        if query.limit is not None:
+            parts.append(f"LIMIT {query.limit}")
+        if query.offset:
+            if query.limit is None:
+                parts.append(f"LIMIT -1 OFFSET {query.offset}")
+            else:
+                parts.append(f"OFFSET {query.offset}")
+        return " ".join(parts)
+
+    def render_body(self, body) -> str:
+        if isinstance(body, A.SetOp):
+            op = {
+                "union": "UNION",
+                "union_all": "UNION ALL",
+                "intersect": "INTERSECT",
+                "except": "EXCEPT",
+            }[body.op]
+            left = self.render_set_operand(body.left, parent=body.op)
+            right = self.render_set_operand(body.right, parent=body.op)
+            return f"{left} {op} {right}"
+        return self.render_select_core(body)
+
+    def render_set_operand(self, operand, parent: str) -> str:
+        if isinstance(operand, A.SetOp):
+            return self.render_body(operand)
+        return self.render_select_core(operand)
+
+    def render_select_core(self, core: A.SelectCore) -> str:
+        parts = ["SELECT"]
+        if core.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(self.render_select_item(i) for i in core.items))
+        if core.from_:
+            parts.append(
+                "FROM " + ", ".join(self.render_table_ref(r) for r in core.from_)
+            )
+        if core.where is not None:
+            parts.append(f"WHERE {self.render_expr(core.where)}")
+        if core.group_by:
+            keys = ", ".join(self.render_expr(g) for g in core.group_by)
+            if core.group_rollup:
+                parts.append(f"GROUP BY ROLLUP({keys})")
+            else:
+                parts.append(f"GROUP BY {keys}")
+        if core.having is not None:
+            parts.append(f"HAVING {self.render_expr(core.having)}")
+        return " ".join(parts)
+
+    def render_select_item(self, item: A.SelectItem) -> str:
+        if isinstance(item.expr, A.Star):
+            prefix = f"{item.expr.table}." if item.expr.table else ""
+            return f"{prefix}*"
+        sql = self.render_expr(item.expr)
+        if item.alias:
+            sql += f" AS {item.alias}"
+        return sql
+
+    def render_table_ref(self, ref: A.TableRef) -> str:
+        if isinstance(ref, A.NamedTable):
+            return f"{ref.name} AS {ref.alias}" if ref.alias else ref.name
+        if isinstance(ref, A.DerivedTable):
+            return f"({self.render_query(ref.query)}) AS {ref.alias}"
+        if isinstance(ref, A.JoinRef):
+            left = self.render_table_ref(ref.left)
+            right = self.render_table_ref(ref.right)
+            word = {
+                "inner": "JOIN",
+                "left": "LEFT JOIN",
+                "right": "RIGHT JOIN",
+                "full": "FULL JOIN",
+                "cross": "CROSS JOIN",
+            }[ref.kind]
+            sql = f"{left} {word} {right}"
+            if ref.on is not None:
+                sql += f" ON {self.render_expr(ref.on)}"
+            return sql
+        raise PlanningError(f"cannot render table ref {type(ref).__name__}")
+
+    def render_sort_key(self, key: A.SortKey) -> str:
+        sql = self.render_expr(key.expr)
+        sql += " ASC" if key.ascending else " DESC"
+        if key.nulls_first is True:
+            sql += " NULLS FIRST"
+        elif key.nulls_first is False:
+            sql += " NULLS LAST"
+        return sql
+
+    # -- expressions -------------------------------------------------------
+
+    def render_literal(self, expr: A.Literal) -> str:
+        value = expr.value
+        if value is None:
+            return "NULL"
+        if expr.is_date:
+            return f"DATE '{format_date(value)}'"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, str):
+            return _quote_str(value)
+        return repr(value)
+
+    def render_func_name(self, name: str) -> str:
+        return name
+
+    def render_cast_type(self, type_name: str) -> str:
+        return type_name
+
+    def render_division(self, left: str, right: str) -> str:
+        return f"({left} / {right})"
+
+    def render_expr(self, expr: A.Expr) -> str:
+        render = self.render_expr
+        if isinstance(expr, A.Literal):
+            return self.render_literal(expr)
+        if isinstance(expr, A.ColumnRef):
+            return f"{expr.table}.{expr.name}" if expr.table else expr.name
+        if isinstance(expr, A.BinaryOp):
+            if expr.op == "/":
+                return self.render_division(render(expr.left), render(expr.right))
+            return f"({render(expr.left)} {expr.op} {render(expr.right)})"
+        if isinstance(expr, A.UnaryOp):
+            if expr.op == "NOT":
+                return f"(NOT {render(expr.operand)})"
+            return f"({expr.op}{render(expr.operand)})"
+        if isinstance(expr, A.FuncCall):
+            return self.render_call(expr)
+        if isinstance(expr, A.Case):
+            parts = ["CASE"]
+            for cond, result in expr.whens:
+                parts.append(f"WHEN {render(cond)} THEN {render(result)}")
+            if expr.else_ is not None:
+                parts.append(f"ELSE {render(expr.else_)}")
+            parts.append("END")
+            return " ".join(parts)
+        if isinstance(expr, A.Between):
+            word = "NOT BETWEEN" if expr.negated else "BETWEEN"
+            return (
+                f"({render(expr.expr)} {word} "
+                f"{render(expr.low)} AND {render(expr.high)})"
+            )
+        if isinstance(expr, A.InList):
+            word = "NOT IN" if expr.negated else "IN"
+            items = ", ".join(render(i) for i in expr.items)
+            return f"({render(expr.expr)} {word} ({items}))"
+        if isinstance(expr, A.InSubquery):
+            word = "NOT IN" if expr.negated else "IN"
+            return f"({render(expr.expr)} {word} ({self.render_query(expr.query)}))"
+        if isinstance(expr, A.Exists):
+            word = "NOT EXISTS" if expr.negated else "EXISTS"
+            return f"({word} ({self.render_query(expr.query)}))"
+        if isinstance(expr, A.ScalarSubquery):
+            return f"({self.render_query(expr.query)})"
+        if isinstance(expr, A.IsNull):
+            word = "IS NOT NULL" if expr.negated else "IS NULL"
+            return f"({render(expr.expr)} {word})"
+        if isinstance(expr, A.Like):
+            word = "NOT LIKE" if expr.negated else "LIKE"
+            sql = f"{render(expr.expr)} {word} {_quote_str(expr.pattern)}"
+            if expr.escape is not None:
+                sql += f" ESCAPE {_quote_str(expr.escape)}"
+            return f"({sql})"
+        if isinstance(expr, A.Cast):
+            return (
+                f"CAST({render(expr.expr)} AS "
+                f"{self.render_cast_type(expr.type_name)})"
+            )
+        if isinstance(expr, A.WindowFunc):
+            return self.render_window(expr)
+        raise PlanningError(f"cannot render expression {type(expr).__name__}")
+
+    def render_call(self, expr: A.FuncCall) -> str:
+        name = self.render_func_name(expr.name)
+        if expr.is_star:
+            return f"{name}(*)"
+        prefix = "DISTINCT " if expr.distinct else ""
+        args = ", ".join(self.render_expr(a) for a in expr.args)
+        return f"{name}({prefix}{args})"
+
+    def render_window(self, expr: A.WindowFunc) -> str:
+        over = []
+        if expr.partition_by:
+            keys = ", ".join(self.render_expr(p) for p in expr.partition_by)
+            over.append(f"PARTITION BY {keys}")
+        if expr.order_by:
+            keys = ", ".join(self.render_sort_key(k) for k in expr.order_by)
+            over.append(f"ORDER BY {keys}")
+        return f"{self.render_call(expr.func)} OVER ({' '.join(over)})"
+
+
+#: engine scalar / aggregate names → oracle UDF names (registered by
+#: :mod:`repro.difftest.oracle`); everything else maps through unchanged
+_SQLITE_FUNC_NAMES = {
+    "YEAR": "year_of",
+    "MONTH": "month_of",
+    "DAY": "day_of",
+    "ROUND": "np_round",
+    "FLOOR": "np_floor",
+    "CEIL": "np_ceil",
+    "POWER": "np_power",
+    "SQRT": "np_sqrt",
+    "MOD": "np_mod",
+    "SUBSTRING": "SUBSTR",
+    "LEAST": "MIN",
+    "GREATEST": "MAX",
+    "STDDEV": "stddev_samp",
+    "STDDEV_SAMP": "stddev_samp",
+    "VAR_SAMP": "var_samp",
+}
+
+_SQLITE_CAST_TYPES = {
+    "int": "INTEGER",
+    "integer": "INTEGER",
+    "bigint": "INTEGER",
+    "float": "REAL",
+    "double": "REAL",
+    "real": "REAL",
+    "char": "TEXT",
+    "varchar": "TEXT",
+    "text": "TEXT",
+    "string": "TEXT",
+}
+
+
+class SqliteRenderer(SqlRenderer):
+    """Renders a query AST as SQLite SQL for the oracle connection."""
+
+    def render_literal(self, expr: A.Literal) -> str:
+        value = expr.value
+        if value is None:
+            return "NULL"
+        if expr.is_date:
+            return str(int(value))  # epoch days, like the oracle's storage
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, str):
+            return _quote_str(value)
+        return repr(value)
+
+    def render_division(self, left: str, right: str) -> str:
+        # the engine's / is always float division and yields NULL on a
+        # zero divisor; CAST AS REAL reproduces both in SQLite
+        return f"(CAST({left} AS REAL) / {right})"
+
+    def render_func_name(self, name: str) -> str:
+        return _SQLITE_FUNC_NAMES.get(name, name)
+
+    def render_cast_type(self, type_name: str) -> str:
+        base = type_name.lower()
+        if base == "date":
+            return "date"  # handled in render_expr below
+        if base.startswith("decimal") or base.startswith("numeric"):
+            return "REAL"
+        try:
+            return _SQLITE_CAST_TYPES[base]
+        except KeyError:
+            raise PlanningError(f"no oracle cast mapping for {type_name!r}")
+
+    def render_expr(self, expr: A.Expr) -> str:
+        if isinstance(expr, A.Cast) and expr.type_name.lower() == "date":
+            # CAST(x AS DATE) parses ISO strings / truncates numerics to
+            # epoch days; SQLite's own CAST AS DATE is numeric affinity
+            return f"date_days({self.render_expr(expr.expr)})"
+        return super().render_expr(expr)
+
+    def render_sort_key(self, key: A.SortKey) -> str:
+        sql = self.render_expr(key.expr)
+        sql += " ASC" if key.ascending else " DESC"
+        # engine default: NULLs sort as the largest value (LAST asc,
+        # FIRST desc); SQLite's bare default is NULLs-smallest, so the
+        # placement is always spelled out
+        nulls_first = key.nulls_first
+        if nulls_first is None:
+            nulls_first = not key.ascending
+        sql += " NULLS FIRST" if nulls_first else " NULLS LAST"
+        return sql
+
+    def render_set_operand(self, operand, parent: str) -> str:
+        # the engine parses INTERSECT tighter than UNION/EXCEPT; SQLite
+        # set ops are flat left-associative, so nested operands that
+        # would re-associate get wrapped as derived tables
+        if isinstance(operand, A.SetOp):
+            inner = self.render_body(operand)
+            return f"SELECT * FROM ({inner})"
+        return self.render_select_core(operand)
+
+    def render_select_core(self, core: A.SelectCore) -> str:
+        if not core.group_rollup:
+            return super().render_select_core(core)
+        # ROLLUP(a, b) ≡ grouping sets (a, b), (a), (): one UNION ALL
+        # branch per prefix, dropped keys replaced by NULL in the
+        # projection (and HAVING), mirroring the engine's rollup passes
+        branches = []
+        for active in range(len(core.group_by), -1, -1):
+            kept = core.group_by[:active]
+            dropped = core.group_by[active:]
+
+            def null_out(expr: A.Expr) -> A.Expr:
+                for d in dropped:
+                    expr = substitute(expr, d, A.Literal(None))
+                return expr
+
+            items = tuple(
+                A.SelectItem(
+                    item.expr if isinstance(item.expr, A.Star) else null_out(item.expr),
+                    item.alias,
+                )
+                for item in core.items
+            )
+            branch = A.SelectCore(
+                items=items,
+                from_=core.from_,
+                where=core.where,
+                group_by=kept,
+                group_rollup=False,
+                having=None if core.having is None else null_out(core.having),
+                distinct=core.distinct,
+            )
+            branches.append(super().render_select_core(branch))
+        return " UNION ALL ".join(branches)
+
+
+_ENGINE = SqlRenderer()
+_SQLITE = SqliteRenderer()
+
+
+def to_engine_sql(query: A.Query) -> str:
+    """Render a query AST in the engine's dialect."""
+    return _ENGINE.render_query(query)
+
+
+def to_sqlite_sql(query: A.Query) -> str:
+    """Render a query AST in the oracle's SQLite dialect."""
+    return _SQLITE.render_query(query)

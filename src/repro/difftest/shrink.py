@@ -1,0 +1,108 @@
+"""Delta-shrinking of failing differential queries.
+
+Given a query AST and a predicate that tells whether a candidate still
+reproduces the disagreement, the shrinker greedily removes structure —
+LIMIT, ORDER BY keys, select items, WHERE conjuncts, GROUP BY keys,
+joins, CTEs — keeping any removal that still fails, and iterates to a
+fixpoint.  The result is the minimal repro checked into the corpus.
+
+The predicate must treat candidates that *error* (in either engine) as
+not-failing, so shrinking never morphs a result mismatch into an
+unrelated parse or planning error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+from ..engine.sql import ast_nodes as A
+
+
+def _without_index(items: tuple, i: int) -> tuple:
+    return items[:i] + items[i + 1 :]
+
+
+def _and_conjuncts(expr: A.Expr) -> list[A.Expr]:
+    """Flatten a chain of ANDs into its conjuncts."""
+    if isinstance(expr, A.BinaryOp) and expr.op == "AND":
+        return _and_conjuncts(expr.left) + _and_conjuncts(expr.right)
+    return [expr]
+
+
+def _rebuild_and(conjuncts: list[A.Expr]) -> A.Expr:
+    result = conjuncts[0]
+    for c in conjuncts[1:]:
+        result = A.BinaryOp("AND", result, c)
+    return result
+
+
+def _core_candidates(core: A.SelectCore) -> Iterator[A.SelectCore]:
+    replace = dataclasses.replace
+    if core.distinct:
+        yield replace(core, distinct=False)
+    if core.having is not None:
+        yield replace(core, having=None)
+    if core.where is not None:
+        yield replace(core, where=None)
+        conjuncts = _and_conjuncts(core.where)
+        if len(conjuncts) > 1:
+            for i in range(len(conjuncts)):
+                rest = conjuncts[:i] + conjuncts[i + 1 :]
+                yield replace(core, where=_rebuild_and(rest))
+    for i in range(len(core.items)):
+        if len(core.items) > 1:
+            yield replace(core, items=_without_index(core.items, i))
+    for i in range(len(core.group_by)):
+        yield replace(core, group_by=_without_index(core.group_by, i))
+    if core.group_rollup:
+        yield replace(core, group_rollup=False)
+    # collapse joins to one of their children (dropping the ON clause)
+    for i, ref in enumerate(core.from_):
+        if isinstance(ref, A.JoinRef):
+            for child in (ref.left, ref.right):
+                yield replace(
+                    core, from_=core.from_[:i] + (child,) + core.from_[i + 1 :]
+                )
+    if len(core.from_) > 1:
+        for i in range(len(core.from_)):
+            yield replace(core, from_=_without_index(core.from_, i))
+
+
+def _candidates(query: A.Query) -> Iterator[A.Query]:
+    """One-step simplifications of ``query``, most drastic first."""
+    replace = dataclasses.replace
+    if query.limit is not None or query.offset:
+        yield replace(query, limit=None, offset=0)
+    if query.order_by:
+        yield replace(query, order_by=())
+        if len(query.order_by) > 1:
+            for i in range(len(query.order_by)):
+                yield replace(query, order_by=_without_index(query.order_by, i))
+    for i in range(len(query.ctes)):
+        yield replace(query, ctes=_without_index(query.ctes, i))
+    if isinstance(query.body, A.SelectCore):
+        for core in _core_candidates(query.body):
+            yield replace(query, body=core)
+    elif isinstance(query.body, A.SetOp):
+        # a failing set operation often fails on one side alone
+        for side in (query.body.left, query.body.right):
+            yield replace(query, body=side)
+
+
+def shrink_query(
+    query: A.Query, still_fails: Callable[[A.Query], bool], max_rounds: int = 50
+) -> A.Query:
+    """Greedily minimize ``query`` while ``still_fails`` holds."""
+    for _ in range(max_rounds):
+        for candidate in _candidates(query):
+            try:
+                failing = still_fails(candidate)
+            except Exception:
+                failing = False
+            if failing:
+                query = candidate
+                break  # restart candidate generation from the smaller query
+        else:
+            return query
+    return query

@@ -151,6 +151,14 @@ class Database:
 
     # -- queries -----------------------------------------------------------------
 
+    def execute_ast(self, query: A.Query) -> Result:
+        """Execute an already-parsed query AST (the differential-testing
+        harness runs shrunk ASTs without a render/re-parse round trip)."""
+        start = time.perf_counter()
+        result = self._execute_query(query)
+        result.elapsed = time.perf_counter() - start
+        return result
+
     def execute(self, sql: str) -> Result:
         match = _EXPLAIN_RE.match(sql)
         if match is not None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import datetime as _dt
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Callable, Optional
 
 import numpy as np
@@ -225,7 +226,8 @@ def _scalar_subquery(expr: A.ScalarSubquery, batch: Batch, ctx: EvalContext) -> 
     if len(sub.columns) != 1:
         raise ExecutionError("scalar subquery must return one column")
     if sub.num_rows > 1:
-        raise ExecutionError("scalar subquery returned more than one row")
+        # >1 rows is a runtime error (SQL standard); 0 rows yields NULL
+        raise ExecutionError(f"scalar subquery returned {sub.num_rows} rows")
     vec = next(iter(sub.columns.values()))
     value = vec.value(0) if sub.num_rows == 1 else None
     kind = vec.kind
@@ -234,16 +236,30 @@ def _scalar_subquery(expr: A.ScalarSubquery, batch: Batch, ctx: EvalContext) -> 
     )
 
 
-def like_to_regex(pattern: str) -> re.Pattern:
-    """Compile a SQL LIKE pattern (%/_) into a regular expression."""
+@lru_cache(maxsize=1024)
+def like_to_regex(pattern: str, escape: Optional[str] = None) -> re.Pattern:
+    """Compile a SQL LIKE pattern (%/_, optional ESCAPE character) into a
+    regular expression. Memoized: the same pattern recurs for every batch
+    of a scan, and compilation dominated LIKE cost in EXPLAIN ANALYZE."""
+    if escape is not None and len(escape) != 1:
+        raise ExecutionError("ESCAPE must be a single character")
     parts = []
-    for ch in pattern:
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if escape is not None and ch == escape:
+            if i + 1 >= len(pattern):
+                raise ExecutionError("LIKE pattern ends with its escape character")
+            parts.append(re.escape(pattern[i + 1]))
+            i += 2
+            continue
         if ch == "%":
             parts.append(".*")
         elif ch == "_":
             parts.append(".")
         else:
             parts.append(re.escape(ch))
+        i += 1
     return re.compile("^" + "".join(parts) + "$")
 
 
@@ -251,7 +267,7 @@ def _like(expr: A.Like, batch: Batch, ctx: EvalContext) -> Vector:
     target = evaluate(expr.expr, batch, ctx)
     if target.kind is not Kind.STR:
         raise TypeError_("LIKE applies to strings")
-    regex = like_to_regex(expr.pattern)
+    regex = like_to_regex(expr.pattern, expr.escape)
     data = np.fromiter(
         (bool(regex.match(v)) for v in target.data), dtype=bool, count=len(target)
     )
@@ -261,17 +277,28 @@ def _like(expr: A.Like, batch: Batch, ctx: EvalContext) -> Vector:
     return Vector(Kind.BOOL, data, target.null.copy())
 
 
+def _to_int64(operand: Vector) -> np.ndarray:
+    """Numeric data → int64 with truncation toward zero; null slots are
+    masked to 0 first (they may carry NaN/garbage from upstream numpy
+    kernels, whose int64 conversion is undefined behavior)."""
+    data = operand.data
+    if operand.kind is Kind.FLOAT:
+        data = np.trunc(np.where(operand.null, 0.0, data))
+    return data.astype(np.int64)
+
+
 def _cast(expr: A.Cast, batch: Batch, ctx: EvalContext) -> Vector:
     operand = evaluate(expr.expr, batch, ctx)
     name = expr.type_name.lower()
     if name in ("int", "integer", "bigint"):
         if operand.kind is Kind.STR:
+            # int(float(x)) truncates toward zero, matching the numeric path
             values = [
                 None if operand.null[i] else int(float(operand.data[i]))
                 for i in range(len(operand))
             ]
             return Vector.from_values(Kind.INT, values)
-        return Vector(Kind.INT, operand.data.astype(np.int64), operand.null.copy())
+        return Vector(Kind.INT, _to_int64(operand), operand.null.copy())
     if name in ("float", "double", "real") or name.startswith("decimal") or name.startswith("numeric"):
         if operand.kind is Kind.STR:
             values = [
@@ -293,7 +320,7 @@ def _cast(expr: A.Cast, batch: Batch, ctx: EvalContext) -> Vector:
                 for i in range(len(operand))
             ]
             return Vector.from_values(Kind.DATE, values)
-        return Vector(Kind.DATE, operand.data.astype(np.int64), operand.null.copy())
+        return Vector(Kind.DATE, _to_int64(operand), operand.null.copy())
     raise TypeError_(f"unsupported cast target {expr.type_name!r}")
 
 
@@ -365,7 +392,10 @@ def _scalar_func(expr: A.FuncCall, batch: Batch, ctx: EvalContext) -> Vector:
         a, b = harmonize(args)
         null = a.null | b.null | (b.data == 0)
         safe = np.where(b.data == 0, 1, b.data)
-        return Vector(a.kind, np.mod(a.data, safe), null)
+        # fmod: the result takes the sign of the dividend (SQL standard,
+        # and what the SQLite differential oracle computes); np.mod would
+        # follow the divisor
+        return Vector(a.kind, np.fmod(a.data, safe), null)
     if name == "POWER":
         a, b = args
         data = np.power(a.data.astype(np.float64), b.data.astype(np.float64))

@@ -383,7 +383,10 @@ def _render(expr: A.Expr) -> str:
     if isinstance(expr, A.Like):
         word = "NOT LIKE" if expr.negated else "LIKE"
         escaped = expr.pattern.replace("'", "''")
-        return f"({_render(expr.expr)} {word} '{escaped}')"
+        suffix = ""
+        if expr.escape is not None:
+            suffix = f" ESCAPE '{expr.escape.replace(chr(39), chr(39) * 2)}'"
+        return f"({_render(expr.expr)} {word} '{escaped}'{suffix})"
     if isinstance(expr, A.Cast):
         return f"CAST({_render(expr.expr)} AS {expr.type_name})"
     if isinstance(expr, A.Case):

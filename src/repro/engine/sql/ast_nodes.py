@@ -114,6 +114,8 @@ class Like(Expr):
     expr: Expr
     pattern: str
     negated: bool = False
+    #: optional ESCAPE character; the following pattern character is literal
+    escape: Optional[str] = None
 
 
 @dataclass(frozen=True)

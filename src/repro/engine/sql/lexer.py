@@ -20,7 +20,7 @@ KEYWORDS = {
     "UNION", "ALL", "INTERSECT", "EXCEPT", "DISTINCT", "EXISTS",
     "WITH", "OVER", "PARTITION", "ASC", "DESC", "NULLS", "FIRST", "LAST",
     "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET", "CAST",
-    "DATE", "INTERVAL", "ROLLUP", "TOP",
+    "DATE", "INTERVAL", "ROLLUP", "TOP", "ESCAPE",
 }
 
 OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/",

@@ -443,7 +443,14 @@ class _Parser:
                 if self._cur.type != "STRING":
                     raise self._error("LIKE pattern must be a string literal")
                 pattern = self._advance().value
-                left = A.Like(left, pattern, negated)
+                escape: Optional[str] = None
+                if self._accept_kw("ESCAPE"):
+                    if self._cur.type != "STRING" or len(self._cur.value) != 1:
+                        raise self._error(
+                            "ESCAPE requires a single-character string literal"
+                        )
+                    escape = self._advance().value
+                left = A.Like(left, pattern, negated, escape)
                 continue
             return left
 

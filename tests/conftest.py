@@ -32,6 +32,14 @@ def qgen(generated_data):
     return QGen(generated_data.context, build_catalog())
 
 
+@pytest.fixture(scope="session")
+def diff_harness(loaded_db):
+    """Session-wide differential harness: engine + mirrored SQLite oracle."""
+    from repro.difftest import DiffHarness
+
+    return DiffHarness(loaded_db)
+
+
 @pytest.fixture()
 def fresh_db(generated_data):
     """A private database copy for tests that mutate data."""

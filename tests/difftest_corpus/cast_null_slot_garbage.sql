@@ -1,0 +1,5 @@
+-- difftest repro: CAST of a NULL-bearing float expression to integer
+-- status: fixed
+-- origin: satellite bug — null slots carried NaN from the divide-by-zero
+-- kernel and _cast converted them unmasked (NaN -> int64 is undefined)
+SELECT CAST(ss_net_profit / 0 AS integer) AS c, CAST(ss_net_paid AS integer) AS p FROM store_sales ORDER BY c ASC, p ASC LIMIT 25

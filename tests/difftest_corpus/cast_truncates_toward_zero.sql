@@ -1,0 +1,4 @@
+-- difftest repro: float -> integer cast direction on negative values
+-- status: pinned
+-- origin: satellite — truncation toward zero (like SQLite), never floor
+SELECT CAST(0 - i_current_price AS integer) AS t, CAST(i_current_price AS integer) AS p FROM item ORDER BY t ASC, p ASC LIMIT 40

@@ -1,0 +1,5 @@
+-- difftest repro: LIKE ESCAPE making the following wildcard literal
+-- status: fixed
+-- origin: satellite bug — the parser rejected the ESCAPE clause and
+-- like_to_regex had no way to treat % or _ literally
+SELECT i_item_id FROM item WHERE i_item_id LIKE 'AAAA!_%' ESCAPE '!'

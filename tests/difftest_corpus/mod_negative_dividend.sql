@@ -1,0 +1,5 @@
+-- difftest repro: MOD with a negative dividend
+-- status: fixed
+-- origin: satellite bug — np.mod takes the divisor's sign, but the SQL
+-- standard (and SQLite %) take the dividend's: MOD(-7, 3) is -1, not 2
+SELECT d_date_sk, MOD(0 - d_date_sk, 7) AS m FROM date_dim ORDER BY d_date_sk ASC LIMIT 20

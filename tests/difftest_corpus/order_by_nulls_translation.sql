@@ -1,0 +1,6 @@
+-- difftest repro: default NULL placement differs between dialects
+-- status: pinned
+-- origin: engine sorts NULLs as largest (last ASC / first DESC); SQLite's
+-- bare default is the opposite, so the oracle renderer always spells
+-- NULLS FIRST/LAST explicitly
+SELECT i_rec_end_date AS d, i_item_sk AS sk FROM item ORDER BY d DESC, sk ASC LIMIT 30

@@ -1,0 +1,5 @@
+-- difftest repro: scalar subquery over an empty result
+-- status: pinned
+-- origin: satellite — 0 rows yields NULL in both engines; >1 rows raises
+-- "scalar subquery returned N rows" in the engine
+SELECT r_reason_sk, (SELECT MAX(d_date_sk) FROM date_dim WHERE d_year = 1900) AS missing FROM reason ORDER BY r_reason_sk ASC

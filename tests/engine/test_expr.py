@@ -166,3 +166,89 @@ class TestLike:
     def test_like_requires_literal(self, db):
         with pytest.raises(SqlSyntaxError):
             db.execute("SELECT 1 FROM t WHERE s LIKE s")
+
+
+class TestLikeEscape:
+    @pytest.mark.parametrize("pattern,escape,text,matches", [
+        ("100!%", "!", "100%", True),     # escaped % is literal
+        ("100!%", "!", "1000", False),
+        ("a!_c", "!", "a_c", True),       # escaped _ is literal
+        ("a!_c", "!", "abc", False),
+        ("a!!%", "!", "a!b", True),       # doubled escape is a literal escape
+        ("50\\%%", "\\", "50% off", True),
+    ])
+    def test_escape_patterns(self, pattern, escape, text, matches):
+        assert bool(like_to_regex(pattern, escape).match(text)) is matches
+
+    def test_escape_in_sql(self, db):
+        out = db.execute(
+            "SELECT COUNT(*) FROM t WHERE s LIKE 'Hello!_World' ESCAPE '!'"
+        ).rows()
+        assert out == [(0,)]  # literal underscore does not match the space
+        out = db.execute(
+            "SELECT COUNT(*) FROM t WHERE s LIKE 'Hello_World'"
+        ).rows()
+        assert out == [(1,)]  # plain _ is still a wildcard
+
+    def test_escape_requires_single_char(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT 1 FROM t WHERE s LIKE 'a%' ESCAPE '!!'")
+
+    def test_trailing_escape_raises(self):
+        from repro.engine.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            like_to_regex("abc!", "!")
+
+    def test_compiled_patterns_are_memoized(self):
+        before = like_to_regex.cache_info().hits
+        assert like_to_regex("memo%", "!") is like_to_regex("memo%", "!")
+        assert like_to_regex.cache_info().hits > before
+
+
+class TestCastEdgeCases:
+    def test_negative_float_truncates_toward_zero(self, db):
+        assert one(db, "CAST(0 - 3.7 AS integer)") == -3
+        assert one(db, "CAST(3.7 AS integer)") == 3
+
+    def test_negative_string_truncates_toward_zero(self, db):
+        assert one(db, "CAST('-3.7' AS integer)") == -3
+
+    def test_null_slots_masked_before_int_conversion(self, db):
+        # f / 0 produces NULL slots whose backing data is NaN; the cast
+        # must mask them before the int64 conversion (NaN -> int64 is UB)
+        out = db.execute("SELECT CAST(f / 0 AS integer) FROM t").rows()
+        assert out == [(None,), (None,), (None,)]
+
+    def test_cast_null_row_stays_null(self, db):
+        out = db.execute("SELECT CAST(f AS integer) FROM t WHERE i IS NULL").rows()
+        assert out == [(None,)]
+
+
+class TestModSign:
+    def test_negative_dividend(self, db):
+        # SQL standard (and SQLite %): result takes the dividend's sign
+        assert one(db, "MOD(0 - 7, 3)") == -1
+
+    def test_negative_divisor(self, db):
+        assert one(db, "MOD(7, 0 - 3)") == 1
+
+
+class TestScalarSubqueryCardinality:
+    def test_multi_row_subquery_raises_with_count(self, db):
+        from repro.engine.errors import ExecutionError
+
+        with pytest.raises(ExecutionError, match="scalar subquery returned 3 rows"):
+            db.execute("SELECT (SELECT i FROM t) FROM t")
+
+    def test_empty_subquery_yields_null(self, db):
+        out = db.execute(
+            "SELECT (SELECT i FROM t WHERE i = 999) FROM t WHERE i = 5"
+        ).rows()
+        assert out == [(None,)]
+
+    def test_single_row_subquery_is_scalar(self, db):
+        out = db.execute(
+            "SELECT (SELECT MAX(i) FROM t) FROM t WHERE i = 5"
+        ).rows()
+        assert out == [(5,)]

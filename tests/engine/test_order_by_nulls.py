@@ -1,0 +1,89 @@
+"""ORDER BY NULL placement: engine defaults and explicit FIRST/LAST.
+
+The engine treats NULL as the *largest* value: ascending sorts put
+NULLs last, descending sorts put them first.  (SQLite's bare default is
+the opposite, which is why the oracle renderer always spells the
+placement out — verified differentially at the end.)
+"""
+
+import pytest
+
+from repro.difftest import DiffHarness
+from tests.conftest import make_simple_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_simple_db()
+
+
+def column(db, sql):
+    return [row[0] for row in db.execute(sql).rows()]
+
+
+class TestDefaults:
+    def test_ascending_puts_nulls_last(self, db):
+        out = column(db, "SELECT item_sk FROM sales ORDER BY item_sk")
+        assert out == [1, 1, 2, 2, 3, None]
+
+    def test_descending_puts_nulls_first(self, db):
+        out = column(db, "SELECT item_sk FROM sales ORDER BY item_sk DESC")
+        assert out == [None, 3, 2, 2, 1, 1]
+
+
+class TestExplicitPlacement:
+    def test_asc_nulls_first(self, db):
+        out = column(db, "SELECT item_sk FROM sales ORDER BY item_sk ASC NULLS FIRST")
+        assert out == [None, 1, 1, 2, 2, 3]
+
+    def test_asc_nulls_last(self, db):
+        out = column(db, "SELECT item_sk FROM sales ORDER BY item_sk ASC NULLS LAST")
+        assert out == [1, 1, 2, 2, 3, None]
+
+    def test_desc_nulls_first(self, db):
+        out = column(db, "SELECT item_sk FROM sales ORDER BY item_sk DESC NULLS FIRST")
+        assert out == [None, 3, 2, 2, 1, 1]
+
+    def test_desc_nulls_last(self, db):
+        out = column(db, "SELECT item_sk FROM sales ORDER BY item_sk DESC NULLS LAST")
+        assert out == [3, 2, 2, 1, 1, None]
+
+    def test_secondary_key_breaks_ties(self, db):
+        out = db.execute(
+            "SELECT item_sk, price FROM sales "
+            "ORDER BY item_sk NULLS FIRST, price DESC"
+        ).rows()
+        assert out[0] == (None, 7.5)
+        assert out[1] == (1, 15.0)
+
+
+class TestAgainstOracle:
+    """Every placement variant must agree with SQLite once the
+    translation makes the engine's defaults explicit."""
+
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return DiffHarness(make_simple_db())
+
+    @pytest.mark.parametrize("order", [
+        "cust_sk",
+        "cust_sk DESC",
+        "cust_sk ASC NULLS FIRST",
+        "cust_sk ASC NULLS LAST",
+        "cust_sk DESC NULLS FIRST",
+        "cust_sk DESC NULLS LAST",
+    ])
+    def test_null_placement_matches_oracle(self, harness, order):
+        sql = (
+            "SELECT cust_sk AS k, item_sk AS i, price AS p FROM sales "
+            f"ORDER BY {order}, item_sk NULLS LAST, price"
+        )
+        outcome = harness.check_sql(sql)
+        assert outcome.passed, f"{outcome.status}: {outcome.detail}"
+
+    def test_limit_cuts_after_placement(self, harness):
+        outcome = harness.check_sql(
+            "SELECT cust_sk AS k, price AS p FROM sales "
+            "ORDER BY cust_sk NULLS FIRST, price LIMIT 2"
+        )
+        assert outcome.passed, f"{outcome.status}: {outcome.detail}"

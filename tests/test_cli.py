@@ -129,6 +129,25 @@ def test_run_plan_quality(capsys):
     assert "q_err" in out
 
 
+def test_difftest_command(tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    assert main(["difftest", "--scale", "0.001", "--fuzz", "10",
+                 "--fuzz-seed", "11", "--corpus", corpus]) == 0
+    out = capsys.readouterr().out
+    assert "qualification" in out
+    assert "seed 11" in out
+    assert not os.path.isdir(corpus)  # no mismatches -> no repros written
+
+
+def test_difftest_skip_qualification(tmp_path, capsys):
+    assert main(["difftest", "--scale", "0.001", "--fuzz", "5",
+                 "--fuzz-seed", "3",
+                 "--skip-qualification",
+                 "--corpus", str(tmp_path / "corpus")]) == 0
+    out = capsys.readouterr().out
+    assert "qualification" not in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,320 @@
+"""Differential harness: renderers, normalizer, oracle, fuzzer, shrinker."""
+
+import dataclasses
+
+import pytest
+
+from repro.difftest import (
+    DiffHarness,
+    QueryFuzzer,
+    SqliteOracle,
+    compare_results,
+    is_total_order,
+    normalize_cell,
+    shrink_query,
+    summarize,
+    to_engine_sql,
+    to_sqlite_sql,
+)
+from repro.difftest.corpus import load_corpus, write_repro
+from repro.difftest.render import substitute
+from repro.engine.sql import ast_nodes as A
+from repro.engine.sql.parser import parse_query
+
+from tests.conftest import make_simple_db
+
+
+# -- engine-dialect renderer ----------------------------------------------
+
+
+class TestEngineRenderer:
+    @pytest.mark.parametrize("sql", [
+        "SELECT i_brand, COUNT(*) FROM item GROUP BY i_brand HAVING COUNT(*) > 1",
+        "SELECT DISTINCT i_class FROM item ORDER BY i_class DESC NULLS FIRST LIMIT 3",
+        "SELECT s.price FROM sales AS s JOIN item AS i ON s.item_sk = i.i_sk",
+        "SELECT price FROM sales WHERE item_sk IN (1, 2) AND price BETWEEN 5 AND 20",
+        "SELECT i_brand FROM item WHERE i_brand LIKE 'b!_%' ESCAPE '!'",
+        "SELECT CASE WHEN qty > 2 THEN price ELSE 0 - price END FROM sales",
+        "SELECT CAST(price AS integer) FROM sales WHERE cust_sk IS NOT NULL",
+        "SELECT item_sk, SUM(price) FROM sales GROUP BY ROLLUP(item_sk)",
+        "SELECT i_sk FROM item UNION ALL SELECT item_sk FROM sales",
+        "WITH big AS (SELECT price FROM sales WHERE qty > 1) "
+        "SELECT MAX(price) FROM big",
+        "SELECT RANK() OVER (PARTITION BY i_class ORDER BY i_brand) FROM item",
+        "SELECT (SELECT MAX(price) FROM sales) FROM item",
+        "SELECT price FROM sales WHERE EXISTS (SELECT 1 FROM item)",
+    ])
+    def test_round_trip(self, sql):
+        """Engine-dialect rendering must re-parse to the identical AST."""
+        ast = parse_query(sql)
+        assert parse_query(to_engine_sql(ast)) == ast
+
+
+class TestSqliteRenderer:
+    def test_date_literal_becomes_epoch_days(self):
+        ast = parse_query("SELECT 1 FROM item WHERE i_sk > DATE '1970-01-11'")
+        assert "10" in to_sqlite_sql(ast)
+        assert "DATE" not in to_sqlite_sql(ast)
+
+    def test_division_casts_to_real(self):
+        ast = parse_query("SELECT qty / 2 FROM sales")
+        assert "CAST(qty AS REAL) / 2" in to_sqlite_sql(ast)
+
+    def test_sort_keys_always_spell_null_placement(self):
+        ast = parse_query("SELECT price FROM sales ORDER BY price, qty DESC")
+        sql = to_sqlite_sql(ast)
+        assert "price ASC NULLS LAST" in sql
+        assert "qty DESC NULLS FIRST" in sql
+
+    def test_rollup_expands_to_union_all(self):
+        ast = parse_query(
+            "SELECT item_sk, SUM(price) FROM sales GROUP BY ROLLUP(item_sk)"
+        )
+        sql = to_sqlite_sql(ast)
+        assert "UNION ALL" in sql
+        assert "SELECT NULL, SUM(price)" in sql
+
+    def test_function_names_mapped(self):
+        ast = parse_query("SELECT YEAR(d_date) FROM date_dim")
+        assert "year_of(d_date)" in to_sqlite_sql(ast)
+
+    def test_substitute_replaces_structurally(self):
+        target = A.ColumnRef("x")
+        expr = A.BinaryOp("+", A.ColumnRef("x"), A.ColumnRef("y"))
+        out = substitute(expr, target, A.Literal(None))
+        assert out == A.BinaryOp("+", A.Literal(None), A.ColumnRef("y"))
+
+
+# -- normalization ---------------------------------------------------------
+
+
+class TestNormalize:
+    def test_integral_float_collapses_to_int(self):
+        assert normalize_cell(3.0) == 3
+        assert normalize_cell(-0.0) == 0
+
+    def test_bool_becomes_int(self):
+        assert normalize_cell(True) == 1
+
+    def test_quantization(self):
+        assert normalize_cell(1.23456789) == 1.23457
+        assert normalize_cell(float("nan")) == "<nan>"
+
+    def test_row_count_difference(self):
+        assert "row count" in compare_results([(1,)], [(1,), (2,)], False)
+
+    def test_multiset_ignores_order(self):
+        assert compare_results([(1,), (2,)], [(2,), (1,)], False) is None
+        assert compare_results([(1,), (2,)], [(2,), (1,)], True) is not None
+
+    def test_rel_tol_absorbs_boundary_split(self):
+        # both values quantize apart at ANY digit count (.x5 boundary)
+        # but differ by 1 ulp of accumulation order
+        left, right = [(53107.549999999996,)], [(53107.55,)]
+        assert compare_results(left, right, True) is not None
+        assert compare_results(left, right, True, rel_tol=1e-9) is None
+
+    def test_rel_tol_still_catches_real_differences(self):
+        assert compare_results(
+            [(53107.3,)], [(53107.55,)], True, rel_tol=1e-9
+        ) is not None
+
+    def test_none_sorts_before_values(self):
+        assert compare_results([(None,), (1,)], [(1,), (None,)], False) is None
+
+
+class TestTotalOrder:
+    def test_covering_order_is_total(self):
+        q = parse_query("SELECT price AS p FROM sales ORDER BY p")
+        assert is_total_order(q)
+
+    def test_partial_order_is_not(self):
+        q = parse_query("SELECT price, qty FROM sales ORDER BY price")
+        assert not is_total_order(q)
+
+    def test_no_order_is_not(self):
+        assert not is_total_order(parse_query("SELECT price FROM sales"))
+
+
+# -- oracle agreement on hand-written queries ------------------------------
+
+
+SIMPLE_QUERIES = [
+    "SELECT item_sk, cust_sk, price, qty FROM sales ORDER BY item_sk, cust_sk, price, qty",
+    "SELECT item_sk, SUM(price * qty) AS rev FROM sales GROUP BY item_sk",
+    "SELECT i_class, COUNT(*) FROM sales, item WHERE item_sk = i_sk GROUP BY i_class",
+    "SELECT i_brand FROM sales LEFT JOIN item ON item_sk = i_sk WHERE price > 6",
+    "SELECT item_sk, SUM(qty) FROM sales GROUP BY ROLLUP(item_sk)",
+    "SELECT item_sk, RANK() OVER (ORDER BY price) FROM sales",
+    "SELECT SUM(price) OVER (PARTITION BY item_sk) FROM sales",
+    "SELECT i_sk FROM item UNION SELECT item_sk FROM sales WHERE item_sk IS NOT NULL",
+    "SELECT i_sk FROM item EXCEPT SELECT item_sk FROM sales",
+    "SELECT i_brand FROM item WHERE i_brand LIKE 'b!_%' ESCAPE '!'",
+    "SELECT i_brand FROM item WHERE i_brand LIKE 'b_'",
+    "SELECT price / 0 FROM sales",
+    "SELECT price / qty FROM sales",
+    "SELECT MOD(0 - qty, 3) FROM sales WHERE qty IS NOT NULL",
+    "SELECT CAST(price AS integer), CAST(qty AS float) FROM sales",
+    "SELECT CAST(0 - price AS integer) FROM sales",
+    "SELECT price FROM sales ORDER BY cust_sk NULLS FIRST, price LIMIT 3",
+    "SELECT cust_sk FROM sales ORDER BY cust_sk DESC",
+    "SELECT (SELECT MAX(price) FROM sales) + qty FROM sales",
+    "SELECT COUNT(DISTINCT item_sk) FROM sales",
+    "SELECT AVG(price), MIN(qty), MAX(qty) FROM sales WHERE item_sk IN (1, 3)",
+    "SELECT CASE WHEN qty > 2 THEN price END FROM sales",
+    "SELECT qty FROM sales WHERE price BETWEEN 7 AND 20",
+    "SELECT STDDEV_SAMP(price) FROM sales",
+    "SELECT item_sk FROM sales WHERE item_sk IN (SELECT i_sk FROM item WHERE i_class = 'c1')",
+]
+
+
+class TestSimpleDbAgreement:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return DiffHarness(make_simple_db())
+
+    @pytest.mark.parametrize("sql", SIMPLE_QUERIES)
+    def test_agrees_with_oracle(self, harness, sql):
+        outcome = harness.check_sql(sql)
+        assert outcome.passed, f"{outcome.status}: {outcome.detail}\n{outcome.sqlite_sql}"
+
+
+class TestOracleLoading:
+    def test_nulls_and_values_mirror_engine(self):
+        db = make_simple_db()
+        oracle = SqliteOracle.from_database(db)
+        rows, names = oracle.execute(
+            "SELECT item_sk, price FROM sales ORDER BY price"
+        )
+        assert names == ["item_sk", "price"]
+        engine_rows = db.execute(
+            "SELECT item_sk, price FROM sales ORDER BY price"
+        ).rows()
+        assert rows == engine_rows
+
+    def test_registered_udfs(self):
+        oracle = SqliteOracle()
+        rows, _ = oracle.execute(
+            "SELECT np_mod(-7, 3), np_sqrt(-1), np_floor(2.7), year_of(0)"
+        )
+        assert rows == [(-1, None, 2, 1970)]
+
+
+# -- differential checks on the TPC-DS session database -------------------
+
+
+class TestLoadedDbDifferential:
+    def test_fuzz_smoke(self, diff_harness):
+        outcomes = diff_harness.run_fuzz(25, seed=7)
+        bad = [o for o in outcomes if not o.passed]
+        assert not bad, summarize(outcomes)
+
+    def test_qualification_sample(self, diff_harness, qgen):
+        """A slice of the 99 runs in tier-1; the full set runs in
+        `make difftest` (CI difftest job)."""
+        for template_id in (3, 7, 42, 52, 96):
+            generated = qgen.generate(template_id, 0)
+            for stmt in generated.statements:
+                outcome = diff_harness.check_sql(stmt, label=f"q{template_id}")
+                assert outcome.passed, (
+                    f"{outcome.label} {outcome.status}: {outcome.detail}"
+                )
+
+
+# -- fuzzer determinism ----------------------------------------------------
+
+
+class TestFuzzer:
+    def test_same_seed_same_queries(self, loaded_db):
+        a = QueryFuzzer(loaded_db, seed=123)
+        b = QueryFuzzer(loaded_db, seed=123)
+        for _ in range(10):
+            assert a.generate() == b.generate()
+
+    def test_different_seeds_differ(self, loaded_db):
+        a = [QueryFuzzer(loaded_db, seed=1).generate() for _ in range(5)]
+        b = [QueryFuzzer(loaded_db, seed=2).generate() for _ in range(5)]
+        assert a != b
+
+    def test_generated_queries_render_and_reparse(self, loaded_db):
+        fuzzer = QueryFuzzer(loaded_db, seed=99)
+        for _ in range(20):
+            query = fuzzer.generate()
+            assert parse_query(to_engine_sql(query)) == query
+
+
+# -- shrinker --------------------------------------------------------------
+
+
+class TestShrinker:
+    def _bloated(self) -> A.Query:
+        return parse_query(
+            "SELECT item_sk, SUM(price) AS s, COUNT(*) AS c "
+            "FROM sales JOIN item ON item_sk = i_sk "
+            "WHERE qty > 0 AND price > 1 AND item_sk IS NOT NULL "
+            "GROUP BY item_sk HAVING COUNT(*) >= 1 "
+            "ORDER BY item_sk LIMIT 10"
+        )
+
+    @staticmethod
+    def _mentions_sum_price(query: A.Query) -> bool:
+        def in_expr(expr) -> bool:
+            return any(
+                isinstance(e, A.FuncCall)
+                and e.name == "SUM"
+                and e.args == (A.ColumnRef("price"),)
+                for e in A.walk(expr)
+            )
+
+        body = query.body
+        return isinstance(body, A.SelectCore) and any(
+            in_expr(item.expr) for item in body.items
+        )
+
+    def test_shrinks_to_minimal_repro(self):
+        shrunk = shrink_query(self._bloated(), self._mentions_sum_price)
+        assert self._mentions_sum_price(shrunk)
+        assert shrunk.limit is None
+        assert shrunk.order_by == ()
+        assert shrunk.body.where is None
+        assert shrunk.body.having is None
+        assert len(shrunk.body.items) == 1
+        assert shrunk.body.group_by == ()
+        # the join collapsed to a single base table
+        assert all(not isinstance(r, A.JoinRef) for r in shrunk.body.from_)
+
+    def test_predicate_errors_treated_as_not_failing(self):
+        def flaky(query):
+            if query.limit is None:
+                raise RuntimeError("boom")
+            return True
+
+        shrunk = shrink_query(self._bloated(), flaky)
+        assert shrunk.limit == 10  # the limit-dropping candidate errored
+
+
+# -- corpus round trip -----------------------------------------------------
+
+
+class TestCorpus:
+    def test_write_and_load(self, tmp_path):
+        path = write_repro(
+            tmp_path,
+            "SELECT 1 FROM item",
+            label="fuzz#3",
+            status="mismatch",
+            detail="row 0 differs",
+            seed=42,
+        )
+        path2 = write_repro(
+            tmp_path, "SELECT 2 FROM item", label="fuzz#3", status="mismatch"
+        )
+        assert path != path2
+        entries = list(load_corpus(tmp_path))
+        assert len(entries) == 2
+        assert entries[0].sql == "SELECT 1 FROM item"
+        assert entries[0].header["seed"] == "42"
+        assert entries[0].header["status"] == "mismatch"
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert list(load_corpus(tmp_path / "nope")) == []

@@ -1,0 +1,32 @@
+"""Replay of the checked-in differential corpus.
+
+``tests/difftest_corpus/`` holds minimal repros of every engine bug the
+differential harness has flushed out, shrunk by ``repro.difftest.shrink``
+and written in the engine's dialect.  Each file replays against a fresh
+SQLite oracle here, so a fixed bug that regresses turns this suite red
+with the original repro attached.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.difftest.corpus import load_corpus
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "difftest_corpus"
+
+ENTRIES = list(load_corpus(CORPUS_DIR))
+
+
+def test_corpus_is_present():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_corpus_entry_agrees_with_oracle(diff_harness, entry):
+    outcome = diff_harness.check_sql(entry.sql, label=entry.name)
+    assert outcome.passed, (
+        f"{entry.name} [{outcome.status}] {outcome.detail}\n"
+        f"engine: {outcome.sql}\n"
+        f"sqlite: {outcome.sqlite_sql}"
+    )
