@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test determinism bench bench-smoke bench-compare qualification difftest
+.PHONY: check test determinism bench bench-smoke bench-compare qualification difftest faultcheck
 
 ## fuzz seed for `make difftest`; CI rotates it per run and logs the
 ## value so any failure replays with DIFFTEST_SEED=<logged seed>
@@ -43,3 +43,11 @@ qualification:
 difftest:
 	$(PYTHON) -m repro.cli difftest --scale 0.01 --fuzz 200 \
 	    --fuzz-seed $(DIFFTEST_SEED)
+
+## robustness suite: resource governor (spill byte-identity, timeouts,
+## cancellation), deterministic fault injection, checkpoint/resume, the
+## 4-stream race-freedom stress test, and a SIGKILL-and-resume smoke
+faultcheck:
+	$(PYTHON) -m pytest tests/engine/test_governor.py tests/test_faults.py \
+	    tests/test_resume.py tests/test_stream_stress.py -q
+	$(PYTHON) scripts/kill_resume_smoke.py

@@ -1,0 +1,140 @@
+"""SIGKILL-and-resume smoke test for the checkpoint journal.
+
+Launches a checkpointed benchmark run in a subprocess, waits until the
+journal has accumulated a couple dozen query records, delivers SIGKILL
+(no cleanup handlers run — the journal must survive on fsync alone),
+then resumes from the same journal and checks that:
+
+* the resumed run exits 0 (the merged run is compliant);
+* the merged journal parses line-by-line with no duplicate
+  ``(run, stream, template_id)`` query records and a completion marker;
+* the set of metric inputs — every journaled ``(run, stream,
+  template_id, rows)`` — matches a fresh uninterrupted reference run,
+  i.e. the crash changed *when* work happened, never *what* was done.
+
+Run as ``PYTHONPATH=src python scripts/kill_resume_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SCALE = "0.002"
+STREAMS = "2"
+MIN_QUERY_LINES = 20
+KILL_DEADLINE_S = 120.0
+
+
+def _run_cli(args: list[str], **kwargs) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+        **kwargs,
+    )
+
+
+def _query_lines(path: str) -> int:
+    if not os.path.exists(path):
+        return 0
+    count = 0
+    with open(path, "rb") as handle:
+        for raw in handle:
+            if b'"kind": "query"' in raw or b'"kind":"query"' in raw:
+                count += 1
+    return count
+
+
+def _journal_query_keys(path: str) -> tuple[set, set, bool]:
+    """(dedup keys, metric-input keys, saw completion marker)."""
+    keys: set = set()
+    metric_keys: set = set()
+    complete = False
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            record = json.loads(line)  # every surviving line must parse
+            kind = record["kind"]
+            if kind == "query":
+                key = (record["run"], record["stream"], record["template_id"])
+                if key in keys:
+                    raise SystemExit(
+                        f"FAIL: duplicate journal record {key} (line {line_no})"
+                    )
+                keys.add(key)
+                metric_keys.add(key + (record["rows"],))
+            elif kind == "complete":
+                complete = True
+    return keys, metric_keys, complete
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="tpcds-kill-resume-")
+    journal = os.path.join(workdir, "journal.jsonl")
+    reference = os.path.join(workdir, "reference.jsonl")
+    base_args = ["run", "--scale", SCALE, "--streams", STREAMS]
+
+    # 1. start a checkpointed run and SIGKILL it mid-flight
+    victim = _run_cli(base_args + ["--checkpoint", journal])
+    deadline = time.monotonic() + KILL_DEADLINE_S
+    while time.monotonic() < deadline:
+        if _query_lines(journal) >= MIN_QUERY_LINES:
+            break
+        if victim.poll() is not None:
+            raise SystemExit(
+                "FAIL: run finished before it could be killed; "
+                "raise MIN_QUERY_LINES or lower --scale"
+            )
+        time.sleep(0.05)
+    else:
+        victim.kill()
+        raise SystemExit("FAIL: journal never reached the kill threshold")
+    victim.send_signal(signal.SIGKILL)
+    victim.wait()
+    killed_at = _query_lines(journal)
+    print(f"killed run after {killed_at} journaled queries")
+
+    # 2. resume from the survived journal
+    resumed = _run_cli(base_args + ["--checkpoint", journal, "--resume"])
+    if resumed.wait() != 0:
+        raise SystemExit(f"FAIL: resumed run exited {resumed.returncode}")
+
+    keys, metric_keys, complete = _journal_query_keys(journal)
+    if not complete:
+        raise SystemExit("FAIL: merged journal has no completion marker")
+
+    # 3. compare metric inputs against a fresh uninterrupted run
+    fresh = _run_cli(base_args + ["--checkpoint", reference])
+    if fresh.wait() != 0:
+        raise SystemExit(f"FAIL: reference run exited {fresh.returncode}")
+    ref_keys, ref_metric_keys, _ = _journal_query_keys(reference)
+
+    if keys != ref_keys:
+        raise SystemExit(
+            f"FAIL: journal keys diverge from reference "
+            f"(only-resumed={sorted(keys - ref_keys)[:5]}, "
+            f"only-reference={sorted(ref_keys - keys)[:5]})"
+        )
+    if metric_keys != ref_metric_keys:
+        diff = metric_keys ^ ref_metric_keys
+        raise SystemExit(
+            f"FAIL: metric inputs diverge from reference: {sorted(diff)[:5]}"
+        )
+
+    print(
+        f"OK: resume after SIGKILL replayed {len(keys) - killed_at} queries, "
+        f"skipped {killed_at}; metric inputs match the uninterrupted run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

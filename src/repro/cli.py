@@ -95,11 +95,33 @@ def _cmd_dsqgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_bytes(text: str | None) -> float | None:
+    """Parse a byte size with an optional K/M/G suffix ('64M' -> 64 MiB)."""
+    if text is None:
+        return None
+    text = text.strip()
+    scale = 1
+    if text and text[-1].upper() in "KMG":
+        scale = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}[text[-1].upper()]
+        text = text[:-1]
+    return float(text) * scale
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.metrics:
         from .obs import MetricsRegistry, set_registry
 
         set_registry(MetricsRegistry(enabled=True))
+    faults = None
+    if args.fault_error_rate or args.fault_delay_rate:
+        from .faults import FaultInjector
+
+        faults = FaultInjector(
+            seed=args.fault_seed,
+            error_rate=args.fault_error_rate,
+            delay_rate=args.fault_delay_rate,
+            max_delay_s=args.fault_max_delay,
+        )
     bench = Benchmark(
         scale_factor=args.scale,
         streams=args.streams,
@@ -107,6 +129,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         use_aux_structures=not args.no_aux,
         strict=args.strict,
         plan_quality=args.plan_quality,
+        query_timeout_s=args.timeout,
+        query_mem_budget_bytes=_parse_bytes(args.mem_budget),
+        max_query_retries=args.retries,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        faults=faults,
     )
     summary = bench.run()
     if args.full:
@@ -133,7 +161,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         print("metrics registry snapshot")
         print(get_registry().to_json())
-    return 0
+    return 0 if summary.result.compliant else 1
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -149,15 +177,21 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         if not args.json:
             print(f"-- query {query.template_id} ({query.name}; "
                   f"{query.query_class}; {query.channel_part} part)")
+    bounds = {
+        "timeout_s": args.timeout,
+        "mem_budget_bytes": _parse_bytes(args.mem_budget),
+    }
     if args.json:
         import json
 
         payload = (
-            db.explain_analyze_dict(sql) if args.analyze else db.explain_dict(sql)
+            db.explain_analyze_dict(sql, **bounds)
+            if args.analyze
+            else db.explain_dict(sql)
         )
         print(json.dumps(payload, indent=2))
     else:
-        print(db.explain_analyze(sql) if args.analyze else db.explain(sql))
+        print(db.explain_analyze(sql, **bounds) if args.analyze else db.explain(sql))
     return 0
 
 
@@ -199,7 +233,7 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
 
     print(f"loading sf={args.scale} into engine + sqlite oracle ...")
     db, data = build_database(args.scale, seed=args.seed)
-    harness = DiffHarness(db)
+    harness = DiffHarness(db, timeout_s=args.query_timeout or None)
     outcomes = []
 
     if not args.skip_qualification:
@@ -306,6 +340,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plan-quality", action="store_true",
                    help="collect per-operator Q-error diagnostics and"
                         " print the worst-offender summary")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-query wall-clock timeout in seconds"
+                        " (timed-out queries degrade, the run continues)")
+    p.add_argument("--mem-budget", default=None, metavar="BYTES",
+                   help="per-query memory budget; hash joins, aggregates"
+                        " and sorts spill past it (accepts K/M/G suffix)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="max retries for transient query failures"
+                        " (default 2)")
+    p.add_argument("--checkpoint", metavar="FILE", default=None,
+                   help="journal completed queries to FILE (crash-safe)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint: skip journaled queries")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="fault-injection seed")
+    p.add_argument("--fault-error-rate", type=float, default=0.0,
+                   help="inject transient errors at this per-query rate")
+    p.add_argument("--fault-delay-rate", type=float, default=0.0,
+                   help="inject random delays at this per-query rate")
+    p.add_argument("--fault-max-delay", type=float, default=0.01,
+                   help="max injected delay in seconds (default 0.01)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("explain",
@@ -323,6 +378,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the plan tree as machine-readable JSON"
                         " (plan_to_dict output)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="wall-clock timeout for --analyze execution")
+    p.add_argument("--mem-budget", default=None, metavar="BYTES",
+                   help="memory budget for --analyze execution (spill"
+                        " counters appear in the annotated plan)")
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("obs", help="observability tooling")
@@ -355,6 +415,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the 99 qualification queries")
     p.add_argument("--corpus", default="tests/difftest_corpus",
                    help="directory for shrunk mismatch repros")
+    p.add_argument("--query-timeout", type=float, default=30.0,
+                   help="wall-clock guard per generated query so a"
+                        " pathological fuzz query cannot hang the job"
+                        " (default 30s; 0 disables)")
     p.set_defaults(func=_cmd_difftest)
 
     p = sub.add_parser("schema", help="Table 1 schema statistics")
@@ -368,10 +432,47 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: exit codes for engine failures: one per processing stage, so shell
+#: scripts and CI can tell a bad query from a resource kill
+EXIT_PARSE = 2
+EXIT_PLANNING = 3
+EXIT_EXECUTION = 4
+EXIT_RESOURCE = 5
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Engine errors become one-line diagnostics with stage-specific exit
+    codes (parse=2, planning=3, execution=4, resource=5) instead of
+    tracebacks."""
+    from .engine import (
+        EngineError,
+        PlanningError,
+        ResourceError,
+        SqlSyntaxError,
+    )
+    from .runner import CheckpointMismatch
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SqlSyntaxError as exc:
+        print(f"tpcds-py: parse error: {exc}", file=sys.stderr)
+        return EXIT_PARSE
+    except PlanningError as exc:
+        print(f"tpcds-py: planning error: {exc}", file=sys.stderr)
+        return EXIT_PLANNING
+    except ResourceError as exc:
+        # before EngineError: ResourceError is a subclass
+        print(f"tpcds-py: resource error: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE
+    except EngineError as exc:
+        print(f"tpcds-py: execution error: {exc}", file=sys.stderr)
+        return EXIT_EXECUTION
+    except CheckpointMismatch as exc:
+        print(f"tpcds-py: checkpoint error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

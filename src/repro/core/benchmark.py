@@ -56,6 +56,12 @@ class Benchmark:
         strict: bool = False,
         optimizer: Optional[OptimizerSettings] = None,
         plan_quality: bool = False,
+        query_timeout_s: Optional[float] = None,
+        query_mem_budget_bytes: Optional[float] = None,
+        max_query_retries: int = 2,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False,
+        faults=None,
     ):
         self.config = BenchmarkConfig(
             scale_factor=scale_factor,
@@ -65,6 +71,12 @@ class Benchmark:
             strict=strict,
             optimizer=optimizer or OptimizerSettings(),
             plan_quality=plan_quality,
+            query_timeout_s=query_timeout_s,
+            query_mem_budget_bytes=query_mem_budget_bytes,
+            max_query_retries=max_query_retries,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            faults=faults,
         )
         self._run: Optional[BenchmarkRun] = None
         self._summary: Optional[RunSummary] = None

@@ -23,15 +23,19 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Iterable, Optional
 
-from ..engine.errors import EngineError
+from ..engine.errors import EngineError, QueryTimeout
 from ..engine.sql import ast_nodes as A
 from ..engine.sql.parser import parse_query
 from .normalize import compare_results, is_total_order
 from .oracle import SqliteOracle
 from .render import to_engine_sql, to_sqlite_sql
 
-#: outcome statuses that count as agreement
-PASS_STATUSES = frozenset({"match", "float_tolerant", "tie_ambiguous"})
+#: outcome statuses that count as agreement; ``engine_timeout`` passes
+#: because the harness's wall-clock guard killing a pathological
+#: generated query is a liveness protection, not a disagreement
+PASS_STATUSES = frozenset(
+    {"match", "float_tolerant", "tie_ambiguous", "engine_timeout"}
+)
 
 
 @dataclasses.dataclass
@@ -63,12 +67,16 @@ class DiffHarness:
         float_digits: int = 6,
         rel_tol: float = 1e-9,
         abs_tol: float = 1e-9,
+        timeout_s: Optional[float] = None,
     ) -> None:
         self.db = db
         self.oracle = oracle if oracle is not None else SqliteOracle.from_database(db)
         self.float_digits = float_digits
         self.rel_tol = rel_tol
         self.abs_tol = abs_tol
+        #: per-query wall-clock guard (via the engine's governor) so a
+        #: pathological generated query cannot hang a fuzz run
+        self.timeout_s = timeout_s
 
     # -- single-query checking ---------------------------------------------
 
@@ -79,7 +87,9 @@ class DiffHarness:
         sql = to_engine_sql(query)
         sqlite_sql = to_sqlite_sql(query)
         try:
-            engine_rows = self.db.execute_ast(query).rows()
+            engine_rows = self.db.execute_ast(query, timeout_s=self.timeout_s).rows()
+        except QueryTimeout as exc:
+            return DiffOutcome("engine_timeout", sql, sqlite_sql, str(exc), label)
         except EngineError as exc:
             return DiffOutcome("engine_error", sql, sqlite_sql, str(exc), label)
         try:
@@ -125,7 +135,7 @@ class DiffHarness:
         sql = to_engine_sql(query)
         sqlite_sql = to_sqlite_sql(query)
         try:
-            engine_rows = self.db.execute_ast(query).rows()
+            engine_rows = self.db.execute_ast(query, timeout_s=self.timeout_s).rows()
             oracle_rows, _ = self.oracle.execute(sqlite_sql)
         except Exception:
             return None

@@ -12,9 +12,14 @@ from .errors import (
     ConstraintError,
     EngineError,
     ExecutionError,
+    MemoryBudgetExceeded,
     PlanningError,
+    QueryCancelled,
+    QueryTimeout,
+    ResourceError,
     SqlSyntaxError,
 )
+from .governor import ResourceContext
 from .optimizer import OptimizerSettings
 from .types import (
     ColumnDef,
@@ -43,6 +48,11 @@ __all__ = [
     "SqlSyntaxError",
     "PlanningError",
     "ExecutionError",
+    "ResourceError",
+    "QueryTimeout",
+    "QueryCancelled",
+    "MemoryBudgetExceeded",
+    "ResourceContext",
     "CatalogError",
     "ConstraintError",
     "TableSchema",

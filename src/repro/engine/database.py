@@ -41,6 +41,7 @@ from .catalog import Catalog
 from .errors import EngineError, ExecutionError, PlanningError
 from .executor import Executor
 from .expr import EvalContext, evaluate
+from .governor import ResourceContext
 from .matview import MaterializedView, define_view, try_rewrite
 from .optimizer import Optimizer, OptimizerSettings
 from .planner import Planner
@@ -59,6 +60,8 @@ class Result:
     elapsed: float = 0.0
     rewritten_from_view: Optional[str] = None
     rowcount: int = 0  # affected rows for DML
+    spill_partitions: int = 0  # operator spill fan-out under a memory budget
+    spilled_bytes: int = 0  # bytes written to spill files
 
     def rows(self) -> list[tuple]:
         return self._batch.rows()
@@ -120,6 +123,11 @@ class Database:
         #: per-operator Q-error records into the aggregator (the
         #: benchmark runner installs one for plan-quality reporting)
         self.plan_quality = None
+        #: optional :class:`~repro.faults.FaultInjector`; when set, every
+        #: query execution rolls its query- and operator-level injection
+        #: points (the runner installs one for the duration of fault-
+        #: injected query runs)
+        self.fault_injector = None
 
     # -- DDL -----------------------------------------------------------------
 
@@ -151,20 +159,53 @@ class Database:
 
     # -- queries -----------------------------------------------------------------
 
-    def execute_ast(self, query: A.Query) -> Result:
+    def execute_ast(
+        self,
+        query: A.Query,
+        timeout_s: Optional[float] = None,
+        mem_budget_bytes: Optional[float] = None,
+        cancel=None,
+    ) -> Result:
         """Execute an already-parsed query AST (the differential-testing
         harness runs shrunk ASTs without a render/re-parse round trip)."""
         start = time.perf_counter()
-        result = self._execute_query(query)
+        if self.fault_injector is not None:
+            self.fault_injector.at_query(f"ast:{type(query).__name__}")
+        resource = self._make_resource(timeout_s, mem_budget_bytes, cancel)
+        result = self._execute_query(query, resource=resource)
         result.elapsed = time.perf_counter() - start
         return result
 
-    def execute(self, sql: str) -> Result:
+    def execute(
+        self,
+        sql: str,
+        timeout_s: Optional[float] = None,
+        mem_budget_bytes: Optional[float] = None,
+        cancel=None,
+    ) -> Result:
+        """Execute one SQL statement.
+
+        ``timeout_s`` / ``mem_budget_bytes`` / ``cancel`` (a
+        ``threading.Event``) bound the statement's resources via a
+        :class:`~repro.engine.governor.ResourceContext`: past the
+        deadline or with the flag set the engine raises
+        :class:`~repro.engine.errors.QueryTimeout` /
+        :class:`~repro.engine.errors.QueryCancelled` at the next batch
+        boundary; over the memory budget operators spill to temp files
+        instead of failing (totals in ``Result.spill_partitions`` /
+        ``Result.spilled_bytes``).
+        """
         match = _EXPLAIN_RE.match(sql)
         if match is not None:
             start = time.perf_counter()
             body = sql[match.end():]
-            text = self.explain_analyze(body) if match.group(1) else self.explain(body)
+            text = (
+                self.explain_analyze(
+                    body, timeout_s=timeout_s, mem_budget_bytes=mem_budget_bytes
+                )
+                if match.group(1)
+                else self.explain(body)
+            )
             batch = Batch(
                 {"QUERY PLAN": Vector.from_values(Kind.STR, text.splitlines())}
             )
@@ -174,7 +215,10 @@ class Database:
         statement = parse_statement(sql)
         start = time.perf_counter()
         if isinstance(statement, A.Query):
-            result = self._execute_query(statement, sql)
+            if self.fault_injector is not None:
+                self.fault_injector.at_query(sql)
+            resource = self._make_resource(timeout_s, mem_budget_bytes, cancel)
+            result = self._execute_query(statement, sql, resource=resource)
         elif isinstance(statement, A.Insert):
             result = self._execute_insert(statement)
         elif isinstance(statement, A.Delete):
@@ -197,12 +241,19 @@ class Database:
             header.append(f"-- rewritten to use materialized view {used_view}")
         return "\n".join(header + [plan.explain()])
 
-    def explain_analyze(self, sql: str) -> str:
+    def explain_analyze(
+        self,
+        sql: str,
+        timeout_s: Optional[float] = None,
+        mem_budget_bytes: Optional[float] = None,
+    ) -> str:
         """Execute ``sql`` and return the optimized plan tree annotated
         with per-node measured rows, elapsed time, loop counts and
         operator-specific counters (hash build sizes, bitmap probes,
-        CTE-memo hits)."""
-        plan, batch, collector, used_view, elapsed = self._analyze(sql)
+        CTE-memo hits, spill partitions/bytes under a memory budget)."""
+        plan, batch, collector, used_view, elapsed = self._analyze(
+            sql, timeout_s=timeout_s, mem_budget_bytes=mem_budget_bytes
+        )
         lines = []
         if used_view:
             lines.append(f"-- rewritten to use materialized view {used_view}")
@@ -217,10 +268,17 @@ class Database:
             )
         return text
 
-    def explain_analyze_dict(self, sql: str) -> dict:
+    def explain_analyze_dict(
+        self,
+        sql: str,
+        timeout_s: Optional[float] = None,
+        mem_budget_bytes: Optional[float] = None,
+    ) -> dict:
         """:meth:`explain_analyze` for machine consumers: the annotated
         plan tree as JSON-ready dicts plus execution totals."""
-        plan, batch, collector, used_view, elapsed = self._analyze(sql)
+        plan, batch, collector, used_view, elapsed = self._analyze(
+            sql, timeout_s=timeout_s, mem_budget_bytes=mem_budget_bytes
+        )
         return {
             "sql": sql,
             "rewritten_from_view": used_view,
@@ -245,18 +303,52 @@ class Database:
             "plan": plan_to_dict(plan),
         }
 
-    def _analyze(self, sql: str):
+    def _analyze(
+        self,
+        sql: str,
+        timeout_s: Optional[float] = None,
+        mem_budget_bytes: Optional[float] = None,
+    ):
         """Shared EXPLAIN ANALYZE machinery: parse, rewrite, execute
-        under a stats collector."""
+        under a stats collector (and a resource context when bounds
+        are given)."""
         statement = parse_statement(sql)
         if not isinstance(statement, A.Query):
             raise PlanningError("EXPLAIN ANALYZE supports queries only")
         query, used_view = self._maybe_rewrite(statement)
         collector = ExecStatsCollector()
+        resource = self._make_resource(timeout_s, mem_budget_bytes, None)
         start = time.perf_counter()
-        plan, batch = self._execute_plan(query, collector)
+        try:
+            plan, batch = self._execute_plan(query, collector, resource)
+        finally:
+            if resource is not None:
+                resource.cleanup()
         elapsed = time.perf_counter() - start
         return plan, batch, collector, used_view, elapsed
+
+    def _make_resource(
+        self,
+        timeout_s: Optional[float],
+        mem_budget_bytes: Optional[float],
+        cancel,
+    ) -> Optional[ResourceContext]:
+        """A :class:`ResourceContext` for one statement, or ``None``
+        when nothing is bounded (so ungoverned queries skip every
+        per-operator check)."""
+        if (
+            timeout_s is None
+            and mem_budget_bytes is None
+            and cancel is None
+            and self.fault_injector is None
+        ):
+            return None
+        return ResourceContext(
+            memory_budget_bytes=mem_budget_bytes,
+            timeout_s=timeout_s,
+            cancel=cancel,
+            faults=self.fault_injector,
+        )
 
     def _maybe_rewrite(self, query: A.Query):
         if self.enable_matview_rewrite and self.catalog.matviews:
@@ -276,12 +368,17 @@ class Database:
         return Optimizer(self.catalog, self.optimizer_settings).optimize(plan)
 
     def _execute_plan(
-        self, query: A.Query, collector: ExecStatsCollector | None = None
+        self,
+        query: A.Query,
+        collector: ExecStatsCollector | None = None,
+        resource: ResourceContext | None = None,
     ):
         """Plan, optimize and execute a query AST, wiring expression
         subqueries (pre-planned in their CTE scope) into the executor.
         Returns ``(optimized plan, result batch)``; when ``collector``
-        is given, every executed node records its stats into it."""
+        is given, every executed node records its stats into it; when
+        ``resource`` is given, the statement (including subqueries)
+        runs under its budget/deadline."""
         planner = Planner(self.catalog)
         plan = planner.plan_query(query)
         optimizer = Optimizer(self.catalog, self.optimizer_settings)
@@ -296,22 +393,35 @@ class Database:
                 if sub_plan is None:
                     sub_plan = Planner(self.catalog).plan_query(sub_query)
                 optimized[key] = optimizer.optimize(sub_plan)
-            return Executor(run_sub, self.catalog, collector).run(optimized[key])
+            return Executor(run_sub, self.catalog, collector, resource).run(
+                optimized[key]
+            )
 
-        executor = Executor(run_sub, self.catalog, collector)
+        executor = Executor(run_sub, self.catalog, collector, resource)
         return plan, executor.run(plan)
 
     def _run_query_batch(self, query: A.Query) -> Batch:
         """Plan, optimize and execute a query AST (batch only)."""
         return self._execute_plan(query)[1]
 
-    def _execute_query(self, query: A.Query, sql: str = "") -> Result:
+    def _execute_query(
+        self,
+        query: A.Query,
+        sql: str = "",
+        resource: ResourceContext | None = None,
+    ) -> Result:
         query, used_view = self._maybe_rewrite(query)
         collector = (
             ExecStatsCollector() if self.plan_quality is not None else None
         )
         start = time.perf_counter()
-        plan, batch = self._execute_plan(query, collector)
+        try:
+            plan, batch = self._execute_plan(query, collector, resource)
+        finally:
+            # spill files never outlive the statement — success, timeout,
+            # cancellation or error
+            if resource is not None:
+                resource.cleanup()
         elapsed = time.perf_counter() - start
         if collector is not None:
             self.plan_quality.record(sql, plan, collector)
@@ -324,7 +434,11 @@ class Database:
                 QueryTrace(sql, header + plan.explain(), elapsed, used_view,
                            rows=batch.num_rows)
             )
-        return Result(batch.names, batch, rewritten_from_view=used_view)
+        result = Result(batch.names, batch, rewritten_from_view=used_view)
+        if resource is not None:
+            result.spill_partitions = resource.spill_partitions
+            result.spilled_bytes = resource.spilled_bytes
+        return result
 
     def _run_subquery(self, query: A.Query) -> Batch:
         return self._run_query_batch(query)

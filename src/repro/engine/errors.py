@@ -37,6 +37,27 @@ class ExecutionError(EngineError):
     """A runtime failure while executing a physical plan."""
 
 
+class ResourceError(EngineError):
+    """A query exceeded a resource bound set by its
+    :class:`~repro.engine.governor.ResourceContext` (deadline, cancel
+    flag, or a memory budget that could not be honored by spilling)."""
+
+
+class QueryTimeout(ResourceError):
+    """The query ran past its deadline; raised cooperatively at the
+    next batch boundary after the deadline passes."""
+
+
+class QueryCancelled(ResourceError):
+    """The query's cancel flag was set; raised cooperatively at the
+    next batch boundary."""
+
+
+class MemoryBudgetExceeded(ResourceError):
+    """An operator's working set exceeded the memory budget and could
+    not be reduced by partitioning/spilling."""
+
+
 class CatalogError(EngineError):
     """Catalog violation: duplicate table, unknown index, bad DDL."""
 

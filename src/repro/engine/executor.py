@@ -22,10 +22,24 @@ Operator notes:
   supported.
 * **sort** — stable lexicographic sort; NULLs sort as larger than every
   value (NULLS LAST ascending), with explicit NULLS FIRST/LAST honored.
+
+Resource governance: when a :class:`~repro.engine.governor
+.ResourceContext` is installed, every operator dispatch (and every
+long Python row loop) calls ``resource.check()`` — the cooperative
+timeout/cancel point — and the memory-hungry operators compare their
+working-set estimate against the budget.  Over budget they degrade
+instead of dying: hash joins Grace-partition both inputs to temp
+files and join partition pairs, hash aggregates partition rows by
+group-key hash (partitions hold disjoint groups, so per-partition
+results concatenate exactly), and sorts fall back to an external merge
+sort over spilled sorted runs.  All three spill paths reproduce the
+in-memory result byte-for-byte, including row order.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 import time
 from typing import Callable, Optional
 
@@ -36,6 +50,7 @@ from . import plan as P
 from .batch import Batch
 from .errors import ExecutionError, PlanningError
 from .expr import EvalContext, evaluate, harmonize
+from .governor import ResourceContext, read_spill, write_spill
 from .sql import ast_nodes as A
 from .types import Kind
 from .vector import Vector
@@ -51,6 +66,34 @@ _HASH_ENTRY_BYTES = 112.0
 
 #: estimated per-entry overhead of a Python set (star-filter key sets)
 _SET_ENTRY_BYTES = 64.0
+
+#: Fibonacci-hash multiplier for spill partitioning (mixes low bits so
+#: sequential surrogate keys spread across partitions)
+_PARTITION_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+#: timeout/cancel check cadence inside Python row loops
+_CHECK_EVERY = 8192
+
+
+def _partition_ids(vec: Vector, parts: int) -> np.ndarray:
+    """Hash-partition ids in ``[0, parts)`` for every row of ``vec``
+    (``parts`` must be a power of two).  NULL rows map to partition 0,
+    so rows that group/join together always share a partition even if
+    their (irrelevant) null-slot fill data were to differ."""
+    if vec.kind is Kind.FLOAT:
+        bits = vec.data.view(np.uint64)
+    elif vec.kind is Kind.STR:
+        bits = np.fromiter(
+            (hash(v) & 0xFFFFFFFFFFFFFFFF for v in vec.data),
+            dtype=np.uint64,
+            count=len(vec.data),
+        )
+    else:
+        bits = vec.data.astype(np.int64).view(np.uint64)
+    log2 = parts.bit_length() - 1
+    ids = ((bits * _PARTITION_MIX) >> np.uint64(64 - log2)).astype(np.int64)
+    ids[vec.null] = 0
+    return ids
 
 
 def factorize(vec: Vector) -> np.ndarray:
@@ -88,11 +131,18 @@ class Executor:
         run_subquery: Callable[[A.Query], Batch],
         catalog,
         collector: ExecStatsCollector | None = None,
+        resource: ResourceContext | None = None,
     ):
         self._catalog = catalog
         self._ctx = EvalContext(run_subquery)
         self._cache: dict[int, Batch] = {}
         self._collector = collector
+        self._resource = resource
+        # a memory budget forces working-set estimation even without a
+        # collector (the spill decision needs the numbers)
+        self._budgeted = (
+            resource is not None and resource.memory_budget_bytes is not None
+        )
         # memory accounting is live when a collector is installed
         # (EXPLAIN ANALYZE) or the metrics registry is enabled
         # (`run --metrics`); otherwise the guards below cost one
@@ -100,6 +150,19 @@ class Executor:
         registry = get_registry()
         self._track_mem = collector is not None or registry.enabled
         self._mem_gauge = registry.gauge("engine.peak_operator_bytes")
+
+    def _note_spill(self, node: P.PlanNode, partitions: int, nbytes: int) -> None:
+        """Account one operator spill: the resource context's totals,
+        the node's EXPLAIN ANALYZE counters, and the global metrics."""
+        self._resource.note_spill(partitions, nbytes)
+        if self._collector is not None:
+            self._collector.add(
+                node, spill_partitions=partitions, spilled_bytes=nbytes
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("engine.spill.partitions").add(partitions)
+            registry.counter("engine.spill.bytes").add(nbytes)
 
     def _note_memory(self, node: P.PlanNode, nbytes: float) -> None:
         """Report one operator's peak memory: into the per-node stats
@@ -112,6 +175,11 @@ class Executor:
     # -- entry -------------------------------------------------------------
 
     def run(self, node: P.PlanNode) -> Batch:
+        if self._resource is not None:
+            # the cooperative timeout / cancel / fault-injection point:
+            # one check per operator dispatch bounds the reaction
+            # latency to a single batch of work
+            self._resource.check(type(node).__name__)
         key = id(node)
         collector = self._collector
         if key in self._cache:
@@ -310,7 +378,7 @@ class Executor:
         for i in range(len(keys)):
             lvecs[i], rvecs[i] = harmonize([lvecs[i], rvecs[i]])
         int_path = len(keys) == 1 and lvecs[0].kind in (Kind.INT, Kind.DATE)
-        if self._track_mem and stats_node is not None:
+        if (self._track_mem or self._budgeted) and stats_node is not None:
             build_bytes = float(sum(v.nbytes for v in rvecs))
             if int_path:
                 # key copy + stable-sorted copy + sorted row-id array
@@ -318,10 +386,95 @@ class Executor:
             else:
                 n_build = len(rvecs[0]) if rvecs else 0
                 build_bytes += _HASH_ENTRY_BYTES * n_build
-            self._note_memory(stats_node, build_bytes)
+            if self._track_mem:
+                self._note_memory(stats_node, build_bytes)
+            if self._budgeted and self._resource.over_budget(build_bytes):
+                return self._grace_pairs(
+                    lvecs, rvecs, int_path, build_bytes, stats_node
+                )
         if int_path:
             return self._int_key_pairs(lvecs[0], rvecs[0])
         return self._tuple_key_pairs(lvecs, rvecs)
+
+    def _grace_pairs(
+        self,
+        lvecs: list[Vector],
+        rvecs: list[Vector],
+        int_path: bool,
+        build_bytes: float,
+        stats_node: P.PlanNode,
+    ):
+        """Grace hash join: hash-partition both inputs on the first key
+        to temp files, then join partition pairs one at a time.  Every
+        key value lives in exactly one partition, and within a
+        partition row order is preserved, so concatenating partition
+        pair lists and stable-sorting by left row index reproduces the
+        in-memory join's output exactly."""
+        resource = self._resource
+        parts = resource.partitions_for(build_bytes)
+        # NULL keys never match: drop them before partitioning
+        lvalid = ~lvecs[0].null
+        for v in lvecs[1:]:
+            lvalid &= ~v.null
+        rvalid = ~rvecs[0].null
+        for v in rvecs[1:]:
+            rvalid &= ~v.null
+        lrows = np.flatnonzero(lvalid)
+        rrows = np.flatnonzero(rvalid)
+        lids = _partition_ids(lvecs[0], parts)[lrows]
+        rids = _partition_ids(rvecs[0], parts)[rrows]
+        lkinds = [v.kind for v in lvecs]
+        rkinds = [v.kind for v in rvecs]
+        spilled = 0
+        paths = []
+        for p in range(parts):
+            resource.check("GraceHashJoin(partition)")
+            lsel = lrows[lids == p]
+            rsel = rrows[rids == p]
+            if not len(lsel) or not len(rsel):
+                continue
+            arrays = {"lsel": lsel, "rsel": rsel}
+            for i, v in enumerate(lvecs):
+                arrays[f"l{i}"] = v.data[lsel]
+            for i, v in enumerate(rvecs):
+                arrays[f"r{i}"] = v.data[rsel]
+            path = resource.spill_path()
+            spilled += write_spill(path, arrays)
+            paths.append(path)
+        li_parts: list[np.ndarray] = []
+        ri_parts: list[np.ndarray] = []
+        for path in paths:
+            resource.check("GraceHashJoin(probe)")
+            arrays = read_spill(path)
+            os.unlink(path)
+            lsel, rsel = arrays["lsel"], arrays["rsel"]
+            no_nulls_l = np.zeros(len(lsel), dtype=bool)
+            no_nulls_r = np.zeros(len(rsel), dtype=bool)
+            sub_l = [
+                Vector(lkinds[i], arrays[f"l{i}"], no_nulls_l)
+                for i in range(len(lvecs))
+            ]
+            sub_r = [
+                Vector(rkinds[i], arrays[f"r{i}"], no_nulls_r)
+                for i in range(len(rvecs))
+            ]
+            if int_path:
+                li_local, ri_local = self._int_key_pairs(sub_l[0], sub_r[0])
+            else:
+                li_local, ri_local = self._tuple_key_pairs(sub_l, sub_r)
+            li_parts.append(lsel[li_local])
+            ri_parts.append(rsel[ri_local])
+        if li_parts:
+            li = np.concatenate(li_parts)
+            ri = np.concatenate(ri_parts)
+        else:
+            li = np.empty(0, dtype=np.int64)
+            ri = np.empty(0, dtype=np.int64)
+        # restore the in-memory probe order (ascending left row; the
+        # per-left-row right order is already identical per partition)
+        order = np.argsort(li, kind="stable")
+        self._note_spill(stats_node, parts, spilled)
+        return li[order], ri[order]
 
     @staticmethod
     def _int_key_pairs(lvec: Vector, rvec: Vector):
@@ -369,7 +522,10 @@ class Executor:
             lnull |= v.null
         li_parts: list[int] = []
         ri_parts: list[int] = []
+        resource = self._resource
         for i in range(l_n):
+            if resource is not None and i % _CHECK_EVERY == 0:
+                resource.check("HashJoin(probe)")
             if lnull[i]:
                 continue
             matches = build.get(tuple(v.data[i] for v in lvecs))
@@ -407,7 +563,80 @@ class Executor:
         self, node: P.Aggregate, child: Batch, group_vecs: list[Vector], active: int
     ) -> Batch:
         """One grouping-set pass: the first ``active`` keys group, the rest
-        (for ROLLUP) are emitted as NULL."""
+        (for ROLLUP) are emitted as NULL.  Over a memory budget the pass
+        hash-partitions its input rows by group key and spills the
+        partitions (see :meth:`_aggregate_pass_spilled`)."""
+        if self._budgeted and active:
+            est = (
+                float(sum(v.nbytes for v in group_vecs[:active]))
+                + 16.0 * child.num_rows
+            )
+            if self._resource.over_budget(est):
+                return self._aggregate_pass_spilled(
+                    node, child, group_vecs, active, est
+                )
+        return self._aggregate_pass_memory(node, child, group_vecs, active)
+
+    def _aggregate_pass_spilled(
+        self,
+        node: P.Aggregate,
+        child: Batch,
+        group_vecs: list[Vector],
+        active: int,
+        est_bytes: float,
+    ) -> Batch:
+        """Grace-style partitioned aggregation: partition input rows by
+        a hash of the first group key (NULLs to partition 0), spill row
+        subsets to temp files, aggregate each partition independently —
+        partitions hold disjoint groups, so per-partition outputs
+        concatenate without merging — then restore the in-memory pass's
+        group order (lexicographic by key, NULLs first)."""
+        resource = self._resource
+        parts = resource.partitions_for(est_bytes)
+        ids = _partition_ids(group_vecs[0], parts)
+        spilled = 0
+        paths = []
+        for p in range(parts):
+            resource.check("HashAggregate(partition)")
+            sel = np.flatnonzero(ids == p)
+            if not len(sel):
+                continue
+            arrays: dict[str, np.ndarray] = {"_rows": sel}
+            for name, vec in child.columns.items():
+                arrays[f"d:{name}"] = vec.data[sel]
+                arrays[f"n:{name}"] = vec.null[sel]
+            path = resource.spill_path()
+            spilled += write_spill(path, arrays)
+            paths.append(path)
+        kinds = {name: vec.kind for name, vec in child.columns.items()}
+        outs: list[Batch] = []
+        for path in paths:
+            resource.check("HashAggregate(merge)")
+            arrays = read_spill(path)
+            os.unlink(path)
+            sub = Batch(
+                {
+                    name: Vector(kinds[name], arrays[f"d:{name}"], arrays[f"n:{name}"])
+                    for name in kinds
+                }
+            )
+            sub_groups = [evaluate(g, sub, self._ctx) for g, _ in node.group_items]
+            outs.append(self._aggregate_pass_memory(node, sub, sub_groups, active))
+        self._note_spill(node, parts, spilled)
+        if not outs:
+            return self._aggregate_pass_memory(node, child, group_vecs, active)
+        result = Batch.concat(outs)
+        # canonical group order: ascending stacked factorize codes of
+        # the active keys — exactly what np.unique(row_ids) emits on
+        # the unpartitioned path (groups are distinct, so no ties)
+        group_names = [name for _, name in node.group_items][:active]
+        codes = [factorize(result.columns[name]) for name in group_names]
+        order = np.lexsort(tuple(reversed(codes)))
+        return result.take(order)
+
+    def _aggregate_pass_memory(
+        self, node: P.Aggregate, child: Batch, group_vecs: list[Vector], active: int
+    ) -> Batch:
         used = group_vecs[:active]
         n = child.num_rows
         if used:
@@ -692,13 +921,62 @@ class Executor:
 
     def _sort(self, node: P.Sort) -> Batch:
         child = self.run(node.child)
-        order = self._sort_indices(child, node.keys)
+        n = child.num_rows
+        est = 8.0 * n * (len(node.keys) + 1)
+        if self._budgeted and node.keys and n and self._resource.over_budget(est):
+            order = self._external_sort_indices(node, child, est)
+        else:
+            order = self._sort_indices(child, node.keys)
         if self._track_mem:
             # one int64 code array per sort key plus the lexsort result
-            self._note_memory(
-                node, 8.0 * child.num_rows * (len(node.keys) + 1)
-            )
+            self._note_memory(node, est)
         return child.take(order)
+
+    def _external_sort_indices(
+        self, node: P.Sort, child: Batch, est_bytes: float
+    ) -> np.ndarray:
+        """External merge sort over the budget: slice the sort-code
+        arrays into runs, lexsort each run and spill it as a stacked
+        ``(codes..., global_index)`` int64 array, then k-way merge the
+        memory-mapped runs with a heap.  Merging by the full tuple —
+        global index last — reproduces ``np.lexsort``'s stable order
+        exactly, so the budgeted sort is byte-identical."""
+        resource = self._resource
+        n = child.num_rows
+        codes = []
+        for key in node.keys:
+            vec = evaluate(key.expr, child, self._ctx)
+            codes.append(self._sort_codes(vec, key))
+        parts = resource.partitions_for(est_bytes)
+        run_len = -(-n // parts)
+        spilled = 0
+        paths = []
+        for start in range(0, n, run_len):
+            resource.check("Sort(run)")
+            stop = min(start + run_len, n)
+            chunk = [c[start:stop] for c in codes]
+            local = np.lexsort(tuple(reversed(chunk)))
+            stacked = np.stack(
+                [c[local] for c in chunk]
+                + [local.astype(np.int64) + np.int64(start)],
+                axis=1,
+            )
+            path = resource.spill_path()
+            np.save(path, stacked, allow_pickle=False)
+            path += ".npy"  # np.save appends the suffix
+            spilled += os.path.getsize(path)
+            paths.append(path)
+        runs = [np.load(path, mmap_mode="r") for path in paths]
+        order = np.empty(n, dtype=np.int64)
+        for i, row in enumerate(heapq.merge(*(map(tuple, run) for run in runs))):
+            if i % _CHECK_EVERY == 0:
+                resource.check("Sort(merge)")
+            order[i] = row[-1]
+        del runs
+        for path in paths:
+            os.unlink(path)
+        self._note_spill(node, len(paths), spilled)
+        return order
 
     def _distinct(self, batch: Batch) -> Batch:
         if batch.num_rows == 0:

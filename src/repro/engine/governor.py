@@ -1,0 +1,152 @@
+"""Per-query resource governance.
+
+A :class:`ResourceContext` carries one query's resource bounds — a
+memory budget in bytes, a wall-clock deadline, and a cooperative
+cancel flag — plus the spill bookkeeping the executor uses when an
+operator's working set would blow the budget.
+
+The executor calls :meth:`ResourceContext.check` at every batch
+boundary (operator dispatch, spill-partition loops, long Python row
+loops), so timeout and cancellation latency is bounded by one batch of
+work.  Memory-hungry operators (hash-join builds, hash aggregates,
+sorts) ask :meth:`over_budget` before materializing and, instead of
+dying, Grace-partition or run-sort their input through temp files
+obtained from :meth:`spill_path`; :meth:`cleanup` removes the whole
+spill directory when the statement finishes (success *or* error, so a
+timed-out query never leaks temp files).
+
+A context with nothing configured is never constructed — the database
+facade passes ``None`` to the executor instead, so ungoverned queries
+pay a single ``is None`` check per operator.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+import time
+from typing import Optional
+
+from .errors import QueryCancelled, QueryTimeout
+
+#: hard cap on spill fan-out; past this an operator proceeds with the
+#: smallest partitions it can make rather than recursing forever
+MAX_SPILL_PARTITIONS = 64
+
+
+class ResourceContext:
+    """One query's resource bounds plus spill accounting (thread-safe:
+    concurrent subquery executors may share one context)."""
+
+    __slots__ = (
+        "memory_budget_bytes",
+        "deadline",
+        "cancel_event",
+        "faults",
+        "max_partitions",
+        "spill_partitions",
+        "spilled_bytes",
+        "_spill_dir",
+        "_spill_seq",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        memory_budget_bytes: Optional[float] = None,
+        timeout_s: Optional[float] = None,
+        cancel: Optional[threading.Event] = None,
+        faults=None,
+        max_partitions: int = MAX_SPILL_PARTITIONS,
+    ):
+        budget = memory_budget_bytes
+        if faults is not None:
+            budget = faults.apply_memory_pressure(budget)
+        self.memory_budget_bytes = budget
+        self.deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        self.cancel_event = cancel
+        self.faults = faults
+        self.max_partitions = max_partitions
+        self.spill_partitions = 0
+        self.spilled_bytes = 0
+        self._spill_dir: Optional[str] = None
+        self._spill_seq = 0
+        self._lock = threading.Lock()
+
+    # -- cooperative checks --------------------------------------------------
+
+    def check(self, site: str = "") -> None:
+        """Raise if the query is cancelled or past its deadline, and
+        give the fault injector (if any) its operator-level hook.
+        Called at batch boundaries throughout the executor."""
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            raise QueryCancelled(f"query cancelled at {site or 'operator'}")
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            raise QueryTimeout(
+                f"query deadline exceeded at {site or 'operator'}"
+            )
+        if self.faults is not None:
+            self.faults.at_operator(site)
+
+    # -- memory budget -------------------------------------------------------
+
+    def over_budget(self, nbytes: float) -> bool:
+        """True when ``nbytes`` of transient operator memory exceeds
+        the budget (False when no budget is set)."""
+        return (
+            self.memory_budget_bytes is not None
+            and nbytes > self.memory_budget_bytes
+        )
+
+    def partitions_for(self, nbytes: float) -> int:
+        """Smallest power-of-two partition count bringing a per-
+        partition share of ``nbytes`` under budget (capped)."""
+        budget = max(float(self.memory_budget_bytes or 1.0), 1.0)
+        parts = 2
+        while parts < self.max_partitions and nbytes / parts > budget:
+            parts *= 2
+        return parts
+
+    # -- spill files ---------------------------------------------------------
+
+    def spill_path(self) -> str:
+        """A fresh temp-file path inside this query's spill directory
+        (created lazily, removed by :meth:`cleanup`)."""
+        with self._lock:
+            if self._spill_dir is None:
+                self._spill_dir = tempfile.mkdtemp(prefix="tpcds-spill-")
+            self._spill_seq += 1
+            return os.path.join(self._spill_dir, f"part{self._spill_seq}.bin")
+
+    def note_spill(self, partitions: int, nbytes: int) -> None:
+        """Account one operator's spill (partition count + bytes written)."""
+        with self._lock:
+            self.spill_partitions += partitions
+            self.spilled_bytes += nbytes
+
+    def cleanup(self) -> None:
+        """Remove the spill directory and everything in it."""
+        with self._lock:
+            spill_dir, self._spill_dir = self._spill_dir, None
+        if spill_dir is not None:
+            shutil.rmtree(spill_dir, ignore_errors=True)
+
+
+def write_spill(path: str, arrays: dict) -> int:
+    """Serialize a dict of numpy arrays to ``path``; returns bytes
+    written.  Pickle (protocol 4) handles object-dtype string columns,
+    which ``np.save`` would reject without ``allow_pickle``."""
+    with open(path, "wb") as handle:
+        pickle.dump(arrays, handle, protocol=4)
+    return os.path.getsize(path)
+
+
+def read_spill(path: str) -> dict:
+    """Load a spill file written by :func:`write_spill`."""
+    with open(path, "rb") as handle:
+        return pickle.load(handle)

@@ -1,0 +1,135 @@
+"""`repro.faults` — deterministic, seeded fault injection.
+
+A :class:`FaultInjector` simulates the failure modes a production
+warehouse survives: transient errors, latency spikes, and memory
+pressure.  It hooks into the engine at two granularities:
+
+* **query** — :meth:`at_query` fires once per ``Database.execute``
+  (the benchmark runner installs the injector on the database for the
+  duration of each query run);
+* **operator** — :meth:`at_operator` fires from
+  :meth:`~repro.engine.governor.ResourceContext.check` at every batch
+  boundary, so injected delays and errors land *inside* running plans.
+
+Decisions flow from one ``random.Random(seed)`` guarded by a lock, so
+a single-threaded run is exactly reproducible from its seed; under
+concurrency the *rates* hold while the interleaving varies, which is
+what rate-targeted robustness tests want.  ``site_filter`` narrows
+injection to sites whose label contains the substring (e.g.
+``"HashJoin"`` or ``"query:"``), enabling site-targeted tests.
+
+Memory pressure: ``memory_pressure`` scales every query's budget down
+(0.5 = half the configured budget survives), and ``force_budget_bytes``
+imposes a budget even on queries that set none — both flow through
+:meth:`apply_memory_pressure`, called by ``ResourceContext``.
+
+Injected errors raise :class:`InjectedFault`, a *transient* execution
+error: the fault-tolerant runner retries transient failures with
+backoff, which is exactly the degradation path these tests prove out.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Optional
+
+from .engine.errors import ExecutionError
+
+
+class InjectedFault(ExecutionError):
+    """A deterministic injected failure; marked transient so the
+    benchmark runner's retry policy picks it up."""
+
+    transient = True
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True for errors a retry may cure (duck-typed on a ``transient``
+    attribute so engine and injector stay decoupled)."""
+    return bool(getattr(exc, "transient", False))
+
+
+class FaultInjector:
+    """Seeded error/delay/memory-pressure injector.
+
+    ``scope`` selects the granularities that inject: ``"query"``
+    (once per statement), ``"operator"`` (every batch boundary), or
+    both.  Rates are per decision point."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        error_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        max_delay_s: float = 0.0,
+        scope: tuple[str, ...] = ("query",),
+        site_filter: Optional[str] = None,
+        memory_pressure: float = 1.0,
+        force_budget_bytes: Optional[float] = None,
+    ):
+        if not 0.0 < memory_pressure <= 1.0:
+            raise ValueError("memory_pressure must be in (0, 1]")
+        self.seed = seed
+        self.error_rate = error_rate
+        self.delay_rate = delay_rate
+        self.max_delay_s = max_delay_s
+        self.scope = tuple(scope)
+        self.site_filter = site_filter
+        self.memory_pressure = memory_pressure
+        self.force_budget_bytes = force_budget_bytes
+        self.injected_errors = 0
+        self.injected_delays = 0
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    # -- injection points ----------------------------------------------------
+
+    def at_query(self, label: str) -> None:
+        """Query-granularity decision point (``Database.execute``)."""
+        if "query" in self.scope:
+            self._roll(f"query:{' '.join(label.split())[:60]}")
+
+    def at_operator(self, site: str) -> None:
+        """Operator-granularity decision point (batch boundaries)."""
+        if "operator" in self.scope:
+            self._roll(f"operator:{site}")
+
+    def _roll(self, site: str) -> None:
+        if self.site_filter is not None and self.site_filter not in site:
+            return
+        with self._lock:
+            draw = self._rng.random()
+            if draw < self.error_rate:
+                self.injected_errors += 1
+                raise InjectedFault(f"injected fault at {site}")
+            delay = 0.0
+            if draw < self.error_rate + self.delay_rate:
+                self.injected_delays += 1
+                delay = self._rng.uniform(0.0, self.max_delay_s)
+        if delay > 0.0:
+            time.sleep(delay)
+
+    # -- memory pressure -----------------------------------------------------
+
+    def apply_memory_pressure(self, budget: Optional[float]) -> Optional[float]:
+        """Shrink (or impose) a query memory budget."""
+        if self.force_budget_bytes is not None:
+            budget = (
+                self.force_budget_bytes
+                if budget is None
+                else min(budget, self.force_budget_bytes)
+            )
+        if budget is not None and self.memory_pressure < 1.0:
+            budget = budget * self.memory_pressure
+        return budget
+
+    def stats(self) -> dict:
+        """Injection counts (JSON-ready)."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "injected_errors": self.injected_errors,
+                "injected_delays": self.injected_delays,
+            }

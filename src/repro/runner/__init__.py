@@ -24,8 +24,15 @@ from .metric import (
     total_queries,
 )
 from .audit import AuditFinding, audit_database
+from .checkpoint import (
+    CheckpointJournal,
+    CheckpointMismatch,
+    CheckpointState,
+    load_checkpoint,
+)
 from .pricing import PriceBook, SystemConfiguration, dollars_per_qphds
 from .report import (
+    render_degradation,
     render_full_disclosure,
     render_phase_breakdown,
     render_plan_quality,
@@ -56,6 +63,11 @@ __all__ = [
     "render_full_disclosure",
     "render_phase_breakdown",
     "render_plan_quality",
+    "render_degradation",
+    "CheckpointJournal",
+    "CheckpointMismatch",
+    "CheckpointState",
+    "load_checkpoint",
     "AuditFinding",
     "audit_database",
     "PriceBook",

@@ -1,0 +1,193 @@
+"""Crash-safe benchmark checkpointing.
+
+The fault-tolerant runner journals every completed query to an
+append-only JSONL file so an interrupted benchmark (crash, SIGKILL,
+power loss) can resume with ``run --resume`` without re-executing
+finished queries.
+
+File format — one JSON object per line:
+
+* ``{"kind": "header", "version": 1, "scale_factor": .., "streams": ..,
+  "seed": ..}`` — first line; resume refuses a journal whose
+  configuration fingerprint differs from the current run's.
+* ``{"kind": "query", "run": "qr1", "stream": 0, "template_id": 52,
+  ...}`` — one per completed query, carrying the full
+  :class:`~repro.runner.execution.QueryTiming` payload (including
+  ``status``/``attempts``/``error`` for degraded queries).
+* ``{"kind": "phase", "phase": "qr1", "elapsed": ..}`` — a phase
+  finished; resume substitutes the journaled elapsed time so metric
+  inputs match the uninterrupted run.
+* ``{"kind": "complete"}`` — the benchmark finished.
+
+Every record is flushed and fsynced before the runner moves on, so the
+journal never lies about completed work; a crash can at worst leave a
+truncated final line, which the loader tolerates by dropping it.
+Because the database is in-memory, resume re-executes the (untimed
+from the journal's perspective) load and data-maintenance DML to
+rebuild state — only *query* executions are skipped, and TPC-DS query
+runs are read-only so replaying the surrounding phases is safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import asdict
+from typing import Optional
+
+JOURNAL_VERSION = 1
+
+
+class CheckpointMismatch(ValueError):
+    """The journal was written by a run with a different configuration
+    (scale factor, stream count or seed) — resuming would mix
+    incompatible workloads."""
+
+
+class CheckpointState:
+    """The parsed content of a checkpoint journal."""
+
+    def __init__(self):
+        self.header: Optional[dict] = None
+        #: (run_label, stream, template_id) -> journaled timing dict
+        self.queries: dict[tuple, dict] = {}
+        self.phases: dict[str, float] = {}
+        self.complete = False
+
+    def has_query(self, run_label: str, stream: int, template_id: int) -> bool:
+        return (run_label, stream, template_id) in self.queries
+
+    def query_record(self, run_label: str, stream: int, template_id: int) -> dict:
+        return self.queries[(run_label, stream, template_id)]
+
+    def phase_elapsed(self, phase: str) -> Optional[float]:
+        return self.phases.get(phase)
+
+    def validate(self, scale_factor: float, streams: int, seed: int) -> None:
+        """Refuse to resume under a different benchmark configuration."""
+        if self.header is None:
+            raise CheckpointMismatch("checkpoint journal has no header")
+        expected = {
+            "scale_factor": scale_factor,
+            "streams": streams,
+            "seed": seed,
+        }
+        actual = {k: self.header.get(k) for k in expected}
+        if actual != expected:
+            raise CheckpointMismatch(
+                f"checkpoint journal was written for {actual}, "
+                f"this run is {expected}"
+            )
+
+
+def load_checkpoint(path: str) -> Optional[CheckpointState]:
+    """Parse a journal; ``None`` when the file does not exist.  A
+    truncated trailing line (interrupted mid-write) is dropped."""
+    if not os.path.exists(path):
+        return None
+    state = CheckpointState()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # interrupted mid-write: everything before this line is
+                # durable, the partial record is simply not finished work
+                break
+            kind = record.get("kind")
+            if kind == "header":
+                state.header = record
+            elif kind == "query":
+                key = (record["run"], record["stream"], record["template_id"])
+                state.queries[key] = record
+            elif kind == "phase":
+                state.phases[record["phase"]] = float(record["elapsed"])
+            elif kind == "complete":
+                state.complete = True
+    return state
+
+
+def _truncate_partial_line(path: str) -> None:
+    """Drop an incomplete trailing line (crash mid-write) so appended
+    records always start on a fresh line and the journal stays
+    parseable end to end."""
+    with open(path, "rb+") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        if size == 0:
+            return
+        handle.seek(-1, os.SEEK_END)
+        if handle.read(1) == b"\n":
+            return
+        # scan back to the last newline; everything after it is partial
+        pos = size - 1
+        chunk = 4096
+        while pos > 0:
+            start = max(0, pos - chunk)
+            handle.seek(start)
+            data = handle.read(pos - start)
+            cut = data.rfind(b"\n")
+            if cut != -1:
+                handle.truncate(start + cut + 1)
+                return
+            pos = start
+        handle.truncate(0)
+
+
+class CheckpointJournal:
+    """Append-only writer side of the checkpoint protocol (thread-safe:
+    concurrent streams journal through one instance)."""
+
+    def __init__(
+        self,
+        path: str,
+        scale_factor: float,
+        streams: int,
+        seed: int,
+        append: bool = False,
+    ):
+        self.path = path
+        self._lock = threading.Lock()
+        if append and os.path.exists(path):
+            _truncate_partial_line(path)
+        fresh = not (
+            append and os.path.exists(path) and os.path.getsize(path) > 0
+        )
+        self._handle = open(path, "a" if not fresh else "w", encoding="utf-8")
+        if fresh:
+            self._write(
+                {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "scale_factor": scale_factor,
+                    "streams": streams,
+                    "seed": seed,
+                }
+            )
+
+    def _write(self, record: dict) -> None:
+        with self._lock:
+            self._handle.write(json.dumps(record) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def record_query(self, run_label: str, timing) -> None:
+        """Journal one completed (or terminally failed) query."""
+        record = {"kind": "query", "run": run_label}
+        record.update(asdict(timing))
+        self._write(record)
+
+    def record_phase(self, phase: str, elapsed: float) -> None:
+        self._write({"kind": "phase", "phase": phase, "elapsed": elapsed})
+
+    def record_complete(self) -> None:
+        self._write({"kind": "complete"})
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()

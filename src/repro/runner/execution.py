@@ -13,12 +13,25 @@ test*::
 * The data-maintenance run applies one refresh set per stream through
   the 12 operations, then maintains auxiliary structures — whose cost
   Query Run 2 would otherwise expose.
+
+Robustness (§5's compliance rule says the metric is valid only when
+*every* query in *every* stream completes): each query runs inside a
+containment boundary — failures become ``QueryTiming(status=...)``
+records instead of killing the stream, transient failures retry with
+capped exponential backoff + jitter, every completed query is
+journaled to a crash-safe checkpoint (``BenchmarkConfig.checkpoint_path``)
+so ``resume=True`` skips finished work, and per-query resource bounds
+(``query_timeout_s`` / ``query_mem_budget_bytes``) flow into the
+engine's governor.  A run with any terminally failed query is reported
+non-compliant (``BenchmarkResult.compliant``).
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
+from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
@@ -27,10 +40,11 @@ from ..obs import PlanQualityAggregator, Tracer, get_registry
 from ..dsdgen import DsdGen, GeneratedData, minimum_streams
 from ..dsdgen.generator import load_tables
 from ..engine import Database, OptimizerSettings
-from ..engine.errors import ConstraintError
+from ..engine.errors import ConstraintError, QueryCancelled, QueryTimeout
 from ..maintenance import RefreshGenerator, run_all
 from ..qgen import QGen, build_catalog
 from ..schema import AD_HOC_TABLES, ALL_TABLES
+from .checkpoint import CheckpointJournal, CheckpointState, load_checkpoint
 from .metric import MetricInputs, qphds, total_queries
 
 #: materialized views created on the reporting (catalog) channel when
@@ -117,6 +131,23 @@ class BenchmarkConfig:
     insert_fraction: float = 0.02
     #: 3-year total cost of ownership for $/QphDS (synthetic price book)
     system_price: float = 150_000.0
+    #: per-query resource bounds, threaded into the engine's governor
+    query_timeout_s: Optional[float] = None
+    query_mem_budget_bytes: Optional[float] = None
+    #: retry policy for *transient* query failures (exponential backoff
+    #: with jitter, capped)
+    max_query_retries: int = 2
+    retry_backoff_s: float = 0.05
+    retry_backoff_cap_s: float = 1.0
+    #: crash-safe journal of completed queries; with ``resume=True`` a
+    #: journaled run restarts without re-executing finished queries
+    checkpoint_path: Optional[str] = None
+    resume: bool = False
+    #: optional :class:`~repro.faults.FaultInjector`, installed on the
+    #: database for the duration of each query run (load and data
+    #: maintenance are never fault-injected — a corrupted load would
+    #: invalidate the whole test, not degrade it)
+    faults: Optional[object] = None
 
     def resolved_streams(self) -> int:
         return self.streams or minimum_streams(self.scale_factor)
@@ -132,6 +163,12 @@ class QueryTiming:
     elapsed: float
     rows: int
     used_view: Optional[str]
+    #: "ok" | "failed" | "timeout" | "cancelled"
+    status: str = "ok"
+    attempts: int = 1
+    error: str = ""
+    spill_partitions: int = 0
+    spilled_bytes: int = 0
 
 
 @dataclass
@@ -142,6 +179,14 @@ class QueryRunResult:
     @property
     def queries_executed(self) -> int:
         return len(self.timings)
+
+    @property
+    def failures(self) -> list[QueryTiming]:
+        return [t for t in self.timings if t.status != "ok"]
+
+    @property
+    def retries(self) -> int:
+        return sum(t.attempts - 1 for t in self.timings)
 
 
 @dataclass
@@ -183,12 +228,21 @@ class BenchmarkRun:
     full-disclosure report consumes.  Pass ``tracer=None`` to keep the
     default enabled tracer, or a disabled one to opt out."""
 
-    def __init__(self, config: BenchmarkConfig, tracer: Optional[Tracer] = None):
+    def __init__(
+        self,
+        config: BenchmarkConfig,
+        tracer: Optional[Tracer] = None,
+        journal: Optional[CheckpointJournal] = None,
+        resume_state: Optional[CheckpointState] = None,
+    ):
         self.config = config
         self.db: Optional[Database] = None
         self.data: Optional[GeneratedData] = None
         self.qgen: Optional[QGen] = None
         self.tracer = tracer if tracer is not None else Tracer(enabled=True)
+        self.journal = journal
+        self.resume_state = resume_state
+        self.queries_skipped = 0
 
     # -- load test -------------------------------------------------------------
 
@@ -241,70 +295,224 @@ class BenchmarkRun:
 
     # -- query runs -------------------------------------------------------------
 
-    def _run_stream(self, stream: int, parent=None) -> list[QueryTiming]:
-        timings = []
+    def _run_stream(
+        self, stream: int, parent=None, run_label: str = "qr1"
+    ) -> list[QueryTiming]:
+        """Execute one stream's 99 queries under the containment
+        boundary: per-query failures become degraded timings, and even
+        a failure in stream machinery itself (query generation, tracer)
+        returns the partial timings instead of propagating through the
+        thread pool and killing the sibling streams."""
+        timings: list[QueryTiming] = []
         registry = get_registry()
-        with self.tracer.span("stream", parent=parent, stream=stream):
-            for query in self.qgen.generate_stream(stream):
-                with self.tracer.span(
-                    "query", stream=stream, template=query.template_id,
-                    query_name=query.name, query_class=query.query_class,
-                ) as span:
-                    start = time.perf_counter()
-                    rows = 0
-                    used_view = None
+        with self.tracer.span(
+            "stream", parent=parent, stream=stream
+        ) as stream_span:
+            try:
+                for query in self.qgen.generate_stream(stream):
+                    resumed = self._resumed_timing(run_label, stream, query)
+                    if resumed is not None:
+                        timings.append(resumed)
+                        self.queries_skipped += 1
+                        if registry.enabled:
+                            registry.counter("runner.queries_skipped").add()
+                        continue
+                    timing = self._run_query(query, stream, run_label)
+                    if registry.enabled:
+                        registry.counter("runner.queries").add()
+                        if timing.status == "ok":
+                            registry.histogram(
+                                "runner.query_seconds",
+                                labels={"class": query.query_class},
+                            ).observe(timing.elapsed)
+                    if self.journal is not None:
+                        self.journal.record_query(run_label, timing)
+                    timings.append(timing)
+            except Exception as exc:  # containment: never kill the phase
+                stream_span.set(
+                    error=f"{type(exc).__name__}: {exc}", partial=True
+                )
+                if registry.enabled:
+                    registry.counter("runner.stream_failures").add()
+        return timings
+
+    def _resumed_timing(
+        self, run_label: str, stream: int, query
+    ) -> Optional[QueryTiming]:
+        """The journaled timing for an already-completed query (resume
+        path), or ``None`` when the query still has to run.  Journaled
+        *failures* re-run — resume must converge on a compliant run,
+        not replay its failures."""
+        if self.resume_state is None:
+            return None
+        if not self.resume_state.has_query(run_label, stream, query.template_id):
+            return None
+        record = self.resume_state.query_record(
+            run_label, stream, query.template_id
+        )
+        if record.get("status", "ok") != "ok":
+            return None
+        fields = {
+            f: record[f]
+            for f in QueryTiming.__dataclass_fields__
+            if f in record
+        }
+        return QueryTiming(**fields)
+
+    def _run_query(self, query, stream: int, run_label: str) -> QueryTiming:
+        """One query with retry: transient failures (duck-typed on a
+        ``transient`` attribute, e.g. injected faults) retry with
+        capped exponential backoff + deterministic jitter; anything
+        else — timeout, cancel, hard error — degrades immediately."""
+        config = self.config
+        registry = get_registry()
+        jitter = random.Random(f"{config.seed}:{stream}:{query.template_id}")
+        attempts = 0
+        while True:
+            attempts += 1
+            status, error, transient = "ok", "", False
+            rows = 0
+            used_view = None
+            spill_parts = 0
+            spill_bytes = 0
+            with self.tracer.span(
+                "query", stream=stream, template=query.template_id,
+                query_name=query.name, query_class=query.query_class,
+            ) as span:
+                start = time.perf_counter()
+                try:
                     for statement in query.statements:
-                        result = self.db.execute(statement)
+                        result = self.db.execute(
+                            statement,
+                            timeout_s=config.query_timeout_s,
+                            mem_budget_bytes=config.query_mem_budget_bytes,
+                        )
                         rows += len(result)
                         used_view = used_view or result.rewritten_from_view
-                    elapsed = time.perf_counter() - start
-                    span.set(rows=rows, used_view=used_view)
-                if registry.enabled:
-                    registry.counter("runner.queries").add()
-                    registry.histogram(
-                        "runner.query_seconds",
-                        labels={"class": query.query_class},
-                    ).observe(elapsed)
-                timings.append(
-                    QueryTiming(
-                        stream=stream,
-                        template_id=query.template_id,
-                        name=query.name,
-                        query_class=query.query_class,
-                        channel_part=query.channel_part,
-                        elapsed=elapsed,
-                        rows=rows,
-                        used_view=used_view,
+                        spill_parts += result.spill_partitions
+                        spill_bytes += result.spilled_bytes
+                except QueryTimeout as exc:
+                    status, error = "timeout", str(exc)
+                except QueryCancelled as exc:
+                    status, error = "cancelled", str(exc)
+                except Exception as exc:
+                    status = "failed"
+                    error = f"{type(exc).__name__}: {exc}"
+                    transient = bool(getattr(exc, "transient", False))
+                elapsed = time.perf_counter() - start
+                span.set(rows=rows, used_view=used_view, attempts=attempts)
+                if status != "ok":
+                    span.set(status=status, error=error)
+                if spill_parts:
+                    span.set(
+                        spill_partitions=spill_parts, spilled_bytes=spill_bytes
                     )
+            if status == "ok":
+                return QueryTiming(
+                    stream=stream,
+                    template_id=query.template_id,
+                    name=query.name,
+                    query_class=query.query_class,
+                    channel_part=query.channel_part,
+                    elapsed=elapsed,
+                    rows=rows,
+                    used_view=used_view,
+                    attempts=attempts,
+                    spill_partitions=spill_parts,
+                    spilled_bytes=spill_bytes,
                 )
-        return timings
+            if transient and attempts <= config.max_query_retries:
+                if registry.enabled:
+                    registry.counter("runner.query_retries").add()
+                backoff = min(
+                    config.retry_backoff_s * (2 ** (attempts - 1)),
+                    config.retry_backoff_cap_s,
+                )
+                time.sleep(backoff * (0.5 + 0.5 * jitter.random()))
+                continue
+            if registry.enabled:
+                registry.counter("runner.query_failures").add()
+            return QueryTiming(
+                stream=stream,
+                template_id=query.template_id,
+                name=query.name,
+                query_class=query.query_class,
+                channel_part=query.channel_part,
+                elapsed=elapsed,
+                rows=rows,
+                used_view=used_view,
+                status=status,
+                attempts=attempts,
+                error=error,
+            )
 
     def query_run(self, run_number: int) -> QueryRunResult:
         streams = self.config.resolved_streams()
+        run_label = f"qr{run_number}"
         # the single-stream phase is the "power"-style run; concurrent
         # streams exercise throughput (§5.2 names both query runs)
         phase_name = "phase:power" if streams == 1 else "phase:throughput"
-        with self.tracer.installed(), self.tracer.span(
-            phase_name, run=run_number, streams=streams
-        ) as phase:
-            start = time.perf_counter()
-            # stream ids differ between run 1 and run 2 so substitutions differ
-            base = (run_number - 1) * streams
-            if streams == 1:
-                all_timings = [self._run_stream(base, parent=phase)]
-            else:
-                with ThreadPoolExecutor(max_workers=streams) as pool:
-                    all_timings = list(
-                        pool.map(
-                            lambda s: self._run_stream(s, parent=phase),
-                            range(base, base + streams),
+        skipped_before = self.queries_skipped
+        # faults are confined to query runs: installed here, removed in
+        # the finally even when the phase degrades
+        self.db.fault_injector = self.config.faults
+        try:
+            with self.tracer.installed(), self.tracer.span(
+                phase_name, run=run_number, streams=streams
+            ) as phase:
+                start = time.perf_counter()
+                # stream ids differ between run 1 and run 2 so substitutions differ
+                base = (run_number - 1) * streams
+                if streams == 1:
+                    all_timings = [
+                        self._run_stream(base, parent=phase, run_label=run_label)
+                    ]
+                else:
+                    with ThreadPoolExecutor(max_workers=streams) as pool:
+                        all_timings = list(
+                            pool.map(
+                                lambda s: self._run_stream(
+                                    s, parent=phase, run_label=run_label
+                                ),
+                                range(base, base + streams),
+                            )
                         )
-                    )
-            elapsed = time.perf_counter() - start
+                elapsed = time.perf_counter() - start
+        finally:
+            self.db.fault_injector = None
         result = QueryRunResult(elapsed)
         for timings in all_timings:
             result.timings.extend(timings)
+        result.elapsed = self._phase_elapsed(
+            run_label, elapsed, result, self.queries_skipped - skipped_before
+        )
+        if self.journal is not None:
+            self.journal.record_phase(run_label, result.elapsed)
         return result
+
+    def _phase_elapsed(
+        self,
+        run_label: str,
+        measured: float,
+        result: QueryRunResult,
+        skipped: int,
+    ) -> float:
+        """The phase elapsed time to report.  An uninterrupted run uses
+        the wall clock.  A resumed run substitutes the journaled phase
+        time when the whole phase had finished; a partially resumed
+        phase approximates the full-phase time as the busiest stream's
+        summed query time (wall clock would under-count skipped work)."""
+        if self.resume_state is not None:
+            journaled = self.resume_state.phase_elapsed(run_label)
+            if journaled is not None:
+                return journaled
+            if skipped:
+                per_stream: dict[int, float] = defaultdict(float)
+                for timing in result.timings:
+                    per_stream[timing.stream] += timing.elapsed
+                busiest = max(per_stream.values(), default=0.0)
+                return max(measured, busiest)
+        return measured
 
     # -- data maintenance ----------------------------------------------------------
 
@@ -334,6 +542,14 @@ class BenchmarkRun:
                 MaintenanceResult("AUX", 0, time.perf_counter() - aux_start)
             )
             elapsed = time.perf_counter() - start
+        # resume re-applies the DML (the database is in-memory, state
+        # must be rebuilt) but reports the originally journaled time
+        if self.resume_state is not None:
+            journaled = self.resume_state.phase_elapsed("maintenance")
+            if journaled is not None:
+                elapsed = journaled
+        if self.journal is not None:
+            self.journal.record_phase("maintenance", elapsed)
         return MaintenanceRunResult(elapsed, operations)
 
     # -- observability ---------------------------------------------------------
@@ -364,6 +580,24 @@ class BenchmarkResult:
     #: plan-quality summary (worst Q-error operators) when the run was
     #: configured with ``plan_quality=True``
     plan_quality: Optional[dict] = None
+    #: injection counts when the run was fault-injected
+    fault_stats: Optional[dict] = None
+    #: queries skipped because a resumed checkpoint had them journaled
+    queries_resumed: int = 0
+
+    @property
+    def all_timings(self) -> list[QueryTiming]:
+        return self.query_run_1.timings + self.query_run_2.timings
+
+    @property
+    def compliant(self) -> bool:
+        """§5 compliance: the metric is valid only when every query in
+        every stream of both query runs ultimately completed."""
+        expected = self.total_queries  # 198 * S covers both query runs
+        timings = self.all_timings
+        return len(timings) == expected and all(
+            t.status == "ok" for t in timings
+        )
 
     @property
     def metric_inputs(self) -> MetricInputs:
@@ -382,17 +616,44 @@ class BenchmarkResult:
 
 
 def run_benchmark(config: BenchmarkConfig) -> tuple[BenchmarkResult, BenchmarkRun]:
-    """Execute the Figure 11 sequence and compute the §5.3 metrics."""
+    """Execute the Figure 11 sequence and compute the §5.3 metrics.
+
+    With ``config.checkpoint_path`` set, completed queries are
+    journaled as they finish; with ``config.resume`` also set, a prior
+    journal (same scale/streams/seed — anything else is refused) lets
+    the run skip already-finished queries, so a SIGKILLed benchmark
+    picks up where the journal ends and produces one merged result."""
     from .metric import price_performance
 
-    run = BenchmarkRun(config)
-    load = run.load_test()
-    qr1 = run.query_run(1)
-    dm = run.data_maintenance()
-    qr2 = run.query_run(2)
+    journal = None
+    resume_state = None
+    streams = config.resolved_streams()
+    if config.checkpoint_path:
+        if config.resume:
+            resume_state = load_checkpoint(config.checkpoint_path)
+            if resume_state is not None:
+                resume_state.validate(config.scale_factor, streams, config.seed)
+        journal = CheckpointJournal(
+            config.checkpoint_path,
+            config.scale_factor,
+            streams,
+            config.seed,
+            append=resume_state is not None,
+        )
+    run = BenchmarkRun(config, journal=journal, resume_state=resume_state)
+    try:
+        load = run.load_test()
+        qr1 = run.query_run(1)
+        dm = run.data_maintenance()
+        qr2 = run.query_run(2)
+        if journal is not None:
+            journal.record_complete()
+    finally:
+        if journal is not None:
+            journal.close()
     inputs = MetricInputs(
         scale_factor=config.scale_factor,
-        streams=config.resolved_streams(),
+        streams=streams,
         t_qr1=qr1.elapsed,
         t_dm=dm.elapsed,
         t_qr2=qr2.elapsed,
@@ -412,5 +673,7 @@ def run_benchmark(config: BenchmarkConfig) -> tuple[BenchmarkResult, BenchmarkRu
         price_performance=price_performance(config.system_price, metric),
         trace=run.span_timeline(),
         plan_quality=quality,
+        fault_stats=config.faults.stats() if config.faults is not None else None,
+        queries_resumed=run.queries_skipped,
     )
     return result, run

@@ -60,7 +60,72 @@ def render_report(result: BenchmarkResult) -> str:
     lines.append(
         f"queries answered from materialized views (run 1): {len(rewritten)}"
     )
+    degradation = render_degradation(result)
+    if degradation:
+        lines.append("")
+        lines.extend(degradation)
     return "\n".join(lines)
+
+
+def render_degradation(result: BenchmarkResult) -> list[str]:
+    """The degradation section: failures, retries, spills, timeouts and
+    the compliance verdict.  Empty for a clean, non-governed run (so
+    unchanged configurations render unchanged reports)."""
+    timings = result.all_timings
+    failures = [t for t in timings if t.status != "ok"]
+    retries = sum(t.attempts - 1 for t in timings)
+    spilled = [t for t in timings if t.spill_partitions]
+    timeouts = sum(1 for t in timings if t.status == "timeout")
+    interesting = (
+        failures
+        or retries
+        or spilled
+        or result.queries_resumed
+        or result.fault_stats
+        or not result.compliant
+    )
+    if not interesting:
+        return []
+    by_status: dict[str, int] = defaultdict(int)
+    for t in timings:
+        by_status[t.status] += 1
+    status_text = ", ".join(
+        f"{status}={count}" for status, count in sorted(by_status.items())
+    )
+    lines = [
+        "degradation & recovery",
+        f"  query status          : {status_text}",
+        f"  retries               : {retries}",
+        f"  timeouts              : {timeouts}",
+        f"  queries spilled       : {len(spilled)}"
+        f" ({sum(t.spill_partitions for t in spilled)} partitions,"
+        f" {sum(t.spilled_bytes for t in spilled):,} bytes)",
+    ]
+    if result.queries_resumed:
+        lines.append(
+            f"  resumed from journal  : {result.queries_resumed} queries skipped"
+        )
+    if result.fault_stats:
+        lines.append(
+            f"  injected faults       : "
+            f"{result.fault_stats.get('injected_errors', 0)} errors, "
+            f"{result.fault_stats.get('injected_delays', 0)} delays "
+            f"(seed {result.fault_stats.get('seed')})"
+        )
+    for t in failures[:10]:
+        lines.append(
+            f"    FAILED {t.name} (stream {t.stream}, run template "
+            f"{t.template_id}, {t.attempts} attempts): {t.error[:90]}"
+        )
+    if len(failures) > 10:
+        lines.append(f"    ... ({len(failures) - 10} more failures)")
+    lines.append(
+        "  compliance            : "
+        + ("COMPLIANT (all queries completed)" if result.compliant
+           else "NOT COMPLIANT (unfinished or failed queries — "
+                "QphDS is not reportable)")
+    )
+    return lines
 
 
 def render_full_disclosure(result: BenchmarkResult, top: int = 15) -> str:

@@ -151,3 +151,50 @@ def test_difftest_skip_qualification(tmp_path, capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+# -- error diagnostics & exit codes -----------------------------------------
+
+
+def test_exit_code_parse_error(capsys):
+    assert main(["explain", "--scale", "0.001",
+                 "--sql", "SELEC oops FROM date_dim"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("tpcds-py: parse error:")
+    assert err.count("\n") == 1  # one-line diagnostic, no traceback
+
+
+def test_exit_code_planning_error(capsys):
+    # column binding happens when the plan executes, so --analyze
+    assert main(["explain", "--scale", "0.001", "--analyze",
+                 "--sql", "SELECT no_such_column FROM date_dim"]) == 3
+    err = capsys.readouterr().err
+    assert err.startswith("tpcds-py: planning error:")
+    assert "no_such_column" in err
+
+
+def test_exit_code_execution_error(capsys):
+    # scalar subquery returning many rows fails at execution time
+    assert main(["explain", "--scale", "0.001", "--analyze",
+                 "--sql", "SELECT (SELECT d_date_sk FROM date_dim) FROM item"
+                 ]) == 4
+    err = capsys.readouterr().err
+    assert err.startswith("tpcds-py: execution error:")
+
+
+def test_exit_code_resource_error(capsys):
+    assert main(["explain", "--scale", "0.001", "--analyze", "--timeout", "0",
+                 "--sql", "SELECT COUNT(*) FROM store_sales"]) == 5
+    err = capsys.readouterr().err
+    assert err.startswith("tpcds-py: resource error:")
+    assert "timeout" in err.lower() or "deadline" in err.lower()
+
+
+def test_explain_analyze_budget_flag(capsys):
+    assert main(["explain", "--scale", "0.01", "--analyze",
+                 "--mem-budget", "4K",
+                 "--sql", ("SELECT ss_customer_sk, COUNT(*) AS c "
+                           "FROM store_sales GROUP BY ss_customer_sk "
+                           "ORDER BY c DESC, ss_customer_sk")]) == 0
+    out = capsys.readouterr().out
+    assert "spill_partitions=" in out

@@ -1,0 +1,127 @@
+"""Checkpoint/resume: the crash-safe journal and exact resumption."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.runner import (
+    BenchmarkConfig,
+    CheckpointMismatch,
+    load_checkpoint,
+    run_benchmark,
+)
+
+SF = 0.001
+STREAMS = 2
+
+
+def _metric_keys(result):
+    """The inputs the metric consumes, independent of wall clock."""
+    keys = set()
+    for run_no, run in ((1, result.query_run_1), (2, result.query_run_2)):
+        for t in run.timings:
+            keys.add((run_no, t.stream, t.template_id, t.rows))
+    return keys
+
+
+@pytest.fixture(scope="module")
+def completed_run(tmp_path_factory):
+    ckpt = str(tmp_path_factory.mktemp("ckpt") / "journal.jsonl")
+    config = BenchmarkConfig(scale_factor=SF, streams=STREAMS, checkpoint_path=ckpt)
+    result, _ = run_benchmark(config)
+    return ckpt, result
+
+
+def test_journal_records_all_queries(completed_run):
+    ckpt, result = completed_run
+    state = load_checkpoint(ckpt)
+    assert state.complete
+    assert len(state.queries) == result.total_queries
+    assert state.phase_elapsed("qr1") is not None
+    assert state.phase_elapsed("qr2") is not None
+    assert state.phase_elapsed("maintenance") is not None
+
+
+def test_full_resume_skips_every_query(completed_run):
+    ckpt, original = completed_run
+    config = BenchmarkConfig(
+        scale_factor=SF, streams=STREAMS, checkpoint_path=ckpt, resume=True
+    )
+    resumed, _ = run_benchmark(config)
+    assert resumed.queries_resumed == original.total_queries
+    assert resumed.compliant
+    # metric inputs are identical to the uninterrupted run
+    assert _metric_keys(resumed) == _metric_keys(original)
+    assert resumed.query_run_1.elapsed == original.query_run_1.elapsed
+    assert resumed.query_run_2.elapsed == original.query_run_2.elapsed
+    assert resumed.maintenance.elapsed == original.maintenance.elapsed
+    assert resumed.qphds == pytest.approx(original.qphds, rel=0.25)
+
+
+def test_partial_resume_completes_the_run(completed_run, tmp_path):
+    """Simulate a crash mid-qr1 (journal cut at 30 query records plus a
+    torn trailing line) and resume: journaled queries are skipped, the
+    rest run, and the merged journal has no duplicates."""
+    ckpt, original = completed_run
+    cut_path = str(tmp_path / "journal.jsonl")
+    kept, queries = [], 0
+    with open(ckpt) as handle:
+        for line in handle:
+            record = json.loads(line)
+            if record["kind"] != "header" and record["kind"] != "query":
+                continue  # drop phase/complete markers: the run "crashed"
+            kept.append(line.rstrip("\n"))
+            if record["kind"] == "query":
+                queries += 1
+                if queries == 30:
+                    break
+    with open(cut_path, "w") as handle:
+        handle.write("\n".join(kept))
+        handle.write('\n{"kind": "query", "ru')  # torn mid-write
+
+    config = BenchmarkConfig(
+        scale_factor=SF, streams=STREAMS, checkpoint_path=cut_path, resume=True
+    )
+    resumed, _ = run_benchmark(config)
+    assert resumed.queries_resumed == 30
+    assert resumed.compliant
+    assert _metric_keys(resumed) == _metric_keys(original)
+
+    seen = set()
+    with open(cut_path) as handle:
+        for line in handle:
+            record = json.loads(line)  # repaired journal: every line parses
+            if record["kind"] == "query":
+                key = (record["run"], record["stream"], record["template_id"])
+                assert key not in seen, f"duplicate journal record {key}"
+                seen.add(key)
+    assert len(seen) == original.total_queries
+    state = load_checkpoint(cut_path)
+    assert state.complete
+
+
+def test_resume_refuses_mismatched_config(completed_run):
+    ckpt, _ = completed_run
+    bad = BenchmarkConfig(
+        scale_factor=SF, streams=STREAMS, seed=1, checkpoint_path=ckpt, resume=True
+    )
+    with pytest.raises(CheckpointMismatch):
+        run_benchmark(bad)
+
+
+def test_loader_tolerates_missing_file(tmp_path):
+    assert load_checkpoint(str(tmp_path / "nope.jsonl")) is None
+
+
+def test_resume_without_existing_journal_runs_fresh(tmp_path):
+    ckpt = str(tmp_path / "fresh.jsonl")
+    config = BenchmarkConfig(
+        scale_factor=SF, streams=1, checkpoint_path=ckpt, resume=True
+    )
+    result, _ = run_benchmark(config)
+    assert result.queries_resumed == 0
+    assert result.compliant
+    assert os.path.exists(ckpt)

@@ -1,0 +1,65 @@
+"""Concurrent-stream stress: 4 streams at the session scale, asserting
+the metrics registry and plan-quality aggregator stay race-free and
+every stream's timings arrive complete."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_registry, set_registry
+from repro.runner import BenchmarkConfig
+from repro.runner.execution import BenchmarkRun
+
+SF = 0.004
+STREAMS = 4
+
+
+@pytest.fixture()
+def enabled_registry():
+    previous = get_registry()
+    registry = MetricsRegistry(enabled=True)
+    set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+def test_stream_stress_counters_race_free(enabled_registry):
+    config = BenchmarkConfig(
+        scale_factor=SF, streams=STREAMS, plan_quality=True
+    )
+    run = BenchmarkRun(config)
+    run.load_test()
+    result = run.query_run(1)
+
+    expected = 99 * STREAMS
+    # per-stream timings are complete: all 99 templates, once each
+    assert len(result.timings) == expected
+    by_stream: dict[int, set] = {}
+    for timing in result.timings:
+        by_stream.setdefault(timing.stream, set()).add(timing.template_id)
+    assert len(by_stream) == STREAMS
+    for stream, templates in by_stream.items():
+        assert len(templates) == 99, f"stream {stream} lost templates"
+    assert all(t.status == "ok" for t in result.timings)
+
+    # registry counters survived 4 threads without losing increments
+    assert enabled_registry.counter("runner.queries").value == expected
+    hist_total = sum(
+        payload["count"]
+        for name, payload in enabled_registry.snapshot().items()
+        if name.startswith("runner.query_seconds")
+    )
+    assert hist_total == expected
+
+    # plan-quality aggregator folded every query's operators exactly once
+    quality = run.db.plan_quality
+    assert quality is not None
+    summary = quality.as_dict()
+    assert summary["operators_seen"] > 0
+    # internal consistency: misestimates never exceed operators seen and
+    # the worst-offender map is keyed uniquely
+    assert summary["misestimates"] <= summary["operators_seen"]
+    keys = [
+        (rec.query, rec.label) for rec in quality.worst_offenders(10**9)
+    ]
+    assert len(keys) == len(set(keys))
