@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test determinism bench bench-smoke bench-compare qualification difftest faultcheck
+.PHONY: check test determinism bench bench-smoke bench-compare qualification difftest faultcheck parallelcheck
 
 ## fuzz seed for `make difftest`; CI rotates it per run and logs the
 ## value so any failure replays with DIFFTEST_SEED=<logged seed>
@@ -20,12 +20,15 @@ determinism:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-## fast CI smoke: two quick benches with BENCH_*.json output, then the
-## observability zero-overhead check (<2% with tracing disabled)
+## fast CI smoke: quick benches with BENCH_*.json output, the
+## observability zero-overhead check (<2% with tracing disabled), and
+## the serial-vs-parallel operator speedup curve
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_metric_qphds.py \
-	    benchmarks/bench_table1_schema_stats.py --benchmark-only -q
+	    benchmarks/bench_table1_schema_stats.py \
+	    benchmarks/bench_engine_operators.py --benchmark-only -q
 	$(PYTHON) benchmarks/check_overhead.py
+	$(PYTHON) benchmarks/check_parallel_speedup.py
 
 ## compare the latest two benchmark runs in history.jsonl; exits
 ## nonzero when any bench regressed beyond the noise threshold
@@ -43,6 +46,14 @@ qualification:
 difftest:
 	$(PYTHON) -m repro.cli difftest --scale 0.01 --fuzz 200 \
 	    --fuzz-seed $(DIFFTEST_SEED)
+
+## morsel-parallel execution: pool unit tests, the 108-statement +
+## repro-corpus determinism matrix (workers ∈ {2, 4} byte-identical to
+## serial), spill-accounting invariance, and governor/fault-injection
+## checks firing inside worker threads
+parallelcheck:
+	$(PYTHON) -m pytest tests/engine/test_parallel_pool.py \
+	    tests/test_parallel_engine.py tests/test_stream_stress.py -q
 
 ## robustness suite: resource governor (spill byte-identity, timeouts,
 ## cancellation), deterministic fault injection, checkpoint/resume, the

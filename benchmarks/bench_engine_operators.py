@@ -4,9 +4,43 @@ Not a paper exhibit — a performance baseline for the substrate itself,
 so regressions in the operators that dominate the workload (hash join,
 hash aggregation, sort, window, star filter) are visible in isolation.
 All run against the sf 0.01 store_sales fact (~29k rows).
+
+The ``parallel`` group re-runs the morsel-parallelisable operators at
+workers ∈ {1, 2, 4}; ``benchmarks/check_parallel_speedup.py`` reads
+the resulting ``BENCH_engine_operators.json`` and prints the speedup
+curve.  On a single-core container the curve is flat (numpy kernels
+release the GIL, but there is nowhere to run them concurrently) — the
+point of recording it is the trajectory on multi-core hardware.
 """
 
+import time
+
+import pytest
 from conftest import show
+
+from repro.engine.parallel import shutdown_pool
+
+#: one representative query per morsel-parallelised operator
+PARALLEL_OPS = {
+    "scan_filter": (
+        "SELECT COUNT(*) FROM store_sales "
+        "WHERE ss_quantity > 50 AND ss_net_paid > 10.0"
+    ),
+    "join_probe": (
+        "SELECT COUNT(*) FROM store_sales, store_returns "
+        "WHERE ss_ticket_number = sr_ticket_number AND ss_item_sk = sr_item_sk"
+    ),
+    "hash_aggregate": (
+        "SELECT ss_store_sk, ss_item_sk, SUM(ss_net_paid), COUNT(*) "
+        "FROM store_sales GROUP BY ss_store_sk, ss_item_sk"
+    ),
+    "sort": (
+        "SELECT ss_item_sk, ss_net_paid FROM store_sales "
+        "ORDER BY ss_net_paid DESC, ss_item_sk"
+    ),
+}
+
+WORKER_CURVE = [1, 2, 4]
 
 
 def test_operator_full_scan_filter(benchmark, bench_db):
@@ -68,6 +102,47 @@ def test_operator_fact_to_fact_join(benchmark, bench_db):
         "WHERE ss_ticket_number = sr_ticket_number AND ss_item_sk = sr_item_sk",
     )
     assert result.scalar() == bench_db.table("store_returns").num_rows
+
+
+@pytest.mark.parametrize("op", sorted(PARALLEL_OPS))
+@pytest.mark.parametrize("workers", WORKER_CURVE)
+def test_operator_parallel(benchmark, bench_db, op, workers):
+    """Serial-vs-parallel timing for one operator at one worker count
+    (``workers=1`` is the serial baseline — no pool is built)."""
+    sql = PARALLEL_OPS[op]
+    benchmark.extra_info["op"] = op
+    benchmark.extra_info["workers"] = workers
+    result = benchmark(bench_db.execute, sql, workers=workers)
+    assert len(result) > 0
+
+
+def test_operator_parallel_speedup_curve(benchmark, bench_db):
+    """One-shot speedup curve (median of 5) printed as an exhibit and
+    recorded in the JSON via extra_info, so `make bench-smoke` can
+    report it without re-deriving from the per-test entries."""
+    def median_seconds(workers, reps=5):
+        samples = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            for sql in PARALLEL_OPS.values():
+                bench_db.execute(sql, workers=workers)
+            samples.append(time.perf_counter() - start)
+        return sorted(samples)[reps // 2]
+
+    serial = benchmark.pedantic(
+        median_seconds, args=(None,), rounds=1, iterations=1
+    )
+    curve = {}
+    for workers in WORKER_CURVE[1:]:
+        curve[workers] = serial / median_seconds(workers)
+    shutdown_pool()
+    benchmark.extra_info["serial_seconds"] = round(serial, 6)
+    benchmark.extra_info["speedup"] = {str(w): round(s, 3) for w, s in curve.items()}
+    show(
+        "Morsel-parallel speedup (all parallel ops, serial-relative)",
+        [f"workers={w}: {s:.2f}x" for w, s in curve.items()],
+    )
+    assert all(s > 0 for s in curve.values())
 
 
 def test_operator_summary(benchmark, bench_db):

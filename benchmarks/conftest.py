@@ -73,17 +73,20 @@ def pytest_sessionfinish(session, exitstatus):
     for bench in bench_session.benchmarks:
         entry = bench.as_dict(include_data=False, stats=True)
         stats = entry.get("stats") or {}
+        record = {
+            "test": entry.get("name"),
+            "rounds": stats.get("rounds"),
+            "mean": stats.get("mean"),
+            "median": stats.get("median"),
+            "stddev": stats.get("stddev"),
+            "min": stats.get("min"),
+            "max": stats.get("max"),
+            "ops": stats.get("ops"),
+        }
+        if entry.get("extra_info"):
+            record["extra_info"] = entry["extra_info"]
         by_module.setdefault(_module_result_name(bench.fullname), []).append(
-            {
-                "test": entry.get("name"),
-                "rounds": stats.get("rounds"),
-                "mean": stats.get("mean"),
-                "median": stats.get("median"),
-                "stddev": stats.get("stddev"),
-                "min": stats.get("min"),
-                "max": stats.get("max"),
-                "ops": stats.get("ops"),
-            }
+            record
         )
     os.makedirs(out_dir, exist_ok=True)
     payloads = []

@@ -135,6 +135,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         faults=faults,
+        workers=args.workers,
     )
     summary = bench.run()
     if args.full:
@@ -180,6 +181,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     bounds = {
         "timeout_s": args.timeout,
         "mem_budget_bytes": _parse_bytes(args.mem_budget),
+        "workers": args.workers,
     }
     if args.json:
         import json
@@ -361,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject random delays at this per-query rate")
     p.add_argument("--fault-max-delay", type=float, default=0.01,
                    help="max injected delay in seconds (default 0.01)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="morsel-parallel worker threads shared by query"
+                        " streams and operators (results are byte-"
+                        "identical to serial; default: serial)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("explain",
@@ -383,6 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mem-budget", default=None, metavar="BYTES",
                    help="memory budget for --analyze execution (spill"
                         " counters appear in the annotated plan)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="morsel-parallel workers for --analyze execution"
+                        " (workers=/morsels= counters appear per operator)")
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("obs", help="observability tooling")

@@ -62,6 +62,7 @@ class Benchmark:
         checkpoint_path: Optional[str] = None,
         resume: bool = False,
         faults=None,
+        workers: Optional[int] = None,
     ):
         self.config = BenchmarkConfig(
             scale_factor=scale_factor,
@@ -77,6 +78,7 @@ class Benchmark:
             checkpoint_path=checkpoint_path,
             resume=resume,
             faults=faults,
+            workers=workers,
         )
         self._run: Optional[BenchmarkRun] = None
         self._summary: Optional[RunSummary] = None

@@ -21,6 +21,7 @@ from .errors import (
 )
 from .governor import ResourceContext
 from .optimizer import OptimizerSettings
+from .parallel import WorkerPool, get_pool, shutdown_pool
 from .types import (
     ColumnDef,
     Kind,
@@ -53,6 +54,9 @@ __all__ = [
     "QueryCancelled",
     "MemoryBudgetExceeded",
     "ResourceContext",
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pool",
     "CatalogError",
     "ConstraintError",
     "TableSchema",

@@ -81,6 +81,10 @@ class Batch:
     def filter(self, mask: np.ndarray) -> "Batch":
         return Batch({k: v.filter(mask) for k, v in self.columns.items()})
 
+    def slice(self, start: int, stop: int) -> "Batch":
+        """A zero-copy row-range view (the executor's morsel cut)."""
+        return Batch({k: v.slice(start, stop) for k, v in self.columns.items()})
+
     def head(self, limit: int, offset: int = 0) -> "Batch":
         idx = np.arange(offset, min(self.num_rows, offset + limit))
         return self.take(idx)

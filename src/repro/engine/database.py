@@ -42,6 +42,7 @@ from .errors import EngineError, ExecutionError, PlanningError
 from .executor import Executor
 from .expr import EvalContext, evaluate
 from .governor import ResourceContext
+from .parallel import get_pool
 from .matview import MaterializedView, define_view, try_rewrite
 from .optimizer import Optimizer, OptimizerSettings
 from .planner import Planner
@@ -112,10 +113,16 @@ class Database:
         self,
         optimizer_settings: OptimizerSettings | None = None,
         enable_matview_rewrite: bool = True,
+        workers: Optional[int] = None,
     ):
         self.catalog = Catalog()
         self.optimizer_settings = optimizer_settings or OptimizerSettings()
         self.enable_matview_rewrite = enable_matview_rewrite
+        #: default morsel-parallelism for every statement (``None`` or
+        #: 1 = serial); per-call ``workers=`` overrides it.  Results are
+        #: byte-identical at any worker count — see
+        #: :mod:`repro.engine.parallel`
+        self.workers = workers
         self.traces: list[QueryTrace] = []
         self.trace_queries = False
         #: optional :class:`~repro.obs.PlanQualityAggregator`; when set,
@@ -165,6 +172,7 @@ class Database:
         timeout_s: Optional[float] = None,
         mem_budget_bytes: Optional[float] = None,
         cancel=None,
+        workers: Optional[int] = None,
     ) -> Result:
         """Execute an already-parsed query AST (the differential-testing
         harness runs shrunk ASTs without a render/re-parse round trip)."""
@@ -172,7 +180,9 @@ class Database:
         if self.fault_injector is not None:
             self.fault_injector.at_query(f"ast:{type(query).__name__}")
         resource = self._make_resource(timeout_s, mem_budget_bytes, cancel)
-        result = self._execute_query(query, resource=resource)
+        result = self._execute_query(
+            query, resource=resource, pool=self._get_pool(workers)
+        )
         result.elapsed = time.perf_counter() - start
         return result
 
@@ -182,6 +192,7 @@ class Database:
         timeout_s: Optional[float] = None,
         mem_budget_bytes: Optional[float] = None,
         cancel=None,
+        workers: Optional[int] = None,
     ) -> Result:
         """Execute one SQL statement.
 
@@ -193,7 +204,9 @@ class Database:
         :class:`~repro.engine.errors.QueryCancelled` at the next batch
         boundary; over the memory budget operators spill to temp files
         instead of failing (totals in ``Result.spill_partitions`` /
-        ``Result.spilled_bytes``).
+        ``Result.spilled_bytes``).  ``workers`` (default: the
+        database-wide setting) fans the hot operators out over the
+        shared morsel pool; the result is byte-identical to serial.
         """
         match = _EXPLAIN_RE.match(sql)
         if match is not None:
@@ -201,7 +214,8 @@ class Database:
             body = sql[match.end():]
             text = (
                 self.explain_analyze(
-                    body, timeout_s=timeout_s, mem_budget_bytes=mem_budget_bytes
+                    body, timeout_s=timeout_s, mem_budget_bytes=mem_budget_bytes,
+                    workers=workers,
                 )
                 if match.group(1)
                 else self.explain(body)
@@ -218,7 +232,9 @@ class Database:
             if self.fault_injector is not None:
                 self.fault_injector.at_query(sql)
             resource = self._make_resource(timeout_s, mem_budget_bytes, cancel)
-            result = self._execute_query(statement, sql, resource=resource)
+            result = self._execute_query(
+                statement, sql, resource=resource, pool=self._get_pool(workers)
+            )
         elif isinstance(statement, A.Insert):
             result = self._execute_insert(statement)
         elif isinstance(statement, A.Delete):
@@ -246,13 +262,16 @@ class Database:
         sql: str,
         timeout_s: Optional[float] = None,
         mem_budget_bytes: Optional[float] = None,
+        workers: Optional[int] = None,
     ) -> str:
         """Execute ``sql`` and return the optimized plan tree annotated
         with per-node measured rows, elapsed time, loop counts and
         operator-specific counters (hash build sizes, bitmap probes,
-        CTE-memo hits, spill partitions/bytes under a memory budget)."""
+        CTE-memo hits, spill partitions/bytes under a memory budget,
+        ``workers=`` / ``morsels=`` fan-out under a worker pool)."""
         plan, batch, collector, used_view, elapsed = self._analyze(
-            sql, timeout_s=timeout_s, mem_budget_bytes=mem_budget_bytes
+            sql, timeout_s=timeout_s, mem_budget_bytes=mem_budget_bytes,
+            workers=workers,
         )
         lines = []
         if used_view:
@@ -273,11 +292,13 @@ class Database:
         sql: str,
         timeout_s: Optional[float] = None,
         mem_budget_bytes: Optional[float] = None,
+        workers: Optional[int] = None,
     ) -> dict:
         """:meth:`explain_analyze` for machine consumers: the annotated
         plan tree as JSON-ready dicts plus execution totals."""
         plan, batch, collector, used_view, elapsed = self._analyze(
-            sql, timeout_s=timeout_s, mem_budget_bytes=mem_budget_bytes
+            sql, timeout_s=timeout_s, mem_budget_bytes=mem_budget_bytes,
+            workers=workers,
         )
         return {
             "sql": sql,
@@ -308,6 +329,7 @@ class Database:
         sql: str,
         timeout_s: Optional[float] = None,
         mem_budget_bytes: Optional[float] = None,
+        workers: Optional[int] = None,
     ):
         """Shared EXPLAIN ANALYZE machinery: parse, rewrite, execute
         under a stats collector (and a resource context when bounds
@@ -320,7 +342,9 @@ class Database:
         resource = self._make_resource(timeout_s, mem_budget_bytes, None)
         start = time.perf_counter()
         try:
-            plan, batch = self._execute_plan(query, collector, resource)
+            plan, batch = self._execute_plan(
+                query, collector, resource, pool=self._get_pool(workers)
+            )
         finally:
             if resource is not None:
                 resource.cleanup()
@@ -350,6 +374,12 @@ class Database:
             faults=self.fault_injector,
         )
 
+    def _get_pool(self, workers: Optional[int]):
+        """The shared worker pool for one statement (``None`` =
+        serial).  Per-call ``workers`` overrides the database-wide
+        default."""
+        return get_pool(self.workers if workers is None else workers)
+
     def _maybe_rewrite(self, query: A.Query):
         if self.enable_matview_rewrite and self.catalog.matviews:
             rewritten = try_rewrite(query, self.catalog, self.catalog.matviews)
@@ -372,13 +402,15 @@ class Database:
         query: A.Query,
         collector: ExecStatsCollector | None = None,
         resource: ResourceContext | None = None,
+        pool=None,
     ):
         """Plan, optimize and execute a query AST, wiring expression
         subqueries (pre-planned in their CTE scope) into the executor.
         Returns ``(optimized plan, result batch)``; when ``collector``
         is given, every executed node records its stats into it; when
         ``resource`` is given, the statement (including subqueries)
-        runs under its budget/deadline."""
+        runs under its budget/deadline; when ``pool`` is given, the hot
+        operators (in subqueries too) morsel-parallelize over it."""
         planner = Planner(self.catalog)
         plan = planner.plan_query(query)
         optimizer = Optimizer(self.catalog, self.optimizer_settings)
@@ -393,11 +425,11 @@ class Database:
                 if sub_plan is None:
                     sub_plan = Planner(self.catalog).plan_query(sub_query)
                 optimized[key] = optimizer.optimize(sub_plan)
-            return Executor(run_sub, self.catalog, collector, resource).run(
-                optimized[key]
-            )
+            return Executor(
+                run_sub, self.catalog, collector, resource, pool
+            ).run(optimized[key])
 
-        executor = Executor(run_sub, self.catalog, collector, resource)
+        executor = Executor(run_sub, self.catalog, collector, resource, pool)
         return plan, executor.run(plan)
 
     def _run_query_batch(self, query: A.Query) -> Batch:
@@ -409,6 +441,7 @@ class Database:
         query: A.Query,
         sql: str = "",
         resource: ResourceContext | None = None,
+        pool=None,
     ) -> Result:
         query, used_view = self._maybe_rewrite(query)
         collector = (
@@ -416,7 +449,7 @@ class Database:
         )
         start = time.perf_counter()
         try:
-            plan, batch = self._execute_plan(query, collector, resource)
+            plan, batch = self._execute_plan(query, collector, resource, pool)
         finally:
             # spill files never outlive the statement — success, timeout,
             # cancellation or error

@@ -34,6 +34,18 @@ group-key hash (partitions hold disjoint groups, so per-partition
 results concatenate exactly), and sorts fall back to an external merge
 sort over spilled sorted runs.  All three spill paths reproduce the
 in-memory result byte-for-byte, including row order.
+
+Morsel-driven parallelism: with a :class:`~repro.engine.parallel
+.WorkerPool` installed, the hot operators split their work into
+fixed-size morsels dispatched to the shared pool — scan/filter
+predicate evaluation and hash-join probes cut by row range, Grace-join
+partitions, partitioned aggregation and external-sort runs reuse the
+*spill* cut (a spill partition is a morsel), and sorts encode their
+keys concurrently.  Every parallel site concatenates morsel results in
+submission order, so parallel output is byte-identical to serial at
+any worker count; expressions containing subqueries stay on the
+statement thread (the subquery memo is shared state).  ``workers=`` /
+``morsels=`` counters appear per operator in EXPLAIN ANALYZE.
 """
 
 from __future__ import annotations
@@ -51,6 +63,12 @@ from .batch import Batch
 from .errors import ExecutionError, PlanningError
 from .expr import EvalContext, evaluate, harmonize
 from .governor import ResourceContext, read_spill, write_spill
+from .parallel import (
+    MIN_PARALLEL_ROWS,
+    WorkerContext,
+    WorkerPool,
+    morsel_ranges,
+)
 from .sql import ast_nodes as A
 from .types import Kind
 from .vector import Vector
@@ -96,6 +114,16 @@ def _partition_ids(vec: Vector, parts: int) -> np.ndarray:
     return ids
 
 
+#: expression nodes whose evaluation runs a subquery (shared memo
+#: state — such expressions must stay on the statement thread)
+_SUBQUERY_NODES = (A.InSubquery, A.Exists, A.ScalarSubquery)
+
+
+def _has_subquery(expr: A.Expr) -> bool:
+    """True when ``expr`` contains any subquery-evaluating node."""
+    return any(isinstance(node, _SUBQUERY_NODES) for node in A.walk(expr))
+
+
 def factorize(vec: Vector) -> np.ndarray:
     """Map a vector to dense int codes; NULL gets code 0, values get codes
     ordered by value starting at 1 (so codes also encode sort order)."""
@@ -132,12 +160,14 @@ class Executor:
         catalog,
         collector: ExecStatsCollector | None = None,
         resource: ResourceContext | None = None,
+        pool: WorkerPool | None = None,
     ):
         self._catalog = catalog
         self._ctx = EvalContext(run_subquery)
         self._cache: dict[int, Batch] = {}
         self._collector = collector
         self._resource = resource
+        self._pool = pool
         # a memory budget forces working-set estimation even without a
         # collector (the spill decision needs the numbers)
         self._budgeted = (
@@ -171,6 +201,58 @@ class Executor:
         if self._collector is not None:
             self._collector.note_memory(node, nbytes)
         self._mem_gauge.set_max(nbytes)
+
+    # -- morsel dispatch ---------------------------------------------------
+
+    def _morsel_pool(self, n_rows: int, *exprs) -> WorkerPool | None:
+        """The worker pool when ``n_rows`` justifies morsel dispatch
+        and every expression is subquery-free, else ``None`` (the
+        subquery memo cache must stay on the statement thread)."""
+        if self._pool is None or n_rows < MIN_PARALLEL_ROWS:
+            return None
+        for expr in exprs:
+            if expr is not None and _has_subquery(expr):
+                return None
+        return self._pool
+
+    def _map_morsels(self, fn, items: list, pool: WorkerPool | None) -> list:
+        """Run ``fn(item, ctx)`` over every item — fanned out through
+        ``pool`` when given, else a serial loop with a pass-through
+        :class:`WorkerContext`.  Results arrive in item order either
+        way, which is what keeps parallel output byte-identical."""
+        if pool is not None and len(items) > 1:
+            return pool.map_morsels(fn, items, self._resource)
+        ctx = WorkerContext(self._resource, 0)
+        return [fn(item, ctx) for item in items]
+
+    def _note_parallel(self, node: P.PlanNode, pool: WorkerPool | None,
+                       morsels: int) -> None:
+        """Record one operator's fan-out: ``morsels=`` sums across
+        executions, ``workers=`` keeps the widest pool used."""
+        if self._collector is not None and pool is not None:
+            self._collector.add(node, morsels=morsels)
+            self._collector.note_max(node, workers=pool.workers)
+
+    def _filter_mask(self, node: P.PlanNode, batch: Batch,
+                     predicate: A.Expr) -> np.ndarray:
+        """The TRUE-rows mask of ``predicate`` over ``batch`` —
+        evaluated in row-range morsels across the pool when the batch
+        is big enough.  Masks concatenate in range order, so the
+        result is bitwise equal to one whole-batch evaluation."""
+        n = batch.num_rows
+        pool = self._morsel_pool(n, predicate)
+        if pool is None:
+            return evaluate(predicate, batch, self._ctx).is_true()
+        ranges = morsel_ranges(n)
+        ctx = self._ctx
+
+        def eval_morsel(rng, wctx):
+            wctx.check("Filter(morsel)")
+            return evaluate(predicate, batch.slice(*rng), ctx).is_true()
+
+        masks = pool.map_morsels(eval_morsel, ranges, self._resource)
+        self._note_parallel(node, pool, len(ranges))
+        return np.concatenate(masks)
 
     # -- entry -------------------------------------------------------------
 
@@ -206,7 +288,7 @@ class Executor:
             return Batch({"_dummy": Vector.constant(Kind.INT, 0, 1)})
         if isinstance(node, P.Filter):
             child = self.run(node.child)
-            mask = evaluate(node.predicate, child, self._ctx).is_true()
+            mask = self._filter_mask(node, child, node.predicate)
             return child.filter(mask)
         if isinstance(node, P.Project):
             return self._project(node)
@@ -245,8 +327,11 @@ class Executor:
                                 pushed_filters=len(node.pushed_filters))
         if row_subset is not None:
             batch = batch.take(row_subset)
+        # predicates stay sequential (later ones see already-filtered
+        # rows, as the pushdown contract requires); each predicate's
+        # evaluation fans out over row-range morsels
         for predicate in node.pushed_filters:
-            mask = evaluate(predicate, batch, self._ctx).is_true()
+            mask = self._filter_mask(node, batch, predicate)
             batch = batch.filter(mask)
         return batch
 
@@ -393,7 +478,7 @@ class Executor:
                     lvecs, rvecs, int_path, build_bytes, stats_node
                 )
         if int_path:
-            return self._int_key_pairs(lvecs[0], rvecs[0])
+            return self._int_key_pairs(lvecs[0], rvecs[0], stats_node)
         return self._tuple_key_pairs(lvecs, rvecs)
 
     def _grace_pairs(
@@ -425,26 +510,31 @@ class Executor:
         rids = _partition_ids(rvecs[0], parts)[rrows]
         lkinds = [v.kind for v in lvecs]
         rkinds = [v.kind for v in rvecs]
-        spilled = 0
-        paths = []
-        for p in range(parts):
-            resource.check("GraceHashJoin(partition)")
+        # a spill partition is a morsel: both phases fan out over the
+        # shared pool, with results collected in partition order
+        pool = self._morsel_pool(len(lrows) + len(rrows))
+
+        def write_partition(p, wctx):
+            wctx.check("GraceHashJoin(partition)")
             lsel = lrows[lids == p]
             rsel = rrows[rids == p]
             if not len(lsel) or not len(rsel):
-                continue
+                return None
             arrays = {"lsel": lsel, "rsel": rsel}
             for i, v in enumerate(lvecs):
                 arrays[f"l{i}"] = v.data[lsel]
             for i, v in enumerate(rvecs):
                 arrays[f"r{i}"] = v.data[rsel]
-            path = resource.spill_path()
-            spilled += write_spill(path, arrays)
-            paths.append(path)
-        li_parts: list[np.ndarray] = []
-        ri_parts: list[np.ndarray] = []
-        for path in paths:
-            resource.check("GraceHashJoin(probe)")
+            path = wctx.spill_path()
+            return path, write_spill(path, arrays)
+
+        written = self._map_morsels(write_partition, list(range(parts)), pool)
+        written = [w for w in written if w is not None]
+        paths = [path for path, _ in written]
+        spilled = sum(nbytes for _, nbytes in written)
+
+        def probe_partition(path, wctx):
+            wctx.check("GraceHashJoin(probe)")
             arrays = read_spill(path)
             os.unlink(path)
             lsel, rsel = arrays["lsel"], arrays["rsel"]
@@ -462,8 +552,12 @@ class Executor:
                 li_local, ri_local = self._int_key_pairs(sub_l[0], sub_r[0])
             else:
                 li_local, ri_local = self._tuple_key_pairs(sub_l, sub_r)
-            li_parts.append(lsel[li_local])
-            ri_parts.append(rsel[ri_local])
+            return lsel[li_local], rsel[ri_local]
+
+        probed = self._map_morsels(probe_partition, paths, pool)
+        li_parts = [li_local for li_local, _ in probed]
+        ri_parts = [ri_local for _, ri_local in probed]
+        self._note_parallel(stats_node, pool, parts + len(paths))
         if li_parts:
             li = np.concatenate(li_parts)
             ri = np.concatenate(ri_parts)
@@ -476,9 +570,15 @@ class Executor:
         self._note_spill(stats_node, parts, spilled)
         return li[order], ri[order]
 
-    @staticmethod
-    def _int_key_pairs(lvec: Vector, rvec: Vector):
-        """Sorted-probe equi-join on a single integer key."""
+    def _int_key_pairs(self, lvec: Vector, rvec: Vector,
+                       stats_node: P.PlanNode | None = None):
+        """Sorted-probe equi-join on a single integer key.
+
+        The build (sort) runs once; the probe fans out over row-range
+        morsels of the left keys.  Each morsel emits its matches with
+        ascending left rows, and morsels cover ascending disjoint
+        ranges, so ordered concatenation reproduces the serial probe's
+        (li, ri) sequence exactly."""
         rvalid = np.flatnonzero(~rvec.null)
         rkeys = rvec.data[rvalid]
         order = np.argsort(rkeys, kind="stable")
@@ -486,11 +586,35 @@ class Executor:
         rrows_sorted = rvalid[order]
         lvalid = np.flatnonzero(~lvec.null)
         lkeys = lvec.data[lvalid]
+        pool = self._morsel_pool(len(lkeys))
+        if pool is None:
+            return self._int_probe(lvalid, lkeys, rkeys_sorted, rrows_sorted)
+        ranges = morsel_ranges(len(lkeys))
+
+        def probe_morsel(rng, wctx):
+            wctx.check("HashJoin(morsel)")
+            start, stop = rng
+            return Executor._int_probe(
+                lvalid[start:stop], lkeys[start:stop],
+                rkeys_sorted, rrows_sorted,
+            )
+        parts = pool.map_morsels(probe_morsel, ranges, self._resource)
+        if stats_node is not None:
+            self._note_parallel(stats_node, pool, len(ranges))
+        return (
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+        )
+
+    @staticmethod
+    def _int_probe(lrows: np.ndarray, lkeys: np.ndarray,
+                   rkeys_sorted: np.ndarray, rrows_sorted: np.ndarray):
+        """Probe one chunk of left keys against the sorted build side."""
         lo = np.searchsorted(rkeys_sorted, lkeys, side="left")
         hi = np.searchsorted(rkeys_sorted, lkeys, side="right")
         counts = hi - lo
         has_match = counts > 0
-        lrows = lvalid[has_match]
+        lrows = lrows[has_match]
         lo = lo[has_match]
         counts = counts[has_match]
         li = np.repeat(lrows, counts)
@@ -563,72 +687,106 @@ class Executor:
         self, node: P.Aggregate, child: Batch, group_vecs: list[Vector], active: int
     ) -> Batch:
         """One grouping-set pass: the first ``active`` keys group, the rest
-        (for ROLLUP) are emitted as NULL.  Over a memory budget the pass
-        hash-partitions its input rows by group key and spills the
-        partitions (see :meth:`_aggregate_pass_spilled`)."""
-        if self._budgeted and active:
+        (for ROLLUP) are emitted as NULL.  Over a memory budget, or with
+        a worker pool on a large input, the pass hash-partitions its
+        input rows by group key and runs the partitions through
+        :meth:`_aggregate_partitioned` (the spill cut doubles as the
+        morsel cut)."""
+        spill = False
+        est = 0.0
+        if active:
             est = (
                 float(sum(v.nbytes for v in group_vecs[:active]))
                 + 16.0 * child.num_rows
             )
-            if self._resource.over_budget(est):
-                return self._aggregate_pass_spilled(
-                    node, child, group_vecs, active, est
-                )
-        return self._aggregate_pass_memory(node, child, group_vecs, active)
+            spill = self._budgeted and self._resource.over_budget(est)
+        pool = None
+        if active:
+            exprs = [g for g, _ in node.group_items]
+            exprs += [c.args[0] for c, _ in node.agg_items if c.args]
+            pool = self._morsel_pool(child.num_rows, *exprs)
+        if not spill and pool is None:
+            return self._aggregate_pass_memory(node, child, group_vecs, active)
+        return self._aggregate_partitioned(
+            node, child, group_vecs, active, est, spill, pool
+        )
 
-    def _aggregate_pass_spilled(
+    def _aggregate_partitioned(
         self,
         node: P.Aggregate,
         child: Batch,
         group_vecs: list[Vector],
         active: int,
         est_bytes: float,
+        spill: bool,
+        pool: WorkerPool | None,
     ) -> Batch:
-        """Grace-style partitioned aggregation: partition input rows by
-        a hash of the first group key (NULLs to partition 0), spill row
-        subsets to temp files, aggregate each partition independently —
-        partitions hold disjoint groups, so per-partition outputs
-        concatenate without merging — then restore the in-memory pass's
-        group order (lexicographic by key, NULLs first)."""
+        """Grace-style partitioned aggregation — one cut serving both
+        spill (over budget) and morsel parallelism: partition input rows
+        by a hash of the first group key (NULLs to partition 0),
+        aggregate each partition independently — partitions hold
+        disjoint groups, so per-partition outputs concatenate without
+        merging — then restore the in-memory pass's group order
+        (ascending stacked factorize codes of the active keys, exactly
+        what ``np.unique(row_ids)`` emits on the unpartitioned path;
+        groups are distinct, so no ties).  When ``spill`` is set each
+        partition detours through a temp file; the partition count
+        comes from the budget, not the worker count, so spill totals
+        are identical at any parallelism."""
         resource = self._resource
-        parts = resource.partitions_for(est_bytes)
+        if spill:
+            parts = resource.partitions_for(est_bytes)
+        else:
+            # parallel-only cut: enough partitions to load the pool;
+            # the canonical reorder makes the count irrelevant to output
+            parts = max(2, pool.workers * 2)
         ids = _partition_ids(group_vecs[0], parts)
-        spilled = 0
-        paths = []
-        for p in range(parts):
-            resource.check("HashAggregate(partition)")
-            sel = np.flatnonzero(ids == p)
-            if not len(sel):
-                continue
-            arrays: dict[str, np.ndarray] = {"_rows": sel}
-            for name, vec in child.columns.items():
-                arrays[f"d:{name}"] = vec.data[sel]
-                arrays[f"n:{name}"] = vec.null[sel]
-            path = resource.spill_path()
-            spilled += write_spill(path, arrays)
-            paths.append(path)
+        # stable argsort groups each partition's rows contiguously while
+        # preserving ascending original row order within partitions —
+        # the same selections the per-partition flatnonzero loop built
+        by_part = np.argsort(ids, kind="stable")
+        bounds = np.searchsorted(ids[by_part], np.arange(parts + 1))
+        selections = [
+            by_part[bounds[p]:bounds[p + 1]]
+            for p in range(parts)
+            if bounds[p + 1] > bounds[p]
+        ]
         kinds = {name: vec.kind for name, vec in child.columns.items()}
-        outs: list[Batch] = []
-        for path in paths:
-            resource.check("HashAggregate(merge)")
-            arrays = read_spill(path)
-            os.unlink(path)
-            sub = Batch(
-                {
-                    name: Vector(kinds[name], arrays[f"d:{name}"], arrays[f"n:{name}"])
-                    for name in kinds
-                }
-            )
+
+        def run_partition(sel, wctx):
+            wctx.check("HashAggregate(partition)")
+            nbytes = 0
+            if spill:
+                arrays: dict[str, np.ndarray] = {"_rows": sel}
+                for name, vec in child.columns.items():
+                    arrays[f"d:{name}"] = vec.data[sel]
+                    arrays[f"n:{name}"] = vec.null[sel]
+                path = wctx.spill_path()
+                nbytes = write_spill(path, arrays)
+                wctx.check("HashAggregate(merge)")
+                arrays = read_spill(path)
+                os.unlink(path)
+                sub = Batch(
+                    {
+                        name: Vector(
+                            kinds[name], arrays[f"d:{name}"], arrays[f"n:{name}"]
+                        )
+                        for name in kinds
+                    }
+                )
+            else:
+                sub = child.take(sel)
             sub_groups = [evaluate(g, sub, self._ctx) for g, _ in node.group_items]
-            outs.append(self._aggregate_pass_memory(node, sub, sub_groups, active))
-        self._note_spill(node, parts, spilled)
+            return nbytes, self._aggregate_pass_memory(node, sub, sub_groups, active)
+
+        results = self._map_morsels(run_partition, selections, pool)
+        outs = [out for _, out in results]
+        if spill:
+            self._note_spill(node, parts, sum(nbytes for nbytes, _ in results))
+        self._note_parallel(node, pool, len(selections))
         if not outs:
             return self._aggregate_pass_memory(node, child, group_vecs, active)
         result = Batch.concat(outs)
-        # canonical group order: ascending stacked factorize codes of
-        # the active keys — exactly what np.unique(row_ids) emits on
-        # the unpartitioned path (groups are distinct, so no ties)
         group_names = [name for _, name in node.group_items][:active]
         codes = [factorize(result.columns[name]) for name in group_names]
         order = np.lexsort(tuple(reversed(codes)))
@@ -887,19 +1045,38 @@ class Executor:
     # -- sort / distinct / set ops -------------------------------------------------------
 
     def _sort_indices(
-        self, batch: Batch, keys: list[A.SortKey], pre_keys: list[np.ndarray] | None = None
+        self, batch: Batch, keys: list[A.SortKey],
+        pre_keys: list[np.ndarray] | None = None,
+        stats_node: P.PlanNode | None = None,
     ) -> np.ndarray:
         """Stable lexsort indices; ``pre_keys`` sort before the SQL keys."""
         n = batch.num_rows
-        arrays: list[np.ndarray] = []
-        for key in keys:
-            vec = evaluate(key.expr, batch, self._ctx)
-            codes = self._sort_codes(vec, key)
-            arrays.append(codes)
+        arrays = self._key_codes(batch, keys, stats_node)
         all_keys = (pre_keys or []) + arrays
         if not all_keys:
             return np.arange(n)
         return np.lexsort(tuple(reversed(all_keys)))
+
+    def _key_codes(
+        self, batch: Batch, keys: list[A.SortKey],
+        stats_node: P.PlanNode | None = None,
+    ) -> list[np.ndarray]:
+        """Sort-code arrays for every key, one whole-column task per
+        key across the pool (codes are independent per key, and the
+        result list keeps key order)."""
+        pool = None
+        if len(keys) > 1:
+            pool = self._morsel_pool(batch.num_rows, *[k.expr for k in keys])
+        ctx = self._ctx
+
+        def code_key(key, wctx):
+            wctx.check("Sort(key)")
+            return Executor._sort_codes(evaluate(key.expr, batch, ctx), key)
+
+        codes = self._map_morsels(code_key, list(keys), pool)
+        if stats_node is not None:
+            self._note_parallel(stats_node, pool, len(keys))
+        return codes
 
     @staticmethod
     def _sort_codes(vec: Vector, key: A.SortKey) -> np.ndarray:
@@ -926,7 +1103,7 @@ class Executor:
         if self._budgeted and node.keys and n and self._resource.over_budget(est):
             order = self._external_sort_indices(node, child, est)
         else:
-            order = self._sort_indices(child, node.keys)
+            order = self._sort_indices(child, node.keys, stats_node=node)
         if self._track_mem:
             # one int64 code array per sort key plus the lexsort result
             self._note_memory(node, est)
@@ -943,16 +1120,17 @@ class Executor:
         exactly, so the budgeted sort is byte-identical."""
         resource = self._resource
         n = child.num_rows
-        codes = []
-        for key in node.keys:
-            vec = evaluate(key.expr, child, self._ctx)
-            codes.append(self._sort_codes(vec, key))
+        codes = self._key_codes(child, node.keys, stats_node=node)
         parts = resource.partitions_for(est_bytes)
         run_len = -(-n // parts)
-        spilled = 0
-        paths = []
-        for start in range(0, n, run_len):
-            resource.check("Sort(run)")
+        # runs are the spill cut and the morsel cut at once: each run
+        # sorts and spills independently, and the path list keeps run
+        # order (the merge reads whole tuples, so order is cosmetic —
+        # determinism comes from the global-index tiebreak)
+        pool = self._morsel_pool(n)
+
+        def sort_run(start, wctx):
+            wctx.check("Sort(run)")
             stop = min(start + run_len, n)
             chunk = [c[start:stop] for c in codes]
             local = np.lexsort(tuple(reversed(chunk)))
@@ -961,11 +1139,16 @@ class Executor:
                 + [local.astype(np.int64) + np.int64(start)],
                 axis=1,
             )
-            path = resource.spill_path()
+            path = wctx.spill_path()
             np.save(path, stacked, allow_pickle=False)
             path += ".npy"  # np.save appends the suffix
-            spilled += os.path.getsize(path)
-            paths.append(path)
+            return path, os.path.getsize(path)
+
+        starts = list(range(0, n, run_len))
+        runs_written = self._map_morsels(sort_run, starts, pool)
+        paths = [path for path, _ in runs_written]
+        spilled = sum(nbytes for _, nbytes in runs_written)
+        self._note_parallel(node, pool, len(starts))
         runs = [np.load(path, mmap_mode="r") for path in paths]
         order = np.empty(n, dtype=np.int64)
         for i, row in enumerate(heapq.merge(*(map(tuple, run) for run in runs))):

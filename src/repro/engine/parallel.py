@@ -1,0 +1,265 @@
+"""Morsel-driven parallel execution: the shared worker pool.
+
+The executor splits its hot operators — scan/filter predicate
+evaluation, hash-join probe, Grace-partition processing, partitioned
+aggregation, sort-key encoding and external-sort runs — into fixed-size
+**morsels** (row ranges or hash partitions) and dispatches them to one
+process-wide :class:`WorkerPool`.  The partitioning cut is the same one
+the spill machinery uses (a spill partition *is* a morsel), so budgeted
+and parallel execution share a single code path in the executor.
+
+Determinism discipline (inherited from dsdgen's parallel generator):
+results must be byte-identical to serial execution regardless of worker
+count or scheduling.  The pool guarantees the substrate for that:
+
+* :meth:`WorkerPool.map_morsels` returns results in **submission
+  order**, whatever order workers finish in; callers concatenate in
+  that order, which reproduces the serial loop exactly.
+* When morsel tasks fail, the exception of the **lowest-indexed**
+  morsel is re-raised — the same error a serial left-to-right loop
+  would have surfaced first.
+* Nested dispatch runs **inline**: a task submitted from inside a pool
+  worker executes serially on that worker.  This makes the pool safe to
+  share between the benchmark runner's stream scheduler and the
+  executor's morsels (streams × morsels share one pool without
+  deadlock: saturated streams simply run their morsels inline).
+
+Resource governance: each morsel task receives a :class:`WorkerContext`
+— a per-worker view of the statement's shared
+:class:`~repro.engine.governor.ResourceContext` that forwards
+cooperative ``check()`` calls (timeout / cancel / fault injection fire
+*inside* worker threads) and accounts spill activity both locally (per
+worker) and into the shared parent, whose totals are sums across
+workers.
+
+Pool gauges land in the metrics registry when it is enabled:
+``engine.pool.workers``, ``engine.pool.morsels``,
+``engine.pool.inline_morsels`` and ``engine.pool.max_queue_depth``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Optional, Sequence
+
+from ..obs import get_registry
+
+#: fixed morsel size for row-range cuts (rows per morsel)
+MORSEL_ROWS = 16_384
+
+#: inputs smaller than this stay serial — the dispatch overhead would
+#: exceed the work
+MIN_PARALLEL_ROWS = 8_192
+
+#: marks threads that belong to a worker pool (nested dispatch from
+#: such a thread runs inline instead of deadlocking on its own pool)
+_WORKER_LOCAL = threading.local()
+
+
+def in_worker() -> bool:
+    """True when the calling thread is a pool worker."""
+    return getattr(_WORKER_LOCAL, "worker_id", None) is not None
+
+
+def morsel_ranges(n_rows: int, morsel_rows: int = MORSEL_ROWS) -> list[tuple[int, int]]:
+    """Fixed-size ``(start, stop)`` row ranges covering ``n_rows``."""
+    if n_rows <= 0:
+        return []
+    return [
+        (start, min(start + morsel_rows, n_rows))
+        for start in range(0, n_rows, morsel_rows)
+    ]
+
+
+class WorkerContext:
+    """One morsel task's view of a shared
+    :class:`~repro.engine.governor.ResourceContext`.
+
+    Forwards the cooperative ``check`` (so timeout, cancellation and
+    fault injection fire inside worker threads with the same semantics
+    as on the main thread) and the budget/spill services, while keeping
+    per-worker spill and peak-memory tallies.  Spill accounting is
+    **summed** into the shared parent (every byte written is a real
+    byte, whichever worker wrote it); peak memory is a per-worker
+    **max** — the aggregation semantics tests pin both.
+    """
+
+    __slots__ = (
+        "parent", "worker_id", "spill_partitions", "spilled_bytes", "peak_bytes"
+    )
+
+    def __init__(self, parent, worker_id: int):
+        self.parent = parent
+        self.worker_id = worker_id
+        self.spill_partitions = 0
+        self.spilled_bytes = 0
+        self.peak_bytes = 0.0
+
+    @property
+    def memory_budget_bytes(self):
+        return self.parent.memory_budget_bytes if self.parent is not None else None
+
+    def check(self, site: str = "") -> None:
+        """Cooperative timeout/cancel/fault point, forwarded to the parent."""
+        if self.parent is not None:
+            self.parent.check(site)
+
+    def over_budget(self, nbytes: float) -> bool:
+        return self.parent is not None and self.parent.over_budget(nbytes)
+
+    def partitions_for(self, nbytes: float) -> int:
+        return self.parent.partitions_for(nbytes)
+
+    def spill_path(self) -> str:
+        return self.parent.spill_path()
+
+    def note_spill(self, partitions: int, nbytes: int) -> None:
+        self.spill_partitions += partitions
+        self.spilled_bytes += nbytes
+        if self.parent is not None:
+            self.parent.note_spill(partitions, nbytes)
+
+    def note_memory(self, nbytes: float) -> None:
+        if nbytes > self.peak_bytes:
+            self.peak_bytes = nbytes
+
+
+def _mark_worker() -> None:
+    """Thread-pool initializer: tag the thread as a pool worker."""
+    _WORKER_LOCAL.worker_id = threading.get_ident()
+
+
+class WorkerPool:
+    """A shared pool of worker threads executing morsel tasks.
+
+    Thin lifecycle wrapper over :class:`ThreadPoolExecutor` plus the
+    morsel-dispatch discipline documented at module level (ordered
+    results, lowest-index error, inline nesting).  One pool serves the
+    whole process; streams and operator morsels share it.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers,
+            thread_name_prefix="tpcds-morsel",
+            initializer=_mark_worker,
+        )
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("engine.pool.workers").set(float(workers))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def submit(self, fn: Callable, *args, **kwargs) -> Future:
+        """Schedule one task (the runner's stream scheduler entry).
+        From inside a pool worker the task runs inline to keep the
+        pool deadlock-free."""
+        if in_worker():
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 — future carries it
+                future.set_exception(exc)
+            return future
+        return self._executor.submit(fn, *args, **kwargs)
+
+    def map_morsels(
+        self,
+        fn: Callable,
+        items: Sequence,
+        resource=None,
+    ) -> list:
+        """Run ``fn(item, ctx)`` for every item; results in item order.
+
+        ``ctx`` is a fresh :class:`WorkerContext` over ``resource`` per
+        task (``resource`` may be ``None``).  Raises the exception of
+        the lowest-indexed failing morsel, after all tasks settled —
+        matching what a serial left-to-right loop would raise first.
+        """
+        items = list(items)
+        registry = get_registry()
+        if not items:
+            return []
+        if len(items) == 1 or self.workers == 1 or in_worker():
+            # inline: nested dispatch, degenerate input, or a 1-pool
+            if registry.enabled:
+                registry.counter("engine.pool.inline_morsels").add(len(items))
+            return [
+                fn(item, WorkerContext(resource, 0)) for item in items
+            ]
+        if registry.enabled:
+            registry.counter("engine.pool.morsels").add(len(items))
+            with self._pending_lock:
+                self._pending += len(items)
+                registry.gauge("engine.pool.max_queue_depth").set_max(
+                    float(self._pending)
+                )
+        futures = [
+            self._executor.submit(fn, item, WorkerContext(resource, index))
+            for index, item in enumerate(items)
+        ]
+        results = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if registry.enabled:
+            with self._pending_lock:
+                self._pending -= len(items)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent)."""
+        self._executor.shutdown(wait=True)
+
+
+#: the process-wide shared pool (lazily created, grow-only resized)
+_POOL: Optional[WorkerPool] = None
+_POOL_LOCK = threading.Lock()
+
+
+def get_pool(workers: Optional[int]) -> Optional[WorkerPool]:
+    """The shared pool sized for ``workers``, or ``None`` when morsel
+    dispatch is disabled (``workers`` unset or <= 1).
+
+    The pool is process-wide and grow-only: asking for more workers
+    than the current pool has replaces it with a larger one; asking for
+    fewer reuses the existing pool (capacity is an upper bound — the
+    morsel cut, not the pool size, decides the fan-out)."""
+    if workers is None or workers <= 1:
+        return None
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None or _POOL.workers < workers:
+            old, _POOL = _POOL, WorkerPool(workers)
+            if old is not None:
+                old.shutdown()
+        registry = get_registry()
+        if registry.enabled:
+            # refresh on every lookup: the registry may have been
+            # swapped (tests, `run --metrics`) since the pool was built
+            registry.gauge("engine.pool.workers").set(float(_POOL.workers))
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (tests and interpreter shutdown)."""
+    global _POOL
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown()

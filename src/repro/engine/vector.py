@@ -132,6 +132,11 @@ class Vector:
     def copy(self) -> "Vector":
         return Vector(self.kind, self.data.copy(), self.null.copy())
 
+    def slice(self, start: int, stop: int) -> "Vector":
+        """A zero-copy view of rows ``[start, stop)`` (numpy slices
+        share the underlying buffers — the morsel cut)."""
+        return Vector(self.kind, self.data[start:stop], self.null[start:stop])
+
     @staticmethod
     def concat(parts: Sequence["Vector"]) -> "Vector":
         if not parts:

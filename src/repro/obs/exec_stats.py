@@ -22,6 +22,7 @@ and the engine pays nothing for it when no collector is installed.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 #: a per-operator Q-error at or beyond this is flagged as a misestimate
@@ -71,12 +72,18 @@ class ExecStatsCollector:
     One collector observes one statement execution; executors call
     :meth:`record` / :meth:`memo_hit` / :meth:`add` (all cheap), and
     the EXPLAIN ANALYZE renderer reads the result.
+
+    Thread-safe: under the morsel-driven worker pool one statement's
+    operators (and concurrent subquery executors) record from multiple
+    threads, so every mutation runs under a lock — sums never lose
+    increments and max-semantics counters never regress.
     """
 
     def __init__(self):
         self.nodes: dict[int, OperatorStats] = {}
         #: largest single-operator memory footprint seen (bytes)
         self.peak_memory_bytes = 0.0
+        self._lock = threading.Lock()
 
     def _slot(self, node) -> OperatorStats:
         stats = self.nodes.get(id(node))
@@ -87,31 +94,45 @@ class ExecStatsCollector:
 
     def record(self, node, rows_out: int, elapsed: float) -> None:
         """One completed execution of ``node`` (inclusive of children)."""
-        stats = self._slot(node)
-        stats.rows_out = rows_out
-        stats.elapsed += elapsed
-        stats.invocations += 1
+        with self._lock:
+            stats = self._slot(node)
+            stats.rows_out = rows_out
+            stats.elapsed += elapsed
+            stats.invocations += 1
 
     def memo_hit(self, node) -> None:
         """The executor served ``node`` from its CTE memo cache."""
-        self._slot(node).memo_hits += 1
+        with self._lock:
+            self._slot(node).memo_hits += 1
 
     def add(self, node, **counters: float) -> None:
         """Attach operator-specific counters (summing on repeat)."""
-        extra = self._slot(node).extra
-        for key, value in counters.items():
-            extra[key] = extra.get(key, 0) + value
+        with self._lock:
+            extra = self._slot(node).extra
+            for key, value in counters.items():
+                extra[key] = extra.get(key, 0) + value
+
+    def note_max(self, node, **counters: float) -> None:
+        """Attach counters with max semantics (e.g. ``workers=`` — the
+        widest fan-out one execution of the operator used, not a sum
+        across loops)."""
+        with self._lock:
+            extra = self._slot(node).extra
+            for key, value in counters.items():
+                if value > extra.get(key, 0):
+                    extra[key] = value
 
     def note_memory(self, node, nbytes: float) -> None:
         """Record ``node``'s memory footprint for one execution: its
         ``mem_bytes`` counter keeps the per-operator peak (not the sum
         across loops) and the collector tracks the statement-wide
         high-water mark."""
-        extra = self._slot(node).extra
-        if nbytes > extra.get("mem_bytes", 0):
-            extra["mem_bytes"] = nbytes
-        if nbytes > self.peak_memory_bytes:
-            self.peak_memory_bytes = nbytes
+        with self._lock:
+            extra = self._slot(node).extra
+            if nbytes > extra.get("mem_bytes", 0):
+                extra["mem_bytes"] = nbytes
+            if nbytes > self.peak_memory_bytes:
+                self.peak_memory_bytes = nbytes
 
     def stats_for(self, node) -> Optional[OperatorStats]:
         """The stats recorded for ``node``, if any."""

@@ -18,8 +18,10 @@ Usage::
 
 Histograms keep count / sum / min / max plus fixed log2 buckets, so
 they are bounded-memory and mergeable.  All instruments are
-thread-safe: observations from concurrent benchmark streams interleave
-under a per-registry lock.
+thread-safe: each carries its own lock, so observations from
+concurrent benchmark streams and morsel workers only contend when they
+hit the *same* instrument (the registry lock guards only instrument
+creation and snapshots).
 """
 
 from __future__ import annotations
@@ -199,7 +201,9 @@ class MetricsRegistry:
         with self._lock:
             instrument = self._instruments.get(key)
             if instrument is None:
-                instrument = cls(key, self._lock)
+                # per-instrument lock: hot-path observations from the
+                # worker pool don't serialize on the registry lock
+                instrument = cls(key, threading.Lock())
                 self._instruments[key] = instrument
             elif not isinstance(instrument, cls):
                 raise TypeError(f"metric {key!r} already registered as "

@@ -134,6 +134,15 @@ class Tracer:
         stack = getattr(self._local, "stack", [])
         if stack and stack[-1] is span:
             stack.pop()
+        else:
+            # out-of-order exit: worker-pool threads are long-lived and
+            # reused across streams, so a dangling entry would silently
+            # become the parent of every later span on that thread —
+            # remove the span wherever it sits instead
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
         with self._lock:
             self._finished.append(span)
 

@@ -41,6 +41,7 @@ from ..dsdgen import DsdGen, GeneratedData, minimum_streams
 from ..dsdgen.generator import load_tables
 from ..engine import Database, OptimizerSettings
 from ..engine.errors import ConstraintError, QueryCancelled, QueryTimeout
+from ..engine.parallel import get_pool
 from ..maintenance import RefreshGenerator, run_all
 from ..qgen import QGen, build_catalog
 from ..schema import AD_HOC_TABLES, ALL_TABLES
@@ -134,6 +135,12 @@ class BenchmarkConfig:
     #: per-query resource bounds, threaded into the engine's governor
     query_timeout_s: Optional[float] = None
     query_mem_budget_bytes: Optional[float] = None
+    #: morsel-parallel workers for the engine's hot operators (None or
+    #: 1 = serial).  Query streams and operator morsels share the one
+    #: pool: with workers set, streams are scheduled on it too, and a
+    #: saturated stream runs its morsels inline.  Results are
+    #: byte-identical at any worker count.
+    workers: Optional[int] = None
     #: retry policy for *transient* query failures (exponential backoff
     #: with jitter, capped)
     max_query_retries: int = 2
@@ -258,7 +265,9 @@ class BenchmarkRun:
                 untimed = time.perf_counter() - gen_start
                 span.set(timed=False, rows=sum(self.data.row_counts.values()))
 
-            db = Database(optimizer_settings=config.optimizer)
+            db = Database(
+                optimizer_settings=config.optimizer, workers=config.workers
+            )
             start = time.perf_counter()
             with self.tracer.span("load_tables"):
                 load_tables(db, self.data)
@@ -463,10 +472,23 @@ class BenchmarkRun:
                 start = time.perf_counter()
                 # stream ids differ between run 1 and run 2 so substitutions differ
                 base = (run_number - 1) * streams
+                shared_pool = get_pool(self.config.workers)
                 if streams == 1:
                     all_timings = [
                         self._run_stream(base, parent=phase, run_label=run_label)
                     ]
+                elif shared_pool is not None:
+                    # streams × morsels share the one worker pool: a
+                    # stream saturating it runs its morsels inline, so
+                    # total thread count stays at the configured workers
+                    futures = [
+                        shared_pool.submit(
+                            self._run_stream, s, parent=phase,
+                            run_label=run_label,
+                        )
+                        for s in range(base, base + streams)
+                    ]
+                    all_timings = [f.result() for f in futures]
                 else:
                     with ThreadPoolExecutor(max_workers=streams) as pool:
                         all_timings = list(

@@ -1,0 +1,204 @@
+"""Unit tests for the morsel worker pool and its governance plumbing:
+ordered results, lowest-index error, inline nesting, the grow-only
+process pool, WorkerContext accounting semantics and the pool gauges."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.errors import QueryCancelled
+from repro.engine.governor import ResourceContext
+from repro.engine.parallel import (
+    WorkerContext,
+    WorkerPool,
+    get_pool,
+    in_worker,
+    morsel_ranges,
+    shutdown_pool,
+)
+from repro.obs import MetricsRegistry, get_registry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+# -- morsel_ranges ---------------------------------------------------------
+
+
+def test_morsel_ranges_cover_exactly():
+    ranges = morsel_ranges(10, morsel_rows=4)
+    assert ranges == [(0, 4), (4, 8), (8, 10)]
+    # complete, disjoint, ascending — the determinism precondition
+    flat = [i for start, stop in ranges for i in range(start, stop)]
+    assert flat == list(range(10))
+
+
+def test_morsel_ranges_empty_and_exact_multiple():
+    assert morsel_ranges(0) == []
+    assert morsel_ranges(-5) == []
+    assert morsel_ranges(8, morsel_rows=4) == [(0, 4), (4, 8)]
+
+
+# -- dispatch discipline ---------------------------------------------------
+
+
+def test_map_morsels_preserves_submission_order():
+    pool = WorkerPool(4)
+    try:
+        def slow_identity(item, ctx):
+            # later items finish first: order must still be item order
+            time.sleep((16 - item) * 0.002)
+            return item * 10
+        assert pool.map_morsels(slow_identity, range(16)) == [
+            i * 10 for i in range(16)
+        ]
+    finally:
+        pool.shutdown()
+
+
+def test_map_morsels_raises_lowest_index_error():
+    pool = WorkerPool(4)
+    try:
+        def boom(item, ctx):
+            if item in (3, 7, 11):
+                raise ValueError(f"morsel {item}")
+            return item
+        with pytest.raises(ValueError, match="morsel 3"):
+            pool.map_morsels(boom, range(16))
+    finally:
+        pool.shutdown()
+
+
+def test_nested_dispatch_runs_inline_without_deadlock():
+    """A 1-thread pool running a task that itself maps morsels must not
+    deadlock: nested dispatch from a worker runs inline."""
+    pool = WorkerPool(1)
+    try:
+        def outer():
+            assert in_worker()
+            return sum(pool.map_morsels(lambda x, c: x + 100, range(4)))
+        assert pool.submit(outer).result(timeout=10) == 100 * 4 + 6
+        assert not in_worker()
+    finally:
+        pool.shutdown()
+
+
+def test_submit_from_worker_runs_inline():
+    pool = WorkerPool(1)
+    try:
+        def outer():
+            return pool.submit(lambda: in_worker()).result()
+        assert pool.submit(outer).result() is True
+    finally:
+        pool.shutdown()
+
+
+# -- process-wide pool -----------------------------------------------------
+
+
+def test_get_pool_disabled_for_serial():
+    assert get_pool(None) is None
+    assert get_pool(0) is None
+    assert get_pool(1) is None
+
+
+def test_get_pool_grow_only():
+    two = get_pool(2)
+    assert two is not None and two.workers == 2
+    assert get_pool(2) is two
+    four = get_pool(4)
+    assert four is not two and four.workers == 4
+    # asking for fewer reuses the larger pool
+    assert get_pool(2) is four
+
+
+# -- WorkerContext ---------------------------------------------------------
+
+
+def test_worker_context_sums_spill_into_parent():
+    parent = ResourceContext(memory_budget_bytes=1024)
+    a, b = WorkerContext(parent, 0), WorkerContext(parent, 1)
+    a.note_spill(2, 100)
+    b.note_spill(1, 50)
+    b.note_spill(1, 25)
+    assert (a.spill_partitions, a.spilled_bytes) == (2, 100)
+    assert (b.spill_partitions, b.spilled_bytes) == (2, 75)
+    # parent totals are sums across workers
+    assert (parent.spill_partitions, parent.spilled_bytes) == (4, 175)
+    parent.cleanup()
+
+
+def test_worker_context_tracks_peak_memory_as_max():
+    ctx = WorkerContext(ResourceContext(), 0)
+    ctx.note_memory(100.0)
+    ctx.note_memory(50.0)
+    ctx.note_memory(200.0)
+    assert ctx.peak_bytes == 200.0
+
+
+def test_worker_context_forwards_check_and_budget():
+    cancel = threading.Event()
+    cancel.set()
+    parent = ResourceContext(memory_budget_bytes=1000, cancel=cancel)
+    ctx = WorkerContext(parent, 0)
+    with pytest.raises(QueryCancelled):
+        ctx.check("Sort(run)")
+    assert ctx.over_budget(2000)
+    assert not ctx.over_budget(500)
+    assert ctx.partitions_for(4000) == parent.partitions_for(4000)
+    assert ctx.memory_budget_bytes == 1000
+    parent.cleanup()
+
+
+def test_worker_context_without_parent_is_unbounded():
+    ctx = WorkerContext(None, 0)
+    ctx.check("anywhere")  # never raises
+    assert not ctx.over_budget(float("inf"))
+    ctx.note_spill(1, 10)  # only local tallies
+    assert (ctx.spill_partitions, ctx.spilled_bytes) == (1, 10)
+
+
+def test_check_fires_on_pool_threads():
+    """The cooperative check raises *inside* the worker and the pool
+    re-raises it on the calling thread."""
+    cancel = threading.Event()
+    cancel.set()
+    parent = ResourceContext(cancel=cancel)
+    pool = WorkerPool(2)
+    try:
+        def task(item, ctx):
+            ctx.check("Filter(morsel)")
+            return item
+        with pytest.raises(QueryCancelled):
+            pool.map_morsels(task, range(4), parent)
+    finally:
+        pool.shutdown()
+        parent.cleanup()
+
+
+# -- gauges ----------------------------------------------------------------
+
+
+def test_pool_gauges_published_when_registry_enabled():
+    previous = get_registry()
+    registry = MetricsRegistry(enabled=True)
+    set_registry(registry)
+    try:
+        pool = get_pool(3)
+        pool.map_morsels(lambda x, c: x, range(8))
+        pool.map_morsels(lambda x, c: x, [1])  # single item runs inline
+        snap = registry.snapshot()
+        assert snap["engine.pool.workers"]["value"] == 3.0
+        assert snap["engine.pool.morsels"]["value"] == 8.0
+        assert snap["engine.pool.inline_morsels"]["value"] == 1.0
+        assert snap["engine.pool.max_queue_depth"]["value"] >= 1.0
+    finally:
+        set_registry(previous)
+        shutdown_pool()

@@ -1,0 +1,191 @@
+"""Parallel-vs-serial determinism matrix and governed parallel execution.
+
+The morsel-driven worker pool must be invisible in results: every
+statement returns byte-identical rows (values *and* order) at any
+worker count.  This suite pins that over the full qualification
+workload (all 99 templates' statements at the session scale) and the
+differential-testing repro corpus, then verifies the resource governor
+— timeout, cancellation, memory budget/spill accounting and fault
+injection — behaves identically when the work runs on pool threads.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import threading
+
+import pytest
+
+from repro.difftest.corpus import load_corpus
+from repro.engine import ColumnDef, Database, TableSchema, integer, varchar
+from repro.engine.errors import QueryCancelled, QueryTimeout
+from repro.engine.parallel import MIN_PARALLEL_ROWS, MORSEL_ROWS, shutdown_pool
+from repro.faults import FaultInjector, InjectedFault
+
+WORKER_MATRIX = [2, 4]
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "difftest_corpus"
+CORPUS_ENTRIES = list(load_corpus(CORPUS_DIR))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pool():
+    yield
+    shutdown_pool()
+
+
+# -- qualification workload ------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def qualification_statements(qgen):
+    statements = []
+    for template_id in range(1, 100):
+        query = qgen.generate(template_id, stream=0)
+        for index, sql in enumerate(query.statements):
+            statements.append((f"q{template_id}.{index}", sql))
+    return statements
+
+
+@pytest.fixture(scope="module")
+def serial_qualification_rows(loaded_db, qualification_statements):
+    return {
+        label: loaded_db.execute(sql).rows()
+        for label, sql in qualification_statements
+    }
+
+
+@pytest.mark.parametrize("workers", WORKER_MATRIX)
+def test_qualification_matrix_is_deterministic(
+    loaded_db, qualification_statements, serial_qualification_rows, workers
+):
+    """All 108 qualification statements, byte-identical to serial."""
+    for label, sql in qualification_statements:
+        rows = loaded_db.execute(sql, workers=workers).rows()
+        assert rows == serial_qualification_rows[label], (
+            f"{label} diverged at workers={workers}"
+        )
+
+
+@pytest.mark.parametrize("workers", WORKER_MATRIX)
+def test_corpus_matrix_is_deterministic(loaded_db, workers):
+    """Every shrunk bug repro returns serial-identical rows."""
+    assert CORPUS_ENTRIES
+    for entry in CORPUS_ENTRIES:
+        serial = loaded_db.execute(entry.sql).rows()
+        rows = loaded_db.execute(entry.sql, workers=workers).rows()
+        assert rows == serial, f"{entry.name} diverged at workers={workers}"
+
+
+# -- governed execution on pool threads ------------------------------------
+
+
+def _wide_db(n_rows: int = 3 * MORSEL_ROWS) -> Database:
+    """A synthetic table wide enough that every hot operator fans out
+    over several morsels (the session-scale tables fit in one)."""
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "t",
+            [
+                ColumnDef("a", integer()),
+                ColumnDef("b", integer()),
+                ColumnDef("s", varchar(10)),
+            ],
+        )
+    )
+    rng = random.Random(20060912)
+    db.table("t").append_rows(
+        [
+            [rng.randrange(2000), rng.randrange(100), f"s{rng.randrange(50)}"]
+            for _ in range(n_rows)
+        ]
+    )
+    db.gather_stats()
+    return db
+
+
+WIDE_SQL = (
+    "SELECT t1.a, COUNT(*), SUM(t2.b) FROM t t1, t t2 "
+    "WHERE t1.a = t2.a AND t1.b < 50 GROUP BY t1.a ORDER BY t1.a"
+)
+
+
+@pytest.fixture(scope="module")
+def wide_db():
+    assert 3 * MORSEL_ROWS > MIN_PARALLEL_ROWS
+    return _wide_db()
+
+
+def test_wide_join_aggregate_matrix(wide_db):
+    serial = wide_db.execute(WIDE_SQL).rows()
+    for workers in WORKER_MATRIX:
+        assert wide_db.execute(WIDE_SQL, workers=workers).rows() == serial
+
+
+def test_spill_totals_identical_across_worker_counts(wide_db):
+    """Spill accounting sums across workers: the partition cut comes
+    from the budget, not the worker count, so totals match serial."""
+    budget = 64 * 1024
+    serial = wide_db.execute(WIDE_SQL, mem_budget_bytes=budget)
+    assert serial.spill_partitions > 0
+    assert serial.spilled_bytes > 0
+    for workers in WORKER_MATRIX:
+        parallel = wide_db.execute(
+            WIDE_SQL, mem_budget_bytes=budget, workers=workers
+        )
+        assert parallel.rows() == serial.rows()
+        assert parallel.spill_partitions == serial.spill_partitions
+        assert parallel.spilled_bytes == serial.spilled_bytes
+
+
+def test_timeout_fires_under_workers(wide_db):
+    with pytest.raises(QueryTimeout):
+        wide_db.execute(WIDE_SQL, timeout_s=0.0, workers=4)
+
+
+def test_cancellation_fires_under_workers(wide_db):
+    cancel = threading.Event()
+    cancel.set()
+    with pytest.raises(QueryCancelled):
+        wide_db.execute(WIDE_SQL, cancel=cancel, workers=4)
+
+
+def test_fault_injection_fires_inside_morsel_tasks(wide_db):
+    """Sites named ``(morsel)`` only exist inside morsel tasks, so a
+    site-filtered injector proves faults propagate out of pool threads
+    (re-raised as the lowest-indexed morsel's error)."""
+    injector = FaultInjector(
+        seed=7, error_rate=1.0, scope=("operator",), site_filter="morsel"
+    )
+    wide_db.fault_injector = injector
+    try:
+        with pytest.raises(InjectedFault) as excinfo:
+            wide_db.execute(WIDE_SQL, workers=4)
+    finally:
+        wide_db.fault_injector = None
+    assert "morsel" in str(excinfo.value)
+    assert injector.injected_errors > 0
+    # the injector must not have poisoned later serial runs
+    assert wide_db.execute("SELECT COUNT(*) FROM t").scalar() == 3 * MORSEL_ROWS
+
+
+def test_explain_analyze_reports_fanout(wide_db):
+    text = wide_db.explain_analyze(WIDE_SQL, workers=4)
+    assert "workers=" in text
+    assert "morsels=" in text
+    # serial EXPLAIN ANALYZE stays free of pool counters
+    assert "workers=" not in wide_db.explain_analyze(WIDE_SQL)
+
+
+def test_workers_one_is_serial(wide_db):
+    """workers=1 must not build a pool at all (serial fast path)."""
+    from repro.engine.parallel import get_pool
+
+    assert get_pool(1) is None
+    assert get_pool(None) is None
+    assert (
+        wide_db.execute(WIDE_SQL, workers=1).rows()
+        == wide_db.execute(WIDE_SQL).rows()
+    )

@@ -1,11 +1,13 @@
 """Concurrent-stream stress: 4 streams at the session scale, asserting
 the metrics registry and plan-quality aggregator stay race-free and
-every stream's timings arrive complete."""
+every stream's timings arrive complete — with and without the shared
+morsel worker pool (streams × workers on one pool)."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.engine.parallel import shutdown_pool
 from repro.obs import MetricsRegistry, get_registry, set_registry
 from repro.runner import BenchmarkConfig
 from repro.runner.execution import BenchmarkRun
@@ -63,3 +65,42 @@ def test_stream_stress_counters_race_free(enabled_registry):
         (rec.query, rec.label) for rec in quality.worst_offenders(10**9)
     ]
     assert len(keys) == len(set(keys))
+
+
+def test_stream_stress_with_worker_pool(enabled_registry):
+    """N streams × M workers share one pool: stream tasks run on pool
+    threads and their morsels run inline, so timings stay complete,
+    counters stay race-free, and the pool gauges are published."""
+    config = BenchmarkConfig(
+        scale_factor=SF, streams=STREAMS, plan_quality=True, workers=2
+    )
+    run = BenchmarkRun(config)
+    run.load_test()
+    try:
+        result = run.query_run(1)
+    finally:
+        shutdown_pool()
+
+    expected = 99 * STREAMS
+    assert len(result.timings) == expected
+    by_stream: dict[int, set] = {}
+    for timing in result.timings:
+        by_stream.setdefault(timing.stream, set()).add(timing.template_id)
+    assert len(by_stream) == STREAMS
+    for stream, templates in by_stream.items():
+        assert len(templates) == 99, f"stream {stream} lost templates"
+    assert all(t.status == "ok" for t in result.timings)
+
+    assert enabled_registry.counter("runner.queries").value == expected
+    snapshot = enabled_registry.snapshot()
+    assert snapshot["engine.pool.workers"]["value"] == 2.0
+    # with 4 streams saturating a 2-thread pool, nested morsel dispatch
+    # must have run inline (the deadlock-free path)
+    assert snapshot.get("engine.pool.inline_morsels", {}).get("value", 0) > 0
+
+    # plan-quality aggregator folded every query's operators exactly once
+    quality = run.db.plan_quality
+    assert quality is not None
+    summary = quality.as_dict()
+    assert summary["operators_seen"] > 0
+    assert summary["misestimates"] <= summary["operators_seen"]
