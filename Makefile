@@ -1,11 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test determinism bench bench-smoke bench-compare qualification difftest faultcheck parallelcheck
+.PHONY: check test determinism bench bench-smoke bench-compare qualification difftest faultcheck parallelcheck obscheck
 
 ## fuzz seed for `make difftest`; CI rotates it per run and logs the
 ## value so any failure replays with DIFFTEST_SEED=<logged seed>
 DIFFTEST_SEED ?= 19620718
+
+## noise threshold for `make bench-compare` (fraction: 0.25 flags
+## run-over-run slowdowns beyond 1.25x)
+BENCH_COMPARE_THRESHOLD ?= 0.25
 
 ## tier-1 suite + parallel-generation determinism smoke
 check: test determinism
@@ -33,7 +37,16 @@ bench-smoke:
 ## compare the latest two benchmark runs in history.jsonl; exits
 ## nonzero when any bench regressed beyond the noise threshold
 bench-compare:
-	$(PYTHON) -m repro.cli obs diff --history benchmarks/results/history.jsonl
+	$(PYTHON) -m repro.cli obs diff --history benchmarks/results/history.jsonl \
+	    --threshold $(BENCH_COMPARE_THRESHOLD)
+
+## telemetry pipeline: the <2% disabled-path overhead certificate plus
+## an end-to-end smoke — a sf=0.004 workers=2 power run exporting a
+## validated Chrome trace (with >= 2 pool-worker lanes) and the
+## self-contained HTML dashboard
+obscheck:
+	$(PYTHON) benchmarks/check_overhead.py
+	$(PYTHON) scripts/obs_smoke.py
 
 ## regenerate the pinned qualification answer set (after intentional
 ## behavioral changes only)

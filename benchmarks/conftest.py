@@ -69,9 +69,11 @@ def pytest_sessionfinish(session, exitstatus):
     out_dir = os.environ.get(
         "BENCH_JSON_DIR", os.path.join(os.path.dirname(__file__), "results")
     )
+    from repro.obs import latency_percentiles
+
     by_module: dict[str, list[dict]] = {}
     for bench in bench_session.benchmarks:
-        entry = bench.as_dict(include_data=False, stats=True)
+        entry = bench.as_dict(include_data=True, stats=True)
         stats = entry.get("stats") or {}
         record = {
             "test": entry.get("name"),
@@ -83,6 +85,15 @@ def pytest_sessionfinish(session, exitstatus):
             "max": stats.get("max"),
             "ops": stats.get("ops"),
         }
+        rounds_data = stats.get("data") or []
+        if rounds_data:
+            # per-round latency percentiles, same definition as the
+            # runner's report tables (log2-bucket histogram quantiles)
+            record["percentiles"] = {
+                k: v
+                for k, v in latency_percentiles(rounds_data).items()
+                if k.startswith("p")
+            }
         if entry.get("extra_info"):
             record["extra_info"] = entry["extra_info"]
         by_module.setdefault(_module_result_name(bench.fullname), []).append(

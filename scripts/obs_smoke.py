@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""End-to-end telemetry smoke: the `make obscheck` / CI gate.
+
+Runs one small power run (sf=0.004, streams=1, workers=2 — big enough
+that morsels actually dispatch to the pool), exports it through every
+telemetry surface, and fails loudly when any artifact is malformed:
+
+* `obs trace` must emit structurally valid Chrome-trace JSON whose
+  lane metadata names at least two pool workers (the acceptance bar
+  for a workers=2 run);
+* `obs report` must render a self-contained HTML dashboard containing
+  the timeline, latency-percentile and parallelism sections;
+* the telemetry bundle itself must carry latency percentiles and a
+  non-empty parallelism profile.
+
+Runs from a checkout (`python scripts/obs_smoke.py`); exits nonzero on
+the first failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+SF = 0.004
+WORKERS = 2
+
+
+def fail(message: str) -> None:
+    print(f"obs_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    from repro.cli import main as cli
+    from repro.obs import validate_chrome_trace, worker_lanes
+
+    with tempfile.TemporaryDirectory(prefix="obs_smoke_") as tmp:
+        bundle_path = os.path.join(tmp, "telemetry.json")
+        trace_path = os.path.join(tmp, "trace.json")
+        html_path = os.path.join(tmp, "report.html")
+
+        print(f"obs_smoke: power run sf={SF} workers={WORKERS} ...")
+        rc = cli([
+            "run", "--scale", str(SF), "--streams", "1",
+            "--workers", str(WORKERS), "--metrics", "--plan-quality",
+            "--telemetry", bundle_path,
+        ])
+        if rc != 0:
+            fail(f"benchmark run exited {rc}")
+
+        with open(bundle_path, encoding="utf-8") as handle:
+            bundle = json.load(handle)
+        latency = (bundle.get("latency") or {}).get("all") or {}
+        if not latency.get("count"):
+            fail("telemetry bundle has no latency percentiles")
+        for key in ("p50", "p90", "p95", "p99"):
+            if key not in latency:
+                fail(f"latency percentiles missing {key}")
+        parallelism = bundle.get("parallelism") or {}
+        if not parallelism.get("morsels"):
+            fail("telemetry bundle has an empty parallelism profile")
+
+        rc = cli(["obs", "trace", "--input", bundle_path,
+                  "--out", trace_path])
+        if rc != 0:
+            fail(f"obs trace exited {rc}")
+        with open(trace_path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        errors = validate_chrome_trace(doc)
+        if errors:
+            fail(f"chrome trace invalid: {errors[:5]}")
+        lanes = worker_lanes(doc)
+        if len(lanes) < 2:
+            fail(f"expected >= 2 pool-worker lanes, got {lanes}")
+
+        rc = cli(["obs", "report", "--input", bundle_path,
+                  "--out", html_path])
+        if rc != 0:
+            fail(f"obs report exited {rc}")
+        with open(html_path, encoding="utf-8") as handle:
+            html = handle.read()
+        if not html.startswith("<!DOCTYPE html>"):
+            fail("dashboard is not an HTML document")
+        for needle in ("Span timeline", "latency percentiles",
+                       "Parallelism profile", "</html>"):
+            if needle not in html:
+                fail(f"dashboard missing section {needle!r}")
+        if "<script" in html or "http://" in html or "https://" in html:
+            fail("dashboard is not self-contained (script or external ref)")
+
+        print(f"obs_smoke: PASS — {len(doc['traceEvents'])} trace events, "
+              f"lanes {lanes}, dashboard {len(html):,} bytes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

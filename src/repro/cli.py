@@ -13,7 +13,9 @@ Subcommands mirror the original kit's tools:
   machine-readable plan tree);
 * ``obs``     — observability tooling: ``obs diff`` compares the
   latest two benchmark runs in ``history.jsonl`` and exits nonzero on
-  regressions beyond the noise threshold;
+  regressions beyond the noise threshold; ``obs trace`` exports a
+  Chrome-trace/Perfetto span timeline; ``obs report`` renders the
+  self-contained HTML observability dashboard;
 * ``difftest`` — differential correctness run against the SQLite
   oracle: the 99 qualification queries plus a seeded query fuzzer;
   disagreements are delta-shrunk into ``tests/difftest_corpus/``;
@@ -122,6 +124,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             delay_rate=args.fault_delay_rate,
             max_delay_s=args.fault_max_delay,
         )
+    if args.sample_metrics and not args.metrics:
+        # sampling implies a live registry — empty samples help nobody
+        from .obs import MetricsRegistry, set_registry
+
+        set_registry(MetricsRegistry(enabled=True))
     bench = Benchmark(
         scale_factor=args.scale,
         streams=args.streams,
@@ -136,6 +143,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         resume=args.resume,
         faults=faults,
         workers=args.workers,
+        sample_metrics=bool(args.sample_metrics),
+        sample_interval_s=args.sample_interval,
+        sample_metrics_path=args.sample_metrics,
     )
     summary = bench.run()
     if args.full:
@@ -162,6 +172,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         print("metrics registry snapshot")
         print(get_registry().to_json())
+    if args.telemetry:
+        import json
+
+        from .obs import get_registry
+        from .runner import telemetry_bundle
+
+        metrics = (get_registry().snapshot()
+                   if get_registry().enabled else None)
+        with open(args.telemetry, "w", encoding="utf-8") as handle:
+            json.dump(telemetry_bundle(summary.result, metrics=metrics),
+                      handle, indent=2)
+        print(f"telemetry bundle written to {args.telemetry}")
+    if args.sample_metrics:
+        print(f"metrics time-series written to {args.sample_metrics} "
+              f"({len(summary.result.metrics_series)} samples)")
     return 0 if summary.result.compliant else 1
 
 
@@ -197,14 +222,74 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _collect_telemetry(args: argparse.Namespace) -> dict:
+    """The telemetry bundle ``obs trace`` / ``obs report`` render:
+    loaded from ``--input`` when given, else measured fresh by a power
+    run (streams=1) with the tracer, registry and pool profiler on."""
+    import json
+
+    if args.input:
+        with open(args.input, encoding="utf-8") as handle:
+            return json.load(handle)
+    from .obs import MetricsRegistry, get_registry, set_registry
+    from .runner import telemetry_bundle
+    from .runner.execution import BenchmarkConfig, run_benchmark
+
+    print(f"running sf={args.scale} streams={args.streams} "
+          f"workers={args.workers} to collect telemetry ...", file=sys.stderr)
+    previous = set_registry(MetricsRegistry(enabled=True))
+    try:
+        config = BenchmarkConfig(
+            scale_factor=args.scale,
+            streams=args.streams,
+            seed=args.seed,
+            workers=args.workers,
+            plan_quality=True,
+        )
+        result, _ = run_benchmark(config)
+        return telemetry_bundle(result, metrics=get_registry().snapshot())
+    finally:
+        set_registry(previous)
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from .obs import compare_latest, load_history
+    import json
 
     if args.action == "diff":
+        from .obs import compare_latest, load_history
+
         history = load_history(args.history)
         report = compare_latest(history, threshold=args.threshold)
         print(report.render())
         return report.exit_code()
+    if args.action == "trace":
+        from .obs import to_chrome_trace, validate_chrome_trace, worker_lanes
+
+        telemetry = _collect_telemetry(args)
+        doc = to_chrome_trace(telemetry.get("trace") or [])
+        errors = validate_chrome_trace(doc)
+        if errors:
+            for error in errors[:10]:
+                print(f"obs trace: {error}", file=sys.stderr)
+            return 1
+        out = args.out or "trace.json"
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        lanes = worker_lanes(doc)
+        print(f"chrome trace written to {out} "
+              f"({len(doc['traceEvents'])} events, "
+              f"{len(lanes)} pool-worker lanes) — "
+              f"load it at ui.perfetto.dev")
+        return 0
+    if args.action == "report":
+        from .obs import render_html_report
+
+        telemetry = _collect_telemetry(args)
+        out = args.out or "obs_report.html"
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(render_html_report(telemetry))
+        print(f"observability dashboard written to {out}")
+        return 0
     print(f"obs: unknown action {args.action!r}", file=sys.stderr)
     return 2
 
@@ -367,6 +452,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="morsel-parallel worker threads shared by query"
                         " streams and operators (results are byte-"
                         "identical to serial; default: serial)")
+    p.add_argument("--telemetry", metavar="FILE", default=None,
+                   help="write the full telemetry bundle (trace,"
+                        " latency percentiles, parallelism profile,"
+                        " metrics) to FILE as JSON — the input to"
+                        " `obs trace` / `obs report`")
+    p.add_argument("--sample-metrics", metavar="FILE", default=None,
+                   help="sample the metrics registry on a background"
+                        " thread, appending one JSONL line per sample"
+                        " to FILE (implies --metrics registry)")
+    p.add_argument("--sample-interval", type=float, default=0.25,
+                   metavar="S", help="sampling interval in seconds"
+                                     " (default 0.25)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("explain",
@@ -395,14 +492,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("obs", help="observability tooling")
-    p.add_argument("action", choices=["diff"],
+    p.add_argument("action", choices=["diff", "trace", "report"],
                    help="'diff' compares the latest two benchmark runs"
-                        " per module in the history file")
+                        " in the history file; 'trace' exports a"
+                        " Chrome-trace/Perfetto timeline; 'report'"
+                        " renders the self-contained HTML dashboard")
     p.add_argument("--history", default="benchmarks/results/history.jsonl",
                    help="path to the benchmark history JSONL file")
     p.add_argument("--threshold", type=float, default=0.25,
                    help="relative noise threshold (default 0.25: flag"
                         " regressions slower than 1.25x)")
+    p.add_argument("--input", metavar="FILE", default=None,
+                   help="telemetry bundle from `run --telemetry` to"
+                        " render; without it, trace/report measure a"
+                        " fresh power run")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="output path (default trace.json /"
+                        " obs_report.html)")
+    p.add_argument("--scale", type=float, default=0.004,
+                   help="scale factor for the fresh measuring run")
+    p.add_argument("--seed", type=int, default=19620718)
+    p.add_argument("--streams", type=int, default=1)
+    p.add_argument("--workers", type=int, default=2,
+                   help="pool workers for the measuring run (worker"
+                        " lanes need >= 2)")
     p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser("audit", help="generate, load and audit a database")

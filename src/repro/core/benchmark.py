@@ -63,6 +63,9 @@ class Benchmark:
         resume: bool = False,
         faults=None,
         workers: Optional[int] = None,
+        sample_metrics: bool = False,
+        sample_interval_s: float = 0.25,
+        sample_metrics_path: Optional[str] = None,
     ):
         self.config = BenchmarkConfig(
             scale_factor=scale_factor,
@@ -79,6 +82,9 @@ class Benchmark:
             resume=resume,
             faults=faults,
             workers=workers,
+            sample_metrics=sample_metrics,
+            sample_interval_s=sample_interval_s,
+            sample_metrics_path=sample_metrics_path,
         )
         self._run: Optional[BenchmarkRun] = None
         self._summary: Optional[RunSummary] = None

@@ -244,6 +244,11 @@ class Database:
         else:  # pragma: no cover
             raise EngineError(f"unsupported statement {type(statement).__name__}")
         result.elapsed = time.perf_counter() - start
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram("engine.statement_seconds").observe(
+                result.elapsed
+            )
         return result
 
     def explain(self, sql: str) -> str:

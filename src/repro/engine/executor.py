@@ -58,6 +58,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..obs import ExecStatsCollector, get_registry
+from ..obs.profile import MorselProfile
 from . import plan as P
 from .batch import Batch
 from .errors import ExecutionError, PlanningError
@@ -215,23 +216,41 @@ class Executor:
                 return None
         return self._pool
 
-    def _map_morsels(self, fn, items: list, pool: WorkerPool | None) -> list:
+    def _morsel_profile(self, pool: WorkerPool | None) -> MorselProfile | None:
+        """A fresh per-dispatch profile when someone will read it (a
+        stats collector is installed and the pool is live), else
+        ``None`` so the dispatch path stays unobserved."""
+        if pool is not None and self._collector is not None:
+            return MorselProfile()
+        return None
+
+    def _map_morsels(self, fn, items: list, pool: WorkerPool | None,
+                     label: str = "task",
+                     profile: MorselProfile | None = None) -> list:
         """Run ``fn(item, ctx)`` over every item — fanned out through
         ``pool`` when given, else a serial loop with a pass-through
         :class:`WorkerContext`.  Results arrive in item order either
         way, which is what keeps parallel output byte-identical."""
         if pool is not None and len(items) > 1:
-            return pool.map_morsels(fn, items, self._resource)
+            return pool.map_morsels(fn, items, self._resource,
+                                    label=label, profile=profile)
         ctx = WorkerContext(self._resource, 0)
         return [fn(item, ctx) for item in items]
 
     def _note_parallel(self, node: P.PlanNode, pool: WorkerPool | None,
-                       morsels: int) -> None:
+                       morsels: int,
+                       profile: MorselProfile | None = None) -> None:
         """Record one operator's fan-out: ``morsels=`` sums across
-        executions, ``workers=`` keeps the widest pool used."""
+        executions, ``workers=`` keeps the widest pool used; with a
+        per-dispatch profile, ``wait=`` (total queue wait, summing) and
+        ``skew=`` (max/median morsel run time, max semantics) land in
+        EXPLAIN ANALYZE too."""
         if self._collector is not None and pool is not None:
             self._collector.add(node, morsels=morsels)
             self._collector.note_max(node, workers=pool.workers)
+            if profile is not None and profile.morsels:
+                self._collector.add(node, wait_ms=profile.total_wait() * 1000)
+                self._collector.note_max(node, skew=profile.skew())
 
     def _filter_mask(self, node: P.PlanNode, batch: Batch,
                      predicate: A.Expr) -> np.ndarray:
@@ -250,8 +269,10 @@ class Executor:
             wctx.check("Filter(morsel)")
             return evaluate(predicate, batch.slice(*rng), ctx).is_true()
 
-        masks = pool.map_morsels(eval_morsel, ranges, self._resource)
-        self._note_parallel(node, pool, len(ranges))
+        profile = self._morsel_profile(pool)
+        masks = pool.map_morsels(eval_morsel, ranges, self._resource,
+                                 label="Filter", profile=profile)
+        self._note_parallel(node, pool, len(ranges), profile)
         return np.concatenate(masks)
 
     # -- entry -------------------------------------------------------------
@@ -528,7 +549,10 @@ class Executor:
             path = wctx.spill_path()
             return path, write_spill(path, arrays)
 
-        written = self._map_morsels(write_partition, list(range(parts)), pool)
+        profile = self._morsel_profile(pool)
+        written = self._map_morsels(write_partition, list(range(parts)), pool,
+                                    label="GraceJoin(partition)",
+                                    profile=profile)
         written = [w for w in written if w is not None]
         paths = [path for path, _ in written]
         spilled = sum(nbytes for _, nbytes in written)
@@ -554,10 +578,11 @@ class Executor:
                 li_local, ri_local = self._tuple_key_pairs(sub_l, sub_r)
             return lsel[li_local], rsel[ri_local]
 
-        probed = self._map_morsels(probe_partition, paths, pool)
+        probed = self._map_morsels(probe_partition, paths, pool,
+                                   label="GraceJoin(probe)", profile=profile)
         li_parts = [li_local for li_local, _ in probed]
         ri_parts = [ri_local for _, ri_local in probed]
-        self._note_parallel(stats_node, pool, parts + len(paths))
+        self._note_parallel(stats_node, pool, parts + len(paths), profile)
         if li_parts:
             li = np.concatenate(li_parts)
             ri = np.concatenate(ri_parts)
@@ -598,9 +623,12 @@ class Executor:
                 lvalid[start:stop], lkeys[start:stop],
                 rkeys_sorted, rrows_sorted,
             )
-        parts = pool.map_morsels(probe_morsel, ranges, self._resource)
+        profile = (self._morsel_profile(pool)
+                   if stats_node is not None else None)
+        parts = pool.map_morsels(probe_morsel, ranges, self._resource,
+                                 label="HashJoin(probe)", profile=profile)
         if stats_node is not None:
-            self._note_parallel(stats_node, pool, len(ranges))
+            self._note_parallel(stats_node, pool, len(ranges), profile)
         return (
             np.concatenate([p[0] for p in parts]),
             np.concatenate([p[1] for p in parts]),
@@ -779,11 +807,14 @@ class Executor:
             sub_groups = [evaluate(g, sub, self._ctx) for g, _ in node.group_items]
             return nbytes, self._aggregate_pass_memory(node, sub, sub_groups, active)
 
-        results = self._map_morsels(run_partition, selections, pool)
+        profile = self._morsel_profile(pool)
+        results = self._map_morsels(run_partition, selections, pool,
+                                    label="Aggregate(partition)",
+                                    profile=profile)
         outs = [out for _, out in results]
         if spill:
             self._note_spill(node, parts, sum(nbytes for nbytes, _ in results))
-        self._note_parallel(node, pool, len(selections))
+        self._note_parallel(node, pool, len(selections), profile)
         if not outs:
             return self._aggregate_pass_memory(node, child, group_vecs, active)
         result = Batch.concat(outs)
@@ -1073,9 +1104,12 @@ class Executor:
             wctx.check("Sort(key)")
             return Executor._sort_codes(evaluate(key.expr, batch, ctx), key)
 
-        codes = self._map_morsels(code_key, list(keys), pool)
+        profile = (self._morsel_profile(pool)
+                   if stats_node is not None else None)
+        codes = self._map_morsels(code_key, list(keys), pool,
+                                  label="Sort(encode)", profile=profile)
         if stats_node is not None:
-            self._note_parallel(stats_node, pool, len(keys))
+            self._note_parallel(stats_node, pool, len(keys), profile)
         return codes
 
     @staticmethod
@@ -1145,10 +1179,12 @@ class Executor:
             return path, os.path.getsize(path)
 
         starts = list(range(0, n, run_len))
-        runs_written = self._map_morsels(sort_run, starts, pool)
+        profile = self._morsel_profile(pool)
+        runs_written = self._map_morsels(sort_run, starts, pool,
+                                         label="Sort(run)", profile=profile)
         paths = [path for path, _ in runs_written]
         spilled = sum(nbytes for _, nbytes in runs_written)
-        self._note_parallel(node, pool, len(starts))
+        self._note_parallel(node, pool, len(starts), profile)
         runs = [np.load(path, mmap_mode="r") for path in paths]
         order = np.empty(n, dtype=np.int64)
         for i, row in enumerate(heapq.merge(*(map(tuple, run) for run in runs))):

@@ -39,11 +39,14 @@ Pool gauges land in the metrics registry when it is enabled:
 
 from __future__ import annotations
 
+import itertools
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Optional, Sequence
 
-from ..obs import get_registry
+from ..obs import get_registry, get_tracer
+from ..obs.profile import MorselProfile, get_profiler
 
 #: fixed morsel size for row-range cuts (rows per morsel)
 MORSEL_ROWS = 16_384
@@ -125,9 +128,9 @@ class WorkerContext:
             self.peak_bytes = nbytes
 
 
-def _mark_worker() -> None:
-    """Thread-pool initializer: tag the thread as a pool worker."""
-    _WORKER_LOCAL.worker_id = threading.get_ident()
+def worker_index() -> int:
+    """The calling pool thread's 0-based worker index (0 off-pool)."""
+    return getattr(_WORKER_LOCAL, "worker_index", 0)
 
 
 class WorkerPool:
@@ -143,16 +146,23 @@ class WorkerPool:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self._worker_ids = itertools.count()
         self._executor = ThreadPoolExecutor(
             max_workers=workers,
             thread_name_prefix="tpcds-morsel",
-            initializer=_mark_worker,
+            initializer=self._mark_worker,
         )
         self._pending = 0
         self._pending_lock = threading.Lock()
         registry = get_registry()
         if registry.enabled:
             registry.gauge("engine.pool.workers").set(float(workers))
+
+    def _mark_worker(self) -> None:
+        """Thread-pool initializer: tag the thread as a pool worker and
+        assign its stable 0-based index (the profiler's lane id)."""
+        _WORKER_LOCAL.worker_id = threading.get_ident()
+        _WORKER_LOCAL.worker_index = next(self._worker_ids)
 
     # -- dispatch ----------------------------------------------------------
 
@@ -167,6 +177,24 @@ class WorkerPool:
             except BaseException as exc:  # noqa: BLE001 — future carries it
                 future.set_exception(exc)
             return future
+        profiler = get_profiler()
+        if profiler.enabled:
+            # stream-level tasks count toward pool occupancy too:
+            # in a throughput run the streams saturate the pool and
+            # every morsel runs inline, so without this the profiler
+            # would see an idle pool doing all the work
+            profiler.note_pool(self.workers)
+            submit_t = time.perf_counter()
+
+            def stream_task():
+                start = time.perf_counter()
+                result = fn(*args, **kwargs)
+                run_s = time.perf_counter() - start
+                profiler.note("stream", worker_index(), time.time() - run_s,
+                              max(start - submit_t, 0.0), run_s)
+                return result
+
+            return self._executor.submit(stream_task)
         return self._executor.submit(fn, *args, **kwargs)
 
     def map_morsels(
@@ -174,6 +202,8 @@ class WorkerPool:
         fn: Callable,
         items: Sequence,
         resource=None,
+        label: str = "task",
+        profile: Optional[MorselProfile] = None,
     ) -> list:
         """Run ``fn(item, ctx)`` for every item; results in item order.
 
@@ -181,6 +211,13 @@ class WorkerPool:
         task (``resource`` may be ``None``).  Raises the exception of
         the lowest-indexed failing morsel, after all tasks settled —
         matching what a serial left-to-right loop would raise first.
+
+        ``label`` names the operator in profiling output; ``profile``
+        (a :class:`~repro.obs.profile.MorselProfile`) collects this
+        dispatch's per-morsel queue-wait and run times for the caller
+        (EXPLAIN ANALYZE's ``skew=`` / ``wait=``).  When the run-wide
+        profiler, tracer and registry are all disabled and no profile
+        is passed, dispatch is exactly the bare submit loop.
         """
         items = list(items)
         registry = get_registry()
@@ -200,10 +237,28 @@ class WorkerPool:
                 registry.gauge("engine.pool.max_queue_depth").set_max(
                     float(self._pending)
                 )
-        futures = [
-            self._executor.submit(fn, item, WorkerContext(resource, index))
-            for index, item in enumerate(items)
-        ]
+        profiler = get_profiler()
+        tracer = get_tracer()
+        if profiler.enabled or tracer.enabled or registry.enabled \
+                or profile is not None:
+            task = self._instrumented(fn, label, profile)
+        else:
+            task = None
+        if profiler.enabled:
+            profiler.note_pool(self.workers)
+        if task is not None:
+            futures = [
+                self._executor.submit(
+                    task, item, WorkerContext(resource, index),
+                    time.perf_counter(), index,
+                )
+                for index, item in enumerate(items)
+            ]
+        else:
+            futures = [
+                self._executor.submit(fn, item, WorkerContext(resource, index))
+                for index, item in enumerate(items)
+            ]
         results = []
         first_error: Optional[BaseException] = None
         for future in futures:
@@ -216,9 +271,46 @@ class WorkerPool:
         if registry.enabled:
             with self._pending_lock:
                 self._pending -= len(items)
+            if profiler.enabled:
+                registry.gauge("engine.pool.occupancy").set(
+                    profiler.mean_occupancy()
+                )
         if first_error is not None:
             raise first_error
         return results
+
+    def _instrumented(self, fn: Callable, label: str,
+                      profile: Optional[MorselProfile]) -> Callable:
+        """Wrap ``fn`` to measure queue wait and run time per morsel,
+        feeding whichever sinks are live: the run-wide profiler, the
+        caller's :class:`MorselProfile`, the tracer (one
+        ``morsel:<label>`` span per task) and the registry's
+        ``engine.pool.queue_wait`` histogram."""
+        profiler = get_profiler()
+        tracer = get_tracer()
+        registry = get_registry()
+
+        def task(item, ctx, submit_t, index):
+            start = time.perf_counter()
+            wait_s = max(start - submit_t, 0.0)
+            worker = worker_index()
+            if tracer.enabled:
+                with tracer.span(f"morsel:{label}", worker=worker,
+                                 morsel=index):
+                    result = fn(item, ctx)
+            else:
+                result = fn(item, ctx)
+            run_s = time.perf_counter() - start
+            if profiler.enabled:
+                profiler.note(label, worker, time.time() - run_s,
+                              wait_s, run_s)
+            if profile is not None:
+                profile.note(worker, wait_s, run_s)
+            if registry.enabled:
+                registry.histogram("engine.pool.queue_wait").observe(wait_s)
+            return result
+
+        return task
 
     # -- lifecycle ---------------------------------------------------------
 

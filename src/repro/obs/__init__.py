@@ -22,6 +22,13 @@ disabled (the default):
 * :mod:`repro.obs.regress` — benchmark regression tracking: appends
   bench results to ``history.jsonl`` keyed by git SHA and diffs the
   latest two runs under a noise threshold (``tpcds-py obs diff``).
+* :mod:`repro.obs.telemetry` — Chrome-trace/Perfetto export of the
+  span timeline, shared latency-percentile math, and the background
+  :class:`MetricsSampler` that gives registry metrics a time axis.
+* :mod:`repro.obs.profile` — worker-pool profiling: per-morsel queue
+  wait and run time, per-worker occupancy, per-operator skew.
+* :mod:`repro.obs.report_html` — the self-contained HTML dashboard
+  rendered by ``tpcds-py obs report``.
 
 The global tracer and registry start *disabled*: every instrumentation
 site is guarded by a single attribute check, so a run that never turns
@@ -40,6 +47,14 @@ from .exec_stats import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry, set_registry
 from .plan_quality import OperatorQuality, PlanQualityAggregator, collect_plan_quality
+from .profile import (
+    NULL_PROFILER,
+    MorselProfile,
+    PoolProfiler,
+    get_profiler,
+    set_profiler,
+    skew_ratio,
+)
 from .regress import (
     BenchDelta,
     ComparisonReport,
@@ -47,6 +62,15 @@ from .regress import (
     compare_latest,
     git_sha,
     load_history,
+)
+from .report_html import render_html_report
+from .telemetry import (
+    PERCENTILES,
+    MetricsSampler,
+    latency_percentiles,
+    to_chrome_trace,
+    validate_chrome_trace,
+    worker_lanes,
 )
 from .tracing import NULL_TRACER, Span, Tracer, get_tracer, set_tracer
 
@@ -78,4 +102,17 @@ __all__ = [
     "compare_latest",
     "git_sha",
     "load_history",
+    "PERCENTILES",
+    "MetricsSampler",
+    "latency_percentiles",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "worker_lanes",
+    "MorselProfile",
+    "PoolProfiler",
+    "NULL_PROFILER",
+    "get_profiler",
+    "set_profiler",
+    "skew_ratio",
+    "render_html_report",
 ]

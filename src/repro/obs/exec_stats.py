@@ -155,6 +155,8 @@ def _format_extra(extra: dict) -> str:
         value = extra[key]
         if key == "mem_bytes":
             parts.append(f"mem={format_bytes(value)}")
+        elif key == "wait_ms":
+            parts.append(f"wait={value:.3g}ms")
         elif isinstance(value, float) and not value.is_integer():
             parts.append(f"{key}={value:.3g}")
         else:

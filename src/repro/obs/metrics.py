@@ -127,15 +127,21 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Approximate quantile: the upper edge of the bucket holding
-        the q-th observation (0 when empty)."""
+        the q-th observation (0 when empty).  The edges are exact:
+        ``q <= 0`` returns the smallest observation and ``q >= 1`` the
+        largest, so percentile tables never overshoot the data range."""
         if not self.count:
             return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
         target = q * self.count
         seen = 0
         for index, n in enumerate(self.buckets):
             seen += n
             if seen >= target:
-                return float(2.0 ** (index - self.OFFSET))
+                return min(float(2.0 ** (index - self.OFFSET)), self.max)
         return self.max
 
     def as_dict(self) -> dict:
@@ -148,7 +154,9 @@ class Histogram:
             "max": self.max if self.count else None,
             "mean": self.mean(),
             "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
             "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": {str(i): n for i, n in enumerate(self.buckets) if n},
         }
 

@@ -1,0 +1,225 @@
+"""Worker-pool profiling: queue wait, occupancy, and morsel skew.
+
+Two granularities over the same measurements:
+
+* :class:`MorselProfile` — one operator dispatch's per-morsel queue
+  wait and run time.  The executor hands one to
+  ``WorkerPool.map_morsels`` when a stats collector is live, then
+  reads ``skew`` (max/median morsel run time — the load-imbalance
+  ratio) and total wait off it for EXPLAIN ANALYZE's ``skew=`` /
+  ``wait=`` counters.
+* :class:`PoolProfiler` — the run-wide aggregation the benchmark
+  installs (``get_profiler`` / ``set_profiler`` mirror the tracer and
+  registry globals, disabled by default).  The pool feeds it every
+  dispatched morsel; it keeps per-worker busy time (occupancy),
+  per-operator skew statistics, and the raw records a utilization
+  timeline is binned from.  ``as_dict()`` is the "Parallelism profile"
+  section of the disclosure report and the HTML dashboard.
+
+The disabled default is a no-op guarded by one attribute check, so the
+pool's hot dispatch path pays nothing when nobody is profiling.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+
+
+def skew_ratio(run_times: list[float]) -> float:
+    """Load imbalance of one fan-out: max over median morsel run time
+    (1.0 = perfectly balanced; < 2 morsels can't be skewed)."""
+    if len(run_times) < 2:
+        return 1.0
+    median = statistics.median(run_times)
+    if median <= 0.0:
+        return 1.0
+    return max(run_times) / median
+
+
+class MorselProfile:
+    """Per-morsel measurements of a single operator dispatch."""
+
+    __slots__ = ("waits", "runs", "workers", "_lock")
+
+    def __init__(self):
+        self.waits: list[float] = []
+        self.runs: list[float] = []
+        self.workers: set[int] = set()
+        self._lock = threading.Lock()
+
+    def note(self, worker: int, wait_s: float, run_s: float) -> None:
+        """Record one finished morsel (called from pool workers)."""
+        with self._lock:
+            self.waits.append(wait_s)
+            self.runs.append(run_s)
+            self.workers.add(worker)
+
+    @property
+    def morsels(self) -> int:
+        return len(self.runs)
+
+    def total_wait(self) -> float:
+        return sum(self.waits)
+
+    def skew(self) -> float:
+        return skew_ratio(self.runs)
+
+
+class PoolProfiler:
+    """Run-wide pool telemetry: occupancy, queue wait, operator skew.
+
+    Thread-safe; every mutation takes one short lock.  Records are the
+    raw material: ``(label, worker, start_wall, wait_s, run_s)`` per
+    dispatched morsel, aggregated on demand.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self.records: list[tuple[str, int, float, float, float]] = []
+        #: pool capacity (set by the pool on first dispatch; 0 = unknown)
+        self.pool_workers = 0
+
+    def note(self, label: str, worker: int, start_wall: float,
+             wait_s: float, run_s: float) -> None:
+        """Record one finished morsel task."""
+        with self._lock:
+            self.records.append((label, worker, start_wall, wait_s, run_s))
+
+    def note_pool(self, workers: int) -> None:
+        """Record the capacity of the pool feeding this profiler."""
+        with self._lock:
+            if workers > self.pool_workers:
+                self.pool_workers = workers
+
+    # -- aggregations ------------------------------------------------------
+
+    def window(self) -> tuple[float, float]:
+        """(first morsel start, last morsel end) in wall-clock seconds."""
+        with self._lock:
+            records = list(self.records)
+        if not records:
+            now = time.time()
+            return (now, now)
+        start = min(r[2] for r in records)
+        end = max(r[2] + r[4] for r in records)
+        return (start, end)
+
+    def worker_occupancy(self) -> dict[int, dict]:
+        """Per-worker busy seconds, morsel count and busy fraction of
+        the profiled window."""
+        with self._lock:
+            records = list(self.records)
+        start, end = self.window()
+        span = max(end - start, 1e-9)
+        out: dict[int, dict] = {}
+        for _, worker, _, _, run_s in records:
+            slot = out.setdefault(worker, {"busy_s": 0.0, "morsels": 0})
+            slot["busy_s"] += run_s
+            slot["morsels"] += 1
+        for slot in out.values():
+            slot["occupancy"] = min(slot["busy_s"] / span, 1.0)
+        return out
+
+    def mean_occupancy(self) -> float:
+        """Mean busy fraction across workers (the pool capacity when
+        known, else the workers actually seen)."""
+        per_worker = self.worker_occupancy()
+        if not per_worker:
+            return 0.0
+        n = max(self.pool_workers, len(per_worker))
+        return sum(s["occupancy"] for s in per_worker.values()) / n
+
+    def operator_profile(self) -> list[dict]:
+        """Per-operator skew statistics, worst skew first."""
+        by_label: dict[str, dict] = {}
+        with self._lock:
+            records = list(self.records)
+        runs: dict[str, list[float]] = {}
+        for label, _, _, wait_s, run_s in records:
+            slot = by_label.setdefault(
+                label, {"operator": label, "morsels": 0,
+                        "run_s": 0.0, "wait_s": 0.0}
+            )
+            slot["morsels"] += 1
+            slot["run_s"] += run_s
+            slot["wait_s"] += wait_s
+            runs.setdefault(label, []).append(run_s)
+        for label, slot in by_label.items():
+            times = runs[label]
+            slot["max_run_s"] = max(times)
+            slot["median_run_s"] = statistics.median(times)
+            slot["skew"] = skew_ratio(times)
+        return sorted(by_label.values(), key=lambda s: -s["skew"])
+
+    def utilization_timeline(self, bins: int = 60) -> list[float]:
+        """Pool busy fraction per time bin over the profiled window —
+        the sparkline series (0.0 idle .. 1.0 all workers busy)."""
+        with self._lock:
+            records = list(self.records)
+        if not records:
+            return []
+        start, end = self.window()
+        span = max(end - start, 1e-9)
+        width = span / bins
+        workers = max(self.pool_workers,
+                      len({r[1] for r in records}), 1)
+        busy = [0.0] * bins
+        for _, _, t0, _, run_s in records:
+            t1 = t0 + run_s
+            first = min(int((t0 - start) / width), bins - 1)
+            last = min(int((t1 - start) / width), bins - 1)
+            for b in range(first, last + 1):
+                bin_start = start + b * width
+                bin_end = bin_start + width
+                busy[b] += max(0.0, min(t1, bin_end) - max(t0, bin_start))
+        return [min(b / (width * workers), 1.0) for b in busy]
+
+    def as_dict(self) -> dict:
+        """The "Parallelism profile" payload: window, per-worker
+        occupancy, per-operator skew table, utilization timeline."""
+        start, end = self.window()
+        per_worker = self.worker_occupancy()
+        with self._lock:
+            records = list(self.records)
+        return {
+            "pool_workers": max(self.pool_workers, len(per_worker)),
+            "morsels": len(records),
+            "window_s": max(end - start, 0.0),
+            "queue_wait_s": sum(r[3] for r in records),
+            "mean_occupancy": self.mean_occupancy(),
+            "workers": {
+                str(worker): stats
+                for worker, stats in sorted(per_worker.items())
+            },
+            "operators": self.operator_profile(),
+            "utilization": self.utilization_timeline(),
+        }
+
+    def clear(self) -> None:
+        """Drop every record (fresh runs, tests)."""
+        with self._lock:
+            self.records.clear()
+            self.pool_workers = 0
+
+
+#: shared always-disabled profiler for unguarded call sites
+NULL_PROFILER = PoolProfiler(enabled=False)
+
+#: the process-wide profiler; disabled until a run opts in
+_GLOBAL = NULL_PROFILER
+
+
+def get_profiler() -> PoolProfiler:
+    """The process-wide pool profiler (disabled by default)."""
+    return _GLOBAL
+
+
+def set_profiler(profiler: PoolProfiler) -> PoolProfiler:
+    """Replace the process-wide profiler; returns the previous one."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = profiler
+    return previous

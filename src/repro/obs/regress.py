@@ -142,6 +142,30 @@ class ComparisonReport:
         """0 when no regression beats the noise threshold, 1 otherwise."""
         return 1 if self.regressions else 0
 
+    def as_dict(self) -> dict:
+        """JSON-ready comparison: the threshold that judged it rides
+        along, so an archived diff is interpretable on its own."""
+        return {
+            "threshold": self.threshold,
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+            "compared": len(self.deltas),
+            "deltas": [
+                {
+                    "module": d.module,
+                    "test": d.test,
+                    "old_mean": d.old_mean,
+                    "new_mean": d.new_mean,
+                    "ratio": d.ratio,
+                    "status": d.status,
+                    "old_sha": d.old_sha,
+                    "new_sha": d.new_sha,
+                }
+                for d in sorted(self.deltas, key=lambda d: -d.ratio)
+            ],
+            "skipped": list(self.skipped),
+        }
+
     def render(self) -> str:
         """The human-readable comparison report."""
         lines = [

@@ -1,0 +1,370 @@
+"""The self-contained HTML observability dashboard.
+
+:func:`render_html_report` turns one telemetry bundle (the dict
+``repro.runner.report.telemetry_bundle`` builds, also written by
+``tpcds-py run --telemetry``) into a single dependency-free HTML file:
+inline CSS, hand-written SVG, no scripts, no external fetches — it
+renders from ``file://`` on an air-gapped machine.
+
+Sections, each skipped cleanly when its data is absent:
+
+* headline stat tiles (QphDS, query count, compliance, workers)
+* the span timeline as SVG lanes — one lane per thread, so the
+  benchmark thread, every stream and every pool worker read as
+  parallel tracks (the same lanes the Chrome-trace export emits)
+* latency percentile tables (overall / per query run / per stream)
+* the worker-pool parallelism profile: occupancy per worker, a pool
+  utilization sparkline, and the per-operator skew table
+* plan quality: the worst cardinality misestimates of the run
+
+Colors follow the category of the mark, fixed, never cycled: phases
+are aqua, queries blue, morsels orange, everything else gray.  Both
+light and dark schemes are explicit steps of the same hues (selected
+via ``prefers-color-scheme``), text always wears text tokens, and
+every SVG mark carries a native ``<title>`` tooltip.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Optional
+
+#: categorical palette — fixed slot order (blue for queries, orange
+#: for morsels, aqua for phases, gray for everything else), one light
+#: and one dark step per hue, selected via ``prefers-color-scheme``
+_CSS = """
+:root {
+  --bg: #ffffff; --surface: #f6f7f9; --border: #e1e4e8;
+  --text: #1f2328; --text-2: #57606a; --text-3: #848d97;
+  --query: #2a78d6; --morsel: #eb6834; --phase: #1baf7a;
+  --other: #8a8f98;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --bg: #0e1116; --surface: #161b22; --border: #2d333b;
+    --text: #e6edf3; --text-2: #9da7b1; --text-3: #6e7781;
+    --query: #3987e5; --morsel: #d95926; --phase: #199e70;
+    --other: #6e737c;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--bg); color: var(--text);
+  font: 14px/1.5 -apple-system, "Segoe UI", Roboto, "Helvetica Neue",
+        Arial, sans-serif;
+}
+main { max-width: 980px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.sub { color: var(--text-2); margin: 0 0 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.tile {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 16px; min-width: 120px;
+}
+.tile .v { font-size: 22px; font-weight: 600; }
+.tile .k { font-size: 12px; color: var(--text-2); }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th, td { text-align: right; padding: 4px 10px;
+         border-bottom: 1px solid var(--border); }
+th { color: var(--text-2); font-weight: 500; }
+th:first-child, td:first-child { text-align: left; }
+figure { margin: 0; background: var(--surface);
+         border: 1px solid var(--border); border-radius: 8px;
+         padding: 12px; }
+.legend { display: flex; gap: 16px; font-size: 12px;
+          color: var(--text-2); margin: 6px 2px 0; }
+.legend .sw { display: inline-block; width: 10px; height: 10px;
+              border-radius: 2px; margin-right: 5px;
+              vertical-align: -1px; }
+svg text { fill: var(--text-2); font-size: 11px; }
+.note { color: var(--text-3); font-size: 12px; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt_s(seconds: float) -> str:
+    """Adaptive duration: ms below one second, seconds above."""
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _category(name: str) -> str:
+    head = name.split(":", 1)[0]
+    if head == "phase":
+        return "phase"
+    if head == "morsel":
+        return "morsel"
+    if head in ("query", "stream"):
+        return "query"
+    return "other"
+
+
+def _tiles(telemetry: dict) -> str:
+    summary = telemetry.get("summary") or {}
+    config = telemetry.get("config") or {}
+    tiles = []
+
+    def tile(value, key):
+        tiles.append(
+            f'<div class="tile"><div class="v">{_esc(value)}</div>'
+            f'<div class="k">{_esc(key)}</div></div>'
+        )
+
+    if "qphds" in summary:
+        tile(f"{summary['qphds']:,.1f}", "QphDS@SF")
+    if "queries" in summary:
+        tile(summary["queries"], "queries executed")
+    if "compliant" in summary:
+        tile("yes" if summary["compliant"] else "NO", "compliant")
+    if config.get("scale_factor") is not None:
+        tile(config["scale_factor"], "scale factor")
+    if config.get("streams") is not None:
+        tile(config["streams"], "streams")
+    if config.get("workers"):
+        tile(config["workers"], "pool workers")
+    parallelism = telemetry.get("parallelism") or {}
+    if parallelism.get("morsels"):
+        tile(f"{parallelism['mean_occupancy'] * 100:.0f}%", "pool occupancy")
+    if not tiles:
+        return ""
+    return '<div class="tiles">' + "".join(tiles) + "</div>"
+
+
+# -- timeline lanes ---------------------------------------------------------
+
+#: spans drawn per lane before the timeline truncates (keeps the file
+#: bounded; the note below the figure says what was dropped)
+_MAX_SPANS_PER_LANE = 400
+
+
+def _timeline(spans: list[dict]) -> str:
+    if not spans:
+        return ""
+    from .telemetry import _lane_name
+
+    by_thread: dict[int, list[dict]] = {}
+    for span in spans:
+        by_thread.setdefault(span.get("thread", 0), []).append(span)
+    # lane order: first span start per thread
+    lanes = sorted(
+        by_thread.items(),
+        key=lambda kv: min(s.get("start", 0.0) for s in kv[1]),
+    )
+    t0 = min(s.get("start", 0.0) for s in spans)
+    t1 = max(s.get("start", 0.0) + s.get("elapsed", 0.0) for s in spans)
+    window = max(t1 - t0, 1e-9)
+    label_w, plot_w, lane_h, bar_h = 130, 810, 24, 14
+    height = lane_h * len(lanes) + 22
+    parts = [
+        f'<svg viewBox="0 0 {label_w + plot_w} {height}" role="img" '
+        f'aria-label="span timeline" width="100%">'
+    ]
+    dropped = 0
+    for row, (_, lane_spans) in enumerate(lanes):
+        y = row * lane_h
+        name = _lane_name(lane_spans)
+        parts.append(
+            f'<text x="0" y="{y + bar_h}">{_esc(name)}</text>'
+        )
+        lane_spans = sorted(lane_spans, key=lambda s: -s.get("elapsed", 0.0))
+        dropped += max(len(lane_spans) - _MAX_SPANS_PER_LANE, 0)
+        for span in lane_spans[:_MAX_SPANS_PER_LANE]:
+            x = label_w + (span.get("start", 0.0) - t0) / window * plot_w
+            w = max(span.get("elapsed", 0.0) / window * plot_w, 1.0)
+            color = _category(span.get("name", ""))
+            title = (f"{span.get('name', '')} — "
+                     f"{_fmt_s(span.get('elapsed', 0.0))}")
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y + 3}" width="{w:.2f}" '
+                f'height="{bar_h}" rx="2" fill="var(--{color})" '
+                f'stroke="var(--surface)" stroke-width="1">'
+                f'<title>{_esc(title)}</title></rect>'
+            )
+    # time axis: start and end ticks only (recessive)
+    parts.append(
+        f'<text x="{label_w}" y="{height - 4}">0</text>'
+        f'<text x="{label_w + plot_w - 40}" y="{height - 4}">'
+        f'{_esc(_fmt_s(window))}</text>'
+    )
+    parts.append("</svg>")
+    legend = (
+        '<div class="legend">'
+        '<span><span class="sw" style="background:var(--phase)"></span>'
+        "phase</span>"
+        '<span><span class="sw" style="background:var(--query)"></span>'
+        "stream / query</span>"
+        '<span><span class="sw" style="background:var(--morsel)"></span>'
+        "morsel</span>"
+        '<span><span class="sw" style="background:var(--other)"></span>'
+        "other</span></div>"
+    )
+    note = ""
+    if dropped:
+        note = (f'<p class="note">longest {_MAX_SPANS_PER_LANE} spans shown '
+                f"per lane; {dropped} shorter spans not drawn</p>")
+    return ("<h2>Span timeline</h2><figure>" + "".join(parts) + legend
+            + "</figure>" + note)
+
+
+# -- latency percentiles ----------------------------------------------------
+
+_PCT_COLS = ("count", "mean", "p50", "p90", "p95", "p99", "max")
+
+
+def _percentile_row(scope: str, stats: dict) -> str:
+    cells = [f"<td>{_esc(scope)}</td>"]
+    for col in _PCT_COLS:
+        value = stats.get(col, 0)
+        cells.append(
+            f"<td>{int(value)}</td>" if col == "count"
+            else f"<td>{_esc(_fmt_s(float(value)))}</td>"
+        )
+    return "<tr>" + "".join(cells) + "</tr>"
+
+
+def _latency(latency: Optional[dict]) -> str:
+    if not latency:
+        return ""
+    header = ("<tr><th>scope</th>" +
+              "".join(f"<th>{c}</th>" for c in _PCT_COLS) + "</tr>")
+    rows = []
+    if latency.get("all"):
+        rows.append(_percentile_row("all queries", latency["all"]))
+    for run in ("qr1", "qr2"):
+        run_stats = latency.get(run) or {}
+        if run_stats.get("overall"):
+            rows.append(_percentile_row(f"query run {run[-1]}",
+                                        run_stats["overall"]))
+        for stream, stats in sorted((run_stats.get("streams") or {}).items()):
+            rows.append(_percentile_row(f"{run} stream {stream}", stats))
+    if not rows:
+        return ""
+    return ("<h2>Query latency percentiles</h2>"
+            "<table>" + header + "".join(rows) + "</table>")
+
+
+# -- parallelism profile ----------------------------------------------------
+
+def _sparkline(utilization: list[float]) -> str:
+    if not utilization:
+        return ""
+    w, h = 810, 48
+    step = w / max(len(utilization) - 1, 1)
+    points = " ".join(
+        f"{i * step:.1f},{h - u * (h - 4):.1f}"
+        for i, u in enumerate(utilization)
+    )
+    return (
+        f'<figure><svg viewBox="0 0 {w} {h + 14}" role="img" '
+        f'aria-label="pool utilization over time" width="100%">'
+        f'<polyline points="{points}" fill="none" stroke="var(--query)" '
+        f'stroke-width="2"><title>pool busy fraction over the run'
+        f"</title></polyline>"
+        f'<text x="0" y="{h + 12}">run start</text>'
+        f'<text x="{w - 52}" y="{h + 12}">run end</text>'
+        f"</svg></figure>"
+    )
+
+
+def _parallelism(parallelism: Optional[dict]) -> str:
+    if not parallelism or not parallelism.get("morsels"):
+        return ""
+    out = ["<h2>Parallelism profile</h2>"]
+    out.append(
+        f'<p class="sub">{parallelism["morsels"]} morsels over '
+        f'{parallelism["pool_workers"]} workers; mean occupancy '
+        f'{parallelism["mean_occupancy"] * 100:.0f}%, total queue wait '
+        f'{_esc(_fmt_s(parallelism.get("queue_wait_s", 0.0)))}</p>'
+    )
+    out.append(_sparkline(parallelism.get("utilization") or []))
+    workers = parallelism.get("workers") or {}
+    if workers:
+        rows = "".join(
+            f"<tr><td>worker {_esc(worker)}</td>"
+            f"<td>{stats['morsels']}</td>"
+            f"<td>{_esc(_fmt_s(stats['busy_s']))}</td>"
+            f"<td>{stats['occupancy'] * 100:.0f}%</td></tr>"
+            for worker, stats in sorted(workers.items(),
+                                        key=lambda kv: int(kv[0]))
+        )
+        out.append(
+            "<h2>Worker occupancy</h2><table><tr><th>worker</th>"
+            "<th>morsels</th><th>busy</th><th>occupancy</th></tr>"
+            + rows + "</table>"
+        )
+    operators = parallelism.get("operators") or []
+    if operators:
+        rows = "".join(
+            f"<tr><td>{_esc(op['operator'])}</td><td>{op['morsels']}</td>"
+            f"<td>{_esc(_fmt_s(op['run_s']))}</td>"
+            f"<td>{_esc(_fmt_s(op['wait_s']))}</td>"
+            f"<td>{op['skew']:.2f}×</td></tr>"
+            for op in operators
+        )
+        out.append(
+            "<h2>Operator skew (max/median morsel time)</h2>"
+            "<table><tr><th>operator</th><th>morsels</th><th>run</th>"
+            "<th>queue wait</th><th>skew</th></tr>" + rows + "</table>"
+        )
+    return "".join(out)
+
+
+# -- plan quality -----------------------------------------------------------
+
+def _plan_quality(quality: Optional[dict]) -> str:
+    if not quality or not quality.get("worst_offenders"):
+        return ""
+    rows = "".join(
+        f"<tr><td>{_esc(rec['label'])}</td><td>{_esc(rec['query'])}</td>"
+        f"<td>{rec['estimated']:,.0f}</td><td>{rec['actual']:,}</td>"
+        f"<td>{rec['q_error']:.1f}×"
+        f"{' ⚠' if rec.get('misestimate') else ''}</td></tr>"
+        for rec in quality["worst_offenders"]
+    )
+    return (
+        "<h2>Plan quality — worst cardinality estimates</h2>"
+        f'<p class="sub">{quality.get("operators_seen", 0)} operators '
+        f'measured, {quality.get("misestimates", 0)} misestimates '
+        f'(&ge; {quality.get("threshold", 4.0):g}×)</p>'
+        "<table><tr><th>operator</th><th>query</th><th>estimated</th>"
+        "<th>actual</th><th>q-error</th></tr>" + rows + "</table>"
+    )
+
+
+# -- entry ------------------------------------------------------------------
+
+def render_html_report(telemetry: dict) -> str:
+    """One telemetry bundle as a complete, dependency-free HTML page."""
+    config = telemetry.get("config") or {}
+    subtitle = []
+    if config.get("scale_factor") is not None:
+        subtitle.append(f"sf={config['scale_factor']}")
+    if config.get("streams") is not None:
+        subtitle.append(f"streams={config['streams']}")
+    if config.get("workers"):
+        subtitle.append(f"workers={config['workers']}")
+    if telemetry.get("generated_at"):
+        subtitle.append(str(telemetry["generated_at"]))
+    body = [
+        "<h1>TPC-DS benchmark telemetry</h1>",
+        f'<p class="sub">{_esc(" · ".join(subtitle))}</p>',
+        _tiles(telemetry),
+        _timeline(telemetry.get("trace") or []),
+        _latency(telemetry.get("latency")),
+        _parallelism(telemetry.get("parallelism")),
+        _plan_quality(telemetry.get("plan_quality")),
+    ]
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">'
+        "\n<title>TPC-DS benchmark telemetry</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        "<body><main>" + "".join(part for part in body if part)
+        + "</main></body></html>\n"
+    )

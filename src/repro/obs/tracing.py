@@ -22,6 +22,7 @@ method call and one attribute check, no allocation, no clock read.
 
 from __future__ import annotations
 
+import itertools
 import json
 import threading
 import time
@@ -32,7 +33,8 @@ from typing import Any, Optional
 class Span:
     """One named, timed interval in a trace tree."""
 
-    __slots__ = ("name", "attrs", "start", "end", "span_id", "parent_id", "_tracer")
+    __slots__ = ("name", "attrs", "start", "end", "span_id", "parent_id",
+                 "thread", "_tracer")
 
     def __init__(self, name: str, attrs: dict, span_id: int,
                  parent_id: Optional[int], tracer: "Tracer"):
@@ -42,6 +44,7 @@ class Span:
         self.parent_id = parent_id
         self.start = 0.0
         self.end = 0.0
+        self.thread = 0
         self._tracer = tracer
 
     @property
@@ -55,6 +58,7 @@ class Span:
         return self
 
     def __enter__(self) -> "Span":
+        self.thread = threading.get_ident()
         self._tracer._push(self)
         self.start = time.perf_counter()
         return self
@@ -64,13 +68,20 @@ class Span:
         self._tracer._pop(self)
 
     def as_dict(self) -> dict:
-        """JSON-ready representation of a finished span."""
+        """JSON-ready representation of a finished span.
+
+        ``start`` stays a monotonic ``perf_counter`` reading (what the
+        in-process report math uses); ``wall_start`` is the same instant
+        anchored to the tracer's wall-clock epoch, so spans from
+        separate runs or processes line up in a trace viewer."""
         return {
             "name": self.name,
             "id": self.span_id,
             "parent": self.parent_id,
             "start": self.start,
+            "wall_start": self._tracer.wall_time(self.start),
             "elapsed": self.elapsed,
+            "thread": self.thread,
             "attrs": dict(self.attrs),
         }
 
@@ -102,7 +113,17 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._finished: list[Span] = []
-        self._next_id = 0
+        # id allocation is lock-free: next() on itertools.count is
+        # atomic under the GIL, so the hot span() path takes no lock
+        self._ids = itertools.count()
+        #: paired (wall-clock, perf_counter) readings taken together so
+        #: monotonic span times map onto absolute wall-clock instants
+        self.epoch = (time.time(), time.perf_counter())
+
+    def wall_time(self, perf_t: float) -> float:
+        """Map a ``perf_counter`` reading onto this tracer's wall clock."""
+        wall0, perf0 = self.epoch
+        return wall0 + (perf_t - perf0)
 
     # -- span lifecycle ----------------------------------------------------
 
@@ -118,10 +139,7 @@ class Tracer:
         else:
             stack = getattr(self._local, "stack", None)
             parent_id = stack[-1].span_id if stack else None
-        with self._lock:
-            span_id = self._next_id
-            self._next_id += 1
-        return Span(name, attrs, span_id, parent_id, self)
+        return Span(name, attrs, next(self._ids), parent_id, self)
 
     def _push(self, span: Span) -> None:
         stack = getattr(self._local, "stack", None)

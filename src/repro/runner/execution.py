@@ -36,7 +36,15 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..obs import PlanQualityAggregator, Tracer, get_registry
+from ..obs import (
+    MetricsSampler,
+    PlanQualityAggregator,
+    PoolProfiler,
+    Tracer,
+    get_registry,
+    latency_percentiles,
+    set_profiler,
+)
 from ..dsdgen import DsdGen, GeneratedData, minimum_streams
 from ..dsdgen.generator import load_tables
 from ..engine import Database, OptimizerSettings
@@ -155,6 +163,13 @@ class BenchmarkConfig:
     #: maintenance are never fault-injected — a corrupted load would
     #: invalidate the whole test, not degrade it)
     faults: Optional[object] = None
+    #: sample the metrics registry on a background thread for the
+    #: duration of the run (the time-series lands in
+    #: ``BenchmarkResult.metrics_series``; ``sample_metrics_path``
+    #: additionally mirrors each sample as one JSONL line)
+    sample_metrics: bool = False
+    sample_interval_s: float = 0.25
+    sample_metrics_path: Optional[str] = None
 
     def resolved_streams(self) -> int:
         return self.streams or minimum_streams(self.scale_factor)
@@ -194,6 +209,21 @@ class QueryRunResult:
     @property
     def retries(self) -> int:
         return sum(t.attempts - 1 for t in self.timings)
+
+    def latency_percentiles(self) -> dict:
+        """p50/p90/p95/p99 of successful query latencies: the run
+        overall plus each stream separately (keyed by stream id)."""
+        ok = [t for t in self.timings if t.status == "ok"]
+        per_stream: dict[int, list[float]] = defaultdict(list)
+        for timing in ok:
+            per_stream[timing.stream].append(timing.elapsed)
+        return {
+            "overall": latency_percentiles([t.elapsed for t in ok]),
+            "streams": {
+                str(stream): latency_percentiles(values)
+                for stream, values in sorted(per_stream.items())
+            },
+        }
 
 
 @dataclass
@@ -606,10 +636,25 @@ class BenchmarkResult:
     fault_stats: Optional[dict] = None
     #: queries skipped because a resumed checkpoint had them journaled
     queries_resumed: int = 0
+    #: the worker-pool "Parallelism profile" (occupancy, operator skew,
+    #: utilization timeline) when the run used a pool
+    parallelism: Optional[dict] = None
+    #: registry time-series from the background sampler, when sampled
+    metrics_series: list = field(default_factory=list)
 
     @property
     def all_timings(self) -> list[QueryTiming]:
         return self.query_run_1.timings + self.query_run_2.timings
+
+    @property
+    def latency(self) -> dict:
+        """Latency percentiles: both query runs plus the combined set."""
+        ok = [t.elapsed for t in self.all_timings if t.status == "ok"]
+        return {
+            "all": latency_percentiles(ok),
+            "qr1": self.query_run_1.latency_percentiles(),
+            "qr2": self.query_run_2.latency_percentiles(),
+        }
 
     @property
     def compliant(self) -> bool:
@@ -663,6 +708,20 @@ def run_benchmark(config: BenchmarkConfig) -> tuple[BenchmarkResult, BenchmarkRu
             append=resume_state is not None,
         )
     run = BenchmarkRun(config, journal=journal, resume_state=resume_state)
+    # pool profiling rides along whenever the run is parallel: the
+    # pool's instrumented path only activates when a profiler (or
+    # tracer/registry) is live, so serial runs stay on the bare path
+    profiler = None
+    previous_profiler = None
+    if config.workers is not None and config.workers > 1:
+        profiler = PoolProfiler()
+        previous_profiler = set_profiler(profiler)
+    sampler = None
+    if config.sample_metrics or config.sample_metrics_path:
+        sampler = MetricsSampler(
+            interval_s=config.sample_interval_s,
+            path=config.sample_metrics_path,
+        ).start()
     try:
         load = run.load_test()
         qr1 = run.query_run(1)
@@ -673,6 +732,10 @@ def run_benchmark(config: BenchmarkConfig) -> tuple[BenchmarkResult, BenchmarkRu
     finally:
         if journal is not None:
             journal.close()
+        if sampler is not None:
+            sampler.stop()
+        if previous_profiler is not None:
+            set_profiler(previous_profiler)
     inputs = MetricInputs(
         scale_factor=config.scale_factor,
         streams=streams,
@@ -697,5 +760,7 @@ def run_benchmark(config: BenchmarkConfig) -> tuple[BenchmarkResult, BenchmarkRu
         plan_quality=quality,
         fault_stats=config.faults.stats() if config.faults is not None else None,
         queries_resumed=run.queries_skipped,
+        parallelism=profiler.as_dict() if profiler is not None else None,
+        metrics_series=sampler.samples if sampler is not None else [],
     )
     return result, run

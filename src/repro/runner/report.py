@@ -7,7 +7,9 @@ wall-clock summaries come from spans, not from ad-hoc timers."""
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
+from typing import Optional
 
 from .execution import BenchmarkResult
 from .metric import load_time_share
@@ -173,6 +175,11 @@ def render_full_disclosure(result: BenchmarkResult, top: int = 15) -> str:
     lines.append(f"  {'operation':10s} {'rows':>10s} {'elapsed':>12s}")
     for name, (rows, elapsed) in op_totals.items():
         lines.append(f"  {name:10s} {rows:>10,} {format_seconds(elapsed):>12s}")
+    lines.append("")
+    lines.extend(render_latency_percentiles(result))
+    if result.parallelism and result.parallelism.get("morsels"):
+        lines.append("")
+        lines.extend(render_parallelism_profile(result.parallelism))
     if result.plan_quality:
         lines.append("")
         lines.extend(render_plan_quality(result.plan_quality))
@@ -180,6 +187,100 @@ def render_full_disclosure(result: BenchmarkResult, top: int = 15) -> str:
         lines.append("")
         lines.extend(render_phase_breakdown(result.trace))
     return "\n".join(lines)
+
+
+def render_latency_percentiles(result: BenchmarkResult) -> list[str]:
+    """The latency-percentile table: combined, per query run and per
+    stream (successful queries only)."""
+    latency = result.latency
+    lines = ["query latency percentiles (successful queries)"]
+    header = (f"  {'scope':16s} {'n':>5s} {'mean':>9s} {'p50':>9s} "
+              f"{'p90':>9s} {'p95':>9s} {'p99':>9s} {'max':>9s}")
+    lines.append(header)
+
+    def row(scope: str, stats: dict) -> str:
+        cells = " ".join(
+            f"{stats[c] * 1000:>9.1f}"
+            for c in ("mean", "p50", "p90", "p95", "p99", "max")
+        )
+        return f"  {scope:16s} {stats['count']:>5d} {cells}  (ms)"
+
+    lines.append(row("all queries", latency["all"]))
+    for run_key, run_name in (("qr1", "query run 1"), ("qr2", "query run 2")):
+        run_stats = latency[run_key]
+        lines.append(row(run_name, run_stats["overall"]))
+        for stream, stats in run_stats["streams"].items():
+            lines.append(row(f"  {run_key} stream {stream}", stats))
+    return lines
+
+
+def render_parallelism_profile(parallelism: dict, top: int = 8) -> list[str]:
+    """The "Parallelism profile" section: pool occupancy, queue wait
+    and the per-operator skew table the pool profiler aggregated."""
+    lines = [
+        "parallelism profile (worker pool)",
+        f"  pool workers        : {parallelism.get('pool_workers', 0)}",
+        f"  morsels dispatched  : {parallelism.get('morsels', 0)}",
+        f"  mean occupancy      : "
+        f"{parallelism.get('mean_occupancy', 0.0) * 100:.1f}%",
+        f"  total queue wait    : "
+        f"{format_seconds(parallelism.get('queue_wait_s', 0.0))}",
+    ]
+    workers = parallelism.get("workers", {})
+    for worker, stats in sorted(workers.items(), key=lambda kv: int(kv[0])):
+        lines.append(
+            f"    worker {worker}: {stats['morsels']:>6d} morsels, "
+            f"busy {format_seconds(stats['busy_s']):>10s} "
+            f"({stats['occupancy'] * 100:.1f}%)"
+        )
+    operators = parallelism.get("operators", [])[:top]
+    if operators:
+        lines.append(
+            f"  {'skew':>6s} {'morsels':>8s} {'run':>10s} {'wait':>10s}"
+            "  operator"
+        )
+        for op in operators:
+            lines.append(
+                f"  {op['skew']:>5.2f}x {op['morsels']:>8d} "
+                f"{format_seconds(op['run_s']):>10s} "
+                f"{format_seconds(op['wait_s']):>10s}  {op['operator']}"
+            )
+    return lines
+
+
+def telemetry_bundle(result: BenchmarkResult,
+                     metrics: Optional[dict] = None) -> dict:
+    """One JSON-ready bundle of everything the run observed — the
+    input to ``tpcds-py obs trace`` / ``obs report`` and the payload
+    ``run --telemetry`` writes.  ``metrics`` is an optional registry
+    snapshot to attach (the end-of-run values; the sampler's
+    time-series rides along separately)."""
+    config = result.config
+    return {
+        "generated_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "config": {
+            "scale_factor": config.scale_factor,
+            "streams": config.resolved_streams(),
+            "seed": config.seed,
+            "workers": config.workers,
+        },
+        "summary": {
+            "qphds": result.qphds,
+            "price_performance": result.price_performance,
+            "queries": len(result.all_timings),
+            "compliant": result.compliant,
+            "load_s": result.load.elapsed,
+            "qr1_s": result.query_run_1.elapsed,
+            "maintenance_s": result.maintenance.elapsed,
+            "qr2_s": result.query_run_2.elapsed,
+        },
+        "trace": result.trace,
+        "latency": result.latency,
+        "parallelism": result.parallelism,
+        "plan_quality": result.plan_quality,
+        "metrics": metrics,
+        "metrics_series": result.metrics_series,
+    }
 
 
 def render_plan_quality(quality: dict, top: int = 10) -> list[str]:

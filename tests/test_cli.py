@@ -76,6 +76,84 @@ def test_run_command_trace_and_metrics(tmp_path, capsys):
     assert any(s["name"] == "phase:load" for s in spans)
 
 
+def test_run_telemetry_bundle(tmp_path, capsys):
+    import json
+
+    from repro.obs import get_registry, set_registry
+
+    bundle_path = os.path.join(tmp_path, "telemetry.json")
+    previous = get_registry()
+    try:
+        assert main(["run", "--scale", "0.001", "--streams", "1",
+                     "--metrics", "--telemetry", bundle_path]) == 0
+    finally:
+        set_registry(previous)
+    assert "telemetry bundle written" in capsys.readouterr().out
+    bundle = json.loads(open(bundle_path, encoding="utf-8").read())
+    for key in ("generated_at", "config", "summary", "trace", "latency",
+                "parallelism", "plan_quality", "metrics", "metrics_series"):
+        assert key in bundle
+    assert bundle["latency"]["all"]["count"] > 0
+    assert any(s["name"] == "phase:load" for s in bundle["trace"])
+
+
+def _telemetry_fixture(tmp_path):
+    """A tiny on-disk telemetry bundle so obs trace/report tests don't
+    need a fresh benchmark run."""
+    import json
+
+    bundle = {
+        "config": {"scale_factor": 0.004, "streams": 1, "workers": 2},
+        "summary": {"qphds": 100.0, "queries": 99, "compliant": True},
+        "trace": [
+            {"name": "phase:load", "id": 0, "parent": None, "start": 0.0,
+             "wall_start": 1e9, "elapsed": 1.0, "thread": 1, "attrs": {}},
+            {"name": "morsel:Filter", "id": 1, "parent": 0, "start": 0.2,
+             "wall_start": 1e9 + 0.2, "elapsed": 0.1, "thread": 2,
+             "attrs": {"worker": 0}},
+            {"name": "morsel:Filter", "id": 2, "parent": 0, "start": 0.2,
+             "wall_start": 1e9 + 0.2, "elapsed": 0.1, "thread": 3,
+             "attrs": {"worker": 1}},
+        ],
+        "latency": {"all": {"count": 3, "mean": 0.02, "max": 0.03,
+                            "p50": 0.02, "p90": 0.03, "p95": 0.03,
+                            "p99": 0.03}},
+        "parallelism": None,
+        "plan_quality": None,
+        "metrics": None,
+        "metrics_series": [],
+    }
+    path = os.path.join(tmp_path, "telemetry.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bundle, handle)
+    return path
+
+
+def test_obs_trace_from_bundle(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace, worker_lanes
+
+    bundle = _telemetry_fixture(tmp_path)
+    out = os.path.join(tmp_path, "trace.json")
+    assert main(["obs", "trace", "--input", bundle, "--out", out]) == 0
+    assert "chrome trace written" in capsys.readouterr().out
+    doc = json.loads(open(out, encoding="utf-8").read())
+    assert validate_chrome_trace(doc) == []
+    assert worker_lanes(doc) == ["pool worker 0", "pool worker 1"]
+
+
+def test_obs_report_from_bundle(tmp_path, capsys):
+    bundle = _telemetry_fixture(tmp_path)
+    out = os.path.join(tmp_path, "report.html")
+    assert main(["obs", "report", "--input", bundle, "--out", out]) == 0
+    assert "dashboard written" in capsys.readouterr().out
+    html = open(out, encoding="utf-8").read()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "Span timeline" in html
+    assert "latency percentiles" in html
+
+
 def test_explain_command(capsys):
     assert main(["explain", "--scale", "0.001", "--template", "52"]) == 0
     out = capsys.readouterr().out

@@ -61,6 +61,34 @@ class TestMetrics:
         assert snap["p95"] <= 0.125
         assert len(snap["buckets"]) >= 1
 
+    def test_quantile_edges_clamp_to_observed_range(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat")
+        for value in (0.25, 0.5, 8.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.25
+        assert hist.quantile(-1.0) == 0.25
+        assert hist.quantile(1.0) == 8.0
+        assert hist.quantile(2.0) == 8.0
+        # interior quantiles never exceed the observed max either
+        assert hist.quantile(0.99) <= 8.0
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat")
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == 0.0
+
+    def test_histogram_snapshot_reports_p90_p99(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat")
+        for value in range(1, 20):
+            hist.observe(float(value))
+        snap = reg.snapshot()["lat"]
+        assert snap["p50"] <= snap["p90"] <= snap["p99"]
+        assert snap["p99"] <= snap["max"]
+
     def test_labels_create_distinct_series(self):
         reg = MetricsRegistry()
         reg.counter("rows", labels={"table": "a"}).add(1)
@@ -194,6 +222,51 @@ class TestTracer:
             assert get_tracer() is tracer
         finally:
             set_tracer(previous)
+
+    def test_wall_start_anchored_to_epoch(self):
+        tracer = Tracer()
+        wall0, perf0 = tracer.epoch
+        with tracer.span("work"):
+            pass
+        (exported,) = tracer.export()
+        assert exported["wall_start"] == pytest.approx(
+            wall0 + (exported["start"] - perf0)
+        )
+        assert tracer.wall_time(perf0) == wall0
+
+    def test_out_of_order_exit_does_not_poison_the_stack(self):
+        """Pool threads are long-lived: a span exited out of order must
+        be removed from wherever it sits on the per-thread stack, not
+        left dangling as a bogus parent for every later span."""
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        outer.__enter__()
+        inner = tracer.span("inner")
+        inner.__enter__()
+        outer.__exit__(None, None, None)  # wrong order: outer first
+        inner.__exit__(None, None, None)
+        with tracer.span("later"):
+            pass
+        spans = {s["name"]: s for s in tracer.export()}
+        assert spans["later"]["parent"] is None
+        assert spans["inner"]["parent"] == outer.span_id
+
+    def test_span_ids_unique_across_threads(self):
+        tracer = Tracer()
+
+        def work():
+            for _ in range(200):
+                with tracer.span("op"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = [s["id"] for s in tracer.export()]
+        assert len(ids) == 800
+        assert len(set(ids)) == 800
 
 
 class _FakeNode:

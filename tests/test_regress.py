@@ -115,6 +115,19 @@ class TestCompareLatest:
         # r2 -> r3 is noise; the much slower r1 is out of the window
         assert report.exit_code() == 0
 
+    def test_as_dict_records_threshold_and_sorts_deltas(self, tmp_path):
+        history = self._history(tmp_path, (0.010, 0.020), (0.030, 0.010))
+        payload = compare_latest(history, threshold=0.25).as_dict()
+        assert payload["threshold"] == 0.25
+        assert payload["regressions"] == 1
+        assert payload["improvements"] == 1
+        assert payload["compared"] == 2
+        ratios = [d["ratio"] for d in payload["deltas"]]
+        assert ratios == sorted(ratios, reverse=True)
+        assert payload["deltas"][0]["status"] == "regression"
+        # JSON-ready: round-trips without custom encoders
+        assert json.loads(json.dumps(payload)) == payload
+
     def test_new_test_without_baseline_skipped(self, tmp_path):
         path = tmp_path / "history.jsonl"
         append_history(_payload(0.010, 0.020), str(path), sha="old")

@@ -1,0 +1,275 @@
+"""Tests for `repro.obs` telemetry: Chrome-trace export, latency
+percentiles, the background metrics sampler, the worker-pool profiler
+and the self-contained HTML dashboard."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSampler,
+    MorselProfile,
+    PoolProfiler,
+    Tracer,
+    latency_percentiles,
+    render_html_report,
+    set_tracer,
+    skew_ratio,
+    to_chrome_trace,
+    validate_chrome_trace,
+    worker_lanes,
+)
+
+
+class TestLatencyPercentiles:
+    def test_empty_input_yields_zeros(self):
+        out = latency_percentiles([])
+        assert out["count"] == 0
+        assert out["p50"] == 0.0
+        assert out["p99"] == 0.0
+        assert out["max"] == 0.0
+
+    def test_percentiles_are_monotone(self):
+        out = latency_percentiles([0.01 * i for i in range(1, 101)])
+        assert out["count"] == 100
+        assert out["p50"] <= out["p90"] <= out["p95"] <= out["p99"]
+        assert out["p99"] <= out["max"] == pytest.approx(1.0)
+
+    def test_single_value_clamps_to_itself(self):
+        out = latency_percentiles([0.125])
+        assert out["p50"] == out["p99"] == out["max"] == 0.125
+
+
+def _span(name, span_id, start, elapsed, thread=1, parent=None, **attrs):
+    return {
+        "name": name, "id": span_id, "parent": parent, "start": start,
+        "wall_start": 1_700_000_000.0 + start, "elapsed": elapsed,
+        "thread": thread, "attrs": attrs,
+    }
+
+
+class TestChromeTrace:
+    def test_json_roundtrip_validates(self):
+        spans = [
+            _span("phase:load", 0, 0.0, 1.5),
+            _span("query", 1, 1.5, 0.25, parent=0, template=52),
+        ]
+        doc = json.loads(json.dumps(to_chrome_trace(spans)))
+        assert validate_chrome_trace(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_complete_events_carry_wall_anchored_microseconds(self):
+        doc = to_chrome_trace([_span("query", 7, 2.0, 0.5, template=52)])
+        event = [e for e in doc["traceEvents"] if e["ph"] == "X"][0]
+        assert event["ts"] == pytest.approx((1_700_000_000.0 + 2.0) * 1e6)
+        assert event["dur"] == pytest.approx(0.5 * 1e6)
+        assert event["args"]["span_id"] == 7
+        assert event["args"]["template"] == 52
+
+    def test_threads_become_named_lanes(self):
+        spans = [
+            _span("phase:query_run", 0, 0.0, 1.0, thread=10),
+            _span("morsel:Filter", 1, 0.1, 0.2, thread=20, worker=0),
+            _span("morsel:Filter", 2, 0.1, 0.2, thread=30, worker=1),
+        ]
+        doc = to_chrome_trace(spans)
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {"benchmark", "pool worker 0", "pool worker 1"}
+        assert worker_lanes(doc) == ["pool worker 0", "pool worker 1"]
+
+    def test_validator_rejects_malformed_documents(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+        assert "traceEvents is empty" in validate_chrome_trace(
+            {"traceEvents": []}
+        )
+        bad = {"traceEvents": [{"ph": "X", "name": "q", "pid": 0, "tid": 0,
+                                "ts": -1.0, "dur": "fast"}]}
+        errors = validate_chrome_trace(bad)
+        assert any("bad 'ts'" in e for e in errors)
+        assert any("bad 'dur'" in e for e in errors)
+
+    def test_real_pool_run_yields_two_worker_lanes(self):
+        """Drive a live WorkerPool(2) under an enabled tracer: the
+        exported trace must name both pool workers (the acceptance bar
+        for the `obs trace` command)."""
+        from repro.engine.parallel import WorkerPool
+
+        tracer = Tracer(enabled=True)
+        pool = WorkerPool(2)
+        barrier = threading.Barrier(2, timeout=10)
+
+        def task(item, ctx):
+            barrier.wait()  # both workers must participate
+            return item
+
+        previous = set_tracer(tracer)
+        try:
+            assert pool.map_morsels(task, [1, 2], label="Filter") == [1, 2]
+        finally:
+            set_tracer(previous)
+            pool.shutdown()
+        doc = to_chrome_trace(tracer.export())
+        assert validate_chrome_trace(doc) == []
+        assert worker_lanes(doc) == ["pool worker 0", "pool worker 1"]
+
+
+class TestMetricsSampler:
+    def test_samples_accumulate_and_mirror_to_jsonl(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("rows").add(42)
+        path = tmp_path / "series.jsonl"
+        sampler = MetricsSampler(registry, interval_s=0.01, path=str(path))
+        with sampler:
+            time.sleep(0.05)
+        assert len(sampler.samples) >= 2  # interval ticks + final snapshot
+        for record in sampler.samples:
+            assert record["metrics"]["rows"]["value"] == 42.0
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == len(sampler.samples)
+        assert lines[0]["ts"] <= lines[-1]["ts"]
+
+    def test_stop_takes_final_sample_even_on_short_runs(self):
+        registry = MetricsRegistry(enabled=True)
+        sampler = MetricsSampler(registry, interval_s=60.0)
+        sampler.start()
+        series = sampler.stop()
+        assert len(series) == 1  # run shorter than the interval
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            MetricsSampler(MetricsRegistry(), interval_s=0.0)
+
+
+class TestSkewAndProfiles:
+    def test_skew_ratio_math(self):
+        assert skew_ratio([]) == 1.0
+        assert skew_ratio([5.0]) == 1.0
+        assert skew_ratio([1.0, 1.0, 1.0]) == 1.0
+        assert skew_ratio([1.0, 1.0, 4.0]) == 4.0
+        assert skew_ratio([0.0, 0.0]) == 1.0  # zero median can't divide
+
+    def test_morsel_profile_aggregates(self):
+        profile = MorselProfile()
+        profile.note(0, 0.010, 0.100)
+        profile.note(1, 0.005, 0.400)
+        assert profile.morsels == 2
+        assert profile.total_wait() == pytest.approx(0.015)
+        assert profile.skew() == pytest.approx(0.400 / 0.250)
+        assert profile.workers == {0, 1}
+
+    def test_pool_profiler_occupancy_and_operators(self):
+        profiler = PoolProfiler()
+        profiler.note_pool(2)
+        # worker 0 busy the whole 1s window, worker 1 for half of it
+        profiler.note("Filter", 0, 100.0, 0.001, 1.0)
+        profiler.note("Filter", 1, 100.0, 0.002, 0.5)
+        per_worker = profiler.worker_occupancy()
+        assert per_worker[0]["occupancy"] == pytest.approx(1.0)
+        assert per_worker[1]["occupancy"] == pytest.approx(0.5)
+        assert profiler.mean_occupancy() == pytest.approx(0.75)
+        payload = profiler.as_dict()
+        assert payload["pool_workers"] == 2
+        assert payload["morsels"] == 2
+        assert payload["queue_wait_s"] == pytest.approx(0.003)
+        ops = payload["operators"]
+        assert ops[0]["operator"] == "Filter"
+        assert ops[0]["skew"] == pytest.approx(1.0 / 0.75)
+
+    def test_mean_occupancy_counts_idle_pool_capacity(self):
+        """An 8-worker pool where one worker did everything is 1/8
+        occupied, not 100%."""
+        profiler = PoolProfiler()
+        profiler.note_pool(8)
+        profiler.note("Sort(run)", 0, 50.0, 0.0, 2.0)
+        assert profiler.mean_occupancy() == pytest.approx(1.0 / 8)
+
+    def test_utilization_timeline_bounds(self):
+        profiler = PoolProfiler()
+        profiler.note_pool(2)
+        profiler.note("Filter", 0, 10.0, 0.0, 1.0)
+        profiler.note("Filter", 1, 10.5, 0.0, 0.5)
+        series = profiler.utilization_timeline(bins=10)
+        assert len(series) == 10
+        assert all(0.0 <= v <= 1.0 for v in series)
+        assert max(series) > 0.0
+
+    def test_clear_resets_everything(self):
+        profiler = PoolProfiler()
+        profiler.note_pool(4)
+        profiler.note("Filter", 0, 1.0, 0.0, 0.1)
+        profiler.clear()
+        assert profiler.as_dict()["morsels"] == 0
+        assert profiler.as_dict()["pool_workers"] == 0
+
+
+def _bundle(**overrides):
+    bundle = {
+        "generated_at": "2026-08-07T12:00:00",
+        "config": {"scale_factor": 0.004, "streams": 1, "seed": 19620718,
+                   "workers": 2},
+        "summary": {"qphds": 1234.5, "price_performance": 0.1,
+                    "queries": 99, "compliant": True, "load_s": 1.0,
+                    "qr1_s": 2.0, "maintenance_s": 0.5, "qr2_s": 2.1},
+        "trace": [
+            _span("phase:load", 0, 0.0, 1.0, thread=1),
+            _span("morsel:Filter", 1, 0.2, 0.1, thread=2, worker=0),
+            _span("morsel:Filter", 2, 0.2, 0.1, thread=3, worker=1),
+        ],
+        "latency": {"all": latency_percentiles([0.01, 0.02, 0.03])},
+        "parallelism": {
+            "pool_workers": 2, "morsels": 2, "window_s": 1.0,
+            "queue_wait_s": 0.003, "mean_occupancy": 0.75,
+            "workers": {"0": {"busy_s": 1.0, "morsels": 1, "occupancy": 1.0},
+                        "1": {"busy_s": 0.5, "morsels": 1, "occupancy": 0.5}},
+            "operators": [{"operator": "Filter", "morsels": 2, "run_s": 1.5,
+                           "wait_s": 0.003, "max_run_s": 1.0,
+                           "median_run_s": 0.75, "skew": 1.33}],
+            "utilization": [0.5, 1.0, 0.75],
+        },
+        "plan_quality": {"threshold": 4.0, "operators_seen": 10,
+                         "misestimates": 1,
+                         "worst_offenders": [{"query": 52, "label": "Join",
+                                              "estimated": 10, "actual": 100,
+                                              "q_error": 10.0,
+                                              "misestimate": True}]},
+        "metrics": None,
+        "metrics_series": [],
+    }
+    bundle.update(overrides)
+    return bundle
+
+
+class TestHtmlReport:
+    def test_renders_every_section_self_contained(self):
+        html = render_html_report(_bundle())
+        assert html.startswith("<!DOCTYPE html>")
+        for section in ("Span timeline", "latency percentiles",
+                        "Parallelism profile", "Plan quality"):
+            assert section in html
+        # dependency-free: no scripts, no external fetches
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+        # both worker lanes drawn
+        assert "pool worker 0" in html and "pool worker 1" in html
+
+    def test_escapes_hostile_span_names(self):
+        bundle = _bundle()
+        bundle["trace"].append(
+            _span("<script>alert(1)</script>", 9, 0.5, 0.1, thread=1)
+        )
+        html = render_html_report(bundle)
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_tolerates_empty_telemetry(self):
+        html = render_html_report({})
+        assert html.startswith("<!DOCTYPE html>")
+        assert "</html>" in html
