@@ -11,6 +11,10 @@ DIFFTEST_SEED ?= 19620718
 ## run-over-run slowdowns beyond 1.25x)
 BENCH_COMPARE_THRESHOLD ?= 0.25
 
+## history.jsonl is append-only; bench-compare bounds it to the last
+## N runs per (git sha, bench module) before diffing
+BENCH_HISTORY_KEEP ?= 10
+
 ## tier-1 suite + parallel-generation determinism smoke
 check: test determinism
 
@@ -37,6 +41,8 @@ bench-smoke:
 ## compare the latest two benchmark runs in history.jsonl; exits
 ## nonzero when any bench regressed beyond the noise threshold
 bench-compare:
+	$(PYTHON) -m repro.cli obs history --prune --keep $(BENCH_HISTORY_KEEP) \
+	    --history benchmarks/results/history.jsonl
 	$(PYTHON) -m repro.cli obs diff --history benchmarks/results/history.jsonl \
 	    --threshold $(BENCH_COMPARE_THRESHOLD)
 

@@ -11,7 +11,12 @@ telemetry surface, and fails loudly when any artifact is malformed:
 * `obs report` must render a self-contained HTML dashboard containing
   the timeline, latency-percentile and parallelism sections;
 * the telemetry bundle itself must carry latency percentiles and a
-  non-empty parallelism profile.
+  non-empty parallelism profile;
+* the statement store written by `run --statement-store` must reload
+  into a fresh database and answer `SELECT ... FROM sys.statements
+  ORDER BY total_elapsed DESC` (non-empty, fingerprint-stable across
+  literal substitution), and `sys.metrics` must surface the run's
+  registry counters.
 
 Runs from a checkout (`python scripts/obs_smoke.py`); exits nonzero on
 the first failure.
@@ -43,12 +48,14 @@ def main() -> int:
         bundle_path = os.path.join(tmp, "telemetry.json")
         trace_path = os.path.join(tmp, "trace.json")
         html_path = os.path.join(tmp, "report.html")
+        store_path = os.path.join(tmp, "statements.jsonl")
 
         print(f"obs_smoke: power run sf={SF} workers={WORKERS} ...")
         rc = cli([
             "run", "--scale", str(SF), "--streams", "1",
             "--workers", str(WORKERS), "--metrics", "--plan-quality",
             "--telemetry", bundle_path,
+            "--statement-store", store_path,
         ])
         if rc != 0:
             fail(f"benchmark run exited {rc}")
@@ -93,9 +100,59 @@ def main() -> int:
         if "<script" in html or "http://" in html or "https://" in html:
             fail("dashboard is not self-contained (script or external ref)")
 
+        fingerprints = check_statement_store(store_path)
+
         print(f"obs_smoke: PASS — {len(doc['traceEvents'])} trace events, "
-              f"lanes {lanes}, dashboard {len(html):,} bytes")
+              f"lanes {lanes}, dashboard {len(html):,} bytes, "
+              f"{fingerprints} statement fingerprints")
     return 0
+
+
+def check_statement_store(store_path: str) -> int:
+    """The journal written during the power run must reload into a
+    *fresh* database and answer the acceptance query through the
+    ``sys.statements`` virtual table; returns the fingerprint count."""
+    from repro.engine import Database
+    from repro.obs import StatementStore, fingerprint, get_registry
+
+    if not os.path.exists(store_path):
+        fail(f"run --statement-store wrote nothing at {store_path}")
+    db = Database()
+    db.statement_store = StatementStore(store_path)
+    result = db.execute(
+        "SELECT query, calls, mean_elapsed, spilled_bytes FROM"
+        " sys.statements ORDER BY total_elapsed DESC"
+    )
+    if len(result) == 0:
+        fail("sys.statements is empty after a power run")
+    totals = db.execute(
+        "SELECT total_elapsed FROM sys.statements ORDER BY"
+        " total_elapsed DESC"
+    ).rows()
+    if [r[0] for r in totals] != sorted(
+        (r[0] for r in totals), reverse=True
+    ):
+        fail("sys.statements ORDER BY total_elapsed DESC is out of order")
+
+    # fingerprint stability: the same template with different literal
+    # substitutions (qgen stream variants) must collapse to one entry
+    fp_a = fingerprint("SELECT d_year FROM date_dim WHERE d_year = 1999")
+    fp_b = fingerprint("SELECT d_year FROM date_dim WHERE d_year = 2002")
+    if fp_a != fp_b:
+        fail("fingerprints differ across literal substitution")
+    db.statement_store.close()
+
+    # the cli run enabled the registry in-process, so sys.metrics must
+    # surface the runner's counters
+    if not get_registry().enabled:
+        fail("metrics registry not enabled after --metrics run")
+    metrics = Database().execute(
+        "SELECT name, count FROM sys.metrics WHERE name ="
+        " 'runner.queries'"
+    )
+    if len(metrics) == 0:
+        fail("sys.metrics has no runner.queries counter")
+    return len(result)
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ Subcommands mirror the original kit's tools:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .core.benchmark import Benchmark
@@ -146,6 +147,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sample_metrics=bool(args.sample_metrics),
         sample_interval_s=args.sample_interval,
         sample_metrics_path=args.sample_metrics,
+        statement_store_path=args.statement_store,
     )
     summary = bench.run()
     if args.full:
@@ -187,6 +189,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.sample_metrics:
         print(f"metrics time-series written to {args.sample_metrics} "
               f"({len(summary.result.metrics_series)} samples)")
+    if args.statement_store and summary.result.statements:
+        print(f"statement store written to {args.statement_store} "
+              f"({summary.result.statements['fingerprints']} fingerprints)")
     return 0 if summary.result.compliant else 1
 
 
@@ -262,6 +267,52 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         report = compare_latest(history, threshold=args.threshold)
         print(report.render())
         return report.exit_code()
+    if args.action == "history":
+        from .obs import load_history, prune_history
+
+        if args.prune:
+            kept, dropped = prune_history(args.history, args.keep)
+            print(f"history pruned to last {args.keep} run(s) per"
+                  f" (sha, module): {kept} kept, {dropped} dropped")
+            return 0
+        records = load_history(args.history)
+        by_key: dict = {}
+        for record in records:
+            key = (record.get("sha", "")[:12], record.get("module", ""))
+            by_key[key] = by_key.get(key, 0) + 1
+        print(f"{len(records)} record(s) in {args.history}")
+        for (sha, module), count in sorted(by_key.items()):
+            print(f"  {sha:12s} {module:36s} {count} run(s)")
+        return 0
+    if args.action == "top":
+        from .obs import load_store
+
+        if not os.path.exists(args.store):
+            print(f"obs top: no statement store at {args.store}",
+                  file=sys.stderr)
+            return 1
+        store = load_store(args.store)
+        try:
+            try:
+                rows = store.top(by=args.by, limit=args.limit)
+            except ValueError as exc:
+                print(f"obs top: {exc}", file=sys.stderr)
+                return 2
+            print(f"top {len(rows)} statement(s) by {args.by} "
+                  f"({len(store)} fingerprints in {args.store})")
+            print(f"  {'calls':>6s} {'total s':>9s} {'mean ms':>9s} "
+                  f"{'rows':>9s} {'spill':>10s} {'q_err':>6s}  "
+                  f"fingerprint / statement")
+            for stats in rows:
+                query = " ".join(stats.query.split())
+                print(f"  {stats.calls:>6d} {stats.total_elapsed:>9.3f} "
+                      f"{stats.mean_elapsed * 1000:>9.1f} {stats.rows:>9d} "
+                      f"{stats.spilled_bytes:>10,} "
+                      f"{stats.worst_q_error:>6.1f}  "
+                      f"{stats.fingerprint}  {query:.60s}")
+        finally:
+            store.close()
+        return 0
     if args.action == "trace":
         from .obs import to_chrome_trace, validate_chrome_trace, worker_lanes
 
@@ -273,6 +324,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 print(f"obs trace: {error}", file=sys.stderr)
             return 1
         out = args.out or "trace.json"
+        if out == "-":
+            json.dump(doc, sys.stdout)
+            sys.stdout.write("\n")
+            return 0
         with open(out, "w", encoding="utf-8") as handle:
             json.dump(doc, handle)
         lanes = worker_lanes(doc)
@@ -286,6 +341,9 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
         telemetry = _collect_telemetry(args)
         out = args.out or "obs_report.html"
+        if out == "-":
+            sys.stdout.write(render_html_report(telemetry))
+            return 0
         with open(out, "w", encoding="utf-8") as handle:
             handle.write(render_html_report(telemetry))
         print(f"observability dashboard written to {out}")
@@ -457,6 +515,11 @@ def build_parser() -> argparse.ArgumentParser:
                         " latency percentiles, parallelism profile,"
                         " metrics) to FILE as JSON — the input to"
                         " `obs trace` / `obs report`")
+    p.add_argument("--statement-store", metavar="FILE", default=None,
+                   help="journal every executed statement into a"
+                        " fingerprinted statement store at FILE"
+                        " (crash-safe JSONL); queryable afterwards via"
+                        " `obs top` and the sys.statements table")
     p.add_argument("--sample-metrics", metavar="FILE", default=None,
                    help="sample the metrics registry on a background"
                         " thread, appending one JSONL line per sample"
@@ -492,23 +555,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("obs", help="observability tooling")
-    p.add_argument("action", choices=["diff", "trace", "report"],
+    p.add_argument("action",
+                   choices=["diff", "history", "top", "trace", "report"],
                    help="'diff' compares the latest two benchmark runs"
-                        " in the history file; 'trace' exports a"
-                        " Chrome-trace/Perfetto timeline; 'report'"
-                        " renders the self-contained HTML dashboard")
+                        " in the history file; 'history' summarizes (or,"
+                        " with --prune, bounds) the history file; 'top'"
+                        " shows a statement store's worst offenders;"
+                        " 'trace' exports a Chrome-trace/Perfetto"
+                        " timeline; 'report' renders the self-contained"
+                        " HTML dashboard")
     p.add_argument("--history", default="benchmarks/results/history.jsonl",
                    help="path to the benchmark history JSONL file")
     p.add_argument("--threshold", type=float, default=0.25,
                    help="relative noise threshold (default 0.25: flag"
                         " regressions slower than 1.25x)")
+    p.add_argument("--prune", action="store_true",
+                   help="with 'history': drop all but the last --keep"
+                        " runs per (git sha, bench module) pair")
+    p.add_argument("--keep", type=int, default=3,
+                   help="runs to keep per (sha, module) when pruning"
+                        " (default 3)")
+    p.add_argument("--store", default="benchmarks/results/statements.jsonl",
+                   help="statement-store journal for 'top' (written by"
+                        " `run --statement-store`)")
+    p.add_argument("--by", default="total_elapsed",
+                   help="statement-store column to rank 'top' by"
+                        " (default total_elapsed; e.g. spilled_bytes,"
+                        " mean_elapsed, calls, worst_q_error)")
+    p.add_argument("--limit", type=int, default=10,
+                   help="rows shown by 'top' (default 10)")
     p.add_argument("--input", metavar="FILE", default=None,
                    help="telemetry bundle from `run --telemetry` to"
                         " render; without it, trace/report measure a"
                         " fresh power run")
-    p.add_argument("--out", metavar="FILE", default=None,
+    p.add_argument("--out", "--output", dest="out", metavar="FILE",
+                   default=None,
                    help="output path (default trace.json /"
-                        " obs_report.html)")
+                        " obs_report.html); '-' streams the document to"
+                        " stdout (progress goes to stderr)")
     p.add_argument("--scale", type=float, default=0.004,
                    help="scale factor for the fresh measuring run")
     p.add_argument("--seed", type=int, default=19620718)

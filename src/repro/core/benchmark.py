@@ -66,6 +66,7 @@ class Benchmark:
         sample_metrics: bool = False,
         sample_interval_s: float = 0.25,
         sample_metrics_path: Optional[str] = None,
+        statement_store_path: Optional[str] = None,
     ):
         self.config = BenchmarkConfig(
             scale_factor=scale_factor,
@@ -85,6 +86,7 @@ class Benchmark:
             sample_metrics=sample_metrics,
             sample_interval_s=sample_interval_s,
             sample_metrics_path=sample_metrics_path,
+            statement_store_path=statement_store_path,
         )
         self._run: Optional[BenchmarkRun] = None
         self._summary: Optional[RunSummary] = None

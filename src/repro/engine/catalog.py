@@ -18,6 +18,7 @@ from .indexes import BitmapIndex, HashIndex, SortedIndex
 from .stats import TableStats, gather_statistics
 from .storage import Table
 from .types import TableSchema
+from .virtual import VirtualTable
 
 _INDEX_TYPES = {"hash": HashIndex, "sorted": SortedIndex, "bitmap": BitmapIndex}
 
@@ -34,6 +35,10 @@ class Catalog:
         self._stats: dict[str, TableStats] = {}
         self._indexes: dict[tuple[str, str, str], object] = {}
         self._matviews: dict[str, object] = {}
+        #: read-only virtual tables (``sys.*`` introspection), resolved
+        #: by name like base tables but kept out of ``table_names`` /
+        #: ``gather_stats`` so audits and stat sweeps never see them
+        self._virtual: dict[str, VirtualTable] = {}
         #: when set, complex aux structures are ILLEGAL on these tables
         #: (the benchmark lists the ad-hoc channel's fact tables here;
         #: shared dimensions remain eligible because the channel split
@@ -58,18 +63,39 @@ class Catalog:
             k: v for k, v in self._indexes.items() if k[0] != name
         }
 
-    def table(self, name: str) -> Table:
+    def table(self, name: str):
         try:
             return self._tables[name]
         except KeyError:
+            virtual = self._virtual.get(name)
+            if virtual is not None:
+                return virtual
             raise CatalogError(f"unknown table {name!r}") from None
 
     def has_table(self, name: str) -> bool:
-        return name in self._tables
+        return name in self._tables or name in self._virtual
 
     @property
     def table_names(self) -> list[str]:
         return sorted(self._tables)
+
+    # -- virtual tables -------------------------------------------------------
+
+    def register_virtual(self, provider) -> "VirtualTable":
+        """Register a :class:`~repro.engine.virtual.VirtualTableProvider`
+        under its qualified name (e.g. ``sys.statements``)."""
+        if provider.name in self._tables:
+            raise CatalogError(f"name {provider.name} already in use")
+        virtual = VirtualTable(provider)
+        self._virtual[provider.name] = virtual
+        return virtual
+
+    def is_virtual(self, name: str) -> bool:
+        return name in self._virtual
+
+    @property
+    def virtual_names(self) -> list[str]:
+        return sorted(self._virtual)
 
     # -- statistics --------------------------------------------------------------
 
@@ -88,6 +114,8 @@ class Catalog:
             raise CatalogError(f"unknown index type {index_type!r}")
         if index_type not in _BASIC_INDEX_TYPES:
             self._check_aux_allowed(table, f"{index_type} index")
+        if table in self._virtual:
+            raise CatalogError(f"cannot index system table {table!r}")
         tab = self.table(table)
         if not tab.schema.has_column(column):
             raise CatalogError(f"table {table} has no column {column}")

@@ -35,10 +35,17 @@ from ..obs import (
     format_bytes,
     get_registry,
     plan_to_dict,
+    q_error,
 )
 from .batch import Batch
 from .catalog import Catalog
-from .errors import EngineError, ExecutionError, PlanningError
+from .errors import (
+    EngineError,
+    ExecutionError,
+    PlanningError,
+    QueryCancelled,
+    QueryTimeout,
+)
 from .executor import Executor
 from .expr import EvalContext, evaluate
 from .governor import ResourceContext
@@ -48,6 +55,7 @@ from .optimizer import Optimizer, OptimizerSettings
 from .planner import Planner
 from .sql import ast_nodes as A
 from .sql.parser import parse_statement
+from .systables import install_sys_tables, statement_touches_sys
 from .types import Kind, TableSchema
 from .vector import Vector
 
@@ -107,6 +115,32 @@ class QueryTrace:
 _EXPLAIN_RE = re.compile(r"^\s*EXPLAIN(\s+ANALYZE)?\s+", re.IGNORECASE)
 
 
+def _failure_status(exc: BaseException) -> str:
+    """The statement-store status for a failed execution — the same
+    taxonomy the runner's QueryTiming uses."""
+    if isinstance(exc, QueryTimeout):
+        return "timeout"
+    if isinstance(exc, QueryCancelled):
+        return "cancelled"
+    return "failed"
+
+
+def _worst_q_error(plan, collector: ExecStatsCollector):
+    """The worst per-operator cardinality Q-error of one executed
+    plan, or ``None`` when no operator had both an estimate and a
+    measurement."""
+    worst = None
+    for node in plan.walk():
+        stats = collector.stats_for(node)
+        est = node.estimated_rows
+        if stats is None or est is None:
+            continue
+        value = q_error(est, stats.rows_out)
+        if worst is None or value > worst:
+            worst = value
+    return worst
+
+
 class Database:
     """The engine facade: DDL, SQL execution, materialized views, statistics."""
     def __init__(
@@ -114,6 +148,7 @@ class Database:
         optimizer_settings: OptimizerSettings | None = None,
         enable_matview_rewrite: bool = True,
         workers: Optional[int] = None,
+        statement_store=None,
     ):
         self.catalog = Catalog()
         self.optimizer_settings = optimizer_settings or OptimizerSettings()
@@ -135,6 +170,19 @@ class Database:
         #: points (the runner installs one for the duration of fault-
         #: injected query runs)
         self.fault_injector = None
+        #: optional :class:`~repro.obs.StatementStore`; when set, every
+        #: statement handed to :meth:`execute` is fingerprinted and its
+        #: outcome folded into per-fingerprint aggregates (queryable as
+        #: ``sys.statements`` / ``sys.queries``).  Statements that scan
+        #: ``sys.*`` tables are never recorded — introspection must not
+        #: pollute the data it reads.  The disabled path costs one
+        #: ``is None`` check.
+        self.statement_store = statement_store
+        #: ``(plan, collector)`` of the most recent statement executed
+        #: under a stats collector — the backing state of
+        #: ``sys.operators``
+        self.last_profiled = None
+        install_sys_tables(self)
 
     # -- DDL -----------------------------------------------------------------
 
@@ -227,27 +275,72 @@ class Database:
             result.elapsed = time.perf_counter() - start
             return result
         statement = parse_statement(sql)
+        store = self.statement_store
+        # recursion guard: introspection queries over sys.* tables are
+        # never recorded into the store they read
+        record = store is not None and not statement_touches_sys(statement)
         start = time.perf_counter()
-        if isinstance(statement, A.Query):
-            if self.fault_injector is not None:
-                self.fault_injector.at_query(sql)
-            resource = self._make_resource(timeout_s, mem_budget_bytes, cancel)
-            result = self._execute_query(
-                statement, sql, resource=resource, pool=self._get_pool(workers)
-            )
-        elif isinstance(statement, A.Insert):
-            result = self._execute_insert(statement)
-        elif isinstance(statement, A.Delete):
-            result = self._execute_delete(statement)
-        elif isinstance(statement, A.Update):
-            result = self._execute_update(statement)
-        else:  # pragma: no cover
-            raise EngineError(f"unsupported statement {type(statement).__name__}")
+        pool = None
+        collector = None
+        try:
+            if isinstance(statement, A.Query):
+                if self.fault_injector is not None:
+                    self.fault_injector.at_query(sql)
+                resource = self._make_resource(
+                    timeout_s, mem_budget_bytes, cancel
+                )
+                pool = self._get_pool(workers)
+                if record:
+                    # a collector rides along so the store sees peak
+                    # operator memory and plan-quality Q-error
+                    collector = ExecStatsCollector()
+                result = self._execute_query(
+                    statement, sql, resource=resource, pool=pool,
+                    collector=collector,
+                    record_profile=store is None or record,
+                )
+            elif isinstance(statement, A.Insert):
+                result = self._execute_insert(statement)
+            elif isinstance(statement, A.Delete):
+                result = self._execute_delete(statement)
+            elif isinstance(statement, A.Update):
+                result = self._execute_update(statement)
+            else:  # pragma: no cover
+                raise EngineError(
+                    f"unsupported statement {type(statement).__name__}"
+                )
+        except Exception as exc:
+            if record:
+                store.record(
+                    sql, time.perf_counter() - start,
+                    status=_failure_status(exc),
+                    workers=getattr(pool, "workers", None) or 1,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            raise
         result.elapsed = time.perf_counter() - start
         registry = get_registry()
         if registry.enabled:
             registry.histogram("engine.statement_seconds").observe(
                 result.elapsed
+            )
+        if record:
+            worst_q = None
+            peak_mem = 0.0
+            if collector is not None:
+                peak_mem = collector.peak_memory_bytes
+                profiled = self.last_profiled
+                if profiled is not None and profiled[1] is collector:
+                    worst_q = _worst_q_error(profiled[0], collector)
+            store.record(
+                sql, result.elapsed, status="ok",
+                rows=(len(result) if isinstance(statement, A.Query)
+                      else result.rowcount),
+                spill_partitions=result.spill_partitions,
+                spilled_bytes=result.spilled_bytes,
+                peak_memory_bytes=peak_mem,
+                workers=getattr(pool, "workers", None) or 1,
+                q_error=worst_q,
             )
         return result
 
@@ -354,6 +447,7 @@ class Database:
             if resource is not None:
                 resource.cleanup()
         elapsed = time.perf_counter() - start
+        self.last_profiled = (plan, collector)
         return plan, batch, collector, used_view, elapsed
 
     def _make_resource(
@@ -447,11 +541,12 @@ class Database:
         sql: str = "",
         resource: ResourceContext | None = None,
         pool=None,
+        collector: ExecStatsCollector | None = None,
+        record_profile: bool = True,
     ) -> Result:
         query, used_view = self._maybe_rewrite(query)
-        collector = (
-            ExecStatsCollector() if self.plan_quality is not None else None
-        )
+        if collector is None and self.plan_quality is not None:
+            collector = ExecStatsCollector()
         start = time.perf_counter()
         try:
             plan, batch = self._execute_plan(query, collector, resource, pool)
@@ -462,7 +557,12 @@ class Database:
                 resource.cleanup()
         elapsed = time.perf_counter() - start
         if collector is not None:
-            self.plan_quality.record(sql, plan, collector)
+            if self.plan_quality is not None:
+                self.plan_quality.record(sql, plan, collector)
+            if record_profile:
+                # sys.operators reads the most recent profiled plan;
+                # introspection statements don't displace it
+                self.last_profiled = (plan, collector)
         if self.trace_queries:
             header = (
                 f"-- rewritten to use materialized view {used_view}\n"

@@ -73,6 +73,7 @@ from .parallel import (
 from .sql import ast_nodes as A
 from .types import Kind
 from .vector import Vector
+from .virtual import VirtualTable
 
 #: guard against runaway cartesian products: a cross join may emit at
 #: most this many rows (every output row materializes all columns of
@@ -337,14 +338,20 @@ class Executor:
 
     def _scan(self, node: P.Scan, row_subset: np.ndarray | None = None) -> Batch:
         table = self._catalog.table(node.table)
-        batch = Batch(
-            {
-                f"{node.binding}.{name}": table.scan_column(name)
-                for name in table.schema.column_names
-            }
-        )
+        if isinstance(table, VirtualTable):
+            # one atomic materialization: the backing state (statement
+            # store, registry, profiler) mutates concurrently, so the
+            # columns must come from a single rows() snapshot
+            batch = table.snapshot(node.binding)
+        else:
+            batch = Batch(
+                {
+                    f"{node.binding}.{name}": table.scan_column(name)
+                    for name in table.schema.column_names
+                }
+            )
         if self._collector is not None:
-            self._collector.add(node, rows_in=table.num_rows,
+            self._collector.add(node, rows_in=batch.num_rows,
                                 pushed_filters=len(node.pushed_filters))
         if row_subset is not None:
             batch = batch.take(row_subset)

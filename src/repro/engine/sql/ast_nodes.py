@@ -154,7 +154,12 @@ class NamedTable(TableRef):
 
     @property
     def binding(self) -> str:
-        return self.alias or self.name
+        # a schema-qualified name binds its bare table name, so
+        # ``FROM sys.statements`` exposes ``statements.query`` (mirrors
+        # how SQL scopes schema-qualified references)
+        if self.alias:
+            return self.alias
+        return self.name.rpartition(".")[2]
 
 
 @dataclass(frozen=True)

@@ -103,6 +103,14 @@ class _Parser:
             return self._advance().value.lower()
         raise self._error("expected identifier")
 
+    def _parse_table_name(self) -> str:
+        """A possibly schema-qualified table name: ``sys.statements``
+        parses as the single dotted name the catalog resolves."""
+        name = self._expect_ident()
+        if self._accept_op("."):
+            name = f"{name}.{self._expect_ident()}"
+        return name
+
     # -- statements ----------------------------------------------------------
 
     def parse_statement(self) -> A.Statement:
@@ -125,7 +133,7 @@ class _Parser:
     def _parse_insert(self) -> A.Insert:
         self._expect_kw("INSERT")
         self._expect_kw("INTO")
-        table = self._expect_ident()
+        table = self._parse_table_name()
         columns: tuple[str, ...] = ()
         if self._cur.is_op("(") and self._peek().type == "IDENT":
             # disambiguate column list from INSERT INTO t (SELECT ...)
@@ -159,13 +167,13 @@ class _Parser:
     def _parse_delete(self) -> A.Delete:
         self._expect_kw("DELETE")
         self._expect_kw("FROM")
-        table = self._expect_ident()
+        table = self._parse_table_name()
         where = self.parse_expr() if self._accept_kw("WHERE") else None
         return A.Delete(table, where)
 
     def _parse_update(self) -> A.Update:
         self._expect_kw("UPDATE")
-        table = self._expect_ident()
+        table = self._parse_table_name()
         self._expect_kw("SET")
         assignments = [self._parse_assignment()]
         while self._accept_op(","):
@@ -368,7 +376,9 @@ class _Parser:
             ref = self._parse_table_ref()
             self._expect_op(")")
             return ref
-        name = self._expect_ident()
+        # dotted (schema-qualified) table names resolve system tables:
+        # FROM sys.statements scans the virtual table "sys.statements"
+        name = self._parse_table_name()
         alias: Optional[str] = None
         if self._accept_kw("AS"):
             alias = self._expect_ident()

@@ -1,0 +1,335 @@
+"""The ``sys.*`` system tables: engine internals queryable via SQL.
+
+:func:`install_sys_tables` registers seven read-only virtual tables on
+a database's catalog; each materializes live state at scan time:
+
+============== =========================================================
+table          backing state
+============== =========================================================
+sys.statements the installed :class:`~repro.obs.statements
+               .StatementStore` — per-fingerprint aggregates
+sys.queries    the store's in-process statement log (status, latency,
+               governor outcome)
+sys.operators  per-operator exec stats of the last profiled statement
+sys.metrics    the process metrics-registry snapshot
+sys.tables     catalog tables with live row counts
+sys.columns    per-column type + optimizer stats (NDV, null fraction)
+sys.pool       worker occupancy / queue wait from the PoolProfiler
+============== =========================================================
+
+Because the catalog resolves them like base tables, the whole dialect
+works over them — joins against ``sys.tables``, ORDER BY over
+``sys.statements``, aggregation, CTEs.  Scans that touch a ``sys.``
+table are never recorded into the statement store
+(:func:`statement_touches_sys` is the recursion guard), so
+introspection cannot pollute the data it reads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..obs import get_profiler, get_registry, q_error
+from .sql import ast_nodes as A
+from .types import ColumnDef, Kind, SqlType, TableSchema, varchar
+from .virtual import VirtualTableProvider
+
+#: the reserved schema prefix for system tables
+SYS_PREFIX = "sys."
+
+
+def _float_type() -> SqlType:
+    return SqlType("double", Kind.FLOAT, 18)
+
+
+def _int_type() -> SqlType:
+    return SqlType("bigint", Kind.INT, 20)
+
+
+def _schema(name: str, columns: list[tuple[str, SqlType]]) -> TableSchema:
+    return TableSchema(
+        name=name,
+        columns=[ColumnDef(cname, ctype) for cname, ctype in columns],
+    )
+
+
+_F, _I, _S = _float_type, _int_type, varchar
+
+
+def install_sys_tables(db) -> None:
+    """Register every ``sys.*`` provider on ``db``'s catalog.
+
+    Providers close over ``db`` and the global registry/profiler
+    accessors, so a statement store installed *after* this call (or a
+    registry enabled mid-session) is picked up on the next scan."""
+    catalog = db.catalog
+
+    def statements_rows() -> list[tuple]:
+        store = db.statement_store
+        if store is None:
+            return []
+        return [
+            (
+                s.fingerprint, s.query, s.calls, s.errors,
+                s.total_elapsed, s.mean_elapsed, s.min_elapsed,
+                s.max_elapsed, s.rows, float(s.peak_memory_bytes),
+                s.spill_partitions, s.spilled_bytes, s.retries,
+                s.max_workers, s.worst_q_error or None,
+            )
+            for s in store.statements()
+        ]
+
+    catalog.register_virtual(VirtualTableProvider(
+        "sys.statements",
+        _schema("sys.statements", [
+            ("fingerprint", _S(16)), ("query", _S(4000)), ("calls", _I()),
+            ("errors", _I()), ("total_elapsed", _F()), ("mean_elapsed", _F()),
+            ("min_elapsed", _F()), ("max_elapsed", _F()), ("rows", _I()),
+            ("peak_memory_bytes", _F()), ("spill_partitions", _I()),
+            ("spilled_bytes", _I()), ("retries", _I()), ("max_workers", _I()),
+            ("worst_q_error", _F()),
+        ]),
+        statements_rows,
+    ))
+
+    def queries_rows() -> list[tuple]:
+        store = db.statement_store
+        if store is None:
+            return []
+        return [
+            (
+                entry["ts"], entry["fingerprint"], entry["query"],
+                entry["status"], entry["elapsed"], entry["rows"],
+                entry["spill_partitions"], entry["spilled_bytes"],
+                entry["workers"], entry["error"] or None,
+            )
+            for entry in store.recent()
+        ]
+
+    catalog.register_virtual(VirtualTableProvider(
+        "sys.queries",
+        _schema("sys.queries", [
+            ("ts", _F()), ("fingerprint", _S(16)), ("query", _S(500)),
+            ("status", _S(16)), ("elapsed", _F()), ("rows", _I()),
+            ("spill_partitions", _I()), ("spilled_bytes", _I()),
+            ("workers", _I()), ("error", _S(500)),
+        ]),
+        queries_rows,
+    ))
+
+    def operators_rows() -> list[tuple]:
+        profiled = getattr(db, "last_profiled", None)
+        if profiled is None:
+            return []
+        plan, collector = profiled
+        rows: list[tuple] = []
+
+        def visit(node, depth: int) -> None:
+            stats = collector.stats_for(node)
+            est = node.estimated_rows
+            q_err = None
+            if stats is not None and est is not None:
+                q_err = q_error(est, stats.rows_out)
+            rows.append((
+                len(rows), depth, node.label(),
+                stats.rows_out if stats is not None else None,
+                stats.elapsed if stats is not None else None,
+                stats.invocations if stats is not None else 0,
+                float(est) if est is not None else None,
+                q_err,
+                float(stats.extra.get("mem_bytes", 0.0)) if stats is not None else 0.0,
+            ))
+            for child in node.children():
+                visit(child, depth + 1)
+
+        visit(plan, 0)
+        return rows
+
+    catalog.register_virtual(VirtualTableProvider(
+        "sys.operators",
+        _schema("sys.operators", [
+            ("op_id", _I()), ("depth", _I()), ("operator", _S(200)),
+            ("rows", _I()), ("elapsed", _F()), ("invocations", _I()),
+            ("estimated_rows", _F()), ("q_error", _F()), ("mem_bytes", _F()),
+        ]),
+        operators_rows,
+    ))
+
+    def metrics_rows() -> list[tuple]:
+        registry = get_registry()
+        if not registry.enabled:
+            return []
+        rows = []
+        for name, inst in registry.snapshot().items():
+            kind = inst.get("type", "")
+            rows.append((
+                name, kind, inst.get("value"), inst.get("count"),
+                inst.get("sum"), inst.get("mean"), inst.get("p50"),
+                inst.get("p95"), inst.get("p99"),
+            ))
+        return rows
+
+    catalog.register_virtual(VirtualTableProvider(
+        "sys.metrics",
+        _schema("sys.metrics", [
+            ("name", _S(200)), ("type", _S(16)), ("value", _F()),
+            ("count", _I()), ("sum", _F()), ("mean", _F()),
+            ("p50", _F()), ("p95", _F()), ("p99", _F()),
+        ]),
+        metrics_rows,
+    ))
+
+    def tables_rows() -> list[tuple]:
+        rows = []
+        for name in catalog.table_names:
+            table = catalog.table(name)
+            stats = catalog.stats(name)
+            indexes = sum(1 for key in catalog.index_keys if key[0] == name)
+            rows.append((
+                name, table.num_rows, len(table.schema.columns),
+                indexes, stats is not None,
+            ))
+        return rows
+
+    catalog.register_virtual(VirtualTableProvider(
+        "sys.tables",
+        _schema("sys.tables", [
+            ("name", _S(100)), ("rows", _I()), ("columns", _I()),
+            ("indexes", _I()), ("analyzed", _bool_type()),
+        ]),
+        tables_rows,
+    ))
+
+    def columns_rows() -> list[tuple]:
+        rows = []
+        for name in catalog.table_names:
+            table = catalog.table(name)
+            stats = catalog.stats(name)
+            for column in table.schema.columns:
+                cstats = stats.columns.get(column.name) if stats else None
+                rows.append((
+                    name, column.name, column.sql_type.name,
+                    cstats.ndv if cstats else None,
+                    cstats.null_fraction if cstats else None,
+                    _render(cstats.min_value) if cstats else None,
+                    _render(cstats.max_value) if cstats else None,
+                ))
+        return rows
+
+    catalog.register_virtual(VirtualTableProvider(
+        "sys.columns",
+        _schema("sys.columns", [
+            ("table_name", _S(100)), ("column_name", _S(100)),
+            ("type", _S(32)), ("ndv", _I()), ("null_fraction", _F()),
+            ("min_value", _S(100)), ("max_value", _S(100)),
+        ]),
+        columns_rows,
+    ))
+
+    def pool_rows() -> list[tuple]:
+        profiler = get_profiler()
+        if not getattr(profiler, "enabled", False):
+            return []
+        records = list(profiler.records)
+        occupancy = profiler.worker_occupancy()
+        waits: dict[int, float] = {}
+        for _, worker, _, wait_s, _ in records:
+            waits[worker] = waits.get(worker, 0.0) + wait_s
+        return [
+            (
+                worker, slot["morsels"], slot["busy_s"],
+                slot["occupancy"], waits.get(worker, 0.0),
+            )
+            for worker, slot in sorted(occupancy.items())
+        ]
+
+    catalog.register_virtual(VirtualTableProvider(
+        "sys.pool",
+        _schema("sys.pool", [
+            ("worker", _I()), ("morsels", _I()), ("busy_s", _F()),
+            ("occupancy", _F()), ("wait_s", _F()),
+        ]),
+        pool_rows,
+    ))
+
+
+def _bool_type() -> SqlType:
+    return SqlType("boolean", Kind.BOOL, 5)
+
+
+def _render(value) -> Optional[str]:
+    return None if value is None else str(value)
+
+
+# -- the recursion guard ------------------------------------------------------
+
+
+def statement_touches_sys(statement: A.Statement) -> bool:
+    """True when any table reference anywhere in the statement (CTEs,
+    derived tables, expression subqueries included) names a ``sys.``
+    table — such statements are introspection and must never be
+    recorded into the statement store they read."""
+    return any(
+        name.startswith(SYS_PREFIX) for name in _statement_tables(statement)
+    )
+
+
+def _statement_tables(statement: A.Statement):
+    if isinstance(statement, A.Query):
+        yield from _query_tables(statement)
+    elif isinstance(statement, A.Insert):
+        yield statement.table
+        if statement.query is not None:
+            yield from _query_tables(statement.query)
+        for row in statement.rows:
+            for expr in row:
+                yield from _expr_tables(expr)
+    elif isinstance(statement, (A.Delete, A.Update)):
+        yield statement.table
+        if statement.where is not None:
+            yield from _expr_tables(statement.where)
+        if isinstance(statement, A.Update):
+            for _, expr in statement.assignments:
+                yield from _expr_tables(expr)
+
+
+def _query_tables(query: A.Query):
+    for cte in query.ctes:
+        yield from _query_tables(cte.query)
+    yield from _body_tables(query.body)
+    for key in query.order_by:
+        yield from _expr_tables(key.expr)
+
+
+def _body_tables(body):
+    if isinstance(body, A.SetOp):
+        yield from _body_tables(body.left)
+        yield from _body_tables(body.right)
+        return
+    for item in body.items:
+        yield from _expr_tables(item.expr)
+    for ref in body.from_:
+        yield from _table_ref_tables(ref)
+    for expr in (body.where, body.having):
+        if expr is not None:
+            yield from _expr_tables(expr)
+    for expr in body.group_by:
+        yield from _expr_tables(expr)
+
+
+def _table_ref_tables(ref: A.TableRef):
+    if isinstance(ref, A.NamedTable):
+        yield ref.name
+    elif isinstance(ref, A.DerivedTable):
+        yield from _query_tables(ref.query)
+    elif isinstance(ref, A.JoinRef):
+        yield from _table_ref_tables(ref.left)
+        yield from _table_ref_tables(ref.right)
+        if ref.on is not None:
+            yield from _expr_tables(ref.on)
+
+
+def _expr_tables(expr: A.Expr):
+    for node in A.walk(expr):
+        if isinstance(node, (A.InSubquery, A.Exists, A.ScalarSubquery)):
+            yield from _query_tables(node.query)

@@ -29,6 +29,10 @@ disabled (the default):
   wait and run time, per-worker occupancy, per-operator skew.
 * :mod:`repro.obs.report_html` — the self-contained HTML dashboard
   rendered by ``tpcds-py obs report``.
+* :mod:`repro.obs.fingerprint` / :mod:`repro.obs.statements` — SQL
+  statement fingerprinting (normalized text -> stable hash) and the
+  crash-safe per-fingerprint :class:`StatementStore` that backs the
+  ``sys.statements`` / ``sys.queries`` system tables.
 
 The global tracer and registry start *disabled*: every instrumentation
 site is guarded by a single attribute check, so a run that never turns
@@ -36,6 +40,13 @@ observability on pays only that check (measured < 2% on the tier-1
 query suite — see ``benchmarks/check_overhead.py``).
 """
 
+from .fingerprint import fingerprint, normalize_statement
+from .statements import (
+    DEFAULT_STORE_PATH,
+    StatementStats,
+    StatementStore,
+    load_store,
+)
 from .exec_stats import (
     MISESTIMATE_THRESHOLD,
     ExecStatsCollector,
@@ -62,12 +73,14 @@ from .regress import (
     compare_latest,
     git_sha,
     load_history,
+    prune_history,
 )
 from .report_html import render_html_report
 from .telemetry import (
     PERCENTILES,
     MetricsSampler,
     latency_percentiles,
+    load_metrics_series,
     to_chrome_trace,
     validate_chrome_trace,
     worker_lanes,
@@ -105,6 +118,7 @@ __all__ = [
     "PERCENTILES",
     "MetricsSampler",
     "latency_percentiles",
+    "load_metrics_series",
     "to_chrome_trace",
     "validate_chrome_trace",
     "worker_lanes",
@@ -115,4 +129,11 @@ __all__ = [
     "set_profiler",
     "skew_ratio",
     "render_html_report",
+    "fingerprint",
+    "normalize_statement",
+    "StatementStats",
+    "StatementStore",
+    "DEFAULT_STORE_PATH",
+    "load_store",
+    "prune_history",
 ]

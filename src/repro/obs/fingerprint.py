@@ -1,0 +1,83 @@
+"""Statement fingerprinting: normalized SQL -> stable hash.
+
+pg_stat_statements-style: two statements that differ only in literal
+values share one fingerprint, so the statement store can aggregate all
+qgen variants of a template under a single key.  Normalization rules
+(applied on the engine lexer's token stream, so comments and whitespace
+are already gone):
+
+* ``NUMBER`` and ``STRING`` literals (including ``DATE '...'``) become
+  the placeholder ``?``;
+* runs of placeholders inside an IN-list collapse to a single one —
+  ``IN (?, ?, ?)`` and ``IN (?)`` fingerprint identically, because
+  qgen emits IN-lists whose *length* varies per stream;
+* keywords are uppercased and identifiers lowercased (the lexer
+  already folds case), and tokens are joined with single spaces.
+
+The fingerprint is the first 16 hex digits of the SHA-256 of the
+normalized text: stable across processes, platforms and runs.
+Statements the lexer rejects fall back to whitespace-collapsed raw
+text, so even unparseable input gets a deterministic fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from functools import lru_cache
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def _normalize_tokens(sql: str) -> str:
+    # lazy import: repro.engine imports repro.obs at module load, so a
+    # module-level import here would cycle back into the half-built
+    # engine package
+    from ..engine.sql.lexer import tokenize
+
+    parts: list[str] = []
+    for token in tokenize(sql):
+        if token.type == "EOF":
+            break
+        if token.type in ("NUMBER", "STRING"):
+            parts.append("?")
+        else:
+            parts.append(token.value)
+    # DATE '1999-01-01' normalized to DATE ? — drop the keyword too so
+    # a plain string literal in the same slot fingerprints identically
+    out: list[str] = []
+    for part in parts:
+        if part == "?" and out and out[-1] == "DATE":
+            out[-1] = "?"
+        else:
+            out.append(part)
+    # collapse literal runs: "? , ? , ?" -> "?" (IN-lists of varying
+    # length share one fingerprint)
+    collapsed: list[str] = []
+    for part in out:
+        if (
+            part == "?"
+            and len(collapsed) >= 2
+            and collapsed[-1] == ","
+            and collapsed[-2] == "?"
+        ):
+            collapsed.pop()
+            continue
+        collapsed.append(part)
+    return " ".join(collapsed)
+
+
+@lru_cache(maxsize=4096)
+def normalize_statement(sql: str) -> str:
+    """The literal-stripped, case-folded, single-spaced form of ``sql``."""
+    try:
+        return _normalize_tokens(sql)
+    except Exception:
+        return _WHITESPACE.sub(" ", sql.strip())
+
+
+@lru_cache(maxsize=4096)
+def fingerprint(sql: str) -> str:
+    """A 16-hex-digit stable hash of the normalized statement."""
+    normalized = normalize_statement(sql)
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()[:16]

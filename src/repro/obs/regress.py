@@ -99,6 +99,40 @@ def load_history(path: str) -> list[dict]:
     return records
 
 
+def prune_history(path: str, keep: int) -> tuple[int, int]:
+    """Bound ``history.jsonl`` growth: keep the last ``keep`` records
+    per ``(git SHA, module)`` pair, preserving append order, and
+    rewrite the file atomically (write-temp-then-rename).  Returns
+    ``(kept, dropped)``; a missing file is ``(0, 0)``."""
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    records = load_history(path)
+    if not records:
+        return (0, 0)
+    counts: dict[tuple[str, str], int] = {}
+    for record in records:
+        key = (record.get("sha", ""), record.get("module", ""))
+        counts[key] = counts.get(key, 0) + 1
+    seen: dict[tuple[str, str], int] = {}
+    kept: list[dict] = []
+    for record in records:
+        key = (record.get("sha", ""), record.get("module", ""))
+        seen[key] = seen.get(key, 0) + 1
+        # keep the *last* N per key: skip the first (count - keep)
+        if seen[key] > counts[key] - keep:
+            kept.append(record)
+    dropped = len(records) - len(kept)
+    if dropped:
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in kept:
+                handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    return (len(kept), dropped)
+
+
 @dataclass
 class BenchDelta:
     """One test's latest-vs-previous comparison."""

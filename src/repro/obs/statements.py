@@ -1,0 +1,328 @@
+"""The fingerprinted statement store behind ``sys.statements``.
+
+Every statement the engine executes (while a store is installed on the
+:class:`~repro.engine.database.Database`) is fingerprinted
+(:mod:`repro.obs.fingerprint`) and folded into per-fingerprint
+aggregates: calls, errors, total/min/max elapsed, rows, peak operator
+memory, spill bytes/partitions, retries, widest worker fan-out and the
+worst plan-quality Q-error observed.  The store is the durable data
+plane the admission controller and the Q-error feedback loop consume.
+
+Persistence is a crash-safe JSONL journal (default under
+``benchmarks/results/``): each recorded statement appends one
+*mergeable delta* line, flushed and fsynced immediately, so a SIGKILL
+mid-run loses at most the statement being written.  On open the store
+replays the journal (tolerating a torn final line) and, once the
+journal grows far past the number of distinct fingerprints, compacts
+it back to one aggregate line per fingerprint via the usual
+write-temp-then-rename dance.
+
+The store also keeps a bounded in-process statement log (raw SQL,
+status, latency, governor outcome) that backs ``sys.queries``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from .fingerprint import fingerprint, normalize_statement
+
+#: default journal location, per the full-disclosure convention
+DEFAULT_STORE_PATH = os.path.join("benchmarks", "results", "statements.jsonl")
+
+#: compact the journal on open once it holds this many lines *and*
+#: exceeds eight deltas per distinct fingerprint
+COMPACT_MIN_LINES = 1024
+
+#: raw SQL stored in the sys.queries log is truncated to this length
+MAX_LOGGED_SQL = 500
+
+
+@dataclass
+class StatementStats:
+    """Per-fingerprint aggregates, mergeable across deltas and runs."""
+
+    fingerprint: str
+    query: str  # normalized statement text
+    calls: int = 0
+    errors: int = 0
+    total_elapsed: float = 0.0
+    min_elapsed: Optional[float] = None
+    max_elapsed: float = 0.0
+    rows: int = 0
+    peak_memory_bytes: float = 0.0
+    spill_partitions: int = 0
+    spilled_bytes: int = 0
+    retries: int = 0
+    max_workers: int = 0
+    worst_q_error: float = 0.0
+
+    @property
+    def mean_elapsed(self) -> float:
+        return self.total_elapsed / self.calls if self.calls else 0.0
+
+    def merge(self, delta: dict) -> None:
+        """Fold one journal delta (or another stats record) in."""
+        self.calls += int(delta.get("calls", 0))
+        self.errors += int(delta.get("errors", 0))
+        self.total_elapsed += float(delta.get("total", 0.0))
+        d_min = delta.get("min")
+        if d_min is not None:
+            self.min_elapsed = (
+                float(d_min) if self.min_elapsed is None
+                else min(self.min_elapsed, float(d_min))
+            )
+        self.max_elapsed = max(self.max_elapsed, float(delta.get("max", 0.0)))
+        self.rows += int(delta.get("rows", 0))
+        self.peak_memory_bytes = max(
+            self.peak_memory_bytes, float(delta.get("peak_mem", 0.0))
+        )
+        self.spill_partitions += int(delta.get("spill_parts", 0))
+        self.spilled_bytes += int(delta.get("spill_bytes", 0))
+        self.retries += int(delta.get("retries", 0))
+        self.max_workers = max(self.max_workers, int(delta.get("workers", 0)))
+        q_err = delta.get("q_err")
+        if q_err is not None:
+            self.worst_q_error = max(self.worst_q_error, float(q_err))
+
+    def as_delta(self) -> dict:
+        """The aggregate as one journal line (used by compaction)."""
+        return {
+            "fp": self.fingerprint,
+            "q": self.query,
+            "calls": self.calls,
+            "errors": self.errors,
+            "total": self.total_elapsed,
+            "min": self.min_elapsed,
+            "max": self.max_elapsed,
+            "rows": self.rows,
+            "peak_mem": self.peak_memory_bytes,
+            "spill_parts": self.spill_partitions,
+            "spill_bytes": self.spilled_bytes,
+            "retries": self.retries,
+            "workers": self.max_workers,
+            "q_err": self.worst_q_error or None,
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-ready aggregate for reports and ``obs top``."""
+        return {
+            "fingerprint": self.fingerprint,
+            "query": self.query,
+            "calls": self.calls,
+            "errors": self.errors,
+            "total_elapsed": self.total_elapsed,
+            "mean_elapsed": self.mean_elapsed,
+            "min_elapsed": self.min_elapsed,
+            "max_elapsed": self.max_elapsed,
+            "rows": self.rows,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "spill_partitions": self.spill_partitions,
+            "spilled_bytes": self.spilled_bytes,
+            "retries": self.retries,
+            "max_workers": self.max_workers,
+            "worst_q_error": self.worst_q_error,
+        }
+
+
+class StatementStore:
+    """Thread-safe fingerprint -> :class:`StatementStats` map with a
+    crash-safe JSONL journal and a bounded in-process statement log.
+
+    ``path=None`` keeps the store memory-only (tests, ad-hoc
+    sessions); otherwise the journal is replayed on open so history
+    survives across processes."""
+
+    def __init__(self, path: Optional[str] = None, keep_queries: int = 256):
+        self.path = path
+        self._lock = threading.Lock()
+        self._stats: dict[str, StatementStats] = {}
+        self._log: deque = deque(maxlen=keep_queries)
+        self._handle = None
+        if path is not None:
+            lines = self._replay(path)
+            self._maybe_compact(path, lines)
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(path, "a", encoding="utf-8")
+
+    # -- persistence -------------------------------------------------------
+
+    def _replay(self, path: str) -> int:
+        """Merge every journal line (malformed / torn lines skipped —
+        a SIGKILL mid-append leaves at most one partial line)."""
+        if not os.path.exists(path):
+            return 0
+        lines = 0
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                lines += 1
+                try:
+                    delta = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                fp = delta.get("fp")
+                if not fp:
+                    continue
+                self._slot(fp, delta.get("q", "")).merge(delta)
+        return lines
+
+    def _maybe_compact(self, path: str, lines: int) -> None:
+        if lines < COMPACT_MIN_LINES or lines <= 8 * max(len(self._stats), 1):
+            return
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for fp in sorted(self._stats):
+                handle.write(json.dumps(self._stats[fp].as_delta()) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def _append(self, delta: dict) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(delta) + "\n")
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "StatementStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- recording ---------------------------------------------------------
+
+    def _slot(self, fp: str, query: str) -> StatementStats:
+        stats = self._stats.get(fp)
+        if stats is None:
+            stats = StatementStats(fingerprint=fp, query=query)
+            self._stats[fp] = stats
+        elif not stats.query and query:
+            stats.query = query
+        return stats
+
+    def record(
+        self,
+        sql: str,
+        elapsed: float,
+        status: str = "ok",
+        rows: int = 0,
+        spill_partitions: int = 0,
+        spilled_bytes: int = 0,
+        peak_memory_bytes: float = 0.0,
+        workers: int = 1,
+        q_error: Optional[float] = None,
+        error: str = "",
+    ) -> StatementStats:
+        """Fold one executed statement into its fingerprint's
+        aggregates, journal the delta, and log it for ``sys.queries``."""
+        fp = fingerprint(sql)
+        delta = {
+            "fp": fp,
+            "q": normalize_statement(sql),
+            "calls": 1,
+            "errors": 0 if status == "ok" else 1,
+            "total": elapsed,
+            "min": elapsed,
+            "max": elapsed,
+            "rows": rows,
+            "peak_mem": peak_memory_bytes,
+            "spill_parts": spill_partitions,
+            "spill_bytes": spilled_bytes,
+            "workers": workers,
+            "q_err": q_error,
+        }
+        with self._lock:
+            stats = self._slot(fp, delta["q"])
+            stats.merge(delta)
+            self._append(delta)
+            self._log.append({
+                "ts": time.time(),
+                "fingerprint": fp,
+                "query": sql.strip()[:MAX_LOGGED_SQL],
+                "status": status,
+                "elapsed": elapsed,
+                "rows": rows,
+                "spill_partitions": spill_partitions,
+                "spilled_bytes": spilled_bytes,
+                "workers": workers,
+                "error": error[:MAX_LOGGED_SQL],
+            })
+        return stats
+
+    def note_retry(self, sql: str, count: int = 1) -> None:
+        """Credit ``count`` runner-level retries to a statement's
+        fingerprint (the engine itself never retries)."""
+        fp = fingerprint(sql)
+        delta = {"fp": fp, "q": normalize_statement(sql), "retries": count}
+        with self._lock:
+            self._slot(fp, delta["q"]).merge(delta)
+            self._append(delta)
+
+    # -- reading -----------------------------------------------------------
+
+    def statements(self) -> list[StatementStats]:
+        """All aggregates, ordered by fingerprint (deterministic)."""
+        with self._lock:
+            return [self._stats[fp] for fp in sorted(self._stats)]
+
+    def get(self, fp: str) -> Optional[StatementStats]:
+        with self._lock:
+            return self._stats.get(fp)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._stats)
+
+    def recent(self) -> list[dict]:
+        """The bounded in-process statement log (``sys.queries``)."""
+        with self._lock:
+            return list(self._log)
+
+    def top(self, by: str = "total_elapsed", limit: int = 10) -> list[StatementStats]:
+        """The worst offenders by an aggregate column (ties broken by
+        fingerprint so output is stable)."""
+        rows = self.statements()
+        if rows and not hasattr(rows[0], by):
+            raise ValueError(f"unknown statement-store column {by!r}")
+        return sorted(
+            rows, key=lambda s: (-(getattr(s, by) or 0), s.fingerprint)
+        )[:limit]
+
+    def as_dict(self, limit: int = 10) -> dict:
+        """JSON-ready summary for the disclosure report: top offenders
+        by total elapsed time and by spilled bytes."""
+        return {
+            "path": self.path,
+            "fingerprints": len(self),
+            "top_elapsed": [s.as_dict() for s in self.top("total_elapsed", limit)],
+            "top_spilled": [
+                s.as_dict()
+                for s in self.top("spilled_bytes", limit)
+                if s.spilled_bytes
+            ],
+        }
+
+
+def load_store(path: str) -> StatementStore:
+    """Open a store read-mostly (the CLI's ``obs top`` entry point)."""
+    return StatementStore(path)

@@ -24,6 +24,7 @@ artifacts a human (or a viewer) can consume after the fact:
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from typing import Optional, Sequence
@@ -193,6 +194,7 @@ class MetricsSampler:
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._handle = None
+        self._stopped = False
 
     def sample(self) -> dict:
         """Take (and record) one snapshot immediately."""
@@ -214,6 +216,7 @@ class MetricsSampler:
         if self.path is not None:
             self._handle = open(self.path, "a", encoding="utf-8")
         self._stop.clear()
+        self._stopped = False
         self._thread = threading.Thread(
             target=self._run, name="obs-metrics-sampler", daemon=True
         )
@@ -221,7 +224,15 @@ class MetricsSampler:
         return self
 
     def stop(self) -> list[dict]:
-        """Stop sampling, take a final snapshot, return the series."""
+        """Stop sampling, take a final snapshot, return the series.
+
+        Idempotent: only the first call takes the final sample and
+        closes the JSONL mirror; later calls just return the series
+        (both the runner's ``finally`` and a context-manager ``__exit__``
+        may call it)."""
+        if self._stopped:
+            return self.samples
+        self._stopped = True
         if self._thread is not None:
             self._stop.set()
             self._thread.join(timeout=5.0)
@@ -237,3 +248,24 @@ class MetricsSampler:
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+
+def load_metrics_series(path: str) -> list[dict]:
+    """Load a sampler's JSONL mirror, tolerating a torn final line (a
+    run killed mid-append leaves at most one partial record).  Missing
+    file -> empty series."""
+    if not os.path.exists(path):
+        return []
+    series = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "ts" in record:
+                series.append(record)
+    return series

@@ -40,6 +40,7 @@ from ..obs import (
     MetricsSampler,
     PlanQualityAggregator,
     PoolProfiler,
+    StatementStore,
     Tracer,
     get_registry,
     latency_percentiles,
@@ -170,6 +171,11 @@ class BenchmarkConfig:
     sample_metrics: bool = False
     sample_interval_s: float = 0.25
     sample_metrics_path: Optional[str] = None
+    #: journal every executed statement into a fingerprinted
+    #: :class:`~repro.obs.statements.StatementStore` at this path; the
+    #: aggregates land in ``BenchmarkResult.statements`` and stay
+    #: queryable through ``sys.statements`` afterwards
+    statement_store_path: Optional[str] = None
 
     def resolved_streams(self) -> int:
         return self.streams or minimum_streams(self.scale_factor)
@@ -298,6 +304,8 @@ class BenchmarkRun:
             db = Database(
                 optimizer_settings=config.optimizer, workers=config.workers
             )
+            if config.statement_store_path:
+                db.statement_store = StatementStore(config.statement_store_path)
             start = time.perf_counter()
             with self.tracer.span("load_tables"):
                 load_tables(db, self.data)
@@ -463,6 +471,10 @@ class BenchmarkRun:
             if transient and attempts <= config.max_query_retries:
                 if registry.enabled:
                     registry.counter("runner.query_retries").add()
+                store = self.db.statement_store
+                if store is not None:
+                    for statement in query.statements:
+                        store.note_retry(statement)
                 backoff = min(
                     config.retry_backoff_s * (2 ** (attempts - 1)),
                     config.retry_backoff_cap_s,
@@ -641,6 +653,9 @@ class BenchmarkResult:
     parallelism: Optional[dict] = None
     #: registry time-series from the background sampler, when sampled
     metrics_series: list = field(default_factory=list)
+    #: statement-store summary (top offenders by elapsed / spill) when
+    #: the run was configured with ``statement_store_path``
+    statements: Optional[dict] = None
 
     @property
     def all_timings(self) -> list[QueryTiming]:
@@ -763,4 +778,8 @@ def run_benchmark(config: BenchmarkConfig) -> tuple[BenchmarkResult, BenchmarkRu
         parallelism=profiler.as_dict() if profiler is not None else None,
         metrics_series=sampler.samples if sampler is not None else [],
     )
+    store = run.db.statement_store if run.db is not None else None
+    if store is not None:
+        result.statements = store.as_dict()
+        store.close()
     return result, run

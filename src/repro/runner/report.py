@@ -183,6 +183,9 @@ def render_full_disclosure(result: BenchmarkResult, top: int = 15) -> str:
     if result.plan_quality:
         lines.append("")
         lines.extend(render_plan_quality(result.plan_quality))
+    if result.statements and result.statements.get("fingerprints"):
+        lines.append("")
+        lines.extend(render_statement_offenders(result.statements))
     if result.trace:
         lines.append("")
         lines.extend(render_phase_breakdown(result.trace))
@@ -280,7 +283,39 @@ def telemetry_bundle(result: BenchmarkResult,
         "plan_quality": result.plan_quality,
         "metrics": metrics,
         "metrics_series": result.metrics_series,
+        "statements": result.statements,
     }
+
+
+def render_statement_offenders(statements: dict, top: int = 10) -> list[str]:
+    """The "top offenders by fingerprint" section: the statement
+    store's worst statements by total elapsed time (and by spill
+    volume when anything spilled), the same aggregates ``SELECT ...
+    FROM sys.statements ORDER BY total_elapsed DESC`` returns."""
+    lines = [
+        "top statements by fingerprint (statement store)",
+        f"  distinct fingerprints: {statements.get('fingerprints', 0)}",
+        f"  {'calls':>6s} {'total':>10s} {'mean':>9s} {'rows':>9s} "
+        f"{'q_err':>6s}  fingerprint / statement",
+    ]
+    for rec in statements.get("top_elapsed", [])[:top]:
+        query = " ".join(rec.get("query", "").split())
+        lines.append(
+            f"  {rec['calls']:>6d} {format_seconds(rec['total_elapsed']):>10s} "
+            f"{rec['mean_elapsed'] * 1000:>7.1f}ms {rec['rows']:>9d} "
+            f"{rec.get('worst_q_error') or 0.0:>6.1f}  "
+            f"{rec['fingerprint']}  {query:.60s}"
+        )
+    spilled = statements.get("top_spilled", [])[:top]
+    if spilled:
+        lines.append(f"  {'spill':>10s}  fingerprint / statement")
+        for rec in spilled:
+            query = " ".join(rec.get("query", "").split())
+            lines.append(
+                f"  {rec['spilled_bytes']:>10,}  {rec['fingerprint']}  "
+                f"{query:.60s}"
+            )
+    return lines
 
 
 def render_plan_quality(quality: dict, top: int = 10) -> list[str]:

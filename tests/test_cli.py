@@ -154,6 +154,26 @@ def test_obs_report_from_bundle(tmp_path, capsys):
     assert "latency percentiles" in html
 
 
+def test_obs_trace_streams_to_stdout(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    bundle = _telemetry_fixture(tmp_path)
+    assert main(["obs", "trace", "--input", bundle, "--output", "-"]) == 0
+    out = capsys.readouterr().out
+    doc = json.loads(out)  # stdout is the document, nothing else
+    assert validate_chrome_trace(doc) == []
+
+
+def test_obs_report_streams_to_stdout(tmp_path, capsys):
+    bundle = _telemetry_fixture(tmp_path)
+    assert main(["obs", "report", "--input", bundle, "--output", "-"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("<!DOCTYPE html>")
+    assert "dashboard written" not in out
+
+
 def test_explain_command(capsys):
     assert main(["explain", "--scale", "0.001", "--template", "52"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,391 @@
+"""SQL-queryable introspection: the ``sys.*`` virtual tables, the
+fingerprinted statement store behind them, and the CLI surfaces
+(``obs top`` / ``obs history --prune``) built on the same store."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.engine import Database
+from repro.engine.errors import CatalogError, ExecutionError
+from repro.obs import (
+    StatementStore,
+    fingerprint,
+    load_store,
+    normalize_statement,
+    prune_history,
+)
+
+from tests.conftest import make_simple_db
+
+
+def rows(db, sql):
+    return db.execute(sql).rows()
+
+
+@pytest.fixture()
+def recording_db():
+    db = make_simple_db()
+    db.statement_store = StatementStore()
+    return db
+
+
+# -- fingerprinting ---------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_literals_collapse_to_placeholder(self):
+        a = "SELECT item_sk FROM sales WHERE price = 5.0"
+        b = "SELECT item_sk FROM sales WHERE price = 99.25"
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_string_literals_collapse(self):
+        a = "SELECT * FROM item WHERE i_brand = 'b1'"
+        b = "SELECT * FROM item WHERE i_brand = 'zzz'"
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_in_list_length_is_irrelevant(self):
+        a = "SELECT 1 FROM sales WHERE item_sk IN (1, 2, 3, 4)"
+        b = "SELECT 1 FROM sales WHERE item_sk IN (7)"
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_whitespace_and_keyword_case_fold(self):
+        a = "select   item_sk\nfrom sales\twhere qty = 1"
+        b = "SELECT item_sk FROM sales WHERE qty = 2"
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_different_shapes_differ(self):
+        a = "SELECT item_sk FROM sales WHERE price = 5.0"
+        b = "SELECT cust_sk FROM sales WHERE price = 5.0"
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_normalized_text_is_readable(self):
+        out = normalize_statement(
+            "SELECT item_sk FROM sales WHERE price = 5.0 AND qty IN (1, 2)"
+        )
+        assert out == (
+            "SELECT item_sk FROM sales WHERE price = ? AND qty IN ( ? )"
+        )
+
+    def test_unparseable_sql_still_fingerprints(self):
+        # lexer failures degrade to whitespace-folded raw text
+        assert fingerprint("SELECT \x00!bogus") == fingerprint(
+            "SELECT   \x00!bogus"
+        )
+
+
+# -- the statement store ----------------------------------------------------
+
+
+class TestStatementStore:
+    def test_aggregates_merge_across_variants(self, recording_db):
+        db = recording_db
+        db.execute("SELECT item_sk FROM sales WHERE price = 5.0")
+        db.execute("SELECT item_sk FROM sales WHERE price = 10.0")
+        store = db.statement_store
+        assert len(store) == 1
+        stats = store.statements()[0]
+        assert stats.calls == 2
+        assert stats.rows == 2  # one matching row per variant
+        assert stats.min_elapsed <= stats.mean_elapsed <= stats.max_elapsed
+        assert stats.total_elapsed > 0
+
+    def test_failures_count_as_errors(self, recording_db):
+        db = recording_db
+        with pytest.raises(Exception):
+            db.execute("SELECT no_such_column FROM sales")
+        stats = db.statement_store.statements()[0]
+        assert stats.calls == 1
+        assert stats.errors == 1
+        entry = db.statement_store.recent()[-1]
+        assert entry["status"] == "failed"
+        assert entry["error"]
+
+    def test_top_ranks_and_rejects_unknown_columns(self, recording_db):
+        db = recording_db
+        db.execute("SELECT COUNT(*) FROM sales")
+        db.execute("SELECT COUNT(*) FROM item")
+        store = db.statement_store
+        top = store.top(by="calls", limit=1)
+        assert len(top) == 1
+        with pytest.raises(ValueError):
+            store.top(by="drop_table")
+
+    def test_journal_roundtrip(self, tmp_path):
+        path = str(tmp_path / "statements.jsonl")
+        with StatementStore(path) as store:
+            store.record("SELECT 1 FROM sales WHERE qty = 1", 0.5, rows=3)
+            store.record("SELECT 1 FROM sales WHERE qty = 9", 1.5, rows=4)
+            store.note_retry("SELECT 1 FROM sales WHERE qty = 1")
+        reloaded = load_store(path)
+        assert len(reloaded) == 1
+        stats = reloaded.statements()[0]
+        assert stats.calls == 2
+        assert stats.rows == 7
+        assert stats.retries == 1
+        assert stats.total_elapsed == pytest.approx(2.0)
+        assert stats.min_elapsed == pytest.approx(0.5)
+        assert stats.max_elapsed == pytest.approx(1.5)
+        reloaded.close()
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "statements.jsonl")
+        with StatementStore(path) as store:
+            store.record("SELECT 1 FROM sales", 0.25)
+        # simulate a SIGKILL mid-append: a partial JSON line at the end
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"fp": "deadbeef", "q": "SELECT trunc')
+        reloaded = load_store(path)
+        assert len(reloaded) == 1
+        assert reloaded.statements()[0].calls == 1
+        reloaded.close()
+
+    def test_compaction_bounds_the_journal(self, tmp_path):
+        path = str(tmp_path / "statements.jsonl")
+        with StatementStore(path) as store:
+            for _ in range(1200):
+                store.record("SELECT 1 FROM sales", 0.001)
+        assert sum(1 for _ in open(path)) >= 1200
+        reloaded = StatementStore(path)
+        assert reloaded.statements()[0].calls == 1200
+        reloaded.close()
+        # one distinct fingerprint -> compacted to one aggregate line
+        assert sum(1 for _ in open(path)) == 1
+
+    def test_as_dict_carries_top_offenders(self, recording_db):
+        db = recording_db
+        db.execute("SELECT COUNT(*) FROM sales")
+        payload = db.statement_store.as_dict()
+        assert payload["fingerprints"] == 1
+        assert payload["top_elapsed"][0]["calls"] == 1
+        assert payload["top_spilled"] == []  # nothing spilled
+
+
+# -- sys.* virtual tables ---------------------------------------------------
+
+
+class TestSysTables:
+    def test_statements_table_orders_by_total_elapsed(self, recording_db):
+        db = recording_db
+        db.execute("SELECT item_sk FROM sales WHERE price = 5.0")
+        db.execute("SELECT COUNT(*) FROM item")
+        out = rows(db, "SELECT query, calls, mean_elapsed, spilled_bytes"
+                       " FROM sys.statements ORDER BY total_elapsed DESC")
+        assert len(out) == 2
+        assert any("?" in query for query, _, _, _ in out)
+        for _, calls, mean_elapsed, spilled in out:
+            assert calls == 1
+            assert mean_elapsed > 0
+            assert spilled == 0
+
+    def test_statements_empty_without_store(self):
+        db = make_simple_db()
+        assert rows(db, "SELECT * FROM sys.statements") == []
+
+    def test_sys_scans_are_never_recorded(self, recording_db):
+        db = recording_db
+        db.execute("SELECT * FROM sys.statements")
+        db.execute("SELECT name FROM sys.tables ORDER BY name")
+        db.execute(
+            "SELECT s.calls FROM sys.statements s WHERE s.calls > 0"
+        )
+        # a CTE or subquery touching sys.* is introspection too
+        db.execute(
+            "WITH t AS (SELECT calls FROM sys.statements)"
+            " SELECT COUNT(*) FROM t"
+        )
+        assert len(db.statement_store) == 0
+
+    def test_queries_log_reflects_recent_statements(self, recording_db):
+        db = recording_db
+        db.execute("SELECT COUNT(*) FROM sales")
+        out = rows(db, "SELECT query, status, rows FROM sys.queries")
+        assert out == [("SELECT COUNT(*) FROM sales", "ok", 1)]
+
+    def test_tables_and_columns_join(self):
+        db = make_simple_db()
+        out = rows(db, "SELECT t.name, COUNT(*)"
+                       " FROM sys.tables t, sys.columns c"
+                       " WHERE t.name = c.table_name"
+                       " GROUP BY t.name ORDER BY t.name")
+        assert out == [("item", 3), ("sales", 4)]
+
+    def test_columns_carry_gathered_stats(self):
+        db = make_simple_db()
+        out = rows(db, "SELECT ndv, min_value, max_value FROM sys.columns"
+                       " WHERE table_name = 'sales'"
+                       " AND column_name = 'item_sk'")
+        assert out == [(3, "1", "3")]
+
+    def test_operators_expose_last_profiled_plan(self, recording_db):
+        db = recording_db
+        db.execute("SELECT COUNT(*) FROM sales WHERE qty > 1")
+        out = rows(db, "SELECT operator, rows FROM sys.operators"
+                       " ORDER BY op_id")
+        assert out  # the profiled plan has at least scan + agg
+        assert any("Scan" in op for op, _ in out)
+
+    def test_metrics_table_snapshots_registry(self):
+        from repro.obs import MetricsRegistry, set_registry
+
+        previous = set_registry(MetricsRegistry(enabled=True))
+        try:
+            from repro.obs import get_registry
+
+            get_registry().counter("test.systables").add(3)
+            db = make_simple_db()
+            out = rows(db, "SELECT value FROM sys.metrics"
+                           " WHERE name = 'test.systables'")
+            assert out == [(3.0,)]
+        finally:
+            set_registry(previous)
+
+    def test_metrics_table_empty_when_disabled(self):
+        db = make_simple_db()
+        assert rows(db, "SELECT * FROM sys.metrics") == []
+
+    def test_dml_against_sys_tables_is_refused(self, recording_db):
+        db = recording_db
+        with pytest.raises((ExecutionError, CatalogError)):
+            db.execute("DELETE FROM sys.statements WHERE calls = 1")
+        with pytest.raises((ExecutionError, CatalogError)):
+            db.execute(
+                "INSERT INTO sys.tables VALUES ('x', 1, 1, 0, FALSE)"
+            )
+
+    def test_indexing_sys_tables_is_refused(self):
+        db = make_simple_db()
+        with pytest.raises(CatalogError):
+            db.create_index("sys.tables", "name", "hash")
+
+    def test_sys_names_do_not_leak_into_user_catalog(self):
+        db = make_simple_db()
+        assert "sys.tables" not in db.catalog.table_names
+        assert "sys.tables" in db.catalog.virtual_names
+
+    def test_explain_is_not_recorded(self, recording_db):
+        db = recording_db
+        db.execute("EXPLAIN SELECT COUNT(*) FROM sales")
+        assert len(db.statement_store) == 0
+
+
+# -- runner + report wiring -------------------------------------------------
+
+
+class TestRunnerWiring:
+    def test_benchmark_populates_store_and_report(self, tmp_path):
+        from repro.runner import render_full_disclosure
+        from repro.runner.execution import BenchmarkConfig, run_benchmark
+
+        path = str(tmp_path / "statements.jsonl")
+        config = BenchmarkConfig(
+            scale_factor=0.001, streams=1, statement_store_path=path
+        )
+        result, run = run_benchmark(config)
+        assert result.statements is not None
+        assert result.statements["fingerprints"] > 0
+        assert result.statements["top_elapsed"]
+        report = render_full_disclosure(result)
+        assert "top statements by fingerprint" in report
+        # the journal survives the run and reloads standalone
+        reloaded = load_store(path)
+        assert len(reloaded) == result.statements["fingerprints"]
+        reloaded.close()
+        # the loaded database still answers the acceptance query
+        out = rows(run.db, "SELECT query, calls, mean_elapsed,"
+                           " spilled_bytes FROM sys.statements"
+                           " ORDER BY total_elapsed DESC")
+        assert len(out) == result.statements["fingerprints"]
+
+
+# -- history pruning --------------------------------------------------------
+
+
+class TestPruneHistory:
+    def _write(self, path, records):
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+
+    def test_keeps_last_n_per_sha_module(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        records = [
+            {"sha": "aaa", "module": "m1", "benchmarks": [], "n": i}
+            for i in range(5)
+        ] + [{"sha": "bbb", "module": "m1", "benchmarks": [], "n": 9}]
+        self._write(path, records)
+        kept, dropped = prune_history(path, keep=2)
+        assert (kept, dropped) == (3, 3)
+        remaining = [json.loads(l) for l in open(path)]
+        assert [r["n"] for r in remaining] == [3, 4, 9]
+
+    def test_noop_when_under_limit(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        self._write(path, [{"sha": "aaa", "module": "m1"}])
+        before = os.path.getmtime(path)
+        assert prune_history(path, keep=3) == (1, 0)
+        assert os.path.getmtime(path) == before  # not rewritten
+
+    def test_missing_file_and_bad_keep(self, tmp_path):
+        assert prune_history(str(tmp_path / "absent.jsonl"), keep=1) == (0, 0)
+        with pytest.raises(ValueError):
+            prune_history(str(tmp_path / "absent.jsonl"), keep=0)
+
+
+# -- CLI surfaces -----------------------------------------------------------
+
+
+class TestObsCli:
+    def test_obs_top_reads_a_store(self, tmp_path, capsys):
+        path = str(tmp_path / "statements.jsonl")
+        with StatementStore(path) as store:
+            store.record("SELECT COUNT(*) FROM sales", 0.75, rows=1)
+        assert main(["obs", "top", "--store", path]) == 0
+        out = capsys.readouterr().out
+        assert "top 1 statement(s) by total_elapsed" in out
+        assert "SELECT count ( * ) FROM sales" in out
+
+    def test_obs_top_missing_store_fails(self, tmp_path, capsys):
+        assert main(["obs", "top", "--store",
+                     str(tmp_path / "absent.jsonl")]) == 1
+        assert "no statement store" in capsys.readouterr().err
+
+    def test_obs_top_unknown_column_fails(self, tmp_path, capsys):
+        path = str(tmp_path / "statements.jsonl")
+        with StatementStore(path) as store:
+            store.record("SELECT 1 FROM sales", 0.1)
+        assert main(["obs", "top", "--store", path, "--by", "bogus"]) == 2
+        assert "unknown statement-store column" in capsys.readouterr().err
+
+    def test_obs_history_prune(self, tmp_path, capsys):
+        path = str(tmp_path / "history.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            for i in range(4):
+                handle.write(json.dumps(
+                    {"sha": "aaa", "module": "m1", "n": i}) + "\n")
+        assert main(["obs", "history", "--prune", "--keep", "1",
+                     "--history", path]) == 0
+        assert "3 dropped" in capsys.readouterr().out
+        assert sum(1 for _ in open(path)) == 1
+
+    def test_obs_history_summary(self, tmp_path, capsys):
+        path = str(tmp_path / "history.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"sha": "cafebabe0123", "module": "bench_x"}) + "\n")
+        assert main(["obs", "history", "--history", path]) == 0
+        out = capsys.readouterr().out
+        assert "1 record(s)" in out
+        assert "bench_x" in out
+
+    def test_run_statement_store_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "statements.jsonl")
+        rc = main(["run", "--scale", "0.001", "--streams", "1",
+                   "--statement-store", path])
+        assert rc == 0
+        assert "statement store written" in capsys.readouterr().out
+        store = load_store(path)
+        assert len(store) > 0
+        store.close()

@@ -143,6 +143,36 @@ class TestMetricsSampler:
         series = sampler.stop()
         assert len(series) == 1  # run shorter than the interval
 
+    def test_stop_is_idempotent(self, tmp_path):
+        # both the runner's finally and __exit__ may call stop(); the
+        # second call must not take another sample or reopen the mirror
+        registry = MetricsRegistry(enabled=True)
+        path = tmp_path / "series.jsonl"
+        sampler = MetricsSampler(registry, interval_s=60.0, path=str(path))
+        sampler.start()
+        first = list(sampler.stop())
+        second = sampler.stop()
+        assert second == first
+        assert len(first) == 1
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+
+    def test_series_reload_tolerates_torn_final_line(self, tmp_path):
+        from repro.obs import load_metrics_series
+
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("rows").add(7)
+        path = tmp_path / "series.jsonl"
+        with MetricsSampler(registry, interval_s=60.0, path=str(path)):
+            pass
+        # a run killed mid-append leaves one partial record at the end
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"ts": 1.0, "metrics": {"rows"')
+        series = load_metrics_series(str(path))
+        assert len(series) == 1
+        assert series[0]["metrics"]["rows"]["value"] == 7.0
+        assert load_metrics_series(str(tmp_path / "absent.jsonl")) == []
+
     def test_rejects_nonpositive_interval(self):
         with pytest.raises(ValueError):
             MetricsSampler(MetricsRegistry(), interval_s=0.0)
@@ -273,3 +303,44 @@ class TestHtmlReport:
         html = render_html_report({})
         assert html.startswith("<!DOCTYPE html>")
         assert "</html>" in html
+
+    def test_zero_query_run_renders(self):
+        # a run that executed nothing: zeroed summary, empty trace and
+        # latency — the dashboard must stay well-formed, not divide by 0
+        bundle = _bundle(
+            trace=[],
+            summary={"qphds": 0.0, "queries": 0, "compliant": False},
+            latency={"all": latency_percentiles([])},
+            parallelism=None,
+            plan_quality=None,
+        )
+        html = render_html_report(bundle)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "</html>" in html
+        assert "queries executed" in html
+
+    def test_single_worker_run_has_no_pool_sections(self):
+        # serial run: one lane, no parallelism profile, no worker tiles
+        bundle = _bundle(
+            trace=[_span("phase:load", 0, 0.0, 1.0, thread=1)],
+            parallelism=None,
+        )
+        bundle["config"]["workers"] = None
+        html = render_html_report(bundle)
+        assert "Span timeline" in html
+        assert "pool worker" not in html
+        assert "Parallelism profile" not in html
+
+    def test_span_truncation_notice(self):
+        from repro.obs.report_html import _MAX_SPANS_PER_LANE
+
+        spans = [_span("phase:load", 0, 0.0, 60.0, thread=1)]
+        n = _MAX_SPANS_PER_LANE + 25
+        for i in range(n):
+            spans.append(_span("query", i + 1, i * 0.1, 0.05, thread=2))
+        html = render_html_report(_bundle(trace=spans))
+        assert (f"longest {_MAX_SPANS_PER_LANE} spans shown" in html)
+        assert "25 shorter spans not drawn" in html
+        # under the cap there is no notice
+        html_small = render_html_report(_bundle())
+        assert "spans shown per lane" not in html_small
