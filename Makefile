@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test determinism bench bench-smoke bench-compare qualification difftest faultcheck parallelcheck obscheck
+.PHONY: check test determinism bench bench-smoke bench-compare qualification difftest faultcheck parallelcheck obscheck storecheck
 
 ## fuzz seed for `make difftest`; CI rotates it per run and logs the
 ## value so any failure replays with DIFFTEST_SEED=<logged seed>
@@ -53,6 +53,12 @@ bench-compare:
 obscheck:
 	$(PYTHON) benchmarks/check_overhead.py
 	$(PYTHON) scripts/obs_smoke.py
+
+## column-store round trip: build sf=0.01, save, reopen lazily, run
+## all 108 qualification statements byte-identical store-vs-memory,
+## verify zone-map pruning and incremental DML saves
+storecheck:
+	$(PYTHON) scripts/store_check.py
 
 ## regenerate the pinned qualification answer set (after intentional
 ## behavioral changes only)

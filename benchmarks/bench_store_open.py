@@ -1,0 +1,68 @@
+"""Column-store open time vs. full regenerate-and-load.
+
+The point of the persistent store: a benchmark run should not pay the
+data-generation bill twice. This bench times ``Database.open`` on a
+saved sf=0.01 store (lazy — O(columns touched), and nothing is touched
+at open) against the regenerate-from-scratch path it replaces, and
+records the speedup in ``BENCH_store_open.json``.
+"""
+
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.dsdgen import build_database
+from repro.engine import Database
+
+from conftest import BENCH_SEED, BENCH_SF, show
+
+
+@pytest.fixture(scope="module")
+def store_path(bench_data):
+    db, _ = build_database(BENCH_SF, data=bench_data)
+    path = tempfile.mkdtemp(prefix="bench-store-") + "/db"
+    db.save(path, block_rows=4096, scale_factor=BENCH_SF, seed=BENCH_SEED)
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+def test_store_open(benchmark, store_path):
+    db = benchmark(Database.open, store_path)
+    assert db.table("store_sales").num_rows > 0
+    assert not any(
+        c.is_loaded for c in db.table("store_sales").columns.values()
+    )
+
+
+def test_store_open_vs_regenerate(benchmark, store_path):
+    t0 = time.perf_counter()
+    build_database(BENCH_SF, seed=BENCH_SEED)
+    regenerate_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    db = Database.open(store_path)
+    open_s = time.perf_counter() - t0
+    assert db.table("item").num_rows > 0
+
+    speedup = regenerate_s / max(open_s, 1e-9)
+    show(
+        "Column-store open vs regenerate+load (sf=0.01)",
+        [
+            f"{'regenerate + load':24s} {regenerate_s * 1000:>10.1f} ms",
+            f"{'Database.open':24s} {open_s * 1000:>10.1f} ms",
+            f"{'speedup':24s} {speedup:>10.1f} x",
+        ],
+    )
+
+    def open_again():
+        return Database.open(store_path)
+
+    result = benchmark(open_again)
+    assert result.table("item").num_rows > 0
+    benchmark.extra_info["regenerate_seconds"] = round(regenerate_s, 4)
+    benchmark.extra_info["open_seconds"] = round(open_s, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    # lazy open must beat regenerating the whole database handily
+    assert speedup > 5

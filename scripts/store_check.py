@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Column-store round-trip gate: the `make storecheck` / CI check.
+
+Builds the sf=0.01 database in memory, saves it to a column store
+(small blocks so zone maps have something to prune at this scale),
+reopens it, and fails loudly unless:
+
+* the reopened store answers **every** qualification statement (all
+  templates, including multi-statement iterative ones) byte-identically
+  to the in-memory database — compared row-for-row, not just by
+  fingerprint;
+* opening is lazy: no column decodes at open time, and only the
+  columns a query touches hydrate afterwards;
+* zone-map pruning is live — an EXPLAIN ANALYZE over a selective
+  date_dim predicate must report ``blocks_skipped=``;
+* a DML → incremental save → reopen cycle stays consistent and
+  rewrites only the dirty table's columns.
+
+Runs from a checkout (`python scripts/store_check.py`); exits nonzero
+on the first failure.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+SF = 0.01
+SEED = 19620718
+BLOCK_ROWS = 4096
+
+
+def fail(message: str) -> None:
+    print(f"store_check: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    from repro.dsdgen import build_database
+    from repro.engine import Database, StoreError
+    from repro.qgen import QGen, build_catalog
+
+    t0 = time.perf_counter()
+    db, data = build_database(SF, seed=SEED)
+    qgen = QGen(data.context, build_catalog())
+    print(f"store_check: built sf={SF} in memory "
+          f"({time.perf_counter() - t0:.1f}s)")
+
+    with tempfile.TemporaryDirectory(prefix="storecheck-") as tmp:
+        path = os.path.join(tmp, "db")
+        t0 = time.perf_counter()
+        db.save(path, block_rows=BLOCK_ROWS, scale_factor=SF, seed=SEED)
+        print(f"store_check: saved to {path} "
+              f"({time.perf_counter() - t0:.1f}s)")
+
+        t0 = time.perf_counter()
+        store = Database.open(path)
+        open_s = time.perf_counter() - t0
+        hydrated = [
+            f"{t}.{c.definition.name}"
+            for t in store.catalog.table_names
+            for c in store.table(t).columns.values()
+            if c.is_loaded
+        ]
+        if hydrated:
+            fail(f"open hydrated columns eagerly: {hydrated[:5]}")
+        print(f"store_check: reopened lazily in {open_s * 1000:.0f}ms")
+
+        # every qualification statement, store vs memory, row-identical
+        t0 = time.perf_counter()
+        statements = 0
+        for template_id in sorted(qgen.templates):
+            query = qgen.generate(template_id, stream=0)
+            for statement in query.statements:
+                expected = db.execute(statement).rows()
+                actual = store.execute(statement).rows()
+                if expected != actual:
+                    fail(
+                        f"template {template_id} diverged on the store "
+                        f"({len(expected)} vs {len(actual)} rows)"
+                    )
+                statements += 1
+        print(f"store_check: {statements} qualification statements "
+              f"identical ({time.perf_counter() - t0:.1f}s)")
+
+        untouched = [
+            t for t in store.catalog.table_names
+            if not any(c.is_loaded for c in store.table(t).columns.values())
+        ]
+        if not untouched:
+            fail("qualification run hydrated every table; laziness broken")
+
+        # zone maps must actually prune a selective scan
+        out = store.execute(
+            "EXPLAIN ANALYZE SELECT COUNT(*) FROM date_dim "
+            "WHERE d_date_sk BETWEEN 2450815 AND 2450830"
+        )
+        text = "\n".join(r[0] for r in out.rows())
+        if "blocks_skipped=" not in text:
+            fail(f"no blocks_skipped= in EXPLAIN ANALYZE:\n{text}")
+        skipped = int(text.split("blocks_skipped=")[1].split()[0])
+        if skipped < 1:
+            fail(f"zone maps skipped nothing:\n{text}")
+        print(f"store_check: zone maps pruned {skipped} blocks on date_dim")
+
+        # DML → incremental save → reopen
+        before = store.execute("SELECT COUNT(*) FROM item").scalar()
+        store.execute("DELETE FROM item WHERE i_item_sk <= 5")
+        store.save(path)
+        written = store.store_info["columns_written"]
+        item_cols = len(store.table("item").schema.columns)
+        if written > item_cols:
+            fail(f"incremental save rewrote {written} columns "
+                 f"(item has {item_cols})")
+        reopened = Database.open(path)
+        after = reopened.execute("SELECT COUNT(*) FROM item").scalar()
+        if after != before - 5:
+            fail(f"DML round trip lost rows: {before} -> {after}")
+        print(f"store_check: DML save rewrote {written} columns, "
+              f"reopen consistent")
+
+        # torn manifest must refuse, not misread
+        manifest = os.path.join(path, "manifest.json")
+        with open(manifest, "r+", encoding="utf-8") as handle:
+            handle.truncate(os.path.getsize(manifest) // 2)
+        try:
+            Database.open(path)
+        except StoreError:
+            pass
+        else:
+            fail("torn manifest opened without error")
+        print("store_check: torn manifest refused")
+
+    print("store_check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,29 @@ def _cmd_dsdgen(args: argparse.Namespace) -> int:
         data = generator.generate()
         suffix = ""
     gen_elapsed = time.perf_counter() - start
+    if args.store:
+        # direct-to-store: load the generated columns into an engine
+        # database and persist it, skipping the .dat round trip
+        from .dsdgen import load_tables
+        from .engine import Database
+
+        if args.chunk is not None:
+            print("dsdgen: --store is incompatible with --chunk",
+                  file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        db = Database()
+        load_tables(db, data)
+        db.gather_stats()
+        db.save(args.store, scale_factor=args.scale, seed=args.seed)
+        store_elapsed = time.perf_counter() - start
+        total_rows = sum(data.row_counts.values())
+        for name in sorted(data.row_counts):
+            print(f"{name:24s} {data.row_counts[name]:>12,} rows")
+        print(f"{'total':24s} {total_rows:>12,} rows")
+        print(f"column store written to {args.store} "
+              f"(generate {gen_elapsed:.3f}s, load+save {store_elapsed:.3f}s)")
+        return 0
     start = time.perf_counter()
     sizes = data.write_flat_files(args.output, suffix=suffix)
     write_elapsed = time.perf_counter() - start
@@ -134,6 +157,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scale_factor=args.scale,
         streams=args.streams,
         seed=args.seed,
+        db_path=args.db,
         use_aux_structures=not args.no_aux,
         strict=args.strict,
         plan_quality=args.plan_quality,
@@ -460,6 +484,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print per-table generation timings and"
                         " generate/write/load rows-per-second")
+    p.add_argument("--store", metavar="PATH", default=None,
+                   help="write a persistent column store at PATH instead"
+                        " of .dat flat files (open it with `run --db`)")
     p.set_defaults(func=_cmd_dsdgen)
 
     p = sub.add_parser("dsqgen", help="generate queries")
@@ -473,6 +500,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.01)
     p.add_argument("--streams", type=int, default=None)
     p.add_argument("--seed", type=int, default=19620718)
+    p.add_argument("--db", metavar="PATH", default=None,
+                   help="open the persistent column store at PATH"
+                        " (from `dsdgen --store`) instead of generating;"
+                        " the store's scale factor and seed are adopted")
     p.add_argument("--no-aux", action="store_true")
     p.add_argument("--strict", action="store_true")
     p.add_argument("--full", action="store_true",

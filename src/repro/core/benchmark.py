@@ -52,6 +52,7 @@ class Benchmark:
         scale_factor: float = 0.01,
         streams: Optional[int] = None,
         seed: int = 19620718,
+        db_path: Optional[str] = None,
         use_aux_structures: bool = True,
         strict: bool = False,
         optimizer: Optional[OptimizerSettings] = None,
@@ -72,6 +73,7 @@ class Benchmark:
             scale_factor=scale_factor,
             streams=streams,
             seed=seed,
+            db_path=db_path,
             use_aux_structures=use_aux_structures,
             strict=strict,
             optimizer=optimizer or OptimizerSettings(),

@@ -22,14 +22,36 @@ if TYPE_CHECKING:  # pragma: no cover
     from .columnar import ColumnarTable
 
 
+#: the kit's NULL convention, pinned explicitly: an *empty field* is
+#: NULL for every kind.  A genuine empty string in a STR column — which
+#: would otherwise be indistinguishable from NULL — is rendered as two
+#: double-quote characters and parsed back to ``""``.  (The generator
+#: never emits empty strings, so generated .dat bytes are unchanged;
+#: the escape exists so externally produced files round-trip.)
+EMPTY_STRING_FIELD = '""'
+
+
+def _escape_str(value: str) -> str:
+    """Escape a STR value for the flat format.  ``""`` marks the empty
+    string; a value consisting only of quote characters gets the marker
+    appended so it cannot be mistaken for the marker itself."""
+    if value == "":
+        return EMPTY_STRING_FIELD
+    if value.strip('"') == "":
+        return value + EMPTY_STRING_FIELD
+    return value
+
+
 def format_field(value, kind: Kind) -> str:
-    """Render one value as a flat-file field (empty string = NULL)."""
+    """Render one value as a flat-file field (empty field = NULL)."""
     if value is None:
         return ""
     if kind is Kind.DATE:
         return format_date(int(value))
     if kind is Kind.FLOAT:
         return f"{value:.2f}"
+    if kind is Kind.STR:
+        return _escape_str(str(value))
     return str(value)
 
 
@@ -45,6 +67,10 @@ def parse_field(text: str, kind: Kind):
         return parse_date(text)
     if kind is Kind.BOOL:
         return text in ("1", "Y", "true", "True")
+    if text == EMPTY_STRING_FIELD:
+        return ""
+    if len(text) >= 3 and text.strip('"') == "":
+        return text[:-2]
     return text
 
 
@@ -83,6 +109,12 @@ def _format_column(data: np.ndarray, null, kind: Kind) -> np.ndarray:
     """Render one generated column as flat-file field strings."""
     if kind is Kind.STR:
         rendered = np.asarray(data, dtype=str)
+        # empty strings and quote-only strings need the '""' escape
+        specials = np.char.strip(rendered, '"') == ""
+        if specials.any():
+            rendered = rendered.astype(object)
+            for i in np.flatnonzero(specials):
+                rendered[i] = _escape_str(rendered[i])
     elif kind is Kind.FLOAT:
         rendered = np.char.mod("%.2f", data)
     elif kind is Kind.DATE:
@@ -148,7 +180,10 @@ def measured_row_statistics(tables: dict[str, list], schemas: dict[str, TableSch
         if not rows:
             continue
         sample = rows if len(rows) <= 2000 else rows[:: max(1, len(rows) // 2000)]
-        sizes = [len(format_row(r, schema)) + 1 for r in sample]
+        # UTF-8 encoded bytes (+1 for the newline), matching what
+        # write_flat_file counts — len() of the str would undercount
+        # non-ASCII data
+        sizes = [len(format_row(r, schema).encode("utf-8")) + 1 for r in sample]
         per_table_avg.append(sum(sizes) / len(sizes))
     if not per_table_avg:
         return RowLengthStats(0, 0, 0.0)

@@ -18,6 +18,7 @@ from .errors import (
     QueryTimeout,
     ResourceError,
     SqlSyntaxError,
+    StoreError,
 )
 from .governor import ResourceContext
 from .optimizer import OptimizerSettings
@@ -59,6 +60,7 @@ __all__ = [
     "shutdown_pool",
     "CatalogError",
     "ConstraintError",
+    "StoreError",
     "TableSchema",
     "ColumnDef",
     "SqlType",

@@ -107,6 +107,12 @@ class Catalog:
     def stats(self, name: str) -> Optional[TableStats]:
         return self._stats.get(name)
 
+    def install_stats(self, stats: dict[str, TableStats]) -> None:
+        """Adopt precomputed statistics (the column store persists the
+        gathered stats in its manifest so reopening skips the
+        full-table scan ``gather_stats`` would cost)."""
+        self._stats.update(stats)
+
     # -- indexes -------------------------------------------------------------------
 
     def create_index(self, table: str, column: str, index_type: str = "hash"):

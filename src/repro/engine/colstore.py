@@ -1,0 +1,631 @@
+"""Persistent compressed columnar storage with zone-map pruning.
+
+A database directory holds one subdirectory per table with one
+``<column>.col`` file per column, plus a ``manifest.json`` describing
+the schema, row counts, optimizer statistics and format version::
+
+    store/
+      manifest.json
+      store_sales/
+        ss_sold_date_sk.col
+        ss_quantity.col
+        ...
+
+Each column file is ``payload + footer JSON + uint32 footer length +
+magic trailer``.  Numeric kinds (INT / FLOAT / DATE / BOOL) store the
+raw little-endian numpy array followed by a packed null bitmap
+(``np.packbits``); the data segment is memory-mappable, so opening a
+store costs O(columns touched) — nothing is decoded until a scan needs
+it.  STR columns store the ``int32`` dictionary codes (``-1`` = NULL)
+followed by the dictionary as a JSON array, reusing
+:class:`~repro.engine.storage.StoredColumn`'s encoding unchanged.
+
+The footer carries per-block *zone maps* — ``[min, max, null_count]``
+over each run of ``block_rows`` rows — which the executor consults
+against pushed filter predicates to skip blocks that cannot match
+(reported as ``blocks_skipped=`` in EXPLAIN ANALYZE).
+
+Writes are crash-safe: every file goes to ``<name>.tmp`` + fsync +
+``os.replace``, the manifest is written last, and the directory is
+fsynced; a torn or absent manifest makes :func:`open_database` raise
+:class:`~repro.engine.errors.StoreError` rather than serve a partial
+store.  ``save`` on an already-opened store rewrites only dirty
+columns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from .errors import StoreError
+from .sql import ast_nodes as A
+from .stats import ColumnStats, TableStats
+from .storage import StoredColumn, Table
+from .types import ColumnDef, Kind, SqlType, TableSchema
+
+FORMAT_NAME = "repro-colstore"
+FORMAT_VERSION = 1
+MAGIC = b"RPC1"
+MANIFEST = "manifest.json"
+#: default zone-map granularity (rows per block)
+BLOCK_ROWS = 65536
+
+#: on-disk dtypes for the memory-mapped numeric kinds
+_DTYPES = {
+    Kind.INT: "<i8",
+    Kind.DATE: "<i8",
+    Kind.FLOAT: "<f8",
+    Kind.BOOL: "|b1",
+}
+_CODES_DTYPE = "<i4"
+
+
+# -- fsync discipline --------------------------------------------------------
+
+
+def _fsync_dir(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via tmp + fsync + atomic rename."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+# -- schema fingerprint ------------------------------------------------------
+
+
+def _column_dict(column: ColumnDef) -> dict:
+    return {
+        "name": column.name,
+        "type": {
+            "name": column.sql_type.name,
+            "kind": column.sql_type.kind.value,
+            "width": column.sql_type.width,
+        },
+        "nullable": column.nullable,
+        "primary_key": column.primary_key,
+        "references": column.references,
+        "business_key": column.business_key,
+    }
+
+
+def _column_from_dict(entry: dict) -> ColumnDef:
+    spec = entry["type"]
+    return ColumnDef(
+        name=entry["name"],
+        sql_type=SqlType(spec["name"], Kind(spec["kind"]), spec["width"]),
+        nullable=entry["nullable"],
+        primary_key=entry["primary_key"],
+        references=entry["references"],
+        business_key=entry["business_key"],
+    )
+
+
+def schema_fingerprint(schemas: dict[str, TableSchema]) -> str:
+    """A stable digest of every table's full column declarations."""
+    doc = {
+        name: [_column_dict(c) for c in schema.columns]
+        for name, schema in sorted(schemas.items())
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- column files ------------------------------------------------------------
+
+
+def _zone_entry(values, nulls: int) -> list:
+    """One zone-map triple ``[min, max, null_count]``; all-null blocks
+    record ``[None, None, n]``."""
+    if len(values) == 0:
+        return [None, None, nulls]
+    if isinstance(values, np.ndarray) and values.dtype != object:
+        lo, hi = values.min(), values.max()
+        if values.dtype == np.bool_:
+            return [bool(lo), bool(hi), nulls]
+        return [lo.item(), hi.item(), nulls]
+    return [min(values), max(values), nulls]
+
+
+def _encode_column(column: StoredColumn, block_rows: int) -> bytes:
+    """Serialize one column to its file bytes (payload + footer +
+    trailer)."""
+    rows = len(column)
+    zones: list[list] = []
+    segments: dict[str, list[int]] = {}
+    parts: list[bytes] = []
+    offset = 0
+
+    def add_segment(name: str, blob: bytes) -> None:
+        nonlocal offset
+        segments[name] = [offset, len(blob)]
+        parts.append(blob)
+        offset += len(blob)
+
+    if column.kind is Kind.STR:
+        codes = np.ascontiguousarray(column._codes, dtype=_CODES_DTYPE)
+        lookup = np.array(column._values + [""], dtype=object)
+        for start in range(0, rows, block_rows):
+            block = codes[start : start + block_rows]
+            valid = block[block >= 0]
+            zones.append(
+                _zone_entry(lookup[valid], int(len(block) - len(valid)))
+            )
+        add_segment("data", codes.tobytes())
+        dict_blob = json.dumps(
+            column._values, ensure_ascii=False, separators=(",", ":")
+        ).encode("utf-8")
+        add_segment("dict", dict_blob)
+    else:
+        data = np.ascontiguousarray(column._data, dtype=_DTYPES[column.kind])
+        null = np.asarray(column._null, dtype=bool)
+        for start in range(0, rows, block_rows):
+            block = data[start : start + block_rows]
+            block_null = null[start : start + block_rows]
+            zones.append(_zone_entry(block[~block_null], int(block_null.sum())))
+        add_segment("data", data.tobytes())
+        add_segment("null", np.packbits(null).tobytes())
+
+    footer = {
+        "kind": column.kind.value,
+        "rows": rows,
+        "block_rows": block_rows,
+        "segments": segments,
+        "zones": zones,
+    }
+    footer_blob = json.dumps(footer, separators=(",", ":")).encode("utf-8")
+    trailer = struct.pack("<I", len(footer_blob)) + MAGIC
+    return b"".join(parts) + footer_blob + trailer
+
+
+def _read_footer(path: str) -> dict:
+    """Parse and validate a column file's footer; raises
+    :class:`StoreError` on a torn or foreign file."""
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size < 8:
+                raise StoreError(f"column file {path} is truncated")
+            handle.seek(size - 8)
+            trailer = handle.read(8)
+            (footer_len,) = struct.unpack("<I", trailer[:4])
+            if trailer[4:] != MAGIC:
+                raise StoreError(f"column file {path} has a bad trailer")
+            if footer_len > size - 8:
+                raise StoreError(f"column file {path} is truncated")
+            handle.seek(size - 8 - footer_len)
+            footer = json.loads(handle.read(footer_len).decode("utf-8"))
+    except OSError as exc:
+        raise StoreError(f"cannot read column file {path}: {exc}") from None
+    except (ValueError, struct.error) as exc:
+        raise StoreError(f"column file {path} has a corrupt footer: {exc}") from None
+    return footer
+
+
+class ColumnBacking:
+    """The on-disk half of a lazily materialized
+    :class:`~repro.engine.storage.StoredColumn`.
+
+    Holds only the path, kind and row count until first use; the footer
+    (zone maps, segment offsets) is read on demand, and the data
+    segment is memory-mapped rather than copied."""
+
+    def __init__(self, path: str, kind: Kind, rows: int):
+        self.path = path
+        self.kind = kind
+        self.rows = rows
+        self._footer: Optional[dict] = None
+
+    def footer(self) -> dict:
+        if self._footer is None:
+            footer = _read_footer(self.path)
+            if footer["kind"] != self.kind.value or footer["rows"] != self.rows:
+                raise StoreError(
+                    f"column file {self.path} does not match the manifest "
+                    f"(kind {footer['kind']!r} rows {footer['rows']} vs "
+                    f"{self.kind.value!r} / {self.rows})"
+                )
+            self._footer = footer
+        return self._footer
+
+    @property
+    def block_rows(self) -> int:
+        return self.footer()["block_rows"]
+
+    def zones(self) -> list[list]:
+        return self.footer()["zones"]
+
+    def _segment_map(self, name: str, dtype: str) -> np.ndarray:
+        offset, _length = self.footer()["segments"][name]
+        return np.memmap(
+            self.path, dtype=dtype, mode="r", offset=offset, shape=(self.rows,)
+        )
+
+    def _segment_bytes(self, name: str) -> bytes:
+        offset, length = self.footer()["segments"][name]
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            return handle.read(length)
+
+    def load_numeric(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (data, null) pair for an INT/FLOAT/DATE/BOOL column;
+        ``data`` is a read-only memmap, ``null`` a fresh bool array."""
+        if self.rows == 0:
+            return (
+                np.empty(0, dtype=_DTYPES[self.kind]),
+                np.empty(0, dtype=bool),
+            )
+        data = self._segment_map("data", _DTYPES[self.kind])
+        packed = np.frombuffer(self._segment_bytes("null"), dtype=np.uint8)
+        null = np.unpackbits(packed, count=self.rows).astype(bool)
+        return data, null
+
+    def load_str(self) -> tuple[np.ndarray, list[str]]:
+        """The (codes, dictionary) pair for a STR column; ``codes`` is
+        a read-only memmap."""
+        if self.rows == 0:
+            codes = np.empty(0, dtype=np.int32)
+        else:
+            codes = self._segment_map("data", _CODES_DTYPE)
+        values = json.loads(self._segment_bytes("dict").decode("utf-8"))
+        return codes, values
+
+
+# -- save --------------------------------------------------------------------
+
+
+def _stats_dict(stats: TableStats) -> dict:
+    return {
+        "row_count": stats.row_count,
+        "columns": {
+            name: {
+                "ndv": cs.ndv,
+                "null_fraction": cs.null_fraction,
+                "min": cs.min_value,
+                "max": cs.max_value,
+            }
+            for name, cs in stats.columns.items()
+        },
+    }
+
+
+def _stats_from_dict(entry: dict) -> TableStats:
+    stats = TableStats(row_count=entry["row_count"])
+    for name, cs in entry["columns"].items():
+        stats.columns[name] = ColumnStats(
+            ndv=cs["ndv"],
+            null_fraction=cs["null_fraction"],
+            min_value=cs["min"],
+            max_value=cs["max"],
+        )
+    return stats
+
+
+def save_database(
+    db,
+    path: str,
+    block_rows: Optional[int] = None,
+    scale_factor: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> dict:
+    """Persist every base table of ``db`` under ``path``.
+
+    When ``db`` was opened from (or last saved to) the same directory,
+    only dirty columns are rewritten — clean columns keep their files.
+    STR columns being written get their dictionaries compacted first,
+    so deletes never persist dead entries.  Returns the manifest dict.
+    """
+    path = os.path.abspath(path)
+    os.makedirs(path, exist_ok=True)
+    incremental = getattr(db, "_store_path", None) == path
+    previous = db.store_info if incremental else None
+    if block_rows is None:
+        block_rows = (previous or {}).get("block_rows", BLOCK_ROWS)
+    if scale_factor is None and previous is not None:
+        scale_factor = previous.get("scale_factor")
+    if seed is None and previous is not None:
+        seed = previous.get("seed")
+
+    schemas = {
+        name: db.catalog.table(name).schema for name in db.catalog.table_names
+    }
+    tables_doc: dict[str, dict] = {}
+    written = 0
+    for name in db.catalog.table_names:
+        table = db.catalog.table(name)
+        table_dir = os.path.join(path, name)
+        os.makedirs(table_dir, exist_ok=True)
+        columns_doc = []
+        for cdef in table.schema.columns:
+            column = table.columns[cdef.name]
+            file_name = f"{cdef.name}.col"
+            file_path = os.path.join(table_dir, file_name)
+            reusable = (
+                incremental
+                and not column.dirty
+                and isinstance(column.backing, ColumnBacking)
+                and column.backing.path == file_path
+                and os.path.exists(file_path)
+            )
+            if not reusable:
+                if cdef.kind is Kind.STR:
+                    column.compact_dictionary()
+                _atomic_write(file_path, _encode_column(column, block_rows))
+                column.attach_backing(
+                    ColumnBacking(file_path, cdef.kind, len(column))
+                )
+                written += 1
+            entry = _column_dict(cdef)
+            entry["file"] = file_name
+            columns_doc.append(entry)
+        stats = db.catalog.stats(name)
+        tables_doc[name] = {
+            "rows": table.num_rows,
+            "columns": columns_doc,
+            "stats": _stats_dict(stats) if stats is not None else None,
+        }
+        _fsync_dir(table_dir)
+
+    manifest = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "block_rows": block_rows,
+        "scale_factor": scale_factor,
+        "seed": seed,
+        "schema_fingerprint": schema_fingerprint(schemas),
+        "tables": tables_doc,
+    }
+    _atomic_write(
+        os.path.join(path, MANIFEST),
+        json.dumps(manifest, indent=1, sort_keys=True).encode("utf-8"),
+    )
+    _fsync_dir(path)
+    db._store_path = path
+    db.store_info = {
+        "path": path,
+        "format_version": FORMAT_VERSION,
+        "block_rows": block_rows,
+        "scale_factor": scale_factor,
+        "seed": seed,
+        "columns_written": written,
+        "tables": {name: doc["rows"] for name, doc in tables_doc.items()},
+    }
+    return manifest
+
+
+# -- open --------------------------------------------------------------------
+
+
+def read_manifest(path: str) -> dict:
+    """Load and validate ``path``'s manifest; :class:`StoreError` on a
+    missing, torn or incompatible store."""
+    manifest_path = os.path.join(os.path.abspath(path), MANIFEST)
+    if not os.path.exists(manifest_path):
+        raise StoreError(f"no column store at {path} (missing {MANIFEST})")
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise StoreError(f"torn manifest at {manifest_path}: {exc}") from None
+    if manifest.get("format") != FORMAT_NAME:
+        raise StoreError(f"{manifest_path} is not a {FORMAT_NAME} manifest")
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise StoreError(
+            f"store format version {version} at {path} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def open_database(db, path: str) -> dict:
+    """Attach the store at ``path`` to a fresh :class:`Database`.
+
+    Creates every table with mmap-backed columns (nothing decoded yet)
+    and installs the persisted optimizer statistics, so the first query
+    pays only for the columns it touches.  Returns the manifest.
+    """
+    path = os.path.abspath(path)
+    manifest = read_manifest(path)
+    schemas: dict[str, TableSchema] = {}
+    backings: dict[str, list[tuple[ColumnDef, ColumnBacking]]] = {}
+    for name, doc in manifest["tables"].items():
+        columns = [_column_from_dict(entry) for entry in doc["columns"]]
+        schemas[name] = TableSchema(name, columns)
+        rows = doc["rows"]
+        per_table = []
+        for cdef, entry in zip(columns, doc["columns"]):
+            file_path = os.path.join(path, name, entry["file"])
+            if not os.path.exists(file_path):
+                raise StoreError(f"store at {path} is missing {file_path}")
+            per_table.append((cdef, ColumnBacking(file_path, cdef.kind, rows)))
+        backings[name] = per_table
+    fingerprint = schema_fingerprint(schemas)
+    if fingerprint != manifest["schema_fingerprint"]:
+        raise StoreError(
+            f"schema fingerprint mismatch at {path}: manifest says "
+            f"{manifest['schema_fingerprint'][:12]}…, tables hash to "
+            f"{fingerprint[:12]}…"
+        )
+    stats: dict[str, TableStats] = {}
+    for name in sorted(manifest["tables"]):
+        table = db.create_table(schemas[name])
+        for cdef, backing in backings[name]:
+            table.columns[cdef.name] = StoredColumn(cdef, backing=backing)
+        doc = manifest["tables"][name]
+        if doc.get("stats") is not None:
+            stats[name] = _stats_from_dict(doc["stats"])
+    db.catalog.install_stats(stats)
+    db._store_path = path
+    db.store_info = {
+        "path": path,
+        "format_version": manifest["format_version"],
+        "block_rows": manifest["block_rows"],
+        "scale_factor": manifest.get("scale_factor"),
+        "seed": manifest.get("seed"),
+        "tables": {
+            name: doc["rows"] for name, doc in manifest["tables"].items()
+        },
+    }
+    return manifest
+
+
+# -- zone-map pruning --------------------------------------------------------
+
+_FLIP_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+def _literal_ok(value: Any, kind: Kind) -> bool:
+    """Whether a literal is zone-comparable against a column kind."""
+    if kind in (Kind.INT, Kind.FLOAT, Kind.DATE):
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if kind is Kind.STR:
+        return isinstance(value, str)
+    return False
+
+
+def _binary_test(op: str, lit: Any) -> Callable:
+    def test(mn, mx, nulls, size) -> bool:
+        if nulls == size or mn is None:
+            return True  # all NULL: a value comparison is never TRUE
+        if op == "=":
+            return lit < mn or lit > mx
+        if op == "<":
+            return mn >= lit
+        if op == "<=":
+            return mn > lit
+        if op == ">":
+            return mx <= lit
+        if op == ">=":
+            return mx < lit
+        # op == "<>": only skippable when the whole block equals lit
+        return mn == mx == lit
+
+    return test
+
+
+def _between_test(low: Any, high: Any) -> Callable:
+    def test(mn, mx, nulls, size) -> bool:
+        if nulls == size or mn is None:
+            return True
+        return mx < low or mn > high
+
+    return test
+
+
+def _in_test(items: list) -> Callable:
+    def test(mn, mx, nulls, size) -> bool:
+        if nulls == size or mn is None:
+            return True
+        return not any(mn <= item <= mx for item in items)
+
+    return test
+
+
+def _null_test(negated: bool) -> Callable:
+    def test(mn, mx, nulls, size) -> bool:
+        # IS NULL skips null-free blocks; IS NOT NULL skips all-null ones
+        return nulls == size if negated else nulls == 0
+
+    return test
+
+
+def _prune_spec(pred: A.Expr) -> Optional[tuple[str, list, Callable]]:
+    """``(column, literals, block_test)`` for a predicate shape the
+    zone maps can decide, else ``None`` (the block is kept)."""
+    if isinstance(pred, A.BinaryOp) and pred.op in _FLIP_OP:
+        left, right, op = pred.left, pred.right, pred.op
+        if isinstance(left, A.Literal) and isinstance(right, A.ColumnRef):
+            left, right, op = right, left, _FLIP_OP[op]
+        if isinstance(left, A.ColumnRef) and isinstance(right, A.Literal):
+            return left.name, [right.value], _binary_test(op, right.value)
+        return None
+    if isinstance(pred, A.Between) and not pred.negated:
+        if (
+            isinstance(pred.expr, A.ColumnRef)
+            and isinstance(pred.low, A.Literal)
+            and isinstance(pred.high, A.Literal)
+        ):
+            lo, hi = pred.low.value, pred.high.value
+            return pred.expr.name, [lo, hi], _between_test(lo, hi)
+        return None
+    if isinstance(pred, A.InList) and not pred.negated:
+        if isinstance(pred.expr, A.ColumnRef) and all(
+            isinstance(item, A.Literal) for item in pred.items
+        ):
+            values = [item.value for item in pred.items]
+            return pred.expr.name, values, _in_test(values)
+        return None
+    if isinstance(pred, A.IsNull) and isinstance(pred.expr, A.ColumnRef):
+        return pred.expr.name, [], _null_test(pred.negated)
+    return None
+
+
+def prune_scan(
+    table: Table, predicates: list[A.Expr]
+) -> tuple[Optional[np.ndarray], int, int]:
+    """Zone-map pruning for one scan: ``(kept_rows, blocks, skipped)``.
+
+    ``kept_rows`` is the sorted row-index array surviving every
+    prunable conjunct, or ``None`` when nothing could be skipped (or no
+    column had valid zone maps).  ``blocks`` / ``skipped`` count the
+    table's blocks under the first consulted column's layout.
+    """
+    num_rows = table.num_rows
+    if num_rows == 0 or not predicates:
+        return None, 0, 0
+    keep: Optional[np.ndarray] = None
+    layout: Optional[tuple[int, int]] = None
+    for pred in predicates:
+        spec = _prune_spec(pred)
+        if spec is None:
+            continue
+        name, literals, test = spec
+        column = table.columns.get(name)
+        if column is None:
+            continue
+        zones = column.zone_maps()
+        if not zones:
+            continue
+        kind = column.kind
+        if any(not _literal_ok(value, kind) for value in literals):
+            continue
+        block_rows = column.backing.block_rows
+        if layout is None:
+            layout = (block_rows, len(zones))
+        for b, (mn, mx, nulls) in enumerate(zones):
+            start = b * block_rows
+            end = min(start + block_rows, num_rows)
+            if test(mn, mx, nulls, end - start):
+                if keep is None:
+                    keep = np.ones(num_rows, dtype=bool)
+                keep[start:end] = False
+    if layout is None:
+        return None, 0, 0
+    block_rows, n_blocks = layout
+    if keep is None or keep.all():
+        return None, n_blocks, 0
+    skipped = 0
+    for b in range(n_blocks):
+        start = b * block_rows
+        end = min(start + block_rows, num_rows)
+        if not keep[start:end].any():
+            skipped += 1
+    return np.flatnonzero(keep), n_blocks, skipped

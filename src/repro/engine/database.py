@@ -182,7 +182,46 @@ class Database:
         #: under a stats collector — the backing state of
         #: ``sys.operators``
         self.last_profiled = None
+        #: absolute path of the column store this database was opened
+        #: from / last saved to (incremental saves key off it), plus a
+        #: small info dict (scale factor, seed, per-table row counts)
+        self._store_path: Optional[str] = None
+        self.store_info: Optional[dict] = None
         install_sys_tables(self)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(
+        self,
+        path: str,
+        block_rows: Optional[int] = None,
+        scale_factor: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> dict:
+        """Persist every base table to the column store at ``path``
+        (see :mod:`repro.engine.colstore`).  Saving back to the store
+        this database came from rewrites only columns DML touched.
+        Returns the written manifest."""
+        from .colstore import save_database
+
+        return save_database(
+            self, path, block_rows=block_rows,
+            scale_factor=scale_factor, seed=seed,
+        )
+
+    @classmethod
+    def open(cls, path: str, **kwargs) -> "Database":
+        """Open a persistent column store as a new database.
+
+        Columns stay on disk until first scanned (lazy mmap-backed
+        hydration) and optimizer statistics come from the manifest, so
+        opening costs O(columns touched) — not a full load.  Keyword
+        arguments are forwarded to the constructor."""
+        from .colstore import open_database
+
+        db = cls(**kwargs)
+        open_database(db, path)
+        return db
 
     # -- DDL -----------------------------------------------------------------
 

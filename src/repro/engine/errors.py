@@ -62,6 +62,12 @@ class CatalogError(EngineError):
     """Catalog violation: duplicate table, unknown index, bad DDL."""
 
 
+class StoreError(EngineError):
+    """The persistent column store refused a directory: missing or torn
+    manifest, format-version mismatch, schema-fingerprint mismatch, or
+    a column file that fails its trailer check."""
+
+
 class TypeError_(EngineError):
     """Type mismatch in an expression (named with underscore to avoid
     shadowing the builtin)."""

@@ -70,7 +70,9 @@ from .parallel import (
     WorkerPool,
     morsel_ranges,
 )
+from .colstore import prune_scan
 from .sql import ast_nodes as A
+from .storage import Table as StorageTable
 from .types import Kind
 from .vector import Vector
 from .virtual import VirtualTable
@@ -344,6 +346,27 @@ class Executor:
             # columns must come from a single rows() snapshot
             batch = table.snapshot(node.binding)
         else:
+            if node.pushed_filters and isinstance(table, StorageTable):
+                # store-backed columns carry per-block zone maps: rows
+                # in blocks a pushed conjunct can never match are cut
+                # before the filters run
+                pruned, blocks, skipped = prune_scan(
+                    table, node.pushed_filters
+                )
+                if blocks:
+                    if self._collector is not None:
+                        self._collector.add(node, blocks=blocks,
+                                            blocks_skipped=skipped)
+                    registry = get_registry()
+                    if registry.enabled and skipped:
+                        registry.counter("engine.scan.blocks_skipped").add(
+                            skipped
+                        )
+                if pruned is not None:
+                    row_subset = (
+                        pruned if row_subset is None
+                        else np.intersect1d(row_subset, pruned)
+                    )
             batch = Batch(
                 {
                     f"{node.binding}.{name}": table.scan_column(name)

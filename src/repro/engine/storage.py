@@ -6,6 +6,14 @@ dictionary-encoded: an ``int32`` code array (-1 encodes NULL) plus the
 list of distinct values, which is both compact and gives the optimizer a
 free NDV statistic. ``scan`` materializes runtime :class:`Vector` objects.
 
+A column may instead be *backed* by an on-disk file from the persistent
+column store (see :mod:`repro.engine.colstore`): it then holds only the
+backing handle until first access, at which point the arrays hydrate
+lazily (the numeric data / string codes arrive as read-only memmaps).
+``dirty`` tracks divergence from the backing, so an incremental save
+rewrites only modified columns and zone maps stay valid exactly while a
+column is clean.
+
 DML (append / delete / update) operates in place and keeps secondary
 indexes registered on the table in sync via an invalidation callback.
 """
@@ -20,22 +28,86 @@ from .errors import ConstraintError, ExecutionError
 from .types import ColumnDef, Kind, TableSchema
 from .vector import _NUMPY_DTYPE, Vector
 
+#: fraction of dictionary entries that may go dead (unreferenced) before
+#: ``keep`` triggers an automatic compaction
+_COMPACT_DEAD_FRACTION = 0.5
+
+#: the attribute sets hydrated on demand for backed columns
+_LAZY_STR_ATTRS = ("_codes", "_values", "_value_ids")
+_LAZY_NUM_ATTRS = ("_data", "_null")
+
 
 class StoredColumn:
-    """One column of a stored table."""
+    """One column of a stored table (in-memory, or lazily file-backed)."""
 
-    def __init__(self, definition: ColumnDef):
+    def __init__(self, definition: ColumnDef, backing=None):
         self.definition = definition
         self.kind = definition.kind
+        #: on-disk half from the column store, or None for purely
+        #: in-memory columns
+        self.backing = backing
+        #: True when the in-memory state diverges from ``backing`` (a
+        #: backing-less column is always "dirty": it has no file yet)
+        self.dirty = backing is None
+        if backing is None:
+            if self.kind is Kind.STR:
+                self._codes = np.empty(0, dtype=np.int32)
+                self._values: list[str] = []
+                self._value_ids: dict[str, int] = {}
+            else:
+                self._data = np.empty(0, dtype=_NUMPY_DTYPE[self.kind])
+                self._null = np.empty(0, dtype=bool)
+
+    # -- lazy hydration ------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        # only the lazy array attributes resolve through the backing;
+        # everything else is a genuine miss
+        lazy = _LAZY_STR_ATTRS if self.__dict__.get("kind") is Kind.STR else _LAZY_NUM_ATTRS
+        if name in lazy and self.__dict__.get("backing") is not None:
+            self._hydrate()
+            return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def _hydrate(self) -> None:
+        """Decode the backing into the in-memory arrays (first access)."""
+        backing = self.backing
         if self.kind is Kind.STR:
-            self._codes = np.empty(0, dtype=np.int32)
-            self._values: list[str] = []
-            self._value_ids: dict[str, int] = {}
+            codes, values = backing.load_str()
+            self._codes = codes
+            self._values = values
+            self._value_ids = {v: i for i, v in enumerate(values)}
         else:
-            self._data = np.empty(0, dtype=_NUMPY_DTYPE[self.kind])
-            self._null = np.empty(0, dtype=bool)
+            data, null = backing.load_numeric()
+            self._data = data
+            self._null = null
+
+    @property
+    def is_loaded(self) -> bool:
+        """Whether the column's arrays are materialized in memory."""
+        key = "_codes" if self.kind is Kind.STR else "_data"
+        return key in self.__dict__
+
+    def attach_backing(self, backing) -> None:
+        """Adopt a freshly written backing: the in-memory state (if any)
+        now matches disk, so the column is clean and its zone maps are
+        servable."""
+        self.backing = backing
+        self.dirty = False
+
+    def zone_maps(self):
+        """Per-block ``[min, max, null_count]`` zone maps from the disk
+        backing — only while the column is unmodified since load/save
+        (``None`` otherwise: stale maps must never prune live data)."""
+        if self.backing is None or self.dirty:
+            return None
+        return self.backing.zones()
 
     def __len__(self) -> int:
+        if not self.is_loaded:
+            return self.backing.rows
         if self.kind is Kind.STR:
             return len(self._codes)
         return len(self._data)
@@ -63,6 +135,7 @@ class StoredColumn:
             vec = Vector.from_values(self.kind, values)
             self._data = np.concatenate([self._data, vec.data])
             self._null = np.concatenate([self._null, vec.null])
+        self.dirty = True
 
     def append_vector(self, vec: Vector) -> None:
         if vec.kind is not self.kind:
@@ -72,23 +145,30 @@ class StoredColumn:
             )
         if self.kind is Kind.STR:
             if len(vec):
-                # dictionary-encode per distinct value, not per row
-                uniq, inverse = np.unique(
-                    np.asarray(vec.data, dtype=object).astype(str), return_inverse=True
-                )
-                uniq_codes = np.fromiter(
-                    (self._encode(u) for u in uniq.tolist()),
-                    dtype=np.int32,
-                    count=len(uniq),
-                )
-                codes = uniq_codes[inverse]
-                codes[np.asarray(vec.null, dtype=bool)] = -1
+                # dictionary-encode per distinct value, not per row —
+                # and only over non-null slots, so the fill values
+                # parked under the null mask never enter the dictionary
+                null = np.asarray(vec.null, dtype=bool)
+                codes = np.full(len(vec), -1, dtype=np.int32)
+                valid = ~null
+                if valid.any():
+                    uniq, inverse = np.unique(
+                        np.asarray(vec.data, dtype=object)[valid].astype(str),
+                        return_inverse=True,
+                    )
+                    uniq_codes = np.fromiter(
+                        (self._encode(u) for u in uniq.tolist()),
+                        dtype=np.int32,
+                        count=len(uniq),
+                    )
+                    codes[valid] = uniq_codes[inverse]
             else:
                 codes = np.empty(0, dtype=np.int32)
             self._codes = np.concatenate([self._codes, codes])
         else:
             self._data = np.concatenate([self._data, vec.data])
             self._null = np.concatenate([self._null, vec.null])
+        self.dirty = True
 
     # -- reads ---------------------------------------------------------------
 
@@ -134,11 +214,54 @@ class StoredColumn:
         """Retain only rows where ``mask`` is True (delete support)."""
         if self.kind is Kind.STR:
             self._codes = self._codes[mask]
+            n_values = len(self._values)
+            if n_values:
+                used = np.unique(self._codes[self._codes >= 0])
+                if (n_values - len(used)) / n_values > _COMPACT_DEAD_FRACTION:
+                    self._compact_with(used)
         else:
             self._data = self._data[mask]
             self._null = self._null[mask]
+        self.dirty = True
+
+    def compact_dictionary(self) -> int:
+        """Drop dictionary entries no surviving row references,
+        remapping the code array; returns the number of entries
+        removed.  Scans are identical before and after."""
+        if self.kind is not Kind.STR or not self._values:
+            return 0
+        used = np.unique(self._codes[self._codes >= 0])
+        removed = len(self._values) - len(used)
+        if removed:
+            self._compact_with(used)
+            self.dirty = True
+        return removed
+
+    def _compact_with(self, used: np.ndarray) -> None:
+        """Rebuild the dictionary around the ``used`` code set."""
+        remap = np.full(len(self._values), -1, dtype=np.int32)
+        remap[used] = np.arange(len(used), dtype=np.int32)
+        codes = np.array(self._codes, dtype=np.int32)
+        valid = codes >= 0
+        codes[valid] = remap[codes[valid]]
+        self._codes = codes
+        self._values = [self._values[int(i)] for i in used.tolist()]
+        self._value_ids = {v: i for i, v in enumerate(self._values)}
+
+    def _writable(self) -> None:
+        """Materialize writable copies of memmap-backed arrays before an
+        in-place assignment (mmap segments are opened read-only)."""
+        if self.kind is Kind.STR:
+            if not self._codes.flags.writeable:
+                self._codes = np.array(self._codes)
+        else:
+            if not self._data.flags.writeable:
+                self._data = np.array(self._data)
+            if not self._null.flags.writeable:
+                self._null = np.array(self._null)
 
     def set_value(self, i: int, value: Any) -> None:
+        self._writable()
         if self.kind is Kind.STR:
             self._codes[i] = -1 if value is None else self._encode(str(value))
         elif value is None:
@@ -146,6 +269,7 @@ class StoredColumn:
         else:
             self._data[i] = value
             self._null[i] = False
+        self.dirty = True
 
 
 class Table:

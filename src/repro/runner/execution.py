@@ -124,6 +124,11 @@ class BenchmarkConfig:
     #: number of concurrent query streams; None = the Figure 12 minimum
     streams: Optional[int] = None
     seed: int = 19620718
+    #: open this persistent column store (written by ``dsdgen --store``
+    #: or ``Database.save``) instead of generating + loading; the
+    #: store's recorded scale factor and seed override the two fields
+    #: above so query substitutions match the stored data
+    db_path: Optional[str] = None
     #: create the reporting-channel aux structures (matviews + bitmaps)
     use_aux_structures: bool = True
     #: enforce the official discrete scale factors
@@ -281,6 +286,10 @@ class BenchmarkRun:
         self.config = config
         self.db: Optional[Database] = None
         self.data: Optional[GeneratedData] = None
+        #: the generator context behind query substitutions and refresh
+        #: sets; on the ``db_path`` load path it is rebuilt from the
+        #: store's (scale, seed) without regenerating any data
+        self.context = None
         self.qgen: Optional[QGen] = None
         self.tracer = tracer if tracer is not None else Tracer(enabled=True)
         self.journal = journal
@@ -290,6 +299,8 @@ class BenchmarkRun:
     # -- load test -------------------------------------------------------------
 
     def load_test(self) -> LoadResult:
+        if self.config.db_path:
+            return self._load_from_store()
         config = self.config
         with self.tracer.installed(), self.tracer.span("phase:load") as phase:
             with self.tracer.span("generate") as span:
@@ -311,21 +322,7 @@ class BenchmarkRun:
                 load_tables(db, self.data)
             aux = 0
             with self.tracer.span("aux_structures") as span:
-                for table, column in BASIC_HASH_INDEXES:
-                    db.create_index(table, column, "hash")
-                    aux += 1
-                for table, column in BASIC_SORTED_INDEXES:
-                    db.create_index(table, column, "sorted")
-                    aux += 1
-                if config.enforce_implementation_rules:
-                    db.catalog.restrict_aux_on = set(AD_HOC_TABLES)
-                if config.use_aux_structures:
-                    for table, column in REPORTING_BITMAP_INDEXES:
-                        db.create_index(table, column, "bitmap")
-                        aux += 1
-                    for name, sql in REPORTING_MATVIEWS.items():
-                        db.create_materialized_view(name, sql)
-                        aux += 1
+                aux = self._create_aux_structures(db)
                 span.set(count=aux)
             with self.tracer.span("validate_constraints"):
                 validate_primary_keys(db)
@@ -335,10 +332,81 @@ class BenchmarkRun:
             if config.plan_quality:
                 db.plan_quality = PlanQualityAggregator()
             self.db = db
-            self.qgen = QGen(self.data.context, build_catalog())
+            self.context = self.data.context
+            self.qgen = QGen(self.context, build_catalog())
             rows = sum(self.data.row_counts.values())
             phase.set(rows=rows, aux_structures=aux, untimed_generation=untimed)
         return LoadResult(elapsed, untimed, rows, aux)
+
+    def _create_aux_structures(self, db: Database) -> int:
+        """Indexes / matviews / the aux-restriction policy (shared by
+        the generate path and the ``db_path`` store-open path)."""
+        config = self.config
+        aux = 0
+        for table, column in BASIC_HASH_INDEXES:
+            db.create_index(table, column, "hash")
+            aux += 1
+        for table, column in BASIC_SORTED_INDEXES:
+            db.create_index(table, column, "sorted")
+            aux += 1
+        if config.enforce_implementation_rules:
+            db.catalog.restrict_aux_on = set(AD_HOC_TABLES)
+        if config.use_aux_structures:
+            for table, column in REPORTING_BITMAP_INDEXES:
+                db.create_index(table, column, "bitmap")
+                aux += 1
+            for name, sql in REPORTING_MATVIEWS.items():
+                db.create_materialized_view(name, sql)
+                aux += 1
+        return aux
+
+    def _load_from_store(self) -> LoadResult:
+        """The ``db_path`` load path: open a persistent column store
+        instead of generating + loading.
+
+        The open is O(columns touched): tables attach as mmap-backed
+        lazy columns, optimizer statistics come from the manifest, and
+        neither PK validation nor ``gather_stats`` re-runs (both were
+        part of the timed load that produced the store).  Only aux
+        structures are built fresh — hash/sorted/bitmap indexes are
+        lazy; materialized views execute their defining queries, which
+        hydrates exactly the columns those queries touch."""
+        config = self.config
+        from ..dsdgen.context import GeneratorContext
+        from ..engine.colstore import open_database
+
+        with self.tracer.installed(), self.tracer.span("phase:load") as phase:
+            db = Database(
+                optimizer_settings=config.optimizer, workers=config.workers
+            )
+            if config.statement_store_path:
+                db.statement_store = StatementStore(config.statement_store_path)
+            start = time.perf_counter()
+            with self.tracer.span("open_store") as span:
+                open_database(db, config.db_path)
+                info = db.store_info
+                span.set(path=config.db_path, tables=len(info["tables"]))
+            # the store records what data it holds; substitutions and
+            # refresh sets must be derived from those values, not from
+            # whatever the caller's defaults were
+            if info.get("scale_factor") is not None:
+                config.scale_factor = info["scale_factor"]
+            if info.get("seed") is not None:
+                config.seed = int(info["seed"])
+            with self.tracer.span("aux_structures") as span:
+                aux = self._create_aux_structures(db)
+                span.set(count=aux)
+            elapsed = time.perf_counter() - start
+            if config.plan_quality:
+                db.plan_quality = PlanQualityAggregator()
+            self.db = db
+            self.context = GeneratorContext(config.scale_factor, config.seed)
+            self.context.ensure_key_pools()
+            self.qgen = QGen(self.context, build_catalog())
+            rows = sum(info["tables"].values())
+            phase.set(rows=rows, aux_structures=aux, untimed_generation=0.0,
+                      store=config.db_path)
+        return LoadResult(elapsed, 0.0, rows, aux)
 
     # -- query runs -------------------------------------------------------------
 
@@ -583,7 +651,7 @@ class BenchmarkRun:
     def data_maintenance(self) -> MaintenanceRunResult:
         config = self.config
         generator = RefreshGenerator(
-            self.data.context,
+            self.context,
             update_fraction=config.update_fraction,
             insert_fraction=config.insert_fraction,
         )

@@ -71,6 +71,71 @@ class TestStoredColumn:
         assert col.distinct_count() == 2
 
 
+class TestDictionaryHygiene:
+    """Regression tests: null-slot payloads must never enter the
+    dictionary, and ``keep`` must not leave it full of dead entries."""
+
+    def test_append_vector_ignores_null_slot_payload(self):
+        # a vector's null slots legally carry arbitrary fill payloads;
+        # appending used to dictionary-encode them before masking
+        col = StoredColumn(ColumnDef("s", varchar(20)))
+        vec = Vector(
+            Kind.STR,
+            np.array(["a", "GARBAGE-FILL", "b"], dtype=object),
+            np.array([False, True, False]),
+        )
+        col.append_vector(vec)
+        assert col.scan().to_list() == ["a", None, "b"]
+        assert col._values == ["a", "b"]
+        assert "GARBAGE-FILL" not in col._value_ids
+
+    def test_append_vector_all_null(self):
+        col = StoredColumn(ColumnDef("s", varchar(20)))
+        vec = Vector(
+            Kind.STR,
+            np.array(["junk", "junk"], dtype=object),
+            np.array([True, True]),
+        )
+        col.append_vector(vec)
+        assert col.scan().to_list() == [None, None]
+        assert col._values == []
+
+    def test_keep_compacts_dead_entries(self):
+        col = StoredColumn(ColumnDef("s", varchar(10)))
+        col.append_values([f"v{i:03d}" for i in range(100)])
+        # drop 90% of rows: the dead fraction crosses the auto-compact
+        # threshold, so the dictionary must shrink with the data
+        col.keep(np.arange(100) < 10)
+        assert len(col._values) == 10
+        assert col.scan().to_list() == [f"v{i:03d}" for i in range(10)]
+
+    def test_keep_below_threshold_keeps_dictionary(self):
+        col = StoredColumn(ColumnDef("s", varchar(10)))
+        col.append_values([f"v{i:03d}" for i in range(10)])
+        col.keep(np.arange(10) < 9)  # 10% dead: below threshold
+        assert len(col._values) == 10
+        assert col.compact_dictionary() == 1
+        assert len(col._values) == 9
+
+    def test_compact_preserves_scan_and_distincts(self):
+        col = StoredColumn(ColumnDef("s", varchar(10)))
+        col.append_values(["a", "b", "c", "b", None, "d"])
+        col.keep(np.array([False, True, False, True, True, True]))
+        before = col.scan().to_list()
+        removed = col.compact_dictionary()
+        assert removed == 2  # "a" and "c" were dead
+        assert col.scan().to_list() == before == ["b", "b", None, "d"]
+        assert col.distinct_count() == 2
+        assert col.value(3) == "d"
+
+    def test_compact_noop_when_nothing_dead(self):
+        col = StoredColumn(ColumnDef("s", varchar(10)))
+        col.append_values(["a", "b"])
+        col.dirty = False
+        assert col.compact_dictionary() == 0
+        assert not col.dirty  # a no-op must not dirty a clean column
+
+
 class TestTable:
     def test_append_and_row(self):
         t = make_table()

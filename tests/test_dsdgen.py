@@ -224,6 +224,52 @@ class TestFlatFiles:
         assert stats.min_bytes < 30
         assert stats.max_bytes > stats.avg_bytes > stats.min_bytes
 
+    def test_empty_string_distinct_from_null(self, tmp_path):
+        # regression: an empty string used to render as an empty field
+        # and come back as NULL; the kit convention is empty field =
+        # NULL, so genuine empties need the '""' escape
+        from repro.engine import ColumnDef, TableSchema, integer, varchar
+
+        s = TableSchema("t", [ColumnDef("k", integer()), ColumnDef("s", varchar(10))])
+        rows = [[1, ""], [2, None], [3, "x"]]
+        path = os.path.join(tmp_path, "t.dat")
+        write_flat_file(path, rows, s)
+        back = read_flat_file(path, s)
+        assert back == rows
+        assert back[0][1] == "" and back[1][1] is None
+
+    def test_empty_string_field_token(self):
+        from repro.dsdgen.flatfile import EMPTY_STRING_FIELD, format_field, parse_field
+        from repro.engine.types import Kind
+
+        assert format_field("", Kind.STR) == EMPTY_STRING_FIELD == '""'
+        assert format_field(None, Kind.STR) == ""
+        assert parse_field(EMPTY_STRING_FIELD, Kind.STR) == ""
+        assert parse_field("", Kind.STR) is None
+
+    def test_columnar_writer_escapes_empty_strings(self, tmp_path):
+        import numpy as np
+
+        from repro.dsdgen.flatfile import _format_column
+        from repro.engine.types import Kind
+
+        data = np.array(["a", "", "b"], dtype=object)
+        null = np.array([False, False, True])
+        rendered = _format_column(data, null, Kind.STR)
+        # genuine empty escaped, null slot an empty field
+        assert list(rendered) == ["a", '""', ""]
+
+    def test_row_statistics_count_utf8_bytes(self):
+        # regression: statistics used to count characters while the
+        # writer counts encoded bytes — non-ASCII data diverged
+        from repro.engine import ColumnDef, TableSchema, varchar
+
+        s = TableSchema("t", [ColumnDef("s", varchar(10))])
+        rows = [["éééé"]]  # 4 chars, 8 UTF-8 bytes
+        stats = measured_row_statistics({"t": rows}, {"t": s})
+        # 8 payload bytes + trailing pipe + newline
+        assert stats.min_bytes == stats.max_bytes == 10
+
     def test_write_all_tables(self, tmp_path):
         data = DsdGen(0.001).generate()
         sizes = data.write_flat_files(str(tmp_path))

@@ -48,12 +48,10 @@ def test_flat_file_round_trip(row):
         assert parsed[1] is None
     else:
         assert parsed[1] == pytest.approx(round(row[1], 2), abs=0.01)
-    # empty strings legitimately parse back as NULL in the flat format
+    # empty field = NULL; genuine empty strings survive via the '""'
+    # escape, so every string value round-trips exactly
     for idx in (2, 3):
-        if row[idx] in (None, ""):
-            assert parsed[idx] is None
-        else:
-            assert parsed[idx] == row[idx]
+        assert parsed[idx] == row[idx]
     assert parsed[4] == row[4]
 
 
