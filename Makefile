@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test determinism bench bench-smoke bench-compare qualification difftest faultcheck parallelcheck obscheck storecheck
+.PHONY: check test determinism bench bench-smoke bench-compare qualification difftest faultcheck parallelcheck obscheck storecheck servecheck
 
 ## fuzz seed for `make difftest`; CI rotates it per run and logs the
 ## value so any failure replays with DIFFTEST_SEED=<logged seed>
@@ -59,6 +59,14 @@ obscheck:
 ## verify zone-map pruning and incremental DML saves
 storecheck:
 	$(PYTHON) scripts/store_check.py
+
+## query-service gate: service/loadgen unit tests, then a 4-tenant
+## burst under fault injection — zero cross-tenant failures, bounded
+## queues with retry_after shedding, breaker trip + recovery, SLA
+## verdict emitted and sys.service consistent
+servecheck:
+	$(PYTHON) -m pytest tests/test_service.py tests/test_loadgen.py -q
+	$(PYTHON) scripts/serve_check.py
 
 ## regenerate the pinned qualification answer set (after intentional
 ## behavioral changes only)

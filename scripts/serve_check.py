@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Query-service gate: the `make servecheck` / CI check.
+
+Drives the ISSUE acceptance scenario end to end: four tenants share
+one :class:`~repro.service.QueryService` while a 2x overload burst
+lands on top of a steady phase and tenant ``noisy`` runs under a
+``--fault-rate 0.05``-style injector (error rate 0.35 at query *and*
+operator scope, so the breaker demonstrably trips inside the check's
+time budget).  The gate fails loudly unless:
+
+* **isolation** — every non-faulted tenant finishes with zero
+  failures/timeouts and its declared p99 SLA intact (one tenant's
+  fault storm must never starve the others);
+* **bounded shedding** — the service sheds under overload instead of
+  queueing unboundedly: shed > 0 with a positive ``retry_after``
+  surfaced, and no tenant's max queue depth ever exceeds its
+  configured bound;
+* **breaker lifecycle** — the noisy tenant's breaker trips during the
+  storm and recovers (closes) once its faults clear;
+* **introspection** — ``sys.service`` / ``sys.sessions`` answer over
+  SQL with matching counters, the disclosure section renders, and
+  ``BENCH_service.json`` lands on disk.
+
+Runs from a checkout (`python scripts/serve_check.py`); exits nonzero
+on the first failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+SF = 0.002
+SEED = 19620718
+WORKERS = 4
+TENANTS = ("alpha", "beta", "gamma", "noisy")
+TEMPLATES = (3, 7, 42, 52)
+QUEUE_DEPTH = 6
+MAX_CONCURRENT = 2
+SLA_P99_S = 30.0  # generous: CI boxes are slow; isolation is the claim
+FAULT_RATE = 0.35
+
+
+def fail(message: str) -> None:
+    print(f"serve_check: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    from repro.dsdgen import build_database
+    from repro.faults import FaultInjector
+    from repro.qgen import QGen, build_catalog
+    from repro.runner import render_load_report
+    from repro.service import (
+        LoadDriver,
+        Phase,
+        QueryService,
+        SLATarget,
+        TenantProfile,
+        TenantQuota,
+    )
+
+    t0 = time.perf_counter()
+    db, data = build_database(SF, seed=SEED)
+    qgen = QGen(data.context, build_catalog())
+    print(f"serve_check: built sf={SF} in memory "
+          f"({time.perf_counter() - t0:.1f}s)")
+
+    quota = TenantQuota(
+        max_concurrent=MAX_CONCURRENT,
+        max_queue_depth=QUEUE_DEPTH,
+        statement_timeout_s=20.0,
+    )
+    service = QueryService(
+        db, workers=WORKERS, default_quota=quota,
+        breaker_threshold=3, breaker_reset_s=0.5,
+    )
+    service.set_faults("noisy", FaultInjector(
+        seed=7, error_rate=FAULT_RATE, scope=("query", "operator"),
+    ))
+
+    # steady at ~1 qps/tenant, then a 2x overload burst, then cooldown
+    phases = [
+        Phase("steady", duration_s=3.0, qps=4.0),
+        Phase("burst", duration_s=3.0, qps=8.0),
+        Phase("steady", duration_s=3.0, qps=4.0),
+    ]
+    sla = SLATarget(p99_s=SLA_P99_S, max_error_rate=0.0)
+    profiles = [
+        TenantProfile(name, weight=1.0, templates=TEMPLATES,
+                      sla=None if name == "noisy" else sla)
+        for name in TENANTS
+    ]
+    driver = LoadDriver(service, qgen, profiles, phases, seed=11)
+    print(f"serve_check: replaying {len(driver.schedule)} arrivals "
+          f"({WORKERS} workers, queue bound {QUEUE_DEPTH})")
+    report = driver.run()
+
+    noisy_state = service.tenant("noisy")
+    trips = noisy_state.breaker.trips
+    if trips < 1:
+        fail("the faulted tenant's circuit breaker never tripped")
+    print(f"serve_check: noisy breaker tripped {trips}x "
+          f"(state {noisy_state.breaker.state!r} after the storm)")
+
+    # clear the faults; the breaker must half-open and close again
+    service.set_faults("noisy", None)
+    recovery = service.create_session("noisy")
+    deadline = time.monotonic() + 20.0
+    while noisy_state.breaker.state != "closed":
+        if time.monotonic() >= deadline:
+            fail("noisy breaker did not recover after faults cleared")
+        try:
+            recovery.execute("SELECT 1 AS probe")
+        except Exception:
+            time.sleep(0.1)
+    recovery.close()
+    print("serve_check: noisy breaker recovered (closed)")
+
+    # isolation: non-faulted tenants saw zero failures and met SLA
+    for tenant in report.tenants:
+        if tenant.tenant == "noisy":
+            continue
+        if tenant.failed or tenant.timeouts:
+            fail(f"cross-tenant failure leak: {tenant.tenant} recorded "
+                 f"{tenant.failed} failures / {tenant.timeouts} timeouts")
+        if not tenant.sla_ok:
+            fail(f"{tenant.tenant} missed its SLA: {tenant.sla_failures}")
+    print("serve_check: zero cross-tenant failures, all SLAs met")
+
+    # bounded shedding with retry_after surfaced
+    total_shed = sum(t.shed for t in report.tenants)
+    if total_shed < 1:
+        fail("the overload burst shed nothing — admission is unbounded?")
+    sheds_with_hint = [
+        t.max_retry_after_s for t in report.tenants if t.shed
+    ]
+    if not any(hint > 0.0 for hint in sheds_with_hint):
+        fail("shed responses carried no retry_after hint")
+    for state in service.tenants():
+        if state.max_queued > QUEUE_DEPTH:
+            fail(f"{state.name} queue depth reached {state.max_queued}, "
+                 f"past the {QUEUE_DEPTH} bound")
+    print(f"serve_check: shed {total_shed} arrivals, max retry_after "
+          f"{max(sheds_with_hint):.3f}s, queue depth bounded")
+
+    # introspection: sys.* must answer over SQL and agree with the
+    # service's own counters
+    session = service.create_session("alpha")
+    rows = session.execute(
+        "SELECT tenant, admitted, shed, breaker_trips FROM sys.service"
+        " ORDER BY tenant"
+    ).rows()
+    session.close()
+    by_tenant = {row[0]: row for row in rows}
+    if set(by_tenant) != set(TENANTS):
+        fail(f"sys.service lists {sorted(by_tenant)}, expected "
+             f"{sorted(TENANTS)}")
+    if by_tenant["noisy"][3] != trips:
+        fail(f"sys.service breaker_trips {by_tenant['noisy'][3]} != "
+             f"service counter {trips}")
+    admitted = {t.tenant: t.admitted for t in report.tenants}
+    for name, row in by_tenant.items():
+        # +1 on alpha for the sys.service query's own admission wake;
+        # recovery probes ride on noisy — so check >= the driver's view
+        if row[1] < admitted.get(name, 0):
+            fail(f"sys.service admitted {row[1]} for {name}, driver "
+                 f"saw {admitted.get(name)}")
+    print("serve_check: sys.service / sys.sessions agree with the driver")
+
+    service.close()
+
+    rendered = render_load_report(report.as_dict())
+    if "SLA verdict" not in rendered:
+        fail("disclosure section lacks an SLA verdict")
+    print(rendered)
+
+    with tempfile.TemporaryDirectory(prefix="servecheck-") as tmp:
+        out = os.path.join(tmp, "BENCH_service.json")
+        report.write_json(out)
+        with open(out, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload["issued"] != len(driver.schedule):
+            fail("BENCH_service.json issued count mismatch")
+    print("serve_check: BENCH_service.json round-trips")
+    print("serve_check: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,13 @@ Subcommands mirror the original kit's tools:
   regressions beyond the noise threshold; ``obs trace`` exports a
   Chrome-trace/Perfetto span timeline; ``obs report`` renders the
   self-contained HTML observability dashboard;
+* ``serve``   — interactive multi-tenant query service: statements
+  from stdin run through admission control, quotas and the circuit
+  breaker against a generated (or ``--db``-opened) database;
+* ``loadgen`` — open-loop load driver: replay a phased arrival
+  pattern (steady / burst / ramp) with a per-tenant qgen query mix
+  against the service, check declared SLA targets, and write
+  ``BENCH_service.json``;
 * ``difftest`` — differential correctness run against the SQLite
   oracle: the 99 qualification queries plus a seeded query fuzzer;
   disagreements are delta-shrunk into ``tests/difftest_corpus/``;
@@ -217,6 +224,149 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"statement store written to {args.statement_store} "
               f"({summary.result.statements['fingerprints']} fingerprints)")
     return 0 if summary.result.compliant else 1
+
+
+def _service_db(args: argparse.Namespace):
+    """A (database, qgen) pair for ``serve`` / ``loadgen``: either the
+    persistent store at ``--db`` (adopting its scale factor and seed)
+    or a freshly generated database at ``--scale``."""
+    from .dsdgen import build_database
+
+    if args.db:
+        from .dsdgen.context import GeneratorContext
+        from .engine import Database
+
+        db = Database.open(args.db)
+        info = db.store_info or {}
+        scale = info.get("scale_factor") or args.scale
+        seed = int(info.get("seed") or args.seed)
+        context = GeneratorContext(scale, seed)
+        context.ensure_key_pools()
+        return db, QGen(context, build_catalog())
+    db, data = build_database(args.scale, seed=args.seed)
+    return db, QGen(data.context, build_catalog())
+
+
+def _service_quota(args: argparse.Namespace):
+    from .service import TenantQuota
+
+    return TenantQuota(
+        max_concurrent=args.max_concurrent,
+        max_queue_depth=args.queue_depth,
+        statement_timeout_s=args.timeout,
+        mem_budget_bytes=_parse_bytes(args.mem_budget),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import AdmissionRejected, QueryService
+
+    db, _ = _service_db(args)
+    service = QueryService(
+        db,
+        workers=args.workers or 2,
+        default_quota=_service_quota(args),
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+    )
+    session = service.create_session(args.tenant)
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print(f"tpcds-py serve: tenant {args.tenant!r}; ';'-terminated "
+              f"statements, EOF (ctrl-d) quits")
+    buffered = ""
+    try:
+        for line in sys.stdin:
+            buffered += line
+            while ";" in buffered:
+                sql, buffered = buffered.split(";", 1)
+                if not sql.strip():
+                    continue
+                try:
+                    result = session.execute(sql)
+                except AdmissionRejected as shed:
+                    print(f"shed ({shed.reason}): retry after "
+                          f"{shed.retry_after_s:.3f}s", file=sys.stderr)
+                    continue
+                except Exception as exc:
+                    print(f"error: {type(exc).__name__}: {exc}",
+                          file=sys.stderr)
+                    continue
+                for row in result.rows():
+                    print("\t".join(str(v) for v in row))
+                print(f"({len(result)} rows in {result.elapsed:.3f}s)",
+                      file=sys.stderr)
+    finally:
+        session.close()
+        service.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import (
+        LoadDriver,
+        QueryService,
+        SLATarget,
+        TenantProfile,
+        parse_phases,
+    )
+
+    try:
+        phases = parse_phases(args.phases)
+    except ValueError as exc:
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 2
+    templates = tuple(int(t) for t in args.templates.split(","))
+    sla = SLATarget(p99_s=args.sla_p99, max_error_rate=args.sla_error_rate)
+    names = [name.strip() for name in args.tenants.split(",") if name.strip()]
+    if not names:
+        print("loadgen: --tenants named nobody", file=sys.stderr)
+        return 2
+    quota = _service_quota(args)
+    profiles = [
+        TenantProfile(name, weight=1.0, templates=templates, sla=sla,
+                      quota=quota)
+        for name in names
+    ]
+
+    db, qgen = _service_db(args)
+    service = QueryService(
+        db,
+        workers=args.workers or 2,
+        default_quota=quota,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+    )
+    if args.fault_rate and args.fault_tenant:
+        from .faults import FaultInjector
+
+        service.set_faults(args.fault_tenant, FaultInjector(
+            seed=args.fault_seed,
+            error_rate=args.fault_rate,
+            scope=("query", "operator"),
+        ))
+    driver = LoadDriver(service, qgen, profiles, phases, seed=args.seed)
+    print(f"loadgen: {len(driver.schedule)} arrivals over "
+          f"{sum(p.duration_s for p in phases):g}s across "
+          f"{len(profiles)} tenant(s)", file=sys.stderr)
+    report = driver.run()
+    service.close()
+
+    from .runner import render_load_report
+
+    print(render_load_report(report.as_dict()))
+    if args.out:
+        report.write_json(args.out)
+        print(f"load report written to {args.out}", file=sys.stderr)
+    if args.sys_dump:
+        result = db.execute("SELECT * FROM sys.service")
+        print(json.dumps(
+            [dict(zip(result.column_names, row)) for row in result.rows()],
+            indent=1, default=str,
+        ))
+    return 0 if report.ok else 1
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -585,6 +735,71 @@ def build_parser() -> argparse.ArgumentParser:
                         " (workers=/morsels= counters appear per operator)")
     p.set_defaults(func=_cmd_explain)
 
+    def _service_args(p: argparse.ArgumentParser) -> None:
+        """Options shared by ``serve`` and ``loadgen``."""
+        p.add_argument("--scale", type=float, default=0.002)
+        p.add_argument("--seed", type=int, default=19620718)
+        p.add_argument("--db", metavar="PATH", default=None,
+                       help="open the persistent column store at PATH"
+                            " instead of generating")
+        p.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="service worker threads (default 2)")
+        p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-statement end-to-end deadline (queue"
+                            " wait included); drives deadline-aware"
+                            " shedding")
+        p.add_argument("--mem-budget", default=None, metavar="BYTES",
+                       help="per-statement memory budget (K/M/G suffix)")
+        p.add_argument("--max-concurrent", type=int, default=2,
+                       help="per-tenant concurrent statements (default 2)")
+        p.add_argument("--queue-depth", type=int, default=8,
+                       help="per-tenant admission queue bound (default 8)")
+        p.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive failures that trip a tenant's"
+                            " circuit breaker (default 5)")
+        p.add_argument("--breaker-reset", type=float, default=1.0,
+                       metavar="S",
+                       help="seconds an open breaker waits before"
+                            " half-opening (default 1.0)")
+
+    p = sub.add_parser("serve",
+                       help="interactive multi-tenant query service")
+    _service_args(p)
+    p.add_argument("--tenant", default="default",
+                   help="tenant the stdin session runs as")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("loadgen",
+                       help="open-loop load driver with SLA checking")
+    _service_args(p)
+    p.add_argument("--phases", default="steady:2:5,burst:8:5,steady:2:5",
+                   help="arrival pattern: comma-joined name:qps:secs"
+                        " segments, qps 'lo-hi' ramps linearly"
+                        " (default steady:2:5,burst:8:5,steady:2:5)")
+    p.add_argument("--tenants", default="alpha,beta,gamma,delta",
+                   help="comma-separated tenant names (equal weights)")
+    p.add_argument("--templates", default="3,7,42,52",
+                   help="comma-separated qgen template ids the mix"
+                        " draws from (default 3,7,42,52)")
+    p.add_argument("--sla-p99", type=float, default=5.0, metavar="S",
+                   help="per-tenant p99 end-to-end latency target"
+                        " (default 5.0s)")
+    p.add_argument("--sla-error-rate", type=float, default=0.0,
+                   help="per-tenant ceiling on failed/admitted"
+                        " (default 0.0; sheds don't count)")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="inject transient faults at this rate into"
+                        " --fault-tenant's statements")
+    p.add_argument("--fault-tenant", default=None,
+                   help="tenant whose statements the faults target")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the load report (BENCH_service.json)")
+    p.add_argument("--sys-dump", action="store_true",
+                   help="after the run, print sys.service as JSON"
+                        " (queried through the engine itself)")
+    p.set_defaults(func=_cmd_loadgen)
+
     p = sub.add_parser("obs", help="observability tooling")
     p.add_argument("action",
                    choices=["diff", "history", "top", "trace", "report"],
@@ -688,6 +903,7 @@ def main(argv: list[str] | None = None) -> int:
         PlanningError,
         ResourceError,
         SqlSyntaxError,
+        StoreError,
     )
     from .runner import CheckpointMismatch
 
@@ -700,6 +916,12 @@ def main(argv: list[str] | None = None) -> int:
     except PlanningError as exc:
         print(f"tpcds-py: planning error: {exc}", file=sys.stderr)
         return EXIT_PLANNING
+    except StoreError as exc:
+        # before EngineError (StoreError is a subclass): a missing or
+        # failing column store is an environment/resource problem, not
+        # a query-execution one
+        print(f"tpcds-py: storage error: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE
     except ResourceError as exc:
         # before EngineError: ResourceError is a subclass
         print(f"tpcds-py: resource error: {exc}", file=sys.stderr)

@@ -66,6 +66,30 @@ _DTYPES = {
 _CODES_DTYPE = "<i4"
 
 
+# -- storage fault injection -------------------------------------------------
+
+
+def _storage_check(site: str) -> None:
+    """Roll the process-wide storage-fault injector at one I/O site.
+
+    The import is lazy on purpose: ``repro.faults`` imports the engine
+    package, so a module-level import here would cycle."""
+    from ..faults import get_storage_faults
+
+    injector = get_storage_faults()
+    if injector is not None:
+        injector.at_storage(site)
+
+
+def _store_io_error(message: str, exc: BaseException) -> StoreError:
+    """Translate an I/O failure into :class:`StoreError`, keeping the
+    retry-eligibility (``transient``) of injected faults."""
+    error = StoreError(message)
+    if getattr(exc, "transient", False):
+        error.transient = True
+    return error
+
+
 # -- fsync discipline --------------------------------------------------------
 
 
@@ -78,13 +102,18 @@ def _fsync_dir(path: str) -> None:
 
 
 def _atomic_write(path: str, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` via tmp + fsync + atomic rename."""
+    """Write ``payload`` to ``path`` via tmp + fsync + atomic rename;
+    :class:`StoreError` on any I/O failure."""
     tmp = path + ".tmp"
-    with open(tmp, "wb") as handle:
-        handle.write(payload)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    try:
+        _storage_check(f"write:{os.path.basename(path)}")
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise _store_io_error(f"cannot write {path}: {exc}", exc) from None
 
 
 # -- schema fingerprint ------------------------------------------------------
@@ -198,6 +227,7 @@ def _read_footer(path: str) -> dict:
     """Parse and validate a column file's footer; raises
     :class:`StoreError` on a torn or foreign file."""
     try:
+        _storage_check(f"footer:{os.path.basename(path)}")
         with open(path, "rb") as handle:
             handle.seek(0, os.SEEK_END)
             size = handle.tell()
@@ -213,7 +243,9 @@ def _read_footer(path: str) -> dict:
             handle.seek(size - 8 - footer_len)
             footer = json.loads(handle.read(footer_len).decode("utf-8"))
     except OSError as exc:
-        raise StoreError(f"cannot read column file {path}: {exc}") from None
+        raise _store_io_error(
+            f"cannot read column file {path}: {exc}", exc
+        ) from None
     except (ValueError, struct.error) as exc:
         raise StoreError(f"column file {path} has a corrupt footer: {exc}") from None
     return footer
@@ -254,15 +286,28 @@ class ColumnBacking:
 
     def _segment_map(self, name: str, dtype: str) -> np.ndarray:
         offset, _length = self.footer()["segments"][name]
-        return np.memmap(
-            self.path, dtype=dtype, mode="r", offset=offset, shape=(self.rows,)
-        )
+        try:
+            _storage_check(f"read:{os.path.basename(self.path)}:{name}")
+            return np.memmap(
+                self.path, dtype=dtype, mode="r", offset=offset,
+                shape=(self.rows,),
+            )
+        except OSError as exc:
+            raise _store_io_error(
+                f"cannot map segment {name!r} of {self.path}: {exc}", exc
+            ) from None
 
     def _segment_bytes(self, name: str) -> bytes:
         offset, length = self.footer()["segments"][name]
-        with open(self.path, "rb") as handle:
-            handle.seek(offset)
-            return handle.read(length)
+        try:
+            _storage_check(f"read:{os.path.basename(self.path)}:{name}")
+            with open(self.path, "rb") as handle:
+                handle.seek(offset)
+                return handle.read(length)
+        except OSError as exc:
+            raise _store_io_error(
+                f"cannot read segment {name!r} of {self.path}: {exc}", exc
+            ) from None
 
     def load_numeric(self) -> tuple[np.ndarray, np.ndarray]:
         """The (data, null) pair for an INT/FLOAT/DATE/BOOL column;
@@ -333,7 +378,12 @@ def save_database(
     so deletes never persist dead entries.  Returns the manifest dict.
     """
     path = os.path.abspath(path)
-    os.makedirs(path, exist_ok=True)
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as exc:
+        raise _store_io_error(
+            f"cannot create store directory {path}: {exc}", exc
+        ) from None
     incremental = getattr(db, "_store_path", None) == path
     previous = db.store_info if incremental else None
     if block_rows is None:
@@ -351,7 +401,12 @@ def save_database(
     for name in db.catalog.table_names:
         table = db.catalog.table(name)
         table_dir = os.path.join(path, name)
-        os.makedirs(table_dir, exist_ok=True)
+        try:
+            os.makedirs(table_dir, exist_ok=True)
+        except OSError as exc:
+            raise _store_io_error(
+                f"cannot create table directory {table_dir}: {exc}", exc
+            ) from None
         columns_doc = []
         for cdef in table.schema.columns:
             column = table.columns[cdef.name]
@@ -420,9 +475,14 @@ def read_manifest(path: str) -> dict:
     if not os.path.exists(manifest_path):
         raise StoreError(f"no column store at {path} (missing {MANIFEST})")
     try:
+        _storage_check("manifest")
         with open(manifest_path, encoding="utf-8") as handle:
             manifest = json.load(handle)
-    except (OSError, ValueError) as exc:
+    except OSError as exc:
+        raise _store_io_error(
+            f"cannot read manifest at {manifest_path}: {exc}", exc
+        ) from None
+    except ValueError as exc:
         raise StoreError(f"torn manifest at {manifest_path}: {exc}") from None
     if manifest.get("format") != FORMAT_NAME:
         raise StoreError(f"{manifest_path} is not a {FORMAT_NAME} manifest")

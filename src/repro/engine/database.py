@@ -260,13 +260,17 @@ class Database:
         mem_budget_bytes: Optional[float] = None,
         cancel=None,
         workers: Optional[int] = None,
+        faults=None,
     ) -> Result:
         """Execute an already-parsed query AST (the differential-testing
         harness runs shrunk ASTs without a render/re-parse round trip)."""
         start = time.perf_counter()
-        if self.fault_injector is not None:
-            self.fault_injector.at_query(f"ast:{type(query).__name__}")
-        resource = self._make_resource(timeout_s, mem_budget_bytes, cancel)
+        injector = faults if faults is not None else self.fault_injector
+        if injector is not None:
+            injector.at_query(f"ast:{type(query).__name__}")
+        resource = self._make_resource(
+            timeout_s, mem_budget_bytes, cancel, faults=faults
+        )
         result = self._execute_query(
             query, resource=resource, pool=self._get_pool(workers)
         )
@@ -280,6 +284,7 @@ class Database:
         mem_budget_bytes: Optional[float] = None,
         cancel=None,
         workers: Optional[int] = None,
+        faults=None,
     ) -> Result:
         """Execute one SQL statement.
 
@@ -294,6 +299,8 @@ class Database:
         ``Result.spilled_bytes``).  ``workers`` (default: the
         database-wide setting) fans the hot operators out over the
         shared morsel pool; the result is byte-identical to serial.
+        ``faults`` overrides the database-wide fault injector for this
+        statement only (the query service scopes injection per tenant).
         """
         match = _EXPLAIN_RE.match(sql)
         if match is not None:
@@ -323,10 +330,13 @@ class Database:
         collector = None
         try:
             if isinstance(statement, A.Query):
-                if self.fault_injector is not None:
-                    self.fault_injector.at_query(sql)
+                injector = (
+                    faults if faults is not None else self.fault_injector
+                )
+                if injector is not None:
+                    injector.at_query(sql)
                 resource = self._make_resource(
-                    timeout_s, mem_budget_bytes, cancel
+                    timeout_s, mem_budget_bytes, cancel, faults=faults
                 )
                 pool = self._get_pool(workers)
                 if record:
@@ -494,22 +504,25 @@ class Database:
         timeout_s: Optional[float],
         mem_budget_bytes: Optional[float],
         cancel,
+        faults=None,
     ) -> Optional[ResourceContext]:
         """A :class:`ResourceContext` for one statement, or ``None``
         when nothing is bounded (so ungoverned queries skip every
-        per-operator check)."""
+        per-operator check).  ``faults`` (a per-statement injector)
+        overrides the database-wide one."""
+        injector = faults if faults is not None else self.fault_injector
         if (
             timeout_s is None
             and mem_budget_bytes is None
             and cancel is None
-            and self.fault_injector is None
+            and injector is None
         ):
             return None
         return ResourceContext(
             memory_budget_bytes=mem_budget_bytes,
             timeout_s=timeout_s,
             cancel=cancel,
-            faults=self.fault_injector,
+            faults=injector,
         )
 
     def _get_pool(self, workers: Optional[int]):

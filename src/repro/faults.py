@@ -9,7 +9,15 @@ pressure.  It hooks into the engine at two granularities:
   duration of each query run);
 * **operator** — :meth:`at_operator` fires from
   :meth:`~repro.engine.governor.ResourceContext.check` at every batch
-  boundary, so injected delays and errors land *inside* running plans.
+  boundary, so injected delays and errors land *inside* running plans;
+* **storage** — :meth:`at_storage` fires on the column-store I/O paths
+  (manifest/footer open, segment reads, save writes).  It raises
+  :class:`InjectedStorageFault`, an ``OSError`` subclass, because that
+  is what a failing disk hands the store — the store must translate it
+  into :class:`~repro.engine.errors.StoreError` like any other I/O
+  error.  The store pulls its injector from the process-wide
+  :func:`set_storage_faults` hook (the store has no query context to
+  carry one through).
 
 Decisions flow from one ``random.Random(seed)`` guarded by a lock, so
 a single-threaded run is exactly reproducible from its seed; under
@@ -45,6 +53,18 @@ class InjectedFault(ExecutionError):
     transient = True
 
 
+class InjectedStorageFault(OSError):
+    """An injected I/O failure on a column-store path.
+
+    Deliberately an ``OSError``: storage faults enter the store the way
+    real disk errors do, proving the store's OSError→StoreError
+    translation rather than bypassing it.  ``transient`` rides along so
+    the wrapped :class:`~repro.engine.errors.StoreError` keeps retry
+    eligibility."""
+
+    transient = True
+
+
 def is_transient(exc: BaseException) -> bool:
     """True for errors a retry may cure (duck-typed on a ``transient``
     attribute so engine and injector stay decoupled)."""
@@ -55,8 +75,9 @@ class FaultInjector:
     """Seeded error/delay/memory-pressure injector.
 
     ``scope`` selects the granularities that inject: ``"query"``
-    (once per statement), ``"operator"`` (every batch boundary), or
-    both.  Rates are per decision point."""
+    (once per statement), ``"operator"`` (every batch boundary),
+    ``"storage"`` (column-store I/O), or any combination.  Rates are
+    per decision point."""
 
     def __init__(
         self,
@@ -96,14 +117,21 @@ class FaultInjector:
         if "operator" in self.scope:
             self._roll(f"operator:{site}")
 
-    def _roll(self, site: str) -> None:
+    def at_storage(self, site: str) -> None:
+        """Storage-granularity decision point (column-store I/O paths);
+        raises :class:`InjectedStorageFault` — an ``OSError`` — so the
+        store's error translation is what gets exercised."""
+        if "storage" in self.scope:
+            self._roll(f"storage:{site}", exc_class=InjectedStorageFault)
+
+    def _roll(self, site: str, exc_class: type = InjectedFault) -> None:
         if self.site_filter is not None and self.site_filter not in site:
             return
         with self._lock:
             draw = self._rng.random()
             if draw < self.error_rate:
                 self.injected_errors += 1
-                raise InjectedFault(f"injected fault at {site}")
+                raise exc_class(f"injected fault at {site}")
             delay = 0.0
             if draw < self.error_rate + self.delay_rate:
                 self.injected_delays += 1
@@ -133,3 +161,24 @@ class FaultInjector:
                 "injected_errors": self.injected_errors,
                 "injected_delays": self.injected_delays,
             }
+
+
+# -- the storage-fault hook --------------------------------------------------
+#
+# Column-store I/O runs below any query context (Database.open has no
+# database yet), so storage faults install process-wide.  The store
+# calls get_storage_faults() lazily at each I/O site.
+
+_storage_faults: Optional[FaultInjector] = None
+
+
+def set_storage_faults(injector: Optional[FaultInjector]) -> None:
+    """Install (or clear, with ``None``) the process-wide injector for
+    column-store I/O sites."""
+    global _storage_faults
+    _storage_faults = injector
+
+
+def get_storage_faults() -> Optional[FaultInjector]:
+    """The installed storage-fault injector, if any."""
+    return _storage_faults

@@ -52,8 +52,9 @@ def latency_percentiles(values: Sequence[float]) -> dict:
 
 def _lane_name(spans_on_thread: list[dict]) -> str:
     """A human label for one thread's lane, inferred from what ran on
-    it: pool workers are tagged by their morsel spans, benchmark
-    streams by their stream spans, the statement thread by its phases."""
+    it: pool workers are tagged by their morsel spans, service workers
+    by their service:statement spans, benchmark streams by their stream
+    spans, the statement thread by its phases."""
     workers = {
         s["attrs"]["worker"]
         for s in spans_on_thread
@@ -61,6 +62,13 @@ def _lane_name(spans_on_thread: list[dict]) -> str:
     }
     if workers:
         return f"pool worker {min(workers)}"
+    service_workers = {
+        s["attrs"]["worker"]
+        for s in spans_on_thread
+        if s["name"].startswith("service:") and "worker" in s.get("attrs", {})
+    }
+    if service_workers:
+        return f"service worker {min(service_workers)}"
     streams = {
         s["attrs"]["stream"]
         for s in spans_on_thread

@@ -381,3 +381,66 @@ def render_phase_breakdown(trace: list[dict]) -> list[str]:
             f"on stream {attrs.get('stream')})"
         )
     return lines
+
+
+def render_load_report(load: dict) -> str:
+    """The "Query service load run" disclosure section, rendered from a
+    :meth:`~repro.service.loadgen.LoadReport.as_dict` payload: arrival
+    phases, per-tenant admission/shedding/latency tables, breaker
+    state, and the SLA verdicts the run was declared against."""
+    lines = ["query service load run"]
+    phase_bits = []
+    for phase in load.get("phases", []):
+        qps = (f"{phase['start_qps']:g}-{phase['qps']:g}"
+               if phase.get("start_qps") is not None else f"{phase['qps']:g}")
+        phase_bits.append(f"{phase['name']} {qps} qps x {phase['duration_s']:g}s")
+    lines.append(f"  arrival pattern     : {', '.join(phase_bits) or '(none)'}")
+    lines.append(
+        f"  issued              : {load.get('issued', 0)} statements over "
+        f"{format_seconds(load.get('duration_s', 0.0))} (seed {load.get('seed')})"
+    )
+    service = load.get("service", {})
+    if service:
+        lines.append(
+            f"  service             : {service.get('workers', '?')} workers, "
+            f"breaker threshold {service.get('breaker_threshold', '?')}, "
+            f"reset {service.get('breaker_reset_s', '?')}s"
+        )
+    lines.append(
+        f"  {'tenant':12s} {'issued':>7s} {'admit':>7s} {'shed':>6s} "
+        f"{'done':>6s} {'fail':>5s} {'tmo':>4s} {'p50':>8s} {'p99':>8s} "
+        f"{'err%':>6s}  verdict"
+    )
+    for tenant in load.get("tenants", []):
+        latency = tenant.get("latency", {})
+        verdict = "pass" if tenant.get("sla_ok") else "FAIL"
+        if tenant.get("sla") is None:
+            verdict = "(no sla)"
+        lines.append(
+            f"  {tenant['tenant']:12s} {tenant['issued']:>7d} "
+            f"{tenant['admitted']:>7d} {tenant['shed']:>6d} "
+            f"{tenant['completed']:>6d} {tenant['failed']:>5d} "
+            f"{tenant['timeouts']:>4d} "
+            f"{latency.get('p50', 0.0) * 1000:>7.1f}m "
+            f"{latency.get('p99', 0.0) * 1000:>7.1f}m "
+            f"{tenant.get('error_rate', 0.0) * 100:>5.1f}%  {verdict}"
+        )
+        for failure in tenant.get("sla_failures", []):
+            lines.append(f"    !! {failure}")
+    by_name = {t["tenant"]: t for t in load.get("tenants", [])}
+    for state in service.get("tenants", []):
+        extra = ""
+        if state.get("breaker_trips"):
+            extra = (f", breaker tripped {state['breaker_trips']}x "
+                     f"(now {state['breaker_state']})")
+        shed = by_name.get(state["tenant"], {}).get("shed", state.get("shed", 0))
+        retry = state.get("last_retry_after_s") or 0.0
+        lines.append(
+            f"  {state['tenant']:12s} max queue {state.get('max_queued', 0)}, "
+            f"shed {shed} (last retry_after {retry:.3f}s){extra}"
+        )
+    lines.append(
+        f"  SLA verdict         : "
+        f"{'PASS' if load.get('ok') else 'FAIL'}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""`repro.service` — the long-lived multi-tenant query service.
+
+Two cooperating halves:
+
+* :mod:`repro.service.core` — :class:`QueryService`: a thread-pool
+  front-end over one shared :class:`~repro.engine.Database` with
+  sessions, per-tenant quotas (concurrency, memory budget, statement
+  timeout), bounded admission queues with deadline-aware load shedding,
+  and a per-tenant circuit breaker.  Rejections carry a ``retry_after``
+  hint; one tenant's faults can never starve the others.
+* :mod:`repro.service.loadgen` — an open-loop load driver that replays
+  configurable arrival patterns (steady / ramp / burst phases, a
+  per-tenant query mix drawn from the qgen templates) against a
+  service while recording end-to-end latency percentiles and checking
+  declared SLA targets.
+
+Service state is SQL-queryable through the ``sys.sessions`` and
+``sys.service`` virtual tables the service registers on its database.
+"""
+
+from .core import (
+    AdmissionRejected,
+    CircuitBreaker,
+    QueryService,
+    ServiceError,
+    ServiceShutdown,
+    Session,
+    SessionClosed,
+    TenantQuota,
+)
+from .loadgen import (
+    LoadDriver,
+    LoadReport,
+    Phase,
+    SLATarget,
+    TenantProfile,
+    TenantReport,
+    parse_phases,
+)
+
+__all__ = [
+    "QueryService",
+    "Session",
+    "TenantQuota",
+    "CircuitBreaker",
+    "ServiceError",
+    "AdmissionRejected",
+    "SessionClosed",
+    "ServiceShutdown",
+    "LoadDriver",
+    "LoadReport",
+    "Phase",
+    "SLATarget",
+    "TenantProfile",
+    "TenantReport",
+    "parse_phases",
+]

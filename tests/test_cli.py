@@ -296,3 +296,67 @@ def test_explain_analyze_budget_flag(capsys):
                            "ORDER BY c DESC, ss_customer_sk")]) == 0
     out = capsys.readouterr().out
     assert "spill_partitions=" in out
+
+
+def test_exit_code_storage_error_on_missing_store(tmp_path, capsys):
+    """`run --db` against a missing store: one-line diagnostic, exit 5
+    (resource class) — not a traceback, not the execution code."""
+    assert main(["run", "--db", str(tmp_path / "no-such-store")]) == 5
+    err = capsys.readouterr().err
+    assert err.startswith("tpcds-py: storage error:")
+    assert err.count("\n") == 1  # one-line diagnostic, no traceback
+    assert "no column store" in err
+
+
+def test_exit_code_storage_error_on_unwritable_store(tmp_path, capsys):
+    """`dsdgen --store` into a path whose parent is a file: exit 5."""
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    assert main(["dsdgen", "--scale", "0.001",
+                 "--store", str(blocker / "db")]) == 5
+    err = capsys.readouterr().err
+    assert err.startswith("tpcds-py: storage error:")
+    assert err.count("\n") == 1
+
+
+def test_serve_command_streams_statements(tmp_path, capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr(
+        "sys.stdin",
+        io.StringIO("SELECT COUNT(*) AS n FROM item;"
+                    "SELECT 1 AS x;"),
+    )
+    assert main(["serve", "--scale", "0.001", "--tenant", "smoke"]) == 0
+    captured = capsys.readouterr()
+    assert "rows in" in captured.err
+    lines = [line for line in captured.out.splitlines() if line.strip()]
+    assert lines[-1] == "1"  # SELECT 1 came back last
+
+
+def test_loadgen_command_writes_report(tmp_path, capsys):
+    out = tmp_path / "BENCH_service.json"
+    assert main(["loadgen", "--scale", "0.001",
+                 "--phases", "steady:3:1", "--tenants", "a,b",
+                 "--templates", "3,42", "--sla-p99", "60",
+                 "--out", str(out)]) == 0
+    assert out.exists()
+    captured = capsys.readouterr()
+    assert "query service load run" in captured.out
+    assert "SLA verdict         : PASS" in captured.out
+
+
+def test_loadgen_command_fails_on_sla_miss(tmp_path, capsys):
+    # a 100%-faulted tenant cannot meet a zero error-rate SLA
+    assert main(["loadgen", "--scale", "0.001",
+                 "--phases", "steady:4:1", "--tenants", "a,b",
+                 "--templates", "3", "--sla-p99", "60",
+                 "--fault-rate", "1.0", "--fault-tenant", "b",
+                 "--fault-seed", "3"]) == 1
+    captured = capsys.readouterr()
+    assert "SLA verdict         : FAIL" in captured.out
+
+
+def test_loadgen_rejects_bad_phase_spec(capsys):
+    assert main(["loadgen", "--phases", "nonsense"]) == 2
+    assert "loadgen:" in capsys.readouterr().err

@@ -319,3 +319,66 @@ class TestZoneMapPruning:
         text = "\n".join(r[0] for r in out.rows())
         assert "blocks_skipped=1" in text, text
         assert db2.execute("SELECT COUNT(*) FROM n WHERE x >= 0").scalar() == 8
+
+
+class TestStorageFaults:
+    """Injected I/O errors on store paths surface as StoreError — never
+    as a raw OSError — at open, scan and save time."""
+
+    @pytest.fixture()
+    def storage_faults(self):
+        from repro.faults import FaultInjector, set_storage_faults
+
+        def install(**kwargs):
+            injector = FaultInjector(scope=("storage",), **kwargs)
+            set_storage_faults(injector)
+            return injector
+
+        yield install
+        set_storage_faults(None)
+
+    def test_open_surfaces_injected_fault_as_store_error(
+        self, store_path, storage_faults
+    ):
+        storage_faults(seed=1, error_rate=1.0, site_filter="manifest")
+        with pytest.raises(StoreError) as excinfo:
+            Database.open(store_path)
+        assert not isinstance(excinfo.value, OSError)
+        assert "injected fault" in str(excinfo.value)
+        # injected faults stay retry-eligible through the translation
+        assert getattr(excinfo.value, "transient", False)
+
+    def test_scan_surfaces_injected_read_fault_as_store_error(
+        self, store_path, storage_faults
+    ):
+        db = Database.open(store_path)  # lazy: no reads yet
+        storage_faults(seed=1, error_rate=1.0, site_filter="read:")
+        with pytest.raises(StoreError) as excinfo:
+            db.execute("SELECT COUNT(*) AS n, SUM(ss_quantity) AS q"
+                       " FROM store_sales")
+        assert not isinstance(excinfo.value, OSError)
+
+    def test_save_surfaces_injected_write_fault_as_store_error(
+        self, tmp_path, storage_faults
+    ):
+        from .conftest import make_simple_db
+
+        db = make_simple_db()
+        storage_faults(seed=1, error_rate=1.0, site_filter="write:")
+        with pytest.raises(StoreError) as excinfo:
+            db.save(str(tmp_path / "faulted"))
+        assert not isinstance(excinfo.value, OSError)
+
+    def test_open_succeeds_once_faults_clear(
+        self, store_path, storage_faults
+    ):
+        from repro.faults import set_storage_faults
+
+        storage_faults(seed=1, error_rate=1.0, site_filter="manifest")
+        with pytest.raises(StoreError):
+            Database.open(store_path)
+        set_storage_faults(None)
+        db = Database.open(store_path)
+        assert db.execute(
+            "SELECT COUNT(*) AS n FROM item"
+        ).rows()[0][0] > 0

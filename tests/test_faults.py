@@ -115,3 +115,46 @@ def test_hard_failures_are_not_retried():
     assert timing.status == "failed"
     assert timing.attempts == 1
     assert "no_such_column" in timing.error
+
+
+def test_storage_scope_gates_and_raises_oserror():
+    """Storage faults are OSError subclasses (the store must translate
+    them), gated by the "storage" scope like every other site."""
+    from repro.faults import InjectedStorageFault
+
+    q_only = FaultInjector(seed=1, error_rate=1.0, scope=("query",))
+    q_only.at_storage("manifest")  # storage scope off: no raise
+
+    storage = FaultInjector(seed=1, error_rate=1.0, scope=("storage",))
+    with pytest.raises(InjectedStorageFault) as excinfo:
+        storage.at_storage("manifest")
+    assert isinstance(excinfo.value, OSError)
+    assert is_transient(excinfo.value)
+    assert storage.injected_errors == 1
+    # ...and the query site stays quiet under storage-only scope
+    storage_only = FaultInjector(seed=1, error_rate=1.0, scope=("storage",))
+    storage_only.at_query("select 1")
+
+
+def test_storage_site_filter_targets_paths():
+    injector = FaultInjector(
+        seed=1, error_rate=1.0, scope=("storage",), site_filter="manifest"
+    )
+    injector.at_storage("read:ss_item_sk.col:data")  # filtered: no raise
+    from repro.faults import InjectedStorageFault
+
+    with pytest.raises(InjectedStorageFault):
+        injector.at_storage("manifest")
+
+
+def test_storage_fault_hook_installs_and_clears():
+    from repro.faults import get_storage_faults, set_storage_faults
+
+    assert get_storage_faults() is None
+    injector = FaultInjector(seed=1, scope=("storage",))
+    set_storage_faults(injector)
+    try:
+        assert get_storage_faults() is injector
+    finally:
+        set_storage_faults(None)
+    assert get_storage_faults() is None

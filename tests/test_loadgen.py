@@ -1,0 +1,152 @@
+"""The open-loop load driver: phase parsing, schedule determinism,
+SLA verdicts, and a small end-to-end run against a live service."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FaultInjector
+from repro.service import (
+    LoadDriver,
+    Phase,
+    QueryService,
+    SLATarget,
+    TenantProfile,
+    TenantQuota,
+    parse_phases,
+)
+
+from .conftest import SESSION_SEED, SESSION_SF
+
+
+@pytest.fixture(scope="module")
+def service_db(generated_data):
+    from repro.dsdgen import build_database
+
+    db, _ = build_database(SESSION_SF, data=generated_data)
+    return db
+
+
+def test_parse_phases_steady_burst_ramp():
+    phases = parse_phases("steady:2:10, burst:20:5 ,ramp:2-20:10")
+    assert [p.name for p in phases] == ["steady", "burst", "ramp"]
+    assert phases[0] == Phase("steady", duration_s=10.0, qps=2.0)
+    assert phases[1] == Phase("burst", duration_s=5.0, qps=20.0)
+    assert phases[2] == Phase("ramp", duration_s=10.0, qps=20.0,
+                              start_qps=2.0)
+
+
+@pytest.mark.parametrize("bad", [
+    "", "steady", "steady:2", "steady:x:10", "steady:2:0", "burst:0:5",
+    "ramp:5-0:3",
+])
+def test_parse_phases_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        parse_phases(bad)
+
+
+def test_steady_phase_arrivals_are_evenly_spaced():
+    arrivals = Phase("steady", duration_s=5.0, qps=2.0).arrivals()
+    assert len(arrivals) == 10
+    assert arrivals == pytest.approx([0.5 * (i + 1) for i in range(10)])
+
+
+def test_ramp_phase_integrates_the_rate():
+    phase = Phase("ramp", duration_s=10.0, qps=20.0, start_qps=0.0)
+    arrivals = phase.arrivals()
+    # total = (0 + 20)/2 * 10 = 100 arrivals, increasingly dense
+    assert len(arrivals) == 100
+    assert arrivals == sorted(arrivals)
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    assert gaps[0] > gaps[-1]  # rate rises, spacing shrinks
+    assert arrivals[-1] <= 10.0
+
+
+def test_schedule_is_deterministic(service_db, qgen):
+    service = QueryService(service_db, workers=1)
+    tenants = [
+        TenantProfile("a", weight=2.0, templates=(3, 7)),
+        TenantProfile("b", weight=1.0, templates=(42,)),
+    ]
+    phases = [Phase("steady", duration_s=2.0, qps=5.0)]
+    try:
+        first = LoadDriver(service, qgen, tenants, phases, seed=9).schedule
+        second = LoadDriver(service, qgen, tenants, phases, seed=9).schedule
+        assert [(a.at_s, a.tenant, a.template) for a in first] == \
+               [(a.at_s, a.tenant, a.template) for a in second]
+        assert [a.sql for a in first] == [a.sql for a in second]
+        other = LoadDriver(service, qgen, tenants, phases, seed=10).schedule
+        assert [(a.tenant, a.template, a.sql) for a in first] != \
+               [(a.tenant, a.template, a.sql) for a in other]
+        # repeated draws of one template still vary their substitutions
+        # (template 3 substitutes per stream = per arrival index)
+        a_sql = {a.sql for a in first if a.template == 3}
+        assert len(a_sql) > 1
+    finally:
+        service.close()
+
+
+def test_end_to_end_run_with_faulted_tenant(service_db, qgen, tmp_path):
+    """One tenant under 100% query faults: its errors stay local, the
+    clean tenant passes its SLA, and the JSON report round-trips."""
+    service = QueryService(
+        service_db, workers=2,
+        default_quota=TenantQuota(max_concurrent=2, max_queue_depth=4),
+        breaker_threshold=3, breaker_reset_s=0.2,
+    )
+    service.set_faults("faulty", FaultInjector(
+        seed=2, error_rate=1.0, scope=("query",),
+    ))
+    tenants = [
+        TenantProfile("clean", templates=(3, 42),
+                      sla=SLATarget(p99_s=30.0, max_error_rate=0.0)),
+        TenantProfile("faulty", templates=(3,),
+                      sla=SLATarget(p99_s=30.0, max_error_rate=0.0)),
+    ]
+    phases = [Phase("steady", duration_s=2.0, qps=6.0)]
+    report = LoadDriver(service, qgen, tenants, phases,
+                        seed=SESSION_SEED).run()
+    service.close()
+
+    by_name = {t.tenant: t for t in report.tenants}
+    clean, faulty = by_name["clean"], by_name["faulty"]
+    assert clean.failed == 0 and clean.timeouts == 0
+    assert clean.sla_ok
+    assert clean.completed == clean.admitted
+    assert clean.latency["count"] == clean.completed
+    assert faulty.failed + faulty.shed == faulty.issued
+    assert not faulty.sla_ok
+    assert any("error rate" in f for f in faulty.sla_failures)
+    assert not report.ok  # one failing tenant fails the run verdict
+
+    # the service's own counters made it into the report
+    tenant_states = {t["tenant"]: t for t in report.service["tenants"]}
+    assert tenant_states["faulty"]["breaker_trips"] >= 1
+    assert tenant_states["clean"]["failed"] == 0
+
+    out = tmp_path / "BENCH_service.json"
+    report.write_json(str(out))
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is False
+    assert payload["issued"] == report.issued
+    assert {t["tenant"] for t in payload["tenants"]} == {"clean", "faulty"}
+
+
+def test_render_load_report_section(service_db, qgen):
+    from repro.runner import render_load_report
+
+    service = QueryService(service_db, workers=2)
+    tenants = [TenantProfile("solo", templates=(42,),
+                             sla=SLATarget(p99_s=30.0))]
+    report = LoadDriver(service, qgen, tenants,
+                        [Phase("steady", duration_s=1.0, qps=3.0)],
+                        seed=5).run()
+    service.close()
+    rendered = render_load_report(report.as_dict())
+    assert "query service load run" in rendered
+    assert "steady 3 qps x 1s" in rendered
+    assert "solo" in rendered
+    assert "SLA verdict" in rendered
+    assert "PASS" in rendered

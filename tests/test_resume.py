@@ -7,6 +7,8 @@ import os
 
 import pytest
 
+from repro.faults import FaultInjector
+from repro.obs import load_store
 from repro.runner import (
     BenchmarkConfig,
     CheckpointMismatch,
@@ -125,3 +127,126 @@ def test_resume_without_existing_journal_runs_fresh(tmp_path):
     assert result.queries_resumed == 0
     assert result.compliant
     assert os.path.exists(ckpt)
+
+
+# -- checkpoint x statement store: resume must not double-count --------------
+
+
+@pytest.fixture(scope="module")
+def stored_run(tmp_path_factory):
+    """A checkpointed single-stream run that also journals a statement
+    store, under transient query faults so some statements genuinely
+    retried (each failed attempt records an error call plus one retry
+    credit) before every query eventually passed."""
+    tmp = tmp_path_factory.mktemp("stmtstore")
+    ckpt = str(tmp / "journal.jsonl")
+    store_path = str(tmp / "statements.jsonl")
+    config = BenchmarkConfig(
+        scale_factor=SF, streams=1, checkpoint_path=ckpt,
+        statement_store_path=store_path,
+        faults=FaultInjector(seed=4, error_rate=0.05, scope=("query",)),
+    )
+    result, _ = run_benchmark(config)
+    return ckpt, store_path, result
+
+
+def _store_counts(path):
+    """Per-fingerprint (calls, retries, errors) from a store journal."""
+    store = load_store(path)
+    try:
+        return {
+            s.fingerprint: (s.calls, s.retries, s.errors)
+            for s in store.statements()
+        }
+    finally:
+        store.close()
+
+
+def test_full_resume_does_not_recount_statements(stored_run):
+    """Resuming a fully-journaled run re-executes nothing, so the
+    statement store's per-fingerprint calls/retries/errors stay exactly
+    as the crashed process left them — retried statements are not
+    counted a second time."""
+    ckpt, store_path, original = stored_run
+    assert original.compliant
+    before = _store_counts(store_path)
+    total_retries = sum(r for _, r, _ in before.values())
+    total_errors = sum(e for _, _, e in before.values())
+    assert total_retries > 0  # the fault injector really bit
+    # runner retries were credited as retry counts, not extra clean
+    # calls: every transient failure shows up as one error + one retry
+    assert total_retries == total_errors
+
+    config = BenchmarkConfig(
+        scale_factor=SF, streams=1, checkpoint_path=ckpt,
+        statement_store_path=store_path, resume=True,
+    )
+    resumed, _ = run_benchmark(config)
+    assert resumed.queries_resumed == original.total_queries
+    assert _store_counts(store_path) == before
+
+
+def test_partial_resume_recounts_only_reexecuted_statements(
+    stored_run, tmp_path
+):
+    """After a simulated SIGKILL (journal cut at 20 completed queries),
+    resume grows each fingerprint's call count by exactly the number of
+    re-executed statements that hash to it: journaled-ok queries add
+    zero, and no new retries appear in a fault-free resume."""
+    from collections import Counter
+
+    from repro.dsdgen.context import GeneratorContext
+    from repro.obs.fingerprint import fingerprint
+    from repro.qgen import QGen, build_catalog
+
+    ckpt, store_path, original = stored_run
+    before = _store_counts(store_path)
+
+    cut_path = str(tmp_path / "journal.jsonl")
+    kept, journaled = [], set()
+    with open(ckpt) as handle:
+        for line in handle:
+            record = json.loads(line)
+            if record["kind"] not in ("header", "query"):
+                continue  # the run "crashed": no phase/complete markers
+            kept.append(line.rstrip("\n"))
+            if record["kind"] == "query":
+                if record.get("status", "ok") == "ok":
+                    journaled.add(
+                        (record["run"], record["stream"],
+                         record["template_id"])
+                    )
+                if len(journaled) == 20:
+                    break
+    with open(cut_path, "w") as handle:
+        handle.write("\n".join(kept))
+        handle.write('\n{"kind": "query", "ru')  # torn mid-write
+
+    config = BenchmarkConfig(
+        scale_factor=SF, streams=1, checkpoint_path=cut_path,
+        statement_store_path=store_path, resume=True,
+    )
+    resumed, _ = run_benchmark(config)
+    assert resumed.queries_resumed == 20
+    assert resumed.compliant
+    after = _store_counts(store_path)
+
+    # the oracle: regenerate every stream's statements and count the
+    # fingerprints of exactly the queries the resume had to re-execute
+    context = GeneratorContext(SF, config.seed)
+    context.ensure_key_pools()
+    qgen = QGen(context, build_catalog())
+    expected = Counter()
+    for run_no, label in ((1, "qr1"), (2, "qr2")):
+        stream = run_no - 1  # streams=1: qr1 runs stream 0, qr2 stream 1
+        for query in qgen.generate_stream(stream):
+            if (label, stream, query.template_id) in journaled:
+                continue
+            for statement in query.statements:
+                expected[fingerprint(statement)] += 1
+
+    for fp in set(before) | set(after):
+        b_calls, b_retries, _ = before.get(fp, (0, 0, 0))
+        a_calls, a_retries, _ = after.get(fp, (0, 0, 0))
+        assert a_calls - b_calls == expected.get(fp, 0), fp
+        assert a_retries == b_retries, fp  # no faults during resume

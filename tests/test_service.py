@@ -1,0 +1,278 @@
+"""The multi-tenant query service: admission, quotas, shedding,
+circuit breaking, cancellation isolation, shutdown.
+
+Statements are made slow deterministically with a per-tenant delay
+injector (``delay_rate=1.0`` at operator scope: every governor check
+sleeps), so queue-pressure and mid-statement-cancel scenarios need no
+real load."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.errors import QueryCancelled
+from repro.faults import FaultInjector, InjectedFault
+from repro.service import (
+    AdmissionRejected,
+    CircuitBreaker,
+    QueryService,
+    ServiceShutdown,
+    SessionClosed,
+    TenantQuota,
+)
+
+from .conftest import make_simple_db
+
+#: aggregation over a join: ~7 governor checks per execution, so a
+#: delay injector stretches it and a cancel lands mid-statement
+SLOW_SQL = (
+    "SELECT s.item_sk, i.i_brand, SUM(s.price) AS total "
+    "FROM sales s, item i WHERE s.item_sk = i.i_sk "
+    "GROUP BY s.item_sk, i.i_brand ORDER BY total"
+)
+FAST_SQL = "SELECT COUNT(*) AS n FROM sales"
+
+
+def _delay_injector(seed: int = 1, max_delay_s: float = 0.05) -> FaultInjector:
+    return FaultInjector(
+        seed=seed, delay_rate=1.0, max_delay_s=max_delay_s,
+        scope=("operator",),
+    )
+
+
+@pytest.fixture()
+def service():
+    svc = QueryService(make_simple_db(), workers=3)
+    yield svc
+    svc.close(drain=False)
+
+
+def test_execute_matches_direct_execution(service):
+    session = service.create_session("alpha")
+    direct = service.db.execute(SLOW_SQL).rows()
+    assert session.execute(SLOW_SQL).rows() == direct
+    state = service.tenant("alpha")
+    assert state.admitted == 1 and state.completed == 1
+    assert state.ewma_latency_s is not None
+
+
+def test_queue_full_sheds_with_retry_after(service):
+    quota = TenantQuota(max_concurrent=1, max_queue_depth=1)
+    session = service.create_session("small", quota=quota)
+    service.set_faults("small", _delay_injector(max_delay_s=0.2))
+    state = service.tenant("small")
+    futures = [session.submit(SLOW_SQL)]
+    while state.running < 1:  # wait for a worker to pick it up
+        time.sleep(0.002)
+    futures.append(session.submit(SLOW_SQL))  # fills the 1-deep queue
+    with pytest.raises(AdmissionRejected) as excinfo:
+        for _ in range(20):
+            futures.append(session.submit(SLOW_SQL))
+    assert excinfo.value.reason == "queue_full"
+    assert excinfo.value.retry_after_s > 0.0
+    assert excinfo.value.transient  # clients may retry later
+    assert state.shed_queue_full >= 1
+    assert state.max_queued <= quota.max_queue_depth
+    for future in futures:
+        future.result(timeout=30.0)
+
+
+def test_deadline_aware_shedding(service):
+    session = service.create_session("dl")
+    service.set_faults("dl", _delay_injector(max_delay_s=0.1))
+    session.execute(SLOW_SQL)  # seed the EWMA latency estimate
+    inflight = session.submit(SLOW_SQL)
+    # predicted wait (>= one EWMA latency) dwarfs a 1ms deadline:
+    # queueing would only manufacture a timeout, so admission rejects
+    with pytest.raises(AdmissionRejected) as excinfo:
+        session.submit(SLOW_SQL, timeout_s=0.001)
+    assert excinfo.value.reason == "deadline"
+    assert excinfo.value.retry_after_s > 0.0
+    assert service.tenant("dl").shed_deadline == 1
+    inflight.result(timeout=30.0)
+
+
+def test_breaker_trips_then_recovers(service):
+    session = service.create_session("flaky")
+    state = service.tenant("flaky")
+    state.breaker.threshold = 2
+    state.breaker.reset_timeout_s = 0.05
+    service.set_faults(
+        "flaky", FaultInjector(seed=3, error_rate=1.0, scope=("query",))
+    )
+    for _ in range(2):
+        with pytest.raises(InjectedFault):
+            session.execute(FAST_SQL)
+    assert state.breaker.state == "open"
+    assert state.breaker.trips == 1
+    with pytest.raises(AdmissionRejected) as excinfo:
+        session.execute(FAST_SQL)
+    assert excinfo.value.reason == "breaker_open"
+    assert state.shed_breaker == 1
+    # faults clear; after the reset timeout the half-open probe closes it
+    service.set_faults("flaky", None)
+    time.sleep(0.06)
+    assert session.execute(FAST_SQL).rows()
+    assert state.breaker.state == "closed"
+    assert state.breaker.consecutive_failures == 0
+
+
+def test_breaker_reopens_on_failed_probe():
+    breaker = CircuitBreaker(threshold=1, reset_timeout_s=0.01)
+    breaker.record_failure(now=100.0)
+    assert breaker.state == "open" and breaker.trips == 1
+    admitted, retry_after = breaker.admit(now=100.005)
+    assert not admitted and retry_after == pytest.approx(0.005)
+    admitted, _ = breaker.admit(now=100.02)
+    assert admitted and breaker.state == "half_open"
+    # concurrent arrivals during the probe are shed, not queued
+    assert breaker.admit(now=100.02) == (False, 0.01)
+    breaker.record_failure(now=100.03)
+    assert breaker.state == "open" and breaker.trips == 2
+
+
+def test_cancel_does_not_move_the_breaker(service):
+    session = service.create_session("cancels")
+    service.set_faults("cancels", _delay_injector(max_delay_s=0.2))
+    future = session.submit(SLOW_SQL)
+    time.sleep(0.02)  # let it reach a worker
+    assert session.cancel() >= 1
+    with pytest.raises(QueryCancelled):
+        future.result(timeout=30.0)
+    state = service.tenant("cancels")
+    assert state.cancelled == 1 and state.failed == 0
+    assert state.breaker.state == "closed"
+    assert state.breaker.consecutive_failures == 0
+
+
+def test_concurrent_cancellation_stays_tenant_local(service):
+    """Satellite: N sessions cancel mid-statement while another tenant
+    keeps running — QueryCancelled never leaks across tenants and the
+    pool stays usable afterwards."""
+    service.set_faults("churn", _delay_injector(seed=5, max_delay_s=0.08))
+    churners = [service.create_session("churn") for _ in range(3)]
+    steady = service.create_session("steady")
+
+    steady_results: list = []
+    steady_errors: list = []
+
+    def steady_loop():
+        for _ in range(6):
+            try:
+                steady_results.append(steady.execute(SLOW_SQL).rows())
+            except Exception as exc:  # any error here is the failure
+                steady_errors.append(exc)
+
+    thread = threading.Thread(target=steady_loop)
+    thread.start()
+    cancelled_futures = []
+    for session in churners:
+        cancelled_futures.append(session.submit(SLOW_SQL))
+    time.sleep(0.05)  # statements are mid-flight (inside delay sleeps)
+    for session in churners:
+        session.cancel()
+    thread.join(timeout=60.0)
+    assert not thread.is_alive()
+
+    # the steady tenant never saw a cancellation (or any failure)
+    assert steady_errors == []
+    assert len(steady_results) == 6
+    assert service.tenant("steady").cancelled == 0
+
+    # each churner statement either finished or was cancelled — and
+    # cancellations only ever surfaced on the cancelling sessions
+    outcomes = []
+    for future in cancelled_futures:
+        try:
+            future.result(timeout=30.0)
+            outcomes.append("ok")
+        except QueryCancelled:
+            outcomes.append("cancelled")
+    assert "cancelled" in outcomes
+
+    # the pool is still usable for everyone afterwards
+    service.set_faults("churn", None)
+    for session in churners:
+        assert session.execute(FAST_SQL).rows() == [(6,)]
+    assert steady.execute(FAST_SQL).rows() == [(6,)]
+
+
+def test_session_close_cancels_queued_statements(service):
+    quota = TenantQuota(max_concurrent=1, max_queue_depth=4)
+    session = service.create_session("closing", quota=quota)
+    service.set_faults("closing", _delay_injector(max_delay_s=0.2))
+    futures = [session.submit(SLOW_SQL) for _ in range(3)]
+    session.close()
+    with pytest.raises(SessionClosed):
+        session.submit(FAST_SQL)
+    statuses = []
+    for future in futures:
+        try:
+            future.result(timeout=30.0)
+            statuses.append("ok")
+        except QueryCancelled:
+            statuses.append("cancelled")
+    assert "cancelled" in statuses  # the queued ones died unrun
+
+
+def test_quota_bounds_tenant_concurrency(service):
+    quota = TenantQuota(max_concurrent=1, max_queue_depth=8)
+    session = service.create_session("serial", quota=quota)
+    service.set_faults("serial", _delay_injector(max_delay_s=0.05))
+    futures = [session.submit(SLOW_SQL) for _ in range(4)]
+    peak = 0
+    while any(not f.done() for f in futures):
+        peak = max(peak, service.tenant("serial").running)
+        time.sleep(0.005)
+    assert peak <= 1
+    for future in futures:
+        future.result(timeout=30.0)
+
+
+def test_sys_service_tables_reflect_counters(service):
+    session = service.create_session("alpha")
+    session.execute(FAST_SQL)
+    rows = session.execute(
+        "SELECT tenant, admitted, completed FROM sys.service"
+        " WHERE tenant = 'alpha'"
+    ).rows()
+    # the sys.service scan itself was admitted before its snapshot
+    assert rows == [("alpha", 2, 1)]
+    sessions = session.execute(
+        "SELECT tenant, state FROM sys.sessions"
+    ).rows()
+    assert ("alpha", "open") in sessions
+
+
+def test_shutdown_drains_and_refuses_new_work():
+    service = QueryService(make_simple_db(), workers=2)
+    session = service.create_session("alpha")
+    futures = [session.submit(FAST_SQL) for _ in range(4)]
+    service.close(drain=True)
+    assert all(f.result().rows() == [(6,)] for f in futures)
+    with pytest.raises(ServiceShutdown):
+        service.submit(session, FAST_SQL)
+    with pytest.raises(ServiceShutdown):
+        service.create_session("beta")
+
+
+def test_shutdown_without_drain_fails_queued_statements():
+    service = QueryService(
+        make_simple_db(), workers=1,
+        default_quota=TenantQuota(max_concurrent=1, max_queue_depth=8),
+    )
+    service.set_faults("alpha", _delay_injector(max_delay_s=0.2))
+    session = service.create_session("alpha")
+    futures = [session.submit(SLOW_SQL) for _ in range(4)]
+    service.close(drain=False)
+    outcomes = []
+    for future in futures:
+        try:
+            future.result(timeout=30.0)
+            outcomes.append("ok")
+        except ServiceShutdown:
+            outcomes.append("shutdown")
+    assert "shutdown" in outcomes
